@@ -1,0 +1,307 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the underlying experiment and reporting its
+// headline metric), plus ablation benches for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package nowlater_test
+
+import (
+	"math"
+	"testing"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/experiments"
+)
+
+func benchCfg() experiments.Config { return experiments.QuickConfig() }
+
+// BenchmarkTable1Platforms regenerates the platform feature table.
+func BenchmarkTable1Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := nowlater.Table1()
+		if len(tab.Rows) != 6 {
+			b.Fatal("table shape changed")
+		}
+	}
+}
+
+// BenchmarkFig1StrategyRace regenerates the strategy race; reports the
+// best hover-and-transmit completion and the analytic crossover.
+func BenchmarkFig1StrategyRace(b *testing.B) {
+	var res experiments.Fig1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := math.Inf(1)
+	for _, st := range res.Strategies {
+		if st.Name != "moving" && st.CompletionS < best {
+			best = st.CompletionS
+		}
+	}
+	b.ReportMetric(best, "best-completion-s")
+	b.ReportMetric(res.AnalyticCrossoverMB, "crossover-MB")
+}
+
+// BenchmarkFig4GPSTraces regenerates the flight traces; reports the span
+// of pairwise airplane distances.
+func BenchmarkFig4GPSTraces(b *testing.B) {
+	var res experiments.Fig4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	maxD := 0.0
+	for _, d := range res.AirplaneDistances {
+		maxD = math.Max(maxD, d)
+	}
+	b.ReportMetric(maxD, "max-distance-m")
+	b.ReportMetric(float64(len(res.Airplanes[0].Fixes)), "fixes")
+}
+
+// BenchmarkFig5AirplaneThroughput regenerates the throughput-vs-distance
+// boxplots; reports the fitted log2 law against the paper's (−5.56, 49).
+func BenchmarkFig5AirplaneThroughput(b *testing.B) {
+	var res experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fit.A, "fit-A-mbps-per-octave")
+	b.ReportMetric(res.Fit.B, "fit-B-mbps")
+	b.ReportMetric(res.Fit.R2, "fit-R2")
+}
+
+// BenchmarkFig6FixedVsAuto regenerates the rate-control comparison;
+// reports the mean best-fixed/auto-rate advantage (paper: ≥2×).
+func BenchmarkFig6FixedVsAuto(b *testing.B) {
+	var res experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	n := 0
+	for _, a := range res.MedianAdvantage() {
+		if !math.IsInf(a, 1) {
+			sum += a
+			n++
+		}
+	}
+	b.ReportMetric(sum/float64(n), "best-over-auto")
+}
+
+// BenchmarkFig7QuadThroughput regenerates the quadrocopter panels; reports
+// the hover fit and the hover/moving collapse.
+func BenchmarkFig7QuadThroughput(b *testing.B) {
+	var res experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HoverFit.A, "hover-fit-A")
+	b.ReportMetric(res.HoverFit.B, "hover-fit-B")
+	if len(res.Speeds) > 0 {
+		v0 := res.Speeds[0].Box.Median
+		vN := res.Speeds[len(res.Speeds)-1].Box.Median
+		if vN > 0 {
+			b.ReportMetric(v0/vN, "hover-over-fast")
+		}
+	}
+}
+
+// BenchmarkFig8UtilityCurves regenerates U(d) for both baselines; reports
+// how far dopt marches as rho grows (the figure's qualitative message).
+func BenchmarkFig8UtilityCurves(b *testing.B) {
+	var res experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	air := res.Airplane
+	b.ReportMetric(air[len(air)-1].DoptM-air[0].DoptM, "dopt-shift-m")
+}
+
+// BenchmarkFig9Sweep regenerates the Mdata × speed sweep; reports the
+// fraction of cells pinned at the minimum distance.
+func BenchmarkFig9Sweep(b *testing.B) {
+	var res experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pinned := 0
+	for _, p := range res.Points {
+		if p.AtMinimum {
+			pinned++
+		}
+	}
+	b.ReportMetric(float64(pinned)/float64(len(res.Points)), "at-minimum-fraction")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) -----------------
+
+// BenchmarkAblationAggregation: A-MPDU depth 1 vs 14.
+func BenchmarkAblationAggregation(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationAggregation(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[len(res.Values)-1]/res.Values[0], "agg14-over-agg1")
+}
+
+// BenchmarkAblationPHYFeatures: channel bonding and short GI.
+func BenchmarkAblationPHYFeatures(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationPHYFeatures(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[3]/res.Values[0], "40sgi-over-20lgi")
+}
+
+// BenchmarkAblationOptimizer: hybrid optimizer vs 1 cm brute force.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationOptimizer(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[0], "worst-relative-gap")
+}
+
+// BenchmarkAblationSpeedFading: speed-coupled channel on/off.
+func BenchmarkAblationSpeedFading(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationSpeedFading(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[0], "coupled-collapse")
+	b.ReportMetric(res.Values[1], "decoupled-collapse")
+}
+
+// BenchmarkAblationFailureModel: exponential-in-distance vs -in-time.
+func BenchmarkAblationFailureModel(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationFailureModel(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[0], "dopt-exp-distance-m")
+	b.ReportMetric(res.Values[1], "dopt-exp-time-m")
+}
+
+// --- Micro-benchmarks of the core primitives ------------------------------
+
+// BenchmarkOptimize measures one scenario solve.
+func BenchmarkOptimize(b *testing.B) {
+	sc := nowlater.AirplaneBaseline()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkStep measures one A-MPDU exchange on the packet-level link.
+func BenchmarkLinkStep(b *testing.B) {
+	l, err := nowlater.NewLink(nowlater.DefaultLinkConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := nowlater.Geometry{DistanceM: 60, AltitudeM: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.QueuedBytes() < 64*1500 {
+			l.Enqueue(256 * 1500)
+		}
+		l.Step(g)
+	}
+}
+
+// BenchmarkAblationAutoRate: Minstrel vs ARF vs best fixed MCS on a moving
+// aerial link.
+func BenchmarkAblationAutoRate(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationAutoRate(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[0], "minstrel-mbps")
+	b.ReportMetric(res.Values[1], "arf-mbps")
+	b.ReportMetric(res.Values[2], "best-fixed-mbps")
+	b.ReportMetric(res.Values[3], "oracle-mbps")
+}
+
+// BenchmarkMissionLevel: system-level payoff of the rendezvous policy
+// (extension experiment; not a paper figure).
+func BenchmarkMissionLevel(b *testing.B) {
+	var res experiments.MissionLevelResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.MissionLevel(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.NaiveMakespanS, "naive-makespan-s")
+	b.ReportMetric(res.RendezvousMakespanS, "rendezvous-makespan-s")
+	b.ReportMetric(res.RendezvousDeliveryRatio, "rendezvous-delivery-ratio")
+}
+
+// BenchmarkAblationTwoRay: fitted throughput slope under the explicit
+// two-ray ground model vs the calibrated log-distance law.
+func BenchmarkAblationTwoRay(b *testing.B) {
+	var res experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AblationTwoRay(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Values[0], "slope-log-distance")
+	b.ReportMetric(res.Values[1], "slope-two-ray")
+}

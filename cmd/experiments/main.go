@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulation stack, writing CSV series plus ASCII
+// renderings under -out (default results/).
+//
+// Usage:
+//
+//	experiments                  # everything, publication-scale workload
+//	experiments -quick           # reduced workload
+//	experiments -only fig5,fig6  # a subset (table1, fig1, fig4..fig9, ablations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	out := fs.String("out", "results", "output directory for CSV files")
+	quick := fs.Bool("quick", false, "reduced workload (fewer trials, shorter runs)")
+	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission")
+	seed := fs.Int64("seed", 1, "root random seed")
+	_ = fs.Parse(os.Args[1:])
+
+	cfg := nowlater.DefaultExperimentConfig()
+	if *quick {
+		cfg = nowlater.QuickExperimentConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	runner := &runner{cfg: cfg, outDir: *out}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", runner.table1},
+		{"fig1", runner.fig1},
+		{"fig4", runner.fig4},
+		{"fig5", runner.fig5},
+		{"fig6", runner.fig6},
+		{"fig7", runner.fig7},
+		{"fig8", runner.fig8},
+		{"fig9", runner.fig9},
+		{"ablations", runner.ablations},
+		{"mission", runner.missionLevel},
+	}
+	failed := false
+	for _, s := range steps {
+		if !sel(s.name) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", s.name)
+		if err := s.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("\nCSV output written under %s/\n", *out)
+}
+
+type runner struct {
+	cfg    experiments.Config
+	outDir string
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/experiments"
+)
+
+func quietRunner(t *testing.T) (*runner, func() string) {
+	t.Helper()
+	dir := t.TempDir()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := func() string {
+		w.Close()
+		os.Stdout = old
+		out := make([]byte, 0, 1<<16)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		return string(out)
+	}
+	return &runner{cfg: experiments.QuickConfig(), outDir: dir}, done
+}
+
+func TestTable1Step(t *testing.T) {
+	r, done := quietRunner(t)
+	err := r.table1()
+	out := done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Quadrocopter") {
+		t.Errorf("table output: %q", out)
+	}
+	if _, statErr := os.Stat(filepath.Join(r.outDir, "table1.txt")); statErr != nil {
+		t.Fatal("table1.txt not written")
+	}
+}
+
+func TestAnalyticFigureSteps(t *testing.T) {
+	r, done := quietRunner(t)
+	err8 := r.fig8()
+	err9 := r.fig9()
+	out := done()
+	if err8 != nil || err9 != nil {
+		t.Fatal(err8, err9)
+	}
+	for _, f := range []string{"fig8.csv", "fig9.csv"} {
+		data, err := os.ReadFile(filepath.Join(r.outDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(string(data), "\n")) < 10 {
+			t.Errorf("%s suspiciously short", f)
+		}
+	}
+	if !strings.Contains(out, "dopt") {
+		t.Errorf("fig8/9 narration missing dopt: %q", out[:min(400, len(out))])
+	}
+}
+
+func TestFig1StepWritesSeries(t *testing.T) {
+	r, done := quietRunner(t)
+	err := r.fig1()
+	out := done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, readErr := os.ReadFile(filepath.Join(r.outDir, "fig1.csv"))
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.HasPrefix(string(data), "strategy_idx,time_s,delivered_mb,distance_m") {
+		t.Fatalf("fig1.csv header: %q", string(data[:60]))
+	}
+	if !strings.Contains(out, "best hover-and-transmit") {
+		t.Errorf("fig1 narration missing:\n%s", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSimulationFigureSteps drives every remaining renderer end to end,
+// guarding the CSV schemas and SVG outputs.
+func TestSimulationFigureSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full renderer pass is slow")
+	}
+	r, done := quietRunner(t)
+	errs := map[string]error{
+		"fig4":      r.fig4(),
+		"fig5":      r.fig5(),
+		"fig6":      r.fig6(),
+		"fig7":      r.fig7(),
+		"ablations": r.ablations(),
+	}
+	out := done()
+	for name, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	wantFiles := []string{
+		"fig4_airplanes.csv", "fig4_quads.csv",
+		"fig5.csv", "fig5.svg",
+		"fig6.csv", "fig6.svg",
+		"fig7.csv", "fig7_hover.svg", "fig7_moving.svg", "fig7_speed.svg",
+		"ablations.csv",
+	}
+	for _, f := range wantFiles {
+		if _, err := os.Stat(filepath.Join(r.outDir, f)); err != nil {
+			t.Errorf("missing output %s", f)
+		}
+	}
+	for _, want := range []string{"median fit", "hover median fit", "datagram loss", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("narration missing %q", want)
+		}
+	}
+	// SVG files must be well-formed enough to start with the svg element.
+	data, err := os.ReadFile(filepath.Join(r.outDir, "fig5.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("fig5.svg is not an svg")
+	}
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/experiments"
+	"github.com/nowlater/nowlater/internal/trace"
+)
+
+func (r *runner) path(name string) string { return filepath.Join(r.outDir, name) }
+
+func (r *runner) table1() error {
+	tab := nowlater.Table1()
+	rendered := trace.Table("Table 1: Main features of the flying platforms", tab.Header, tab.Rows)
+	fmt.Print(rendered)
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(r.path("table1.txt"), []byte(rendered), 0o644)
+}
+
+func (r *runner) fig1() error {
+	res, err := experiments.Fig1(r.cfg)
+	if err != nil {
+		return err
+	}
+	var series []trace.Series
+	var rows [][]float64
+	for i, st := range res.Strategies {
+		s := trace.Series{Name: st.Name}
+		for _, p := range st.Series {
+			s.X = append(s.X, p.TimeS)
+			s.Y = append(s.Y, p.DeliveredMB)
+			rows = append(rows, []float64{float64(i), p.TimeS, p.DeliveredMB, p.DistanceM})
+		}
+		series = append(series, s)
+		comp := fmt.Sprintf("%.1f s", st.CompletionS)
+		if math.IsInf(st.CompletionS, 1) {
+			comp = fmt.Sprintf("did not finish (%.1f MB delivered in approach window)", st.DeliveredMB)
+		}
+		fmt.Printf("  %-8s → %s\n", st.Name, comp)
+	}
+	fmt.Printf("  best hover-and-transmit distance: %.0f m; analytic crossover vs d0: %.1f MB (paper ≈15 MB)\n",
+		res.BestHover, res.AnalyticCrossoverMB)
+	fmt.Print(trace.LinePlot("Fig 1: transmitted data (MB) vs time (s)", series, 72, 16))
+	if err := trace.WriteSVG(r.path("fig1.svg"),
+		trace.SVGLinePlot("Fig 1: transmitted data vs time", "time (s)", "transmitted data (MB)", series)); err != nil {
+		return err
+	}
+	return trace.WriteCSV(r.path("fig1.csv"),
+		[]string{"strategy_idx", "time_s", "delivered_mb", "distance_m"}, rows)
+}
+
+func (r *runner) fig4() error {
+	res, err := experiments.Fig4(r.cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	var series []trace.Series
+	for i, tr := range res.Airplanes {
+		s := trace.Series{Name: tr.VehicleID}
+		for _, f := range tr.Fixes {
+			s.X = append(s.X, f.ENU.X)
+			s.Y = append(s.Y, f.ENU.Y+f.ENU.Z/10) // offset tracks by altitude for visibility
+			rows = append(rows, []float64{float64(i), f.Time, f.Position.Lat, f.Position.Lon, f.Position.Alt})
+		}
+		series = append(series, s)
+	}
+	fmt.Print(trace.LinePlot("Fig 4(a): airplane GPS traces (ENU, altitude-offset)", series, 72, 14))
+	if err := trace.WriteCSV(r.path("fig4_airplanes.csv"),
+		[]string{"vehicle_idx", "time_s", "lat_deg", "lon_deg", "alt_m"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i, tr := range res.Quads {
+		for _, f := range tr.Fixes {
+			rows = append(rows, []float64{float64(i), f.Time, f.Position.Lat, f.Position.Lon, f.Position.Alt})
+		}
+	}
+	fmt.Printf("  quadrocopter hover traces: %d vehicles, %d pairwise airplane distances spanning [%.0f, %.0f] m\n",
+		len(res.Quads), len(res.AirplaneDistances), minOf(res.AirplaneDistances), maxOf(res.AirplaneDistances))
+	return trace.WriteCSV(r.path("fig4_quads.csv"),
+		[]string{"vehicle_idx", "time_s", "lat_deg", "lon_deg", "alt_m"}, rows)
+}
+
+func (r *runner) fig5() error {
+	res, err := experiments.Fig5(r.cfg)
+	if err != nil {
+		return err
+	}
+	cols := make([]trace.BoxColumn, 0, len(res.Bins))
+	rows := make([][]float64, 0, len(res.Bins))
+	for _, b := range res.Bins {
+		cols = append(cols, trace.BoxColumn{Label: "d=" + strconv.Itoa(int(b.DistanceM)), Box: b.Box})
+		rows = append(rows, []float64{b.DistanceM, b.Box.Median, b.Box.Q1, b.Box.Q3,
+			b.Box.WhiskerLow, b.Box.WhiskerHigh, float64(b.Box.N)})
+	}
+	fmt.Print(trace.BoxPlot("Fig 5: airplane throughput (Mb/s) vs distance, auto rate", cols, 56))
+	fmt.Printf("  median fit: s(d) = %.2f·log2(d) + %.2f Mb/s, R² = %.3f  (paper: −5.56, 49, R²=0.9)\n",
+		res.Fit.A, res.Fit.B, res.Fit.R2)
+	if err := trace.WriteSVG(r.path("fig5.svg"),
+		trace.SVGBoxPlot("Fig 5: airplane throughput vs distance (auto rate)", "distance (m)", "throughput (Mb/s)", cols)); err != nil {
+		return err
+	}
+	return trace.WriteCSV(r.path("fig5.csv"),
+		[]string{"distance_m", "median_mbps", "q1", "q3", "whisker_lo", "whisker_hi", "n"}, rows)
+}
+
+func (r *runner) fig6() error {
+	res, err := experiments.Fig6(r.cfg)
+	if err != nil {
+		return err
+	}
+	series := []trace.Series{
+		{Name: "autorate", X: res.Distances, Y: res.AutoMedian},
+		{Name: "best fixed MCS", X: res.Distances, Y: res.BestMedian},
+	}
+	fmt.Print(trace.LinePlot("Fig 6: best fixed MCS vs auto rate, median Mb/s vs distance", series, 72, 14))
+	if err := trace.WriteSVG(r.path("fig6.svg"),
+		trace.SVGLinePlot("Fig 6: best fixed MCS vs auto rate", "distance (m)", "median throughput (Mb/s)", series)); err != nil {
+		return err
+	}
+	var rows [][]float64
+	for i, d := range res.Distances {
+		rows = append(rows, []float64{d, res.AutoMedian[i], res.BestMedian[i], float64(res.BestMCS[i])})
+		fmt.Printf("  d=%3.0f m: auto %5.1f, best %5.1f (MCS%d, %.1fx)\n",
+			d, res.AutoMedian[i], res.BestMedian[i], res.BestMCS[i],
+			res.BestMedian[i]/math.Max(res.AutoMedian[i], 0.01))
+	}
+	fmt.Printf("  datagram loss: auto %.3f vs best fixed %.3f (\"greatly reduced by simply fixing the rate\")\n",
+		res.AutoLoss, res.BestLoss)
+	return trace.WriteCSV(r.path("fig6.csv"),
+		[]string{"distance_m", "auto_median_mbps", "best_median_mbps", "best_mcs"}, rows)
+}
+
+func (r *runner) fig7() error {
+	res, err := experiments.Fig7(r.cfg)
+	if err != nil {
+		return err
+	}
+	hcols := make([]trace.BoxColumn, 0)
+	var rows [][]float64
+	for _, b := range res.Hover {
+		hcols = append(hcols, trace.BoxColumn{Label: "d=" + strconv.Itoa(int(b.DistanceM)), Box: b.Box})
+		rows = append(rows, []float64{0, b.DistanceM, b.Box.Median, b.Box.Q1, b.Box.Q3})
+	}
+	fmt.Print(trace.BoxPlot("Fig 7 (left): quadrocopter hover throughput (Mb/s) vs distance", hcols, 56))
+	mcols := make([]trace.BoxColumn, 0)
+	for _, b := range res.Moving {
+		mcols = append(mcols, trace.BoxColumn{Label: "d=" + strconv.Itoa(int(b.DistanceM)), Box: b.Box})
+		rows = append(rows, []float64{1, b.DistanceM, b.Box.Median, b.Box.Q1, b.Box.Q3})
+	}
+	fmt.Print(trace.BoxPlot("Fig 7 (centre): moving at ≈8 m/s", mcols, 56))
+	scols := make([]trace.BoxColumn, 0)
+	for _, s := range res.Speeds {
+		scols = append(scols, trace.BoxColumn{Label: "v=" + strconv.Itoa(int(s.SpeedMPS)), Box: s.Box})
+		rows = append(rows, []float64{2, s.SpeedMPS, s.Box.Median, s.Box.Q1, s.Box.Q3})
+	}
+	fmt.Print(trace.BoxPlot("Fig 7 (right): throughput vs cruise speed at 60 m", scols, 56))
+	fmt.Printf("  hover median fit: s(d) = %.2f·log2(d) + %.2f Mb/s, R² = %.3f  (paper: −10.5, 73, R²=0.96)\n",
+		res.HoverFit.A, res.HoverFit.B, res.HoverFit.R2)
+	for name, panel := range map[string][]trace.BoxColumn{
+		"fig7_hover.svg": hcols, "fig7_moving.svg": mcols, "fig7_speed.svg": scols,
+	} {
+		if err := trace.WriteSVG(r.path(name),
+			trace.SVGBoxPlot("Fig 7: quadrocopter throughput ("+name+")", "", "throughput (Mb/s)", panel)); err != nil {
+			return err
+		}
+	}
+	return trace.WriteCSV(r.path("fig7.csv"),
+		[]string{"panel", "x", "median_mbps", "q1", "q3"}, rows)
+}
+
+func (r *runner) fig8() error {
+	res, err := experiments.Fig8(r.cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	render := func(name string, curves []experiments.Fig8Curve) {
+		var series []trace.Series
+		for ci, c := range curves {
+			s := trace.Series{Name: fmt.Sprintf("rho=%.3g (dopt %.0f m)", c.Rho, c.DoptM)}
+			for _, p := range c.Points {
+				s.X = append(s.X, p.DM)
+				s.Y = append(s.Y, p.Utility)
+				rows = append(rows, []float64{float64(ci), c.Rho, p.DM, p.Utility})
+			}
+			series = append(series, s)
+		}
+		fmt.Print(trace.LinePlot("Fig 8: U(d) — "+name, series, 72, 14))
+		fname := "fig8_airplane.svg"
+		if strings.Contains(name, "quad") {
+			fname = "fig8_quadrocopter.svg"
+		}
+		if err := trace.WriteSVG(r.path(fname),
+			trace.SVGLinePlot("Fig 8: U(d) — "+name, "d (m)", "U(d)", series)); err != nil {
+			fmt.Fprintln(os.Stderr, "fig8 svg:", err)
+		}
+	}
+	render("airplane baseline", res.Airplane)
+	render("quadrocopter baseline", res.Quadrocopter)
+	return trace.WriteCSV(r.path("fig8.csv"),
+		[]string{"curve_idx", "rho", "d_m", "utility"}, rows)
+}
+
+func (r *runner) fig9() error {
+	res, err := experiments.Fig9(r.cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	bySize := map[float64]*trace.Series{}
+	var series []trace.Series
+	for _, mb := range res.MdataSet {
+		s := &trace.Series{Name: fmt.Sprintf("Mdata=%.0fMB", mb)}
+		bySize[mb] = s
+	}
+	for _, p := range res.Points {
+		rows = append(rows, []float64{p.MdataMB, p.SpeedMPS, p.DoptM, p.Utility, b2f(p.AtMinimum)})
+		s := bySize[p.MdataMB]
+		s.X = append(s.X, p.DoptM)
+		s.Y = append(s.Y, p.Utility)
+	}
+	for _, mb := range res.MdataSet {
+		series = append(series, *bySize[mb])
+	}
+	fmt.Print(trace.LinePlot("Fig 9: U(dopt) vs dopt across Mdata (curves) and speeds (points)", series, 72, 16))
+	if err := trace.WriteSVG(r.path("fig9.svg"),
+		trace.SVGLinePlot("Fig 9: U(dopt) vs dopt", "dopt (m)", "U(dopt)", series)); err != nil {
+		return err
+	}
+
+	// The dopt surface as a heatmap: rows Mdata, columns speed.
+	rowLabels := make([]string, len(res.MdataSet))
+	grid := make([][]float64, len(res.MdataSet))
+	colLabels := make([]string, len(res.SpeedSet))
+	for j, v := range res.SpeedSet {
+		colLabels[j] = fmt.Sprintf("v=%g", v)
+	}
+	for i, mb := range res.MdataSet {
+		rowLabels[i] = fmt.Sprintf("%gMB", mb)
+		grid[i] = make([]float64, len(res.SpeedSet))
+		for j, v := range res.SpeedSet {
+			for _, p := range res.Points {
+				if p.MdataMB == mb && p.SpeedMPS == v {
+					grid[i][j] = p.DoptM
+				}
+			}
+		}
+	}
+	fmt.Print(trace.Heatmap("Fig 9 surface: dopt (m) by Mdata x speed", rowLabels, colLabels, grid))
+	return trace.WriteCSV(r.path("fig9.csv"),
+		[]string{"mdata_mb", "speed_mps", "dopt_m", "utility", "at_minimum"}, rows)
+}
+
+func (r *runner) ablations() error {
+	type ab struct {
+		name string
+		fn   func(experiments.Config) (experiments.AblationResult, error)
+	}
+	var rows [][]float64
+	for i, a := range []ab{
+		{"aggregation", experiments.AblationAggregation},
+		{"phy-features", experiments.AblationPHYFeatures},
+		{"optimizer", experiments.AblationOptimizer},
+		{"speed-fading", experiments.AblationSpeedFading},
+		{"failure-model", experiments.AblationFailureModel},
+		{"auto-rate", experiments.AblationAutoRate},
+		{"two-ray", experiments.AblationTwoRay},
+	} {
+		res, err := a.fn(r.cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Printf("  ablation %s (%s):\n", a.name, res.Unit)
+		for j, l := range res.Labels {
+			fmt.Printf("    %-20s %.4g\n", l, res.Values[j])
+			rows = append(rows, []float64{float64(i), float64(j), res.Values[j]})
+		}
+	}
+	return trace.WriteCSV(r.path("ablations.csv"),
+		[]string{"ablation_idx", "variant_idx", "value"}, rows)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func (r *runner) missionLevel() error {
+	res, err := experiments.MissionLevel(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  mission-level extension (%d paired runs, ρ=8e−4):\n", res.Runs)
+	fmt.Printf("    naive      makespan %.0f s, delivery ratio %.2f\n", res.NaiveMakespanS, res.NaiveDeliveryRatio)
+	fmt.Printf("    rendezvous makespan %.0f s, delivery ratio %.2f\n", res.RendezvousMakespanS, res.RendezvousDeliveryRatio)
+	return trace.WriteCSV(r.path("mission.csv"),
+		[]string{"naive_makespan_s", "rendezvous_makespan_s", "naive_ratio", "rendezvous_ratio"},
+		[][]float64{{res.NaiveMakespanS, res.RendezvousMakespanS, res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio}})
+}

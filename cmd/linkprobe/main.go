@@ -1,0 +1,77 @@
+// Command linkprobe measures the throughput-vs-distance law s(d) of the
+// simulated aerial link — the empirical input the delayed-gratification
+// optimizer needs — and writes it as a CSV table that `nowlater
+// -throughput <file>` (and core.LoadTableThroughputCSV) consume.
+//
+// Usage:
+//
+//	linkprobe -alt 10 -speed 0 -min 20 -max 100 -step 10 -o squad.csv
+//	linkprobe -alt 90 -speed 18 -min 20 -max 320 -step 20   # airplane-ish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func main() {
+	fs := flag.NewFlagSet("linkprobe", flag.ExitOnError)
+	alt := fs.Float64("alt", 10, "link altitude AGL (m)")
+	speed := fs.Float64("speed", 0, "relative speed between the platforms (m/s)")
+	minD := fs.Float64("min", 20, "first probe distance (m)")
+	maxD := fs.Float64("max", 100, "last probe distance (m)")
+	step := fs.Float64("step", 10, "probe spacing (m)")
+	trials := fs.Int("trials", 7, "independent trials per distance")
+	duration := fs.Float64("duration", 8, "simulated seconds per trial")
+	seed := fs.Int64("seed", 1, "root random seed")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	_ = fs.Parse(os.Args[1:])
+
+	if err := run(*alt, *speed, *minD, *maxD, *step, *trials, *duration, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "linkprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(alt, speed, minD, maxD, step float64, trials int, duration float64, seed int64, out string) error {
+	if step <= 0 || maxD < minD {
+		return fmt.Errorf("bad probe range [%v, %v] step %v", minD, maxD, step)
+	}
+	cfg := nowlater.DefaultLinkConfig()
+	cfg.Seed = seed
+
+	var ds, meds []float64
+	for d := minD; d <= maxD+1e-9; d += step {
+		g := nowlater.Geometry{DistanceM: d, AltitudeM: alt, RelSpeedMPS: speed}
+		probeCfg := cfg
+		probeCfg.Label = fmt.Sprintf("linkprobe/d%.0f", d)
+		xs, err := nowlater.MeasureTrials(probeCfg, nil, g, duration, trials)
+		if err != nil {
+			return err
+		}
+		med := stats.MustMedian(xs)
+		ds = append(ds, d)
+		meds = append(meds, med)
+		fmt.Fprintf(os.Stderr, "d=%6.1f m  median %6.2f Mb/s  (%d trials)\n", d, med, trials)
+	}
+
+	if fit, err := stats.FitLog2(ds, meds); err == nil {
+		fmt.Fprintf(os.Stderr, "fit: s(d) = %.2f·log2(d) + %.2f Mb/s, R² = %.3f\n", fit.A, fit.B, fit.R2)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return core.WriteTableThroughputCSV(w, ds, meds)
+}

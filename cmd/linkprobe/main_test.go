@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+func TestProbeWritesLoadableTable(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "probe.csv")
+	if err := run(10, 0, 20, 60, 20, 2, 3, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := core.LoadTableThroughputCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near beats far on the quad-altitude link.
+	if tab.Bps(20) <= tab.Bps(60) {
+		t.Fatalf("probe table not decreasing: %v vs %v", tab.Bps(20), tab.Bps(60))
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	if err := run(10, 0, 60, 20, 10, 2, 3, 1, ""); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := run(10, 0, 20, 60, 0, 2, 3, 1, ""); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestProbeStdout(t *testing.T) {
+	// Redirect stdout to verify the CSV lands there without -o.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	err = run(10, 0, 20, 40, 20, 1, 2, 1, "")
+	w.Close()
+	os.Stdout = old
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	if !strings.Contains(string(buf[:n]), "distance_m,throughput_mbps") {
+		t.Fatalf("stdout csv missing header: %q", string(buf[:n]))
+	}
+}

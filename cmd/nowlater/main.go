@@ -1,0 +1,134 @@
+// Command nowlater computes the delayed-gratification transmit decision of
+// the paper: given the distance d0 at which the link opens, the batch size,
+// cruise speed and failure rate, it prints the optimal transmit distance
+// dopt, the expected communication delay, the survival probability of the
+// shipping leg, a U(d) curve, and the strategy comparison of Fig. 1.
+//
+// Usage:
+//
+//	nowlater -platform airplane -d0 300 -mdata 28 -speed 10 -rho 1.11e-4
+//	nowlater -platform quadrocopter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nowlater:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("nowlater", flag.ContinueOnError)
+	platform := fs.String("platform", "airplane", "baseline scenario: airplane | quadrocopter")
+	d0 := fs.Float64("d0", 0, "distance at which the link opens (m); 0 = baseline default")
+	mdata := fs.Float64("mdata", 0, "batch size (MB); 0 = baseline default")
+	speed := fs.Float64("speed", 0, "cruise speed (m/s); 0 = baseline default")
+	rho := fs.Float64("rho", -1, "failure rate per metre; <0 = baseline default")
+	curve := fs.Bool("curve", true, "print the U(d) curve")
+	strategies := fs.Bool("strategies", true, "print the Fig 1 strategy comparison")
+	throughputCSV := fs.String("throughput", "", "CSV throughput table (distance_m,throughput_mbps) from linkprobe or field data")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc nowlater.Scenario
+	switch *platform {
+	case "airplane":
+		sc = nowlater.AirplaneBaseline()
+	case "quadrocopter", "quad":
+		sc = nowlater.QuadrocopterBaseline()
+	default:
+		return fmt.Errorf("unknown platform %q", *platform)
+	}
+	if *d0 > 0 {
+		sc.D0M = *d0
+	}
+	if *mdata > 0 {
+		sc.MdataBytes = *mdata * 1e6
+	}
+	if *speed > 0 {
+		sc.SpeedMPS = *speed
+	}
+	if *rho >= 0 {
+		m, err := nowlater.NewFailureModel(*rho)
+		if err != nil {
+			return err
+		}
+		sc.Failure = m
+	}
+	if *throughputCSV != "" {
+		f, err := os.Open(*throughputCSV)
+		if err != nil {
+			return err
+		}
+		tab, err := nowlater.LoadThroughputCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sc.Throughput = tab
+	}
+
+	opt, err := sc.Optimize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scenario: %s  d0=%.0f m  Mdata=%.1f MB  v=%.1f m/s  rho=%.3g /m\n",
+		*platform, sc.D0M, sc.MdataBytes/1e6, sc.SpeedMPS, sc.Failure.Rho)
+	fmt.Fprintf(out, "optimal transmit distance dopt = %.1f m\n", opt.DoptM)
+	fmt.Fprintf(out, "  communication delay  Cdelay(dopt) = %.1f s (ship %.1f s + transmit %.1f s)\n",
+		opt.CommDelay, sc.ShipTime(opt.DoptM), sc.TxTime(opt.DoptM))
+	fmt.Fprintf(out, "  shipping-leg survival δ(dopt)    = %.4f\n", opt.Survival)
+	fmt.Fprintf(out, "  utility U(dopt)                   = %.5f\n", opt.Utility)
+	if opt.TransmitImmediately {
+		fmt.Fprintln(out, "  → transmit immediately: moving closer does not pay")
+	} else {
+		fmt.Fprintf(out, "  → ship %.1f m closer before transmitting (vs %.1f s transmitting now)\n",
+			sc.D0M-opt.DoptM, sc.CommDelay(sc.D0M))
+	}
+
+	if *curve {
+		pts, err := sc.UtilityCurve(96)
+		if err != nil {
+			return err
+		}
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.DM, p.Utility
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, trace.LinePlot("U(d) vs distance (maximum at dopt)",
+			[]trace.Series{{Name: "U(d)", X: xs, Y: ys}}, 64, 12))
+	}
+
+	if *strategies {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "strategy comparison (analytic, paper throughput fit):")
+		pen := nowlater.DefaultSpeedPenalty()
+		rows := [][]string{}
+		for _, st := range []nowlater.Strategy{nowlater.TransmitNow, nowlater.ShipThenTransmit, nowlater.MoveAndTransmit} {
+			o, err := sc.RunStrategy(st, opt.DoptM, pen)
+			if err != nil {
+				return err
+			}
+			comp := fmt.Sprintf("%.1f s", o.CompletionS)
+			if math.IsInf(o.CompletionS, 1) {
+				comp = "never"
+			}
+			rows = append(rows, []string{o.Strategy.String(), fmt.Sprintf("%.0f m", o.TargetDM), comp})
+		}
+		fmt.Fprint(out, trace.Table("", []string{"strategy", "transmit at", "completes in"}, rows))
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with args and returns its stdout.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCLIBaselines(t *testing.T) {
+	out := capture(t, "-platform", "airplane")
+	for _, want := range []string{"dopt", "communication delay", "U(d)", "strategy", "ship"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out = capture(t, "-platform", "quadrocopter", "-curve=false", "-strategies=false")
+	if strings.Contains(out, "U(d) vs distance") {
+		t.Error("curve printed despite -curve=false")
+	}
+}
+
+func TestCLIOverrides(t *testing.T) {
+	out := capture(t, "-platform", "airplane", "-d0", "150", "-mdata", "5", "-speed", "15",
+		"-rho", "0.002", "-curve=false", "-strategies=false")
+	if !strings.Contains(out, "d0=150") || !strings.Contains(out, "Mdata=5.0") {
+		t.Errorf("overrides not applied:\n%s", out)
+	}
+}
+
+func TestCLIHighRhoTransmitsImmediately(t *testing.T) {
+	out := capture(t, "-platform", "airplane", "-rho", "0.05", "-curve=false", "-strategies=false")
+	if !strings.Contains(out, "transmit immediately") {
+		t.Errorf("high rho should transmit immediately:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	f, _ := os.CreateTemp(t.TempDir(), "out")
+	if err := run([]string{"-platform", "zeppelin"}, f); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if err := run([]string{"-rho", "-0.5", "-platform", "airplane"}, f); err != nil {
+		// -rho < 0 means "baseline default", so this must succeed.
+		t.Fatalf("negative rho sentinel rejected: %v", err)
+	}
+	if err := run([]string{"-throughput", "/does/not/exist.csv"}, f); err == nil {
+		t.Fatal("missing throughput file accepted")
+	}
+}
+
+func TestCLIThroughputTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tab.csv")
+	csv := "distance_m,throughput_mbps\n20,25\n60,10\n100,2\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, "-platform", "quadrocopter", "-throughput", path,
+		"-curve=false", "-strategies=false")
+	if !strings.Contains(out, "dopt") {
+		t.Errorf("no decision printed:\n%s", out)
+	}
+}

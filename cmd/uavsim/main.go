@@ -1,0 +1,290 @@
+// Command uavsim runs a full discrete-event search-and-rescue mission on
+// the simulation stack: a quadrocopter scans its sector (lawnmower
+// pattern), reports over the XBee-class telemetry bus, the central planner
+// computes the delayed-gratification rendezvous, and the ferry ships and
+// transmits its imagery to the relay — with a distance-driven failure
+// injector deciding whether it survives the trip.
+//
+// Usage:
+//
+//	uavsim                      # quadrocopter scenario, seed 1
+//	uavsim -seed 7 -rho 2e-3    # riskier world
+//	uavsim -naive               # ignore dopt: transmit as soon as linked
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/planner"
+	"github.com/nowlater/nowlater/internal/sim"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/telemetry"
+	"github.com/nowlater/nowlater/internal/transport"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+func main() {
+	fs := flag.NewFlagSet("uavsim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	rho := fs.Float64("rho", nowlater.QuadrocopterRho, "failure rate per metre")
+	naive := fs.Bool("naive", false, "transmit as soon as the link opens (skip the dopt rendezvous)")
+	verbose := fs.Bool("v", false, "log telemetry traffic")
+	_ = fs.Parse(os.Args[1:])
+
+	if err := run(*seed, *rho, *naive, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "uavsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, rho float64, naive, verbose bool) error {
+	engine := sim.NewEngine()
+	rng := stats.NewRNG(seed)
+	logf := func(format string, args ...any) {
+		fmt.Printf("[%8.2fs] "+format+"\n", append([]any{engine.Now()}, args...)...)
+	}
+
+	// --- Vehicles: the scanning ferry and a hovering relay. -------------
+	plan := nowlater.QuadrocopterSensingPlan()
+	ferryV, err := uav.NewVehicle("ferry", uav.Arducopter(), geo.Vec3{X: 200, Y: 0, Z: plan.AltitudeM})
+	if err != nil {
+		return err
+	}
+	ferry, err := autopilot.New(ferryV)
+	if err != nil {
+		return err
+	}
+	relayV, err := uav.NewVehicle("relay", uav.Arducopter(), geo.Vec3{X: 120, Y: -60, Z: plan.AltitudeM})
+	if err != nil {
+		return err
+	}
+	relay, err := autopilot.New(relayV)
+	if err != nil {
+		return err
+	}
+	relay.Hold(relayV.Position())
+
+	// --- Failure injection (exponential in distance travelled). ---------
+	fm, err := failure.NewModel(rho)
+	if err != nil {
+		return err
+	}
+	injector := failure.NewInjector(fm, rng.Substream(seed, "failure"))
+	logf("mission start: rho=%.3g /m (mean distance to failure %.0f m), sampled failure at odometer %.0f m",
+		rho, fm.MeanDistanceToFailure(), injector.FailAt())
+
+	// --- Telemetry bus + central planner. --------------------------------
+	bus, err := telemetry.NewBus(telemetry.DefaultParams(), engine)
+	if err != nil {
+		return err
+	}
+	sc := nowlater.QuadrocopterBaseline()
+	pl, err := planner.New(planner.Config{
+		Scenario:   sc,
+		LinkRangeM: 150,
+	})
+	if err != nil {
+		return err
+	}
+	gcsNode := &telemetry.Node{
+		ID:       "gcs",
+		Position: func() geo.Vec3 { return geo.Vec3{} },
+		OnStatus: func(st telemetry.Status) {
+			pl.Observe(st)
+			if verbose {
+				logf("gcs <- status %s pos=%s data=%.1fMB", st.From, st.Position, st.DataMB)
+			}
+		},
+	}
+	var ferryWaypoint *telemetry.Waypoint
+	ferryNode := &telemetry.Node{
+		ID:       "ferry",
+		Position: ferryV.Position,
+		OnWaypoint: func(wp telemetry.Waypoint) {
+			ferryWaypoint = &wp
+			if verbose {
+				logf("ferry <- waypoint %s", wp.Target)
+			}
+		},
+	}
+	relayNode := &telemetry.Node{ID: "relay", Position: relayV.Position}
+	for _, n := range []*telemetry.Node{gcsNode, ferryNode, relayNode} {
+		if err := bus.Attach(n); err != nil {
+			return err
+		}
+	}
+
+	// --- Phase 1: scan the sector (abbreviated lawnmower). --------------
+	waypoints := plan.LawnmowerWaypoints(0)
+	if len(waypoints) > 6 {
+		waypoints = waypoints[:6] // a few lanes suffice for the demo
+	}
+	sectorOrigin := geo.Vec3{X: 160, Y: 20}
+	scanDone := false
+	wpIdx := 0
+	var nextLeg func()
+	nextLeg = func() {
+		if wpIdx >= len(waypoints) {
+			scanDone = true
+			return
+		}
+		wp := waypoints[wpIdx]
+		wpIdx++
+		ferry.GoTo(sectorOrigin.Add(geo.Vec3{X: wp[0], Y: wp[1], Z: wp[2]}), 0, nextLeg)
+	}
+	nextLeg()
+
+	mdataMB := plan.DataBytes() / 1e6
+	logf("scanning %vx%v m sector at %v m: %d lanes, Mdata=%.1f MB",
+		plan.Sector.WidthM, plan.Sector.HeightM, plan.AltitudeM, len(waypoints)/2, mdataMB)
+
+	// Control loop: 10 Hz flight + 1 Hz telemetry.
+	const tick = 0.1
+	var controlTick func()
+	lastBeacon := -1.0
+	controlTick = func() {
+		ferry.Step(tick)
+		relay.Step(tick)
+		if injector.Check(ferryV.Odometer()) && !ferryV.Failed() {
+			ferryV.Fail()
+			logf("FAILURE: ferry lost at odometer %.0f m, position %s", ferryV.Odometer(), ferryV.Position())
+			engine.Stop()
+			return
+		}
+		if engine.Now()-lastBeacon >= 1.0 {
+			lastBeacon = engine.Now()
+			_ = bus.SendStatus("ferry", telemetry.Status{
+				Position: ferryV.Position(), Velocity: ferryV.Velocity(),
+				Battery: ferryV.BatteryFraction(),
+				HasData: scanDone, DataMB: mdataMB,
+			})
+			_ = bus.SendStatus("relay", telemetry.Status{Position: relayV.Position(), Battery: relayV.BatteryFraction()})
+		}
+		if _, err := engine.After(tick, controlTick); err != nil {
+			logf("scheduler error: %v", err)
+		}
+	}
+	if _, err := engine.After(tick, controlTick); err != nil {
+		return err
+	}
+
+	// Run until the scan completes.
+	for !scanDone && !ferryV.Failed() {
+		if err := engine.RunUntil(engine.Now() + 5); err != nil {
+			break
+		}
+		if engine.Now() > 3600 {
+			return fmt.Errorf("scan never completed")
+		}
+	}
+	if ferryV.Failed() {
+		logf("mission failed during scanning (%.1f MB undelivered)", mdataMB)
+		return nil
+	}
+	logf("scan complete after %.0f m of flight; battery %.0f%%",
+		ferryV.Odometer(), ferryV.BatteryFraction()*100)
+
+	// --- Phase 2: planner decides the rendezvous. ------------------------
+	if err := engine.RunUntil(engine.Now() + 2); err != nil { // let beacons flow
+		return err
+	}
+	// If the scan ended outside link range, close in until the planner has
+	// a decision to make (the moment the paper calls "coming in
+	// communication range", defining d0).
+	dec, ok, err := pl.PlanDelivery("ferry", "relay")
+	if err != nil {
+		return err
+	}
+	if !ok {
+		logf("outside link range (%.0f m): approaching the relay", ferryV.Position().Dist(relayV.Position()))
+		ferry.GoTo(relayV.Position(), 0, nil)
+		for !ok && !ferryV.Failed() && engine.Now() < 3600 {
+			if err := engine.RunUntil(engine.Now() + 1); err != nil {
+				break
+			}
+			dec, ok, err = pl.PlanDelivery("ferry", "relay")
+			if err != nil {
+				return err
+			}
+		}
+		if ferryV.Failed() {
+			logf("mission failed while approaching the relay")
+			return nil
+		}
+		if !ok {
+			return fmt.Errorf("planner never reached a decision")
+		}
+		ferry.Hold(ferryV.Position())
+	}
+	target := dec.Rendezvous
+	if naive {
+		target = ferryV.Position()
+		logf("naive mode: transmitting from the current position (d=%.0f m)", dec.D0M)
+	} else {
+		logf("planner: d0=%.0f m → dopt=%.0f m (expected Cdelay %.0f s, survival %.3f)",
+			dec.D0M, dec.Optimum.DoptM, dec.Optimum.CommDelay, dec.Optimum.Survival)
+		if err := bus.SendWaypoint("gcs", dec.WaypointFor(ferryV.CruiseSpeedMPS)); err != nil {
+			return err
+		}
+		if err := engine.RunUntil(engine.Now() + 1); err != nil {
+			return err
+		}
+		if ferryWaypoint == nil {
+			return fmt.Errorf("waypoint never arrived over telemetry")
+		}
+		arrived := false
+		ferry.GoTo(ferryWaypoint.Target, ferryWaypoint.SpeedMPS, func() { arrived = true })
+		for !arrived && !ferryV.Failed() {
+			if err := engine.RunUntil(engine.Now() + 1); err != nil {
+				break
+			}
+		}
+		if ferryV.Failed() {
+			logf("mission failed while shipping to the rendezvous")
+			return nil
+		}
+		logf("at rendezvous: distance to relay %.0f m", ferryV.Position().Dist(relayV.Position()))
+	}
+	_ = target
+
+	// --- Phase 3: transmit the batch over the packet-level link. ---------
+	lcfg := nowlater.DefaultLinkConfig()
+	lcfg.Seed = seed
+	lcfg.Label = "uavsim"
+	l, err := nowlater.NewLink(lcfg, nil)
+	if err != nil {
+		return err
+	}
+	l.SetNow(engine.Now())
+	res, err := transport.TransferBatch(l, transport.BatchConfig{
+		Bytes: int(plan.DataBytes()), DeadlineS: 600, Reliable: true,
+	}, func(float64) nowlater.Geometry {
+		return nowlater.Geometry{
+			DistanceM:   ferryV.Position().Dist(relayV.Position()),
+			AltitudeM:   plan.AltitudeM,
+			RelSpeedMPS: ferryV.Velocity().Sub(relayV.Velocity()).Norm(),
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if math.IsInf(res.CompletionS, 1) {
+		logf("transfer did not complete within the deadline (%.1f of %.1f MB)",
+			float64(res.DeliveredBytes)/1e6, mdataMB)
+		return nil
+	}
+	logf("delivered %.1f MB in %.1f s (%.1f Mb/s effective, %.2f MB retransmitted)",
+		float64(res.DeliveredBytes)/1e6, res.CompletionS,
+		float64(res.DeliveredBytes)*8/res.CompletionS/1e6,
+		float64(res.RetransmittedBytes)/1e6)
+	logf("mission complete: total elapsed %.1f s, ferry flew %.0f m, battery %.0f%% left",
+		engine.Now()+res.CompletionS, ferryV.Odometer(), ferryV.BatteryFraction()*100)
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes the mission and returns its stdout log.
+func captureRun(t *testing.T, seed int64, rho float64, naive bool) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(seed, rho, naive, false)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	out := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(out)
+}
+
+func TestMissionCompletesWithoutFailure(t *testing.T) {
+	out := captureRun(t, 1, 0, false)
+	for _, want := range []string{"scan complete", "planner:", "at rendezvous", "mission complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissionNaiveSkipsRendezvous(t *testing.T) {
+	out := captureRun(t, 1, 0, true)
+	if !strings.Contains(out, "naive mode") {
+		t.Errorf("naive marker missing:\n%s", out)
+	}
+	if strings.Contains(out, "at rendezvous") {
+		t.Errorf("naive mission flew a rendezvous:\n%s", out)
+	}
+}
+
+func TestMissionFailureIsReported(t *testing.T) {
+	out := captureRun(t, 5, 2e-3, false)
+	if !strings.Contains(out, "FAILURE") && !strings.Contains(out, "mission failed") {
+		t.Errorf("high-rho mission did not fail:\n%s", out)
+	}
+}

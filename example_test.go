@@ -1,0 +1,55 @@
+package nowlater_test
+
+// Godoc examples: runnable documentation for the main entry points.
+
+import (
+	"fmt"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+// ExampleScenario_Optimize solves the paper's airplane baseline.
+func ExampleScenario_Optimize() {
+	sc := nowlater.AirplaneBaseline()
+	opt, err := sc.Optimize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("transmit at %.0f m (delay %.1f s, survival %.2f)\n",
+		opt.DoptM, opt.CommDelay, opt.Survival)
+	// Output: transmit at 20 m (delay 37.2 s, survival 0.97)
+}
+
+// ExampleScenario_CrossoverMB reproduces the Fig 1 crossover: below this
+// batch size, transmitting immediately at d0 wins.
+func ExampleScenario_CrossoverMB() {
+	sc := nowlater.QuadrocopterBaseline()
+	sc.D0M = 80
+	cross := sc.CrossoverMB(60)
+	fmt.Printf("shipping to 60 m pays off above %.0f MB\n", cross/1e6)
+	// Output: shipping to 60 m pays off above 9 MB
+}
+
+// ExampleSensingPlan shows the camera-geometry derivation of Mdata.
+func ExampleSensingPlan() {
+	plan := nowlater.AirplaneSensingPlan()
+	fmt.Printf("FOV %.0f m, %.0f m2/image, Mdata %.0f MB\n",
+		plan.Camera.FOVMeters(plan.AltitudeM),
+		plan.Camera.ImageAreaM2(plan.AltitudeM),
+		plan.DataBytes()/1e6)
+	// Output: FOV 89 m, 3399 m2/image, Mdata 29 MB
+}
+
+// ExampleLogFitThroughput evaluates the paper's airplane fit.
+func ExampleLogFitThroughput() {
+	s := nowlater.AirplaneFit()
+	fmt.Printf("s(20) = %.1f Mb/s, s(300) = %.1f Mb/s\n", s.Bps(20)/1e6, s.Bps(300)/1e6)
+	// Output: s(20) = 25.0 Mb/s, s(300) = 3.2 Mb/s
+}
+
+// ExampleFailureModel shows the exponential-in-distance survival law.
+func ExampleFailureModel() {
+	m, _ := nowlater.NewFailureModel(nowlater.AirplaneRho)
+	fmt.Printf("survive a 280 m shipping leg: %.3f\n", m.Discount(300, 20))
+	// Output: survive a 280 m shipping leg: 0.969
+}

@@ -1,0 +1,85 @@
+// hazard_planning: the model extensions the paper names as future work —
+// a non-stationary failure field (a storm cell on the approach), speed as
+// an optimization dimension, and the mixed ship-while-transmitting
+// strategy — all through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+func main() {
+	base := nowlater.AirplaneBaseline()
+
+	// --- 1. Non-stationary failure rate --------------------------------
+	clean, err := base.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform risk:      dopt = %5.1f m (survival %.3f)\n", clean.DoptM, clean.Survival)
+
+	// A hazardous band 40–120 m from the receiver (downdrafts near the
+	// ridge the receiver hovers behind, say).
+	hazardous := nowlater.NonStationaryScenario{
+		Scenario: base,
+		Field:    nowlater.HazardZoneRho(nowlater.AirplaneRho, 0.02, 40, 120),
+	}
+	opt, err := hazardous.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hazard at 40–120m: dopt = %5.1f m (survival %.3f) — the optimum retreats\n",
+		opt.DoptM, opt.Survival)
+
+	// A field that worsens with distance from the receiver (storm moving
+	// in from the search area) pulls the optimum inward instead.
+	storm := nowlater.NonStationaryScenario{
+		Scenario: base,
+		Field:    nowlater.LinearRho(nowlater.AirplaneRho, 5e-3, base.D0M),
+	}
+	sOpt, err := storm.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storm inbound:     dopt = %5.1f m (survival %.3f)\n", sOpt.DoptM, sOpt.Survival)
+
+	// --- 2. Speed as a decision variable --------------------------------
+	fmt.Println("\njoint (distance, speed) optimization, risk ∝ (v/10)²:")
+	joint, err := base.OptimizeWithSpeed(3, 14, nowlater.SpeedCost{VRefMPS: 10, Gamma: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fly at %.1f m/s and transmit at %.1f m (delay %.1f s, survival %.3f)\n",
+		joint.VoptMPS, joint.DoptM, joint.Delay, joint.Survival)
+
+	// --- 3. Mixed strategy ----------------------------------------------
+	fmt.Println("\nmixed strategy (transmit while shipping):")
+	pen := nowlater.DefaultSpeedPenalty()
+	mixed, err := base.OptimizeMixed(pen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pure, err := base.RunStrategy(nowlater.ShipThenTransmit, mixed.TargetDM, pen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  pure  ship-then-transmit @ %3.0f m: %.1f s\n", mixed.TargetDM, pure.CompletionS)
+	fmt.Printf("  mixed ship-and-transmit  @ %3.0f m: %.1f s (%.1f MB arrived en route)\n",
+		mixed.TargetDM, mixed.CompletionS, mixed.DeliveredEnRouteMB)
+	fmt.Printf("  → the paper's Section 2.2 intuition: mixing saves %.1f s here\n",
+		pure.CompletionS-mixed.CompletionS)
+
+	// --- 4. Re-positioning cost -----------------------------------------
+	fmt.Println("\nre-positioning cost (the ferry must return to its track):")
+	for _, w := range []float64{0, 0.5, 1} {
+		opt, err := base.OptimizeWithReturn(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  return weight %.1f → dopt %.0f m (return leg %.0f s)\n",
+			w, opt.DoptM, opt.ReturnTimeS)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: solve the paper's airplane baseline — where should a
+// Swinglet carrying 28 MB of imagery transmit when the 802.11n link to the
+// receiver opens at 300 m?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+func main() {
+	sc := nowlater.AirplaneBaseline()
+	opt, err := sc.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Airplane baseline: d0=%.0f m, Mdata=%.1f MB, v=%.0f m/s, rho=%.3g /m\n",
+		sc.D0M, sc.MdataBytes/1e6, sc.SpeedMPS, sc.Failure.Rho)
+	fmt.Printf("→ transmit at dopt = %.1f m\n", opt.DoptM)
+	fmt.Printf("  ship %.1f s + transmit %.1f s = Cdelay %.1f s\n",
+		sc.ShipTime(opt.DoptM), sc.TxTime(opt.DoptM), opt.CommDelay)
+	fmt.Printf("  vs transmitting immediately at 300 m: %.1f s\n", sc.CommDelay(sc.D0M))
+	fmt.Printf("  survival of the shipping leg: %.2f%%\n", opt.Survival*100)
+
+	// How does the decision move when the world gets riskier?
+	for _, rho := range []float64{1e-3, 5e-3, 1e-2} {
+		m, err := nowlater.NewFailureModel(rho)
+		if err != nil {
+			log.Fatal(err)
+		}
+		risky := sc
+		risky.Failure = m
+		o, err := risky.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  at rho=%.3g: dopt = %.0f m (impatience wins as risk grows)\n", rho, o.DoptM)
+	}
+}

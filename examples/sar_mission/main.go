@@ -1,0 +1,69 @@
+// sar_mission: plan a search-and-rescue sensing sortie end to end with the
+// public API — derive the batch size Mdata from the camera geometry and
+// sector assignment, build the delayed-gratification scenario, and compare
+// the three delivery strategies of the paper's Fig. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+func main() {
+	// A quadrocopter scans a 100×100 m sector from 10 m with the paper's
+	// 1280×720, 65°-lens camera.
+	plan := nowlater.QuadrocopterSensingPlan()
+	cam := plan.Camera
+	fmt.Printf("Sensing plan: %gx%g m sector from %g m altitude\n",
+		plan.Sector.WidthM, plan.Sector.HeightM, plan.AltitudeM)
+	fmt.Printf("  camera FOV %.1f m → one image covers %.1f m² (%.2f MB each)\n",
+		cam.FOVMeters(plan.AltitudeM), cam.ImageAreaM2(plan.AltitudeM), cam.ImageBytes()/1e6)
+	fmt.Printf("  %.0f images → Mdata = %.1f MB to deliver\n",
+		math.Ceil(plan.NumImages()), plan.DataBytes()/1e6)
+
+	// The ferry surfaces 100 m from the relay with that batch.
+	sc := nowlater.QuadrocopterBaseline()
+	sc.MdataBytes = plan.DataBytes()
+	opt, err := sc.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDelayed gratification: dopt = %.1f m (U = %.4f, survival %.1f%%)\n",
+		opt.DoptM, opt.Utility, opt.Survival*100)
+
+	fmt.Println("\nStrategy comparison (paper's fitted quadrocopter throughput):")
+	pen := nowlater.DefaultSpeedPenalty()
+	for _, st := range []nowlater.Strategy{
+		nowlater.TransmitNow, nowlater.ShipThenTransmit, nowlater.MoveAndTransmit,
+	} {
+		out, err := sc.RunStrategy(st, opt.DoptM, pen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		completion := fmt.Sprintf("%.1f s", out.CompletionS)
+		if math.IsInf(out.CompletionS, 1) {
+			completion = "never completes"
+		}
+		fmt.Printf("  %-20s transmit at %3.0f m → %s\n", out.Strategy, out.TargetDM, completion)
+	}
+
+	// Time-critical missions also care about how much arrives by a
+	// deadline: sample the winning strategy's delivery curve.
+	out, err := sc.RunStrategy(nowlater.ShipThenTransmit, opt.DoptM, pen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDelivery profile of ship-then-transmit:")
+	for _, deadline := range []float64{10, 20, 30, 45, 60} {
+		var got float64
+		for _, p := range out.Series {
+			if p.TimeS <= deadline {
+				got = p.DeliveredMB
+			}
+		}
+		fmt.Printf("  by %3.0f s: %5.1f MB of %.1f\n", deadline, got, sc.MdataBytes/1e6)
+	}
+}

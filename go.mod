@@ -1,0 +1,3 @@
+module github.com/nowlater/nowlater
+
+go 1.22

@@ -1,0 +1,204 @@
+package nowlater_test
+
+// End-to-end integration tests driving the whole stack through the public
+// facade: missions, model extensions and the measurement→decision loop.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// TestEndToEndMission runs a complete SAR mission through the facade:
+// scan → plan → ship → transfer, with no failures.
+func TestEndToEndMission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission simulation is slow")
+	}
+	cfg := nowlater.DefaultFleetConfig()
+	m, err := nowlater.NewFailureModel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario.Failure = m
+	plan := mission.Plan{
+		Sector:    mission.Sector{WidthM: 30, HeightM: 30},
+		Camera:    mission.DefaultCamera(),
+		AltitudeM: 10,
+	}
+	ms, err := nowlater.NewMission(cfg, []nowlater.UAVSpec{
+		{
+			ID: "scout", Platform: uav.Arducopter(), Role: nowlater.ScoutRole,
+			Start: geo.Vec3{X: 170, Z: 10}, Plan: plan,
+			SectorOrigin: geo.Vec3{X: 160, Y: 10}, MaxScanLanes: 2,
+		},
+		{ID: "base", Platform: uav.Arducopter(), Role: nowlater.RelayRole, Start: geo.Vec3{Z: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ms.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveryRatio() < 0.99 {
+		t.Fatalf("mission delivered %v of the data", rep.DeliveryRatio())
+	}
+	d := rep.Deliveries[0]
+	// The planner shipped the scout closer than where the link opened.
+	if d.DoptM >= d.D0M {
+		t.Fatalf("no rendezvous: dopt %v vs d0 %v", d.DoptM, d.D0M)
+	}
+}
+
+// TestMeasureThenDecideLoop closes the loop the library is built for:
+// probe the packet-level link, fit a table, optimize on it, and check the
+// decision against the direct fitted model.
+func TestMeasureThenDecideLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("link probing is slow")
+	}
+	cfg := nowlater.DefaultLinkConfig()
+	var ds, mbps []float64
+	for _, d := range []float64{20, 40, 60, 80, 100} {
+		xs, err := nowlater.MeasureTrials(cfg, nil,
+			nowlater.Geometry{DistanceM: d, AltitudeM: 10}, 6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+		mbps = append(mbps, stats.MustMedian(xs))
+	}
+	// Round-trip through the CSV format, as linkprobe + the CLI would.
+	var buf bytes.Buffer
+	if err := core.WriteTableThroughputCSV(&buf, ds, mbps); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := nowlater.LoadThroughputCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := nowlater.QuadrocopterBaseline()
+	sc.Throughput = tab
+	opt, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM < nowlater.MinSeparationM || opt.DoptM > sc.D0M {
+		t.Fatalf("dopt = %v", opt.DoptM)
+	}
+	// The measured table is steep (quad link), so the decision should be
+	// to move well inside d0 for the 56 MB batch.
+	if opt.DoptM > 60 {
+		t.Fatalf("measured-table dopt = %v, expected an inward move", opt.DoptM)
+	}
+}
+
+// TestExtensionsThroughFacade exercises the Section 5/7 extensions.
+func TestExtensionsThroughFacade(t *testing.T) {
+	base := nowlater.AirplaneBaseline()
+	// Non-stationary field.
+	ns := nowlater.NonStationaryScenario{
+		Scenario: base,
+		Field:    nowlater.HazardZoneRho(nowlater.AirplaneRho, 0.05, 40, 140),
+	}
+	opt, err := ns.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := base.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM <= clean.DoptM {
+		t.Fatalf("hazard should push the optimum outward: %v vs %v", opt.DoptM, clean.DoptM)
+	}
+	// Joint speed optimization.
+	joint, err := base.OptimizeWithSpeed(3, 14, nowlater.SpeedCost{VRefMPS: 10, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.VoptMPS < 3 || joint.VoptMPS > 14 {
+		t.Fatalf("vopt = %v", joint.VoptMPS)
+	}
+	// Mixed strategy beats silent shipping to the same point.
+	mixed, err := base.OptimizeMixed(nowlater.DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := base.RunStrategy(nowlater.ShipThenTransmit, mixed.TargetDM, nowlater.DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.CompletionS > pure.CompletionS+1e-9 || math.IsInf(mixed.CompletionS, 1) {
+		t.Fatalf("mixed %v vs pure %v", mixed.CompletionS, pure.CompletionS)
+	}
+}
+
+// TestARFThroughFacade: the vendor-style auto-rate is constructible and
+// measurably worse than fixed rates on the fast-fading link.
+func TestARFThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("link measurement is slow")
+	}
+	g := nowlater.Geometry{DistanceM: 60, AltitudeM: 90, RelSpeedMPS: 18}
+	arf, err := nowlater.MeasureTrials(nowlater.DefaultLinkConfig(),
+		func(*nowlater.RNG) nowlater.RatePolicy { return nowlater.NewARF() }, g, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := nowlater.MeasureTrials(nowlater.DefaultLinkConfig(),
+		func(*nowlater.RNG) nowlater.RatePolicy { return nowlater.NewFixedRate(2) }, g, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MustMedian(fixed) <= stats.MustMedian(arf) {
+		t.Fatalf("fixed MCS2 (%v) should beat ARF (%v) under motion",
+			stats.MustMedian(fixed), stats.MustMedian(arf))
+	}
+}
+
+// TestSurfaceMeasureThenMixedStrategy closes the s(d,v) loop: measure the
+// surface on the packet-level link, then run the surface-aware mixed
+// strategy on it.
+func TestSurfaceMeasureThenMixedStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surface measurement is slow")
+	}
+	distances := []float64{20, 50, 80}
+	speeds := []float64{0, 4, 8}
+	grid, err := nowlater.MeasureSurface(nowlater.DefaultLinkConfig(), distances, speeds, 10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, err := nowlater.NewSurfaceThroughput(distances, speeds, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured surface must show both declines: with distance at hover
+	// and with speed at short range.
+	if surf.At(20, 0) <= surf.At(80, 0) {
+		t.Fatalf("no distance decline: %v vs %v", surf.At(20, 0), surf.At(80, 0))
+	}
+	if surf.At(20, 0) <= surf.At(20, 8) {
+		t.Fatalf("no speed decline: %v vs %v", surf.At(20, 0), surf.At(20, 8))
+	}
+	sc := nowlater.QuadrocopterBaseline()
+	sc.D0M = 80
+	sc.MdataBytes = 20e6
+	sc.Throughput = surf
+	out, err := sc.RunMixedStrategySurface(20, surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(out.CompletionS, 1) {
+		t.Fatalf("surface mixed strategy never finished: %+v", out)
+	}
+}

@@ -1,0 +1,210 @@
+// Package autopilot implements the waypoint navigation behaviours the
+// paper's platforms used (Section 3, "UAVs' Waypoints"): fly-to-waypoint
+// legs, station-keeping for quadrocopters, and the ≥20 m-radius circling
+// that fixed-wing airplanes substitute for hovering. The autopilot is a
+// pure velocity controller: given the vehicle's state it emits a commanded
+// velocity; package uav integrates the kinematics.
+package autopilot
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// Mode is what the autopilot is currently doing.
+type Mode int
+
+// Autopilot behaviours.
+const (
+	// Idle commands zero velocity (fixed wings will keep stall speed).
+	Idle Mode = iota
+	// GoTo flies toward the target waypoint at the set speed.
+	GoTo
+	// Hold keeps station at the target: hover for quadrocopters, a circle
+	// of the platform's minimum turn radius for airplanes.
+	Hold
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Idle:
+		return "idle"
+	case GoTo:
+		return "goto"
+	case Hold:
+		return "hold"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ArrivalRadiusM is the distance at which a waypoint counts as reached.
+const ArrivalRadiusM = 3.0
+
+// Autopilot steers one vehicle.
+type Autopilot struct {
+	v      *uav.Vehicle
+	mode   Mode
+	target geo.Vec3
+	speed  float64
+	// arrived latches once the current GoTo target has been reached.
+	arrived bool
+	// onArrive, if set, fires once when a GoTo target is reached.
+	onArrive func()
+}
+
+// New attaches an autopilot to a vehicle.
+func New(v *uav.Vehicle) (*Autopilot, error) {
+	if v == nil {
+		return nil, fmt.Errorf("autopilot: nil vehicle")
+	}
+	return &Autopilot{v: v, mode: Idle}, nil
+}
+
+// Vehicle returns the steered vehicle.
+func (a *Autopilot) Vehicle() *uav.Vehicle { return a.v }
+
+// Mode returns the current behaviour.
+func (a *Autopilot) Mode() Mode { return a.mode }
+
+// Target returns the current waypoint.
+func (a *Autopilot) Target() geo.Vec3 { return a.target }
+
+// Arrived reports whether the last GoTo target has been reached.
+func (a *Autopilot) Arrived() bool { return a.arrived }
+
+// GoTo commands flight to a waypoint at the given speed (0 → cruise).
+// The optional onArrive callback fires once on arrival, after which the
+// autopilot switches to Hold at the waypoint.
+func (a *Autopilot) GoTo(target geo.Vec3, speed float64, onArrive func()) {
+	if speed <= 0 {
+		speed = a.v.CruiseSpeedMPS
+	}
+	a.mode = GoTo
+	a.target = target
+	a.speed = speed
+	a.arrived = false
+	a.onArrive = onArrive
+}
+
+// Hold commands station-keeping at a point.
+func (a *Autopilot) Hold(target geo.Vec3) {
+	a.mode = Hold
+	a.target = target
+	a.speed = a.v.CruiseSpeedMPS
+	a.arrived = true
+}
+
+// Idle commands zero velocity.
+func (a *Autopilot) SetIdle() {
+	a.mode = Idle
+	a.arrived = false
+}
+
+// Step computes the velocity command for this tick and advances the
+// vehicle by dt.
+func (a *Autopilot) Step(dt float64) {
+	a.v.Step(dt, a.command())
+}
+
+// command computes the desired velocity for the current mode.
+func (a *Autopilot) command() geo.Vec3 {
+	switch a.mode {
+	case GoTo:
+		return a.goToCommand()
+	case Hold:
+		return a.holdCommand()
+	default:
+		return geo.Vec3{}
+	}
+}
+
+func (a *Autopilot) goToCommand() geo.Vec3 {
+	sep := a.target.Sub(a.v.Position())
+	dist := sep.Norm()
+	if dist <= ArrivalRadiusM {
+		if !a.arrived {
+			a.arrived = true
+			// Default post-arrival behaviour is station keeping; the
+			// callback may override it (e.g. issue the next leg), so set
+			// the mode before firing and re-dispatch afterwards.
+			a.mode = Hold
+			if a.onArrive != nil {
+				cb := a.onArrive
+				a.onArrive = nil
+				cb()
+			}
+			return a.command()
+		}
+		a.mode = Hold
+		return a.holdCommand()
+	}
+	speed := a.speed
+	if a.v.CanHover {
+		// Decelerate on approach so quads do not overshoot.
+		if brake := math.Sqrt(2 * a.v.AccelMPS2 * dist); brake < speed {
+			speed = brake
+		}
+	}
+	return sep.Unit().Scale(speed)
+}
+
+// holdCommand keeps station: hover in place for rotorcraft, orbit the
+// target at minimum turn radius for fixed wings (the paper's airplanes
+// "circle with a radius of at least 20 m").
+func (a *Autopilot) holdCommand() geo.Vec3 {
+	if a.v.CanHover {
+		sep := a.target.Sub(a.v.Position())
+		if d := sep.Norm(); d > ArrivalRadiusM {
+			speed := math.Min(a.v.CruiseSpeedMPS, math.Sqrt(2*a.v.AccelMPS2*d))
+			return sep.Unit().Scale(speed)
+		}
+		return geo.Vec3{}
+	}
+	return a.orbitCommand()
+}
+
+// orbitCommand steers a fixed wing around the hold target.
+func (a *Autopilot) orbitCommand() geo.Vec3 {
+	r := a.v.MinTurnRadiusM
+	if r <= 0 {
+		r = 20
+	}
+	pos := a.v.Position()
+	sep := pos.Sub(a.target)
+	sep.Z = 0
+	d := sep.Norm()
+	// Altitude hold toward the target's altitude.
+	climb := (a.target.Z - pos.Z)
+	if climb > 2 {
+		climb = 2
+	}
+	if climb < -2 {
+		climb = -2
+	}
+	speed := math.Max(a.v.StallSpeedMPS, a.v.CruiseSpeedMPS)
+	if d < 1e-6 {
+		// On top of the waypoint: fly straight out to pick up the ring.
+		out := geo.FromHeadingXY(0).Scale(speed)
+		out.Z = climb
+		return out
+	}
+	radial := sep.Unit()
+	tangent := geo.Vec3{X: -radial.Y, Y: radial.X}
+	// Blend tangential orbit with a radial correction toward the ring.
+	radialErr := (d - r) / r
+	if radialErr > 1 {
+		radialErr = 1
+	}
+	if radialErr < -1 {
+		radialErr = -1
+	}
+	dir := tangent.Sub(radial.Scale(radialErr)).Unit()
+	cmd := dir.Scale(speed)
+	cmd.Z = climb
+	return cmd
+}

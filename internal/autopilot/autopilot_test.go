@@ -1,0 +1,193 @@
+package autopilot
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+func newQuad(t *testing.T, pos geo.Vec3) *Autopilot {
+	t.Helper()
+	v, err := uav.NewVehicle("q", uav.Arducopter(), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func newPlane(t *testing.T, pos geo.Vec3) *Autopilot {
+	t.Helper()
+	v, err := uav.NewVehicle("a", uav.Swinglet(), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewNilVehicle(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil vehicle accepted")
+	}
+}
+
+func TestQuadReachesWaypoint(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	target := geo.Vec3{X: 60, Y: 30, Z: 10}
+	fired := false
+	a.GoTo(target, 0, func() { fired = true })
+	if a.Mode() != GoTo || a.Arrived() {
+		t.Fatal("GoTo state wrong")
+	}
+	for i := 0; i < 600 && !a.Arrived(); i++ {
+		a.Step(0.1)
+	}
+	if !a.Arrived() || !fired {
+		t.Fatalf("never arrived (dist %v)", a.Vehicle().Position().Dist(target))
+	}
+	// Quad then station-keeps: run on and verify it stays put.
+	for i := 0; i < 200; i++ {
+		a.Step(0.1)
+	}
+	if d := a.Vehicle().Position().Dist(target); d > ArrivalRadiusM+1 {
+		t.Fatalf("quad wandered %v m from hold point", d)
+	}
+	if a.Vehicle().Speed() > 0.5 {
+		t.Fatalf("quad not hovering: %v m/s", a.Vehicle().Speed())
+	}
+}
+
+func TestArrivalCallbackFiresOnce(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	count := 0
+	a.GoTo(geo.Vec3{X: 10, Z: 10}, 0, func() { count++ })
+	for i := 0; i < 400; i++ {
+		a.Step(0.1)
+	}
+	if count != 1 {
+		t.Fatalf("onArrive fired %d times", count)
+	}
+}
+
+func TestQuadApproachSpeedIsCruise(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	a.GoTo(geo.Vec3{X: 200, Z: 10}, 0, nil)
+	for i := 0; i < 100; i++ {
+		a.Step(0.1)
+	}
+	if s := a.Vehicle().Speed(); math.Abs(s-uav.Arducopter().CruiseSpeedMPS) > 0.2 {
+		t.Fatalf("cruise speed = %v", s)
+	}
+	// Custom speed is honoured.
+	b := newQuad(t, geo.Vec3{Z: 10})
+	b.GoTo(geo.Vec3{X: 200, Z: 10}, 8, nil)
+	for i := 0; i < 100; i++ {
+		b.Step(0.1)
+	}
+	if s := b.Vehicle().Speed(); math.Abs(s-8) > 0.2 {
+		t.Fatalf("commanded speed = %v", s)
+	}
+}
+
+func TestAirplaneCirclesHoldPoint(t *testing.T) {
+	a := newPlane(t, geo.Vec3{X: -200, Z: 90})
+	hold := geo.Vec3{X: 0, Y: 0, Z: 90}
+	a.Hold(hold)
+	// Let the orbit settle, then check the radius stays near the minimum
+	// turn radius and the plane keeps moving.
+	for i := 0; i < 600; i++ {
+		a.Step(0.1)
+	}
+	var minD, maxD = math.Inf(1), 0.0
+	var minSpeed = math.Inf(1)
+	for i := 0; i < 600; i++ {
+		a.Step(0.1)
+		p := a.Vehicle().Position()
+		d := math.Hypot(p.X-hold.X, p.Y-hold.Y)
+		minD = math.Min(minD, d)
+		maxD = math.Max(maxD, d)
+		minSpeed = math.Min(minSpeed, a.Vehicle().Speed())
+	}
+	r := uav.Swinglet().MinTurnRadiusM
+	if minD < r*0.5 || maxD > r*2.5 {
+		t.Fatalf("orbit radius drifted: [%v, %v], want ≈%v", minD, maxD, r)
+	}
+	if minSpeed < uav.Swinglet().StallSpeedMPS-0.1 {
+		t.Fatalf("airplane slowed to %v while holding", minSpeed)
+	}
+}
+
+func TestAirplaneOrbitHoldsAltitude(t *testing.T) {
+	a := newPlane(t, geo.Vec3{X: -100, Z: 60})
+	a.Hold(geo.Vec3{Z: 90})
+	for i := 0; i < 2000; i++ {
+		a.Step(0.1)
+	}
+	if z := a.Vehicle().Position().Z; math.Abs(z-90) > 5 {
+		t.Fatalf("altitude = %v, want ≈90", z)
+	}
+}
+
+func TestAirplaneFliesBetweenWaypoints(t *testing.T) {
+	// The Fig 4(a) pattern: two waypoints 300 m apart; the plane commutes.
+	a := newPlane(t, geo.Vec3{X: 0, Z: 80})
+	wpA := geo.Vec3{X: 0, Y: 0, Z: 80}
+	wpB := geo.Vec3{X: 300, Y: 0, Z: 80}
+	legs := 0
+	var fly func()
+	fly = func() {
+		legs++
+		if legs%2 == 1 {
+			a.GoTo(wpB, 0, fly)
+		} else {
+			a.GoTo(wpA, 0, fly)
+		}
+	}
+	fly()
+	for i := 0; i < 3000; i++ {
+		a.Step(0.1)
+	}
+	if legs < 3 {
+		t.Fatalf("completed only %d legs in 300 s", legs)
+	}
+}
+
+func TestIdleQuadStops(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	a.GoTo(geo.Vec3{X: 100, Z: 10}, 0, nil)
+	for i := 0; i < 50; i++ {
+		a.Step(0.1)
+	}
+	a.SetIdle()
+	if a.Mode() != Idle {
+		t.Fatal("mode not idle")
+	}
+	for i := 0; i < 100; i++ {
+		a.Step(0.1)
+	}
+	if a.Vehicle().Speed() > 0.1 {
+		t.Fatalf("idle quad still moving at %v", a.Vehicle().Speed())
+	}
+}
+
+func TestHoldQuadReturnsWhenDisplaced(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	hold := geo.Vec3{Z: 10}
+	a.Hold(hold)
+	a.Vehicle().Teleport(geo.Vec3{X: 30, Z: 10})
+	for i := 0; i < 400; i++ {
+		a.Step(0.1)
+	}
+	if d := a.Vehicle().Position().Dist(hold); d > ArrivalRadiusM+1 {
+		t.Fatalf("quad did not return to hold point: %v m away", d)
+	}
+}

@@ -1,0 +1,348 @@
+// Package channel models the aerial line-of-sight wireless channel between
+// two small UAVs at 5 GHz, the substrate under every throughput figure of
+// the paper (Figs 1, 5, 6, 7).
+//
+// The paper assumes LoS links so Euclidean distance governs signal quality
+// (Section 5). What it measures on top of that assumption is a channel that
+// is markedly *worse* than an indoor 802.11n link: planar antennas on a
+// banking airframe produce orientation losses, and relative motion turns a
+// calm Rician channel into a rapidly-fading one that defeats PHY auto-rate
+// (Sections 3.1–3.2). The model therefore has three parts:
+//
+//   - deterministic log-distance path loss (free-space-like exponent);
+//   - a slowly varying antenna-orientation loss process whose variance and
+//     rate grow with the platform's attitude dynamics (i.e. with speed);
+//   - Rician small-scale fading whose K-factor falls with relative speed
+//     (attitude jitter breaks the dominant path) and with distance (grazing
+//     ground scatter adds diffuse energy far out).
+//
+// All losses are in dB; the channel's product is the instantaneous SNR seen
+// by one frame transmission.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Params configures the aerial channel. The zero value is not usable; start
+// from DefaultParams (calibrated against the paper's Figs 5 and 7) and
+// override as needed.
+type Params struct {
+	// TxPowerDBm is the transmit power at the antenna port.
+	TxPowerDBm float64
+	// AntennaGainDBi is the best-case combined antenna gain of both ends.
+	AntennaGainDBi float64
+	// IntegrationLossDB lumps the airframe-integration penalties the paper
+	// observed: near-field coupling with the fuselage, cable and connector
+	// loss on the USB adapter, and the ground-plane the planar antennas
+	// lack. It is the main calibration constant that separates the aerial
+	// link budget from a clean indoor one.
+	IntegrationLossDB float64
+	// FrequencyHz is the carrier frequency (channel 40 → 5.2 GHz).
+	FrequencyHz float64
+	// PathLossExponent is the log-distance exponent (2 = free space).
+	PathLossExponent float64
+	// ReferenceDistanceM anchors the log-distance model (free-space loss is
+	// used up to this distance).
+	ReferenceDistanceM float64
+	// NoiseFigureDB is the receiver noise figure.
+	NoiseFigureDB float64
+	// BandwidthHz is the receiver bandwidth (40 MHz channel bonding).
+	BandwidthHz float64
+
+	// OrientBaseDB / OrientSpeedDB control the mean antenna-orientation
+	// loss: mean = OrientBaseDB + OrientSpeedDB·(1 − e^{−v/OrientSpeedScale}).
+	// A hovering quadrocopter holds attitude (small loss); a moving
+	// airframe swings its antenna pattern through nulls, but the effect
+	// saturates: at cruise the attitude envelope is already fully
+	// exercised, so 20 m/s is not much worse than 10 m/s.
+	OrientBaseDB        float64
+	OrientSpeedDB       float64
+	OrientSpeedScaleMPS float64
+	// OrientSigmaDB is the standard deviation of the orientation-loss
+	// process around its mean.
+	OrientSigmaDB float64
+	// OrientRateHz is the rate at which the orientation process decorrelates
+	// at 10 m/s relative speed; it scales linearly with speed and has a
+	// floor for the hovering case (attitude jitter never fully stops).
+	OrientRateHz float64
+
+	// KRefDB is the Rician K-factor (dB) of a hovering link at the
+	// reference distance. KSpeedSlopeDB reduces K per m/s of relative
+	// speed; KDistSlopeDB reduces K per octave of distance.
+	KRefDB        float64
+	KSpeedSlopeDB float64
+	KDistSlopeDB  float64
+	// KFloorDB is the minimum K-factor (diffuse-only channel ≈ Rayleigh).
+	KFloorDB float64
+
+	// TwoRay switches the large-scale model from the calibrated
+	// log-distance law to an explicit two-ray ground-reflection model
+	// (direct plus ground-bounced path interfering by phase). Below the
+	// breakpoint the interference pattern oscillates around free space —
+	// the physical grounding for the fitted sub-2 exponents of the
+	// default model. GroundReflectionCoeff is the reflection magnitude
+	// (grass ≈ 0.6–0.9 at grazing incidence).
+	TwoRay                bool
+	GroundReflectionCoeff float64
+
+	// GroundProximityDB adds extra loss per octave of distance when the
+	// link flies below GroundProximityAltM (the quadrocopter tests at 10 m
+	// altitude see steeper decay than the airplanes at 80–100 m, Fig 7 vs
+	// Fig 5). GroundProximityConstDB is the distance-independent part of
+	// the same effect (Fresnel-zone obstruction by ground clutter).
+	GroundProximityDB      float64
+	GroundProximityConstDB float64
+	GroundProximityAltM    float64
+}
+
+// DefaultParams returns the calibrated aerial channel parameters. The
+// calibration targets are the paper's fitted medians:
+// s_airplane(d) = −5.56·log2(d) + 49 Mb/s and
+// s_quadrocopter(d) = −10.5·log2(d) + 73 Mb/s
+// (see the calibration tests in package link).
+func DefaultParams() Params {
+	return Params{
+		// A USB 802.11n adapter at 40 MHz transmits ~12 dBm per chain, and
+		// its integrated planar antennas show no net gain once strapped to
+		// an airframe.
+		TxPowerDBm:        12,
+		AntennaGainDBi:    0,
+		IntegrationLossDB: 15,
+		FrequencyHz:       5.2e9,
+		// Below the two-ray breakpoint (4·h1·h2/λ ≈ hundreds of km at these
+		// altitudes) the ground reflection rides constructively often
+		// enough that fitted exponents fall below free space.
+		PathLossExponent:       1.5,
+		ReferenceDistanceM:     1,
+		NoiseFigureDB:          6,
+		BandwidthHz:            40e6,
+		OrientBaseDB:           2,
+		OrientSpeedDB:          7,
+		OrientSpeedScaleMPS:    6,
+		OrientSigmaDB:          6,
+		OrientRateHz:           8,
+		KRefDB:                 12,
+		KSpeedSlopeDB:          1.5,
+		KDistSlopeDB:           1.5,
+		KFloorDB:               -2,
+		GroundProximityDB:      0,
+		GroundProximityConstDB: 15,
+		GroundProximityAltM:    20,
+	}
+}
+
+// Validate reports the first implausible parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.FrequencyHz <= 0:
+		return fmt.Errorf("channel: frequency %v must be positive", p.FrequencyHz)
+	case p.BandwidthHz <= 0:
+		return fmt.Errorf("channel: bandwidth %v must be positive", p.BandwidthHz)
+	case p.PathLossExponent < 1.5 || p.PathLossExponent > 6:
+		return fmt.Errorf("channel: path loss exponent %v outside [1.5, 6]", p.PathLossExponent)
+	case p.ReferenceDistanceM <= 0:
+		return fmt.Errorf("channel: reference distance %v must be positive", p.ReferenceDistanceM)
+	}
+	return nil
+}
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// FreeSpacePathLossDB returns the Friis free-space loss at distance d.
+func FreeSpacePathLossDB(d, freqHz float64) float64 {
+	if d <= 0 {
+		d = 1e-3
+	}
+	lambda := SpeedOfLight / freqHz
+	return 20 * math.Log10(4*math.Pi*d/lambda)
+}
+
+// NoiseFloorDBm returns kTB thermal noise plus the noise figure.
+func NoiseFloorDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return -174 + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}
+
+// Channel is a stateful sampled aerial channel between two endpoints. It is
+// not safe for concurrent use; the simulator drives it from one goroutine.
+type Channel struct {
+	p          Params
+	rng        *stats.RNG
+	noiseDBm   float64
+	refLossDB  float64
+	orientDB   float64 // current orientation-loss process value (dB)
+	lastSample float64 // sim time of the previous sample
+	started    bool
+}
+
+// New builds a channel from params with its own random substream.
+func New(p Params, rng *stats.RNG) (*Channel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Channel{
+		p:         p,
+		rng:       rng,
+		noiseDBm:  NoiseFloorDBm(p.BandwidthHz, p.NoiseFigureDB),
+		refLossDB: FreeSpacePathLossDB(p.ReferenceDistanceM, p.FrequencyHz),
+	}
+	return c, nil
+}
+
+// Params returns the channel's configuration.
+func (c *Channel) Params() Params { return c.p }
+
+// NoiseFloorDBm returns the receiver noise floor.
+func (c *Channel) NoiseFloorDBm() float64 { return c.noiseDBm }
+
+// PathLossDB returns the deterministic loss at distance d for a link flying
+// at altitude alt (metres AGL; low links pay the ground-proximity term).
+func (c *Channel) PathLossDB(d, alt float64) float64 {
+	if d < c.p.ReferenceDistanceM {
+		d = c.p.ReferenceDistanceM
+	}
+	if c.p.TwoRay {
+		return c.twoRayPathLossDB(d, alt)
+	}
+	pl := c.refLossDB + 10*c.p.PathLossExponent*math.Log10(d/c.p.ReferenceDistanceM)
+	if alt > 0 && alt < c.p.GroundProximityAltM {
+		// Grazing ground interaction: a constant Fresnel-obstruction term
+		// plus extra decay per octave, both weighted by how far below the
+		// proximity altitude the link flies.
+		w := 1 - alt/c.p.GroundProximityAltM
+		pl += w * c.p.GroundProximityConstDB
+		pl += w * c.p.GroundProximityDB * math.Log2(math.Max(1, d/c.p.ReferenceDistanceM))
+	}
+	return pl
+}
+
+// twoRayPathLossDB is the textbook two-ray model with equal terminal
+// heights h = alt: the direct ray and a ground reflection with coefficient
+// Γ interfere according to their path-length difference.
+func (c *Channel) twoRayPathLossDB(d, alt float64) float64 {
+	if alt <= 0 {
+		alt = 1
+	}
+	lambda := SpeedOfLight / c.p.FrequencyHz
+	direct := d
+	reflected := math.Sqrt(d*d + 4*alt*alt)
+	gamma := c.p.GroundReflectionCoeff
+	if gamma == 0 {
+		gamma = 0.7
+	}
+	dPhi := 2 * math.Pi * (reflected - direct) / lambda
+	// Complex field sum: 1/direct + Γ·e^{jφ}·(−1)/reflected (grazing
+	// reflection flips phase).
+	re := 1/direct - gamma*math.Cos(dPhi)/reflected
+	im := -gamma * math.Sin(dPhi) / reflected
+	amp := math.Hypot(re, im) * lambda / (4 * math.Pi)
+	if amp <= 0 {
+		amp = 1e-12
+	}
+	return -20 * math.Log10(amp)
+}
+
+// MeanSNRDB returns the large-scale mean SNR at distance d, altitude alt and
+// relative speed v: the link budget with the mean orientation loss but no
+// fading. This is the quantity the deterministic strategy analysis needs.
+func (c *Channel) MeanSNRDB(d, alt, v float64) float64 {
+	rx := c.p.TxPowerDBm + c.p.AntennaGainDBi - c.p.IntegrationLossDB - c.PathLossDB(d, alt)
+	rx -= c.meanOrientDB(v)
+	return rx - c.noiseDBm
+}
+
+func (c *Channel) meanOrientDB(v float64) float64 {
+	scale := c.p.OrientSpeedScaleMPS
+	if scale <= 0 {
+		scale = 6
+	}
+	return c.p.OrientBaseDB + c.p.OrientSpeedDB*(1-math.Exp(-v/scale))
+}
+
+// KFactorDB returns the Rician K-factor at distance d and relative speed v.
+func (c *Channel) KFactorDB(d, v float64) float64 {
+	k := c.p.KRefDB - c.p.KSpeedSlopeDB*v - c.p.KDistSlopeDB*math.Log2(math.Max(1, d/20))
+	if k < c.p.KFloorDB {
+		k = c.p.KFloorDB
+	}
+	return k
+}
+
+// Sample draws the instantaneous SNR (dB) for one frame sent at simulation
+// time now, with the endpoints separated by d metres at altitude alt and
+// closing at relative speed v. Successive samples are correlated through
+// the orientation-loss process; fast Rician fading is drawn per sample
+// (frame times exceed the fade coherence time once the platforms move).
+type Sample struct {
+	SNRDB      float64
+	PathLossDB float64
+	OrientDB   float64
+	FadeDB     float64
+	KFactorDB  float64
+}
+
+// Sample advances the channel to time now and draws one SNR sample.
+func (c *Channel) Sample(now, d, alt, v float64) Sample {
+	c.advanceOrientation(now, v)
+	kDB := c.KFactorDB(d, v)
+	fade := c.ricianFadeDB(kDB)
+	pl := c.PathLossDB(d, alt)
+	rx := c.p.TxPowerDBm + c.p.AntennaGainDBi - c.p.IntegrationLossDB - pl - c.orientDB + fade
+	return Sample{
+		SNRDB:      rx - c.noiseDBm,
+		PathLossDB: pl,
+		OrientDB:   c.orientDB,
+		FadeDB:     fade,
+		KFactorDB:  kDB,
+	}
+}
+
+// advanceOrientation evolves the orientation-loss Ornstein–Uhlenbeck
+// process: mean-reverting in dB with speed-dependent mean and rate.
+func (c *Channel) advanceOrientation(now, v float64) {
+	mean := c.meanOrientDB(v)
+	// Attitude dynamics widen the swing: faster platforms bank harder.
+	sigma := c.p.OrientSigmaDB * (1 + v/60)
+	if !c.started {
+		c.started = true
+		c.lastSample = now
+		c.orientDB = c.rng.Normal(mean, sigma)
+		return
+	}
+	dt := now - c.lastSample
+	if dt < 0 {
+		dt = 0
+	}
+	c.lastSample = now
+	// Decorrelation rate grows with speed; hovering keeps a slow floor.
+	rate := c.p.OrientRateHz * (0.25 + v/10)
+	a := math.Exp(-rate * dt)
+	noise := sigma * math.Sqrt(math.Max(0, 1-a*a))
+	// The process is a loss relative to boresight alignment, so negative
+	// excursions (better than the mean pose) are allowed but bounded by
+	// perfect alignment at −mean relative to it, i.e. an absolute gain of
+	// at most the configured antenna gain — approximated by the mean.
+	c.orientDB = mean + a*(c.orientDB-mean) + c.rng.Normal(0, noise)
+	if c.orientDB < -mean {
+		c.orientDB = -mean
+	}
+}
+
+// ricianFadeDB draws a power fade in dB (0 dB = mean power) from a Rician
+// envelope with the given K-factor.
+func (c *Channel) ricianFadeDB(kDB float64) float64 {
+	k := math.Pow(10, kDB/10)
+	// Total mean power normalized to 1: LoS power k/(k+1), scatter 1/(k+1).
+	nu := math.Sqrt(k / (k + 1))
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	env := c.rng.Rician(nu, sigma)
+	pw := env * env
+	if pw < 1e-9 {
+		pw = 1e-9
+	}
+	return 10 * math.Log10(pw)
+}

@@ -1,0 +1,265 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func newTestChannel(t *testing.T) *Channel {
+	t.Helper()
+	c, err := New(DefaultParams(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.FrequencyHz = 0 },
+		func(p *Params) { p.BandwidthHz = -1 },
+		func(p *Params) { p.PathLossExponent = 0.5 },
+		func(p *Params) { p.PathLossExponent = 9 },
+		func(p *Params) { p.ReferenceDistanceM = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+		if _, err := New(p, stats.NewRNG(1)); err == nil {
+			t.Errorf("case %d: New accepted invalid params", i)
+		}
+	}
+}
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	// Canonical figure: ~46.7 dB at 1 m, 5.2 GHz.
+	got := FreeSpacePathLossDB(1, 5.2e9)
+	if math.Abs(got-46.7) > 0.3 {
+		t.Fatalf("FSPL(1m, 5.2GHz) = %v, want ≈46.7", got)
+	}
+	// +6 dB per distance doubling.
+	if d := FreeSpacePathLossDB(2, 5.2e9) - got; math.Abs(d-6.02) > 0.01 {
+		t.Fatalf("doubling adds %v dB, want ≈6.02", d)
+	}
+	// Non-positive distance is clamped, not NaN.
+	if v := FreeSpacePathLossDB(0, 5.2e9); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("FSPL(0) = %v", v)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// −174 + 10·log10(40e6) + 6 ≈ −91.98 dBm.
+	got := NoiseFloorDBm(40e6, 6)
+	if math.Abs(got+91.98) > 0.05 {
+		t.Fatalf("noise floor = %v, want ≈ −91.98", got)
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	c := newTestChannel(t)
+	prev := -math.Inf(1)
+	for d := 10.0; d <= 400; d += 10 {
+		pl := c.PathLossDB(d, 80)
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %v m: %v <= %v", d, pl, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestGroundProximityAddsLoss(t *testing.T) {
+	c := newTestChannel(t)
+	lo := c.PathLossDB(80, 10) // quadrocopter altitude
+	hi := c.PathLossDB(80, 90) // airplane altitude
+	if lo <= hi {
+		t.Fatalf("low-altitude link should see more loss: %v vs %v", lo, hi)
+	}
+	// The per-octave term (used by the ablation benchmarks) steepens the
+	// low-altitude decay when enabled.
+	p := DefaultParams()
+	p.GroundProximityDB = 3
+	cs, err := New(p, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapNear := cs.PathLossDB(20, 10) - cs.PathLossDB(20, 90)
+	gapFar := cs.PathLossDB(80, 10) - cs.PathLossDB(80, 90)
+	if gapFar <= gapNear {
+		t.Fatalf("per-octave ground penalty should grow with distance: near %v, far %v", gapNear, gapFar)
+	}
+}
+
+func TestMeanSNRDecreasesWithDistanceAndSpeed(t *testing.T) {
+	c := newTestChannel(t)
+	if a, b := c.MeanSNRDB(20, 80, 0), c.MeanSNRDB(80, 80, 0); a <= b {
+		t.Fatalf("SNR should fall with distance: %v <= %v", a, b)
+	}
+	if a, b := c.MeanSNRDB(60, 80, 0), c.MeanSNRDB(60, 80, 15); a <= b {
+		t.Fatalf("SNR should fall with speed: %v <= %v", a, b)
+	}
+}
+
+func TestMeanSNRCalibrationAnchors(t *testing.T) {
+	// The MCS ladder spans roughly 2–25 dB. For the paper's throughput
+	// medians to come out right the hovering link must sit near the top of
+	// the ladder at 20 m and near the bottom at 300+ m.
+	c := newTestChannel(t)
+	at20 := c.MeanSNRDB(20, 80, 0)
+	if at20 < 14 || at20 > 28 {
+		t.Fatalf("mean SNR at 20 m = %v, want within [14, 28]", at20)
+	}
+	at320 := c.MeanSNRDB(320, 80, 0)
+	if at320 < -2 || at320 > 8 {
+		t.Fatalf("mean SNR at 320 m = %v, want within [−2, 8]", at320)
+	}
+}
+
+func TestKFactorBehaviour(t *testing.T) {
+	c := newTestChannel(t)
+	if kh, km := c.KFactorDB(40, 0), c.KFactorDB(40, 8); kh <= km {
+		t.Fatalf("K should fall with speed: hover %v, moving %v", kh, km)
+	}
+	if kn, kf := c.KFactorDB(20, 0), c.KFactorDB(320, 0); kn <= kf {
+		t.Fatalf("K should fall with distance: near %v, far %v", kn, kf)
+	}
+	if k := c.KFactorDB(5000, 30); k < DefaultParams().KFloorDB {
+		t.Fatalf("K below floor: %v", k)
+	}
+}
+
+func TestSampleMeanTracksLinkBudget(t *testing.T) {
+	c := newTestChannel(t)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		s := c.Sample(float64(i)*0.002, 60, 80, 0)
+		sum += s.SNRDB
+	}
+	mean := sum / n
+	want := c.MeanSNRDB(60, 80, 0)
+	// Fading is zero-mean in power, slightly negative-mean in dB (Jensen),
+	// so allow a small downward bias.
+	if mean > want+1 || mean < want-4 {
+		t.Fatalf("sampled mean SNR %v, link budget %v", mean, want)
+	}
+}
+
+func TestSampleVarianceGrowsWithSpeed(t *testing.T) {
+	varAt := func(v float64) float64 {
+		c, err := New(DefaultParams(), stats.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]float64, 4000)
+		for i := range xs {
+			xs[i] = c.Sample(float64(i)*0.002, 60, 80, v).SNRDB
+		}
+		return stats.Variance(xs)
+	}
+	hover, moving := varAt(0), varAt(15)
+	if moving <= hover {
+		t.Fatalf("SNR variance should grow with speed: hover %v, moving %v", hover, moving)
+	}
+}
+
+func TestSampleFieldsConsistent(t *testing.T) {
+	c := newTestChannel(t)
+	s := c.Sample(0, 100, 80, 5)
+	p := c.Params()
+	reconstructed := p.TxPowerDBm + p.AntennaGainDBi - p.IntegrationLossDB -
+		s.PathLossDB - s.OrientDB + s.FadeDB - c.NoiseFloorDBm()
+	if math.Abs(reconstructed-s.SNRDB) > 1e-9 {
+		t.Fatalf("sample fields inconsistent: %v vs %v", reconstructed, s.SNRDB)
+	}
+}
+
+func TestOrientationCorrelationDecaysFasterWhenMoving(t *testing.T) {
+	// Lag-1 autocorrelation of the orientation process at a 10 ms sampling
+	// interval should be higher while hovering than at speed.
+	corrAt := func(v float64) float64 {
+		c, err := New(DefaultParams(), stats.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 8000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = c.Sample(float64(i)*0.01, 60, 80, v).OrientDB
+		}
+		m := stats.Mean(xs)
+		var num, den float64
+		for i := 1; i < n; i++ {
+			num += (xs[i] - m) * (xs[i-1] - m)
+		}
+		for _, x := range xs {
+			den += (x - m) * (x - m)
+		}
+		return num / den
+	}
+	if ch, cm := corrAt(0), corrAt(20); ch <= cm {
+		t.Fatalf("orientation correlation should decay with speed: hover %v, moving %v", ch, cm)
+	}
+}
+
+// Property: samples never produce NaN/Inf SNR for any plausible geometry.
+func TestSampleFiniteProperty(t *testing.T) {
+	c := newTestChannel(t)
+	i := 0
+	f := func(dRaw, altRaw, vRaw uint16) bool {
+		i++
+		d := 1 + float64(dRaw%1000)
+		alt := float64(altRaw % 300)
+		v := float64(vRaw % 30)
+		s := c.Sample(float64(i)*0.01, d, alt, v)
+		return !math.IsNaN(s.SNRDB) && !math.IsInf(s.SNRDB, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoRayModel(t *testing.T) {
+	p := DefaultParams()
+	p.TwoRay = true
+	p.GroundReflectionCoeff = 0.7
+	c, err := New(p, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At these geometries the two-ray loss stays within ±10 dB of free
+	// space (constructive/destructive ripples around it).
+	for _, d := range []float64{20, 50, 100, 200, 320} {
+		tr := c.PathLossDB(d, 80)
+		fs := FreeSpacePathLossDB(d, p.FrequencyHz)
+		if math.Abs(tr-fs) > 10 {
+			t.Fatalf("two-ray at %v m = %v dB, free space %v dB", d, tr, fs)
+		}
+	}
+	// Averaged over a window, two-ray grows with distance like free space.
+	avg := func(lo, hi float64) float64 {
+		var sum float64
+		n := 0
+		for d := lo; d <= hi; d += 0.5 {
+			sum += c.PathLossDB(d, 80)
+			n++
+		}
+		return sum / float64(n)
+	}
+	if near, far := avg(20, 40), avg(200, 320); near >= far {
+		t.Fatalf("two-ray average loss should grow: %v vs %v", near, far)
+	}
+	// Zero/negative altitude is clamped, not NaN.
+	if v := c.PathLossDB(50, 0); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("two-ray at alt 0 = %v", v)
+	}
+}

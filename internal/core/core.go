@@ -1,0 +1,348 @@
+// Package core implements the paper's contribution: the delayed-
+// gratification model for deciding when a data-ferrying UAV should
+// transmit (Section 2).
+//
+// A UAV holding Mdata bytes comes into radio range of its receiver at
+// distance d0. It can transmit immediately, or ship itself closer to some
+// distance d < d0 and transmit there, where the link is faster. The
+// communication delay of transmitting at d is
+//
+//	Cdelay(d) = Tship + Ttx = (d0 − d)/v + Mdata/s(d)
+//
+// and the chance of surviving the shipping leg is δ(d) = e^{−ρ(d0−d)}.
+// The utility to maximize (Eq. 1) is
+//
+//	U(d) = δ(d)·u(d) = e^{−ρ(d0−d)} / Cdelay(d)
+//
+// subject to 0 ≤ d ≤ d0 (Eq. 2), with a minimum separation to avoid
+// mid-air collisions (the paper uses 20 m).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/mission"
+)
+
+// MinSeparationM is the paper's anti-collision floor: "We consider a
+// minimum distance of 20 m between two UAVs to avoid physical collisions."
+const MinSeparationM = 20.0
+
+// ThroughputModel is the throughput-vs-distance law s(d) in bits/second at
+// near-zero relative speed ("hover and transmit", the strategy the model
+// assumes after Section 2.2).
+type ThroughputModel interface {
+	// Bps returns the expected UDP throughput at separation d metres.
+	// Implementations return 0 when the link cannot carry data at d.
+	Bps(d float64) float64
+}
+
+// LogFitThroughput is the paper's fitted law s(d) = 10⁶·(A·log2(d) + B)
+// with A, B in Mb/s (Section 4). It clamps at zero once the fit goes
+// negative.
+type LogFitThroughput struct {
+	AMbps, BMbps float64
+}
+
+// Bps implements ThroughputModel.
+func (l LogFitThroughput) Bps(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	s := 1e6 * (l.AMbps*math.Log2(d) + l.BMbps)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// AirplaneFit is the paper's airplane fit: s(d) = 10⁶·(−5.56·log2(d)+49),
+// R² = 0.9.
+func AirplaneFit() LogFitThroughput { return LogFitThroughput{AMbps: -5.56, BMbps: 49} }
+
+// QuadrocopterFit is the paper's quadrocopter fit:
+// s(d) = 10⁶·(−10.5·log2(d)+73), R² = 0.96.
+func QuadrocopterFit() LogFitThroughput { return LogFitThroughput{AMbps: -10.5, BMbps: 73} }
+
+// TableThroughput interpolates measured (distance, bits/s) samples — the
+// bridge from the packet-level simulator's medians to the analytic model.
+type TableThroughput struct {
+	distances []float64
+	bps       []float64
+}
+
+// NewTableThroughput builds an interpolating model from samples sorted by
+// distance. At least two samples are required; queries outside the range
+// clamp to the edge values.
+func NewTableThroughput(distances, bps []float64) (*TableThroughput, error) {
+	if len(distances) != len(bps) {
+		return nil, errors.New("core: mismatched table lengths")
+	}
+	if len(distances) < 2 {
+		return nil, errors.New("core: need at least two samples")
+	}
+	for i := 1; i < len(distances); i++ {
+		if distances[i] <= distances[i-1] {
+			return nil, fmt.Errorf("core: distances not strictly increasing at %d", i)
+		}
+	}
+	for i, v := range bps {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("core: invalid throughput %v at %d", v, i)
+		}
+	}
+	return &TableThroughput{
+		distances: append([]float64(nil), distances...),
+		bps:       append([]float64(nil), bps...),
+	}, nil
+}
+
+// Bps implements ThroughputModel by linear interpolation.
+func (t *TableThroughput) Bps(d float64) float64 {
+	n := len(t.distances)
+	if d <= t.distances[0] {
+		return t.bps[0]
+	}
+	if d >= t.distances[n-1] {
+		return t.bps[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if t.distances[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (d - t.distances[lo]) / (t.distances[hi] - t.distances[lo])
+	return t.bps[lo] + frac*(t.bps[hi]-t.bps[lo])
+}
+
+// Scenario is one delayed-gratification decision instance.
+type Scenario struct {
+	// D0M is the distance at which the link becomes available and the
+	// batch is ready (metres).
+	D0M float64
+	// SpeedMPS is the UAV's shipping cruise speed v.
+	SpeedMPS float64
+	// MdataBytes is the batch size to deliver.
+	MdataBytes float64
+	// Failure is the exponential-in-distance failure model (rate ρ).
+	Failure failure.Model
+	// Throughput is the hover-and-transmit law s(d).
+	Throughput ThroughputModel
+	// MinDistanceM is the anti-collision floor (default MinSeparationM).
+	MinDistanceM float64
+}
+
+// Validate reports the first implausible field (Eq. 2's constraints:
+// v > 0, Mdata > 0, 0 ≤ d ≤ d0).
+func (s Scenario) Validate() error {
+	switch {
+	case s.Throughput == nil:
+		return errors.New("core: nil throughput model")
+	case s.D0M <= 0:
+		return fmt.Errorf("core: d0 %v must be positive", s.D0M)
+	case s.SpeedMPS <= 0:
+		return fmt.Errorf("core: speed %v must be positive (Eq. 2: v > 0)", s.SpeedMPS)
+	case s.MdataBytes <= 0:
+		return fmt.Errorf("core: Mdata %v must be positive (Eq. 2: Mdata > 0)", s.MdataBytes)
+	case s.MinDistanceM < 0:
+		return fmt.Errorf("core: min distance %v must be ≥ 0", s.MinDistanceM)
+	}
+	return nil
+}
+
+// minD returns the effective lower bound of the decision variable.
+func (s Scenario) minD() float64 {
+	m := s.MinDistanceM
+	if m > s.D0M {
+		m = s.D0M
+	}
+	return m
+}
+
+// ShipTime is Tship = (d0 − d)/v, the time to move into position d.
+func (s Scenario) ShipTime(d float64) float64 {
+	if d >= s.D0M {
+		return 0
+	}
+	return (s.D0M - d) / s.SpeedMPS
+}
+
+// TxTime is Ttx = Mdata/s(d), the time to transmit the batch at d.
+// It is +Inf where the link carries nothing.
+func (s Scenario) TxTime(d float64) float64 {
+	bps := s.Throughput.Bps(d)
+	if bps <= 0 {
+		return math.Inf(1)
+	}
+	return s.MdataBytes * 8 / bps
+}
+
+// CommDelay is Cdelay(d) = Tship + Ttx.
+func (s Scenario) CommDelay(d float64) float64 {
+	return s.ShipTime(d) + s.TxTime(d)
+}
+
+// InstantUtility is u(d) = 1/Cdelay(d), the no-failure benefit.
+func (s Scenario) InstantUtility(d float64) float64 {
+	c := s.CommDelay(d)
+	if math.IsInf(c, 1) || c <= 0 {
+		return 0
+	}
+	return 1 / c
+}
+
+// Discount is δ(d) = e^{−ρ(d0−d)}.
+func (s Scenario) Discount(d float64) float64 {
+	return s.Failure.Discount(s.D0M, d)
+}
+
+// Utility is U(d) = δ(d)·u(d) (Eq. 1).
+func (s Scenario) Utility(d float64) float64 {
+	return s.Discount(d) * s.InstantUtility(d)
+}
+
+// Optimum is the solution of Eq. 2.
+type Optimum struct {
+	// DoptM is the distance at which to transmit.
+	DoptM float64
+	// Utility is U(dopt).
+	Utility float64
+	// CommDelay is Cdelay(dopt) in seconds.
+	CommDelay float64
+	// Survival is δ(dopt): the probability of surviving the shipping leg.
+	Survival float64
+	// TransmitImmediately reports dopt = d0 (no benefit in moving).
+	TransmitImmediately bool
+}
+
+// gridPoints is the resolution of the coarse search. U(d) is smooth but
+// not necessarily concave for large ρ (Section 4), so the coarse pass must
+// be dense before golden-section refinement.
+const gridPoints = 2048
+
+// Optimize solves Eq. 2: dopt = argmax U(d) over [minD, d0].
+func (s Scenario) Optimize() (Optimum, error) {
+	if err := s.Validate(); err != nil {
+		return Optimum{}, err
+	}
+	lo, hi := s.minD(), s.D0M
+	if hi-lo < 1e-9 {
+		return s.optimumAt(hi), nil
+	}
+	// Coarse grid.
+	bestD, bestU := hi, s.Utility(hi)
+	step := (hi - lo) / gridPoints
+	for i := 0; i <= gridPoints; i++ {
+		d := lo + float64(i)*step
+		if u := s.Utility(d); u > bestU {
+			bestD, bestU = d, u
+		}
+	}
+	// Golden-section refinement in the bracketing neighbourhood.
+	a := math.Max(lo, bestD-step)
+	b := math.Min(hi, bestD+step)
+	d := s.goldenSection(a, b)
+	if s.Utility(d) >= bestU {
+		bestD = d
+	}
+	return s.optimumAt(bestD), nil
+}
+
+func (s Scenario) optimumAt(d float64) Optimum {
+	return Optimum{
+		DoptM:               d,
+		Utility:             s.Utility(d),
+		CommDelay:           s.CommDelay(d),
+		Survival:            s.Discount(d),
+		TransmitImmediately: math.Abs(d-s.D0M) < 1e-6,
+	}
+}
+
+// goldenSection maximizes U on [a, b] assuming local unimodality.
+func (s Scenario) goldenSection(a, b float64) float64 {
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := s.Utility(x1), s.Utility(x2)
+	for i := 0; i < 80 && b-a > 1e-9; i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = s.Utility(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = s.Utility(x1)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Point is one sample of the utility curve.
+type Point struct {
+	DM        float64
+	Utility   float64
+	CommDelay float64
+	Discount  float64
+}
+
+// UtilityCurve samples U(d) over [minD, d0] at n points (n ≥ 2), the raw
+// material of Figs 8 and 9.
+func (s Scenario) UtilityCurve(n int) ([]Point, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, errors.New("core: need at least 2 curve points")
+	}
+	lo, hi := s.minD(), s.D0M
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		d := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{
+			DM:        d,
+			Utility:   s.Utility(d),
+			CommDelay: s.CommDelay(d),
+			Discount:  s.Discount(d),
+		}
+	}
+	return pts, nil
+}
+
+// AirplaneBaseline is the paper's airplane scenario (Section 4):
+// Mdata = 28 MB, v = 10 m/s, ρ = 1.11e−4 m⁻¹, d0 = 300 m, with the
+// airplane throughput fit. The Mdata value is re-derived from the mission
+// sensing model to keep the constants honest.
+func AirplaneBaseline() Scenario {
+	m, _ := failure.NewModel(failure.AirplaneRho)
+	return Scenario{
+		D0M:          300,
+		SpeedMPS:     10,
+		MdataBytes:   mission.AirplanePlan().DataBytes(), // ≈28 MB
+		Failure:      m,
+		Throughput:   AirplaneFit(),
+		MinDistanceM: MinSeparationM,
+	}
+}
+
+// QuadrocopterBaseline is the paper's quadrocopter scenario (Section 4):
+// Mdata = 56.2 MB, v = 4.5 m/s, ρ = 2.46e−4 m⁻¹, d0 = 100 m.
+func QuadrocopterBaseline() Scenario {
+	m, _ := failure.NewModel(failure.QuadrocopterRho)
+	return Scenario{
+		D0M:          100,
+		SpeedMPS:     4.5,
+		MdataBytes:   mission.QuadrocopterPlan().DataBytes(), // ≈56.2 MB
+		Failure:      m,
+		Throughput:   QuadrocopterFit(),
+		MinDistanceM: MinSeparationM,
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+func TestLogFitThroughputValues(t *testing.T) {
+	air := AirplaneFit()
+	// s(20) = 10⁶·(49 − 5.56·log2 20) ≈ 24.97 Mb/s.
+	if got := air.Bps(20) / 1e6; math.Abs(got-24.97) > 0.05 {
+		t.Fatalf("airplane s(20) = %v Mb/s", got)
+	}
+	// The fit crosses zero near d ≈ 450 m; beyond it must clamp at 0.
+	if got := air.Bps(1000); got != 0 {
+		t.Fatalf("airplane s(1000) = %v, want 0", got)
+	}
+	// Distances below 1 m clamp to d = 1.
+	if air.Bps(0.1) != air.Bps(1) {
+		t.Fatal("sub-metre distances should clamp")
+	}
+	quad := QuadrocopterFit()
+	if got := quad.Bps(80) / 1e6; math.Abs(got-6.62) > 0.05 {
+		t.Fatalf("quad s(80) = %v Mb/s", got)
+	}
+}
+
+func TestTableThroughput(t *testing.T) {
+	tab, err := NewTableThroughput([]float64{20, 40, 80}, []float64{20e6, 10e6, 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Bps(20); got != 20e6 {
+		t.Fatalf("exact point = %v", got)
+	}
+	if got := tab.Bps(30); got != 15e6 {
+		t.Fatalf("interpolation = %v", got)
+	}
+	if got := tab.Bps(5); got != 20e6 {
+		t.Fatalf("left clamp = %v", got)
+	}
+	if got := tab.Bps(500); got != 5e6 {
+		t.Fatalf("right clamp = %v", got)
+	}
+	if _, err := NewTableThroughput([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := NewTableThroughput([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing distances accepted")
+	}
+	if _, err := NewTableThroughput([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Fatal("negative throughput accepted")
+	}
+	if _, err := NewTableThroughput([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := AirplaneBaseline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Throughput = nil },
+		func(s *Scenario) { s.D0M = 0 },
+		func(s *Scenario) { s.SpeedMPS = 0 },
+		func(s *Scenario) { s.MdataBytes = 0 },
+		func(s *Scenario) { s.MinDistanceM = -1 },
+	}
+	for i, mutate := range bad {
+		sc := AirplaneBaseline()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPaperBaselineConstants(t *testing.T) {
+	air := AirplaneBaseline()
+	if air.D0M != 300 || air.SpeedMPS != 10 || air.Failure.Rho != 1.11e-4 {
+		t.Fatalf("airplane baseline diverges: %+v", air)
+	}
+	if math.Abs(air.MdataBytes-28e6)/28e6 > 0.03 {
+		t.Fatalf("airplane Mdata = %v, want ≈28 MB", air.MdataBytes)
+	}
+	quad := QuadrocopterBaseline()
+	if quad.D0M != 100 || quad.SpeedMPS != 4.5 || quad.Failure.Rho != 2.46e-4 {
+		t.Fatalf("quad baseline diverges: %+v", quad)
+	}
+	if math.Abs(quad.MdataBytes-56.2e6)/56.2e6 > 0.03 {
+		t.Fatalf("quad Mdata = %v, want ≈56.2 MB", quad.MdataBytes)
+	}
+}
+
+func TestDelayDecomposition(t *testing.T) {
+	s := AirplaneBaseline()
+	// Tship = (300 − 100)/10 = 20 s.
+	if got := s.ShipTime(100); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("Tship(100) = %v", got)
+	}
+	if got := s.ShipTime(300); got != 0 {
+		t.Fatalf("Tship(d0) = %v", got)
+	}
+	// Ttx(100) = 28 MB·8 / s(100).
+	want := s.MdataBytes * 8 / AirplaneFit().Bps(100)
+	if got := s.TxTime(100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ttx(100) = %v, want %v", got, want)
+	}
+	if got := s.CommDelay(100); math.Abs(got-(20+want)) > 1e-9 {
+		t.Fatalf("Cdelay(100) = %v", got)
+	}
+	// Dead link → infinite delay, zero utility.
+	if !math.IsInf(s.TxTime(1000), 1) {
+		t.Fatal("dead link Ttx should be +Inf")
+	}
+}
+
+func TestUtilityFormula(t *testing.T) {
+	s := AirplaneBaseline()
+	d := 150.0
+	want := math.Exp(-s.Failure.Rho*(s.D0M-d)) / s.CommDelay(d)
+	if got := s.Utility(d); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("U(%v) = %v, want %v", d, got, want)
+	}
+	// Discount at d0 is exactly 1 (no travel, no risk).
+	if s.Discount(s.D0M) != 1 {
+		t.Fatal("δ(d0) != 1")
+	}
+}
+
+func TestOptimizeBaselines(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"airplane", AirplaneBaseline()},
+		{"quadrocopter", QuadrocopterBaseline()},
+	} {
+		opt, err := tc.sc.Optimize()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if opt.DoptM < tc.sc.MinDistanceM-1e-9 || opt.DoptM > tc.sc.D0M+1e-9 {
+			t.Fatalf("%s: dopt %v outside feasible range", tc.name, opt.DoptM)
+		}
+		// The optimum beats both extremes (or equals one of them).
+		if opt.Utility+1e-15 < tc.sc.Utility(tc.sc.D0M) {
+			t.Fatalf("%s: optimum worse than transmitting now", tc.name)
+		}
+		if opt.Utility+1e-15 < tc.sc.Utility(tc.sc.MinDistanceM) {
+			t.Fatalf("%s: optimum worse than closing fully", tc.name)
+		}
+		if opt.Survival <= 0 || opt.Survival > 1 {
+			t.Fatalf("%s: survival %v", tc.name, opt.Survival)
+		}
+		t.Logf("%s: dopt = %.1f m, U = %.4f, Cdelay = %.1f s", tc.name, opt.DoptM, opt.Utility, opt.CommDelay)
+	}
+}
+
+// TestDoptIncreasesWithRho is Fig 8's central observation: "the optimal
+// distance dopt of Eq. (1) increases with the failure rate ρ".
+func TestDoptIncreasesWithRho(t *testing.T) {
+	for _, base := range []Scenario{AirplaneBaseline(), QuadrocopterBaseline()} {
+		prev := -1.0
+		for _, rho := range []float64{0.0001, 0.001, 0.002, 0.005, 0.01} {
+			sc := base
+			m, err := failure.NewModel(rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Failure = m
+			opt, err := sc.Optimize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.DoptM < prev-1 { // allow 1 m numerical slack
+				t.Fatalf("dopt decreased with rho: %v m at ρ=%v (prev %v)", opt.DoptM, rho, prev)
+			}
+			prev = opt.DoptM
+		}
+		// At a brutal failure rate the UAV transmits (almost) immediately.
+		sc := base
+		m, _ := failure.NewModel(0.05)
+		sc.Failure = m
+		opt, _ := sc.Optimize()
+		if opt.DoptM < base.D0M*0.95 {
+			t.Fatalf("at ρ=0.05 dopt = %v, want ≈ d0 = %v", opt.DoptM, base.D0M)
+		}
+	}
+}
+
+// TestSmallD0TransmitsImmediately is the paper's observation that "once
+// d0 = dopt, it becomes beneficial to transmit immediately".
+func TestSmallD0TransmitsImmediately(t *testing.T) {
+	sc := QuadrocopterBaseline()
+	opt, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink d0 to the previous optimum: the new optimum is to stay put.
+	sc2 := sc
+	sc2.D0M = opt.DoptM
+	opt2, err := sc2.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt2.TransmitImmediately {
+		t.Fatalf("d0 = dopt should transmit immediately, got dopt = %v of d0 = %v", opt2.DoptM, sc2.D0M)
+	}
+}
+
+// TestFig9Relations verifies the parameter-sweep relations of Fig. 9:
+// larger Mdata ⇒ move closer (smaller dopt) and lower peak utility;
+// higher speed ⇒ move closer for a fixed Mdata.
+func TestFig9Relations(t *testing.T) {
+	base := AirplaneBaseline()
+
+	// Mdata sweep at fixed speed.
+	prevD, prevU := math.Inf(1), math.Inf(1)
+	for _, mb := range []float64{5, 10, 15, 25, 45} {
+		sc := base
+		sc.MdataBytes = mb * 1e6
+		opt, err := sc.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DoptM > prevD+1 {
+			t.Fatalf("dopt should shrink with Mdata: %v MB → %v m (prev %v)", mb, opt.DoptM, prevD)
+		}
+		if opt.Utility > prevU+1e-12 {
+			t.Fatalf("peak utility should fall with Mdata: %v MB → %v", mb, opt.Utility)
+		}
+		prevD, prevU = opt.DoptM, opt.Utility
+	}
+
+	// Speed sweep at fixed Mdata = 15 MB.
+	prevD = math.Inf(1)
+	for _, v := range []float64{3, 5, 10, 15, 20} {
+		sc := base
+		sc.MdataBytes = 15e6
+		sc.SpeedMPS = v
+		opt, err := sc.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DoptM > prevD+1 {
+			t.Fatalf("dopt should shrink with speed: %v m/s → %v m (prev %v)", v, opt.DoptM, prevD)
+		}
+		prevD = opt.DoptM
+	}
+
+	// Large batches at high speed pin dopt to the minimum distance.
+	sc := base
+	sc.MdataBytes = 45e6
+	sc.SpeedMPS = 20
+	opt, _ := sc.Optimize()
+	if opt.DoptM > MinSeparationM+2 {
+		t.Fatalf("45 MB at 20 m/s should close to the minimum: dopt = %v", opt.DoptM)
+	}
+}
+
+func TestUtilityCurve(t *testing.T) {
+	sc := QuadrocopterBaseline()
+	pts, err := sc.UtilityCurve(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 101 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].DM != MinSeparationM || math.Abs(pts[100].DM-sc.D0M) > 1e-9 {
+		t.Fatalf("curve range [%v, %v]", pts[0].DM, pts[100].DM)
+	}
+	// Curve values agree with direct evaluation.
+	for _, p := range pts {
+		if math.Abs(p.Utility-sc.Utility(p.DM)) > 1e-15 {
+			t.Fatalf("curve mismatch at %v", p.DM)
+		}
+	}
+	if _, err := sc.UtilityCurve(1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+// Property: the optimizer never loses to a brute-force scan.
+func TestOptimizerMatchesBruteForceProperty(t *testing.T) {
+	f := func(mbRaw, vRaw, rhoRaw, d0Raw uint8) bool {
+		sc := Scenario{
+			D0M:          60 + float64(d0Raw),
+			SpeedMPS:     1 + float64(vRaw%20),
+			MdataBytes:   (1 + float64(mbRaw%45)) * 1e6,
+			Throughput:   AirplaneFit(),
+			MinDistanceM: MinSeparationM,
+		}
+		m, err := failure.NewModel(float64(rhoRaw) * 1e-4)
+		if err != nil {
+			return false
+		}
+		sc.Failure = m
+		opt, err := sc.Optimize()
+		if err != nil {
+			return false
+		}
+		best := 0.0
+		for d := sc.MinDistanceM; d <= sc.D0M; d += 0.25 {
+			if u := sc.Utility(d); u > best {
+				best = u
+			}
+		}
+		return opt.Utility >= best-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

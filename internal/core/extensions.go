@@ -1,0 +1,333 @@
+package core
+
+// This file implements the model extensions the paper names but leaves
+// open (Sections 5 and 7): a non-stationary (position-dependent) failure
+// rate, speed as an extra optimization dimension, and the mixed
+// ship-while-transmitting strategy excluded from the base model for
+// tractability.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// --- Non-stationary failure rate -----------------------------------------
+
+// RhoField is a position-dependent failure rate along the shipping line:
+// given the current distance-to-receiver x ∈ [0, d0], it returns the local
+// failure rate ρ(x) per metre. The paper's base model is the constant
+// field; "different results are expected, e.g., for a non-stationary
+// failure rate" (Section 4).
+type RhoField func(x float64) float64
+
+// ConstantRho lifts a scalar rate into a field.
+func ConstantRho(rho float64) RhoField { return func(float64) float64 { return rho } }
+
+// LinearRho is a field that varies linearly from rho0 at the receiver
+// (x = 0) to rho1 at distance span — e.g. weather worsening away from (or
+// toward) the rescue site.
+func LinearRho(rho0, rho1, span float64) RhoField {
+	return func(x float64) float64 {
+		if span <= 0 {
+			return rho0
+		}
+		t := x / span
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		r := rho0 + (rho1-rho0)*t
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+}
+
+// HazardZoneRho is a field with a uniform background rate and an elevated
+// band [lo, hi] (a storm cell or obstacle corridor on the approach).
+func HazardZoneRho(background, elevated, lo, hi float64) RhoField {
+	return func(x float64) float64 {
+		if x >= lo && x <= hi {
+			return elevated
+		}
+		return background
+	}
+}
+
+// NonStationaryScenario is a Scenario whose discount integrates a
+// RhoField along the shipping leg: δ(d) = exp(−∫_d^{d0} ρ(x) dx).
+type NonStationaryScenario struct {
+	Scenario
+	Field RhoField
+}
+
+// integralSteps is the trapezoid resolution of the field integral.
+const integralSteps = 512
+
+// Discount integrates the field over the travelled segment.
+func (s NonStationaryScenario) Discount(d float64) float64 {
+	if s.Field == nil {
+		return s.Scenario.Discount(d)
+	}
+	lo, hi := d, s.D0M
+	if lo >= hi {
+		return 1
+	}
+	h := (hi - lo) / integralSteps
+	sum := (s.Field(lo) + s.Field(hi)) / 2
+	for i := 1; i < integralSteps; i++ {
+		sum += s.Field(lo + float64(i)*h)
+	}
+	return math.Exp(-sum * h)
+}
+
+// Utility is U(d) with the field discount.
+func (s NonStationaryScenario) Utility(d float64) float64 {
+	return s.Discount(d) * s.InstantUtility(d)
+}
+
+// Optimize solves argmax U(d) for the non-stationary field. The field may
+// make U multi-modal, so only the dense grid plus local refinement is
+// used.
+func (s NonStationaryScenario) Optimize() (Optimum, error) {
+	if err := s.Validate(); err != nil {
+		return Optimum{}, err
+	}
+	lo, hi := s.minD(), s.D0M
+	bestD, bestU := hi, s.Utility(hi)
+	step := (hi - lo) / gridPoints
+	if step <= 0 {
+		step = 1
+	}
+	for i := 0; i <= gridPoints; i++ {
+		d := lo + float64(i)*step
+		if d > hi {
+			d = hi
+		}
+		if u := s.Utility(d); u > bestU {
+			bestD, bestU = d, u
+		}
+	}
+	// Local ternary refinement around the best grid point.
+	a, b := math.Max(lo, bestD-step), math.Min(hi, bestD+step)
+	for i := 0; i < 60 && b-a > 1e-9; i++ {
+		m1 := a + (b-a)/3
+		m2 := b - (b-a)/3
+		if s.Utility(m1) < s.Utility(m2) {
+			a = m1
+		} else {
+			b = m2
+		}
+	}
+	if d := (a + b) / 2; s.Utility(d) > bestU {
+		bestD, bestU = d, s.Utility(d)
+	}
+	return Optimum{
+		DoptM:               bestD,
+		Utility:             bestU,
+		CommDelay:           s.CommDelay(bestD),
+		Survival:            s.Discount(bestD),
+		TransmitImmediately: math.Abs(bestD-s.D0M) < 1e-6,
+	}, nil
+}
+
+// --- Speed as an optimization dimension -----------------------------------
+
+// SpeedCost makes the per-metre failure rate speed-dependent:
+// ρ(v) = ρ0 · (v/vref)^Gamma. Flying faster shortens exposure time but
+// stresses the airframe and narrows the margin for evasives; Gamma > 1
+// creates an interior optimal speed. Gamma = 0 recovers the paper's model,
+// where faster is always (weakly) better.
+type SpeedCost struct {
+	VRefMPS float64
+	Gamma   float64
+}
+
+// Rho returns the effective per-metre rate at speed v for base rate rho0.
+func (c SpeedCost) Rho(rho0, v float64) float64 {
+	if c.Gamma == 0 || c.VRefMPS <= 0 || v <= 0 {
+		return rho0
+	}
+	return rho0 * math.Pow(v/c.VRefMPS, c.Gamma)
+}
+
+// SpeedOptimum is the joint (d, v) decision.
+type SpeedOptimum struct {
+	DoptM    float64
+	VoptMPS  float64
+	Utility  float64
+	Delay    float64
+	Survival float64
+}
+
+// OptimizeWithSpeed maximizes U(d, v) = exp(−ρ(v)·(d0−d)) / Cdelay(d, v)
+// over d ∈ [dmin, d0] and v ∈ [vMin, vMax] — the "new dimensions of the
+// optimization problem" the paper's conclusion calls for.
+func (s Scenario) OptimizeWithSpeed(vMin, vMax float64, cost SpeedCost) (SpeedOptimum, error) {
+	if err := s.Validate(); err != nil {
+		return SpeedOptimum{}, err
+	}
+	if vMin <= 0 || vMax < vMin {
+		return SpeedOptimum{}, fmt.Errorf("core: speed range [%v, %v] invalid", vMin, vMax)
+	}
+	const vSteps = 64
+	best := SpeedOptimum{Utility: -1}
+	for j := 0; j <= vSteps; j++ {
+		v := vMin + (vMax-vMin)*float64(j)/vSteps
+		sv := s
+		sv.SpeedMPS = v
+		m := sv.Failure
+		m.Rho = cost.Rho(s.Failure.Rho, v)
+		sv.Failure = m
+		opt, err := sv.Optimize()
+		if err != nil {
+			return SpeedOptimum{}, err
+		}
+		if opt.Utility > best.Utility {
+			best = SpeedOptimum{
+				DoptM: opt.DoptM, VoptMPS: v,
+				Utility: opt.Utility, Delay: opt.CommDelay, Survival: opt.Survival,
+			}
+		}
+	}
+	return best, nil
+}
+
+// --- Mixed strategy ---------------------------------------------------------
+
+// MixedOutcome is the result of the ship-while-transmitting strategy.
+type MixedOutcome struct {
+	// TargetDM is the hover point the strategy ships to.
+	TargetDM float64
+	// CompletionS is the total delivery time.
+	CompletionS float64
+	// DeliveredEnRouteMB is how much arrived before reaching the target.
+	DeliveredEnRouteMB float64
+}
+
+// RunMixedStrategy ships to target d while transmitting at the speed-
+// penalized rate, then hovers and transmits the remainder — the mixed
+// strategy the paper notes "could further reduce the communication delay"
+// but excludes for tractability (Section 2.2).
+func (s Scenario) RunMixedStrategy(target float64, pen SpeedPenalty) (MixedOutcome, error) {
+	if err := s.Validate(); err != nil {
+		return MixedOutcome{}, err
+	}
+	d := s.D0M
+	target = math.Max(s.minD(), math.Min(target, s.D0M))
+	factor := pen.Factor(s.SpeedMPS)
+	remaining := s.MdataBytes * 8
+	total := remaining
+	t := 0.0
+	const dt = 0.02
+	for d > target && t < maxSimulatedS {
+		remaining -= s.Throughput.Bps(d) * factor * dt
+		if remaining < 0 {
+			remaining = 0
+		}
+		d = math.Max(target, d-s.SpeedMPS*dt)
+		t += dt
+		if remaining == 0 {
+			return MixedOutcome{TargetDM: target, CompletionS: t,
+				DeliveredEnRouteMB: total / 8 / 1e6}, nil
+		}
+	}
+	enRoute := (total - remaining) / 8 / 1e6
+	bps := s.Throughput.Bps(target)
+	if bps <= 0 {
+		return MixedOutcome{TargetDM: target, CompletionS: math.Inf(1),
+			DeliveredEnRouteMB: enRoute}, nil
+	}
+	t += remaining / bps
+	return MixedOutcome{TargetDM: target, CompletionS: t, DeliveredEnRouteMB: enRoute}, nil
+}
+
+// OptimizeMixed finds the target distance minimizing the mixed strategy's
+// completion time (a pure delay optimization; the failure discount applies
+// as in the base model if desired by the caller).
+func (s Scenario) OptimizeMixed(pen SpeedPenalty) (MixedOutcome, error) {
+	if err := s.Validate(); err != nil {
+		return MixedOutcome{}, err
+	}
+	lo, hi := s.minD(), s.D0M
+	if hi <= lo {
+		return s.RunMixedStrategy(hi, pen)
+	}
+	best := MixedOutcome{CompletionS: math.Inf(1)}
+	found := false
+	const steps = 48
+	for i := 0; i <= steps; i++ {
+		d := lo + (hi-lo)*float64(i)/steps
+		out, err := s.RunMixedStrategy(d, pen)
+		if err != nil {
+			return MixedOutcome{}, err
+		}
+		if out.CompletionS < best.CompletionS {
+			best = out
+			found = true
+		}
+	}
+	if !found {
+		return MixedOutcome{}, errors.New("core: no feasible mixed strategy")
+	}
+	return best, nil
+}
+
+// --- Re-positioning cost ----------------------------------------------------
+
+// RepositionOptimum extends Optimum with the post-delivery return leg.
+type RepositionOptimum struct {
+	Optimum
+	// ReturnTimeS is the time to fly back to the mission track after
+	// transmitting.
+	ReturnTimeS float64
+}
+
+// OptimizeWithReturn solves the decision when the ferry must return to its
+// interrupted mission after delivering — "studying the cost of
+// re-positioning during the planned mission" (Section 7). The ferry left
+// its track at distance d0; after transmitting at d it flies back, so the
+// effective delay charged is Cdelay(d) + w·(d0 − d)/v, where w ∈ [0, 1]
+// weights how much the return leg matters to the mission (w = 0 recovers
+// the paper's model; w = 1 charges the full round trip).
+func (s Scenario) OptimizeWithReturn(returnWeight float64) (RepositionOptimum, error) {
+	if err := s.Validate(); err != nil {
+		return RepositionOptimum{}, err
+	}
+	if returnWeight < 0 || returnWeight > 1 {
+		return RepositionOptimum{}, fmt.Errorf("core: return weight %v outside [0,1]", returnWeight)
+	}
+	lo, hi := s.minD(), s.D0M
+	bestD, bestU := hi, -1.0
+	utility := func(d float64) float64 {
+		c := s.CommDelay(d) + returnWeight*(s.D0M-d)/s.SpeedMPS
+		if math.IsInf(c, 1) || c <= 0 {
+			return 0
+		}
+		// The return leg also risks the airframe: the discount covers the
+		// round trip travelled distance.
+		disc := s.Failure.Survival((1 + returnWeight) * (s.D0M - d))
+		return disc / c
+	}
+	steps := gridPoints
+	for i := 0; i <= steps; i++ {
+		d := lo + (hi-lo)*float64(i)/float64(steps)
+		if u := utility(d); u > bestU {
+			bestD, bestU = d, u
+		}
+	}
+	return RepositionOptimum{
+		Optimum: Optimum{
+			DoptM:               bestD,
+			Utility:             bestU,
+			CommDelay:           s.CommDelay(bestD),
+			Survival:            s.Failure.Survival((1 + returnWeight) * (s.D0M - bestD)),
+			TransmitImmediately: math.Abs(bestD-s.D0M) < 1e-6,
+		},
+		ReturnTimeS: returnWeight * (s.D0M - bestD) / s.SpeedMPS,
+	}, nil
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+func TestConstantFieldMatchesBaseModel(t *testing.T) {
+	base := AirplaneBaseline()
+	ns := NonStationaryScenario{Scenario: base, Field: ConstantRho(base.Failure.Rho)}
+	for _, d := range []float64{20, 100, 200, 300} {
+		a, b := base.Discount(d), ns.Discount(d)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("constant field diverges at %v: %v vs %v", d, a, b)
+		}
+	}
+	optBase, err := base.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optNS, err := ns.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(optBase.DoptM-optNS.DoptM) > 1 {
+		t.Fatalf("dopt diverges: %v vs %v", optBase.DoptM, optNS.DoptM)
+	}
+	// Nil field falls back to the scenario's scalar model.
+	nilField := NonStationaryScenario{Scenario: base}
+	if math.Abs(nilField.Discount(100)-base.Discount(100)) > 1e-12 {
+		t.Fatal("nil field should use the base discount")
+	}
+}
+
+func TestLinearRhoField(t *testing.T) {
+	f := LinearRho(1e-4, 1e-3, 300)
+	if f(0) != 1e-4 || math.Abs(f(300)-1e-3) > 1e-12 {
+		t.Fatalf("endpoints: %v, %v", f(0), f(300))
+	}
+	if f(-10) != 1e-4 || math.Abs(f(1000)-1e-3) > 1e-12 {
+		t.Fatal("clamping broken")
+	}
+	if mid := f(150); mid <= 1e-4 || mid >= 1e-3 {
+		t.Fatalf("midpoint %v", mid)
+	}
+	// Negative rates clamp to zero; zero span degenerates to rho0.
+	if LinearRho(-1, -2, 100)(50) != 0 {
+		t.Fatal("negative rate not clamped")
+	}
+	if LinearRho(5e-4, 9e-4, 0)(50) != 5e-4 {
+		t.Fatal("zero span should return rho0")
+	}
+}
+
+// TestHazardZoneShiftsDopt: with a hazardous band on the approach, the
+// optimum moves to avoid crossing it — the paper's predicted
+// non-stationary behaviour ("different results are expected").
+func TestHazardZoneShiftsDopt(t *testing.T) {
+	base := AirplaneBaseline()
+	clean, err := base.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A violent hazard between 40 m and clean-dopt: pushing through it is
+	// now expensive, so the optimum should retreat to (or beyond) the
+	// hazard's outer edge.
+	ns := NonStationaryScenario{
+		Scenario: base,
+		Field:    HazardZoneRho(base.Failure.Rho, 0.05, 40, clean.DoptM+40),
+	}
+	opt, err := ns.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM < clean.DoptM+30 {
+		t.Fatalf("hazard should push dopt outward: clean %v, hazard %v", clean.DoptM, opt.DoptM)
+	}
+	if opt.Survival <= 0 || opt.Survival > 1 {
+		t.Fatalf("survival = %v", opt.Survival)
+	}
+}
+
+func TestNonStationaryDiscountMonotone(t *testing.T) {
+	ns := NonStationaryScenario{
+		Scenario: AirplaneBaseline(),
+		Field:    LinearRho(5e-4, 2e-3, 300),
+	}
+	prev := -1.0
+	for d := 20.0; d <= 300; d += 10 {
+		disc := ns.Discount(d)
+		if disc < prev {
+			t.Fatalf("discount should grow with d (less travel): %v at %v", disc, d)
+		}
+		prev = disc
+	}
+	if ns.Discount(300) != 1 {
+		t.Fatal("no travel must be riskless")
+	}
+}
+
+func TestSpeedCost(t *testing.T) {
+	c := SpeedCost{VRefMPS: 10, Gamma: 2}
+	if got := c.Rho(1e-4, 10); math.Abs(got-1e-4) > 1e-18 {
+		t.Fatalf("at vref: %v", got)
+	}
+	if got := c.Rho(1e-4, 20); math.Abs(got-4e-4) > 1e-18 {
+		t.Fatalf("at 2×vref with gamma 2: %v", got)
+	}
+	if got := (SpeedCost{}).Rho(1e-4, 50); got != 1e-4 {
+		t.Fatalf("gamma 0 should be identity: %v", got)
+	}
+}
+
+func TestOptimizeWithSpeedFindsInteriorOptimum(t *testing.T) {
+	sc := AirplaneBaseline()
+	// Strong speed cost: an interior speed should win over both extremes.
+	opt, err := sc.OptimizeWithSpeed(2, 20, SpeedCost{VRefMPS: 10, Gamma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.VoptMPS <= 2 || opt.VoptMPS >= 20 {
+		t.Logf("note: optimum at boundary v=%v (allowed but unexpected)", opt.VoptMPS)
+	}
+	if opt.Utility <= 0 || opt.Survival <= 0 || opt.Survival > 1 {
+		t.Fatalf("degenerate optimum: %+v", opt)
+	}
+	// With no speed cost, faster is weakly better: vopt = vmax.
+	free, err := sc.OptimizeWithSpeed(2, 20, SpeedCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.VoptMPS < 19.9 {
+		t.Fatalf("free speed should max out: %v", free.VoptMPS)
+	}
+	// Invalid ranges are rejected.
+	if _, err := sc.OptimizeWithSpeed(0, 10, SpeedCost{}); err == nil {
+		t.Fatal("vMin=0 accepted")
+	}
+	if _, err := sc.OptimizeWithSpeed(10, 5, SpeedCost{}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestOptimizeWithSpeedBeatsFixedSpeed(t *testing.T) {
+	sc := AirplaneBaseline()
+	cost := SpeedCost{VRefMPS: 10, Gamma: 2}
+	joint, err := sc.OptimizeWithSpeed(2, 20, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joint optimum dominates the paper's fixed cruise speed under the
+	// same risk model.
+	fixed := sc
+	m := fixed.Failure
+	m.Rho = cost.Rho(sc.Failure.Rho, sc.SpeedMPS)
+	fixed.Failure = m
+	fixedOpt, err := fixed.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Utility+1e-12 < fixedOpt.Utility {
+		t.Fatalf("joint optimum %v below fixed-speed %v", joint.Utility, fixedOpt.Utility)
+	}
+}
+
+func TestMixedStrategyBeatsPureStrategies(t *testing.T) {
+	sc := fig1Scenario()
+	pen := DefaultSpeedPenalty()
+	mixed, err := sc.OptimizeMixed(pen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := sc.RunStrategy(ShipThenTransmit, mixed.TargetDM, pen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transmitting en route can only help relative to shipping silently to
+	// the same point ("mixed strategies could further reduce the
+	// communication delay", Section 2.2).
+	if mixed.CompletionS > ship.CompletionS+1e-9 {
+		t.Fatalf("mixed (%v) worse than silent shipping (%v)", mixed.CompletionS, ship.CompletionS)
+	}
+	if mixed.DeliveredEnRouteMB <= 0 {
+		t.Fatal("mixed strategy delivered nothing en route")
+	}
+}
+
+func TestMixedStrategyDeadLink(t *testing.T) {
+	dead, err := NewTableThroughput([]float64{10, 500}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := failure.NewModel(0)
+	sc := Scenario{D0M: 100, SpeedMPS: 5, MdataBytes: 1e6, Failure: m,
+		Throughput: dead, MinDistanceM: 20}
+	out, err := sc.RunMixedStrategy(50, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.CompletionS, 1) {
+		t.Fatalf("dead link completed: %v", out.CompletionS)
+	}
+}
+
+func TestRunMixedStrategyClampsTarget(t *testing.T) {
+	sc := fig1Scenario()
+	out, err := sc.RunMixedStrategy(-50, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TargetDM != MinSeparationM {
+		t.Fatalf("target = %v", out.TargetDM)
+	}
+}
+
+func TestOptimizeWithReturn(t *testing.T) {
+	sc := AirplaneBaseline()
+	free, err := sc.OptimizeWithReturn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w = 0 recovers the paper's model.
+	if math.Abs(free.DoptM-base.DoptM) > 1 {
+		t.Fatalf("w=0 diverges: %v vs %v", free.DoptM, base.DoptM)
+	}
+	if free.ReturnTimeS != 0 {
+		t.Fatalf("w=0 return time = %v", free.ReturnTimeS)
+	}
+	// Charging the return leg makes deep incursions less attractive:
+	// dopt moves outward (weakly) as w grows.
+	prev := free.DoptM
+	for _, w := range []float64{0.25, 0.5, 1} {
+		opt, err := sc.OptimizeWithReturn(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DoptM < prev-1 {
+			t.Fatalf("dopt moved inward at w=%v: %v (prev %v)", w, opt.DoptM, prev)
+		}
+		prev = opt.DoptM
+		if opt.ReturnTimeS < 0 {
+			t.Fatalf("negative return time at w=%v", w)
+		}
+	}
+	if _, err := sc.OptimizeWithReturn(-0.1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := sc.OptimizeWithReturn(1.5); err == nil {
+		t.Fatal("weight > 1 accepted")
+	}
+}
+
+func TestSurfaceThroughput(t *testing.T) {
+	surf, err := NewSurfaceThroughput(
+		[]float64{20, 80},
+		[]float64{0, 8},
+		[][]float64{{28e6, 14e6}, {6e6, 3e6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corners exact.
+	if surf.At(20, 0) != 28e6 || surf.At(80, 8) != 3e6 {
+		t.Fatalf("corners: %v %v", surf.At(20, 0), surf.At(80, 8))
+	}
+	// Bilinear midpoint.
+	if got := surf.At(50, 4); math.Abs(got-12.75e6) > 1 {
+		t.Fatalf("midpoint = %v, want 12.75e6", got)
+	}
+	// Edge clamping.
+	if surf.At(5, -3) != 28e6 || surf.At(500, 99) != 3e6 {
+		t.Fatal("clamping broken")
+	}
+	// Bps is the hover column.
+	if surf.Bps(20) != 28e6 {
+		t.Fatal("Bps should read v=0")
+	}
+	// Validation.
+	if _, err := NewSurfaceThroughput([]float64{1}, []float64{0, 1}, nil); err == nil {
+		t.Fatal("single distance accepted")
+	}
+	if _, err := NewSurfaceThroughput([]float64{1, 2}, []float64{1, 0},
+		[][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Fatal("descending speeds accepted")
+	}
+	if _, err := NewSurfaceThroughput([]float64{1, 2}, []float64{0, 1},
+		[][]float64{{1, 1}}); err == nil {
+		t.Fatal("short grid accepted")
+	}
+	if _, err := NewSurfaceThroughput([]float64{1, 2}, []float64{0, 1},
+		[][]float64{{1, -1}, {1, 1}}); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+}
+
+func TestRunMixedStrategySurface(t *testing.T) {
+	surf, err := NewSurfaceThroughput(
+		[]float64{20, 100},
+		[]float64{0, 10},
+		[][]float64{{28e6, 10e6}, {5e6, 1e6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fig1Scenario()
+	out, err := sc.RunMixedStrategySurface(20, surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(out.CompletionS, 1) || out.DeliveredEnRouteMB <= 0 {
+		t.Fatalf("surface mixed run: %+v", out)
+	}
+	// The surface run must agree with the scalar-penalty run in spirit:
+	// slower en-route rate than hover, so a finite, larger-than-pure-hover
+	// completion.
+	hoverOnly := sc.MdataBytes * 8 / surf.At(20, 0)
+	if out.CompletionS < hoverOnly {
+		t.Fatalf("mixed completion %v beat teleport bound %v", out.CompletionS, hoverOnly)
+	}
+	if _, err := sc.RunMixedStrategySurface(20, nil); err == nil {
+		t.Fatal("nil surface accepted")
+	}
+}

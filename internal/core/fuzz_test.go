@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+// FuzzLoadTableThroughputCSV: arbitrary input must either parse into a
+// valid interpolator or fail cleanly — never panic, never produce NaN.
+func FuzzLoadTableThroughputCSV(f *testing.F) {
+	f.Add("distance_m,throughput_mbps\n20,25\n80,6\n")
+	f.Add("20,25\n80,6\n")
+	f.Add("")
+	f.Add("a,b\nc,d\n")
+	f.Add("20,25\n20,26\n")
+	f.Add("1e309,5\n2,6\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tab, err := LoadTableThroughputCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, d := range []float64{0, 1, 50, 1e6} {
+			v := tab.Bps(d)
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("Bps(%v) = %v from input %q", d, v, in)
+			}
+		}
+	})
+}
+
+// FuzzScenarioUtility: any feasible scenario evaluates to finite,
+// non-negative utility everywhere, and the optimizer never errors or
+// leaves the feasible region.
+func FuzzScenarioUtility(f *testing.F) {
+	f.Add(300.0, 10.0, 28.0, 1.11e-4)
+	f.Add(100.0, 4.5, 56.2, 2.46e-4)
+	f.Add(21.0, 0.5, 0.1, 0.0)
+	f.Fuzz(func(t *testing.T, d0, v, mdataMB, rho float64) {
+		if !(d0 > 20 && d0 < 1e4) || !(v > 0.1 && v < 50) ||
+			!(mdataMB > 0.01 && mdataMB < 1e3) || !(rho >= 0 && rho < 1) {
+			return
+		}
+		m, err := failure.NewModel(rho)
+		if err != nil {
+			return
+		}
+		sc := Scenario{
+			D0M: d0, SpeedMPS: v, MdataBytes: mdataMB * 1e6,
+			Failure: m, Throughput: AirplaneFit(), MinDistanceM: MinSeparationM,
+		}
+		opt, err := sc.Optimize()
+		if err != nil {
+			t.Fatalf("optimize failed: %v", err)
+		}
+		if math.IsNaN(opt.Utility) || opt.Utility < 0 {
+			t.Fatalf("utility = %v", opt.Utility)
+		}
+		if opt.DoptM < sc.minD()-1e-9 || opt.DoptM > d0+1e-9 {
+			t.Fatalf("dopt %v outside [%v, %v]", opt.DoptM, sc.minD(), d0)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// LoadTableThroughputCSV reads a measured throughput table from CSV with
+// columns "distance_m,throughput_mbps" (a header row is detected and
+// skipped; extra columns are ignored). Rows are sorted by distance. This is
+// the bridge from `cmd/linkprobe` measurements — or anyone's field data —
+// into the optimizer.
+func LoadTableThroughputCSV(r io.Reader) (*TableThroughput, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading throughput csv: %w", err)
+	}
+	type row struct{ d, mbps float64 }
+	var rows []row
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("core: row %d has %d columns, need 2", i+1, len(rec))
+		}
+		d, err1 := strconv.ParseFloat(rec[0], 64)
+		mbps, err2 := strconv.ParseFloat(rec[1], 64)
+		if err1 != nil || err2 != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("core: row %d is not numeric: %v", i+1, rec)
+		}
+		rows = append(rows, row{d, mbps})
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("core: need at least two data rows, got %d", len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d < rows[j].d })
+	ds := make([]float64, len(rows))
+	bps := make([]float64, len(rows))
+	for i, r := range rows {
+		ds[i] = r.d
+		bps[i] = r.mbps * 1e6
+	}
+	return NewTableThroughput(ds, bps)
+}
+
+// WriteTableThroughputCSV writes a (distance, Mb/s) table in the format
+// LoadTableThroughputCSV reads.
+func WriteTableThroughputCSV(w io.Writer, distances, mbps []float64) error {
+	if len(distances) != len(mbps) {
+		return fmt.Errorf("core: mismatched lengths %d vs %d", len(distances), len(mbps))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"distance_m", "throughput_mbps"}); err != nil {
+		return err
+	}
+	for i := range distances {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(distances[i], 'g', -1, 64),
+			strconv.FormatFloat(mbps[i], 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

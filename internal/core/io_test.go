@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadTableThroughputCSV(t *testing.T) {
+	in := "distance_m,throughput_mbps\n20,25.5\n80,6.6\n40,17.1\n"
+	tab, err := LoadTableThroughputCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Bps(20); got != 25.5e6 {
+		t.Fatalf("Bps(20) = %v", got)
+	}
+	// Rows were sorted: interpolation between 40 and 80 works.
+	if got := tab.Bps(60); got <= 6.6e6 || got >= 17.1e6 {
+		t.Fatalf("Bps(60) = %v", got)
+	}
+}
+
+func TestLoadTableThroughputCSVWithoutHeader(t *testing.T) {
+	tab, err := LoadTableThroughputCSV(strings.NewReader("20,25.5\n80,6.6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Bps(80) != 6.6e6 {
+		t.Fatal("headerless csv mis-parsed")
+	}
+}
+
+func TestLoadTableThroughputCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"distance_m,mbps\n20,5", // single data row
+		"20\n40\n",              // too few columns
+		"20,5\nforty,6\n",       // non-numeric data row
+	}
+	for i, in := range cases {
+		if _, err := LoadTableThroughputCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestWriteThenLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ds := []float64{20, 40, 80}
+	mbps := []float64{25.5, 17.1, 6.6}
+	if err := WriteTableThroughputCSV(&buf, ds, mbps); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := LoadTableThroughputCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds {
+		if got := tab.Bps(d); got != mbps[i]*1e6 {
+			t.Fatalf("round trip at %v: %v", d, got)
+		}
+	}
+	if err := WriteTableThroughputCSV(&buf, ds, mbps[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// The loaded table plugs straight into the optimizer.
+func TestLoadedTableDrivesOptimizer(t *testing.T) {
+	in := "20,25.5\n40,17.1\n60,11.0\n80,6.6\n100,3.5\n"
+	tab, err := LoadTableThroughputCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := QuadrocopterBaseline()
+	sc.Throughput = tab
+	opt, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM < sc.MinDistanceM || opt.DoptM > sc.D0M {
+		t.Fatalf("dopt = %v", opt.DoptM)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+// fig1Scenario is the Fig. 1 setting: two quadrocopters 80 m apart with a
+// 20 MB batch.
+func fig1Scenario() Scenario {
+	m, _ := failure.NewModel(failure.QuadrocopterRho)
+	return Scenario{
+		D0M:          80,
+		SpeedMPS:     4.5,
+		MdataBytes:   20e6,
+		Failure:      m,
+		Throughput:   QuadrocopterFit(),
+		MinDistanceM: MinSeparationM,
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if TransmitNow.String() != "transmit-now" ||
+		ShipThenTransmit.String() != "ship-then-transmit" ||
+		MoveAndTransmit.String() != "move-and-transmit" {
+		t.Fatal("strategy names changed")
+	}
+}
+
+func TestSpeedPenalty(t *testing.T) {
+	p := DefaultSpeedPenalty()
+	if p.Factor(0) != 1 {
+		t.Fatal("hover penalty must be 1")
+	}
+	if got := p.Factor(4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("penalty at 4 m/s = %v, want 0.5", got)
+	}
+	if got := p.Factor(8); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("penalty at 8 m/s = %v, want 0.25", got)
+	}
+	// Zero halving speed falls back to 8 m/s rather than dividing by zero.
+	if got := (SpeedPenalty{}).Factor(8); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fallback penalty = %v", got)
+	}
+}
+
+func TestTransmitNowCompletion(t *testing.T) {
+	sc := fig1Scenario()
+	out, err := sc.RunStrategy(TransmitNow, 0, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.MdataBytes * 8 / sc.Throughput.Bps(sc.D0M)
+	if math.Abs(out.CompletionS-want) > 0.2 {
+		t.Fatalf("completion = %v, want ≈%v", out.CompletionS, want)
+	}
+	// Delivery starts immediately (no shipping).
+	if len(out.Series) < 2 || out.Series[1].DeliveredMB <= 0 {
+		t.Fatal("transmit-now should deliver from t=0")
+	}
+}
+
+func TestShipThenTransmitSeriesShape(t *testing.T) {
+	sc := fig1Scenario()
+	out, err := sc.RunStrategy(ShipThenTransmit, 60, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship := sc.ShipTime(60)
+	// Nothing delivered during shipping; everything after.
+	for _, p := range out.Series {
+		if p.TimeS < ship-1e-9 && p.DeliveredMB != 0 {
+			t.Fatalf("delivered %v MB during shipping at t=%v", p.DeliveredMB, p.TimeS)
+		}
+	}
+	last := out.Series[len(out.Series)-1]
+	if math.Abs(last.DeliveredMB-20) > 0.01 {
+		t.Fatalf("final delivered = %v MB", last.DeliveredMB)
+	}
+	if math.Abs(out.CompletionS-sc.CommDelay(60)) > 0.2 {
+		t.Fatalf("completion %v vs Cdelay %v", out.CompletionS, sc.CommDelay(60))
+	}
+	// Target clamped to feasible range.
+	out2, _ := sc.RunStrategy(ShipThenTransmit, 5, DefaultSpeedPenalty())
+	if out2.TargetDM != MinSeparationM {
+		t.Fatalf("target not clamped: %v", out2.TargetDM)
+	}
+}
+
+// TestFig1Ordering reproduces Fig. 1's qualitative result with the paper's
+// fitted throughput: for a 20 MB batch, shipping to 60 m beats
+// transmitting at 80 m, and 'move and transmit' is the worst strategy.
+func TestFig1Ordering(t *testing.T) {
+	sc := fig1Scenario()
+	now, err := sc.RunStrategy(TransmitNow, 0, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship60, err := sc.RunStrategy(ShipThenTransmit, 60, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's moving tests approached at ≈8 m/s (Section 3.2).
+	scMove := sc
+	scMove.SpeedMPS = 8
+	moving, err := scMove.RunStrategy(MoveAndTransmit, 0, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ship60.CompletionS >= now.CompletionS {
+		t.Fatalf("ship-to-60 (%v s) should beat transmit-now (%v s) for 20 MB",
+			ship60.CompletionS, now.CompletionS)
+	}
+	if moving.CompletionS <= ship60.CompletionS {
+		t.Fatalf("move-and-transmit (%v s) should lose to ship-then-transmit (%v s)",
+			moving.CompletionS, ship60.CompletionS)
+	}
+}
+
+// TestFig1Crossover: the d=60 strategy overtakes d=80 only beyond a batch
+// size in the ~neighbourhood of the paper's ≈15 MB observation.
+func TestFig1Crossover(t *testing.T) {
+	sc := fig1Scenario()
+	cross := sc.CrossoverMB(60) / 1e6
+	if cross < 3 || cross > 25 {
+		t.Fatalf("crossover = %.1f MB, want within [3, 25] (paper ≈15 MB)", cross)
+	}
+	// Below the crossover transmit-now wins; above, shipping wins.
+	below := sc
+	below.MdataBytes = cross * 1e6 * 0.5
+	if below.CommDelay(60) <= below.CommDelay(80) {
+		t.Fatal("below crossover shipping should lose")
+	}
+	above := sc
+	above.MdataBytes = cross * 1e6 * 2
+	if above.CommDelay(60) >= above.CommDelay(80) {
+		t.Fatal("above crossover shipping should win")
+	}
+}
+
+func TestCrossoverEdgeCases(t *testing.T) {
+	sc := fig1Scenario()
+	// Flat throughput: shipping never wins.
+	flat, err := NewTableThroughput([]float64{10, 400}, []float64{5e6, 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := sc
+	sc2.Throughput = flat
+	if !math.IsInf(sc2.CrossoverMB(40), 1) {
+		t.Fatal("flat throughput should have no crossover")
+	}
+	// Dead link at d0: any batch justifies shipping.
+	dead, err := NewTableThroughput([]float64{10, 60, 80}, []float64{10e6, 1e6, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc3 := sc
+	sc3.Throughput = dead
+	if got := sc3.CrossoverMB(40); got != 0 {
+		t.Fatalf("dead-at-d0 crossover = %v, want 0", got)
+	}
+}
+
+func TestMoveAndTransmitDeliversEverything(t *testing.T) {
+	sc := fig1Scenario()
+	out, err := sc.RunStrategy(MoveAndTransmit, 0, DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out.Series[len(out.Series)-1]
+	if math.Abs(last.DeliveredMB-20) > 0.05 {
+		t.Fatalf("delivered %v MB", last.DeliveredMB)
+	}
+	if math.IsInf(out.CompletionS, 1) {
+		t.Fatal("completion infinite")
+	}
+	// Distance decreases monotonically to the floor.
+	prev := math.Inf(1)
+	for _, p := range out.Series {
+		if p.DistanceM > prev+1e-9 {
+			t.Fatal("distance increased while closing in")
+		}
+		prev = p.DistanceM
+	}
+	if last.DistanceM < MinSeparationM-1e-9 {
+		t.Fatalf("closed past the minimum separation: %v", last.DistanceM)
+	}
+}
+
+func TestSeriesMonotonicity(t *testing.T) {
+	sc := fig1Scenario()
+	for _, st := range []Strategy{TransmitNow, ShipThenTransmit, MoveAndTransmit} {
+		out, err := sc.RunStrategy(st, 40, DefaultSpeedPenalty())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevT, prevMB := -1.0, -1.0
+		for _, p := range out.Series {
+			if p.TimeS < prevT || p.DeliveredMB < prevMB-1e-9 {
+				t.Fatalf("%v: series not monotone at t=%v", st, p.TimeS)
+			}
+			prevT, prevMB = p.TimeS, p.DeliveredMB
+		}
+	}
+}
+
+func TestRunStrategyValidation(t *testing.T) {
+	sc := fig1Scenario()
+	sc.MdataBytes = 0
+	if _, err := sc.RunStrategy(TransmitNow, 0, DefaultSpeedPenalty()); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	sc = fig1Scenario()
+	if _, err := sc.RunStrategy(Strategy(99), 0, DefaultSpeedPenalty()); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestDeadLinkStrategiesReportInfinity(t *testing.T) {
+	dead, err := NewTableThroughput([]float64{10, 500}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := failure.NewModel(0)
+	sc := Scenario{
+		D0M: 100, SpeedMPS: 5, MdataBytes: 1e6,
+		Failure: m, Throughput: dead, MinDistanceM: 20,
+	}
+	for _, st := range []Strategy{TransmitNow, ShipThenTransmit, MoveAndTransmit} {
+		out, err := sc.RunStrategy(st, 50, DefaultSpeedPenalty())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(out.CompletionS, 1) {
+			t.Fatalf("%v on dead link completed in %v", st, out.CompletionS)
+		}
+	}
+}

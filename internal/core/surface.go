@@ -1,0 +1,133 @@
+package core
+
+// The paper notes that mixed strategies "would require a further dimension
+// (the speed) to empirical-driven throughput estimation, leading to an
+// interesting extension of our model" (Section 3.2). SurfaceThroughput is
+// that extension: a bilinear-interpolated empirical surface s(d, v), and a
+// surface-aware mixed-strategy runner that charges the measured moving
+// throughput instead of the scalar SpeedPenalty approximation.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SurfaceThroughput is a measured throughput surface over distance and
+// relative speed, bilinearly interpolated and edge-clamped.
+type SurfaceThroughput struct {
+	distances []float64 // ascending
+	speeds    []float64 // ascending
+	bps       [][]float64
+}
+
+// NewSurfaceThroughput builds a surface from a [len(distances)][len(speeds)]
+// grid of throughput samples in bits/s.
+func NewSurfaceThroughput(distances, speeds []float64, bps [][]float64) (*SurfaceThroughput, error) {
+	if len(distances) < 2 || len(speeds) < 2 {
+		return nil, errors.New("core: surface needs ≥2 distances and ≥2 speeds")
+	}
+	for i := 1; i < len(distances); i++ {
+		if distances[i] <= distances[i-1] {
+			return nil, fmt.Errorf("core: distances not increasing at %d", i)
+		}
+	}
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] <= speeds[i-1] {
+			return nil, fmt.Errorf("core: speeds not increasing at %d", i)
+		}
+	}
+	if len(bps) != len(distances) {
+		return nil, fmt.Errorf("core: grid has %d rows, want %d", len(bps), len(distances))
+	}
+	grid := make([][]float64, len(bps))
+	for i, row := range bps {
+		if len(row) != len(speeds) {
+			return nil, fmt.Errorf("core: row %d has %d cols, want %d", i, len(row), len(speeds))
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("core: invalid throughput at [%d][%d]", i, j)
+			}
+		}
+		grid[i] = append([]float64(nil), row...)
+	}
+	return &SurfaceThroughput{
+		distances: append([]float64(nil), distances...),
+		speeds:    append([]float64(nil), speeds...),
+		bps:       grid,
+	}, nil
+}
+
+// bracket returns the index i and fraction f such that xs[i] ≤ x ≤ xs[i+1],
+// clamped to the grid.
+func bracket(xs []float64, x float64) (int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, (x - xs[lo]) / (xs[lo+1] - xs[lo])
+}
+
+// At returns the interpolated throughput at (d, v) in bits/s.
+func (s *SurfaceThroughput) At(d, v float64) float64 {
+	i, fd := bracket(s.distances, d)
+	j, fv := bracket(s.speeds, v)
+	v00 := s.bps[i][j]
+	v01 := s.bps[i][j+1]
+	v10 := s.bps[i+1][j]
+	v11 := s.bps[i+1][j+1]
+	return (1-fd)*((1-fv)*v00+fv*v01) + fd*((1-fv)*v10+fv*v11)
+}
+
+// Bps implements ThroughputModel with the hover column (v = 0).
+func (s *SurfaceThroughput) Bps(d float64) float64 { return s.At(d, 0) }
+
+// RunMixedStrategySurface is RunMixedStrategy with the empirical surface:
+// the en-route rate is s(d(t), v) rather than s(d)·penalty(v).
+func (s Scenario) RunMixedStrategySurface(target float64, surf *SurfaceThroughput) (MixedOutcome, error) {
+	if err := s.Validate(); err != nil {
+		return MixedOutcome{}, err
+	}
+	if surf == nil {
+		return MixedOutcome{}, errors.New("core: nil surface")
+	}
+	d := s.D0M
+	target = math.Max(s.minD(), math.Min(target, s.D0M))
+	remaining := s.MdataBytes * 8
+	total := remaining
+	t := 0.0
+	const dt = 0.02
+	for d > target && t < maxSimulatedS {
+		remaining -= surf.At(d, s.SpeedMPS) * dt
+		if remaining < 0 {
+			remaining = 0
+		}
+		d = math.Max(target, d-s.SpeedMPS*dt)
+		t += dt
+		if remaining == 0 {
+			return MixedOutcome{TargetDM: target, CompletionS: t,
+				DeliveredEnRouteMB: total / 8 / 1e6}, nil
+		}
+	}
+	enRoute := (total - remaining) / 8 / 1e6
+	bps := surf.At(target, 0)
+	if bps <= 0 {
+		return MixedOutcome{TargetDM: target, CompletionS: math.Inf(1),
+			DeliveredEnRouteMB: enRoute}, nil
+	}
+	t += remaining / bps
+	return MixedOutcome{TargetDM: target, CompletionS: t, DeliveredEnRouteMB: enRoute}, nil
+}

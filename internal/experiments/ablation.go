@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// AblationResult is a generic labelled-value comparison.
+type AblationResult struct {
+	Labels []string
+	Values []float64
+	Unit   string
+}
+
+// AblationAggregation compares saturation throughput with and without
+// A-MPDU aggregation (1 vs 14 subframes) on a clean short link — the
+// design choice that lets 802.11n amortize its DCF overhead.
+func AblationAggregation(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	res := AblationResult{Unit: "Mb/s"}
+	for _, agg := range []int{1, 4, 14} {
+		lcfg := link.DefaultConfig()
+		lcfg.Seed = cfg.Seed
+		lcfg.Label = "ablation/agg"
+		lcfg.MAC.MaxAggregation = agg
+		l, err := link.New(lcfg, rate.NewFixed(3))
+		if err != nil {
+			return AblationResult{}, err
+		}
+		// Clean geometry: the comparison isolates DCF amortization, not
+		// the link budget.
+		m := l.Measure(link.Geometry{DistanceM: 5, AltitudeM: 90}, cfg.TrialSeconds)
+		res.Labels = append(res.Labels, "ampdu="+strconv.Itoa(agg))
+		res.Values = append(res.Values, m.ThroughputBps/1e6)
+	}
+	return res, nil
+}
+
+// AblationPHYFeatures compares 20 vs 40 MHz and long vs short guard
+// interval at a fixed MCS on a clean link.
+func AblationPHYFeatures(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	res := AblationResult{Unit: "Mb/s"}
+	variants := []struct {
+		name           string
+		bonded, shortG bool
+	}{
+		{"20MHz/LGI", false, false},
+		{"20MHz/SGI", false, true},
+		{"40MHz/LGI", true, false},
+		{"40MHz/SGI", true, true},
+	}
+	for _, v := range variants {
+		lcfg := link.DefaultConfig()
+		lcfg.Seed = cfg.Seed
+		lcfg.Label = "ablation/phy/" + v.name
+		lcfg.PHY.Bonded40MHz = v.bonded
+		lcfg.PHY.ShortGI = v.shortG
+		if !v.bonded {
+			lcfg.Channel.BandwidthHz = 20e6
+		}
+		l, err := link.New(lcfg, rate.NewFixed(3))
+		if err != nil {
+			return AblationResult{}, err
+		}
+		// Short range and high altitude: ample SNR, so the comparison
+		// isolates the PHY feature rather than the link budget.
+		m := l.Measure(link.Geometry{DistanceM: 5, AltitudeM: 90}, cfg.TrialSeconds)
+		res.Labels = append(res.Labels, v.name)
+		res.Values = append(res.Values, m.ThroughputBps/1e6)
+	}
+	return res, nil
+}
+
+// AblationOptimizer compares the hybrid grid+golden optimizer against a
+// dense brute-force scan: max utility error and speedup.
+func AblationOptimizer(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	scenarios := []core.Scenario{core.AirplaneBaseline(), core.QuadrocopterBaseline()}
+	var rhos []float64
+	for _, r := range []float64{1e-4, 1e-3, 5e-3, 1e-2} {
+		rhos = append(rhos, r)
+	}
+	var worstGap float64
+	startHybrid := time.Now()
+	for _, sc := range scenarios {
+		for _, rho := range rhos {
+			m, err := failure.NewModel(rho)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			sc.Failure = m
+			opt, err := sc.Optimize()
+			if err != nil {
+				return AblationResult{}, err
+			}
+			// Brute force at 1 cm resolution.
+			best := 0.0
+			for d := sc.MinDistanceM; d <= sc.D0M; d += 0.01 {
+				if u := sc.Utility(d); u > best {
+					best = u
+				}
+			}
+			if gap := (best - opt.Utility) / best; gap > worstGap {
+				worstGap = gap
+			}
+		}
+	}
+	elapsed := time.Since(startHybrid).Seconds()
+	return AblationResult{
+		Labels: []string{"worst-relative-gap", "total-seconds"},
+		Values: []float64{worstGap, elapsed},
+		Unit:   "ratio / s",
+	}, nil
+}
+
+// AblationSpeedFading switches off the speed coupling of the channel
+// (orientation and K-factor) and re-measures the Fig 7 speed sweep: the
+// collapse with speed should vanish, isolating the mechanism behind
+// "hover and transmit" beating "move and transmit".
+func AblationSpeedFading(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	measure := func(decoupled bool, v float64) (float64, error) {
+		var xs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			lcfg := trialLinkConfig(cfg.Seed, "ablation/speedfade", trial)
+			if decoupled {
+				lcfg.Channel.OrientSpeedDB = 0
+				lcfg.Channel.KSpeedSlopeDB = 0
+			}
+			l, err := link.New(lcfg, minstrelFor(lcfg))
+			if err != nil {
+				return 0, err
+			}
+			m := l.Measure(link.Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, cfg.TrialSeconds)
+			xs = append(xs, m.ThroughputBps/1e6)
+		}
+		return stats.MustMedian(xs), nil
+	}
+	res := AblationResult{Unit: "ratio hover/15m/s"}
+	for _, decoupled := range []bool{false, true} {
+		hover, err := measure(decoupled, 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		fast, err := measure(decoupled, 15)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		label := "coupled"
+		if decoupled {
+			label = "decoupled"
+		}
+		ratio := math.Inf(1)
+		if fast > 0 {
+			ratio = hover / fast
+		}
+		res.Labels = append(res.Labels, label)
+		res.Values = append(res.Values, ratio)
+	}
+	return res, nil
+}
+
+// AblationFailureModel contrasts the paper's exponential-in-distance
+// failure law with an exponential-in-time alternative (Section 7 names
+// "introducing a specific failure model" as future work): it reports dopt
+// under both for the airplane baseline. Under exponential-in-time the
+// discount depends on Cdelay(d) itself, so the optimum shifts.
+func AblationFailureModel(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	sc := core.AirplaneBaseline()
+	opt, err := sc.Optimize()
+	if err != nil {
+		return AblationResult{}, err
+	}
+	// Exponential in time with the equivalent rate λ = ρ·v: the UAV risks
+	// failure per second aloft rather than per metre shipped.
+	lambda := sc.Failure.Rho * sc.SpeedMPS
+	bestD, bestU := sc.D0M, 0.0
+	for d := sc.MinDistanceM; d <= sc.D0M; d += 0.05 {
+		c := sc.CommDelay(d)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		u := math.Exp(-lambda*c) / c
+		if u > bestU {
+			bestU, bestD = u, d
+		}
+	}
+	return AblationResult{
+		Labels: []string{"dopt-exp-distance", "dopt-exp-time"},
+		Values: []float64{opt.DoptM, bestD},
+		Unit:   "m",
+	}, nil
+}
+
+// AblationAutoRate compares the two auto-rate algorithms (Minstrel
+// sampling vs classic ARF) against the best fixed MCS on a moving aerial
+// link — quantifying how much of the paper's Fig 6 gap each algorithm
+// explains.
+func AblationAutoRate(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	g := link.Geometry{DistanceM: 60, AltitudeM: 90, RelSpeedMPS: 18}
+	measure := func(mk func(lcfg link.Config) rate.Policy) (float64, error) {
+		var xs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			lcfg := trialLinkConfig(cfg.Seed, "ablation/autorate", trial)
+			l, err := link.New(lcfg, mk(lcfg))
+			if err != nil {
+				return 0, err
+			}
+			m := l.Measure(g, cfg.TrialSeconds)
+			xs = append(xs, m.ThroughputBps/1e6)
+		}
+		return stats.MustMedian(xs), nil
+	}
+	res := AblationResult{Unit: "Mb/s"}
+	minstrel, err := measure(func(lcfg link.Config) rate.Policy { return minstrelFor(lcfg) })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	arf, err := measure(func(link.Config) rate.Policy { return rate.NewARF(rate.DefaultARFParams()) })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	oracle, err := measure(func(lcfg link.Config) rate.Policy { return link.NewOraclePolicy(lcfg) })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	best := 0.0
+	for _, m := range []int{1, 2, 3} {
+		m := m
+		v, err := measure(func(link.Config) rate.Policy { return rate.NewFixed(phy.MCS(m)) })
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	res.Labels = []string{"minstrel", "arf", "best-fixed", "oracle"}
+	res.Values = []float64{minstrel, arf, best, oracle}
+	return res, nil
+}
+
+// AblationTwoRay swaps the calibrated log-distance law for the explicit
+// two-ray ground-reflection model and compares the fitted throughput
+// slopes — the physical justification for the default model's sub-2
+// exponent (below the two-ray breakpoint the ground bounce often rides
+// constructively).
+func AblationTwoRay(cfg Config) (AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AblationResult{}, err
+	}
+	fitFor := func(twoRay bool) (float64, error) {
+		var ds, meds []float64
+		for _, d := range []float64{20, 40, 80, 160, 320} {
+			var xs []float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				lcfg := trialLinkConfig(cfg.Seed, "ablation/tworay", trial)
+				lcfg.Channel.TwoRay = twoRay
+				lcfg.Channel.GroundReflectionCoeff = 0.7
+				l, err := link.New(lcfg, minstrelFor(lcfg))
+				if err != nil {
+					return 0, err
+				}
+				m := l.Measure(link.Geometry{DistanceM: d, AltitudeM: 90}, cfg.TrialSeconds)
+				xs = append(xs, m.ThroughputBps/1e6)
+			}
+			ds = append(ds, d)
+			meds = append(meds, stats.MustMedian(xs))
+		}
+		fit, err := stats.FitLog2(ds, meds)
+		if err != nil {
+			return 0, err
+		}
+		return fit.A, nil
+	}
+	logSlope, err := fitFor(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	twoRaySlope, err := fitFor(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Labels: []string{"slope-log-distance", "slope-two-ray"},
+		Values: []float64{logSlope, twoRaySlope},
+		Unit:   "Mb/s per octave",
+	}, nil
+}

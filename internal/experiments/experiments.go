@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrates. Each FigN/TableN function
+// returns a structured result that cmd/experiments renders to CSV and
+// ASCII plots and that the benchmark harness (bench_test.go) asserts
+// shape properties on. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Config scales the experiment workloads.
+type Config struct {
+	// Seed drives every random substream deterministically.
+	Seed int64
+	// Trials is the number of independent repetitions feeding each
+	// distribution (the paper's repeated flight passes).
+	Trials int
+	// TrialSeconds is the simulated duration of one measurement.
+	TrialSeconds float64
+}
+
+// DefaultConfig reproduces the figures at publication quality.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Trials: 9, TrialSeconds: 10}
+}
+
+// QuickConfig is a reduced workload for smoke tests and benchmarks.
+func QuickConfig() Config {
+	return Config{Seed: 1, Trials: 5, TrialSeconds: 5}
+}
+
+// Validate reports the first implausible field.
+func (c Config) Validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("experiments: trials %d must be ≥ 1", c.Trials)
+	}
+	if c.TrialSeconds <= 0 {
+		return fmt.Errorf("experiments: trial duration %v must be positive", c.TrialSeconds)
+	}
+	return nil
+}
+
+// DistanceBin is one boxplot column of a throughput-vs-distance figure.
+type DistanceBin struct {
+	DistanceM float64
+	SamplesMb []float64 // Mb/s samples
+	Box       stats.Boxplot
+}
+
+// binSamples turns distance-keyed samples into sorted bins with boxplot
+// summaries, dropping empty bins.
+func binSamples(byDistance map[float64][]float64) []DistanceBin {
+	var bins []DistanceBin
+	for _, d := range sortedKeys(byDistance) {
+		xs := byDistance[d]
+		if len(xs) == 0 {
+			continue
+		}
+		box, err := stats.Summarize(xs)
+		if err != nil {
+			continue
+		}
+		bins = append(bins, DistanceBin{DistanceM: d, SamplesMb: xs, Box: box})
+	}
+	return bins
+}
+
+func sortedKeys(m map[float64][]float64) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// medians extracts the per-bin medians as (distances, medians).
+func medians(bins []DistanceBin) (ds, meds []float64) {
+	for _, b := range bins {
+		ds = append(ds, b.DistanceM)
+		meds = append(meds, b.Box.Median)
+	}
+	return ds, meds
+}

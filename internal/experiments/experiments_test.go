@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Trials: 0, TrialSeconds: 1}).Validate(); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if err := (Config{Trials: 1, TrialSeconds: 0}).Validate(); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	want := map[string][2]string{
+		"Hovering":              {"No", "Yes"},
+		"Battery autonomy":      {"30 minutes", "20 minutes"},
+		"Cruise speed":          {"10 m/s", "4.5 m/s in auto mode"},
+		"Maximum safe altitude": {"300 m", "100 m"},
+	}
+	for _, row := range tab.Rows {
+		if w, ok := want[row[0]]; ok {
+			if row[1] != w[0] || row[2] != w[1] {
+				t.Errorf("%s: got %q/%q, want %q/%q", row[0], row[1], row[2], w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 5 {
+		t.Fatalf("strategies = %d", len(res.Strategies))
+	}
+	byName := map[string]Fig1Strategy{}
+	for _, s := range res.Strategies {
+		byName[s.Name] = s
+	}
+	// An intermediate shipping distance beats transmitting at d0 for the
+	// 20 MB batch (the paper's headline observation).
+	d80 := byName["d=80"].CompletionS
+	best := math.Inf(1)
+	for _, name := range []string{"d=20", "d=40", "d=60"} {
+		if c := byName[name].CompletionS; c < best {
+			best = c
+		}
+	}
+	if best >= d80 {
+		t.Fatalf("no shipping strategy beat transmit-at-80: best %v vs %v", best, d80)
+	}
+	// The moving strategy does not complete within its approach window.
+	if !math.IsInf(byName["moving"].CompletionS, 1) {
+		t.Fatalf("moving completed in %v", byName["moving"].CompletionS)
+	}
+	if mv := byName["moving"].DeliveredMB; mv <= 0 || mv >= res.Params.BatchMB {
+		t.Fatalf("moving delivered %v MB", mv)
+	}
+	// Analytic crossover lands in the paper's neighbourhood.
+	if res.AnalyticCrossoverMB < 3 || res.AnalyticCrossoverMB > 25 {
+		t.Fatalf("crossover %v MB", res.AnalyticCrossoverMB)
+	}
+	// Shipping strategies deliver nothing before their shipping time.
+	for _, name := range []string{"d=20", "d=40", "d=60"} {
+		st := byName[name]
+		ship := (res.Params.D0M - st.TargetDM) / res.Params.ShipSpeed
+		for _, p := range st.Series {
+			if p.TimeS < ship-1 && p.DeliveredMB > 0 {
+				t.Fatalf("%s delivered during shipping at t=%v", name, p.TimeS)
+			}
+		}
+	}
+}
+
+func TestFig4Traces(t *testing.T) {
+	res, err := Fig4(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Airplanes) != 2 || len(res.Quads) != 8 {
+		t.Fatalf("traces: %d airplanes, %d quads", len(res.Airplanes), len(res.Quads))
+	}
+	for _, tr := range res.Airplanes {
+		if len(tr.Fixes) < 50 {
+			t.Fatalf("%s: only %d fixes", tr.VehicleID, len(tr.Fixes))
+		}
+	}
+	// Pairwise airplane distances must sweep a wide range (the paper's
+	// 20–400 m), and quads must hold near their nominal separations.
+	minD, maxD := math.Inf(1), 0.0
+	for _, d := range res.AirplaneDistances {
+		minD = math.Min(minD, d)
+		maxD = math.Max(maxD, d)
+	}
+	if minD > 60 || maxD < 300 {
+		t.Fatalf("airplane distance sweep [%v, %v] too narrow", minD, maxD)
+	}
+	// Quad traces stay near their hold altitude of 10 m.
+	for _, tr := range res.Quads {
+		for _, f := range tr.Fixes {
+			if f.ENU.Z < 0 || f.ENU.Z > 25 {
+				t.Fatalf("%s: fix altitude %v", tr.VehicleID, f.ENU.Z)
+			}
+		}
+	}
+}
+
+func TestFig5Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flight simulation is slow")
+	}
+	res, err := Fig5(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) < 10 {
+		t.Fatalf("bins = %d", len(res.Bins))
+	}
+	// The fit must land near the paper's s(d) = −5.56·log2(d) + 49.
+	t.Logf("fig5 fit: A=%.2f B=%.2f R²=%.3f (paper −5.56, 49, 0.9)", res.Fit.A, res.Fit.B, res.Fit.R2)
+	if res.Fit.A < -9 || res.Fit.A > -3.5 {
+		t.Errorf("slope %v outside [−9, −3.5]", res.Fit.A)
+	}
+	if res.Fit.B < 35 || res.Fit.B > 65 {
+		t.Errorf("intercept %v outside [35, 65]", res.Fit.B)
+	}
+	if res.Fit.R2 < 0.8 {
+		t.Errorf("R² = %v", res.Fit.R2)
+	}
+	// Near-range median ≈20–30 Mb/s (the paper's "≈20 Mb/s ...
+	// more the one expected of 802.11g").
+	if first := res.Bins[0]; first.DistanceM == 20 &&
+		(first.Box.Median < 12 || first.Box.Median > 38) {
+		t.Errorf("median at 20 m = %v", first.Box.Median)
+	}
+}
+
+func TestFig6FixedBeatsAuto(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flight simulation is slow")
+	}
+	res, err := Fig6(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Distances) < 8 {
+		t.Fatalf("bins = %d", len(res.Distances))
+	}
+	// The best fixed MCS must beat auto-rate at (nearly) every distance;
+	// the paper reports ≥2×, we require a clear win on average.
+	adv := res.MedianAdvantage()
+	var sum float64
+	wins := 0
+	for i, a := range adv {
+		if !math.IsInf(a, 1) {
+			sum += a
+		}
+		if res.BestMedian[i] > res.AutoMedian[i] {
+			wins++
+		}
+	}
+	mean := sum / float64(len(adv))
+	t.Logf("fig6 mean best/auto advantage = %.2f, wins %d/%d", mean, wins, len(adv))
+	if mean < 1.25 {
+		t.Errorf("mean advantage %v < 1.25", mean)
+	}
+	if wins*10 < len(adv)*8 {
+		t.Errorf("fixed won only %d of %d bins", wins, len(adv))
+	}
+	// Low-index STBC MCS dominate the winning set (the paper: MCS1–3 win
+	// everywhere up to 220 m; SDM MCS8 never wins under strong LoS).
+	for i, m := range res.BestMCS {
+		if res.Distances[i] <= 220 && m == 8 {
+			t.Errorf("MCS8 won at %v m", res.Distances[i])
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flight simulation is slow")
+	}
+	res, err := Fig7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left panel: hovering throughput declines with distance (ends).
+	if len(res.Hover) < 4 {
+		t.Fatalf("hover bins = %d", len(res.Hover))
+	}
+	first, last := res.Hover[0], res.Hover[len(res.Hover)-1]
+	if first.Box.Median <= last.Box.Median {
+		t.Fatalf("hover medians do not decline: %v → %v", first.Box.Median, last.Box.Median)
+	}
+	// Hover fit within the calibration band of the paper's quad fit.
+	t.Logf("fig7 hover fit: A=%.2f B=%.2f R²=%.3f (paper −10.5, 73, 0.96)",
+		res.HoverFit.A, res.HoverFit.B, res.HoverFit.R2)
+	if res.HoverFit.A < -16 || res.HoverFit.A > -6 {
+		t.Errorf("hover slope %v outside [−16, −6]", res.HoverFit.A)
+	}
+	// Centre panel: moving medians sit below hovering at the shared bins.
+	movingWorse := 0
+	shared := 0
+	for _, mb := range res.Moving {
+		for _, hb := range res.Hover {
+			if hb.DistanceM == mb.DistanceM {
+				shared++
+				if mb.Box.Median < hb.Box.Median {
+					movingWorse++
+				}
+			}
+		}
+	}
+	if shared == 0 || movingWorse*2 < shared {
+		t.Errorf("moving not clearly below hover: %d of %d bins", movingWorse, shared)
+	}
+	// Right panel: hovering beats the fastest speed by a clear factor.
+	v0 := res.Speeds[0]
+	vMax := res.Speeds[len(res.Speeds)-1]
+	if v0.SpeedMPS != 0 || vMax.SpeedMPS != 15 {
+		t.Fatalf("speed sweep ends: %v, %v", v0.SpeedMPS, vMax.SpeedMPS)
+	}
+	if v0.Box.Median <= vMax.Box.Median*1.5 {
+		t.Errorf("speed collapse too weak: %v vs %v", v0.Box.Median, vMax.Box.Median)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, curves := range map[string][]Fig8Curve{
+		"airplane": res.Airplane, "quadrocopter": res.Quadrocopter,
+	} {
+		if len(curves) != 5 {
+			t.Fatalf("%s: curves = %d", name, len(curves))
+		}
+		// dopt increases with rho (the figure's maxima march rightward).
+		prev := -1.0
+		for _, c := range curves {
+			if c.DoptM < prev-1 {
+				t.Errorf("%s: dopt fell from %v to %v at ρ=%v", name, prev, c.DoptM, c.Rho)
+			}
+			prev = c.DoptM
+			// The marked maximum matches the curve's highest sample.
+			maxU := 0.0
+			for _, p := range c.Points {
+				maxU = math.Max(maxU, p.Utility)
+			}
+			if c.UMax < maxU-1e-9 {
+				t.Errorf("%s ρ=%v: optimum %v below curve max %v", name, c.Rho, c.UMax, maxU)
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(res.MdataSet)*len(res.SpeedSet) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	get := func(mb, v float64) Fig9Point {
+		for _, p := range res.Points {
+			if p.MdataMB == mb && p.SpeedMPS == v {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v/%v", mb, v)
+		return Fig9Point{}
+	}
+	// Larger Mdata at fixed speed → smaller dopt and lower utility.
+	for _, v := range res.SpeedSet {
+		if get(5, v).DoptM < get(45, v).DoptM-1 {
+			t.Errorf("dopt should shrink with Mdata at v=%v", v)
+		}
+		if get(5, v).Utility < get(45, v).Utility {
+			t.Errorf("utility should fall with Mdata at v=%v", v)
+		}
+	}
+	// 45 MB at 20 m/s pins to the minimum distance (paper: "once the
+	// minimum distance is reached...").
+	if !get(45, 20).AtMinimum {
+		t.Errorf("45 MB @ 20 m/s not at the minimum: %+v", get(45, 20))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	cfg := QuickConfig()
+
+	agg, err := AblationAggregation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(agg.Values[2] > agg.Values[0]*1.3) {
+		t.Errorf("aggregation should lift throughput ≥1.3×: %v", agg.Values)
+	}
+
+	phyF, err := AblationPHYFeatures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 MHz SGI carries well over 1.5x the 20 MHz LGI rate at the same
+	// MCS index when SNR is ample.
+	if !(phyF.Values[3] > phyF.Values[0]*1.5) {
+		t.Errorf("40MHz/SGI should beat 20MHz/LGI: %v", phyF.Values)
+	}
+
+	opt, err := AblationOptimizer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Values[0] > 1e-6 {
+		t.Errorf("optimizer gap vs brute force = %v", opt.Values[0])
+	}
+
+	sf, err := AblationSpeedFading(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sf.Values[0] > sf.Values[1]) {
+		t.Errorf("decoupling should flatten the speed collapse: %v", sf.Values)
+	}
+
+	fm, err := AblationFailureModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Values[0] <= 0 || fm.Values[1] <= 0 {
+		t.Errorf("failure-model ablation degenerate: %v", fm.Values)
+	}
+}
+
+func TestMissionLevelTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission simulations are slow")
+	}
+	res, err := MissionLevel(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 1 {
+		t.Fatal("no runs")
+	}
+	// The rendezvous policy delivers faster (the paper's payoff)...
+	if res.RendezvousMakespanS >= res.NaiveMakespanS {
+		t.Errorf("rendezvous makespan %v not better than naive %v",
+			res.RendezvousMakespanS, res.NaiveMakespanS)
+	}
+	// ...while impatience is (weakly) safer in delivered-data terms — the
+	// very tension U(d) trades off.
+	if res.NaiveDeliveryRatio+1e-9 < res.RendezvousDeliveryRatio {
+		t.Errorf("naive should not deliver less: %v vs %v",
+			res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio)
+	}
+	t.Logf("makespan naive %.0f s vs rendezvous %.0f s; delivery %.2f vs %.2f",
+		res.NaiveMakespanS, res.RendezvousMakespanS,
+		res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio)
+}
+
+func TestFig6LossClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flight simulation is slow")
+	}
+	res, err := Fig6(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "The packet loss rate is greatly reduced by simply fixing the rate."
+	t.Logf("datagram loss: auto %.3f vs best fixed %.3f", res.AutoLoss, res.BestLoss)
+	if res.AutoLoss <= res.BestLoss {
+		t.Fatalf("fixing the rate should reduce loss: auto %.4f vs fixed %.4f",
+			res.AutoLoss, res.BestLoss)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a, err := Fig8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Airplane {
+		if a.Airplane[i].DoptM != b.Airplane[i].DoptM {
+			t.Fatal("Fig8 not deterministic")
+		}
+	}
+	f1, err := Fig1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fig1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.Strategies {
+		if f1.Strategies[i].CompletionS != f2.Strategies[i].CompletionS {
+			t.Fatal("Fig1 not deterministic")
+		}
+	}
+}

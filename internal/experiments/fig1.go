@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/transport"
+)
+
+// Fig1Params is the experiment of Fig. 1: one quadrocopter 80 m from a
+// hovering receiver must deliver 20 MB.
+type Fig1Params struct {
+	D0M         float64
+	BatchMB     float64
+	ShipSpeed   float64 // shipping speed of the hover-and-transmit cases
+	MovingSpeed float64 // approach speed of the move-and-transmit case
+	Targets     []float64
+	DeadlineS   float64
+	// LoiterAfterApproach lets the moving case keep transmitting while
+	// orbiting the receiver at the separation floor. The paper's
+	// experiment stopped at the end of the approach (its Fig. 1 "moving"
+	// curve never completes), so the default is false; enabling it
+	// explores the mixed strategy the paper leaves out of scope.
+	LoiterAfterApproach bool
+}
+
+// DefaultFig1Params mirrors the paper's run.
+func DefaultFig1Params() Fig1Params {
+	return Fig1Params{
+		D0M:         80,
+		BatchMB:     20,
+		ShipSpeed:   4.5,
+		MovingSpeed: 8,
+		Targets:     []float64{20, 40, 60, 80},
+		DeadlineS:   240,
+	}
+}
+
+// Fig1Strategy is one curve of Fig. 1.
+type Fig1Strategy struct {
+	Name        string
+	TargetDM    float64
+	CompletionS float64
+	// DeliveredMB is the total delivered when the strategy run ended
+	// (equals the batch size when CompletionS is finite).
+	DeliveredMB float64
+	Series      []transport.SeriesPoint
+}
+
+// Fig1Result is the full figure.
+type Fig1Result struct {
+	Params     Fig1Params
+	Strategies []Fig1Strategy
+	// BestHover is the hover-and-transmit target with the lowest
+	// completion time.
+	BestHover float64
+	// AnalyticCrossoverMB is the model's crossover between transmitting
+	// at d0 and at the best hover target (paper: ≈15 MB for d=60).
+	AnalyticCrossoverMB float64
+}
+
+// Fig1 reproduces the strategy race of Fig. 1 at packet level: ship to
+// each candidate distance then hover-and-transmit, plus the
+// move-and-transmit case, all over the simulated quadrocopter link.
+func Fig1(cfg Config) (Fig1Result, error) {
+	return Fig1With(cfg, DefaultFig1Params())
+}
+
+// Fig1With runs Fig 1 under custom parameters.
+func Fig1With(cfg Config, p Fig1Params) (Fig1Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig1Result{}, err
+	}
+	res := Fig1Result{Params: p}
+
+	// Hover-and-transmit at each target distance.
+	for _, target := range p.Targets {
+		st, err := fig1HoverStrategy(cfg, p, target)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		res.Strategies = append(res.Strategies, st)
+	}
+	// Move and transmit.
+	mv, err := fig1MovingStrategy(cfg, p)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	res.Strategies = append(res.Strategies, mv)
+
+	best := math.Inf(1)
+	for _, st := range res.Strategies {
+		if st.Name != "moving" && st.CompletionS < best {
+			best = st.CompletionS
+			res.BestHover = st.TargetDM
+		}
+	}
+	// Analytic crossover for the winning hover target, from the paper's
+	// quadrocopter scenario.
+	sc := core.QuadrocopterBaseline()
+	sc.D0M = p.D0M
+	sc.SpeedMPS = p.ShipSpeed
+	sc.MdataBytes = p.BatchMB * 1e6
+	res.AnalyticCrossoverMB = sc.CrossoverMB(res.BestHover) / 1e6
+	return res, nil
+}
+
+// fig1HoverStrategy ships silently to the target distance, then transmits
+// while both quads hover.
+func fig1HoverStrategy(cfg Config, p Fig1Params, target float64) (Fig1Strategy, error) {
+	mover, receiver, fp, err := fig1Rig(cfg, p, fmt.Sprintf("fig1/d%.0f", target))
+	if err != nil {
+		return Fig1Strategy{}, err
+	}
+	st := Fig1Strategy{Name: fmt.Sprintf("d=%.0f", target), TargetDM: target}
+
+	// Phase 1: ship (no transmission; the paper's UAV stays silent).
+	if target < p.D0M {
+		arrived := false
+		mover.GoTo(geo.Vec3{X: target, Z: 10}, p.ShipSpeed, func() { arrived = true })
+		for !arrived && fp.link.Now() < p.DeadlineS {
+			fp.link.SetNow(fp.link.Now() + fp.tick)
+			fp.advanceVehicles()
+		}
+		// Record the silent shipping phase in the series.
+		for ts := 0.25; ts < fp.link.Now(); ts += 0.25 {
+			st.Series = append(st.Series, transport.SeriesPoint{
+				TimeS: ts, DeliveredMB: 0, DistanceM: p.D0M - p.ShipSpeed*ts,
+			})
+		}
+	}
+	shipEnd := fp.link.Now()
+
+	// Phase 2: hover and transmit.
+	geom := func(float64) link.Geometry { fp.advanceVehicles(); return fp.geometry() }
+	batch, err := transport.TransferBatch(fp.link, transport.BatchConfig{
+		Bytes: int(p.BatchMB * 1e6), DeadlineS: p.DeadlineS, Reliable: true,
+	}, geom)
+	if err != nil {
+		return Fig1Strategy{}, err
+	}
+	for _, pt := range batch.Series {
+		pt.TimeS += shipEnd
+		st.Series = append(st.Series, pt)
+	}
+	st.CompletionS = shipEnd + batch.CompletionS
+	_ = receiver
+	return st, nil
+}
+
+// fig1MovingStrategy transmits while approaching at the moving speed. The
+// paper's run ends with the approach ("transmits while approaching the
+// target UAV"); with LoiterAfterApproach the quad instead keeps orbiting
+// the receiver at the separation floor, still in motion, until the batch
+// completes — the mixed strategy the paper leaves out of scope.
+func fig1MovingStrategy(cfg Config, p Fig1Params) (Fig1Strategy, error) {
+	mover, _, fp, err := fig1Rig(cfg, p, "fig1/moving")
+	if err != nil {
+		return Fig1Strategy{}, err
+	}
+	st := Fig1Strategy{Name: "moving", TargetDM: core.MinSeparationM}
+
+	approachDone := false
+	var next func()
+	if p.LoiterAfterApproach {
+		orbit := orbitWaypoints(core.MinSeparationM, 10)
+		leg := 0
+		next = func() {
+			approachDone = true
+			wp := orbit[leg%len(orbit)]
+			leg++
+			mover.GoTo(wp, p.MovingSpeed, next)
+		}
+	} else {
+		next = func() { approachDone = true }
+	}
+	mover.GoTo(geo.Vec3{X: core.MinSeparationM, Z: 10}, p.MovingSpeed, next)
+
+	deadline := p.DeadlineS
+	if !p.LoiterAfterApproach {
+		// The experiment ends shortly after the approach completes.
+		deadline = (p.D0M-core.MinSeparationM)/p.MovingSpeed + 2
+	}
+	geom := func(float64) link.Geometry { fp.advanceVehicles(); return fp.geometry() }
+	batch, err := transport.TransferBatch(fp.link, transport.BatchConfig{
+		Bytes: int(p.BatchMB * 1e6), DeadlineS: deadline, Reliable: true,
+	}, geom)
+	if err != nil {
+		return Fig1Strategy{}, err
+	}
+	st.Series = batch.Series
+	st.CompletionS = batch.CompletionS
+	st.DeliveredMB = float64(batch.DeliveredBytes) / 1e6
+	if !p.LoiterAfterApproach && approachDone {
+		// Truncate the record at the end of the approach, like the paper's
+		// moving curve: the strategy did not complete within its window.
+		arrival := (p.D0M - core.MinSeparationM) / p.MovingSpeed
+		var trimmed []transport.SeriesPoint
+		for _, pt := range batch.Series {
+			if pt.TimeS <= arrival+1.0 {
+				trimmed = append(trimmed, pt)
+			}
+		}
+		if len(trimmed) > 0 {
+			st.Series = trimmed
+			st.DeliveredMB = trimmed[len(trimmed)-1].DeliveredMB
+		}
+		if st.DeliveredMB < p.BatchMB {
+			st.CompletionS = math.Inf(1)
+		}
+	}
+	return st, nil
+}
+
+// orbitWaypoints returns a ring of waypoints at the given radius around
+// the origin (the receiver) at altitude alt.
+func orbitWaypoints(radius, alt float64) []geo.Vec3 {
+	const n = 8
+	wps := make([]geo.Vec3, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / n
+		wps[i] = geo.Vec3{X: radius * math.Cos(th), Y: radius * math.Sin(th), Z: alt}
+	}
+	return wps
+}
+
+// fig1Rig builds the two quads and their link for one strategy run.
+func fig1Rig(cfg Config, p Fig1Params, label string) (*autopilot.Autopilot, *autopilot.Autopilot, *flightPair, error) {
+	mover, err := quadAt("mover", geo.Vec3{X: p.D0M, Z: 10})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	receiver, err := quadAt("receiver", geo.Vec3{Z: 10})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	receiver.Hold(geo.Vec3{Z: 10})
+	lcfg := trialLinkConfig(cfg.Seed, label, 0)
+	fp, err := newFlightPair(lcfg, minstrelFor(lcfg), mover, receiver)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return mover, receiver, fp, nil
+}

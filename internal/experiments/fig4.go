@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/gps"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Fig4Trace is one vehicle's GPS trace.
+type Fig4Trace struct {
+	VehicleID string
+	Fixes     []gps.Fix
+}
+
+// Fig4Result reproduces the GPS traces of Fig. 4: (a) two airplanes
+// commuting between waypoints with relative distances 20–400 m at
+// altitudes ≈80–100 m; (b) quadrocopter pairs hovering at 10 m at relative
+// distances 20–80 m.
+type Fig4Result struct {
+	Airplanes []Fig4Trace
+	Quads     []Fig4Trace
+	// AirplaneDistances are the Haversine pairwise distances of the
+	// airplane traces (the paper bins throughput by exactly these).
+	AirplaneDistances []float64
+}
+
+// fig4Origin anchors the mission frame (the paper flew near Zurich).
+var fig4Origin = geo.LatLon{Lat: 47.3769, Lon: 8.5417}
+
+// Fig4 flies both trace patterns and records noisy GPS fixes.
+func Fig4(cfg Config) (Fig4Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig4Result{}, err
+	}
+	var res Fig4Result
+	frame := geo.NewFrame(fig4Origin)
+	rng := stats.NewRNG(cfg.Seed)
+
+	// (a) Airplanes: commute for enough time to cover several legs.
+	a, err := planeAt("plane-a", geo.Vec3{X: 0, Z: 80})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	b, err := planeAt("plane-b", geo.Vec3{X: 400, Z: 100})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	commutePlanes(a, b, 400)
+	recvA, err := gps.NewReceiver(gps.DefaultParams(), frame, rng.Substream(cfg.Seed, "fig4/gps-a"))
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	recvB, err := gps.NewReceiver(gps.DefaultParams(), frame, rng.Substream(cfg.Seed, "fig4/gps-b"))
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	const tick = 0.05
+	duration := 12 * cfg.TrialSeconds
+	for now := 0.0; now < duration; now += tick {
+		a.Step(tick)
+		b.Step(tick)
+		recvA.Observe(now, a.Vehicle().Position())
+		recvB.Observe(now, b.Vehicle().Position())
+	}
+	res.Airplanes = []Fig4Trace{
+		{VehicleID: "plane-a", Fixes: recvA.Trace()},
+		{VehicleID: "plane-b", Fixes: recvB.Trace()},
+	}
+	res.AirplaneDistances = gps.PairwiseDistances(recvA.Trace(), recvB.Trace(), 0.5)
+
+	// (b) Quadrocopters hovering at 10 m at separations 20–80 m.
+	for _, d := range []float64{20, 40, 60, 80} {
+		q1, err := quadAt("quad-a", geo.Vec3{Z: 10})
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		q2, err := quadAt("quad-b", geo.Vec3{X: d, Z: 10})
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		q1.Hold(geo.Vec3{Z: 10})
+		q2.Hold(geo.Vec3{X: d, Z: 10})
+		r1, err := gps.NewReceiver(gps.DefaultParams(), frame,
+			rng.Substream(cfg.Seed, "fig4/quad-a/"+strconv.Itoa(int(d))))
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		r2, err := gps.NewReceiver(gps.DefaultParams(), frame,
+			rng.Substream(cfg.Seed, "fig4/quad-b/"+strconv.Itoa(int(d))))
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		for now := 0.0; now < cfg.TrialSeconds; now += tick {
+			q1.Step(tick)
+			q2.Step(tick)
+			r1.Observe(now, q1.Vehicle().Position())
+			r2.Observe(now, q2.Vehicle().Position())
+		}
+		res.Quads = append(res.Quads,
+			Fig4Trace{VehicleID: "quad-a-d" + strconv.Itoa(int(d)), Fixes: r1.Trace()},
+			Fig4Trace{VehicleID: "quad-b-d" + strconv.Itoa(int(d)), Fixes: r2.Trace()},
+		)
+	}
+	return res, nil
+}

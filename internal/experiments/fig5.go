@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Fig5Result reproduces Fig. 5 (throughput vs. distance between two
+// airplanes, auto PHY rate): boxplot bins over the 20–320 m range from
+// repeated commuting flights, plus the log2 fit of the medians the paper
+// derives in Section 4 (s_airplane(d) = −5.56·log2(d) + 49, R² = 0.9).
+type Fig5Result struct {
+	Bins []DistanceBin
+	Fit  stats.LogFit
+}
+
+// fig5BinWidth groups samples into the paper's 20 m columns.
+const fig5BinWidth = 20.0
+
+// Fig5 flies the two-airplane commute while saturating the link with UDP
+// traffic under Minstrel auto-rate and bins windowed throughput by
+// distance.
+func Fig5(cfg Config) (Fig5Result, error) {
+	samples, err := airplaneFlightSamples(cfg, "fig5", nil)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	byBin := make(map[float64][]float64)
+	for _, s := range samples {
+		bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
+		if bin < 20 || bin > 320 {
+			continue
+		}
+		byBin[bin] = append(byBin[bin], s.ThroughputMb)
+	}
+	res := Fig5Result{Bins: binSamples(byBin)}
+	ds, meds := medians(res.Bins)
+	if len(ds) >= 3 {
+		fit, err := stats.FitLog2(ds, meds)
+		if err == nil {
+			res.Fit = fit
+		}
+	}
+	return res, nil
+}
+
+// airplaneFlightSamples runs cfg.Trials commuting flights and pools the
+// windowed throughput samples. policyName selects a fixed MCS ("mcsN") or
+// auto-rate (nil / empty).
+func airplaneFlightSamples(cfg Config, label string, mkPolicy func(trial int) policySpec) ([]windowSample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Trials are seeded independently, so they run concurrently; samples
+	// are gathered per trial index to keep the pooled set deterministic.
+	perTrial := make([][]windowSample, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		wg.Add(1)
+		go func(trial int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a, err := planeAt("plane-a", geo.Vec3{X: 0, Z: 80})
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			b, err := planeAt("plane-b", geo.Vec3{X: 400, Z: 100})
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			commutePlanes(a, b, 400)
+			lcfg := trialLinkConfig(cfg.Seed, label, trial)
+			spec := policySpec{FixedMCS: -1} // default: Minstrel auto-rate
+			if mkPolicy != nil {
+				spec = mkPolicy(trial)
+			}
+			fp, err := newFlightPair(lcfg, spec.build(lcfg), a, b)
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			// One commute leg is 400 m at ~10 m/s: measure several legs so
+			// every distance bin fills.
+			duration := math.Max(cfg.TrialSeconds*10, 90)
+			perTrial[trial] = fp.measureWindowed(duration, 1.0)
+		}(trial)
+	}
+	wg.Wait()
+	var all []windowSample
+	for trial, samples := range perTrial {
+		if errs[trial] != nil {
+			return nil, errs[trial]
+		}
+		all = append(all, samples...)
+	}
+	return all, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+)
+
+// policySpec builds a rate policy per trial link.
+type policySpec struct {
+	// FixedMCS < 0 selects Minstrel auto-rate.
+	FixedMCS int
+}
+
+func (p policySpec) build(lcfg link.Config) rate.Policy {
+	if p.FixedMCS >= 0 {
+		return rate.NewFixed(phy.MCS(p.FixedMCS))
+	}
+	return minstrelFor(lcfg)
+}
+
+// Fig6MCSSet is the fixed-rate set the paper sweeps: "we select modulation
+// schemes and coding rates ... such as MCS1, MCS2, MCS3 and MCS8".
+var Fig6MCSSet = []int{1, 2, 3, 8}
+
+// Fig6Result reproduces Fig. 6: the best median throughput over the fixed
+// MCS set versus auto-rate, per distance bin, between two airplanes.
+type Fig6Result struct {
+	Distances  []float64
+	AutoMedian []float64
+	BestMedian []float64
+	BestMCS    []int
+	// PerMCS holds each fixed policy's median per distance bin.
+	PerMCS map[int][]float64
+	// AutoLoss / BestLoss are the mean datagram loss rates pooled over all
+	// bins, reproducing "the packet loss rate is greatly reduced by simply
+	// fixing the rate" (Section 3.1).
+	AutoLoss float64
+	BestLoss float64
+}
+
+// fig6MaxDistance is the figure's range (20–260 m).
+const fig6MaxDistance = 260.0
+
+// Fig6 runs the airplane commute once per policy and compares medians.
+func Fig6(cfg Config) (Fig6Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig6Result{}, err
+	}
+	runs := make(map[string]map[float64][]float64)
+	losses := make(map[string]float64)
+
+	collect := func(name string, spec policySpec) error {
+		samples, err := airplaneFlightSamples(cfg, "fig6/"+name,
+			func(int) policySpec { return spec })
+		if err != nil {
+			return err
+		}
+		byBin := make(map[float64][]float64)
+		var lossSum float64
+		var lossN int
+		for _, s := range samples {
+			bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
+			if bin < 20 || bin > fig6MaxDistance {
+				continue
+			}
+			byBin[bin] = append(byBin[bin], s.ThroughputMb)
+			lossSum += s.LossRate
+			lossN++
+		}
+		runs[name] = byBin
+		if lossN > 0 {
+			losses[name] = lossSum / float64(lossN)
+		}
+		return nil
+	}
+
+	if err := collect("auto", policySpec{FixedMCS: -1}); err != nil {
+		return Fig6Result{}, err
+	}
+	for _, m := range Fig6MCSSet {
+		if err := collect(fmt.Sprintf("mcs%d", m), policySpec{FixedMCS: m}); err != nil {
+			return Fig6Result{}, err
+		}
+	}
+
+	res := Fig6Result{PerMCS: make(map[int][]float64)}
+	autoBins := binSamples(runs["auto"])
+	for _, b := range autoBins {
+		res.Distances = append(res.Distances, b.DistanceM)
+		res.AutoMedian = append(res.AutoMedian, b.Box.Median)
+	}
+	for range res.Distances {
+		res.BestMedian = append(res.BestMedian, 0)
+		res.BestMCS = append(res.BestMCS, -1)
+	}
+	for _, m := range Fig6MCSSet {
+		fixedBins := binSamples(runs[fmt.Sprintf("mcs%d", m)])
+		med := make([]float64, len(res.Distances))
+		for i, d := range res.Distances {
+			for _, b := range fixedBins {
+				if b.DistanceM == d {
+					med[i] = b.Box.Median
+					break
+				}
+			}
+			if med[i] > res.BestMedian[i] {
+				res.BestMedian[i] = med[i]
+				res.BestMCS[i] = m
+			}
+		}
+		res.PerMCS[m] = med
+	}
+	res.AutoLoss = losses["auto"]
+	// Best-policy loss: the minimum mean loss among the fixed set (the
+	// rate a deployment would pin).
+	best := math.Inf(1)
+	for _, m := range Fig6MCSSet {
+		if l, ok := losses[fmt.Sprintf("mcs%d", m)]; ok && l < best {
+			best = l
+		}
+	}
+	if !math.IsInf(best, 1) {
+		res.BestLoss = best
+	}
+	return res, nil
+}
+
+// MedianAdvantage returns best-fixed/auto ratio per distance (∞ when auto
+// starves).
+func (r Fig6Result) MedianAdvantage() []float64 {
+	out := make([]float64, len(r.Distances))
+	for i := range r.Distances {
+		if r.AutoMedian[i] <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = r.BestMedian[i] / r.AutoMedian[i]
+	}
+	return out
+}

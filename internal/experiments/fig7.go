@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// SpeedBin is one column of Fig. 7's right panel.
+type SpeedBin struct {
+	SpeedMPS  float64
+	SamplesMb []float64
+	Box       stats.Boxplot
+}
+
+// Fig7Result reproduces the three quadrocopter panels of Fig. 7:
+// throughput vs. distance while hovering (left), while one quad approaches
+// at ≈8 m/s (centre), and throughput vs. cruise speed at ≈60 m (right).
+type Fig7Result struct {
+	Hover  []DistanceBin
+	Moving []DistanceBin
+	Speeds []SpeedBin
+	// HoverFit is the paper's Section 4 quadrocopter fit target:
+	// s(d) = −10.5·log2(d) + 73, R² = 0.96.
+	HoverFit stats.LogFit
+}
+
+// Fig7 runs all three panels.
+func Fig7(cfg Config) (Fig7Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig7Result{}, err
+	}
+	var res Fig7Result
+
+	// Left: hovering pairs at 20–80 m.
+	hover := make(map[float64][]float64)
+	for _, d := range []float64{20, 30, 40, 50, 60, 70, 80} {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			lcfg := trialLinkConfig(cfg.Seed, fmt.Sprintf("fig7/hover/d%.0f", d), trial)
+			l, err := link.New(lcfg, minstrelFor(lcfg))
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			m := l.Measure(link.Geometry{DistanceM: d, AltitudeM: 10}, cfg.TrialSeconds)
+			hover[d] = append(hover[d], m.ThroughputBps/1e6)
+		}
+	}
+	res.Hover = binSamples(hover)
+	if ds, meds := medians(res.Hover); len(ds) >= 3 {
+		if fit, err := stats.FitLog2(ds, meds); err == nil {
+			res.HoverFit = fit
+		}
+	}
+
+	// Centre: one quad approaches the hovering one at ≈8 m/s, binned by
+	// distance along the pass.
+	moving := make(map[float64][]float64)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		samples, err := fig7ApproachRun(cfg, trial)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		for _, s := range samples {
+			bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
+			if bin < 20 || bin > 80 {
+				continue
+			}
+			moving[bin] = append(moving[bin], s.ThroughputMb)
+		}
+	}
+	res.Moving = binSamples(moving)
+
+	// Right: orbiting at ~60 m separation at different cruise speeds.
+	for _, v := range []float64{0, 2, 4, 6, 8, 10, 12, 15} {
+		var xs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			lcfg := trialLinkConfig(cfg.Seed, fmt.Sprintf("fig7/speed/v%.0f", v), trial)
+			l, err := link.New(lcfg, minstrelFor(lcfg))
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			m := l.Measure(link.Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, cfg.TrialSeconds)
+			xs = append(xs, m.ThroughputBps/1e6)
+		}
+		box, err := stats.Summarize(xs)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Speeds = append(res.Speeds, SpeedBin{SpeedMPS: v, SamplesMb: xs, Box: box})
+	}
+	return res, nil
+}
+
+// fig7ApproachRun flies one 100 m → 20 m approach at ≈8 m/s while
+// saturating the link.
+func fig7ApproachRun(cfg Config, trial int) ([]windowSample, error) {
+	mover, err := quadAt("mover", geo.Vec3{X: 100, Z: 10})
+	if err != nil {
+		return nil, err
+	}
+	target, err := quadAt("target", geo.Vec3{Z: 10})
+	if err != nil {
+		return nil, err
+	}
+	target.Hold(geo.Vec3{Z: 10})
+	mover.GoTo(geo.Vec3{X: 20, Z: 10}, 8, nil)
+	lcfg := trialLinkConfig(cfg.Seed, "fig7/approach", trial)
+	fp, err := newFlightPair(lcfg, minstrelFor(lcfg), mover, target)
+	if err != nil {
+		return nil, err
+	}
+	// 80 m at 8 m/s ≈ 10 s of approach; window at 0.5 s for distance
+	// resolution.
+	return fp.measureWindowed(10.5, 0.5), nil
+}

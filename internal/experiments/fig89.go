@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+// Fig8Curve is U(d) for one failure rate.
+type Fig8Curve struct {
+	Rho     float64
+	Points  []core.Point
+	DoptM   float64
+	UMax    float64
+	Optimum core.Optimum
+}
+
+// Fig8Result reproduces Fig. 8: U(d) versus d for the baseline airplane
+// and quadrocopter scenarios across failure rates, with the maxima marked.
+type Fig8Result struct {
+	Airplane     []Fig8Curve
+	Quadrocopter []Fig8Curve
+}
+
+// fig8Rhos are the paper's curves: the nominal battery-derived rate plus
+// 1e−3 … 1e−2.
+func fig8Rhos(nominal float64) []float64 {
+	return []float64{nominal, 0.001, 0.002, 0.005, 0.01}
+}
+
+// fig8CurvePoints is the sampling resolution of each curve.
+const fig8CurvePoints = 281
+
+// Fig8 evaluates both baselines.
+func Fig8(cfg Config) (Fig8Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig8Result{}, err
+	}
+	var res Fig8Result
+	var err error
+	res.Airplane, err = fig8For(core.AirplaneBaseline(), failure.AirplaneRho)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res.Quadrocopter, err = fig8For(core.QuadrocopterBaseline(), failure.QuadrocopterRho)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return res, nil
+}
+
+func fig8For(base core.Scenario, nominal float64) ([]Fig8Curve, error) {
+	var curves []Fig8Curve
+	for _, rho := range fig8Rhos(nominal) {
+		sc := base
+		m, err := failure.NewModel(rho)
+		if err != nil {
+			return nil, err
+		}
+		sc.Failure = m
+		pts, err := sc.UtilityCurve(fig8CurvePoints)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := sc.Optimize()
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, Fig8Curve{
+			Rho: rho, Points: pts, DoptM: opt.DoptM, UMax: opt.Utility, Optimum: opt,
+		})
+	}
+	return curves, nil
+}
+
+// Fig9Point is one (Mdata, v) cell of the Fig. 9 sweep.
+type Fig9Point struct {
+	MdataMB  float64
+	SpeedMPS float64
+	DoptM    float64
+	Utility  float64
+	// AtMinimum reports dopt pinned at the separation floor.
+	AtMinimum bool
+}
+
+// Fig9Result reproduces Fig. 9: U(dopt) and dopt across data sizes and
+// speeds in the airplane scenario.
+type Fig9Result struct {
+	Points []Fig9Point
+	// MdataSet and SpeedSet are the swept axes.
+	MdataSet []float64
+	SpeedSet []float64
+}
+
+// Fig9 sweeps the paper's grid: Mdata ∈ {5,7,10,15,25,45} MB (the labelled
+// curves) and v ∈ {3,5,10,15,20} m/s (the labelled sample points).
+func Fig9(cfg Config) (Fig9Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig9Result{}, err
+	}
+	res := Fig9Result{
+		MdataSet: []float64{5, 7, 10, 15, 25, 45},
+		SpeedSet: []float64{3, 5, 10, 15, 20},
+	}
+	base := core.AirplaneBaseline()
+	for _, mb := range res.MdataSet {
+		for _, v := range res.SpeedSet {
+			sc := base
+			sc.MdataBytes = mb * 1e6
+			sc.SpeedMPS = v
+			opt, err := sc.Optimize()
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			res.Points = append(res.Points, Fig9Point{
+				MdataMB:   mb,
+				SpeedMPS:  v,
+				DoptM:     opt.DoptM,
+				Utility:   opt.Utility,
+				AtMinimum: opt.DoptM <= sc.MinDistanceM+1e-6,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/fleet"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// MissionLevelResult is an extension experiment (not a paper figure): the
+// system-level payoff of the delayed-gratification rendezvous over
+// transmitting as soon as the link opens, across repeated missions with
+// failure injection.
+type MissionLevelResult struct {
+	Runs int
+	// Mean makespan (s) over missions where both policies delivered.
+	NaiveMakespanS      float64
+	RendezvousMakespanS float64
+	// Delivery ratio (data delivered / data sensed) including failed runs.
+	NaiveDeliveryRatio      float64
+	RendezvousDeliveryRatio float64
+}
+
+// missionSpecs builds the two-scout, one-relay scenario used by the
+// mission-level experiment.
+func missionSpecs() []fleet.UAVSpec {
+	smallPlan := mission.Plan{
+		Sector:    mission.Sector{WidthM: 40, HeightM: 40},
+		Camera:    mission.DefaultCamera(),
+		AltitudeM: 10,
+	}
+	return []fleet.UAVSpec{
+		{
+			ID: "scout-1", Platform: uav.Arducopter(), Role: fleet.Scout,
+			Start: geo.Vec3{X: 170, Z: 10}, Plan: smallPlan,
+			SectorOrigin: geo.Vec3{X: 160, Y: 10}, MaxScanLanes: 2,
+		},
+		{
+			ID: "scout-2", Platform: uav.Arducopter(), Role: fleet.Scout,
+			Start: geo.Vec3{X: -150, Y: 50, Z: 10}, Plan: smallPlan,
+			SectorOrigin: geo.Vec3{X: -160, Y: 40}, MaxScanLanes: 2,
+		},
+		{ID: "relay-1", Platform: uav.Arducopter(), Role: fleet.Relay, Start: geo.Vec3{Z: 10}},
+	}
+}
+
+// MissionLevel runs cfg.Trials paired missions (same seeds) under both
+// policies with a moderately risky failure model.
+func MissionLevel(cfg Config) (MissionLevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MissionLevelResult{}, err
+	}
+	res := MissionLevelResult{Runs: cfg.Trials}
+	var naiveMs, smartMs []float64
+	var naiveDel, smartDel, total float64
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, naive := range []bool{false, true} {
+			fcfg := fleet.DefaultConfig()
+			fcfg.Seed = cfg.Seed + int64(trial)*101
+			fcfg.Naive = naive
+			// Riskier than the battery baseline so failures actually occur
+			// across the trial set.
+			m, err := failure.NewModel(8e-4)
+			if err != nil {
+				return MissionLevelResult{}, err
+			}
+			fcfg.Scenario.Failure = m
+			ms, err := fleet.New(fcfg, missionSpecs())
+			if err != nil {
+				return MissionLevelResult{}, err
+			}
+			rep, err := ms.Run(3600)
+			if err != nil {
+				return MissionLevelResult{}, err
+			}
+			if naive {
+				naiveDel += rep.DeliveredMB
+				if rep.MakespanS > 0 {
+					naiveMs = append(naiveMs, rep.MakespanS)
+				}
+				total += rep.TotalMB
+			} else {
+				smartDel += rep.DeliveredMB
+				if rep.MakespanS > 0 {
+					smartMs = append(smartMs, rep.MakespanS)
+				}
+			}
+		}
+	}
+	res.NaiveMakespanS = stats.Mean(naiveMs)
+	res.RendezvousMakespanS = stats.Mean(smartMs)
+	if total > 0 {
+		res.NaiveDeliveryRatio = naiveDel / total
+		res.RendezvousDeliveryRatio = smartDel / total
+	}
+	if math.IsNaN(res.NaiveMakespanS) || math.IsNaN(res.RendezvousMakespanS) {
+		res.NaiveMakespanS, res.RendezvousMakespanS = 0, 0
+	}
+	return res, nil
+}

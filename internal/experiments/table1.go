@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// Table1Result regenerates Table 1 ("Main features of our flying
+// platforms") from the platform models, so the table and the simulator can
+// never drift apart.
+type Table1Result struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Table1 renders the platform comparison.
+func Table1() Table1Result {
+	air := uav.Swinglet()
+	quad := uav.Arducopter()
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	return Table1Result{
+		Header: []string{"", "Airplane", "Quadrocopter"},
+		Rows: [][]string{
+			{"Hovering", yn(air.CanHover), yn(quad.CanHover)},
+			{"Size", air.SizeDescription, quad.SizeDescription},
+			{"Weight", fmt.Sprintf("%g g", air.WeightKg*1000), fmt.Sprintf("%g kg", quad.WeightKg)},
+			{"Battery autonomy", fmt.Sprintf("%g minutes", air.BatteryMinutes), fmt.Sprintf("%g minutes", quad.BatteryMinutes)},
+			{"Cruise speed", fmt.Sprintf("%g m/s", air.CruiseSpeedMPS), fmt.Sprintf("%g m/s in auto mode", quad.CruiseSpeedMPS)},
+			{"Maximum safe altitude", fmt.Sprintf("%g m", air.MaxSafeAltitudeM), fmt.Sprintf("%g m", quad.MaxSafeAltitudeM)},
+		},
+	}
+}

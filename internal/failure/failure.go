@@ -1,0 +1,107 @@
+// Package failure implements the paper's operational-failure model
+// (Section 2): "we assume that the failure probability is exponentially
+// distributed with the distance traveled", giving the survival function
+// δ(d) = e^{−ρ·(d0−d)} for a UAV that ships itself from distance d0 to
+// distance d. The paper picks ρ as the inverse of the distance the UAV can
+// cover on one battery at cruise speed.
+//
+// The package provides both the analytic discount used by the utility
+// optimizer and a sampling injector that fails a simulated vehicle at a
+// concrete odometer reading, used by the mission simulations.
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Paper baseline failure rates (Section 4).
+const (
+	// AirplaneRho is the airplane scenario's ρ = 1.11e−4 m⁻¹.
+	AirplaneRho = 1.11e-4
+	// QuadrocopterRho is the quadrocopter scenario's ρ = 2.46e−4 m⁻¹.
+	QuadrocopterRho = 2.46e-4
+)
+
+// Model is the exponential-in-distance failure law.
+type Model struct {
+	// Rho is the failure rate per metre travelled (ρ ≥ 0).
+	Rho float64
+}
+
+// NewModel validates and wraps a failure rate.
+func NewModel(rho float64) (Model, error) {
+	if rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return Model{}, fmt.Errorf("failure: rho %v must be finite and ≥ 0", rho)
+	}
+	return Model{Rho: rho}, nil
+}
+
+// FromRange derives ρ from a travel range in metres (ρ = 1/range), the
+// paper's battery-based choice.
+func FromRange(rangeM float64) (Model, error) {
+	if rangeM <= 0 {
+		return Model{}, fmt.Errorf("failure: range %v must be positive", rangeM)
+	}
+	return Model{Rho: 1 / rangeM}, nil
+}
+
+// Survival returns the probability of remaining functional after
+// travelling dist metres: e^{−ρ·dist}. Negative distances are treated as
+// zero (no travel, no risk).
+func (m Model) Survival(dist float64) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	return math.Exp(-m.Rho * dist)
+}
+
+// Discount is the paper's δ(d) for shipping from d0 to d: the survival of
+// the (d0 − d) leg. Moving away (d > d0) never happens in the optimal
+// strategy; it is charged symmetrically for robustness.
+func (m Model) Discount(d0, d float64) float64 {
+	return m.Survival(math.Abs(d0 - d))
+}
+
+// MeanDistanceToFailure returns 1/ρ (infinite for ρ = 0).
+func (m Model) MeanDistanceToFailure() float64 {
+	if m.Rho == 0 {
+		return math.Inf(1)
+	}
+	return 1 / m.Rho
+}
+
+// Injector samples a concrete failure distance for one vehicle life and
+// answers "has it failed yet?" as the odometer advances. The exponential
+// law is memoryless, so sampling the whole life up front is equivalent to
+// stepwise hazard draws.
+type Injector struct {
+	model   Model
+	failAt  float64 // odometer reading at which the vehicle fails
+	tripped bool
+}
+
+// NewInjector draws the failure distance for one vehicle life.
+func NewInjector(m Model, rng *stats.RNG) *Injector {
+	return &Injector{model: m, failAt: rng.Exponential(m.Rho)}
+}
+
+// FailAt returns the sampled odometer reading of the failure.
+func (i *Injector) FailAt() float64 { return i.failAt }
+
+// Check reports whether the vehicle has failed by the given odometer
+// reading. Once tripped it stays tripped.
+func (i *Injector) Check(odometer float64) bool {
+	if i.tripped {
+		return true
+	}
+	if odometer >= i.failAt {
+		i.tripped = true
+	}
+	return i.tripped
+}
+
+// Tripped reports whether the injector has already fired.
+func (i *Injector) Tripped() bool { return i.tripped }

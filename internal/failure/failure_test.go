@@ -1,0 +1,144 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(-1); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := NewModel(math.NaN()); err == nil {
+		t.Fatal("NaN rho accepted")
+	}
+	if _, err := NewModel(math.Inf(1)); err == nil {
+		t.Fatal("Inf rho accepted")
+	}
+	m, err := NewModel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Survival(1e9) != 1 {
+		t.Fatal("rho=0 should never fail")
+	}
+	if !math.IsInf(m.MeanDistanceToFailure(), 1) {
+		t.Fatal("rho=0 mean distance should be +Inf")
+	}
+}
+
+func TestFromRange(t *testing.T) {
+	m, err := FromRange(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rho-1.0/9000) > 1e-12 {
+		t.Fatalf("rho = %v", m.Rho)
+	}
+	if _, err := FromRange(0); err == nil {
+		t.Fatal("zero range accepted")
+	}
+}
+
+func TestSurvivalMatchesPaperFormula(t *testing.T) {
+	m, _ := NewModel(AirplaneRho)
+	// δ(d) = e^{−ρ(d0−d)} with d0 = 300, d = 100.
+	got := m.Discount(300, 100)
+	want := math.Exp(-AirplaneRho * 200)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("discount = %v, want %v", got, want)
+	}
+	// No travel → no risk.
+	if m.Discount(300, 300) != 1 {
+		t.Fatal("zero-travel discount should be 1")
+	}
+	if m.Survival(-5) != 1 {
+		t.Fatal("negative travel should be riskless")
+	}
+}
+
+func TestPaperRhoConstants(t *testing.T) {
+	if AirplaneRho != 1.11e-4 || QuadrocopterRho != 2.46e-4 {
+		t.Fatal("paper baseline rates changed")
+	}
+	// Mean distance to failure: ≈9.0 km and ≈4.07 km.
+	m1, _ := NewModel(AirplaneRho)
+	if d := m1.MeanDistanceToFailure(); math.Abs(d-9009) > 1 {
+		t.Fatalf("airplane mean distance = %v", d)
+	}
+}
+
+func TestInjectorTripsExactlyOnce(t *testing.T) {
+	m, _ := NewModel(1e-3)
+	inj := NewInjector(m, stats.NewRNG(42))
+	failAt := inj.FailAt()
+	if failAt <= 0 {
+		t.Fatalf("failure distance = %v", failAt)
+	}
+	if inj.Check(failAt * 0.99) {
+		t.Fatal("tripped early")
+	}
+	if inj.Tripped() {
+		t.Fatal("Tripped before reaching distance")
+	}
+	if !inj.Check(failAt) {
+		t.Fatal("did not trip at the failure distance")
+	}
+	// Latches even if odometer "rewinds" (it cannot, but stay safe).
+	if !inj.Check(0) {
+		t.Fatal("injector must latch")
+	}
+}
+
+func TestInjectorDistributionMean(t *testing.T) {
+	m, _ := NewModel(2e-4)
+	rng := stats.NewRNG(7)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += NewInjector(m, rng).FailAt()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5000)/5000 > 0.05 {
+		t.Fatalf("mean failure distance = %v, want ≈5000", mean)
+	}
+}
+
+func TestInjectorNeverFailsAtZeroRho(t *testing.T) {
+	m, _ := NewModel(0)
+	inj := NewInjector(m, stats.NewRNG(1))
+	if inj.Check(1e12) {
+		t.Fatal("rho=0 injector tripped")
+	}
+}
+
+// Property: survival is multiplicative over legs (memorylessness):
+// S(a+b) = S(a)·S(b).
+func TestSurvivalMemorylessProperty(t *testing.T) {
+	m, _ := NewModel(3e-4)
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		return math.Abs(m.Survival(a+b)-m.Survival(a)*m.Survival(b)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: survival is monotone non-increasing in distance.
+func TestSurvivalMonotoneProperty(t *testing.T) {
+	m, _ := NewModel(5e-4)
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return m.Survival(a) >= m.Survival(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

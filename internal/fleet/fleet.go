@@ -1,0 +1,394 @@
+// Package fleet composes the full stack — platforms, autopilots,
+// telemetry, the central planner, failure injection and the packet-level
+// link — into multi-UAV missions, the "holistic planning" direction the
+// paper's Section 5 sketches. A mission assigns scouts to sectors; each
+// scout scans, then ferries its imagery to a relay, transmitting either
+// naively (as soon as the link opens) or at the planner's
+// delayed-gratification rendezvous. The report quantifies the system-level
+// payoff of the paper's decision rule: delivery latency, data delivered
+// before failures, and per-scout outcomes.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/planner"
+	"github.com/nowlater/nowlater/internal/sim"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/telemetry"
+	"github.com/nowlater/nowlater/internal/transport"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// Role distinguishes mission participants.
+type Role int
+
+// Mission roles.
+const (
+	// Scout scans a sector and ferries its own imagery (the paper's view
+	// that "any mission-oriented UAV can become a ferry").
+	Scout Role = iota
+	// Relay hovers and receives (another UAV or the ground station).
+	Relay
+)
+
+// UAVSpec declares one mission participant.
+type UAVSpec struct {
+	ID       string
+	Platform uav.Platform
+	Start    geo.Vec3
+	Role     Role
+	// Plan and SectorOrigin define a scout's sensing assignment; ignored
+	// for relays.
+	Plan         mission.Plan
+	SectorOrigin geo.Vec3
+	// MaxScanLanes truncates the lawnmower pattern (0 = full coverage).
+	MaxScanLanes int
+}
+
+// Config parameterizes a mission.
+type Config struct {
+	Seed int64
+	// Scenario carries the planning parameters (speed, failure model,
+	// throughput law, minimum distance). D0M/Mdata are set per delivery.
+	Scenario core.Scenario
+	// LinkRangeM is where the data link opens (defines each d0).
+	LinkRangeM float64
+	// Link is the packet-level radio configuration for transfers.
+	Link link.Config
+	// Naive skips the rendezvous: scouts transmit where the link opens.
+	Naive bool
+	// TransferDeadlineS bounds each delivery attempt.
+	TransferDeadlineS float64
+}
+
+// DefaultConfig uses the paper's quadrocopter planning scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Scenario:          core.QuadrocopterBaseline(),
+		LinkRangeM:        150,
+		Link:              link.DefaultConfig(),
+		TransferDeadlineS: 600,
+	}
+}
+
+// Delivery is one scout's ferrying outcome.
+type Delivery struct {
+	ScoutID     string
+	RelayID     string
+	MdataMB     float64
+	D0M         float64 // distance when the link opened
+	DoptM       float64 // planned transmit distance (== D0M when naive)
+	ScanDoneS   float64
+	DeliveredS  float64 // completion time (mission clock); +Inf if never
+	DeliveredMB float64
+	Failed      bool // the scout was lost before completing
+}
+
+// Report summarizes a mission.
+type Report struct {
+	Deliveries  []Delivery
+	TotalMB     float64
+	DeliveredMB float64
+	// MakespanS is the time the last successful delivery completed.
+	MakespanS  float64
+	FailedUAVs []string
+}
+
+// DeliveryRatio is delivered/total data.
+func (r Report) DeliveryRatio() float64 {
+	if r.TotalMB == 0 {
+		return 0
+	}
+	return r.DeliveredMB / r.TotalMB
+}
+
+// scout is one scanning participant's runtime state.
+type scout struct {
+	spec     UAVSpec
+	ap       *autopilot.Autopilot
+	injector *failure.Injector
+	hasData  bool
+	done     bool
+	delivery Delivery
+}
+
+// Mission is a configured multi-UAV run.
+type Mission struct {
+	cfg    Config
+	engine *sim.Engine
+	bus    *telemetry.Bus
+	plan   *planner.Planner
+	scouts []*scout
+	relays []*autopilot.Autopilot
+	rng    *stats.RNG
+}
+
+// New assembles a mission. At least one scout and one relay are required.
+func New(cfg Config, specs []UAVSpec) (*Mission, error) {
+	if cfg.LinkRangeM <= 0 {
+		return nil, fmt.Errorf("fleet: link range %v must be positive", cfg.LinkRangeM)
+	}
+	if cfg.TransferDeadlineS <= 0 {
+		return nil, fmt.Errorf("fleet: transfer deadline %v must be positive", cfg.TransferDeadlineS)
+	}
+	engine := sim.NewEngine()
+	bus, err := telemetry.NewBus(telemetry.DefaultParams(), engine)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := planner.New(planner.Config{Scenario: cfg.Scenario, LinkRangeM: cfg.LinkRangeM})
+	if err != nil {
+		return nil, err
+	}
+	m := &Mission{cfg: cfg, engine: engine, bus: bus, plan: pl, rng: stats.NewRNG(cfg.Seed)}
+
+	seenIDs := map[string]bool{}
+	for _, spec := range specs {
+		if spec.ID == "" || seenIDs[spec.ID] {
+			return nil, fmt.Errorf("fleet: missing or duplicate id %q", spec.ID)
+		}
+		seenIDs[spec.ID] = true
+		v, err := uav.NewVehicle(spec.ID, spec.Platform, spec.Start)
+		if err != nil {
+			return nil, err
+		}
+		ap, err := autopilot.New(v)
+		if err != nil {
+			return nil, err
+		}
+		node := &telemetry.Node{ID: spec.ID, Position: v.Position}
+		if err := bus.Attach(node); err != nil {
+			return nil, err
+		}
+		switch spec.Role {
+		case Scout:
+			if err := spec.Plan.Validate(); err != nil {
+				return nil, fmt.Errorf("fleet: scout %s: %w", spec.ID, err)
+			}
+			inj := failure.NewInjector(cfg.Scenario.Failure,
+				m.rng.Substream(cfg.Seed, "fleet/failure/"+spec.ID))
+			m.scouts = append(m.scouts, &scout{spec: spec, ap: ap, injector: inj})
+		case Relay:
+			ap.Hold(spec.Start)
+			m.relays = append(m.relays, ap)
+		default:
+			return nil, fmt.Errorf("fleet: unknown role %d", spec.Role)
+		}
+	}
+	if len(m.scouts) == 0 || len(m.relays) == 0 {
+		return nil, fmt.Errorf("fleet: need at least one scout and one relay")
+	}
+	return m, nil
+}
+
+// nearestRelay returns the relay closest to a position.
+func (m *Mission) nearestRelay(p geo.Vec3) *autopilot.Autopilot {
+	best, bestD := m.relays[0], math.Inf(1)
+	for _, r := range m.relays {
+		if d := r.Vehicle().Position().Dist(p); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// Run executes the mission until all scouts have delivered or failed, or
+// maxSeconds of simulated time elapse.
+func (m *Mission) Run(maxSeconds float64) (Report, error) {
+	if maxSeconds <= 0 {
+		return Report{}, fmt.Errorf("fleet: max duration %v must be positive", maxSeconds)
+	}
+	// Kick off every scout's scan.
+	for _, s := range m.scouts {
+		m.startScan(s)
+	}
+	const tick = 0.1
+	for m.engine.Now() < maxSeconds {
+		if err := m.engine.RunUntil(m.engine.Now() + tick); err != nil {
+			return Report{}, err
+		}
+		allDone := true
+		for _, s := range m.scouts {
+			if s.done {
+				continue
+			}
+			m.step(s, tick)
+			if !s.done {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	return m.report(), nil
+}
+
+// startScan programs a scout's lawnmower legs.
+func (m *Mission) startScan(s *scout) {
+	wps := s.spec.Plan.LawnmowerWaypoints(0)
+	if s.spec.MaxScanLanes > 0 && len(wps) > 2*s.spec.MaxScanLanes {
+		wps = wps[:2*s.spec.MaxScanLanes]
+	}
+	idx := 0
+	var next func()
+	next = func() {
+		if idx >= len(wps) {
+			s.hasData = true
+			s.delivery.ScanDoneS = m.engine.Now()
+			s.delivery.MdataMB = s.spec.Plan.DataBytes() / 1e6
+			return
+		}
+		wp := wps[idx]
+		idx++
+		s.ap.GoTo(s.spec.SectorOrigin.Add(geo.Vec3{X: wp[0], Y: wp[1], Z: wp[2]}), 0, next)
+	}
+	next()
+}
+
+// step advances one scout through its state machine by one control tick.
+func (m *Mission) step(s *scout, tick float64) {
+	v := s.ap.Vehicle()
+	s.ap.Step(tick)
+	if s.injector.Check(v.Odometer()) && !v.Failed() {
+		v.Fail()
+		s.done = true
+		s.delivery.Failed = true
+		s.delivery.DeliveredS = math.Inf(1)
+		return
+	}
+	if !s.hasData {
+		return
+	}
+	relay := m.nearestRelay(v.Position())
+	d := v.Position().Dist(relay.Vehicle().Position())
+	if d > m.cfg.LinkRangeM {
+		// Close in until the link opens.
+		if s.ap.Mode() != autopilot.GoTo || s.ap.Arrived() {
+			s.ap.GoTo(relay.Vehicle().Position(), 0, nil)
+		}
+		return
+	}
+	// Link open: this is d0. Decide, ship, transfer — the remainder is
+	// executed synchronously against the engine clock.
+	m.deliver(s, relay, d)
+}
+
+// deliver runs the decision, the shipping leg and the transfer for one
+// scout; it completes the scout's state machine.
+func (m *Mission) deliver(s *scout, relay *autopilot.Autopilot, d0 float64) {
+	v := s.ap.Vehicle()
+	s.delivery.RelayID = relay.Vehicle().ID
+	s.delivery.D0M = d0
+	target := d0
+
+	if !m.cfg.Naive {
+		// Route the decision through the central planner, exactly as the
+		// ground station would: feed it the two telemetry states, ask for
+		// the rendezvous.
+		m.plan.Observe(telemetry.Status{
+			From: s.spec.ID, Time: m.engine.Now(),
+			Position: v.Position(), Velocity: v.Velocity(),
+			Battery: v.BatteryFraction(),
+			HasData: true, DataMB: s.spec.Plan.DataBytes() / 1e6,
+		})
+		m.plan.Observe(telemetry.Status{
+			From: relay.Vehicle().ID, Time: m.engine.Now(),
+			Position: relay.Vehicle().Position(),
+		})
+		if dec, ok, err := m.plan.PlanDelivery(s.spec.ID, relay.Vehicle().ID); err == nil && ok {
+			target = dec.Optimum.DoptM
+		}
+	}
+	s.delivery.DoptM = target
+
+	// Ship to the rendezvous (synchronously on the engine clock).
+	if target < d0-1 {
+		dir := v.Position().Sub(relay.Vehicle().Position()).Unit()
+		rv := relay.Vehicle().Position().Add(dir.Scale(target))
+		rv.Z = v.Position().Z
+		arrived := false
+		s.ap.GoTo(rv, 0, func() { arrived = true })
+		for !arrived && !v.Failed() {
+			s.ap.Step(0.1)
+			if err := advance(m.engine, 0.1); err != nil {
+				break
+			}
+			if s.injector.Check(v.Odometer()) {
+				v.Fail()
+				s.done = true
+				s.delivery.Failed = true
+				s.delivery.DeliveredS = math.Inf(1)
+				return
+			}
+		}
+	}
+
+	// Transfer over a fresh packet-level link.
+	lcfg := m.cfg.Link
+	lcfg.Seed = m.cfg.Seed
+	lcfg.Label = "fleet/" + s.spec.ID
+	l, err := link.New(lcfg, nil)
+	if err != nil {
+		s.done = true
+		s.delivery.DeliveredS = math.Inf(1)
+		return
+	}
+	l.SetNow(m.engine.Now())
+	res, err := transport.TransferBatch(l, transport.BatchConfig{
+		Bytes:     int(s.spec.Plan.DataBytes()),
+		DeadlineS: m.cfg.TransferDeadlineS,
+		Reliable:  true,
+	}, func(float64) link.Geometry {
+		return link.Geometry{
+			DistanceM:   v.Position().Dist(relay.Vehicle().Position()),
+			AltitudeM:   math.Min(v.Position().Z, relay.Vehicle().Position().Z),
+			RelSpeedMPS: v.Velocity().Sub(relay.Vehicle().Velocity()).Norm(),
+		}
+	})
+	s.done = true
+	if err != nil || math.IsInf(res.CompletionS, 1) {
+		s.delivery.DeliveredS = math.Inf(1)
+		s.delivery.DeliveredMB = float64(res.DeliveredBytes) / 1e6
+		return
+	}
+	_ = advance(m.engine, res.CompletionS)
+	s.delivery.DeliveredS = m.engine.Now()
+	s.delivery.DeliveredMB = float64(res.DeliveredBytes) / 1e6
+}
+
+// advance moves the engine clock forward, tolerating an empty queue.
+func advance(e *sim.Engine, dt float64) error {
+	return e.RunUntil(e.Now() + dt)
+}
+
+// report assembles the mission summary.
+func (m *Mission) report() Report {
+	var r Report
+	for _, s := range m.scouts {
+		r.Deliveries = append(r.Deliveries, s.delivery)
+		r.TotalMB += s.spec.Plan.DataBytes() / 1e6
+		r.DeliveredMB += s.delivery.DeliveredMB
+		if s.delivery.Failed {
+			r.FailedUAVs = append(r.FailedUAVs, s.spec.ID)
+		}
+		if !math.IsInf(s.delivery.DeliveredS, 1) && s.delivery.DeliveredS > r.MakespanS {
+			r.MakespanS = s.delivery.DeliveredS
+		}
+	}
+	sort.Slice(r.Deliveries, func(i, j int) bool {
+		return r.Deliveries[i].ScoutID < r.Deliveries[j].ScoutID
+	})
+	sort.Strings(r.FailedUAVs)
+	return r
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// smallPlan is a reduced sensing assignment so tests stay fast.
+func smallPlan() mission.Plan {
+	return mission.Plan{
+		Sector:    mission.Sector{WidthM: 30, HeightM: 30},
+		Camera:    mission.DefaultCamera(),
+		AltitudeM: 10,
+	}
+}
+
+func specs() []UAVSpec {
+	return []UAVSpec{
+		{
+			ID: "scout-1", Platform: uav.Arducopter(), Role: Scout,
+			Start: geo.Vec3{X: 160, Z: 10}, Plan: smallPlan(),
+			SectorOrigin: geo.Vec3{X: 150, Y: 10}, MaxScanLanes: 2,
+		},
+		{
+			ID: "relay-1", Platform: uav.Arducopter(), Role: Relay,
+			Start: geo.Vec3{Z: 10},
+		},
+	}
+}
+
+func safeConfig() Config {
+	cfg := DefaultConfig()
+	m, _ := failure.NewModel(0) // deterministic: no failures
+	cfg.Scenario.Failure = m
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(safeConfig(), nil); err == nil {
+		t.Fatal("no participants accepted")
+	}
+	bad := safeConfig()
+	bad.LinkRangeM = 0
+	if _, err := New(bad, specs()); err == nil {
+		t.Fatal("zero link range accepted")
+	}
+	bad = safeConfig()
+	bad.TransferDeadlineS = 0
+	if _, err := New(bad, specs()); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	// Duplicate IDs.
+	dup := specs()
+	dup[1].ID = "scout-1"
+	if _, err := New(safeConfig(), dup); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	// Scout without a valid plan.
+	noPlan := specs()
+	noPlan[0].Plan = mission.Plan{}
+	if _, err := New(safeConfig(), noPlan); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	// Only relays.
+	onlyRelay := specs()[1:]
+	if _, err := New(safeConfig(), onlyRelay); err == nil {
+		t.Fatal("relay-only mission accepted")
+	}
+}
+
+func TestMissionDeliversEverything(t *testing.T) {
+	m, err := New(safeConfig(), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deliveries) != 1 {
+		t.Fatalf("deliveries = %d", len(rep.Deliveries))
+	}
+	d := rep.Deliveries[0]
+	if d.Failed || math.IsInf(d.DeliveredS, 1) {
+		t.Fatalf("delivery failed: %+v", d)
+	}
+	if math.Abs(rep.DeliveryRatio()-1) > 0.01 {
+		t.Fatalf("delivery ratio = %v", rep.DeliveryRatio())
+	}
+	if d.D0M <= 0 || d.DoptM <= 0 || d.DoptM > d.D0M+1 {
+		t.Fatalf("geometry bookkeeping: %+v", d)
+	}
+	if d.ScanDoneS <= 0 || d.DeliveredS <= d.ScanDoneS {
+		t.Fatalf("timeline: %+v", d)
+	}
+	if rep.MakespanS != d.DeliveredS {
+		t.Fatalf("makespan %v vs delivery %v", rep.MakespanS, d.DeliveredS)
+	}
+}
+
+func TestDelayedGratificationBeatsNaiveAtMissionLevel(t *testing.T) {
+	run := func(naive bool) Report {
+		cfg := safeConfig()
+		cfg.Naive = naive
+		m, err := New(cfg, specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	smart := run(false)
+	naive := run(true)
+	if smart.Deliveries[0].Failed || naive.Deliveries[0].Failed {
+		t.Fatal("unexpected failure in deterministic mission")
+	}
+	// The rendezvous policy ships closer before transmitting...
+	if smart.Deliveries[0].DoptM >= naive.Deliveries[0].DoptM {
+		t.Fatalf("rendezvous did not move closer: %v vs %v",
+			smart.Deliveries[0].DoptM, naive.Deliveries[0].DoptM)
+	}
+	// ...and completes the mission sooner (the paper's core payoff: the
+	// 56 MB batch is far beyond the crossover size).
+	if smart.MakespanS >= naive.MakespanS {
+		t.Fatalf("delayed gratification lost: %v vs naive %v",
+			smart.MakespanS, naive.MakespanS)
+	}
+	t.Logf("makespan: rendezvous %.1f s vs naive %.1f s", smart.MakespanS, naive.MakespanS)
+}
+
+func TestMissionWithFailures(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := failure.NewModel(0.02) // brutal: mean 50 m to failure
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario.Failure = m
+	ms, err := New(cfg, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ms.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FailedUAVs) != 1 || rep.FailedUAVs[0] != "scout-1" {
+		t.Fatalf("expected the scout to be lost: %+v", rep)
+	}
+	if rep.DeliveryRatio() != 0 {
+		t.Fatalf("lost scout delivered data: %v", rep.DeliveryRatio())
+	}
+}
+
+func TestMultiScoutMission(t *testing.T) {
+	cfg := safeConfig()
+	sp := []UAVSpec{
+		specs()[0],
+		{
+			ID: "scout-2", Platform: uav.Arducopter(), Role: Scout,
+			Start: geo.Vec3{X: -140, Y: 40, Z: 10}, Plan: smallPlan(),
+			SectorOrigin: geo.Vec3{X: -150, Y: 30}, MaxScanLanes: 2,
+		},
+		specs()[1],
+	}
+	m, err := New(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deliveries) != 2 {
+		t.Fatalf("deliveries = %d", len(rep.Deliveries))
+	}
+	for _, d := range rep.Deliveries {
+		if d.Failed || math.IsInf(d.DeliveredS, 1) {
+			t.Fatalf("delivery incomplete: %+v", d)
+		}
+		if d.RelayID != "relay-1" {
+			t.Fatalf("wrong relay: %+v", d)
+		}
+	}
+	if rep.DeliveryRatio() < 0.99 {
+		t.Fatalf("ratio = %v", rep.DeliveryRatio())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m, err := New(safeConfig(), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestMissionDeterministic(t *testing.T) {
+	run := func() Report {
+		m, err := New(safeConfig(), specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.MakespanS != b.MakespanS || a.DeliveredMB != b.DeliveredMB {
+		t.Fatalf("mission not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,137 @@
+// Package geo provides the geodetic and vector primitives used throughout
+// the simulator: WGS-84 latitude/longitude coordinates, the Haversine
+// great-circle distance (the formula the paper applies to GPS fixes to bin
+// throughput samples by distance), bearings, and a local East-North-Up
+// (ENU) tangent frame for flat-earth flight dynamics at the small scales
+// (tens to hundreds of metres) the paper operates at.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the Haversine formula.
+const EarthRadiusMeters = 6371000.0
+
+// LatLon is a WGS-84 geodetic coordinate in degrees with altitude above
+// ground level in metres.
+type LatLon struct {
+	Lat float64 // degrees, positive north
+	Lon float64 // degrees, positive east
+	Alt float64 // metres above ground level
+}
+
+// String renders the coordinate in a compact human-readable form.
+func (p LatLon) String() string {
+	return fmt.Sprintf("(%.6f°, %.6f°, %.1fm)", p.Lat, p.Lon, p.Alt)
+}
+
+// Radians returns latitude and longitude converted to radians.
+func (p LatLon) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// Haversine returns the great-circle ground distance in metres between two
+// coordinates, ignoring altitude. This mirrors the paper's post-processing:
+// "the distance is calculated applying the Haversine formula to GPS
+// coordinates" (Section 3.1).
+func Haversine(a, b LatLon) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Distance3D returns the slant distance in metres between two coordinates,
+// combining the Haversine ground distance with the altitude difference.
+// UAV-to-UAV link budgets use the slant range, not the ground range.
+func Distance3D(a, b LatLon) float64 {
+	g := Haversine(a, b)
+	dz := b.Alt - a.Alt
+	return math.Hypot(g, dz)
+}
+
+// InitialBearing returns the initial great-circle bearing from a to b in
+// radians, measured clockwise from true north in [0, 2π).
+func InitialBearing(a, b LatLon) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	th := math.Atan2(y, x)
+	if th < 0 {
+		th += 2 * math.Pi
+	}
+	return th
+}
+
+// Offset returns the coordinate reached by travelling dist metres from p on
+// the given initial bearing (radians clockwise from north), keeping altitude.
+// It uses the spherical direct geodesic, exact for the sphere model.
+func Offset(p LatLon, bearing, dist float64) LatLon {
+	lat1, lon1 := p.Radians()
+	ad := dist / EarthRadiusMeters
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(ad) + math.Cos(lat1)*math.Sin(ad)*math.Cos(bearing))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(bearing)*math.Sin(ad)*math.Cos(lat1),
+		math.Cos(ad)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	return LatLon{Lat: lat2 * 180 / math.Pi, Lon: normalizeLonDeg(lon2 * 180 / math.Pi), Alt: p.Alt}
+}
+
+func normalizeLonDeg(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}
+
+// Frame is a local East-North-Up tangent frame anchored at an origin
+// coordinate. Within the sub-kilometre extents of the paper's test fields
+// the flat-earth approximation error is below GPS noise, so all flight
+// dynamics run in ENU and convert back to LatLon only for GPS traces.
+type Frame struct {
+	origin          LatLon
+	metersPerDegLat float64
+	metersPerDegLon float64
+}
+
+// NewFrame anchors an ENU frame at origin.
+func NewFrame(origin LatLon) *Frame {
+	lat, _ := origin.Radians()
+	mPerDeg := EarthRadiusMeters * math.Pi / 180
+	return &Frame{
+		origin:          origin,
+		metersPerDegLat: mPerDeg,
+		metersPerDegLon: mPerDeg * math.Cos(lat),
+	}
+}
+
+// Origin returns the frame anchor.
+func (f *Frame) Origin() LatLon { return f.origin }
+
+// ToENU converts a geodetic coordinate into frame-local ENU metres.
+func (f *Frame) ToENU(p LatLon) Vec3 {
+	return Vec3{
+		X: (p.Lon - f.origin.Lon) * f.metersPerDegLon,
+		Y: (p.Lat - f.origin.Lat) * f.metersPerDegLat,
+		Z: p.Alt - f.origin.Alt,
+	}
+}
+
+// ToLatLon converts frame-local ENU metres back to a geodetic coordinate.
+func (f *Frame) ToLatLon(v Vec3) LatLon {
+	return LatLon{
+		Lat: f.origin.Lat + v.Y/f.metersPerDegLat,
+		Lon: f.origin.Lon + v.X/f.metersPerDegLon,
+		Alt: f.origin.Alt + v.Z,
+	}
+}

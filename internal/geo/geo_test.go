@@ -1,0 +1,203 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const zurichLat, zurichLon = 47.3769, 8.5417
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHaversineZeroDistance(t *testing.T) {
+	p := LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 80}
+	if d := Haversine(p, p); d != 0 {
+		t.Fatalf("Haversine(p,p) = %v, want 0", d)
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// One degree of latitude is ~111.19 km on the sphere model.
+	a := LatLon{Lat: 0, Lon: 0}
+	b := LatLon{Lat: 1, Lon: 0}
+	got := Haversine(a, b)
+	want := EarthRadiusMeters * math.Pi / 180
+	if !almostEqual(got, want, 1) {
+		t.Fatalf("Haversine 1° lat = %.1f m, want %.1f m", got, want)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	a := LatLon{Lat: zurichLat, Lon: zurichLon}
+	b := LatLon{Lat: zurichLat + 0.001, Lon: zurichLon + 0.002}
+	if d1, d2 := Haversine(a, b), Haversine(b, a); !almostEqual(d1, d2, 1e-9) {
+		t.Fatalf("Haversine not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDistance3DIncludesAltitude(t *testing.T) {
+	a := LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 80}
+	b := LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 100}
+	if d := Distance3D(a, b); !almostEqual(d, 20, 1e-9) {
+		t.Fatalf("vertical-only Distance3D = %v, want 20", d)
+	}
+	// The paper separates airplanes by 20 m of altitude; slant range at a
+	// 60 m ground offset must exceed the ground range.
+	c := Offset(a, math.Pi/2, 60)
+	c.Alt = 100
+	d3 := Distance3D(a, c)
+	if d3 <= 60 || !almostEqual(d3, math.Hypot(60, 20), 0.2) {
+		t.Fatalf("slant range = %v, want ≈ %v", d3, math.Hypot(60, 20))
+	}
+}
+
+func TestOffsetRoundTripDistance(t *testing.T) {
+	p := LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 10}
+	for _, dist := range []float64{20, 80, 300, 400} {
+		for _, brg := range []float64{0, math.Pi / 3, math.Pi, 3 * math.Pi / 2} {
+			q := Offset(p, brg, dist)
+			if got := Haversine(p, q); !almostEqual(got, dist, 0.01) {
+				t.Errorf("Offset(%v, %.2f, %v) round-trip distance %v", p, brg, dist, got)
+			}
+		}
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	p := LatLon{Lat: zurichLat, Lon: zurichLon}
+	cases := []struct {
+		brg  float64
+		name string
+	}{
+		{0, "north"}, {math.Pi / 2, "east"}, {math.Pi, "south"}, {3 * math.Pi / 2, "west"},
+	}
+	for _, c := range cases {
+		q := Offset(p, c.brg, 100)
+		got := InitialBearing(p, q)
+		diff := math.Abs(got - c.brg)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 0.01 {
+			t.Errorf("%s: bearing %v, want %v", c.name, got, c.brg)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := NewFrame(LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 0})
+	for _, v := range []Vec3{{}, {100, 0, 80}, {-250, 400, 10}, {3, -3, -1}} {
+		p := f.ToLatLon(v)
+		back := f.ToENU(p)
+		if back.Dist(v) > 1e-6 {
+			t.Errorf("frame round trip %v -> %v -> %v", v, p, back)
+		}
+	}
+}
+
+func TestFrameENUMatchesHaversine(t *testing.T) {
+	f := NewFrame(LatLon{Lat: zurichLat, Lon: zurichLon, Alt: 0})
+	q := f.ToLatLon(Vec3{X: 300, Y: 400})
+	hav := Haversine(f.Origin(), q)
+	if !almostEqual(hav, 500, 0.5) {
+		t.Fatalf("ENU (300,400) should be ≈500 m away, Haversine says %v", hav)
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	if v.NormXY() != 5 {
+		t.Fatalf("NormXY = %v", v.NormXY())
+	}
+	if u := v.Unit(); !almostEqual(u.Norm(), 1, 1e-12) {
+		t.Fatalf("Unit norm = %v", u.Norm())
+	}
+	if (Vec3{}).Unit() != (Vec3{}) {
+		t.Fatal("Unit of zero vector should be zero")
+	}
+	if got := v.Scale(2); got != (Vec3{6, 8, 0}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.ClampNorm(2.5); !almostEqual(got.Norm(), 2.5, 1e-12) {
+		t.Fatalf("ClampNorm = %v", got.Norm())
+	}
+	if got := v.ClampNorm(10); got != v {
+		t.Fatalf("ClampNorm should not grow: %v", got)
+	}
+}
+
+func TestHeadingRoundTrip(t *testing.T) {
+	for _, h := range []float64{0, 0.5, math.Pi / 2, 2, math.Pi, 5} {
+		v := FromHeadingXY(h)
+		got := v.HeadingXY()
+		diff := math.Abs(got - h)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 1e-9 {
+			t.Errorf("heading %v -> %v", h, got)
+		}
+	}
+}
+
+func TestRelativeSpeed(t *testing.T) {
+	// Head-on approach at 5 m/s each: closing speed 10 m/s.
+	a, b := Vec3{0, 0, 0}, Vec3{100, 0, 0}
+	va, vb := Vec3{5, 0, 0}, Vec3{-5, 0, 0}
+	if got := RelativeSpeed(a, va, b, vb); !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("head-on closing speed = %v, want 10", got)
+	}
+	// Pure tangential motion: zero range rate.
+	vb = Vec3{0, 7, 0}
+	if got := RelativeSpeed(a, Vec3{}, b, vb); !almostEqual(got, 0, 1e-9) {
+		t.Fatalf("tangential range rate = %v, want 0", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Vec3{0, 0, 0}, Vec3{10, -10, 4}
+	if got := Lerp(a, b, 0); got != a {
+		t.Fatalf("Lerp t=0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Fatalf("Lerp t=1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != (Vec3{5, -5, 2}) {
+		t.Fatalf("Lerp t=0.5 = %v", got)
+	}
+}
+
+// Property: Haversine satisfies the triangle inequality on random nearby
+// coordinates (the regime the simulator uses).
+func TestHaversineTriangleInequalityProperty(t *testing.T) {
+	f := func(dx1, dy1, dx2, dy2 int16) bool {
+		base := LatLon{Lat: zurichLat, Lon: zurichLon}
+		p := Offset(base, 0, float64(dx1%500))
+		p = Offset(p, math.Pi/2, float64(dy1%500))
+		q := Offset(base, 0, float64(dx2%500))
+		q = Offset(q, math.Pi/2, float64(dy2%500))
+		ab := Haversine(base, p)
+		bc := Haversine(p, q)
+		ac := Haversine(base, q)
+		return ac <= ab+bc+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ENU round trip is stable for any offset within a few km.
+func TestFrameRoundTripProperty(t *testing.T) {
+	frame := NewFrame(LatLon{Lat: zurichLat, Lon: zurichLon})
+	f := func(x, y, z int16) bool {
+		v := Vec3{float64(x), float64(y), float64(z % 500)}
+		return frame.ToENU(frame.ToLatLon(v)).Dist(v) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector in a local ENU frame: X east, Y north, Z up, metres
+// (or metres/second when used as a velocity).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// String renders the vector with centimetre precision.
+func (v Vec3) String() string { return fmt.Sprintf("[%.2f %.2f %.2f]", v.X, v.Y, v.Z) }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormXY returns the length of the horizontal (east-north) component.
+func (v Vec3) NormXY() float64 { return math.Hypot(v.X, v.Y) }
+
+// Unit returns v normalized to length 1; the zero vector is returned
+// unchanged (there is no meaningful direction to report).
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// DistXY returns the horizontal distance between v and w.
+func (v Vec3) DistXY(w Vec3) float64 { return v.Sub(w).NormXY() }
+
+// HeadingXY returns the horizontal heading of v in radians clockwise from
+// north (the aviation convention), in [0, 2π). A zero horizontal component
+// yields heading 0.
+func (v Vec3) HeadingXY() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	th := math.Atan2(v.X, v.Y)
+	if th < 0 {
+		th += 2 * math.Pi
+	}
+	return th
+}
+
+// FromHeadingXY builds a horizontal unit vector pointing along the given
+// heading (radians clockwise from north).
+func FromHeadingXY(heading float64) Vec3 {
+	return Vec3{X: math.Sin(heading), Y: math.Cos(heading)}
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func Lerp(v, w Vec3, t float64) Vec3 { return v.Add(w.Sub(v).Scale(t)) }
+
+// ClampNorm returns v shortened to at most maxNorm, preserving direction.
+func (v Vec3) ClampNorm(maxNorm float64) Vec3 {
+	n := v.Norm()
+	if n <= maxNorm || n == 0 {
+		return v
+	}
+	return v.Scale(maxNorm / n)
+}
+
+// RelativeSpeed returns the magnitude of the rate of change of the distance
+// between two moving points: the projection of the relative velocity onto
+// the line between them. This is the "relative speed" that degrades the
+// aerial channel in the paper's Fig. 7 study.
+func RelativeSpeed(posA, velA, posB, velB Vec3) float64 {
+	sep := posB.Sub(posA)
+	d := sep.Norm()
+	if d == 0 {
+		// Coincident points: fall back to the full relative velocity.
+		return velB.Sub(velA).Norm()
+	}
+	return math.Abs(velB.Sub(velA).Dot(sep) / d)
+}

@@ -1,0 +1,128 @@
+// Package gps models the GPS receiver on the paper's autopilots and the
+// trace post-processing used in Figs 4 and 5: periodic position fixes with
+// additive noise, recorded into traces from which pairwise distances are
+// derived with the Haversine formula.
+package gps
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Params configures the receiver model.
+type Params struct {
+	// FixIntervalSeconds between position updates (consumer GPS: 1 Hz,
+	// the uBlox modules on the paper's autopilots: up to 4 Hz).
+	FixIntervalSeconds float64
+	// HorizontalSigmaM / VerticalSigmaM are the per-axis noise standard
+	// deviations (consumer GPS: ~1.5–3 m horizontal, worse vertically).
+	HorizontalSigmaM float64
+	VerticalSigmaM   float64
+}
+
+// DefaultParams is a consumer-grade GPS.
+func DefaultParams() Params {
+	return Params{FixIntervalSeconds: 0.25, HorizontalSigmaM: 1.5, VerticalSigmaM: 3}
+}
+
+// Validate reports the first implausible parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.FixIntervalSeconds <= 0:
+		return fmt.Errorf("gps: fix interval %v must be positive", p.FixIntervalSeconds)
+	case p.HorizontalSigmaM < 0 || p.VerticalSigmaM < 0:
+		return fmt.Errorf("gps: negative noise sigma")
+	}
+	return nil
+}
+
+// Fix is one timestamped position estimate.
+type Fix struct {
+	Time     float64
+	Position geo.LatLon
+	// ENU is the fix in the mission frame (convenience for analysis).
+	ENU geo.Vec3
+}
+
+// Receiver produces noisy fixes of a true ENU position within a mission
+// frame.
+type Receiver struct {
+	p     Params
+	frame *geo.Frame
+	rng   *stats.RNG
+	trace []Fix
+	last  float64
+	first bool
+}
+
+// NewReceiver builds a receiver anchored to a mission frame.
+func NewReceiver(p Params, frame *geo.Frame, rng *stats.RNG) (*Receiver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if frame == nil {
+		return nil, fmt.Errorf("gps: nil frame")
+	}
+	return &Receiver{p: p, frame: frame, rng: rng, first: true}, nil
+}
+
+// Params returns the receiver configuration.
+func (r *Receiver) Params() Params { return r.p }
+
+// Observe offers the true position at time now. If a fix is due (the fix
+// interval has elapsed) it returns the noisy fix and records it in the
+// trace; otherwise ok is false.
+func (r *Receiver) Observe(now float64, truePos geo.Vec3) (Fix, bool) {
+	if !r.first && now-r.last < r.p.FixIntervalSeconds {
+		return Fix{}, false
+	}
+	r.first = false
+	r.last = now
+	noisy := geo.Vec3{
+		X: truePos.X + r.rng.Normal(0, r.p.HorizontalSigmaM),
+		Y: truePos.Y + r.rng.Normal(0, r.p.HorizontalSigmaM),
+		Z: truePos.Z + r.rng.Normal(0, r.p.VerticalSigmaM),
+	}
+	fix := Fix{Time: now, Position: r.frame.ToLatLon(noisy), ENU: noisy}
+	r.trace = append(r.trace, fix)
+	return fix, true
+}
+
+// Trace returns the recorded fixes (shared slice; callers must not mutate).
+func (r *Receiver) Trace() []Fix { return r.trace }
+
+// LastFix returns the most recent fix, if any.
+func (r *Receiver) LastFix() (Fix, bool) {
+	if len(r.trace) == 0 {
+		return Fix{}, false
+	}
+	return r.trace[len(r.trace)-1], true
+}
+
+// PairwiseDistances post-processes two traces the way the paper bins its
+// throughput samples: for each pair of fixes nearest in time (within
+// maxSkew seconds), compute the Haversine ground distance combined with
+// the altitude difference. Returns one distance per matched pair.
+func PairwiseDistances(a, b []Fix, maxSkew float64) []float64 {
+	var out []float64
+	j := 0
+	for _, fa := range a {
+		// Advance j while the next b fix is closer in time.
+		for j+1 < len(b) && abs(b[j+1].Time-fa.Time) <= abs(b[j].Time-fa.Time) {
+			j++
+		}
+		if j < len(b) && abs(b[j].Time-fa.Time) <= maxSkew {
+			out = append(out, geo.Distance3D(fa.Position, b[j].Position))
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,122 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func newReceiver(t *testing.T, p Params) *Receiver {
+	t.Helper()
+	frame := geo.NewFrame(geo.LatLon{Lat: 47.3769, Lon: 8.5417})
+	r, err := NewReceiver(p, frame, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Params{FixIntervalSeconds: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	bad = DefaultParams()
+	bad.HorizontalSigmaM = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := NewReceiver(DefaultParams(), nil, stats.NewRNG(1)); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+}
+
+func TestFixCadence(t *testing.T) {
+	r := newReceiver(t, Params{FixIntervalSeconds: 1, HorizontalSigmaM: 0, VerticalSigmaM: 0})
+	n := 0
+	for i := 0; i <= 100; i++ {
+		now := float64(i) * 0.1 // 10 Hz offers, 1 Hz fixes
+		if _, ok := r.Observe(now, geo.Vec3{X: float64(i)}); ok {
+			n++
+		}
+	}
+	if n != 11 {
+		t.Fatalf("fixes = %d over 10 s at 1 Hz, want 11", n)
+	}
+	if len(r.Trace()) != n {
+		t.Fatalf("trace length %d != %d", len(r.Trace()), n)
+	}
+}
+
+func TestNoiselessFixIsExact(t *testing.T) {
+	r := newReceiver(t, Params{FixIntervalSeconds: 1, HorizontalSigmaM: 0, VerticalSigmaM: 0})
+	truth := geo.Vec3{X: 123, Y: -45, Z: 80}
+	fix, ok := r.Observe(0, truth)
+	if !ok {
+		t.Fatal("first observe must produce a fix")
+	}
+	if fix.ENU.Dist(truth) > 1e-9 {
+		t.Fatalf("noiseless fix off by %v", fix.ENU.Dist(truth))
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	r := newReceiver(t, Params{FixIntervalSeconds: 0.01, HorizontalSigmaM: 2, VerticalSigmaM: 4})
+	truth := geo.Vec3{Z: 50}
+	var dx, dz []float64
+	for i := 0; i < 4000; i++ {
+		fix, ok := r.Observe(float64(i)*0.01, truth)
+		if !ok {
+			continue
+		}
+		dx = append(dx, fix.ENU.X)
+		dz = append(dz, fix.ENU.Z-50)
+	}
+	if sx := stats.StdDev(dx); math.Abs(sx-2) > 0.2 {
+		t.Fatalf("horizontal sigma = %v, want ≈2", sx)
+	}
+	if sz := stats.StdDev(dz); math.Abs(sz-4) > 0.4 {
+		t.Fatalf("vertical sigma = %v, want ≈4", sz)
+	}
+}
+
+func TestLastFix(t *testing.T) {
+	r := newReceiver(t, DefaultParams())
+	if _, ok := r.LastFix(); ok {
+		t.Fatal("LastFix before any observation")
+	}
+	r.Observe(0, geo.Vec3{X: 1})
+	fix, ok := r.LastFix()
+	if !ok || fix.Time != 0 {
+		t.Fatalf("LastFix = %+v, %v", fix, ok)
+	}
+}
+
+func TestPairwiseDistances(t *testing.T) {
+	frame := geo.NewFrame(geo.LatLon{Lat: 47.3769, Lon: 8.5417})
+	mk := func(t0 float64, pos geo.Vec3) Fix {
+		return Fix{Time: t0, Position: frame.ToLatLon(pos), ENU: pos}
+	}
+	a := []Fix{mk(0, geo.Vec3{Z: 80}), mk(1, geo.Vec3{Z: 80}), mk(2, geo.Vec3{Z: 80})}
+	b := []Fix{mk(0.1, geo.Vec3{X: 60, Z: 100}), mk(1.1, geo.Vec3{X: 80, Z: 100})}
+	ds := PairwiseDistances(a, b, 0.5)
+	if len(ds) != 2 {
+		t.Fatalf("matched %d pairs, want 2 (third a-fix has no close b-fix)", len(ds))
+	}
+	want := math.Hypot(60, 20)
+	if math.Abs(ds[0]-want) > 0.5 {
+		t.Fatalf("distance = %v, want ≈%v", ds[0], want)
+	}
+	// With a huge skew allowance everything matches.
+	if ds := PairwiseDistances(a, b, 10); len(ds) != 3 {
+		t.Fatalf("matched %d with wide skew, want 3", len(ds))
+	}
+	if ds := PairwiseDistances(nil, b, 1); len(ds) != 0 {
+		t.Fatal("empty trace should match nothing")
+	}
+}

@@ -1,0 +1,68 @@
+package link
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// TestExplore prints calibration surfaces; enabled with NOWLATER_EXPLORE=1.
+func TestExplore(t *testing.T) {
+	if os.Getenv("NOWLATER_EXPLORE") == "" {
+		t.Skip("set NOWLATER_EXPLORE=1 to run")
+	}
+	cfg := DefaultConfig()
+	med := func(pol func(*stats.RNG) rate.Policy, g Geometry, n int) float64 {
+		xs, err := MeasureTrials(cfg, pol, g, 10, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MustMedian(xs)
+	}
+	t.Log("== airplane autorate (alt 90, v 18) ==")
+	for _, d := range []float64{20, 60, 100, 160, 220, 320} {
+		m := med(nil, Geometry{DistanceM: d, AltitudeM: 90, RelSpeedMPS: 18}, 9)
+		t.Logf("d=%3.0f  sim=%6.2f  paperfit=%6.2f", d, m, -5.56*math.Log2(d)+49)
+	}
+	t.Log("== quad hover autorate (alt 10, v 0) ==")
+	for _, d := range []float64{20, 40, 60, 80} {
+		m := med(nil, Geometry{DistanceM: d, AltitudeM: 10}, 9)
+		t.Logf("d=%3.0f  sim=%6.2f  paperfit=%6.2f", d, m, -10.5*math.Log2(d)+73)
+	}
+	t.Log("== quad moving v=8 ==")
+	for _, d := range []float64{20, 40, 60, 80} {
+		m := med(nil, Geometry{DistanceM: d, AltitudeM: 10, RelSpeedMPS: 8}, 9)
+		t.Logf("d=%3.0f  sim=%6.2f", d, m)
+	}
+	t.Log("== airplane fixed MCS sweep ==")
+	for _, d := range []float64{20, 100, 180, 240} {
+		line := ""
+		for _, mcs := range []phy.MCS{0, 1, 2, 3, 4, 8} {
+			mcs := mcs
+			m := med(func(r *stats.RNG) rate.Policy { return rate.NewFixed(mcs) },
+				Geometry{DistanceM: d, AltitudeM: 90, RelSpeedMPS: 18}, 5)
+			line += sprintfMCS(int(mcs), m)
+		}
+		t.Logf("d=%3.0f: %s", d, line)
+	}
+	t.Log("== speed sweep at d=60 quad ==")
+	for _, v := range []float64{0, 2, 4, 8, 12, 15} {
+		m := med(nil, Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, 9)
+		t.Logf("v=%4.1f  sim=%6.2f", v, m)
+	}
+}
+
+func sprintfMCS(mcs int, v float64) string {
+	return "mcs" + string(rune('0'+mcs%10)) + "=" + trim(v) + " "
+}
+
+func trim(v float64) string {
+	s := make([]byte, 0, 8)
+	iv := int(v*10 + 0.5)
+	s = append(s, byte('0'+iv/100%10), byte('0'+iv/10%10), '.', byte('0'+iv%10))
+	return string(s)
+}

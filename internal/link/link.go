@@ -1,0 +1,302 @@
+// Package link assembles the aerial 802.11n data link the paper measures:
+// channel (path loss, orientation, fading) → PHY (MCS, PER) → MAC (A-MPDU,
+// block ACK, retries) → rate control (fixed or Minstrel). It exposes both a
+// stepwise interface for mission simulations driven by the discrete-event
+// engine and an iperf-style saturation measurement used to regenerate the
+// paper's throughput figures (Figs 5–7).
+package link
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/nowlater/nowlater/internal/channel"
+	"github.com/nowlater/nowlater/internal/mac"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Config assembles one link.
+type Config struct {
+	Channel channel.Params
+	PHY     phy.Config
+	MAC     mac.Params
+	// Seed drives all the link's randomness deterministically.
+	Seed int64
+	// Label separates random substreams of links sharing a seed.
+	Label string
+}
+
+// DefaultConfig is the paper's radio configuration over the calibrated
+// aerial channel.
+func DefaultConfig() Config {
+	return Config{
+		Channel: channel.DefaultParams(),
+		PHY:     phy.DefaultConfig(),
+		MAC:     mac.DefaultParams(),
+		Seed:    1,
+		Label:   "link",
+	}
+}
+
+// Link is one simulated point-to-point aerial 802.11n link. Not safe for
+// concurrent use.
+type Link struct {
+	cfg    Config
+	ch     *channel.Channel
+	mac    *mac.MAC
+	em     *phy.ErrorModel
+	policy rate.Policy
+	tracer Tracer
+	now    float64
+}
+
+// New builds a link with the given rate-control policy. A nil policy gets
+// the Minstrel auto-rate, the paper's default driver behaviour.
+func New(cfg Config, policy rate.Policy) (*Link, error) {
+	root := stats.NewRNG(cfg.Seed)
+	ch, err := channel.New(cfg.Channel, root.Substream(cfg.Seed, cfg.Label+"/channel"))
+	if err != nil {
+		return nil, fmt.Errorf("link: %w", err)
+	}
+	em := phy.NewErrorModel(cfg.PHY)
+	m, err := mac.New(cfg.MAC, cfg.PHY, em, root.Substream(cfg.Seed, cfg.Label+"/mac"))
+	if err != nil {
+		return nil, fmt.Errorf("link: %w", err)
+	}
+	if policy == nil {
+		policy = rate.NewMinstrel(rate.DefaultMinstrelParams(), cfg.PHY,
+			root.Substream(cfg.Seed, cfg.Label+"/rate"))
+	}
+	return &Link{cfg: cfg, ch: ch, mac: m, em: em, policy: policy}, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Policy returns the rate-control policy in use.
+func (l *Link) Policy() rate.Policy { return l.policy }
+
+// MAC exposes the transmit MAC (for counters and queue state).
+func (l *Link) MAC() *mac.MAC { return l.mac }
+
+// Now returns the link's internal clock (seconds).
+func (l *Link) Now() float64 { return l.now }
+
+// SetNow aligns the link clock with an external simulation clock. It cannot
+// move backwards.
+func (l *Link) SetNow(now float64) {
+	if now > l.now {
+		l.now = now
+	}
+}
+
+// Enqueue adds application bytes to the transmit queue.
+func (l *Link) Enqueue(bytes int) { l.mac.Enqueue(bytes) }
+
+// QueuedBytes returns bytes awaiting delivery.
+func (l *Link) QueuedBytes() int { return l.mac.QueuedBytes() }
+
+// Geometry is the instantaneous link geometry for one exchange.
+type Geometry struct {
+	DistanceM float64 // separation between the two radios
+	AltitudeM float64 // link altitude AGL (min of the two ends)
+	// RelSpeedMPS is the magnitude of the relative velocity between the
+	// platforms: attitude dynamics and Doppler degrade the channel under
+	// any mutual motion, orbiting included, not only range change.
+	RelSpeedMPS float64
+}
+
+// Step performs one A-MPDU exchange at the current clock under the given
+// geometry and advances the clock by the airtime consumed. With an empty
+// queue it advances the clock by one idle slot so callers can poll.
+func (l *Link) Step(g Geometry) mac.Exchange {
+	if l.mac.QueuedMPDUs() == 0 {
+		l.now += l.cfg.MAC.SlotSeconds
+		return mac.Exchange{}
+	}
+	sample := l.ch.Sample(l.now, g.DistanceM, g.AltitudeM, g.RelSpeedMPS)
+	var mcs phy.MCS
+	var stbc bool
+	if genie, ok := l.policy.(rate.SNRAware); ok {
+		mcs, stbc = genie.SelectWithSNR(l.now, sample.SNRDB, sample.KFactorDB)
+	} else {
+		mcs, stbc = l.policy.Select(l.now)
+	}
+	ex := l.mac.Transact(sample.SNRDB, sample.KFactorDB, g.RelSpeedMPS, mcs, stbc)
+	l.policy.Observe(l.now, mcs, ex.Attempted, ex.Delivered)
+	l.now += ex.AirtimeSeconds
+	if l.tracer != nil {
+		l.tracer(l.now, g, ex)
+	}
+	return ex
+}
+
+// Tracer receives every completed exchange (after the clock advance) —
+// the packet-level debugging hook, a pcap of sorts.
+type Tracer func(now float64, g Geometry, ex mac.Exchange)
+
+// SetTracer installs an exchange tracer (nil disables).
+func (l *Link) SetTracer(t Tracer) { l.tracer = t }
+
+// MeanSNRDB exposes the channel's large-scale SNR at a geometry, for
+// planning and tests.
+func (l *Link) MeanSNRDB(g Geometry) float64 {
+	return l.ch.MeanSNRDB(g.DistanceM, g.AltitudeM, g.RelSpeedMPS)
+}
+
+// Measurement is the outcome of an iperf-style saturation run.
+type Measurement struct {
+	ThroughputBps float64 // delivered application bits per second
+	DeliveredMB   float64
+	LossRate      float64 // datagrams dropped at the MAC retry limit
+	Exchanges     int64
+	MeanMCS       float64
+	Duration      float64
+}
+
+// Measure saturates the link at a fixed geometry for the given duration
+// (seconds of simulated time) and reports delivered throughput — the
+// simulation equivalent of the paper's iperf UDP runs. A short warmup
+// (20% of the duration, at most 2 s) runs first without being recorded so
+// rate-control convergence does not bias short measurements.
+func (l *Link) Measure(g Geometry, duration float64) Measurement {
+	warmup := duration * 0.2
+	if warmup > 2 {
+		warmup = 2
+	}
+	wEnd := l.now + warmup
+	for l.now < wEnd {
+		if l.mac.QueuedMPDUs() < l.cfg.MAC.MaxAggregation*2 {
+			l.Enqueue(l.cfg.MAC.MPDUPayloadBytes * l.cfg.MAC.MaxAggregation * 2)
+		}
+		l.Step(g)
+	}
+	start := l.now
+	end := l.now + duration
+	var delivered, dropped int64
+	var exchanges int64
+	var mcsSum float64
+	for l.now < end {
+		// Keep the queue saturated like iperf's offered load.
+		if l.mac.QueuedMPDUs() < l.cfg.MAC.MaxAggregation*2 {
+			l.Enqueue(l.cfg.MAC.MPDUPayloadBytes * l.cfg.MAC.MaxAggregation * 2)
+		}
+		before := l.mac.DroppedBytes
+		ex := l.Step(g)
+		delivered += int64(ex.DeliveredBytes)
+		dropped += l.mac.DroppedBytes - before
+		if ex.Attempted > 0 {
+			exchanges++
+			mcsSum += float64(ex.MCS)
+		}
+	}
+	elapsed := l.now - start
+	m := Measurement{
+		ThroughputBps: float64(delivered) * 8 / elapsed,
+		DeliveredMB:   float64(delivered) / 1e6,
+		Exchanges:     exchanges,
+		Duration:      elapsed,
+	}
+	if delivered+dropped > 0 {
+		m.LossRate = float64(dropped) / float64(delivered+dropped)
+	}
+	if exchanges > 0 {
+		m.MeanMCS = mcsSum / float64(exchanges)
+	}
+	return m
+}
+
+// MeasureTrials runs n independent saturation measurements of the given
+// duration at one geometry, each on a fresh link (fresh channel state and
+// substream), returning the throughput samples in Mb/s. This mirrors the
+// paper's repeated flight passes that fill each boxplot column.
+//
+// Trials are independent by construction (per-trial seeds derived from the
+// config seed), so they run concurrently; results are collected by trial
+// index, keeping the output deterministic.
+func MeasureTrials(cfg Config, newPolicy func(rng *stats.RNG) rate.Policy,
+	g Geometry, duration float64, n int) ([]float64, error) {
+	samples := make([]float64, n)
+	errs := make([]error, n)
+	root := stats.NewRNG(cfg.Seed)
+
+	// Build policies serially: the caller's constructor may not be
+	// goroutine-safe, and substream derivation must stay ordered.
+	policies := make([]rate.Policy, n)
+	trialCfgs := make([]Config, n)
+	for i := 0; i < n; i++ {
+		trialCfg := cfg
+		trialCfg.Label = fmt.Sprintf("%s/trial%d", cfg.Label, i)
+		trialCfg.Seed = splitSeed(cfg.Seed, i)
+		trialCfgs[i] = trialCfg
+		if newPolicy != nil {
+			policies[i] = newPolicy(root.Substream(trialCfg.Seed, trialCfg.Label+"/policy"))
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			l, err := New(trialCfgs[i], policies[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			m := l.Measure(g, duration)
+			samples[i] = m.ThroughputBps / 1e6
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+func splitSeed(seed int64, i int) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return int64(x)
+}
+
+// NewOraclePolicy returns the omniscient rate control for this link's PHY
+// configuration — the genie upper bound on any rate adaptation.
+func NewOraclePolicy(cfg Config) rate.Policy {
+	return rate.NewOracle(phy.NewErrorModel(cfg.PHY), (cfg.MAC.MPDUPayloadBytes+cfg.MAC.MPDUOverheadBytes)*8)
+}
+
+// MeasureSurface maps the throughput surface s(d, v): median saturation
+// throughput (bits/s) per (distance, relative speed) cell — the
+// empirical-driven two-dimensional characterization the paper's Section 3.2
+// names as the extension mixed strategies would need.
+func MeasureSurface(cfg Config, distances, speeds []float64, alt, duration float64,
+	trials int) ([][]float64, error) {
+	grid := make([][]float64, len(distances))
+	for i, d := range distances {
+		grid[i] = make([]float64, len(speeds))
+		for j, v := range speeds {
+			cellCfg := cfg
+			cellCfg.Label = fmt.Sprintf("%s/surface/d%.0f/v%.0f", cfg.Label, d, v)
+			xs, err := MeasureTrials(cellCfg, nil,
+				Geometry{DistanceM: d, AltitudeM: alt, RelSpeedMPS: v}, duration, trials)
+			if err != nil {
+				return nil, err
+			}
+			med, err := stats.Median(xs)
+			if err != nil {
+				return nil, err
+			}
+			grid[i][j] = med * 1e6
+		}
+	}
+	return grid, nil
+}

@@ -1,0 +1,307 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/mac"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func newLink(t *testing.T, pol rate.Policy) *Link {
+	t.Helper()
+	l, err := New(DefaultConfig(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channel.BandwidthHz = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MAC.MaxAggregation = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("bad MAC accepted")
+	}
+}
+
+func TestDefaultPolicyIsMinstrel(t *testing.T) {
+	l := newLink(t, nil)
+	if l.Policy().Name() != "minstrel" {
+		t.Fatalf("default policy = %q", l.Policy().Name())
+	}
+}
+
+func TestStepAdvancesClockAndDrainsQueue(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	l.Enqueue(14 * 1500)
+	g := Geometry{DistanceM: 20, AltitudeM: 10}
+	start := l.Now()
+	for i := 0; i < 1000 && l.QueuedBytes() > 0; i++ {
+		l.Step(g)
+	}
+	if l.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained at 20 m: %d bytes left", l.QueuedBytes())
+	}
+	if l.Now() <= start {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestStepIdleAdvancesSlot(t *testing.T) {
+	l := newLink(t, nil)
+	before := l.Now()
+	ex := l.Step(Geometry{DistanceM: 50, AltitudeM: 10})
+	if ex.Attempted != 0 {
+		t.Fatal("idle step transmitted")
+	}
+	if l.Now() != before+DefaultConfig().MAC.SlotSeconds {
+		t.Fatalf("idle step advanced %v", l.Now()-before)
+	}
+}
+
+func TestSetNowMonotone(t *testing.T) {
+	l := newLink(t, nil)
+	l.SetNow(5)
+	if l.Now() != 5 {
+		t.Fatalf("SetNow failed: %v", l.Now())
+	}
+	l.SetNow(3)
+	if l.Now() != 5 {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestMeasureThroughputDecreasesWithDistance(t *testing.T) {
+	med := func(d float64) float64 {
+		xs, err := MeasureTrials(DefaultConfig(), nil,
+			Geometry{DistanceM: d, AltitudeM: 10}, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MustMedian(xs)
+	}
+	near, mid, far := med(20), med(40), med(80)
+	if !(near > mid && mid > far) {
+		t.Fatalf("throughput not decreasing: %v, %v, %v", near, mid, far)
+	}
+}
+
+func TestMeasureThroughputDecreasesWithSpeed(t *testing.T) {
+	med := func(v float64) float64 {
+		xs, err := MeasureTrials(DefaultConfig(), nil,
+			Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, 8, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MustMedian(xs)
+	}
+	hover, fast := med(0), med(15)
+	if hover <= fast*1.5 {
+		t.Fatalf("speed should cost ≥1.5×: hover %v, 15 m/s %v", hover, fast)
+	}
+}
+
+// TestQuadrocopterCalibration checks the hovering link reproduces the
+// paper's quadrocopter fit s(d) = −10.5·log2(d) + 73 Mb/s in shape:
+// log2-linear decline with coefficients in a generous band and good R².
+func TestQuadrocopterCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	ds := []float64{20, 30, 40, 50, 60, 70, 80}
+	var xs, ys []float64
+	for _, d := range ds {
+		trials, err := MeasureTrials(DefaultConfig(), nil,
+			Geometry{DistanceM: d, AltitudeM: 10}, 10, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, d)
+		ys = append(ys, stats.MustMedian(trials))
+	}
+	fit, err := stats.FitLog2(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("quadrocopter fit: s(d) = %.2f·log2(d) + %.2f, R² = %.3f (paper: −10.5, 73, 0.96)", fit.A, fit.B, fit.R2)
+	if fit.A < -15 || fit.A > -7 {
+		t.Errorf("slope %v outside [−15, −7] (paper −10.5)", fit.A)
+	}
+	if fit.B < 50 || fit.B > 100 {
+		t.Errorf("intercept %v outside [50, 100] (paper 73)", fit.B)
+	}
+	if fit.R2 < 0.85 {
+		t.Errorf("R² = %v, want ≥ 0.85", fit.R2)
+	}
+}
+
+// TestIndoorAnchor reproduces the paper's indoor sanity check: "in indoor
+// lab test using 802.11n, we could get ≈176 Mb/s". Indoors: short range,
+// rich scatter (low K), no motion, no airframe or ground losses.
+func TestIndoorAnchor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channel.IntegrationLossDB = 0
+	cfg.Channel.OrientBaseDB = 0
+	cfg.Channel.OrientSpeedDB = 0
+	cfg.Channel.OrientSigmaDB = 0.5
+	cfg.Channel.KRefDB = -5 // rich multipath
+	cfg.Channel.GroundProximityConstDB = 0
+	l, err := New(cfg, rate.NewFixed(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := l.Measure(Geometry{DistanceM: 5, AltitudeM: 100}, 5)
+	got := m.ThroughputBps / 1e6
+	if got < 150 || got > 210 {
+		t.Fatalf("indoor MCS15 throughput = %.1f Mb/s, want ≈176", got)
+	}
+}
+
+// TestFixedBeatsAutoRateUnderMotion reproduces the Fig 6 core claim: the
+// best fixed MCS clearly outperforms auto-rate on the dynamic aerial
+// channel.
+func TestFixedBeatsAutoRateUnderMotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	g := Geometry{DistanceM: 60, AltitudeM: 90, RelSpeedMPS: 18}
+	auto, err := MeasureTrials(DefaultConfig(), nil, g, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, m := range []phy.MCS{0, 1, 2, 3} {
+		m := m
+		fixed, err := MeasureTrials(DefaultConfig(),
+			func(*stats.RNG) rate.Policy { return rate.NewFixed(m) }, g, 10, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := stats.MustMedian(fixed); v > best {
+			best = v
+		}
+	}
+	autoMed := stats.MustMedian(auto)
+	t.Logf("best fixed %.1f Mb/s vs auto %.1f Mb/s (ratio %.2f)", best, autoMed, best/autoMed)
+	if best < autoMed*1.25 {
+		t.Fatalf("best fixed %.1f should beat auto %.1f by ≥1.25×", best, autoMed)
+	}
+}
+
+func TestMeasureTrialsIndependentAndDeterministic(t *testing.T) {
+	g := Geometry{DistanceM: 40, AltitudeM: 10}
+	a, err := MeasureTrials(DefaultConfig(), nil, g, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureTrials(DefaultConfig(), nil, g, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trials not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Trials must differ from each other (independent substreams).
+	allEqual := true
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatalf("all trials identical: %v", a)
+	}
+}
+
+func TestMeasurementFieldsConsistent(t *testing.T) {
+	l := newLink(t, rate.NewFixed(2))
+	m := l.Measure(Geometry{DistanceM: 30, AltitudeM: 10}, 4)
+	if m.Duration < 4 {
+		t.Fatalf("duration %v < requested", m.Duration)
+	}
+	if m.ThroughputBps <= 0 || m.Exchanges <= 0 {
+		t.Fatalf("degenerate measurement: %+v", m)
+	}
+	if math.Abs(m.DeliveredMB*8/m.Duration-m.ThroughputBps/1e6) > 0.01*m.ThroughputBps/1e6 {
+		t.Fatalf("throughput/delivered inconsistent: %+v", m)
+	}
+	if m.LossRate < 0 || m.LossRate > 1 {
+		t.Fatalf("loss rate %v", m.LossRate)
+	}
+	if m.MeanMCS != 2 {
+		t.Fatalf("fixed MCS2 run reports mean MCS %v", m.MeanMCS)
+	}
+}
+
+func TestMeanSNRDBExposed(t *testing.T) {
+	l := newLink(t, nil)
+	near := l.MeanSNRDB(Geometry{DistanceM: 20, AltitudeM: 90})
+	far := l.MeanSNRDB(Geometry{DistanceM: 300, AltitudeM: 90})
+	if near <= far {
+		t.Fatalf("SNR ordering broken: %v <= %v", near, far)
+	}
+}
+
+// TestOracleUpperBoundsOtherPolicies: the genie beats Minstrel and fixed
+// rates on the same channel realization.
+func TestOracleUpperBoundsOtherPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement comparison is slow")
+	}
+	g := Geometry{DistanceM: 60, AltitudeM: 90, RelSpeedMPS: 18}
+	measure := func(mk func(cfg Config, rng *stats.RNG) rate.Policy) float64 {
+		xs, err := MeasureTrials(DefaultConfig(), func(rng *stats.RNG) rate.Policy {
+			return mk(DefaultConfig(), rng)
+		}, g, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MustMedian(xs)
+	}
+	oracle := measure(func(cfg Config, _ *stats.RNG) rate.Policy { return NewOraclePolicy(cfg) })
+	minstrel := measure(func(cfg Config, rng *stats.RNG) rate.Policy {
+		return rate.NewMinstrel(rate.DefaultMinstrelParams(), cfg.PHY, rng)
+	})
+	fixed := measure(func(Config, *stats.RNG) rate.Policy { return rate.NewFixed(2) })
+	t.Logf("oracle %.1f, fixed MCS2 %.1f, minstrel %.1f Mb/s", oracle, fixed, minstrel)
+	if oracle < minstrel || oracle < fixed {
+		t.Fatalf("oracle (%.1f) must dominate minstrel (%.1f) and fixed (%.1f)",
+			oracle, minstrel, fixed)
+	}
+}
+
+func TestTracerSeesExchanges(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	var count int
+	var lastNow float64
+	l.SetTracer(func(now float64, g Geometry, ex mac.Exchange) {
+		count++
+		if now < lastNow {
+			t.Error("tracer time went backwards")
+		}
+		lastNow = now
+		if g.DistanceM != 30 {
+			t.Errorf("tracer geometry %v", g)
+		}
+	})
+	l.Enqueue(20 * 1500)
+	for i := 0; i < 50 && l.QueuedBytes() > 0; i++ {
+		l.Step(Geometry{DistanceM: 30, AltitudeM: 10})
+	}
+	if count == 0 {
+		t.Fatal("tracer never fired")
+	}
+	l.SetTracer(nil) // disabling must not panic
+	l.Enqueue(1500)
+	l.Step(Geometry{DistanceM: 30, AltitudeM: 10})
+}

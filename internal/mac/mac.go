@@ -1,0 +1,255 @@
+// Package mac models the 802.11n data path the paper's adapters ran:
+// DCF channel access, A-MPDU frame aggregation (default 14 subframes, as
+// configured on the Ralink driver, Section 3), block acknowledgements, and
+// per-MPDU retry chains.
+//
+// The model is transaction-based: one call to Transact performs one
+// A-MPDU/block-ACK exchange — backoff, aggregation-limited PPDU, BA — and
+// reports the airtime consumed and the subframes delivered. The paper's
+// embedded-platform artifact is included: "if the physical rate is too
+// high, the embedded system may not fill the buffer fast enough, resulting
+// in a lower number of A-MPDU sub-frames" (Section 3), modelled as a fill
+// rate that caps aggregation depth at high PHY rates.
+package mac
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Params configures the MAC.
+type Params struct {
+	// MaxAggregation is the A-MPDU subframe cap (driver default 14).
+	MaxAggregation int
+	// MPDUPayloadBytes is the application payload per subframe (UDP MTU).
+	MPDUPayloadBytes int
+	// MPDUOverheadBytes covers MAC header, LLC/SNAP, IP/UDP headers, FCS,
+	// A-MPDU delimiter and padding.
+	MPDUOverheadBytes int
+	// SIFSSeconds / DIFSSeconds / SlotSeconds are 5 GHz OFDM timings.
+	SIFSSeconds float64
+	DIFSSeconds float64
+	SlotSeconds float64
+	// CWMin is the minimum contention window (backoff drawn from [0,CWMin]).
+	CWMin int
+	// BlockAckSeconds is the airtime of the compressed block ACK response
+	// at a legacy basic rate, plus its preamble.
+	BlockAckSeconds float64
+	// RetryLimit drops an MPDU after this many failed transmissions.
+	RetryLimit int
+	// FillRateBps is the host-to-driver fill throughput of the embedded
+	// board; at PHY rates above it the aggregation depth shrinks.
+	FillRateBps float64
+}
+
+// DefaultParams matches the paper's configuration (Section 3, "Wi-Fi
+// 802.11 Communication"): aggregation 14, 1500-byte datagrams, 5 GHz DCF
+// timing, and a Gumstix-class fill rate.
+func DefaultParams() Params {
+	return Params{
+		MaxAggregation:    14,
+		MPDUPayloadBytes:  1500,
+		MPDUOverheadBytes: 68,
+		SIFSSeconds:       16e-6,
+		DIFSSeconds:       34e-6,
+		SlotSeconds:       9e-6,
+		CWMin:             15,
+		BlockAckSeconds:   44e-6,
+		RetryLimit:        7,
+		FillRateBps:       185e6,
+	}
+}
+
+// Validate reports the first implausible parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.MaxAggregation < 1 || p.MaxAggregation > 64:
+		return fmt.Errorf("mac: aggregation %d outside [1,64]", p.MaxAggregation)
+	case p.MPDUPayloadBytes <= 0:
+		return fmt.Errorf("mac: payload %d must be positive", p.MPDUPayloadBytes)
+	case p.MPDUOverheadBytes < 0:
+		return fmt.Errorf("mac: negative overhead %d", p.MPDUOverheadBytes)
+	case p.RetryLimit < 0:
+		return fmt.Errorf("mac: negative retry limit %d", p.RetryLimit)
+	case p.CWMin < 0:
+		return fmt.Errorf("mac: negative CWMin %d", p.CWMin)
+	case p.FillRateBps <= 0:
+		return fmt.Errorf("mac: fill rate %v must be positive", p.FillRateBps)
+	}
+	return nil
+}
+
+// mpdu is one queued subframe.
+type mpdu struct {
+	payloadBytes int
+	retries      int
+}
+
+// MAC is the transmit side of one 802.11n station. Not safe for concurrent
+// use; the simulator drives it from one goroutine.
+type MAC struct {
+	p   Params
+	cfg phy.Config
+	em  *phy.ErrorModel
+	rng *stats.RNG
+
+	queue []mpdu
+
+	// Counters since construction.
+	DeliveredBytes int64
+	DroppedBytes   int64
+	Exchanges      int64
+	AirtimeSeconds float64
+}
+
+// New builds a MAC. The error model must share the PHY config.
+func New(p Params, cfg phy.Config, em *phy.ErrorModel, rng *stats.RNG) (*MAC, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if em == nil {
+		return nil, errors.New("mac: nil error model")
+	}
+	return &MAC{p: p, cfg: cfg, em: em, rng: rng}, nil
+}
+
+// Params returns the MAC configuration.
+func (m *MAC) Params() Params { return m.p }
+
+// Enqueue splits nBytes of application data into MPDUs and queues them.
+func (m *MAC) Enqueue(nBytes int) {
+	for nBytes > 0 {
+		sz := m.p.MPDUPayloadBytes
+		if nBytes < sz {
+			sz = nBytes
+		}
+		m.queue = append(m.queue, mpdu{payloadBytes: sz})
+		nBytes -= sz
+	}
+}
+
+// QueuedBytes returns the application bytes waiting for delivery.
+func (m *MAC) QueuedBytes() int {
+	total := 0
+	for _, f := range m.queue {
+		total += f.payloadBytes
+	}
+	return total
+}
+
+// QueuedMPDUs returns the number of queued subframes.
+func (m *MAC) QueuedMPDUs() int { return len(m.queue) }
+
+// Exchange is the outcome of one A-MPDU/block-ACK transaction.
+type Exchange struct {
+	MCS            phy.MCS
+	STBC           bool
+	SNRDB          float64
+	Attempted      int     // subframes in the A-MPDU
+	Delivered      int     // subframes acknowledged
+	Dropped        int     // subframes discarded (retry limit)
+	DeliveredBytes int     // application bytes acknowledged
+	AirtimeSeconds float64 // total medium time incl. backoff, SIFS, BA
+	SubframePER    float64 // the PER the channel imposed on this PPDU
+}
+
+// aggregationLimit applies the embedded-platform fill-rate cap.
+func (m *MAC) aggregationLimit(mcs phy.MCS) int {
+	n := m.p.MaxAggregation
+	rate := m.cfg.RateBps(mcs)
+	if rate > m.p.FillRateBps {
+		n = int(float64(m.p.MaxAggregation) * m.p.FillRateBps / rate)
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}
+
+// Transact performs one exchange at the given instantaneous channel state.
+// snrDB and kFactorDB come from a channel sample, relSpeedMPS from the
+// geometry (it drives the stale-channel-estimate loss of long A-MPDUs);
+// mcs and stbc come from the rate-control policy. An empty queue returns a
+// zero Exchange with no airtime.
+func (m *MAC) Transact(snrDB, kFactorDB, relSpeedMPS float64, mcs phy.MCS, stbc bool) Exchange {
+	if len(m.queue) == 0 {
+		return Exchange{MCS: mcs, STBC: stbc, SNRDB: snrDB}
+	}
+	n := m.aggregationLimit(mcs)
+	if n > len(m.queue) {
+		n = len(m.queue)
+	}
+	batch := m.queue[:n]
+
+	// PPDU length: payload plus per-subframe overhead.
+	bits := 0
+	for _, f := range batch {
+		bits += (f.payloadBytes + m.p.MPDUOverheadBytes) * 8
+	}
+	mpduBits := (m.p.MPDUPayloadBytes + m.p.MPDUOverheadBytes) * 8
+	per := m.em.SubframePER(snrDB, mcs, mpduBits, kFactorDB, stbc)
+	// Motion cost: the PPDU outlives the Doppler coherence time, so tail
+	// subframes decode against a stale channel estimate.
+	if pm := m.em.MotionPER(relSpeedMPS, m.cfg.AirtimeSeconds(mcs, bits)); pm > 0 {
+		per = 1 - (1-per)*(1-pm)
+	}
+
+	ex := Exchange{
+		MCS: mcs, STBC: stbc, SNRDB: snrDB,
+		Attempted: n, SubframePER: per,
+	}
+
+	// DCF overhead: DIFS + uniform backoff + PPDU + SIFS + block ACK.
+	backoff := float64(m.rng.Intn(m.p.CWMin+1)) * m.p.SlotSeconds
+	ex.AirtimeSeconds = m.p.DIFSSeconds + backoff +
+		m.cfg.AirtimeSeconds(mcs, bits) + m.p.SIFSSeconds + m.p.BlockAckSeconds
+
+	// Per-subframe success draws; failures stay queued for retry.
+	var survivors []mpdu
+	for _, f := range batch {
+		if !m.rng.Bernoulli(per) {
+			ex.Delivered++
+			ex.DeliveredBytes += f.payloadBytes
+			continue
+		}
+		f.retries++
+		if f.retries > m.p.RetryLimit {
+			ex.Dropped++
+			m.DroppedBytes += int64(f.payloadBytes)
+			continue
+		}
+		survivors = append(survivors, f)
+	}
+	// Requeue failed subframes at the head: block-ACK reordering keeps the
+	// window on the oldest outstanding MPDUs.
+	m.queue = append(survivors, m.queue[n:]...)
+
+	m.DeliveredBytes += int64(ex.DeliveredBytes)
+	m.Exchanges++
+	m.AirtimeSeconds += ex.AirtimeSeconds
+	return ex
+}
+
+// Reset clears the queue and counters.
+func (m *MAC) Reset() {
+	m.queue = m.queue[:0]
+	m.DeliveredBytes, m.DroppedBytes, m.Exchanges = 0, 0, 0
+	m.AirtimeSeconds = 0
+}
+
+// IdealThroughputBps returns the saturation UDP throughput at mcs with a
+// perfectly clean channel: the steady-state ratio of delivered payload to
+// exchange airtime. This is the MAC-efficiency ceiling the indoor test in
+// the paper approaches (≈176 Mb/s at MCS15).
+func (m *MAC) IdealThroughputBps(mcs phy.MCS) float64 {
+	n := m.aggregationLimit(mcs)
+	payloadBits := n * m.p.MPDUPayloadBytes * 8
+	ppduBits := n * (m.p.MPDUPayloadBytes + m.p.MPDUOverheadBytes) * 8
+	meanBackoff := float64(m.p.CWMin) / 2 * m.p.SlotSeconds
+	airtime := m.p.DIFSSeconds + meanBackoff +
+		m.cfg.AirtimeSeconds(mcs, ppduBits) + m.p.SIFSSeconds + m.p.BlockAckSeconds
+	return float64(payloadBits) / airtime
+}

@@ -1,0 +1,225 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func newTestMAC(t *testing.T, seed int64) *MAC {
+	t.Helper()
+	cfg := phy.DefaultConfig()
+	m, err := New(DefaultParams(), cfg, phy.NewErrorModel(cfg), stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.MaxAggregation = 0 },
+		func(p *Params) { p.MaxAggregation = 100 },
+		func(p *Params) { p.MPDUPayloadBytes = 0 },
+		func(p *Params) { p.MPDUOverheadBytes = -1 },
+		func(p *Params) { p.RetryLimit = -1 },
+		func(p *Params) { p.CWMin = -2 },
+		func(p *Params) { p.FillRateBps = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultParams(), phy.DefaultConfig(), nil, stats.NewRNG(1)); err == nil {
+		t.Fatal("nil error model accepted")
+	}
+}
+
+func TestEnqueueSegmentation(t *testing.T) {
+	m := newTestMAC(t, 1)
+	m.Enqueue(1500*3 + 100)
+	if m.QueuedMPDUs() != 4 {
+		t.Fatalf("MPDUs = %d, want 4", m.QueuedMPDUs())
+	}
+	if m.QueuedBytes() != 1500*3+100 {
+		t.Fatalf("bytes = %d", m.QueuedBytes())
+	}
+	m.Enqueue(0)
+	if m.QueuedMPDUs() != 4 {
+		t.Fatal("Enqueue(0) should be a no-op")
+	}
+}
+
+func TestTransactEmptyQueue(t *testing.T) {
+	m := newTestMAC(t, 1)
+	ex := m.Transact(30, 12, 0, 3, false)
+	if ex.Attempted != 0 || ex.AirtimeSeconds != 0 {
+		t.Fatalf("empty-queue exchange: %+v", ex)
+	}
+}
+
+func TestTransactHighSNRDeliversEverything(t *testing.T) {
+	m := newTestMAC(t, 2)
+	m.Enqueue(14 * 1500)
+	ex := m.Transact(45, 12, 0, 3, false)
+	if ex.Attempted != 14 {
+		t.Fatalf("attempted = %d, want full aggregation", ex.Attempted)
+	}
+	if ex.Delivered != 14 || m.QueuedMPDUs() != 0 {
+		t.Fatalf("delivered = %d, queued = %d", ex.Delivered, m.QueuedMPDUs())
+	}
+	if ex.DeliveredBytes != 14*1500 {
+		t.Fatalf("delivered bytes = %d", ex.DeliveredBytes)
+	}
+	if ex.AirtimeSeconds <= 0 {
+		t.Fatal("no airtime recorded")
+	}
+}
+
+func TestTransactLowSNRDeliversNothingAndRetries(t *testing.T) {
+	m := newTestMAC(t, 3)
+	m.Enqueue(5 * 1500)
+	ex := m.Transact(-20, 12, 0, 7, false)
+	if ex.Delivered != 0 {
+		t.Fatalf("delivered = %d at −20 dB", ex.Delivered)
+	}
+	if m.QueuedMPDUs() != 5 {
+		t.Fatalf("failed MPDUs should be requeued: %d", m.QueuedMPDUs())
+	}
+	// After RetryLimit more failures they drop.
+	for i := 0; i < DefaultParams().RetryLimit; i++ {
+		m.Transact(-20, 12, 0, 7, false)
+	}
+	if m.QueuedMPDUs() != 0 {
+		t.Fatalf("MPDUs never dropped: %d left", m.QueuedMPDUs())
+	}
+	if m.DroppedBytes != 5*1500 {
+		t.Fatalf("dropped bytes = %d", m.DroppedBytes)
+	}
+}
+
+func TestAggregationLimitedByQueue(t *testing.T) {
+	m := newTestMAC(t, 4)
+	m.Enqueue(3 * 1500)
+	ex := m.Transact(45, 12, 0, 3, false)
+	if ex.Attempted != 3 {
+		t.Fatalf("attempted = %d, want 3", ex.Attempted)
+	}
+}
+
+func TestFillRateCapsAggregationAtHighPHYRate(t *testing.T) {
+	p := DefaultParams()
+	p.FillRateBps = 100e6
+	cfg := phy.DefaultConfig()
+	m, err := New(p, cfg, phy.NewErrorModel(cfg), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Enqueue(14 * 1500)
+	// MCS15 = 300 Mb/s > 100 Mb/s fill → aggregation ≈ 14/3.
+	ex := m.Transact(50, -5, 0, 15, false)
+	if ex.Attempted >= 14 || ex.Attempted < 1 {
+		t.Fatalf("fill-limited aggregation = %d", ex.Attempted)
+	}
+	// MCS3 = 60 Mb/s < fill → full aggregation.
+	m.Reset()
+	m.Enqueue(14 * 1500)
+	if ex := m.Transact(50, -5, 0, 3, false); ex.Attempted != 14 {
+		t.Fatalf("uncapped aggregation = %d", ex.Attempted)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m := newTestMAC(t, 6)
+	m.Enqueue(30 * 1500)
+	var air float64
+	var bytes int64
+	for m.QueuedMPDUs() > 0 {
+		ex := m.Transact(45, 12, 0, 3, false)
+		air += ex.AirtimeSeconds
+		bytes += int64(ex.DeliveredBytes)
+	}
+	if math.Abs(m.AirtimeSeconds-air) > 1e-12 || m.DeliveredBytes != bytes {
+		t.Fatalf("counters drifted: %v vs %v, %d vs %d", m.AirtimeSeconds, air, m.DeliveredBytes, bytes)
+	}
+	m.Reset()
+	if m.DeliveredBytes != 0 || m.QueuedMPDUs() != 0 || m.AirtimeSeconds != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestIdealThroughputOrdering(t *testing.T) {
+	m := newTestMAC(t, 7)
+	// Efficiency: MCS3 saturation UDP throughput should land in 40–55 Mb/s
+	// (PHY 60 Mb/s minus aggregation-amortized DCF overhead).
+	got := m.IdealThroughputBps(3) / 1e6
+	if got < 40 || got > 56 {
+		t.Fatalf("MCS3 saturation throughput = %.1f Mb/s", got)
+	}
+	// The paper's indoor anchor: MCS15 ≈ 176 Mb/s on the same hardware.
+	indoor := m.IdealThroughputBps(15) / 1e6
+	if indoor < 150 || indoor > 210 {
+		t.Fatalf("MCS15 saturation throughput = %.1f Mb/s, want ≈176", indoor)
+	}
+	if m.IdealThroughputBps(1) >= m.IdealThroughputBps(3) {
+		t.Fatal("saturation throughput should grow with MCS")
+	}
+}
+
+func TestRetriedMPDUsKeepOrder(t *testing.T) {
+	// Head-of-line MPDU fails, later ones succeed: the failed one must be
+	// retransmitted before new data.
+	m := newTestMAC(t, 8)
+	m.Enqueue(2 * 1500)
+	// Drive with a PER that will fail at least one subframe eventually.
+	for i := 0; i < 100 && m.QueuedMPDUs() > 0; i++ {
+		m.Transact(14, 12, 0, 3, false)
+	}
+	if m.QueuedMPDUs() != 0 && m.DroppedBytes == 0 {
+		t.Fatalf("transfer stalled with %d MPDUs", m.QueuedMPDUs())
+	}
+}
+
+// Property: conservation — every enqueued byte is eventually delivered or
+// dropped, never duplicated or lost.
+func TestByteConservationProperty(t *testing.T) {
+	f := func(seed int64, nKB uint8, snrRaw int8) bool {
+		m, err := New(DefaultParams(), phy.DefaultConfig(),
+			phy.NewErrorModel(phy.DefaultConfig()), stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		total := int(nKB%40+1) * 1000
+		m.Enqueue(total)
+		snr := float64(snrRaw % 40) // includes hopeless and perfect regimes
+		for i := 0; i < 10000 && m.QueuedMPDUs() > 0; i++ {
+			m.Transact(snr, 12, 0, 3, false)
+		}
+		return m.DeliveredBytes+m.DroppedBytes+int64(m.QueuedBytes()) == int64(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivered subframes never exceed attempted.
+func TestDeliveredBoundedProperty(t *testing.T) {
+	m := newTestMAC(t, 99)
+	f := func(snrRaw int8, mcsRaw uint8) bool {
+		m.Enqueue(20 * 1500)
+		ex := m.Transact(float64(snrRaw), 10, 0, phy.MCS(mcsRaw%phy.NumMCS), false)
+		return ex.Delivered+ex.Dropped <= ex.Attempted && ex.Delivered >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

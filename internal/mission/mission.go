@@ -1,0 +1,174 @@
+// Package mission models the sensing side of the paper's search-and-rescue
+// scenario (Section 2.2 and footnotes 1, 3, 4): a UAV scans a sector of
+// area Asector by taking pictures, each covering Aimage computed from the
+// camera's field of view at the flight altitude; the batch to deliver is
+// Mdata = Asector/Aimage · Mimage.
+package mission
+
+import (
+	"fmt"
+	"math"
+)
+
+// Camera describes the on-board imager. The paper's reference camera: a
+// 1280×720 sensor with aspect ratio k = 16/9 and a 65° lens.
+type Camera struct {
+	// WidthPx, HeightPx are the sensor resolution.
+	WidthPx, HeightPx int
+	// LensAngleDeg is the diagonal lens angle (the paper: 65°).
+	LensAngleDeg float64
+	// BytesPerPixel of the stored image before compression (24-bit RGB = 3).
+	BytesPerPixel float64
+	// CompressionRatio is stored size / raw size (JPG100 ≈ 0.14 for the
+	// paper's 0.39 MB frames at 1280×720).
+	CompressionRatio float64
+}
+
+// DefaultCamera is the paper's reference camera (footnote 3).
+func DefaultCamera() Camera {
+	return Camera{
+		WidthPx:          1280,
+		HeightPx:         720,
+		LensAngleDeg:     65,
+		BytesPerPixel:    3,
+		CompressionRatio: 0.141,
+	}
+}
+
+// Validate reports the first implausible field.
+func (c Camera) Validate() error {
+	switch {
+	case c.WidthPx <= 0 || c.HeightPx <= 0:
+		return fmt.Errorf("mission: sensor %dx%d must be positive", c.WidthPx, c.HeightPx)
+	case c.LensAngleDeg <= 0 || c.LensAngleDeg >= 180:
+		return fmt.Errorf("mission: lens angle %v outside (0,180)", c.LensAngleDeg)
+	case c.BytesPerPixel <= 0:
+		return fmt.Errorf("mission: bytes/pixel %v must be positive", c.BytesPerPixel)
+	case c.CompressionRatio <= 0 || c.CompressionRatio > 1:
+		return fmt.Errorf("mission: compression ratio %v outside (0,1]", c.CompressionRatio)
+	}
+	return nil
+}
+
+// AspectRatio returns k = width/height.
+func (c Camera) AspectRatio() float64 {
+	return float64(c.WidthPx) / float64(c.HeightPx)
+}
+
+// FOVMeters returns the diagonal ground field of view when flying at the
+// given altitude: FOV = 2·h·tan(lens/2). At 70 m with a 65° lens this is
+// the paper's 90 m; at 10 m it is 12.7 m.
+func (c Camera) FOVMeters(altitudeM float64) float64 {
+	return 2 * altitudeM * math.Tan(c.LensAngleDeg/2*math.Pi/180)
+}
+
+// ImageAreaM2 returns the ground area covered by one picture at the given
+// altitude, using the paper's footnote-1 geometry:
+// Aimage = (k·FOV/√(k²+1)) · (FOV/√(k²+1)).
+func (c Camera) ImageAreaM2(altitudeM float64) float64 {
+	k := c.AspectRatio()
+	fov := c.FOVMeters(altitudeM)
+	den := math.Sqrt(k*k + 1)
+	return (k * fov / den) * (fov / den)
+}
+
+// ImageBytes returns the stored size of one picture.
+func (c Camera) ImageBytes() float64 {
+	return float64(c.WidthPx) * float64(c.HeightPx) * c.BytesPerPixel * c.CompressionRatio
+}
+
+// Sector is the area one UAV is exclusively responsible for scanning.
+type Sector struct {
+	// WidthM and HeightM of the rectangular sector.
+	WidthM, HeightM float64
+}
+
+// AreaM2 returns the sector area.
+func (s Sector) AreaM2() float64 { return s.WidthM * s.HeightM }
+
+// Validate reports degenerate sectors.
+func (s Sector) Validate() error {
+	if s.WidthM <= 0 || s.HeightM <= 0 {
+		return fmt.Errorf("mission: sector %vx%v must be positive", s.WidthM, s.HeightM)
+	}
+	return nil
+}
+
+// Plan is one sensing assignment: a sector scanned from an altitude with a
+// camera.
+type Plan struct {
+	Sector    Sector
+	Camera    Camera
+	AltitudeM float64
+}
+
+// Validate reports the first implausible field.
+func (p Plan) Validate() error {
+	if err := p.Sector.Validate(); err != nil {
+		return err
+	}
+	if err := p.Camera.Validate(); err != nil {
+		return err
+	}
+	if p.AltitudeM <= 0 {
+		return fmt.Errorf("mission: altitude %v must be positive", p.AltitudeM)
+	}
+	return nil
+}
+
+// NumImages returns the pictures needed to cover the sector:
+// ⌈Asector/Aimage⌉ in practice; the paper uses the real-valued ratio, which
+// Images preserves for exact cross-checks.
+func (p Plan) NumImages() float64 {
+	return p.Sector.AreaM2() / p.Camera.ImageAreaM2(p.AltitudeM)
+}
+
+// DataBytes returns the total batch size Mdata the UAV must deliver.
+func (p Plan) DataBytes() float64 {
+	return p.NumImages() * p.Camera.ImageBytes()
+}
+
+// AirplanePlan is the paper's airplane scenario (footnote 3): a
+// 500 m × 500 m sector scanned from 70 m, yielding Mdata ≈ 28 MB.
+func AirplanePlan() Plan {
+	return Plan{
+		Sector:    Sector{WidthM: 500, HeightM: 500},
+		Camera:    DefaultCamera(),
+		AltitudeM: 70,
+	}
+}
+
+// QuadrocopterPlan is the paper's quadrocopter scenario (footnote 4): a
+// 100 m × 100 m sector scanned from 10 m, yielding Mdata ≈ 56.2 MB.
+func QuadrocopterPlan() Plan {
+	return Plan{
+		Sector:    Sector{WidthM: 100, HeightM: 100},
+		Camera:    DefaultCamera(),
+		AltitudeM: 10,
+	}
+}
+
+// LawnmowerWaypoints returns a boustrophedon scan path over the sector at
+// the plan altitude with the given track spacing (0 → derive from image
+// footprint width). The path starts at the sector's south-west corner.
+func (p Plan) LawnmowerWaypoints(spacingM float64) [][3]float64 {
+	if spacingM <= 0 {
+		k := p.Camera.AspectRatio()
+		fov := p.Camera.FOVMeters(p.AltitudeM)
+		spacingM = fov / math.Sqrt(k*k+1) // footprint short side
+	}
+	if spacingM <= 0 {
+		return nil
+	}
+	var wps [][3]float64
+	lanes := int(math.Ceil(p.Sector.WidthM/spacingM)) + 1
+	for i := 0; i < lanes; i++ {
+		x := math.Min(float64(i)*spacingM, p.Sector.WidthM)
+		if i%2 == 0 {
+			wps = append(wps, [3]float64{x, 0, p.AltitudeM}, [3]float64{x, p.Sector.HeightM, p.AltitudeM})
+		} else {
+			wps = append(wps, [3]float64{x, p.Sector.HeightM, p.AltitudeM}, [3]float64{x, 0, p.AltitudeM})
+		}
+	}
+	return wps
+}

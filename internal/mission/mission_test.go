@@ -1,0 +1,142 @@
+package mission
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCameraGeometryMatchesPaper(t *testing.T) {
+	c := DefaultCamera()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 3: at 70 m altitude with a 65° lens, FOV = 90 m and
+	// Aimage = 3432 m².
+	if fov := c.FOVMeters(70); math.Abs(fov-90) > 1.5 {
+		t.Fatalf("FOV at 70 m = %v, want ≈90", fov)
+	}
+	if a := c.ImageAreaM2(70); math.Abs(a-3432)/3432 > 0.03 {
+		t.Fatalf("Aimage at 70 m = %v, want ≈3432", a)
+	}
+	// Footnote 4: at 10 m altitude, FOV = 12.7 m and Aimage = 69.4 m².
+	if fov := c.FOVMeters(10); math.Abs(fov-12.7) > 0.3 {
+		t.Fatalf("FOV at 10 m = %v, want ≈12.7", fov)
+	}
+	if a := c.ImageAreaM2(10); math.Abs(a-69.4)/69.4 > 0.03 {
+		t.Fatalf("Aimage at 10 m = %v, want ≈69.4", a)
+	}
+	// Mimage = 0.39 MB at JPG100.
+	if b := c.ImageBytes(); math.Abs(b-0.39e6)/0.39e6 > 0.01 {
+		t.Fatalf("image bytes = %v, want ≈0.39 MB", b)
+	}
+	if k := c.AspectRatio(); math.Abs(k-16.0/9.0) > 1e-9 {
+		t.Fatalf("aspect ratio = %v", k)
+	}
+}
+
+func TestAirplanePlanMatchesPaperMdata(t *testing.T) {
+	p := AirplanePlan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 3: Asector = 0.25 km² → Mdata = 28 MB.
+	if a := p.Sector.AreaM2(); a != 250000 {
+		t.Fatalf("sector area = %v", a)
+	}
+	md := p.DataBytes()
+	if math.Abs(md-28e6)/28e6 > 0.03 {
+		t.Fatalf("airplane Mdata = %.2f MB, want ≈28 MB", md/1e6)
+	}
+}
+
+func TestQuadrocopterPlanMatchesPaperMdata(t *testing.T) {
+	p := QuadrocopterPlan()
+	// Footnote 4: Asector = 0.01 km² → Mdata = 56.2 MB.
+	md := p.DataBytes()
+	if math.Abs(md-56.2e6)/56.2e6 > 0.03 {
+		t.Fatalf("quadrocopter Mdata = %.2f MB, want ≈56.2 MB", md/1e6)
+	}
+	// The low-altitude scan needs far more pictures than the airplane's.
+	if QuadrocopterPlan().NumImages() <= AirplanePlan().NumImages() {
+		t.Fatal("quad scan should need more images")
+	}
+}
+
+func TestValidationRejectsBadInputs(t *testing.T) {
+	cams := []func(*Camera){
+		func(c *Camera) { c.WidthPx = 0 },
+		func(c *Camera) { c.HeightPx = -1 },
+		func(c *Camera) { c.LensAngleDeg = 0 },
+		func(c *Camera) { c.LensAngleDeg = 190 },
+		func(c *Camera) { c.BytesPerPixel = 0 },
+		func(c *Camera) { c.CompressionRatio = 0 },
+		func(c *Camera) { c.CompressionRatio = 1.5 },
+	}
+	for i, mutate := range cams {
+		c := DefaultCamera()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("camera case %d accepted", i)
+		}
+	}
+	if err := (Sector{WidthM: 0, HeightM: 5}).Validate(); err == nil {
+		t.Fatal("degenerate sector accepted")
+	}
+	p := AirplanePlan()
+	p.AltitudeM = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero altitude accepted")
+	}
+}
+
+func TestMdataScalesWithSectorAndAltitude(t *testing.T) {
+	base := AirplanePlan()
+	bigger := base
+	bigger.Sector = Sector{WidthM: 1000, HeightM: 500}
+	if bigger.DataBytes() <= base.DataBytes() {
+		t.Fatal("bigger sector should need more data")
+	}
+	lower := base
+	lower.AltitudeM = 35
+	// Halving altitude quarters the image footprint → 4× the images.
+	ratio := lower.DataBytes() / base.DataBytes()
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("half-altitude data ratio = %v, want 4", ratio)
+	}
+}
+
+func TestLawnmowerCoversSector(t *testing.T) {
+	p := QuadrocopterPlan()
+	wps := p.LawnmowerWaypoints(0)
+	if len(wps) < 4 {
+		t.Fatalf("only %d waypoints", len(wps))
+	}
+	// All waypoints inside the sector at plan altitude; lanes span the
+	// full width.
+	maxX := 0.0
+	for _, wp := range wps {
+		if wp[0] < 0 || wp[0] > p.Sector.WidthM || wp[1] < 0 || wp[1] > p.Sector.HeightM {
+			t.Fatalf("waypoint outside sector: %v", wp)
+		}
+		if wp[2] != p.AltitudeM {
+			t.Fatalf("waypoint altitude %v", wp[2])
+		}
+		maxX = math.Max(maxX, wp[0])
+	}
+	if maxX < p.Sector.WidthM-1 {
+		t.Fatalf("lanes do not reach far edge: max x = %v", maxX)
+	}
+	// Lane spacing no wider than the footprint short side (full coverage).
+	k := p.Camera.AspectRatio()
+	shortSide := p.Camera.FOVMeters(p.AltitudeM) / math.Sqrt(k*k+1)
+	for i := 2; i < len(wps); i += 2 {
+		gap := wps[i][0] - wps[i-2][0]
+		if gap > shortSide+1e-9 {
+			t.Fatalf("lane gap %v exceeds footprint %v", gap, shortSide)
+		}
+	}
+	// Degenerate spacing rejected.
+	if got := (Plan{Sector: Sector{WidthM: 10, HeightM: 10}, Camera: DefaultCamera(), AltitudeM: 10}).LawnmowerWaypoints(-1); got == nil {
+		t.Fatal("negative spacing should fall back to footprint, not nil")
+	}
+}

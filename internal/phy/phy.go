@@ -1,0 +1,333 @@
+// Package phy implements the IEEE 802.11n high-throughput (HT) physical
+// layer as the paper's hardware used it: the Ralink RT3572 2×2 adapter with
+// channel bonding (40 MHz), a short guard interval (400 ns), and MCS 0–15.
+//
+// The package provides the MCS rate table, frame airtime computation
+// (HT-mixed preamble plus OFDM symbols), and an SNR→packet-error-rate model
+// with the two transmit schemes the paper contrasts in Fig. 6:
+//
+//   - STBC (space-time block coding, used with single-stream MCS 0–7):
+//     transmit diversity that hardens one stream against fades, at no rate
+//     gain;
+//   - SDM (spatial-division multiplexing, MCS 8–15): two parallel streams
+//     that double the rate but require spatial diversity the strongly
+//     line-of-sight aerial channel does not offer ("the lack of sufficient
+//     spatial diversity of the aerial channel impedes to effectively
+//     utilize the multiple antennas for MIMO", Section 3.1).
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation is the subcarrier constellation of an MCS.
+type Modulation int
+
+// Supported 802.11n constellations.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String names the modulation.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns coded bits per subcarrier per symbol.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// MCS is an 802.11n modulation-and-coding-scheme index, 0–15.
+type MCS int
+
+// NumMCS is the number of HT MCS indices this PHY supports (two streams).
+const NumMCS = 16
+
+// Valid reports whether the index is in [0, NumMCS).
+func (m MCS) Valid() bool { return m >= 0 && m < NumMCS }
+
+// Streams returns the number of spatial streams (1 for MCS 0–7, 2 above).
+func (m MCS) Streams() int {
+	if m >= 8 {
+		return 2
+	}
+	return 1
+}
+
+// Base returns the single-stream MCS carrying the same modulation/coding.
+func (m MCS) Base() MCS { return m % 8 }
+
+// Modulation returns the constellation of the MCS.
+func (m MCS) Modulation() Modulation {
+	switch m.Base() {
+	case 0:
+		return BPSK
+	case 1, 2:
+		return QPSK
+	case 3, 4:
+		return QAM16
+	default:
+		return QAM64
+	}
+}
+
+// CodeRate returns the convolutional code rate of the MCS.
+func (m MCS) CodeRate() float64 {
+	switch m.Base() {
+	case 0, 1, 3:
+		return 1. / 2
+	case 2, 4, 6:
+		return 3. / 4
+	case 5:
+		return 2. / 3
+	default: // 7
+		return 5. / 6
+	}
+}
+
+// String renders e.g. "MCS3 (16-QAM 1/2, 1ss)".
+func (m MCS) String() string {
+	num, den := rationalCodeRate(m.CodeRate())
+	return fmt.Sprintf("MCS%d (%s %d/%d, %dss)", int(m), m.Modulation(), num, den, m.Streams())
+}
+
+func rationalCodeRate(r float64) (int, int) {
+	switch {
+	case math.Abs(r-0.5) < 1e-9:
+		return 1, 2
+	case math.Abs(r-2./3) < 1e-9:
+		return 2, 3
+	case math.Abs(r-0.75) < 1e-9:
+		return 3, 4
+	default:
+		return 5, 6
+	}
+}
+
+// Config selects the channel width and guard interval. The paper's setup:
+// 40 MHz bonding, 400 ns short guard interval.
+type Config struct {
+	Bonded40MHz bool
+	ShortGI     bool
+}
+
+// DefaultConfig is the paper's configuration.
+func DefaultConfig() Config { return Config{Bonded40MHz: true, ShortGI: true} }
+
+// Data subcarriers per symbol.
+const (
+	dataSubcarriers20 = 52
+	dataSubcarriers40 = 108
+)
+
+// OFDM symbol durations in seconds.
+const (
+	SymbolLongGI  = 4.0e-6
+	SymbolShortGI = 3.6e-6
+)
+
+// HT-mixed-mode preamble: L-STF+L-LTF+L-SIG (20 µs) + HT-SIG (8 µs) +
+// HT-STF (4 µs) + one HT-LTF per stream (4 µs each).
+func preambleSeconds(streams int) float64 {
+	return 20e-6 + 8e-6 + 4e-6 + 4e-6*float64(streams)
+}
+
+// DataSubcarriers returns the number of data subcarriers for the config.
+func (c Config) DataSubcarriers() int {
+	if c.Bonded40MHz {
+		return dataSubcarriers40
+	}
+	return dataSubcarriers20
+}
+
+// SymbolSeconds returns the OFDM symbol duration for the config.
+func (c Config) SymbolSeconds() float64 {
+	if c.ShortGI {
+		return SymbolShortGI
+	}
+	return SymbolLongGI
+}
+
+// BitsPerSymbol returns data bits carried by one OFDM symbol at mcs.
+func (c Config) BitsPerSymbol(mcs MCS) float64 {
+	return float64(c.DataSubcarriers()*mcs.Modulation().BitsPerSymbol()) *
+		mcs.CodeRate() * float64(mcs.Streams())
+}
+
+// RateBps returns the PHY data rate in bits/s for mcs under this config.
+// MCS15 at 40 MHz with short GI is the famous 300 Mb/s; MCS3 is 60 Mb/s,
+// the "PHY rates up to 60 Mb/s" the paper fixes in Fig. 6.
+func (c Config) RateBps(mcs MCS) float64 {
+	return c.BitsPerSymbol(mcs) / c.SymbolSeconds()
+}
+
+// AirtimeSeconds returns the duration of a PPDU carrying payloadBits of PSDU
+// at mcs: preamble plus data symbols (ceil of bits over bits/symbol, with
+// 16 service bits and 6 tail bits).
+func (c Config) AirtimeSeconds(mcs MCS, payloadBits int) float64 {
+	if payloadBits <= 0 {
+		return preambleSeconds(mcs.Streams())
+	}
+	bits := float64(payloadBits + 16 + 6)
+	symbols := math.Ceil(bits / c.BitsPerSymbol(mcs))
+	return preambleSeconds(mcs.Streams()) + symbols*c.SymbolSeconds()
+}
+
+// --- Error model ---------------------------------------------------------
+
+// snr50 is the SNR (dB) at which a 1568-byte MPDU has 50% error rate, per
+// single-stream MCS at 20 MHz equivalent subcarrier load. Values follow the
+// classic spacing of the 802.11 OFDM ladder (~3 dB between steps, wider
+// into 64-QAM).
+var snr50 = [8]float64{2.0, 5.0, 7.5, 10.5, 14.0, 18.0, 19.5, 21.5}
+
+// perSlope is the logistic steepness of the PER curve in 1/dB. Coded OFDM
+// over a block-fading channel transitions over roughly ±1.5 dB.
+const perSlope = 1.6
+
+// refMPDUBits is the MPDU length the snr50 table is calibrated for.
+const refMPDUBits = 1568 * 8
+
+// ErrorModel computes packet error rates for a transmit scheme over the
+// aerial channel. The zero value uses sane defaults; fields allow the
+// ablation benchmarks to switch effects off.
+type ErrorModel struct {
+	// Config is the PHY configuration (affects the 40 MHz noise penalty:
+	// doubling bandwidth halves per-subcarrier energy, ≈3 dB).
+	Config Config
+	// DisableSTBCGain turns off the transmit-diversity bonus.
+	DisableSTBCGain bool
+	// SDMPenaltyDB is the per-stream SNR penalty SDM pays on top of the
+	// 3 dB power split when the channel is fully line-of-sight (K → ∞).
+	// The penalty shrinks as the K-factor drops and scatter provides the
+	// spatial diversity MIMO needs; indoors (K ≈ 0) it nearly vanishes.
+	SDMPenaltyDB float64
+	// STBCGainDB is the maximum diversity gain of STBC at high SNR.
+	STBCGainDB float64
+	// MotionBeta scales the stale-channel-estimate loss: the equalizer is
+	// trained on the PPDU preamble, and once the Doppler coherence time is
+	// shorter than the (aggregated) frame airtime the tail subframes decode
+	// against a channel that no longer exists. 0 disables the effect.
+	MotionBeta float64
+}
+
+// NewErrorModel returns the calibrated error model for a config.
+func NewErrorModel(cfg Config) *ErrorModel {
+	return &ErrorModel{Config: cfg, SDMPenaltyDB: 7, STBCGainDB: 4.5, MotionBeta: 0.08}
+}
+
+// MotionPER returns the additional per-subframe error probability caused
+// by channel-estimate staleness when a PPDU of the given airtime is sent
+// while the endpoints move at relative speed v (m/s):
+// 1 − e^{−β·airtime/Tc} with Tc = 0.423·λ/v, the classic Clarke coherence
+// time at 5.2 GHz. Hovering (v ≤ 0) costs nothing.
+func (em *ErrorModel) MotionPER(relSpeedMPS, airtimeSeconds float64) float64 {
+	if relSpeedMPS <= 0 || airtimeSeconds <= 0 || em.MotionBeta <= 0 {
+		return 0
+	}
+	const lambda = 0.0577 // 5.2 GHz wavelength, metres
+	tc := 0.423 * lambda / relSpeedMPS
+	return clamp01(1 - math.Exp(-em.MotionBeta*airtimeSeconds/tc))
+}
+
+// effectiveSNR maps the link SNR (dB, over the full bonded channel) to the
+// per-stream decision SNR for mcs, given the channel's Rician K-factor
+// (dB) and whether the transmitter applies STBC to single-stream MCS.
+func (em *ErrorModel) effectiveSNR(snrDB float64, mcs MCS, kFactorDB float64, stbc bool) float64 {
+	eff := snrDB
+	if em.Config.Bonded40MHz {
+		// Same total power spread over twice the subcarriers.
+		eff -= 3
+	}
+	if mcs.Streams() == 2 {
+		// Power split across streams plus the LoS spatial-correlation
+		// penalty: full SDMPenaltyDB at K ≥ 10 dB, fading to zero at
+		// K ≤ −5 dB (rich scatter).
+		eff -= 3
+		w := (kFactorDB + 5) / 15
+		if w < 0 {
+			w = 0
+		}
+		if w > 1 {
+			w = 1
+		}
+		eff -= w * em.SDMPenaltyDB
+	} else if stbc && !em.DisableSTBCGain {
+		// Diversity gain that needs a decodable channel estimate: ramps in
+		// above ~3 dB and saturates at STBCGainDB.
+		gain := em.STBCGainDB * sigmoid((snrDB-6)/2.5)
+		eff += gain
+	}
+	return eff
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SubframePER returns the probability that a single MPDU of mpduBits fails
+// at mcs given the instantaneous link SNR and channel K-factor.
+func (em *ErrorModel) SubframePER(snrDB float64, mcs MCS, mpduBits int, kFactorDB float64, stbc bool) float64 {
+	if !mcs.Valid() {
+		return 1
+	}
+	eff := em.effectiveSNR(snrDB, mcs, kFactorDB, stbc)
+	ref := 1 / (1 + math.Exp(perSlope*(eff-snr50[mcs.Base()])))
+	if mpduBits <= 0 || mpduBits == refMPDUBits {
+		return clamp01(ref)
+	}
+	// Rescale from the reference length via the per-bit success rate.
+	perBitOK := math.Pow(1-ref, 1.0/refMPDUBits)
+	return clamp01(1 - math.Pow(perBitOK, float64(mpduBits)))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// MinSNRFor returns the approximate link SNR (dB) needed to hit the target
+// subframe error rate at mcs in a strongly-LoS channel (K = 12 dB), useful
+// for planning and for tests. It inverts the logistic numerically.
+func (em *ErrorModel) MinSNRFor(mcs MCS, mpduBits int, targetPER float64, stbc bool) float64 {
+	lo, hi := -20.0, 60.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if em.SubframePER(mid, mcs, mpduBits, 12, stbc) > targetPER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,239 @@
+package phy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMCSTableStructure(t *testing.T) {
+	for m := MCS(0); m < NumMCS; m++ {
+		if !m.Valid() {
+			t.Fatalf("%v should be valid", m)
+		}
+		wantStreams := 1
+		if m >= 8 {
+			wantStreams = 2
+		}
+		if m.Streams() != wantStreams {
+			t.Errorf("%v streams = %d", m, m.Streams())
+		}
+		if m.Modulation() != m.Base().Modulation() || m.CodeRate() != m.Base().CodeRate() {
+			t.Errorf("%v does not mirror its base MCS", m)
+		}
+	}
+	if MCS(-1).Valid() || MCS(16).Valid() {
+		t.Fatal("out-of-range MCS accepted")
+	}
+}
+
+func TestCanonicalRates(t *testing.T) {
+	cfg40sgi := Config{Bonded40MHz: true, ShortGI: true}
+	cfg40lgi := Config{Bonded40MHz: true, ShortGI: false}
+	cfg20lgi := Config{}
+	cases := []struct {
+		cfg  Config
+		mcs  MCS
+		want float64 // Mb/s, from the 802.11n standard table
+	}{
+		{cfg20lgi, 0, 6.5},
+		{cfg20lgi, 7, 65},
+		{cfg40lgi, 0, 13.5},
+		{cfg40lgi, 3, 54},
+		{cfg40lgi, 7, 135},
+		{cfg40sgi, 0, 15},
+		{cfg40sgi, 1, 30},
+		{cfg40sgi, 3, 60}, // the paper's "PHY rates up to 60 Mb/s"
+		{cfg40sgi, 7, 150},
+		{cfg40sgi, 8, 30},
+		{cfg40sgi, 15, 300},
+	}
+	for _, c := range cases {
+		got := c.cfg.RateBps(c.mcs) / 1e6
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("%v rate = %.2f Mb/s, want %.2f", c.mcs, got, c.want)
+		}
+	}
+}
+
+func TestRateMonotoneInMCSWithinStreams(t *testing.T) {
+	cfg := DefaultConfig()
+	for m := MCS(0); m < 7; m++ {
+		if cfg.RateBps(m) >= cfg.RateBps(m+1) {
+			t.Errorf("rate not increasing from %v to %v", m, m+1)
+		}
+	}
+	for m := MCS(8); m < 15; m++ {
+		if cfg.RateBps(m) >= cfg.RateBps(m+1) {
+			t.Errorf("rate not increasing from %v to %v", m, m+1)
+		}
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	cfg := DefaultConfig()
+	// An empty PPDU is just the preamble.
+	if got := cfg.AirtimeSeconds(3, 0); got != preambleSeconds(1) {
+		t.Fatalf("empty airtime = %v", got)
+	}
+	// 2-stream preamble carries an extra HT-LTF.
+	if cfg.AirtimeSeconds(8, 0) <= cfg.AirtimeSeconds(0, 0) {
+		t.Fatal("2ss preamble should be longer")
+	}
+	// A 1500-byte MPDU at MCS3/40MHz/SGI: 12000+22 bits over 216 bits/sym →
+	// 56 symbols of 3.6 µs plus the 36 µs 1-stream preamble = 237.6 µs.
+	got := cfg.AirtimeSeconds(3, 1500*8)
+	if math.Abs(got-237.6e-6) > 1e-7 {
+		t.Fatalf("airtime = %v, want ≈237.6 µs", got)
+	}
+	// Airtime decreases with MCS for a fixed payload (within 1ss).
+	if cfg.AirtimeSeconds(1, 1500*8) <= cfg.AirtimeSeconds(3, 1500*8) {
+		t.Fatal("higher MCS should be faster")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if s := MCS(3).String(); !strings.Contains(s, "16-QAM") || !strings.Contains(s, "1/2") {
+		t.Fatalf("MCS3 string = %q", s)
+	}
+	if s := MCS(15).String(); !strings.Contains(s, "2ss") || !strings.Contains(s, "5/6") {
+		t.Fatalf("MCS15 string = %q", s)
+	}
+	if Modulation(99).String() == "" {
+		t.Fatal("unknown modulation should still render")
+	}
+}
+
+func TestPERMonotoneInSNR(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	for m := MCS(0); m < NumMCS; m++ {
+		prev := 1.1
+		for snr := -5.0; snr <= 45; snr += 1 {
+			per := em.SubframePER(snr, m, refMPDUBits, 12, false)
+			if per > prev+1e-12 {
+				t.Fatalf("%v: PER increased with SNR at %v dB", m, snr)
+			}
+			prev = per
+		}
+	}
+}
+
+func TestPEROrderingAcrossMCS(t *testing.T) {
+	// At any SNR, a more aggressive single-stream MCS has ≥ PER.
+	em := NewErrorModel(DefaultConfig())
+	for snr := 0.0; snr <= 40; snr += 2 {
+		for m := MCS(0); m < 7; m++ {
+			a := em.SubframePER(snr, m, refMPDUBits, 12, false)
+			b := em.SubframePER(snr, m+1, refMPDUBits, 12, false)
+			if a > b+1e-12 {
+				t.Fatalf("PER(%v)=%v > PER(%v)=%v at %v dB", m, a, m+1, b, snr)
+			}
+		}
+	}
+}
+
+func TestPERLengthScaling(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	short := em.SubframePER(20, 3, 200*8, 12, false)
+	long := em.SubframePER(20, 3, 1568*8, 12, false)
+	if short >= long {
+		t.Fatalf("shorter frames should fail less: %v vs %v", short, long)
+	}
+	if got := em.SubframePER(20, 3, 0, 12, false); got != em.SubframePER(20, 3, refMPDUBits, 12, false) {
+		t.Fatalf("zero length should use the reference: %v", got)
+	}
+	if em.SubframePER(20, MCS(99), refMPDUBits, 12, false) != 1 {
+		t.Fatal("invalid MCS should always fail")
+	}
+}
+
+func TestSTBCGainHelpsAtModerateSNR(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	with := em.SubframePER(14, 1, refMPDUBits, 12, true)
+	without := em.SubframePER(14, 1, refMPDUBits, 12, false)
+	if with >= without {
+		t.Fatalf("STBC should lower PER: %v vs %v", with, without)
+	}
+	em.DisableSTBCGain = true
+	if got := em.SubframePER(14, 1, refMPDUBits, 12, true); got != without {
+		t.Fatalf("disabled STBC should match no-STBC: %v vs %v", got, without)
+	}
+}
+
+func TestSTBCGainDiminishesAtLowSNR(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	gainAt := func(snr float64) float64 {
+		return em.effectiveSNR(snr, 1, 12, true) - em.effectiveSNR(snr, 1, 12, false)
+	}
+	if gainAt(0) >= gainAt(20) {
+		t.Fatalf("STBC gain should shrink at low SNR: %v vs %v", gainAt(0), gainAt(20))
+	}
+	if g := gainAt(30); math.Abs(g-em.STBCGainDB) > 0.1 {
+		t.Fatalf("high-SNR STBC gain = %v, want ≈%v", g, em.STBCGainDB)
+	}
+}
+
+func TestSDMPenaltyDependsOnKFactor(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	// Strong LoS (aerial): SDM heavily penalized.
+	aerial := em.SubframePER(25, 8, refMPDUBits, 12, false)
+	// Rich scatter (indoor): penalty nearly gone.
+	indoor := em.SubframePER(25, 8, refMPDUBits, -5, false)
+	if indoor >= aerial {
+		t.Fatalf("SDM should work indoors: indoor %v, aerial %v", indoor, aerial)
+	}
+	// Indoors at high SNR, MCS15 must be usable — the paper's 176 Mb/s
+	// bench test depends on it.
+	if per := em.SubframePER(35, 15, refMPDUBits, -5, false); per > 0.1 {
+		t.Fatalf("indoor MCS15 PER = %v, want < 0.1", per)
+	}
+}
+
+func TestMinSNRForOrdering(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	prev := -100.0
+	for m := MCS(0); m < 8; m++ {
+		snr := em.MinSNRFor(m, refMPDUBits, 0.1, false)
+		if snr <= prev {
+			t.Fatalf("MinSNRFor not increasing at %v: %v <= %v", m, snr, prev)
+		}
+		prev = snr
+		// Sanity: the returned SNR actually achieves the target.
+		if per := em.SubframePER(snr+0.01, m, refMPDUBits, 12, false); per > 0.11 {
+			t.Fatalf("%v: PER at MinSNRFor = %v", m, per)
+		}
+	}
+}
+
+// Property: PER is always within [0,1] and finite.
+func TestPERBoundsProperty(t *testing.T) {
+	em := NewErrorModel(DefaultConfig())
+	f := func(snrRaw int16, mcsRaw uint8, bitsRaw uint16, kRaw int8, stbc bool) bool {
+		snr := float64(snrRaw % 60)
+		mcs := MCS(mcsRaw % NumMCS)
+		bits := int(bitsRaw)
+		k := float64(kRaw % 20)
+		per := em.SubframePER(snr, mcs, bits, k, stbc)
+		return per >= 0 && per <= 1 && !math.IsNaN(per)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: airtime grows with payload length.
+func TestAirtimeMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(a, b uint16, mcsRaw uint8) bool {
+		mcs := MCS(mcsRaw % NumMCS)
+		la, lb := int(a), int(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return cfg.AirtimeSeconds(mcs, la) <= cfg.AirtimeSeconds(mcs, lb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

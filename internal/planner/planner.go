@@ -1,0 +1,172 @@
+// Package planner implements the paper's centralized mission planner
+// (Sections 3 and 5): a ground-station process that tracks every UAV's
+// position and payload state through telemetry and, when a UAV reports a
+// batch ready for delivery, computes the delayed-gratification rendezvous
+// — the waypoint at distance dopt from the receiver — and commands the
+// ferry there.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/telemetry"
+)
+
+// VehicleState is the planner's latest knowledge of one UAV.
+type VehicleState struct {
+	ID       string
+	Time     float64
+	Position geo.Vec3
+	Velocity geo.Vec3
+	Battery  float64
+	HasData  bool
+	DataMB   float64
+}
+
+// Decision is the planner's output for one ferrying episode.
+type Decision struct {
+	FerryID    string
+	ReceiverID string
+	// D0M is the ferry-receiver distance when the decision was made.
+	D0M float64
+	// Optimum carries dopt and the expected utility/delay.
+	Optimum core.Optimum
+	// Rendezvous is the waypoint at distance dopt from the receiver, on
+	// the ferry-receiver line.
+	Rendezvous geo.Vec3
+}
+
+// Config parameterizes the planner's optimization.
+type Config struct {
+	// Speed and failure-rate used in the utility model; Throughput is the
+	// calibrated hover law s(d).
+	Scenario core.Scenario
+	// LinkRangeM is the distance at which the data link becomes usable
+	// (batches are only planned when the pair is within this range).
+	LinkRangeM float64
+}
+
+// Planner is the central decision maker.
+type Planner struct {
+	cfg    Config
+	states map[string]VehicleState
+	// Decisions records every rendezvous computed (latest first served).
+	Decisions []Decision
+}
+
+// New builds a planner. The scenario's D0M and MdataBytes fields are
+// overwritten per decision; its speed, failure model, throughput law and
+// minimum distance are the planning parameters.
+func New(cfg Config) (*Planner, error) {
+	if cfg.Scenario.Throughput == nil {
+		return nil, fmt.Errorf("planner: scenario needs a throughput model")
+	}
+	if cfg.Scenario.SpeedMPS <= 0 {
+		return nil, fmt.Errorf("planner: scenario speed %v must be positive", cfg.Scenario.SpeedMPS)
+	}
+	if cfg.LinkRangeM <= 0 {
+		return nil, fmt.Errorf("planner: link range %v must be positive", cfg.LinkRangeM)
+	}
+	return &Planner{cfg: cfg, states: make(map[string]VehicleState)}, nil
+}
+
+// Observe ingests one telemetry status beacon.
+func (p *Planner) Observe(st telemetry.Status) {
+	p.states[st.From] = VehicleState{
+		ID:       st.From,
+		Time:     st.Time,
+		Position: st.Position,
+		Velocity: st.Velocity,
+		Battery:  st.Battery,
+		HasData:  st.HasData,
+		DataMB:   st.DataMB,
+	}
+}
+
+// State returns the latest known state of a UAV.
+func (p *Planner) State(id string) (VehicleState, bool) {
+	st, ok := p.states[id]
+	return st, ok
+}
+
+// Known returns the IDs of all tracked vehicles, sorted.
+func (p *Planner) Known() []string {
+	ids := make([]string, 0, len(p.states))
+	for id := range p.states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// PlanDelivery computes the rendezvous for a ferry that has data, toward a
+// receiver. It returns ok=false when either vehicle is unknown, the ferry
+// has no data, or the pair is outside link range (no decision to make
+// yet).
+func (p *Planner) PlanDelivery(ferryID, receiverID string) (Decision, bool, error) {
+	ferry, ok := p.states[ferryID]
+	if !ok {
+		return Decision{}, false, fmt.Errorf("planner: unknown ferry %q", ferryID)
+	}
+	recv, ok := p.states[receiverID]
+	if !ok {
+		return Decision{}, false, fmt.Errorf("planner: unknown receiver %q", receiverID)
+	}
+	if !ferry.HasData || ferry.DataMB <= 0 {
+		return Decision{}, false, nil
+	}
+	d0 := ferry.Position.Dist(recv.Position)
+	if d0 > p.cfg.LinkRangeM {
+		return Decision{}, false, nil
+	}
+
+	sc := p.cfg.Scenario
+	// Coincident vehicles have no shipping decision left to make; clamp
+	// to a nominal epsilon so the optimizer degenerates to "transmit now".
+	sc.D0M = math.Max(d0, 1e-3)
+	sc.MdataBytes = ferry.DataMB * 1e6
+	if sc.MinDistanceM == 0 {
+		sc.MinDistanceM = core.MinSeparationM
+	}
+	opt, err := sc.Optimize()
+	if err != nil {
+		return Decision{}, false, fmt.Errorf("planner: %w", err)
+	}
+	if d0 < sc.MinDistanceM {
+		opt.DoptM = d0
+		opt.TransmitImmediately = true
+	}
+
+	// Rendezvous: the point at distance dopt from the receiver along the
+	// receiver→ferry direction, at the ferry's altitude.
+	dir := ferry.Position.Sub(recv.Position).Unit()
+	if dir == (geo.Vec3{}) {
+		dir = geo.Vec3{X: 1}
+	}
+	rv := recv.Position.Add(dir.Scale(opt.DoptM))
+	rv.Z = ferry.Position.Z
+
+	dec := Decision{
+		FerryID:    ferryID,
+		ReceiverID: receiverID,
+		D0M:        d0,
+		Optimum:    opt,
+		Rendezvous: rv,
+	}
+	p.Decisions = append(p.Decisions, dec)
+	return dec, true, nil
+}
+
+// WaypointFor converts a decision into the telemetry command for the ferry.
+func (d Decision) WaypointFor(speed float64) telemetry.Waypoint {
+	return telemetry.Waypoint{
+		To:       d.FerryID,
+		Target:   d.Rendezvous,
+		SpeedMPS: speed,
+		Hold:     true,
+	}
+}

@@ -1,0 +1,163 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/telemetry"
+)
+
+func quadConfig() Config {
+	m, _ := failure.NewModel(failure.QuadrocopterRho)
+	return Config{
+		Scenario: core.Scenario{
+			SpeedMPS:     4.5,
+			Failure:      m,
+			Throughput:   core.QuadrocopterFit(),
+			MinDistanceM: core.MinSeparationM,
+			// D0M/MdataBytes are filled per decision; set placeholders so
+			// Validate-driven paths in core see a sane scenario.
+			D0M:        1,
+			MdataBytes: 1,
+		},
+		LinkRangeM: 120,
+	}
+}
+
+func newPlanner(t *testing.T) *Planner {
+	t.Helper()
+	p, err := New(quadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := quadConfig()
+	cfg.Scenario.Throughput = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil throughput accepted")
+	}
+	cfg = quadConfig()
+	cfg.Scenario.SpeedMPS = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	cfg = quadConfig()
+	cfg.LinkRangeM = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero range accepted")
+	}
+}
+
+func TestObserveAndKnown(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "b", Time: 1, Position: geo.Vec3{X: 5}})
+	p.Observe(telemetry.Status{From: "a", Time: 2})
+	p.Observe(telemetry.Status{From: "b", Time: 3, Position: geo.Vec3{X: 9}})
+	ids := p.Known()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("known = %v", ids)
+	}
+	st, ok := p.State("b")
+	if !ok || st.Time != 3 || st.Position.X != 9 {
+		t.Fatalf("state not updated: %+v", st)
+	}
+	if _, ok := p.State("ghost"); ok {
+		t.Fatal("ghost state")
+	}
+}
+
+func TestPlanDeliveryHappyPath(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 80, Z: 10}, HasData: true, DataMB: 56.2})
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+	dec, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil || !ok {
+		t.Fatalf("plan failed: %v %v", ok, err)
+	}
+	if math.Abs(dec.D0M-80) > 1e-9 {
+		t.Fatalf("d0 = %v", dec.D0M)
+	}
+	if dec.Optimum.DoptM < core.MinSeparationM || dec.Optimum.DoptM > 80 {
+		t.Fatalf("dopt = %v", dec.Optimum.DoptM)
+	}
+	// The rendezvous sits at dopt from the receiver along the line.
+	gotD := dec.Rendezvous.Sub(geo.Vec3{Z: 10}).Norm()
+	if math.Abs(gotD-dec.Optimum.DoptM) > 1e-6 {
+		t.Fatalf("rendezvous at %v, want %v from receiver", gotD, dec.Optimum.DoptM)
+	}
+	if dec.Rendezvous.Z != 10 {
+		t.Fatalf("rendezvous altitude = %v", dec.Rendezvous.Z)
+	}
+	if len(p.Decisions) != 1 {
+		t.Fatal("decision not recorded")
+	}
+	wp := dec.WaypointFor(4.5)
+	if wp.To != "ferry" || !wp.Hold || wp.Target != dec.Rendezvous {
+		t.Fatalf("waypoint = %+v", wp)
+	}
+}
+
+func TestPlanDeliveryPreconditions(t *testing.T) {
+	p := newPlanner(t)
+	// Unknown vehicles are errors.
+	if _, _, err := p.PlanDelivery("x", "y"); err == nil {
+		t.Fatal("unknown ferry accepted")
+	}
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 80}})
+	if _, _, err := p.PlanDelivery("ferry", "y"); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+	// No data: not ready, no error.
+	p.Observe(telemetry.Status{From: "recv"})
+	if _, ok, err := p.PlanDelivery("ferry", "recv"); ok || err != nil {
+		t.Fatalf("no-data plan: ok=%v err=%v", ok, err)
+	}
+	// Out of link range: not ready.
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 500}, HasData: true, DataMB: 10})
+	if _, ok, err := p.PlanDelivery("ferry", "recv"); ok || err != nil {
+		t.Fatalf("out-of-range plan: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPlanWithCoincidentVehicles(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{Z: 10}, HasData: true, DataMB: 5})
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+	dec, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("coincident plan should still produce a decision")
+	}
+	// d0 = 0 → already at the receiver → transmit immediately.
+	if !dec.Optimum.TransmitImmediately {
+		t.Fatalf("coincident vehicles should transmit immediately: %+v", dec.Optimum)
+	}
+}
+
+// TestPlanMatchesDirectOptimization: the planner's rendezvous equals the
+// core optimizer's dopt for the same scenario.
+func TestPlanMatchesDirectOptimization(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 100, Z: 10}, HasData: true, DataMB: 56.2})
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+	dec, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	sc := core.QuadrocopterBaseline()
+	want, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Optimum.DoptM-want.DoptM) > 0.5 {
+		t.Fatalf("planner dopt %v vs direct %v", dec.Optimum.DoptM, want.DoptM)
+	}
+}

@@ -1,0 +1,99 @@
+package rate
+
+import (
+	"github.com/nowlater/nowlater/internal/phy"
+)
+
+// ARFParams tunes the Auto Rate Fallback policy.
+type ARFParams struct {
+	// UpThreshold is the consecutive-success count that triggers a rate
+	// increase (classic ARF: 10).
+	UpThreshold int
+	// DownThreshold is the consecutive-failure count that triggers a rate
+	// decrease (classic ARF: 2).
+	DownThreshold int
+	// ProbationProbes is how many exchanges a freshly raised rate must
+	// survive before it counts as established; an immediate failure drops
+	// straight back (ARF's probation rule).
+	ProbationProbes int
+}
+
+// DefaultARFParams mirrors the classic algorithm.
+func DefaultARFParams() ARFParams {
+	return ARFParams{UpThreshold: 10, DownThreshold: 2, ProbationProbes: 1}
+}
+
+// ARF is the classic Auto Rate Fallback policy: climb after a streak of
+// successes, fall after consecutive failures. Vendor drivers of the
+// paper's era shipped ARF descendants, and the algorithm's well-known
+// pathology — oscillating against fast fading because success streaks in
+// fade peaks push the rate beyond what the channel median supports — is
+// one candidate explanation for the paper's observation that aerial
+// auto-rate performs so far below the best fixed MCS.
+type ARF struct {
+	p   ARFParams
+	cur phy.MCS
+
+	successStreak int
+	failStreak    int
+	probation     int
+}
+
+// NewARF builds the policy starting at the most robust rate.
+func NewARF(p ARFParams) *ARF {
+	if p.UpThreshold <= 0 {
+		p.UpThreshold = 10
+	}
+	if p.DownThreshold <= 0 {
+		p.DownThreshold = 2
+	}
+	return &ARF{p: p}
+}
+
+// Name implements Policy.
+func (a *ARF) Name() string { return "arf" }
+
+// Reset implements Policy.
+func (a *ARF) Reset() {
+	a.cur = 0
+	a.successStreak, a.failStreak, a.probation = 0, 0, 0
+}
+
+// Select implements Policy. ARF only walks the single-stream ladder (the
+// vendor drivers of the era did not probe into SDM on their own).
+func (a *ARF) Select(float64) (phy.MCS, bool) { return a.cur, stbcFor(a.cur) }
+
+// Observe implements Policy: a majority-delivered exchange counts as a
+// success, anything else as a failure.
+func (a *ARF) Observe(_ float64, mcs phy.MCS, attempted, delivered int) {
+	if attempted <= 0 || mcs != a.cur {
+		return
+	}
+	success := delivered*2 > attempted
+	if success {
+		a.failStreak = 0
+		a.successStreak++
+		if a.probation > 0 {
+			a.probation--
+		}
+		if a.successStreak >= a.p.UpThreshold && a.cur < 7 {
+			a.cur++
+			a.successStreak = 0
+			a.probation = a.p.ProbationProbes
+		}
+		return
+	}
+	a.successStreak = 0
+	a.failStreak++
+	// Probation: a failure right after climbing drops back immediately.
+	if a.probation > 0 || a.failStreak >= a.p.DownThreshold {
+		if a.cur > 0 {
+			a.cur--
+		}
+		a.failStreak = 0
+		a.probation = 0
+	}
+}
+
+// Current exposes the ladder position (for tests and traces).
+func (a *ARF) Current() phy.MCS { return a.cur }

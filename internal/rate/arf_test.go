@@ -1,0 +1,103 @@
+package rate
+
+import (
+	"testing"
+)
+
+func TestARFStartsRobustAndClimbs(t *testing.T) {
+	a := NewARF(DefaultARFParams())
+	if mcs, _ := a.Select(0); mcs != 0 {
+		t.Fatalf("start MCS = %v", mcs)
+	}
+	// Ten successes climb one rung.
+	for i := 0; i < 10; i++ {
+		a.Observe(0, a.Current(), 14, 14)
+	}
+	if a.Current() != 1 {
+		t.Fatalf("after 10 successes MCS = %v", a.Current())
+	}
+	// Keep feeding successes: the ladder tops out at MCS7 (single stream).
+	for i := 0; i < 200; i++ {
+		a.Observe(0, a.Current(), 14, 14)
+	}
+	if a.Current() != 7 {
+		t.Fatalf("ceiling = %v, want MCS7", a.Current())
+	}
+	if _, stbc := a.Select(0); !stbc {
+		t.Fatal("single-stream ladder should use STBC")
+	}
+}
+
+func TestARFFallsAfterConsecutiveFailures(t *testing.T) {
+	a := NewARF(DefaultARFParams())
+	for i := 0; i < 10; i++ {
+		a.Observe(0, a.Current(), 14, 14)
+	}
+	// Survive probation, then two failures drop a rung.
+	a.Observe(0, a.Current(), 14, 14)
+	a.Observe(0, a.Current(), 14, 0)
+	a.Observe(0, a.Current(), 14, 0)
+	if a.Current() != 0 {
+		t.Fatalf("after 2 failures MCS = %v, want 0", a.Current())
+	}
+	// Cannot fall below 0.
+	a.Observe(0, a.Current(), 14, 0)
+	a.Observe(0, a.Current(), 14, 0)
+	if a.Current() != 0 {
+		t.Fatalf("floor broken: %v", a.Current())
+	}
+}
+
+func TestARFProbationDropsImmediately(t *testing.T) {
+	a := NewARF(DefaultARFParams())
+	for i := 0; i < 10; i++ {
+		a.Observe(0, a.Current(), 14, 14)
+	}
+	if a.Current() != 1 {
+		t.Fatalf("setup failed: %v", a.Current())
+	}
+	// First exchange at the new rate fails → drop straight back.
+	a.Observe(0, 1, 14, 0)
+	if a.Current() != 0 {
+		t.Fatalf("probation drop missing: %v", a.Current())
+	}
+}
+
+func TestARFIgnoresForeignObservations(t *testing.T) {
+	a := NewARF(DefaultARFParams())
+	a.Observe(0, 5, 14, 0) // not the current rate
+	a.Observe(0, 0, 0, 0)  // nothing attempted
+	if a.Current() != 0 {
+		t.Fatalf("state moved: %v", a.Current())
+	}
+	a.Reset()
+	if a.Current() != 0 || a.Name() != "arf" {
+		t.Fatal("reset/name broken")
+	}
+}
+
+func TestARFOscillatesUnderAlternatingChannel(t *testing.T) {
+	// A channel alternating good/bad every few exchanges keeps ARF cycling
+	// instead of settling — the fast-fading pathology.
+	a := NewARF(ARFParams{UpThreshold: 3, DownThreshold: 2, ProbationProbes: 1})
+	changes := 0
+	prev := a.Current()
+	for i := 0; i < 400; i++ {
+		mcs := a.Current()
+		good := (i/5)%2 == 0
+		delivered := 0
+		if good || mcs == 0 {
+			delivered = 14
+		}
+		a.Observe(0, mcs, 14, delivered)
+		if a.Current() != prev {
+			changes++
+			prev = a.Current()
+		}
+	}
+	if changes < 20 {
+		t.Fatalf("ARF should thrash on an alternating channel: %d changes", changes)
+	}
+}
+
+var _ Policy = (*ARF)(nil)

@@ -1,0 +1,61 @@
+package rate
+
+import (
+	"github.com/nowlater/nowlater/internal/phy"
+)
+
+// SNRAware is an optional Policy extension: a policy that can exploit the
+// receiver's instantaneous channel state (a genie no real transmitter has;
+// links call it when available, making the policy an upper bound).
+type SNRAware interface {
+	Policy
+	// SelectWithSNR picks the MCS given the actual instantaneous SNR and
+	// K-factor of the upcoming transmission.
+	SelectWithSNR(now, snrDB, kFactorDB float64) (phy.MCS, bool)
+}
+
+// Oracle is the omniscient rate policy: for each PPDU it computes the
+// expected goodput rate·(1−PER) at the true instantaneous SNR and picks
+// the maximizer. It upper-bounds every realizable rate control and
+// quantifies how much of the Fig 6 gap is algorithmic (Minstrel/ARF
+// mis-adaptation) versus fundamental (channel variance).
+type Oracle struct {
+	em       *phy.ErrorModel
+	mpduBits int
+}
+
+// NewOracle builds the genie for an error model; mpduBits is the subframe
+// length used in the goodput estimate (≤0 selects the calibration default).
+func NewOracle(em *phy.ErrorModel, mpduBits int) *Oracle {
+	if mpduBits <= 0 {
+		mpduBits = 1568 * 8
+	}
+	return &Oracle{em: em, mpduBits: mpduBits}
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Reset implements Policy (stateless).
+func (o *Oracle) Reset() {}
+
+// Select implements Policy. Without channel state the oracle falls back to
+// a mid-ladder guess; links that support SNRAware never call this.
+func (o *Oracle) Select(float64) (phy.MCS, bool) { return 3, true }
+
+// Observe implements Policy (the genie learns nothing).
+func (o *Oracle) Observe(float64, phy.MCS, int, int) {}
+
+// SelectWithSNR implements SNRAware.
+func (o *Oracle) SelectWithSNR(_, snrDB, kFactorDB float64) (phy.MCS, bool) {
+	best, bestGoodput, bestSTBC := phy.MCS(0), -1.0, true
+	for m := phy.MCS(0); m < phy.NumMCS; m++ {
+		stbc := stbcFor(m)
+		per := o.em.SubframePER(snrDB, m, o.mpduBits, kFactorDB, stbc)
+		goodput := o.em.Config.RateBps(m) * (1 - per)
+		if goodput > bestGoodput {
+			best, bestGoodput, bestSTBC = m, goodput, stbc
+		}
+	}
+	return best, bestSTBC
+}

@@ -1,0 +1,196 @@
+// Package rate implements the PHY rate-control policies the paper compares
+// in Fig. 6: fixed modulation-and-coding schemes (with STBC on the
+// single-stream indices, as the Ralink driver applies it) against a
+// sampling auto-rate algorithm in the style of Minstrel, the rate control
+// the measured driver family uses.
+//
+// The paper's finding — "a strong component of our losses is caused by the
+// disability of the auto-rate algorithm to adapt to the highly dynamic
+// aerial channel" — needs no special pleading in this model: Minstrel's
+// EWMA statistics are refreshed on a 100 ms interval while the aerial
+// channel decorrelates in tens of milliseconds once the platforms move, so
+// the algorithm keeps serving decisions computed for a channel that no
+// longer exists.
+package rate
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Policy selects the MCS for each A-MPDU exchange and learns from the
+// outcome.
+type Policy interface {
+	// Select returns the MCS and whether to apply STBC for the next PPDU.
+	Select(now float64) (phy.MCS, bool)
+	// Observe feeds back one exchange: subframes attempted and delivered.
+	Observe(now float64, mcs phy.MCS, attempted, delivered int)
+	// Name identifies the policy in traces and experiment output.
+	Name() string
+	// Reset clears learned state.
+	Reset()
+}
+
+// stbcFor reports whether the driver applies STBC at an MCS: available for
+// single-stream indices on a 2-antenna transmitter (the paper observes it
+// on MCS1–3); SDM indices cannot use it.
+func stbcFor(m phy.MCS) bool { return m.Streams() == 1 }
+
+// Fixed always transmits at one MCS, the policy of the paper's "fixed PHY
+// rate" experiments.
+type Fixed struct {
+	MCS  phy.MCS
+	STBC bool
+}
+
+// NewFixed builds a fixed policy; STBC follows driver behaviour for the
+// index.
+func NewFixed(m phy.MCS) *Fixed { return &Fixed{MCS: m, STBC: stbcFor(m)} }
+
+// Select implements Policy.
+func (f *Fixed) Select(float64) (phy.MCS, bool) { return f.MCS, f.STBC }
+
+// Observe implements Policy (fixed rate learns nothing).
+func (f *Fixed) Observe(float64, phy.MCS, int, int) {}
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-mcs%d", int(f.MCS)) }
+
+// Reset implements Policy.
+func (f *Fixed) Reset() {}
+
+// MinstrelParams tunes the sampling auto-rate algorithm.
+type MinstrelParams struct {
+	// UpdateInterval is how often best-rate decisions are recomputed from
+	// the EWMA statistics (Linux Minstrel: 100 ms).
+	UpdateInterval float64
+	// EWMAWeight is the weight of history when folding a new interval's
+	// success ratio into the long-run estimate (Linux: 0.75).
+	EWMAWeight float64
+	// SampleFraction is the share of transmissions spent probing random
+	// other rates (Linux: ~10%).
+	SampleFraction float64
+	// InitialProb seeds unprobed rates optimistically so they get tried.
+	InitialProb float64
+}
+
+// DefaultMinstrelParams mirrors the Linux defaults.
+func DefaultMinstrelParams() MinstrelParams {
+	return MinstrelParams{
+		UpdateInterval: 0.1,
+		EWMAWeight:     0.75,
+		SampleFraction: 0.10,
+		InitialProb:    0.5,
+	}
+}
+
+// Minstrel is the sampling auto-rate policy.
+type Minstrel struct {
+	p   MinstrelParams
+	cfg phy.Config
+	rng *stats.RNG
+
+	// Per-MCS statistics.
+	prob      [phy.NumMCS]float64 // EWMA delivery probability
+	attempted [phy.NumMCS]int     // this interval
+	delivered [phy.NumMCS]int     // this interval
+
+	best       phy.MCS
+	lastUpdate float64
+	started    bool
+}
+
+// NewMinstrel builds the auto-rate policy.
+func NewMinstrel(p MinstrelParams, cfg phy.Config, rng *stats.RNG) *Minstrel {
+	m := &Minstrel{p: p, cfg: cfg, rng: rng}
+	m.Reset()
+	return m
+}
+
+// Name implements Policy.
+func (m *Minstrel) Name() string { return "minstrel" }
+
+// Reset implements Policy.
+func (m *Minstrel) Reset() {
+	for i := range m.prob {
+		m.prob[i] = m.p.InitialProb
+		m.attempted[i] = 0
+		m.delivered[i] = 0
+	}
+	m.best = 0
+	m.started = false
+	m.lastUpdate = 0
+}
+
+// Select implements Policy: mostly the current best rate, sometimes a
+// random probe.
+func (m *Minstrel) Select(now float64) (phy.MCS, bool) {
+	m.maybeUpdate(now)
+	if m.rng.Float64() < m.p.SampleFraction {
+		probe := phy.MCS(m.rng.Intn(phy.NumMCS))
+		return probe, stbcFor(probe)
+	}
+	return m.best, stbcFor(m.best)
+}
+
+// Observe implements Policy.
+func (m *Minstrel) Observe(now float64, mcs phy.MCS, attempted, delivered int) {
+	if !mcs.Valid() || attempted <= 0 {
+		return
+	}
+	m.attempted[mcs] += attempted
+	m.delivered[mcs] += delivered
+	m.maybeUpdate(now)
+}
+
+// maybeUpdate folds the interval statistics into the EWMA and re-picks the
+// best rate once per update interval. This delay is precisely what breaks
+// the algorithm on a fast-varying aerial channel.
+func (m *Minstrel) maybeUpdate(now float64) {
+	if !m.started {
+		m.started = true
+		m.lastUpdate = now
+		return
+	}
+	if now-m.lastUpdate < m.p.UpdateInterval {
+		return
+	}
+	m.lastUpdate = now
+	for i := range m.prob {
+		if m.attempted[i] > 0 {
+			ratio := float64(m.delivered[i]) / float64(m.attempted[i])
+			m.prob[i] = m.p.EWMAWeight*m.prob[i] + (1-m.p.EWMAWeight)*ratio
+		}
+		m.attempted[i] = 0
+		m.delivered[i] = 0
+	}
+	m.best = m.argmaxThroughput()
+}
+
+// argmaxThroughput returns the MCS with the highest expected goodput
+// prob·rate, Minstrel's decision metric.
+func (m *Minstrel) argmaxThroughput() phy.MCS {
+	best := phy.MCS(0)
+	bestTp := -1.0
+	for i := phy.MCS(0); i < phy.NumMCS; i++ {
+		tp := m.prob[i] * m.cfg.RateBps(i)
+		if tp > bestTp {
+			bestTp = tp
+			best = i
+		}
+	}
+	return best
+}
+
+// Best exposes the current best rate (for tests and traces).
+func (m *Minstrel) Best() phy.MCS { return m.best }
+
+// Prob exposes the EWMA delivery probability of an MCS.
+func (m *Minstrel) Prob(mcs phy.MCS) float64 {
+	if !mcs.Valid() {
+		return 0
+	}
+	return m.prob[mcs]
+}

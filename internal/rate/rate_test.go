@@ -1,0 +1,155 @@
+package rate
+
+import (
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func TestFixedPolicy(t *testing.T) {
+	f := NewFixed(3)
+	mcs, stbc := f.Select(0)
+	if mcs != 3 || !stbc {
+		t.Fatalf("fixed MCS3: got %v stbc=%v, want MCS3 with STBC", mcs, stbc)
+	}
+	// SDM rates cannot use STBC.
+	f8 := NewFixed(8)
+	if _, stbc := f8.Select(0); stbc {
+		t.Fatal("MCS8 should not use STBC")
+	}
+	if f.Name() != "fixed-mcs3" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	f.Observe(0, 3, 10, 0) // must be a no-op
+	if mcs, _ := f.Select(1); mcs != 3 {
+		t.Fatal("fixed policy changed rate")
+	}
+}
+
+func newMinstrel(seed int64) *Minstrel {
+	return NewMinstrel(DefaultMinstrelParams(), phy.DefaultConfig(), stats.NewRNG(seed))
+}
+
+func TestMinstrelConvergesOnStaticChannel(t *testing.T) {
+	// On a static channel where MCS ≤ 4 always succeed and everything above
+	// always fails, Minstrel must settle on MCS4 (or the equal-rate MCS9;
+	// both deliver 120 Mb/s at 40 MHz SGI — but MCS9 fails here, so MCS4).
+	m := newMinstrel(1)
+	now := 0.0
+	for i := 0; i < 3000; i++ {
+		now += 0.003
+		mcs, _ := m.Select(now)
+		delivered := 0
+		if mcs <= 4 {
+			delivered = 14
+		}
+		m.Observe(now, mcs, 14, delivered)
+	}
+	if best := m.Best(); best != 4 {
+		t.Fatalf("converged on %v, want MCS4", best)
+	}
+	if p := m.Prob(4); p < 0.9 {
+		t.Fatalf("prob(MCS4) = %v, want ≥0.9", p)
+	}
+	if p := m.Prob(7); p > 0.2 {
+		t.Fatalf("prob(MCS7) = %v, want near 0", p)
+	}
+}
+
+func TestMinstrelStatsAgeOnInterval(t *testing.T) {
+	m := newMinstrel(2)
+	// Feed failures at MCS0 inside one interval: prob must not move yet.
+	m.Observe(0, 0, 14, 0)
+	m.Observe(0.01, 0, 14, 0)
+	if p := m.Prob(0); p != DefaultMinstrelParams().InitialProb {
+		t.Fatalf("prob moved before interval elapsed: %v", p)
+	}
+	// After the interval the EWMA folds the interval ratio in.
+	m.Observe(0.2, 0, 14, 0)
+	if p := m.Prob(0); p >= DefaultMinstrelParams().InitialProb {
+		t.Fatalf("prob did not fall after update: %v", p)
+	}
+}
+
+func TestMinstrelSamplesOtherRates(t *testing.T) {
+	m := newMinstrel(3)
+	now := 0.0
+	seen := map[phy.MCS]bool{}
+	for i := 0; i < 2000; i++ {
+		now += 0.003
+		mcs, _ := m.Select(now)
+		seen[mcs] = true
+		m.Observe(now, mcs, 14, 14)
+	}
+	if len(seen) < 8 {
+		t.Fatalf("sampling visited only %d rates", len(seen))
+	}
+}
+
+func TestMinstrelReset(t *testing.T) {
+	m := newMinstrel(4)
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += 0.003
+		mcs, _ := m.Select(now)
+		m.Observe(now, mcs, 14, 14)
+	}
+	m.Reset()
+	if m.Best() != 0 {
+		t.Fatalf("best after reset = %v", m.Best())
+	}
+	for i := phy.MCS(0); i < phy.NumMCS; i++ {
+		if m.Prob(i) != DefaultMinstrelParams().InitialProb {
+			t.Fatalf("prob(%v) after reset = %v", i, m.Prob(i))
+		}
+	}
+	if m.Prob(phy.MCS(-1)) != 0 {
+		t.Fatal("invalid MCS prob should be 0")
+	}
+}
+
+func TestMinstrelIgnoresBogusObservations(t *testing.T) {
+	m := newMinstrel(5)
+	m.Observe(0, phy.MCS(-1), 14, 14)
+	m.Observe(0, phy.MCS(99), 14, 14)
+	m.Observe(0, 3, 0, 0)
+	// No panic and no state corruption.
+	if m.Prob(3) != DefaultMinstrelParams().InitialProb {
+		t.Fatal("bogus observation changed state")
+	}
+}
+
+func TestMinstrelLagsOnAlternatingChannel(t *testing.T) {
+	// A channel that flips between good-for-MCS7 and only-good-for-MCS0
+	// every 30 ms (faster than the 100 ms update interval) should leave
+	// Minstrel misestimating: its selected best rate loses goodput
+	// compared with an omniscient per-instant choice. This is the Fig 6
+	// mechanism in miniature.
+	m := newMinstrel(6)
+	cfg := phy.DefaultConfig()
+	now := 0.0
+	var minstrelBits, oracleBits float64
+	for i := 0; i < 6000; i++ {
+		now += 0.003
+		goodPhase := int(now/0.03)%2 == 0
+		mcs, _ := m.Select(now)
+		delivered := 0
+		if goodPhase && mcs <= 7 {
+			delivered = 14
+		} else if !goodPhase && mcs == 0 {
+			delivered = 14
+		}
+		m.Observe(now, mcs, 14, delivered)
+		minstrelBits += float64(delivered) * 1500 * 8
+		// Oracle: MCS7 in good phases, MCS0 in bad ones.
+		if goodPhase {
+			oracleBits += 14 * 1500 * 8 * cfg.RateBps(7) / cfg.RateBps(7)
+		} else {
+			oracleBits += 14 * 1500 * 8
+		}
+	}
+	if minstrelBits >= oracleBits {
+		t.Fatalf("minstrel should lag the oracle: %v vs %v", minstrelBits, oracleBits)
+	}
+}

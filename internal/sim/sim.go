@@ -1,0 +1,228 @@
+// Package sim is a deterministic discrete-event simulation engine. All the
+// higher layers (flight dynamics, MAC, telemetry, transfers) schedule their
+// work on one shared Engine so a whole mission — motion, radio, planning —
+// advances on a single totally-ordered virtual clock.
+//
+// Time is a float64 in seconds. Events scheduled for the same instant fire
+// in scheduling order (a monotone sequence number breaks ties), which keeps
+// runs byte-for-byte reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run variants when the engine was stopped
+// explicitly before reaching its time horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() float64 { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of pending (non-canceled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before the
+// current clock) is an error: it would silently reorder causality.
+func (e *Engine) Schedule(at float64, fn func()) (*Event, error) {
+	if math.IsNaN(at) {
+		return nil, errors.New("sim: schedule at NaN")
+	}
+	if at < e.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After runs fn after delay seconds (delay ≥ 0).
+func (e *Engine) After(delay float64, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single next event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the clock would pass horizon, then sets
+// the clock to exactly horizon. Events scheduled at the horizon itself
+// fire. Returns ErrStopped if Stop was called.
+func (e *Engine) RunUntil(horizon float64) error {
+	if horizon < e.now {
+		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
+	}
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	e.now = horizon
+	return nil
+}
+
+// Run processes all events until the queue drains or Stop is called.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for e.Step() {
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Ticker fires fn every interval seconds starting at the next interval
+// boundary from now, until Stop is called on the returned handle or the
+// engine stops being run.
+type Ticker struct {
+	engine   *Engine
+	interval float64
+	fn       func(now float64)
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules a periodic callback. interval must be > 0.
+func (e *Engine) NewTicker(interval float64, fn func(now float64)) (*Ticker, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: ticker interval %v must be positive", interval)
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	if err := t.arm(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Ticker) arm() error {
+	ev, err := t.engine.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			_ = t.arm() // After with positive delay cannot fail
+		}
+	})
+	if err != nil {
+		return err
+	}
+	t.ev = ev
+	return nil
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}

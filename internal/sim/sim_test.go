@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	mustSchedule(t, e, 3.0, func() { order = append(order, 3) })
+	mustSchedule(t, e, 1.0, func() { order = append(order, 1) })
+	mustSchedule(t, e, 2.0, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3.0 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, e, 5.0, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-instant events reordered: %v", order)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	mustSchedule(t, e, 10, func() {})
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(5, func() {}); err == nil {
+		t.Fatal("scheduling in the past accepted")
+	}
+	if _, err := e.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	mustSchedule(t, e, 1, func() { fired++ })
+	mustSchedule(t, e, 2, func() { fired++ })
+	mustSchedule(t, e, 3, func() { fired++ })
+	if err := e.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (horizon-inclusive)", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v, want 2", e.Now())
+	}
+	if err := e.RunUntil(1); err == nil {
+		t.Fatal("backwards horizon accepted")
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 || e.Now() != 10 {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := mustSchedule(t, e, 1, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // idempotent
+	e.Cancel(nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after cancel")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	mustSchedule(t, e, 1, func() { e.Cancel(victim) })
+	victim = mustSchedule(t, e, 2, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	mustSchedule(t, e, 1, func() { fired++; e.Stop() })
+	mustSchedule(t, e, 2, func() { fired++ })
+	if err := e.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The remaining event is still runnable afterwards.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var trace []float64
+	mustSchedule(t, e, 1, func() {
+		trace = append(trace, e.Now())
+		if _, err := e.After(0.5, func() { trace = append(trace, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 1.5 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	tk, err := e.NewTicker(0.25, func(now float64) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	tk.Stop()
+	if err := e.RunUntil(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 4 {
+		t.Fatalf("ticker kept firing after Stop: %v", ticks)
+	}
+	if _, err := e.NewTicker(0, func(float64) {}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestLenCountsPending(t *testing.T) {
+	e := NewEngine()
+	a := mustSchedule(t, e, 1, func() {})
+	mustSchedule(t, e, 2, func() {})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	e.Cancel(a)
+	if e.Len() != 1 {
+		t.Fatalf("Len after cancel = %d", e.Len())
+	}
+}
+
+// Property: any batch of events fires in non-decreasing time order.
+func TestFiringOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []float64
+		for _, d := range delays {
+			at := float64(d) / 100
+			if _, err := e.Schedule(at, func() { fired = append(fired, e.Now()) }); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustSchedule(t *testing.T, e *Engine, at float64, fn func()) *Event {
+	t.Helper()
+	ev, err := e.Schedule(at, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}

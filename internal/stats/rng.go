@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions the simulator needs and a
+// deterministic substream scheme: every experiment derives named substreams
+// from a root seed so adding a new consumer of randomness never perturbs
+// the draws seen by existing ones.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded deterministically.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Substream derives an independent deterministic RNG from this one's seed
+// space using a SplitMix64 mix of the seed and the label hash. The parent's
+// state is not consumed.
+func (g *RNG) Substream(seed int64, label string) *RNG {
+	h := uint64(seed)
+	for _, c := range label {
+		h = (h ^ uint64(c)) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	return NewRNG(int64(splitmix64(h)))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Normal returns a Gaussian draw with the given mean and standard deviation.
+func (g *RNG) Normal(mean, std float64) float64 { return mean + std*g.r.NormFloat64() }
+
+// Exponential returns an exponential draw with the given rate λ (mean 1/λ).
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Rician returns a draw of a Rician-distributed envelope with line-of-sight
+// amplitude nu and scatter sigma. Aerial LoS links are classically Rician;
+// the K-factor is nu²/(2σ²). Implemented as |nu + X + iY| with X,Y ~
+// N(0,σ²).
+func (g *RNG) Rician(nu, sigma float64) float64 {
+	x := nu + sigma*g.r.NormFloat64()
+	y := sigma * g.r.NormFloat64()
+	return math.Hypot(x, y)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes the n elements addressed by swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

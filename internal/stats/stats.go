@@ -1,0 +1,257 @@
+// Package stats implements the descriptive statistics and model fitting the
+// reproduction needs: medians and quartile summaries for the paper's
+// boxplots (Figs 5–7), least-squares fits of the throughput-vs-distance law
+// s(d) = a·log2(d) + b with the coefficient of determination R² reported in
+// Section 4, and deterministic random-number substreams so every experiment
+// is exactly repeatable.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by summaries that require at least one sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the convention of R and
+// NumPy, and of Matlab's boxplot whiskers' base quartiles).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// MustMedian is Median for callers that have already checked len(xs) > 0.
+// It returns NaN on empty input instead of panicking.
+func MustMedian(xs []float64) float64 {
+	m, err := Median(xs)
+	if err != nil {
+		return math.NaN()
+	}
+	return m
+}
+
+// Boxplot is the five-number summary plus outliers, matching what the
+// paper's Matlab boxplots display: median, quartile box, whiskers at the
+// most extreme samples within 1.5×IQR of the box, and outliers beyond.
+type Boxplot struct {
+	N           int
+	Min, Max    float64 // extreme samples (including outliers)
+	Q1, Median  float64
+	Q3          float64
+	WhiskerLow  float64 // lowest sample ≥ Q1 − 1.5·IQR
+	WhiskerHigh float64 // highest sample ≤ Q3 + 1.5·IQR
+	Outliers    []float64
+}
+
+// IQR returns the interquartile range Q3 − Q1.
+func (b Boxplot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Summarize computes the Boxplot summary of xs.
+func Summarize(xs []float64) (Boxplot, error) {
+	if len(xs) == 0 {
+		return Boxplot{}, ErrNoData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q1, _ := Quantile(sorted, 0.25)
+	med, _ := Quantile(sorted, 0.5)
+	q3, _ := Quantile(sorted, 0.75)
+	iqr := q3 - q1
+	loFence := q1 - 1.5*iqr
+	hiFence := q3 + 1.5*iqr
+	b := Boxplot{
+		N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1],
+		Q1: q1, Median: med, Q3: q3,
+		WhiskerLow: q1, WhiskerHigh: q3,
+	}
+	first := true
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if first {
+			b.WhiskerLow = x
+			first = false
+		}
+		b.WhiskerHigh = x
+	}
+	return b, nil
+}
+
+// LinearFit is a least-squares straight-line fit y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64 // coefficient of determination
+	N                int
+}
+
+// FitLinear performs ordinary least squares of ys on xs.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, ErrNoData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate abscissa")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// LogFit is the paper's throughput model s(d) = A·log2(d) + B (Section 4):
+// a straight line in log2-distance.
+type LogFit struct {
+	A, B float64 // s(d) = A·log2(d) + B, same units as the fitted ys
+	R2   float64
+	N    int
+}
+
+// Eval evaluates the fitted model at distance d (d must be > 0).
+func (f LogFit) Eval(d float64) float64 { return f.A*math.Log2(d) + f.B }
+
+// FitLog2 fits ys ≈ A·log2(xs) + B by least squares. All xs must be > 0.
+func FitLog2(xs, ys []float64) (LogFit, error) {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogFit{}, errors.New("stats: non-positive distance in log2 fit")
+		}
+		lx[i] = math.Log2(x)
+	}
+	lin, err := FitLinear(lx, ys)
+	if err != nil {
+		return LogFit{}, err
+	}
+	return LogFit{A: lin.Slope, B: lin.Intercept, R2: lin.R2, N: lin.N}, nil
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]; samples
+// outside the range are clamped into the edge bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// BootstrapCI estimates a confidence interval for the median of xs by
+// resampling with replacement (percentile bootstrap). conf is the
+// confidence level in (0, 1), e.g. 0.95; iters resamples are drawn from
+// rng. Measurement studies report medians of noisy link samples — the CI
+// says how much a reported median can be trusted.
+func BootstrapCI(xs []float64, conf float64, iters int, rng *RNG) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, errors.New("stats: confidence outside (0,1)")
+	}
+	if iters < 10 {
+		return 0, 0, errors.New("stats: need ≥10 bootstrap iterations")
+	}
+	if rng == nil {
+		return 0, 0, errors.New("stats: nil rng")
+	}
+	meds := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		meds[i] = MustMedian(resample)
+	}
+	alpha := (1 - conf) / 2
+	lo, err = Quantile(meds, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = Quantile(meds, 1-alpha)
+	return lo, hi, err
+}

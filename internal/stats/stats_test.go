@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton edge cases")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	med, err := Median(xs)
+	if err != nil || med != 2.5 {
+		t.Fatalf("Median = %v err %v", med, err)
+	}
+	q, _ := Quantile(xs, 0)
+	if q != 1 {
+		t.Fatalf("Q0 = %v", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if q != 4 {
+		t.Fatalf("Q1.0 = %v", q)
+	}
+	q, _ = Quantile(xs, 0.25)
+	if q != 1.75 {
+		t.Fatalf("Q0.25 = %v, want 1.75", q)
+	}
+	if _, err := Median(nil); err != ErrNoData {
+		t.Fatalf("empty median err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+	if !math.IsNaN(MustMedian(nil)) {
+		t.Fatal("MustMedian(nil) should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// One clear high outlier.
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 100}
+	b, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 8 || b.Min != 10 || b.Max != 100 {
+		t.Fatalf("summary extremes: %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", b.Outliers)
+	}
+	if b.WhiskerHigh != 16 {
+		t.Fatalf("whisker high = %v, want 16", b.WhiskerHigh)
+	}
+	if b.Median <= b.Q1 || b.Median >= b.Q3 {
+		t.Fatalf("quartile ordering: %+v", b)
+	}
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Fatal("empty summarize should fail")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 1e-12 || math.Abs(fit.Intercept+7) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("degenerate abscissa accepted")
+	}
+}
+
+func TestFitLog2RecoversPaperModel(t *testing.T) {
+	// The airplane fit from the paper: s(d) = −5.56·log2(d) + 49 (Mb/s).
+	ds := []float64{20, 40, 60, 80, 120, 160, 240, 320}
+	ys := make([]float64, len(ds))
+	for i, d := range ds {
+		ys[i] = -5.56*math.Log2(d) + 49
+	}
+	fit, err := FitLog2(ds, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A+5.56) > 1e-9 || math.Abs(fit.B-49) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if got := fit.Eval(80); math.Abs(got-(-5.56*math.Log2(80)+49)) > 1e-9 {
+		t.Fatalf("Eval(80) = %v", got)
+	}
+	if _, err := FitLog2([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("non-positive distance accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-1, 0, 0.5, 1, 2, 9, 10, 11}
+	h := Histogram(xs, 0, 10, 5)
+	if len(h) != 5 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram loses samples: %v", h)
+	}
+	if Histogram(xs, 0, 10, 0) != nil || Histogram(xs, 5, 5, 3) != nil {
+		t.Fatal("degenerate histogram accepted")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	s1 := NewRNG(42).Substream(42, "channel")
+	s2 := NewRNG(42).Substream(42, "channel")
+	s3 := NewRNG(42).Substream(42, "mac")
+	if s1.Float64() != s2.Float64() {
+		t.Fatal("substreams with same label diverged")
+	}
+	if v1, v3 := NewRNG(42).Substream(42, "channel").Float64(), s3.Float64(); v1 == v3 {
+		t.Fatal("different labels should produce different streams")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	g := NewRNG(7)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += g.Exponential(0.5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-2) > 0.1 {
+		t.Fatalf("exp(0.5) mean = %v, want ≈2", mean)
+	}
+	if !math.IsInf(g.Exponential(0), 1) {
+		t.Fatal("rate 0 should be +Inf")
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += g.Normal(3, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3) > 0.1 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	// Rician with zero scatter is the LoS amplitude exactly.
+	if v := g.Rician(5, 0); v != 5 {
+		t.Fatalf("Rician(5,0) = %v", v)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.25) {
+			count++
+		}
+	}
+	if p := float64(count) / float64(n); math.Abs(p-0.25) > 0.02 {
+		t.Fatalf("Bernoulli(0.25) frequency = %v", p)
+	}
+}
+
+func TestRicianMeanGrowsWithK(t *testing.T) {
+	g := NewRNG(11)
+	n := 5000
+	var loK, hiK float64
+	for i := 0; i < n; i++ {
+		loK += g.Rician(1, 1)
+		hiK += g.Rician(4, 1)
+	}
+	if loK/float64(n) >= hiK/float64(n) {
+		t.Fatal("higher LoS amplitude should raise the mean envelope")
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	g := NewRNG(3)
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = g.Normal(0, 10)
+	}
+	f := func(a, b uint8) bool {
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, _ := Quantile(xs, qa)
+		vb, _ := Quantile(xs, qb)
+		return va <= vb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FitLinear on exactly-linear data recovers slope/intercept.
+func TestFitLinearProperty(t *testing.T) {
+	f := func(m, c int8) bool {
+		slope, icept := float64(m), float64(c)
+		xs := []float64{0, 1, 2, 3, 7}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + icept
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 1e-9 && math.Abs(fit.Intercept-icept) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	g := NewRNG(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = g.Normal(10, 2)
+	}
+	lo, hi, err := BootstrapCI(xs, 0.95, 500, NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := MustMedian(xs)
+	if !(lo <= med && med <= hi) {
+		t.Fatalf("CI [%v, %v] excludes the sample median %v", lo, hi, med)
+	}
+	// The CI tightens with sample size.
+	small := xs[:20]
+	lo2, hi2, err := BootstrapCI(small, 0.95, 500, NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2-lo2 <= hi-lo {
+		t.Fatalf("smaller sample should give a wider CI: %v vs %v", hi2-lo2, hi-lo)
+	}
+	// Validation.
+	if _, _, err := BootstrapCI(nil, 0.95, 100, NewRNG(1)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 1.5, 100, NewRNG(1)); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 5, NewRNG(1)); err == nil {
+		t.Fatal("too few iterations accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 100, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package telemetry models the paper's control channel: an XBeePro
+// 802.15.4 link at 2.4 GHz with "low bandwidth (up to 250 kb/s) but long
+// range (up to 1.5 km)", reserved for (i) light-weight UAV status
+// (position, speed) to the central planner and (ii) new waypoints from the
+// planner to the UAVs (Section 3).
+//
+// The model is a broadcast bus with per-message serialization delay at the
+// channel bit rate and a hard range cut-off. It runs on the shared
+// discrete-event engine.
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/sim"
+)
+
+// Params configures the control channel.
+type Params struct {
+	// BitRateBps of the serial air interface (XBeePro: 250 kb/s).
+	BitRateBps float64
+	// RangeM is the hard delivery range (XBeePro: ≈1.5 km).
+	RangeM float64
+	// PropagationS is a fixed per-hop latency (processing + air).
+	PropagationS float64
+}
+
+// DefaultParams is the paper's XBeePro configuration.
+func DefaultParams() Params {
+	return Params{BitRateBps: 250e3, RangeM: 1500, PropagationS: 0.002}
+}
+
+// Validate reports the first implausible parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.BitRateBps <= 0:
+		return fmt.Errorf("telemetry: bit rate %v must be positive", p.BitRateBps)
+	case p.RangeM <= 0:
+		return fmt.Errorf("telemetry: range %v must be positive", p.RangeM)
+	case p.PropagationS < 0:
+		return fmt.Errorf("telemetry: negative propagation %v", p.PropagationS)
+	}
+	return nil
+}
+
+// Status is the periodic telemetry beacon every UAV sends to the planner
+// (GPS coordinates, speed, battery — the paper's "light-weight telemetry
+// data").
+type Status struct {
+	From     string
+	Time     float64
+	Position geo.Vec3
+	Velocity geo.Vec3
+	Battery  float64 // fraction in [0,1]
+	HasData  bool    // a batch is ready for delivery
+	DataMB   float64
+}
+
+// Waypoint is a planner → UAV command.
+type Waypoint struct {
+	To       string
+	Target   geo.Vec3
+	SpeedMPS float64
+	// Hold commands station keeping at the target after arrival.
+	Hold bool
+}
+
+// statusBytes and waypointBytes approximate serialized message sizes
+// (MAVLink-style framing).
+const (
+	statusBytes   = 64
+	waypointBytes = 48
+)
+
+// Node is one endpoint on the control bus (a UAV or the ground station).
+type Node struct {
+	ID string
+	// Position is queried at send time for the range check.
+	Position func() geo.Vec3
+	// OnStatus and OnWaypoint deliver received messages (either may be nil).
+	OnStatus   func(Status)
+	OnWaypoint func(Waypoint)
+}
+
+// Bus is the shared 802.15.4 control channel.
+type Bus struct {
+	p      Params
+	engine *sim.Engine
+	nodes  map[string]*Node
+
+	// Counters.
+	SentStatus, SentWaypoints       int64
+	DroppedRange, DeliveredMessages int64
+}
+
+// NewBus creates the control channel on an engine.
+func NewBus(p Params, engine *sim.Engine) (*Bus, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("telemetry: nil engine")
+	}
+	return &Bus{p: p, engine: engine, nodes: make(map[string]*Node)}, nil
+}
+
+// Attach registers a node on the bus.
+func (b *Bus) Attach(n *Node) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("telemetry: node must have an id")
+	}
+	if n.Position == nil {
+		return fmt.Errorf("telemetry: node %q needs a position source", n.ID)
+	}
+	if _, dup := b.nodes[n.ID]; dup {
+		return fmt.Errorf("telemetry: duplicate node %q", n.ID)
+	}
+	b.nodes[n.ID] = n
+	return nil
+}
+
+// txDelay returns the serialization + propagation delay of a message.
+func (b *Bus) txDelay(bytes int) float64 {
+	return float64(bytes*8)/b.p.BitRateBps + b.p.PropagationS
+}
+
+// inRange checks the sender-receiver distance against the channel range.
+func (b *Bus) inRange(from, to *Node) bool {
+	return from.Position().Dist(to.Position()) <= b.p.RangeM
+}
+
+// SendStatus broadcasts a status beacon to every other node in range.
+func (b *Bus) SendStatus(fromID string, st Status) error {
+	from, ok := b.nodes[fromID]
+	if !ok {
+		return fmt.Errorf("telemetry: unknown sender %q", fromID)
+	}
+	st.From = fromID
+	st.Time = b.engine.Now()
+	b.SentStatus++
+	delay := b.txDelay(statusBytes)
+	for id, n := range b.nodes {
+		if id == fromID || n.OnStatus == nil {
+			continue
+		}
+		if !b.inRange(from, n) {
+			b.DroppedRange++
+			continue
+		}
+		n := n
+		if _, err := b.engine.After(delay, func() {
+			b.DeliveredMessages++
+			n.OnStatus(st)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendWaypoint unicasts a waypoint command.
+func (b *Bus) SendWaypoint(fromID string, wp Waypoint) error {
+	from, ok := b.nodes[fromID]
+	if !ok {
+		return fmt.Errorf("telemetry: unknown sender %q", fromID)
+	}
+	to, ok := b.nodes[wp.To]
+	if !ok {
+		return fmt.Errorf("telemetry: unknown recipient %q", wp.To)
+	}
+	b.SentWaypoints++
+	if !b.inRange(from, to) {
+		b.DroppedRange++
+		return nil // out of range is a silent radio loss, not an API error
+	}
+	if to.OnWaypoint == nil {
+		return nil
+	}
+	if _, err := b.engine.After(b.txDelay(waypointBytes), func() {
+		b.DeliveredMessages++
+		to.OnWaypoint(wp)
+	}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/sim"
+)
+
+func fixedPos(v geo.Vec3) func() geo.Vec3 { return func() geo.Vec3 { return v } }
+
+func newBus(t *testing.T) (*Bus, *sim.Engine) {
+	t.Helper()
+	e := sim.NewEngine()
+	b, err := NewBus(DefaultParams(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, e
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []Params{
+		{BitRateBps: 0, RangeM: 1, PropagationS: 0},
+		{BitRateBps: 1, RangeM: 0, PropagationS: 0},
+		{BitRateBps: 1, RangeM: 1, PropagationS: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewBus(DefaultParams(), nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	b, _ := newBus(t)
+	if err := b.Attach(nil); err == nil {
+		t.Fatal("nil node accepted")
+	}
+	if err := b.Attach(&Node{ID: "x"}); err == nil {
+		t.Fatal("node without position accepted")
+	}
+	n := &Node{ID: "x", Position: fixedPos(geo.Vec3{})}
+	if err := b.Attach(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(n); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestStatusBroadcastInRange(t *testing.T) {
+	b, e := newBus(t)
+	var got []Status
+	mustAttach(t, b, &Node{ID: "uav1", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "gcs", Position: fixedPos(geo.Vec3{X: 500}),
+		OnStatus: func(s Status) { got = append(got, s) }})
+	mustAttach(t, b, &Node{ID: "far", Position: fixedPos(geo.Vec3{X: 5000}),
+		OnStatus: func(s Status) { t.Error("out-of-range node received") }})
+
+	if err := b.SendStatus("uav1", Status{Position: geo.Vec3{Z: 10}, Battery: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].From != "uav1" || got[0].Battery != 0.8 {
+		t.Fatalf("received = %+v", got)
+	}
+	if b.DroppedRange != 1 {
+		t.Fatalf("dropped = %d, want 1 (the far node)", b.DroppedRange)
+	}
+	// Serialization delay: 64 B at 250 kb/s + 2 ms ≈ 4.05 ms.
+	if got[0].Time != 0 {
+		t.Fatalf("stamped time = %v", got[0].Time)
+	}
+	if now := e.Now(); math.Abs(now-(64*8/250e3+0.002)) > 1e-9 {
+		t.Fatalf("delivery time = %v", now)
+	}
+}
+
+func TestSenderDoesNotHearItself(t *testing.T) {
+	b, e := newBus(t)
+	mustAttach(t, b, &Node{ID: "a", Position: fixedPos(geo.Vec3{}),
+		OnStatus: func(Status) { t.Error("sender heard itself") }})
+	mustAttach(t, b, &Node{ID: "b", Position: fixedPos(geo.Vec3{X: 10})})
+	if err := b.SendStatus("a", Status{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaypointUnicast(t *testing.T) {
+	b, e := newBus(t)
+	var got []Waypoint
+	mustAttach(t, b, &Node{ID: "gcs", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "uav1", Position: fixedPos(geo.Vec3{X: 100}),
+		OnWaypoint: func(w Waypoint) { got = append(got, w) }})
+	mustAttach(t, b, &Node{ID: "uav2", Position: fixedPos(geo.Vec3{X: 200}),
+		OnWaypoint: func(Waypoint) { t.Error("wrong recipient") }})
+
+	wp := Waypoint{To: "uav1", Target: geo.Vec3{X: 60, Z: 10}, SpeedMPS: 4.5, Hold: true}
+	if err := b.SendWaypoint("gcs", wp); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Target != wp.Target || !got[0].Hold {
+		t.Fatalf("received = %+v", got)
+	}
+}
+
+func TestWaypointOutOfRangeIsSilentLoss(t *testing.T) {
+	b, e := newBus(t)
+	mustAttach(t, b, &Node{ID: "gcs", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "uav1", Position: fixedPos(geo.Vec3{X: 3000}),
+		OnWaypoint: func(Waypoint) { t.Error("beyond-range delivery") }})
+	if err := b.SendWaypoint("gcs", Waypoint{To: "uav1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.DroppedRange != 1 {
+		t.Fatalf("dropped = %d", b.DroppedRange)
+	}
+}
+
+func TestUnknownEndpoints(t *testing.T) {
+	b, _ := newBus(t)
+	mustAttach(t, b, &Node{ID: "a", Position: fixedPos(geo.Vec3{})})
+	if err := b.SendStatus("ghost", Status{}); err == nil {
+		t.Fatal("unknown sender accepted")
+	}
+	if err := b.SendWaypoint("a", Waypoint{To: "ghost"}); err == nil {
+		t.Fatal("unknown recipient accepted")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	b, e := newBus(t)
+	mustAttach(t, b, &Node{ID: "a", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "b", Position: fixedPos(geo.Vec3{X: 10}),
+		OnStatus: func(Status) {}, OnWaypoint: func(Waypoint) {}})
+	for i := 0; i < 5; i++ {
+		if err := b.SendStatus("a", Status{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SendWaypoint("a", Waypoint{To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.SentStatus != 5 || b.SentWaypoints != 1 || b.DeliveredMessages != 6 {
+		t.Fatalf("counters: %d/%d/%d", b.SentStatus, b.SentWaypoints, b.DeliveredMessages)
+	}
+}
+
+func mustAttach(t *testing.T, b *Bus, n *Node) {
+	t.Helper()
+	if err := b.Attach(n); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+// SVG rendering: real vector figures for the regenerated plots, written
+// next to the CSV series. Pure stdlib (the figures are just strings), sized
+// for inclusion in a paper or README.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// svgPalette holds distinguishable series colours.
+var svgPalette = []string{
+	"#1b6ca8", "#d1495b", "#2e933c", "#e7a917", "#7c4fbd", "#13889b", "#6b4226", "#61656b",
+}
+
+const (
+	svgW, svgH             = 640, 420
+	svgMarginL, svgMarginR = 64, 16
+	svgMarginT, svgMarginB = 40, 56
+)
+
+// SVGLinePlot renders series as an SVG line chart with axes, ticks and a
+// legend.
+func SVGLinePlot(title, xLabel, yLabel string, series []Series) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	svgHeader(&b, title)
+	if minX > maxX {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="lbl">(no data)</text>`, svgW/2, svgH/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	maxY += (maxY - minY) * 0.05
+	plotW := float64(svgW - svgMarginL - svgMarginR)
+	plotH := float64(svgH - svgMarginT - svgMarginB)
+	px := func(x float64) float64 { return float64(svgMarginL) + plotW*(x-minX)/(maxX-minX) }
+	py := func(y float64) float64 { return float64(svgMarginT) + plotH*(1-(y-minY)/(maxY-minY)) }
+
+	svgAxes(&b, xLabel, yLabel, minX, maxX, minY, maxY, px, py)
+
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+			b.WriteString("\n")
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.2" fill="%s"/>`, xy[0], xy[1], color)
+		}
+		b.WriteString("\n")
+		// Legend entry.
+		ly := svgMarginT + 6 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, svgW-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="lbl">%s</text>`, svgW-136, ly+9, svgEscape(s.Name))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGBoxPlot renders labelled boxplot columns.
+func SVGBoxPlot(title, xLabel, yLabel string, cols []BoxColumn) string {
+	var b strings.Builder
+	svgHeader(&b, title)
+	if len(cols) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="lbl">(no data)</text>`, svgW/2, svgH/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range cols {
+		lo = math.Min(lo, c.Box.Min)
+		hi = math.Max(hi, c.Box.Max)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	hi += (hi - lo) * 0.05
+	plotW := float64(svgW - svgMarginL - svgMarginR)
+	plotH := float64(svgH - svgMarginT - svgMarginB)
+	py := func(y float64) float64 { return float64(svgMarginT) + plotH*(1-(y-lo)/(hi-lo)) }
+	slot := plotW / float64(len(cols))
+	boxW := math.Min(26, slot*0.55)
+
+	svgAxes(&b, xLabel, yLabel, 0, float64(len(cols)), lo, hi,
+		func(x float64) float64 { return float64(svgMarginL) + plotW*x/float64(len(cols)) }, py)
+
+	for i, c := range cols {
+		cx := float64(svgMarginL) + slot*(float64(i)+0.5)
+		color := svgPalette[0]
+		// Whiskers.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`,
+			cx, py(c.Box.WhiskerLow), cx, py(c.Box.WhiskerHigh), color)
+		// Box.
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cfe3f2" stroke="%s"/>`,
+			cx-boxW/2, py(c.Box.Q3), boxW, math.Abs(py(c.Box.Q1)-py(c.Box.Q3)), color)
+		// Median.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`,
+			cx-boxW/2, py(c.Box.Median), cx+boxW/2, py(c.Box.Median), "#d1495b")
+		// Outliers.
+		for _, o := range c.Box.Outliers {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="none" stroke="%s"/>`, cx, py(o), color)
+		}
+		// Column label.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="lbl" text-anchor="middle">%s</text>`,
+			cx, svgH-svgMarginB+16, svgEscape(c.Label))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func svgHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		svgW, svgH, svgW, svgH)
+	b.WriteString("\n<style>text{font-family:sans-serif}.lbl{font-size:11px;fill:#333}.ttl{font-size:14px;fill:#111}</style>\n")
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, svgW, svgH)
+	fmt.Fprintf(b, `<text x="%d" y="22" class="ttl" text-anchor="middle">%s</text>`, svgW/2, svgEscape(title))
+	b.WriteString("\n")
+}
+
+// svgAxes draws the frame, ticks and axis labels.
+func svgAxes(b *strings.Builder, xLabel, yLabel string, minX, maxX, minY, maxY float64,
+	px, py func(float64) float64) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`,
+		svgMarginL, svgMarginT, svgW-svgMarginL-svgMarginR, svgH-svgMarginT-svgMarginB)
+	b.WriteString("\n")
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		xv := minX + (maxX-minX)*float64(i)/ticks
+		yv := minY + (maxY-minY)*float64(i)/ticks
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999"/>`,
+			px(xv), svgH-svgMarginB, px(xv), svgH-svgMarginB+4)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" class="lbl" text-anchor="middle">%.4g</text>`,
+			px(xv), svgH-svgMarginB+18, xv)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999"/>`,
+			svgMarginL-4, py(yv), svgMarginL, py(yv))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" class="lbl" text-anchor="end">%.4g</text>`,
+			svgMarginL-7, py(yv)+4, yv)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" class="lbl" text-anchor="middle">%s</text>`,
+		svgW/2, svgH-12, svgEscape(xLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" class="lbl" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		svgH/2, svgH/2, svgEscape(yLabel))
+	b.WriteString("\n")
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteSVG writes an SVG document to path, creating parent directories.
+func WriteSVG(path, svg string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+// Package trace renders experiment results as CSV files and ASCII plots.
+// The Go ecosystem has no Matlab; every figure of the paper is therefore
+// regenerated as (a) a CSV series suitable for any plotting tool and (b) a
+// terminal ASCII rendering that makes the shape comparison immediate.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// WriteCSV writes a header row and records to path, creating parent
+// directories as needed.
+func WriteCSV(path string, header []string, rows [][]float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := writeCSVTo(f, header, rows); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSVTo(w io.Writer, header []string, rows [][]float64) error {
+	if len(header) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatCell(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func formatCell(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Series is one named line of an XY chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LinePlot renders one or more series as an ASCII chart of the given size.
+// Non-finite points are skipped.
+func LinePlot(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if !finite(s.X[i]) || i >= len(s.Y) || !finite(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if minX > maxX {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if !finite(s.X[i]) || i >= len(s.Y) || !finite(s.Y[i]) {
+				continue
+			}
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	fmt.Fprintf(&b, "  %10.3g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "  %10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "  %10.3g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "  %10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "  %10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// BoxColumn is one labelled boxplot column.
+type BoxColumn struct {
+	Label string
+	Box   stats.Boxplot
+}
+
+// BoxPlot renders labelled boxplot columns vertically: one row per column
+// with whisker/quartile glyphs on a shared horizontal axis — the ASCII
+// stand-in for the paper's Fig 5/7 boxplots.
+func BoxPlot(title string, cols []BoxColumn, width int) string {
+	if width < 24 {
+		width = 24
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(cols) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range cols {
+		lo = math.Min(lo, c.Box.Min)
+		hi = math.Max(hi, c.Box.Max)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		x := int(float64(width-1) * (v - lo) / (hi - lo))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	labelW := 0
+	for _, c := range cols {
+		if len(c.Label) > labelW {
+			labelW = len(c.Label)
+		}
+	}
+	for _, c := range cols {
+		row := []byte(strings.Repeat(" ", width))
+		wl, wh := scale(c.Box.WhiskerLow), scale(c.Box.WhiskerHigh)
+		q1, q3 := scale(c.Box.Q1), scale(c.Box.Q3)
+		for i := wl; i <= wh; i++ {
+			row[i] = '-'
+		}
+		for i := q1; i <= q3; i++ {
+			row[i] = '='
+		}
+		row[wl], row[wh] = '|', '|'
+		row[scale(c.Box.Median)] = 'M'
+		for _, o := range c.Box.Outliers {
+			row[scale(o)] = 'o'
+		}
+		fmt.Fprintf(&b, "  %-*s %s\n", labelW, c.Label, string(row))
+	}
+	fmt.Fprintf(&b, "  %-*s %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+// Table renders a simple aligned text table.
+func Table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintf(&b, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys sorted numerically (helper for deterministic
+// experiment output).
+func SortedKeys[M map[float64]V, V any](m M) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// Heatmap renders a small matrix as ASCII shades (rows × cols), e.g. the
+// dopt surface of Fig 9. values[r][c] maps row r (labelled rowLabels[r])
+// and column c (colLabels[c]); shading is normalized over the finite
+// values.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	shades := " .:-=+*#%@"
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(values) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if finite(v) {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+		}
+	}
+	if lo > hi {
+		b.WriteString("  (no finite data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	colW := 0
+	for _, l := range colLabels {
+		if len(l) > colW {
+			colW = len(l)
+		}
+	}
+	if colW < 5 {
+		colW = 5
+	}
+	fmt.Fprintf(&b, "  %-*s", labelW, "")
+	for _, l := range colLabels {
+		fmt.Fprintf(&b, " %*s", colW, l)
+	}
+	b.WriteString("\n")
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "  %-*s", labelW, label)
+		for _, v := range row {
+			if !finite(v) {
+				fmt.Fprintf(&b, " %*s", colW, "?")
+				continue
+			}
+			idx := int(float64(len(shades)-1) * (v - lo) / (hi - lo))
+			cell := fmt.Sprintf("%s%.0f", string(shades[idx]), v)
+			fmt.Fprintf(&b, " %*s", colW, cell)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  (shade: %s spans [%.3g, %.3g])\n", strings.TrimSpace(shades), lo, hi)
+	return b.String()
+}

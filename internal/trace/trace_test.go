@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.csv")
+	err := WriteCSV(path, []string{"d", "mbps"}, [][]float64{
+		{20, 24.97},
+		{40, 19.4},
+		{math.Inf(1), math.NaN()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	want := "d,mbps\n20,24.97\n40,19.4\ninf,nan\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestLinePlotRendersSeries(t *testing.T) {
+	s := []Series{
+		{Name: "fit", X: []float64{1, 2, 3, 4}, Y: []float64{10, 8, 6, 4}},
+		{Name: "sim", X: []float64{1, 2, 3, 4}, Y: []float64{9, 7, 5, 3}},
+	}
+	out := LinePlot("test plot", s, 40, 10)
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "fit") || !strings.Contains(out, "sim") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("marks missing")
+	}
+	// Non-finite and empty input degrade gracefully.
+	if out := LinePlot("empty", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatal("empty plot should say so")
+	}
+	bad := []Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}
+	if out := LinePlot("nan", bad, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatal("all-NaN plot should degrade")
+	}
+}
+
+func TestLinePlotTinyDimensionsClamped(t *testing.T) {
+	s := []Series{{Name: "x", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := LinePlot("tiny", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	mk := func(xs ...float64) stats.Boxplot {
+		b, err := stats.Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cols := []BoxColumn{
+		{Label: "d=20", Box: mk(10, 20, 25, 30, 35, 40)},
+		{Label: "d=40", Box: mk(5, 10, 12, 15, 18, 60)},
+	}
+	out := BoxPlot("throughput", cols, 50)
+	if !strings.Contains(out, "d=20") || !strings.Contains(out, "d=40") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "M") {
+		t.Fatal("median glyph missing")
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("outlier glyph missing (60 is an outlier)")
+	}
+	if out := BoxPlot("empty", nil, 50); !strings.Contains(out, "no data") {
+		t.Fatal("empty boxplot should say so")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("platforms", []string{"Feature", "Airplane"}, [][]string{
+		{"Hovering", "No"},
+		{"Cruise speed", "10 m/s"},
+	})
+	if !strings.Contains(out, "platforms") || !strings.Contains(out, "Cruise speed") {
+		t.Fatalf("table output: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[float64]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("dopt (m)",
+		[]string{"5MB", "45MB"},
+		[]string{"v=3", "v=20"},
+		[][]float64{{280, 120}, {60, 20}})
+	if !strings.Contains(out, "dopt (m)") || !strings.Contains(out, "5MB") ||
+		!strings.Contains(out, "v=20") {
+		t.Fatalf("heatmap output: %q", out)
+	}
+	if !strings.Contains(out, "280") || !strings.Contains(out, "20") {
+		t.Fatal("values missing")
+	}
+	if out := Heatmap("empty", nil, nil, nil); !strings.Contains(out, "no data") {
+		t.Fatal("empty heatmap should degrade")
+	}
+	withNaN := Heatmap("nan", []string{"a"}, []string{"b"}, [][]float64{{math.NaN()}})
+	if !strings.Contains(withNaN, "no finite data") {
+		t.Fatalf("NaN heatmap: %q", withNaN)
+	}
+}
+
+func TestSVGLinePlot(t *testing.T) {
+	s := []Series{
+		{Name: "fit & sim", X: []float64{1, 2, 3}, Y: []float64{10, 6, 3}},
+		{Name: "other", X: []float64{1, 2, 3}, Y: []float64{8, 5, 2}},
+	}
+	out := SVGLinePlot("test <plot>", "distance (m)", "Mb/s", s)
+	for _, want := range []string{"<svg", "polyline", "test &lt;plot&gt;", "fit &amp; sim", "distance (m)", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if empty := SVGLinePlot("none", "x", "y", nil); !strings.Contains(empty, "no data") {
+		t.Error("empty svg should degrade")
+	}
+}
+
+func TestSVGBoxPlot(t *testing.T) {
+	b1, err := stats.Summarize([]float64{1, 2, 3, 4, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SVGBoxPlot("boxes", "d", "Mb/s", []BoxColumn{{Label: "d=20", Box: b1}})
+	for _, want := range []string{"<svg", "<rect", "d=20", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if empty := SVGBoxPlot("none", "x", "y", nil); !strings.Contains(empty, "no data") {
+		t.Error("empty boxplot svg should degrade")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "plot.svg")
+	if err := WriteSVG(path, SVGLinePlot("t", "x", "y", nil)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("not an svg")
+	}
+}

@@ -1,0 +1,123 @@
+package transport
+
+// Multi-hop store-and-forward ferrying. The paper's related work measured
+// "a throughput of up to 13 Mb/s from ground to one UAV, and half of the
+// throughput using another UAV as relay" — the classic half-duplex relay
+// penalty. RelayChain reproduces that substrate: hops share one radio
+// channel, so only one link of the chain transmits at any instant, and a
+// relay can only forward bytes it has already received.
+
+import (
+	"errors"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/link"
+)
+
+// RelayResult is the outcome of a chain transfer.
+type RelayResult struct {
+	// CompletionS is when the last byte reached the final receiver
+	// (+Inf if the deadline expired first).
+	CompletionS float64
+	// DeliveredBytes reached the final receiver.
+	DeliveredBytes int64
+	// PerHopDelivered counts bytes delivered across each hop.
+	PerHopDelivered []int64
+}
+
+// RelayChain transfers bytes across a chain of links (source→relay…→sink)
+// sharing one half-duplex channel. geoms[i] reports hop i's geometry.
+// Scheduling is work-conserving: each round, the earliest-clock hop that
+// has data buffered transmits one exchange; all hop clocks advance
+// together because the medium is shared.
+func RelayChain(links []*link.Link, bytes int, deadlineS float64,
+	geoms []GeometryFunc) (RelayResult, error) {
+	if len(links) == 0 {
+		return RelayResult{}, errors.New("transport: empty chain")
+	}
+	if len(geoms) != len(links) {
+		return RelayResult{}, errors.New("transport: one geometry per hop required")
+	}
+	for _, l := range links {
+		if l == nil {
+			return RelayResult{}, errors.New("transport: nil link in chain")
+		}
+	}
+	if bytes <= 0 || deadlineS <= 0 {
+		return RelayResult{}, errors.New("transport: batch and deadline must be positive")
+	}
+
+	n := len(links)
+	res := RelayResult{CompletionS: math.Inf(1), PerHopDelivered: make([]int64, n)}
+	// buffered[i] is the data available to hop i's transmitter but not yet
+	// enqueued into its MAC. Hop 0 owns the whole batch.
+	buffered := make([]int64, n)
+	buffered[0] = int64(bytes)
+	// enqueued[i] tracks bytes handed to hop i's MAC.
+	target := int64(bytes)
+
+	// The shared-medium clock: all links run off the max of their clocks.
+	clock := func() float64 {
+		c := 0.0
+		for _, l := range links {
+			if l.Now() > c {
+				c = l.Now()
+			}
+		}
+		return c
+	}
+	start := clock()
+	deadline := start + deadlineS
+
+	for clock() < deadline {
+		// Pick the transmitting hop: the first (closest-to-source) hop
+		// with work, preferring the one whose clock lags (it has had the
+		// channel least recently).
+		hop := -1
+		for i := 0; i < n; i++ {
+			if buffered[i] > 0 || links[i].QueuedBytes() > 0 {
+				if hop == -1 || links[i].Now() < links[hop].Now() {
+					hop = i
+				}
+			}
+		}
+		if hop == -1 {
+			break // nothing buffered anywhere: all delivered or dropped
+		}
+		l := links[hop]
+		// Half duplex: this hop's transmission occupies the channel, so
+		// every other hop's clock must catch up afterwards.
+		if buffered[hop] > 0 {
+			chunk := buffered[hop]
+			if chunk > 64*1500 {
+				chunk = 64 * 1500
+			}
+			l.Enqueue(int(chunk))
+			buffered[hop] -= chunk
+		}
+		// Reliable ferrying: MAC drops are re-enqueued.
+		droppedBefore := l.MAC().DroppedBytes
+		ex := l.Step(geoms[hop](l.Now()))
+		if d := l.MAC().DroppedBytes - droppedBefore; d > 0 {
+			l.Enqueue(int(d))
+		}
+		if ex.DeliveredBytes > 0 {
+			res.PerHopDelivered[hop] += int64(ex.DeliveredBytes)
+			if hop == n-1 {
+				res.DeliveredBytes += int64(ex.DeliveredBytes)
+			} else {
+				buffered[hop+1] += int64(ex.DeliveredBytes)
+			}
+		}
+		// Medium sharing: advance every other hop's clock to this one's.
+		now := l.Now()
+		for _, other := range links {
+			other.SetNow(now)
+		}
+		if res.DeliveredBytes >= target {
+			res.CompletionS = clock() - start
+			break
+		}
+	}
+	return res, nil
+}

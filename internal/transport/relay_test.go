@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/rate"
+)
+
+func chainLink(t *testing.T, label string, seed int64) *link.Link {
+	t.Helper()
+	cfg := link.DefaultConfig()
+	cfg.Label = label
+	cfg.Seed = seed
+	l, err := link.New(cfg, rate.NewFixed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRelayChainValidation(t *testing.T) {
+	l := chainLink(t, "v", 1)
+	g := staticGeom(20, 10)
+	if _, err := RelayChain(nil, 1, 1, nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := RelayChain([]*link.Link{l}, 1, 1, nil); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if _, err := RelayChain([]*link.Link{nil}, 1, 1, []GeometryFunc{g}); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, err := RelayChain([]*link.Link{l}, 0, 1, []GeometryFunc{g}); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := RelayChain([]*link.Link{l}, 1, 0, []GeometryFunc{g}); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+func TestSingleHopChainMatchesDirectTransfer(t *testing.T) {
+	// Identical label+seed → identical channel realization, so the only
+	// differences are the transfer mechanics.
+	const batch = 6_000_000
+	l1 := chainLink(t, "chain-src", 5)
+	res, err := RelayChain([]*link.Link{l1}, batch, 120, []GeometryFunc{staticGeom(20, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) || res.DeliveredBytes < batch {
+		t.Fatalf("single hop incomplete: %+v", res)
+	}
+	l2 := chainLink(t, "chain-src", 5)
+	direct, err := TransferBatch(l2, BatchConfig{Bytes: batch, DeadlineS: 120, Reliable: true},
+		staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.CompletionS / direct.CompletionS
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("single-hop chain %.2f s vs direct %.2f s", res.CompletionS, direct.CompletionS)
+	}
+}
+
+// TestTwoHopHalvesThroughput reproduces the related-work observation the
+// paper cites: a store-and-forward relay on a shared channel delivers
+// about half the single-hop throughput.
+func TestTwoHopHalvesThroughput(t *testing.T) {
+	const batch = 6_000_000
+	oneHop, err := RelayChain(
+		[]*link.Link{chainLink(t, "chain-src", 5)},
+		batch, 240, []GeometryFunc{staticGeom(20, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoHop, err := RelayChain(
+		[]*link.Link{chainLink(t, "chain-src", 5), chainLink(t, "chain-fwd", 6)},
+		batch, 480,
+		[]GeometryFunc{staticGeom(20, 10), staticGeom(20, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(twoHop.CompletionS, 1) {
+		t.Fatalf("two-hop chain never finished: %+v", twoHop)
+	}
+	ratio := twoHop.CompletionS / oneHop.CompletionS
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("two-hop slowdown = %.2f×, want ≈2× (one %.1f s, two %.1f s)",
+			ratio, oneHop.CompletionS, twoHop.CompletionS)
+	}
+	// Conservation: the relay forwarded what it received.
+	if twoHop.PerHopDelivered[0] < int64(batch) || twoHop.DeliveredBytes < int64(batch) {
+		t.Fatalf("per-hop accounting: %+v", twoHop)
+	}
+}
+
+func TestChainDeadline(t *testing.T) {
+	// A chain with a hopeless far hop cannot finish.
+	res, err := RelayChain(
+		[]*link.Link{chainLink(t, "ok", 7), chainLink(t, "dead", 8)},
+		5_000_000, 5,
+		[]GeometryFunc{staticGeom(20, 10), staticGeom(400, 90)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("hopeless chain finished in %v", res.CompletionS)
+	}
+	if res.DeliveredBytes >= 5_000_000 {
+		t.Fatal("delivered everything over a dead hop")
+	}
+}

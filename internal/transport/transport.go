@@ -1,0 +1,143 @@
+// Package transport provides the application-level data movers the
+// experiments use on top of a link: an iperf-style UDP saturation
+// measurement (Section 3: "measured using UDP traffic and the iperf
+// tool") and a reliable batch transfer that delivers a sensing batch of
+// Mdata bytes while the geometry evolves — the workload of Fig. 1.
+package transport
+
+import (
+	"errors"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/link"
+)
+
+// GeometryFunc reports the link geometry at a simulation time; batch
+// transfers query it continuously as the vehicles move.
+type GeometryFunc func(now float64) link.Geometry
+
+// SeriesPoint samples a transfer's progress.
+type SeriesPoint struct {
+	TimeS       float64
+	DeliveredMB float64
+	DistanceM   float64
+}
+
+// BatchResult is the outcome of one batch transfer.
+type BatchResult struct {
+	// CompletionS is the time from transfer start to the last byte
+	// delivered (+Inf if the deadline expired first).
+	CompletionS float64
+	// DeliveredBytes and RetransmittedBytes account the work done.
+	DeliveredBytes     int64
+	RetransmittedBytes int64
+	// Series samples progress at ≈4 Hz.
+	Series []SeriesPoint
+}
+
+// BatchConfig controls a transfer.
+type BatchConfig struct {
+	// Bytes is the batch size (Mdata).
+	Bytes int
+	// DeadlineS aborts the transfer after this much simulated time.
+	DeadlineS float64
+	// Reliable re-enqueues MAC-dropped datagrams (images must arrive
+	// complete); unreliable transfers count drops as lost.
+	Reliable bool
+}
+
+// seriesInterval is the sampling cadence of progress points.
+const seriesInterval = 0.25
+
+// TransferBatch drives a batch of bytes over the link, querying the
+// geometry as the simulation clock advances. The link's clock is the
+// transfer clock; the caller's vehicles should be advanced inside geom.
+func TransferBatch(l *link.Link, cfg BatchConfig, geom GeometryFunc) (BatchResult, error) {
+	if l == nil {
+		return BatchResult{}, errors.New("transport: nil link")
+	}
+	if cfg.Bytes <= 0 {
+		return BatchResult{}, errors.New("transport: batch size must be positive")
+	}
+	if cfg.DeadlineS <= 0 {
+		return BatchResult{}, errors.New("transport: deadline must be positive")
+	}
+	if geom == nil {
+		return BatchResult{}, errors.New("transport: nil geometry source")
+	}
+
+	start := l.Now()
+	deadline := start + cfg.DeadlineS
+	l.Enqueue(cfg.Bytes)
+
+	res := BatchResult{CompletionS: math.Inf(1)}
+	var delivered int64
+	target := int64(cfg.Bytes)
+	nextSample := start
+
+	droppedBefore := l.MAC().DroppedBytes
+	for l.Now() < deadline {
+		g := geom(l.Now())
+		ex := l.Step(g)
+		delivered += int64(ex.DeliveredBytes)
+
+		if cfg.Reliable {
+			if d := l.MAC().DroppedBytes - droppedBefore; d > 0 {
+				droppedBefore = l.MAC().DroppedBytes
+				res.RetransmittedBytes += d
+				l.Enqueue(int(d))
+			}
+		}
+
+		if l.Now() >= nextSample || delivered >= target {
+			nextSample = l.Now() + seriesInterval
+			res.Series = append(res.Series, SeriesPoint{
+				TimeS:       l.Now() - start,
+				DeliveredMB: float64(delivered) / 1e6,
+				DistanceM:   g.DistanceM,
+			})
+		}
+		if delivered >= target {
+			res.CompletionS = l.Now() - start
+			break
+		}
+		if !cfg.Reliable && delivered+(l.MAC().DroppedBytes-droppedBefore) >= target &&
+			l.QueuedBytes() == 0 {
+			// Unreliable transfer exhausted its queue (drops included).
+			break
+		}
+	}
+	res.DeliveredBytes = delivered
+	return res, nil
+}
+
+// Iperf is the saturation throughput measurement (delegates to the link's
+// measurement loop, named for discoverability next to the paper's tooling).
+func Iperf(l *link.Link, g link.Geometry, duration float64) (link.Measurement, error) {
+	if l == nil {
+		return link.Measurement{}, errors.New("transport: nil link")
+	}
+	if duration <= 0 {
+		return link.Measurement{}, errors.New("transport: duration must be positive")
+	}
+	return l.Measure(g, duration), nil
+}
+
+// TimeToMB returns when the transfer first reached the given delivered
+// volume (MB), interpolating between progress samples; ok is false if it
+// never did. Time-critical missions care about partial delivery ("deliver
+// as much data as soon as possible"), not only completion.
+func (r BatchResult) TimeToMB(mb float64) (float64, bool) {
+	var prev SeriesPoint
+	for i, p := range r.Series {
+		if p.DeliveredMB >= mb {
+			if i == 0 || p.DeliveredMB == prev.DeliveredMB {
+				return p.TimeS, true
+			}
+			frac := (mb - prev.DeliveredMB) / (p.DeliveredMB - prev.DeliveredMB)
+			return prev.TimeS + frac*(p.TimeS-prev.TimeS), true
+		}
+		prev = p
+	}
+	return 0, false
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/rate"
+)
+
+func staticGeom(d, alt float64) GeometryFunc {
+	return func(float64) link.Geometry {
+		return link.Geometry{DistanceM: d, AltitudeM: alt}
+	}
+}
+
+func newLink(t *testing.T, pol rate.Policy) *link.Link {
+	t.Helper()
+	l, err := link.New(link.DefaultConfig(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestTransferBatchValidation(t *testing.T) {
+	l := newLink(t, rate.NewFixed(2))
+	if _, err := TransferBatch(nil, BatchConfig{Bytes: 1, DeadlineS: 1}, staticGeom(20, 10)); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, err := TransferBatch(l, BatchConfig{Bytes: 0, DeadlineS: 1}, staticGeom(20, 10)); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := TransferBatch(l, BatchConfig{Bytes: 1, DeadlineS: 0}, staticGeom(20, 10)); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	if _, err := TransferBatch(l, BatchConfig{Bytes: 1, DeadlineS: 1}, nil); err == nil {
+		t.Fatal("nil geometry accepted")
+	}
+}
+
+func TestTransferBatchCompletesAtShortRange(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 2_000_000, DeadlineS: 30, Reliable: true},
+		staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) {
+		t.Fatal("transfer did not complete")
+	}
+	if res.DeliveredBytes < 2_000_000 {
+		t.Fatalf("delivered = %d", res.DeliveredBytes)
+	}
+	// 2 MB at ≈25–45 Mb/s should take well under 10 s.
+	if res.CompletionS > 10 {
+		t.Fatalf("completion = %v s", res.CompletionS)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no progress series")
+	}
+	last := res.Series[len(res.Series)-1]
+	if math.Abs(last.DeliveredMB-2.0) > 0.05 {
+		t.Fatalf("series final = %v MB", last.DeliveredMB)
+	}
+}
+
+func TestTransferBatchDeadline(t *testing.T) {
+	// A hopeless link: 20 MB at 300 m via a weak fixed MCS within 2 s.
+	l := newLink(t, rate.NewFixed(7))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 20_000_000, DeadlineS: 2, Reliable: true},
+		staticGeom(300, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("hopeless transfer completed in %v", res.CompletionS)
+	}
+	if res.DeliveredBytes >= 20_000_000 {
+		t.Fatal("delivered everything on a dead link")
+	}
+}
+
+func TestReliableRetransmitsDrops(t *testing.T) {
+	// Mid-SNR geometry at an aggressive MCS produces retry-limit drops;
+	// reliable mode must retransmit and still deliver the full batch.
+	l := newLink(t, rate.NewFixed(4))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 1_000_000, DeadlineS: 120, Reliable: true},
+		staticGeom(90, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("reliable transfer did not finish: delivered %d", res.DeliveredBytes)
+	}
+	if res.DeliveredBytes < 1_000_000 {
+		t.Fatalf("delivered = %d", res.DeliveredBytes)
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	l := newLink(t, rate.NewFixed(2))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 3_000_000, DeadlineS: 60, Reliable: true},
+		staticGeom(40, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevT, prevMB := -1.0, -1.0
+	for _, p := range res.Series {
+		if p.TimeS < prevT || p.DeliveredMB < prevMB {
+			t.Fatalf("series not monotone at %v", p.TimeS)
+		}
+		prevT, prevMB = p.TimeS, p.DeliveredMB
+	}
+}
+
+func TestMovingGeometryIsQueried(t *testing.T) {
+	l := newLink(t, nil)
+	calls := 0
+	geom := func(now float64) link.Geometry {
+		calls++
+		d := 80 - 4.5*now
+		if d < 20 {
+			d = 20
+		}
+		return link.Geometry{DistanceM: d, AltitudeM: 10, RelSpeedMPS: 4.5}
+	}
+	if _, err := TransferBatch(l, BatchConfig{Bytes: 5_000_000, DeadlineS: 60, Reliable: true}, geom); err != nil {
+		t.Fatal(err)
+	}
+	if calls < 10 {
+		t.Fatalf("geometry queried only %d times", calls)
+	}
+}
+
+func TestIperf(t *testing.T) {
+	l := newLink(t, nil)
+	m, err := Iperf(l, link.Geometry{DistanceM: 30, AltitudeM: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThroughputBps <= 0 {
+		t.Fatalf("throughput = %v", m.ThroughputBps)
+	}
+	if _, err := Iperf(nil, link.Geometry{}, 5); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, err := Iperf(l, link.Geometry{DistanceM: 30, AltitudeM: 10}, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestTimeToMB(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 4_000_000, DeadlineS: 60, Reliable: true},
+		staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, ok := res.TimeToMB(2)
+	if !ok {
+		t.Fatal("never reached 2 MB")
+	}
+	full, ok := res.TimeToMB(4)
+	if !ok {
+		t.Fatal("never reached 4 MB")
+	}
+	if !(half > 0 && half < full) {
+		t.Fatalf("timing ordering: half %v, full %v", half, full)
+	}
+	if _, ok := res.TimeToMB(999); ok {
+		t.Fatal("unreachable volume reported reached")
+	}
+}

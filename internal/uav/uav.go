@@ -1,0 +1,262 @@
+// Package uav models the paper's two flying platforms (Table 1): the
+// Swinglet fixed-wing airplane and the Arducopter quadrocopter, as
+// kinematic vehicles with battery budgets, speed and altitude envelopes,
+// and odometer accounting (the failure model discounts by distance
+// travelled).
+//
+// The fidelity target is the paper's communication study, not aerodynamics:
+// vehicles track commanded velocities under acceleration and turn-rate
+// limits, which reproduces the flight patterns of Fig. 4 (straight legs
+// between waypoints for airplanes, station-keeping hover for quads) at the
+// timescales that matter to the radio link.
+package uav
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// Class distinguishes the two airframe families of the paper.
+type Class int
+
+// The platform classes used in the paper's experiments.
+const (
+	Airplane Class = iota
+	Quadrocopter
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Airplane:
+		return "airplane"
+	case Quadrocopter:
+		return "quadrocopter"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Platform is a vehicle specification (the rows of Table 1).
+type Platform struct {
+	Name  string
+	Class Class
+	// CanHover: quadrocopters hold position; airplanes must keep airspeed
+	// and circle a waypoint instead.
+	CanHover bool
+	// SizeDescription mirrors Table 1 ("Wingspan: 80 cm", "Frame: 64 cm").
+	SizeDescription string
+	WeightKg        float64
+	// BatteryMinutes is the autonomy at cruise.
+	BatteryMinutes float64
+	// CruiseSpeedMPS is the nominal mission speed.
+	CruiseSpeedMPS float64
+	// MaxSpeedMPS caps commanded velocities.
+	MaxSpeedMPS float64
+	// StallSpeedMPS is the minimum forward speed (0 for hover-capable).
+	StallSpeedMPS float64
+	// MaxSafeAltitudeM is the operational ceiling of Table 1.
+	MaxSafeAltitudeM float64
+	// MinTurnRadiusM bounds how tightly the platform circles (the paper's
+	// airplanes circle waypoints with a radius of at least 20 m).
+	MinTurnRadiusM float64
+	// AccelMPS2 limits velocity changes.
+	AccelMPS2 float64
+}
+
+// Swinglet returns the paper's fixed-wing platform (Table 1).
+func Swinglet() Platform {
+	return Platform{
+		Name:             "Swinglet",
+		Class:            Airplane,
+		CanHover:         false,
+		SizeDescription:  "Wingspan: 80 cm",
+		WeightKg:         0.5,
+		BatteryMinutes:   30,
+		CruiseSpeedMPS:   10,
+		MaxSpeedMPS:      14,
+		StallSpeedMPS:    7,
+		MaxSafeAltitudeM: 300,
+		MinTurnRadiusM:   20,
+		AccelMPS2:        3,
+	}
+}
+
+// Arducopter returns the paper's quadrocopter platform (Table 1).
+func Arducopter() Platform {
+	return Platform{
+		Name:             "Arducopter",
+		Class:            Quadrocopter,
+		CanHover:         true,
+		SizeDescription:  "Frame: 64 cm by 64 cm",
+		WeightKg:         1.7,
+		BatteryMinutes:   20,
+		CruiseSpeedMPS:   4.5,
+		MaxSpeedMPS:      10,
+		StallSpeedMPS:    0,
+		MaxSafeAltitudeM: 100,
+		MinTurnRadiusM:   0,
+		AccelMPS2:        2.5,
+	}
+}
+
+// Validate reports the first implausible field.
+func (p Platform) Validate() error {
+	switch {
+	case p.CruiseSpeedMPS <= 0:
+		return fmt.Errorf("uav: cruise speed %v must be positive", p.CruiseSpeedMPS)
+	case p.MaxSpeedMPS < p.CruiseSpeedMPS:
+		return fmt.Errorf("uav: max speed %v below cruise %v", p.MaxSpeedMPS, p.CruiseSpeedMPS)
+	case p.StallSpeedMPS < 0 || p.StallSpeedMPS > p.CruiseSpeedMPS:
+		return fmt.Errorf("uav: stall speed %v outside [0, cruise]", p.StallSpeedMPS)
+	case p.BatteryMinutes <= 0:
+		return fmt.Errorf("uav: battery %v must be positive", p.BatteryMinutes)
+	case p.MaxSafeAltitudeM <= 0:
+		return fmt.Errorf("uav: ceiling %v must be positive", p.MaxSafeAltitudeM)
+	case p.AccelMPS2 <= 0:
+		return fmt.Errorf("uav: acceleration %v must be positive", p.AccelMPS2)
+	case !p.CanHover && p.StallSpeedMPS == 0:
+		return fmt.Errorf("uav: non-hovering platform needs a stall speed")
+	}
+	return nil
+}
+
+// PowerFraction returns the instantaneous power draw at ground speed v
+// relative to the cruise-speed draw (1.0 at cruise by construction, so one
+// battery lasts BatteryMinutes at cruise). Rotorcraft pay a small hover
+// premium (no translational lift) and a steep sprint penalty; fixed wings
+// fly a classic U-shaped power polar with its minimum at cruise.
+func (p Platform) PowerFraction(v float64) float64 {
+	vc := p.CruiseSpeedMPS
+	if vc <= 0 {
+		return 1
+	}
+	if p.CanHover {
+		// Minimum-power speed around 0.7·cruise; hover sits slightly above
+		// cruise draw, sprints rise quadratically.
+		ve := 0.7 * vc
+		a := 0.05 / ((vc - ve) * (vc - ve))
+		f := 0.95 + a*(v-ve)*(v-ve)
+		if f < 0.9 {
+			f = 0.9
+		}
+		return f
+	}
+	// Fixed wing: U-curve anchored at cruise; both slower (induced drag)
+	// and faster (parasite drag) cost more.
+	d := (v - vc) / vc
+	return 1 + 0.8*d*d
+}
+
+// NominalRangeM is the distance the platform covers at cruise speed on one
+// battery — the quantity the paper inverts to choose the failure rate ρ
+// ("the inverse of the distance that the UAV could travel at its nominal
+// cruise speed before the battery will be completely depleted").
+func (p Platform) NominalRangeM() float64 {
+	return p.CruiseSpeedMPS * p.BatteryMinutes * 60
+}
+
+// Vehicle is one flying UAV instance.
+type Vehicle struct {
+	Platform
+	ID string
+
+	pos geo.Vec3
+	vel geo.Vec3
+
+	batteryLeft float64 // seconds of flight remaining
+	odometer    float64 // metres travelled
+	failed      bool
+}
+
+// NewVehicle places a vehicle at a position with a full battery.
+func NewVehicle(id string, p Platform, pos geo.Vec3) (*Vehicle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if id == "" {
+		return nil, fmt.Errorf("uav: empty vehicle id")
+	}
+	return &Vehicle{
+		Platform:    p,
+		ID:          id,
+		pos:         pos,
+		batteryLeft: p.BatteryMinutes * 60,
+	}, nil
+}
+
+// Position returns the current ENU position (metres).
+func (v *Vehicle) Position() geo.Vec3 { return v.pos }
+
+// Velocity returns the current velocity (m/s).
+func (v *Vehicle) Velocity() geo.Vec3 { return v.vel }
+
+// Speed returns the current ground speed.
+func (v *Vehicle) Speed() float64 { return v.vel.Norm() }
+
+// Odometer returns metres travelled since creation.
+func (v *Vehicle) Odometer() float64 { return v.odometer }
+
+// BatteryLeftSeconds returns remaining flight time.
+func (v *Vehicle) BatteryLeftSeconds() float64 { return v.batteryLeft }
+
+// BatteryFraction returns remaining battery in [0,1].
+func (v *Vehicle) BatteryFraction() float64 {
+	return v.batteryLeft / (v.BatteryMinutes * 60)
+}
+
+// Failed reports whether the vehicle has been marked failed.
+func (v *Vehicle) Failed() bool { return v.failed }
+
+// Fail marks the vehicle failed; a failed vehicle no longer moves.
+func (v *Vehicle) Fail() { v.failed = true }
+
+// Teleport force-places the vehicle (test and scenario setup only).
+func (v *Vehicle) Teleport(pos geo.Vec3) { v.pos = pos }
+
+// Step advances the vehicle by dt seconds toward the commanded velocity,
+// honouring acceleration, speed and stall limits and draining the battery.
+// A failed or battery-dead vehicle does not move.
+func (v *Vehicle) Step(dt float64, cmdVel geo.Vec3) {
+	if dt <= 0 || v.failed || v.batteryLeft <= 0 {
+		return
+	}
+	cmd := cmdVel.ClampNorm(v.MaxSpeedMPS)
+	if !v.CanHover {
+		// Fixed wing: never below stall speed. If commanded slower, keep
+		// direction (or current heading) at stall speed.
+		if cmd.Norm() < v.StallSpeedMPS {
+			dir := cmd.Unit()
+			if cmd.Norm() == 0 {
+				dir = v.vel.Unit()
+				if dir == (geo.Vec3{}) {
+					dir = geo.Vec3{Y: 1}
+				}
+			}
+			cmd = dir.Scale(v.StallSpeedMPS)
+		}
+	}
+	// Acceleration-limited velocity tracking.
+	dv := cmd.Sub(v.vel)
+	maxDv := v.AccelMPS2 * dt
+	dv = dv.ClampNorm(maxDv)
+	v.vel = v.vel.Add(dv)
+
+	step := v.vel.Scale(dt)
+	v.pos = v.pos.Add(step)
+	if v.pos.Z > v.MaxSafeAltitudeM {
+		v.pos.Z = v.MaxSafeAltitudeM
+	}
+	if v.pos.Z < 0 {
+		v.pos.Z = 0
+	}
+	v.odometer += step.Norm()
+
+	// Battery drain follows the platform's power polar: one battery lasts
+	// BatteryMinutes at cruise, less when hovering hard or sprinting.
+	v.batteryLeft -= dt * v.PowerFraction(v.Speed())
+	if v.batteryLeft < 0 {
+		v.batteryLeft = 0
+	}
+}

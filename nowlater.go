@@ -1,0 +1,372 @@
+// Package nowlater is a Go reproduction of "Now or Later? — Delaying Data
+// Transfer in Time-Critical Aerial Communication" (Asadpour, Giustiniano,
+// Hummel, Heimlicher, Egli; ACM CoNEXT 2013).
+//
+// A UAV that has gathered a batch of mission data (search-and-rescue
+// imagery) and comes into 802.11n range of its receiver at distance d0 can
+// transmit *now*, or ship itself closer and transmit *later* at a faster
+// link. The paper models the choice as a delayed-gratification problem
+//
+//	U(d) = e^{−ρ(d0−d)} / Cdelay(d),   Cdelay(d) = (d0−d)/v + Mdata/s(d)
+//
+// and backs the throughput law s(d) with aerial measurements from two
+// platforms (fixed-wing Swinglets and Arducopter quadrocopters).
+//
+// This package is the public facade over the full reproduction stack:
+//
+//   - the delayed-gratification model and optimizer (Scenario, Optimize);
+//   - packet-level 802.11n link simulation over a calibrated aerial
+//     channel (Link, MeasureTrials) with fixed and Minstrel rate control;
+//   - platform, autopilot, GPS, telemetry and central-planner substrates;
+//   - the experiment harness that regenerates every table and figure of
+//     the paper (Experiments* functions).
+//
+// Quick start:
+//
+//	sc := nowlater.AirplaneBaseline()
+//	opt, err := sc.Optimize()
+//	// opt.DoptM is the distance at which to transmit; opt.CommDelay the
+//	// expected delivery delay; opt.Survival the shipping-leg survival.
+package nowlater
+
+import (
+	"io"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/experiments"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/fleet"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/transport"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// MinSeparationM is the paper's anti-collision floor between UAVs (20 m).
+const MinSeparationM = core.MinSeparationM
+
+// --- Delayed-gratification model (the paper's contribution) -------------
+
+// Scenario is one delayed-gratification decision instance: distance d0 at
+// which the link opens, shipping speed, batch size, failure model and the
+// throughput-vs-distance law.
+type Scenario = core.Scenario
+
+// Optimum is the solved decision: the transmit distance dopt, its utility,
+// communication delay and shipping-leg survival probability.
+type Optimum = core.Optimum
+
+// Point is one sample of a utility curve U(d).
+type Point = core.Point
+
+// ThroughputModel is the hover-and-transmit throughput law s(d) in bits/s.
+type ThroughputModel = core.ThroughputModel
+
+// LogFitThroughput is the paper's fitted law s(d) = 10⁶·(A·log2 d + B).
+type LogFitThroughput = core.LogFitThroughput
+
+// TableThroughput interpolates measured (distance, throughput) samples.
+type TableThroughput = core.TableThroughput
+
+// NewTableThroughput builds an interpolating throughput model from sorted
+// samples.
+func NewTableThroughput(distances, bps []float64) (*TableThroughput, error) {
+	return core.NewTableThroughput(distances, bps)
+}
+
+// AirplaneFit returns the paper's airplane throughput fit
+// (−5.56·log2 d + 49 Mb/s, R² = 0.9).
+func AirplaneFit() LogFitThroughput { return core.AirplaneFit() }
+
+// QuadrocopterFit returns the paper's quadrocopter fit
+// (−10.5·log2 d + 73 Mb/s, R² = 0.96).
+func QuadrocopterFit() LogFitThroughput { return core.QuadrocopterFit() }
+
+// AirplaneBaseline returns the paper's airplane scenario (Section 4):
+// 28 MB, 10 m/s, ρ = 1.11e−4, d0 = 300 m.
+func AirplaneBaseline() Scenario { return core.AirplaneBaseline() }
+
+// QuadrocopterBaseline returns the paper's quadrocopter scenario
+// (Section 4): 56.2 MB, 4.5 m/s, ρ = 2.46e−4, d0 = 100 m.
+func QuadrocopterBaseline() Scenario { return core.QuadrocopterBaseline() }
+
+// Strategy identifies a delivery strategy (Fig. 1).
+type Strategy = core.Strategy
+
+// The delivery strategies the paper compares.
+const (
+	TransmitNow      = core.TransmitNow
+	ShipThenTransmit = core.ShipThenTransmit
+	MoveAndTransmit  = core.MoveAndTransmit
+)
+
+// StrategyOutcome is a strategy run's completion time and delivery series.
+type StrategyOutcome = core.Outcome
+
+// SpeedPenalty scales hover throughput under relative motion.
+type SpeedPenalty = core.SpeedPenalty
+
+// DefaultSpeedPenalty matches the paper's Fig. 1 "moving" realization.
+func DefaultSpeedPenalty() SpeedPenalty { return core.DefaultSpeedPenalty() }
+
+// --- Failure model -------------------------------------------------------
+
+// FailureModel is the exponential-in-distance failure law δ = e^{−ρ·dist}.
+type FailureModel = failure.Model
+
+// Paper baseline failure rates (per metre travelled).
+const (
+	AirplaneRho     = failure.AirplaneRho
+	QuadrocopterRho = failure.QuadrocopterRho
+)
+
+// NewFailureModel validates and wraps a failure rate ρ.
+func NewFailureModel(rho float64) (FailureModel, error) { return failure.NewModel(rho) }
+
+// FailureFromRange derives ρ from a battery range in metres (ρ = 1/range).
+func FailureFromRange(rangeM float64) (FailureModel, error) { return failure.FromRange(rangeM) }
+
+// --- Sensing mission -----------------------------------------------------
+
+// Camera is the on-board imager model (FOV geometry and image size).
+type Camera = mission.Camera
+
+// SensingPlan is a sector-scanning assignment; DataBytes() is the paper's
+// Mdata.
+type SensingPlan = mission.Plan
+
+// Sector is the area one UAV is responsible for scanning.
+type Sector = mission.Sector
+
+// DefaultCamera returns the paper's reference camera (1280×720, 65° lens).
+func DefaultCamera() Camera { return mission.DefaultCamera() }
+
+// AirplaneSensingPlan is the paper's airplane scan (500×500 m @ 70 m →
+// ≈28 MB).
+func AirplaneSensingPlan() SensingPlan { return mission.AirplanePlan() }
+
+// QuadrocopterSensingPlan is the paper's quadrocopter scan (100×100 m @
+// 10 m → ≈56.2 MB).
+func QuadrocopterSensingPlan() SensingPlan { return mission.QuadrocopterPlan() }
+
+// --- Packet-level aerial link --------------------------------------------
+
+// Link is one simulated point-to-point aerial 802.11n link (channel + PHY
+// + MAC + rate control).
+type Link = link.Link
+
+// LinkConfig assembles a link; DefaultLinkConfig is the paper's radio over
+// the calibrated aerial channel.
+type LinkConfig = link.Config
+
+// Geometry is the instantaneous link geometry (distance, altitude,
+// relative speed).
+type Geometry = link.Geometry
+
+// Measurement is an iperf-style saturation measurement result.
+type Measurement = link.Measurement
+
+// DefaultLinkConfig returns the calibrated link configuration.
+func DefaultLinkConfig() LinkConfig { return link.DefaultConfig() }
+
+// NewLink builds a link; a nil policy selects Minstrel auto-rate.
+func NewLink(cfg LinkConfig, policy RatePolicy) (*Link, error) { return link.New(cfg, policy) }
+
+// MeasureTrials runs independent saturation measurements at one geometry,
+// returning throughput samples in Mb/s (the boxplot columns of Figs 5–7).
+func MeasureTrials(cfg LinkConfig, newPolicy func(rng *RNG) RatePolicy,
+	g Geometry, duration float64, n int) ([]float64, error) {
+	return link.MeasureTrials(cfg, newPolicy, g, duration, n)
+}
+
+// RatePolicy selects the MCS per transmission and learns from feedback.
+type RatePolicy = rate.Policy
+
+// MCS is an 802.11n modulation-and-coding-scheme index (0–15).
+type MCS = phy.MCS
+
+// NewFixedRate returns the fixed-MCS policy of the paper's Fig. 6 sweeps.
+func NewFixedRate(m MCS) RatePolicy { return rate.NewFixed(m) }
+
+// NewMinstrel returns the sampling auto-rate policy (the paper's
+// misbehaving "autorate") with default parameters.
+func NewMinstrel(cfg LinkConfig, rng *RNG) RatePolicy {
+	return rate.NewMinstrel(rate.DefaultMinstrelParams(), cfg.PHY, rng)
+}
+
+// NewARF returns the classic Auto Rate Fallback policy, the vendor-driver
+// style alternative whose fast-fading oscillation is one explanation for
+// the paper's auto-rate losses.
+func NewARF() RatePolicy { return rate.NewARF(rate.DefaultARFParams()) }
+
+// NewOracle returns the omniscient rate control for a link configuration:
+// it sees the instantaneous SNR and upper-bounds any realizable policy.
+func NewOracle(cfg LinkConfig) RatePolicy { return link.NewOraclePolicy(cfg) }
+
+// RNG is the deterministic random source used across the simulator.
+type RNG = stats.RNG
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// --- Experiment harness ---------------------------------------------------
+
+// ExperimentConfig scales the figure-regeneration workloads.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig reproduces figures at publication quality;
+// QuickExperimentConfig is a fast smoke-scale variant.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig returns the reduced workload.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// Experiment result types, one per table/figure of the paper.
+type (
+	Table1Result = experiments.Table1Result
+	Fig1Result   = experiments.Fig1Result
+	Fig4Result   = experiments.Fig4Result
+	Fig5Result   = experiments.Fig5Result
+	Fig6Result   = experiments.Fig6Result
+	Fig7Result   = experiments.Fig7Result
+	Fig8Result   = experiments.Fig8Result
+	Fig9Result   = experiments.Fig9Result
+)
+
+// Table1 regenerates the platform feature table.
+func Table1() Table1Result { return experiments.Table1() }
+
+// Fig1 reproduces the strategy race (transmitted data vs time).
+func Fig1(cfg ExperimentConfig) (Fig1Result, error) { return experiments.Fig1(cfg) }
+
+// Fig4 reproduces the GPS traces of both platforms.
+func Fig4(cfg ExperimentConfig) (Fig4Result, error) { return experiments.Fig4(cfg) }
+
+// Fig5 reproduces airplane throughput vs distance (auto rate).
+func Fig5(cfg ExperimentConfig) (Fig5Result, error) { return experiments.Fig5(cfg) }
+
+// Fig6 reproduces best-fixed-MCS vs auto-rate between airplanes.
+func Fig6(cfg ExperimentConfig) (Fig6Result, error) { return experiments.Fig6(cfg) }
+
+// Fig7 reproduces the quadrocopter panels (hover, moving, speed sweep).
+func Fig7(cfg ExperimentConfig) (Fig7Result, error) { return experiments.Fig7(cfg) }
+
+// Fig8 reproduces U(d) across failure rates for both baselines.
+func Fig8(cfg ExperimentConfig) (Fig8Result, error) { return experiments.Fig8(cfg) }
+
+// Fig9 reproduces the Mdata × speed sweep of the airplane scenario.
+func Fig9(cfg ExperimentConfig) (Fig9Result, error) { return experiments.Fig9(cfg) }
+
+// --- Model extensions (the paper's Sections 5 and 7 futures) -------------
+
+// RhoField is a position-dependent failure rate along the shipping line.
+type RhoField = core.RhoField
+
+// NonStationaryScenario integrates a RhoField in the discount —
+// the paper's "non-stationary failure rate" extension.
+type NonStationaryScenario = core.NonStationaryScenario
+
+// ConstantRho lifts a scalar failure rate into a field.
+func ConstantRho(rho float64) RhoField { return core.ConstantRho(rho) }
+
+// LinearRho varies linearly from rho0 at the receiver to rho1 at span.
+func LinearRho(rho0, rho1, span float64) RhoField { return core.LinearRho(rho0, rho1, span) }
+
+// HazardZoneRho elevates the rate inside a band on the approach.
+func HazardZoneRho(background, elevated, lo, hi float64) RhoField {
+	return core.HazardZoneRho(background, elevated, lo, hi)
+}
+
+// SpeedCost makes the per-metre failure rate speed-dependent, enabling the
+// joint (distance, speed) optimization of Scenario.OptimizeWithSpeed.
+type SpeedCost = core.SpeedCost
+
+// SpeedOptimum is the joint (dopt, vopt) decision.
+type SpeedOptimum = core.SpeedOptimum
+
+// MixedOutcome is the ship-while-transmitting strategy's result
+// (Scenario.RunMixedStrategy / OptimizeMixed).
+type MixedOutcome = core.MixedOutcome
+
+// RepositionOptimum is the decision when the post-delivery return leg is
+// charged (Scenario.OptimizeWithReturn; the paper's Section 7
+// "re-positioning cost" extension).
+type RepositionOptimum = core.RepositionOptimum
+
+// LoadThroughputCSV reads a measured (distance_m, throughput_mbps) table —
+// e.g. from cmd/linkprobe — into a ThroughputModel.
+func LoadThroughputCSV(r io.Reader) (*TableThroughput, error) {
+	return core.LoadTableThroughputCSV(r)
+}
+
+// --- Fleet missions --------------------------------------------------------
+
+// FleetConfig parameterizes a multi-UAV mission.
+type FleetConfig = fleet.Config
+
+// UAVSpec declares one mission participant (scout or relay).
+type UAVSpec = fleet.UAVSpec
+
+// Mission is a configured multi-UAV run on the discrete-event engine.
+type Mission = fleet.Mission
+
+// MissionReport summarizes delivery latency, data delivered and failures.
+type MissionReport = fleet.Report
+
+// Mission roles.
+const (
+	ScoutRole = fleet.Scout
+	RelayRole = fleet.Relay
+)
+
+// DefaultFleetConfig uses the paper's quadrocopter planning scenario.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewMission assembles a multi-UAV mission.
+func NewMission(cfg FleetConfig, specs []UAVSpec) (*Mission, error) { return fleet.New(cfg, specs) }
+
+// --- Multi-hop ferrying ----------------------------------------------------
+
+// RelayResult is the outcome of a store-and-forward chain transfer.
+type RelayResult = transport.RelayResult
+
+// GeometryFunc reports a hop's geometry at a simulation time.
+type GeometryFunc = transport.GeometryFunc
+
+// RelayChain transfers a batch across source→relay…→sink links sharing one
+// half-duplex channel; two hops cost ≈2× one hop, the relay penalty the
+// paper's related work measured.
+func RelayChain(links []*Link, bytes int, deadlineS float64, geoms []GeometryFunc) (RelayResult, error) {
+	return transport.RelayChain(links, bytes, deadlineS, geoms)
+}
+
+// TransferBatch reliably delivers a batch over one link while the geometry
+// evolves (the Fig 1 workload).
+func TransferBatch(l *Link, bytes int, deadlineS float64, geom GeometryFunc) (transport.BatchResult, error) {
+	return transport.TransferBatch(l, transport.BatchConfig{
+		Bytes: bytes, DeadlineS: deadlineS, Reliable: true,
+	}, geom)
+}
+
+// SurfaceThroughput is a measured s(d, v) surface (bilinear interpolation)
+// — the two-dimensional empirical characterization mixed strategies need
+// (the paper's Section 3.2 extension).
+type SurfaceThroughput = core.SurfaceThroughput
+
+// NewSurfaceThroughput builds a surface from a distances×speeds grid of
+// bits/s samples.
+func NewSurfaceThroughput(distances, speeds []float64, bps [][]float64) (*SurfaceThroughput, error) {
+	return core.NewSurfaceThroughput(distances, speeds, bps)
+}
+
+// MeasureSurface maps s(d, v) on the packet-level link: median saturation
+// throughput per (distance, speed) cell.
+func MeasureSurface(cfg LinkConfig, distances, speeds []float64, alt, duration float64,
+	trials int) ([][]float64, error) {
+	return link.MeasureSurface(cfg, distances, speeds, alt, duration, trials)
+}

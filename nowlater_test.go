@@ -1,0 +1,118 @@
+package nowlater_test
+
+import (
+	"math"
+	"testing"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+// TestQuickstart is the README's quick-start path.
+func TestQuickstart(t *testing.T) {
+	sc := nowlater.AirplaneBaseline()
+	opt, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM < nowlater.MinSeparationM || opt.DoptM > sc.D0M {
+		t.Fatalf("dopt = %v", opt.DoptM)
+	}
+	if opt.CommDelay <= 0 || opt.Survival <= 0 || opt.Survival > 1 {
+		t.Fatalf("optimum = %+v", opt)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	air, quad := nowlater.AirplaneBaseline(), nowlater.QuadrocopterBaseline()
+	if air.D0M != 300 || quad.D0M != 100 {
+		t.Fatal("baseline d0 changed")
+	}
+	if math.Abs(nowlater.AirplaneSensingPlan().DataBytes()-air.MdataBytes) > 1 {
+		t.Fatal("sensing plan and scenario Mdata diverge")
+	}
+	if nowlater.AirplaneRho != 1.11e-4 || nowlater.QuadrocopterRho != 2.46e-4 {
+		t.Fatal("paper failure rates changed")
+	}
+}
+
+func TestFacadeLinkAndPolicies(t *testing.T) {
+	cfg := nowlater.DefaultLinkConfig()
+	l, err := nowlater.NewLink(cfg, nowlater.NewFixedRate(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Enqueue(1500)
+	ex := l.Step(nowlater.Geometry{DistanceM: 20, AltitudeM: 10})
+	if ex.Attempted == 0 {
+		t.Fatal("no transmission")
+	}
+	// Minstrel construction through the facade.
+	m := nowlater.NewMinstrel(cfg, nowlater.NewRNG(1))
+	if m.Name() != "minstrel" {
+		t.Fatalf("policy = %q", m.Name())
+	}
+	xs, err := nowlater.MeasureTrials(cfg, nil, nowlater.Geometry{DistanceM: 40, AltitudeM: 10}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 {
+		t.Fatalf("trials = %d", len(xs))
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	sc := nowlater.QuadrocopterBaseline()
+	sc.D0M = 80
+	sc.MdataBytes = 20e6
+	now, err := sc.RunStrategy(nowlater.TransmitNow, 0, nowlater.DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := sc.RunStrategy(nowlater.ShipThenTransmit, 40, nowlater.DefaultSpeedPenalty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ship.CompletionS >= now.CompletionS {
+		t.Fatalf("shipping (%v) should beat transmit-now (%v) for 20 MB", ship.CompletionS, now.CompletionS)
+	}
+}
+
+func TestFacadeCustomThroughputTable(t *testing.T) {
+	tab, err := nowlater.NewTableThroughput([]float64{20, 80}, []float64{20e6, 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := nowlater.Scenario{
+		D0M: 80, SpeedMPS: 5, MdataBytes: 10e6,
+		Throughput: tab, MinDistanceM: nowlater.MinSeparationM,
+	}
+	m, err := nowlater.NewFailureModel(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Failure = m
+	opt, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.DoptM >= 80 {
+		t.Fatalf("steep table should pull dopt inward: %v", opt.DoptM)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	cfg := nowlater.QuickExperimentConfig()
+	if _, err := nowlater.Fig8(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nowlater.Fig9(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tab := nowlater.Table1()
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -23,7 +23,8 @@ func main() {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	out := fs.String("out", "results", "output directory for CSV files")
 	quick := fs.Bool("quick", false, "reduced workload (fewer trials, shorter runs)")
-	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission")
+	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos")
+	fig := fs.String("fig", "", "alias for -only")
 	seed := fs.Int64("seed", 1, "root random seed")
 	_ = fs.Parse(os.Args[1:])
 
@@ -34,8 +35,11 @@ func main() {
 	cfg.Seed = *seed
 
 	want := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
+	for _, sel := range []string{*only, *fig} {
+		if sel == "" {
+			continue
+		}
+		for _, name := range strings.Split(sel, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
 	}
@@ -56,6 +60,7 @@ func main() {
 		{"fig9", runner.fig9},
 		{"ablations", runner.ablations},
 		{"mission", runner.missionLevel},
+		{"chaos", runner.survivability},
 	}
 	failed := false
 	for _, s := range steps {

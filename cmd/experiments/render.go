@@ -325,3 +325,38 @@ func (r *runner) missionLevel() error {
 		[]string{"naive_makespan_s", "rendezvous_makespan_s", "naive_ratio", "rendezvous_ratio"},
 		[][]float64{{res.NaiveMakespanS, res.RendezvousMakespanS, res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio}})
 }
+
+func (r *runner) survivability() error {
+	res, err := experiments.Survivability(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  survivability under scripted chaos (%d paired missions per point):\n", res.Runs)
+	naive := trace.Series{Name: "naive"}
+	resil := trace.Series{Name: "resilient"}
+	var rows [][]float64
+	for _, p := range res.Points {
+		fmt.Printf("    intensity %.2f: naive ratio %.3f (delay %.0f s, %d partial) vs resilient %.3f (delay %.0f s, %d partial)\n",
+			p.Intensity, p.NaiveDeliveryRatio, p.NaiveMedianDelayS, p.NaivePartials,
+			p.ResilientDeliveryRatio, p.ResilientMedianDelayS, p.ResilientPartials)
+		naive.X = append(naive.X, p.Intensity)
+		naive.Y = append(naive.Y, p.NaiveDeliveryRatio)
+		resil.X = append(resil.X, p.Intensity)
+		resil.Y = append(resil.Y, p.ResilientDeliveryRatio)
+		rows = append(rows, []float64{p.Intensity,
+			p.NaiveDeliveryRatio, p.ResilientDeliveryRatio,
+			p.NaiveMedianDelayS, p.ResilientMedianDelayS,
+			float64(p.NaivePartials), float64(p.ResilientPartials)})
+	}
+	series := []trace.Series{naive, resil}
+	fmt.Print(trace.LinePlot("Chaos: delivery ratio vs fault intensity", series, 72, 14))
+	if err := trace.WriteSVG(r.path("chaos.svg"),
+		trace.SVGLinePlot("Chaos: delivery ratio vs fault intensity",
+			"fault intensity", "delivery ratio", series)); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos svg:", err)
+	}
+	return trace.WriteCSV(r.path("chaos.csv"),
+		[]string{"intensity", "naive_ratio", "resilient_ratio",
+			"naive_median_delay_s", "resilient_median_delay_s",
+			"naive_partials", "resilient_partials"}, rows)
+}

@@ -10,9 +10,12 @@
 //	uavsim                      # quadrocopter scenario, seed 1
 //	uavsim -seed 7 -rho 2e-3    # riskier world
 //	uavsim -naive               # ignore dopt: transmit as soon as linked
+//	uavsim -chaos faults.txt    # inject a scripted fault schedule
+//	uavsim -resilient           # resumable transfers with retry/backoff
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -20,8 +23,10 @@ import (
 
 	nowlater "github.com/nowlater/nowlater"
 	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/chaos"
 	"github.com/nowlater/nowlater/internal/failure"
 	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/gps"
 	"github.com/nowlater/nowlater/internal/planner"
 	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
@@ -35,16 +40,27 @@ func main() {
 	seed := fs.Int64("seed", 1, "random seed")
 	rho := fs.Float64("rho", nowlater.QuadrocopterRho, "failure rate per metre")
 	naive := fs.Bool("naive", false, "transmit as soon as the link opens (skip the dopt rendezvous)")
+	chaosPath := fs.String("chaos", "", "scripted fault schedule file (see internal/chaos for the format)")
+	resilient := fs.Bool("resilient", false, "resumable transfer with per-attempt timeout and jittered backoff")
 	verbose := fs.Bool("v", false, "log telemetry traffic")
 	_ = fs.Parse(os.Args[1:])
 
-	if err := run(*seed, *rho, *naive, *verbose); err != nil {
+	var sched *chaos.Schedule
+	if *chaosPath != "" {
+		s, err := chaos.Load(*chaosPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uavsim:", err)
+			os.Exit(1)
+		}
+		sched = s
+	}
+	if err := run(*seed, *rho, *naive, *verbose, *resilient, sched); err != nil {
 		fmt.Fprintln(os.Stderr, "uavsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, rho float64, naive, verbose bool) error {
+func run(seed int64, rho float64, naive, verbose, resilient bool, sched *chaos.Schedule) error {
 	engine := sim.NewEngine()
 	rng := stats.NewRNG(seed)
 	logf := func(format string, args ...any) {
@@ -79,17 +95,42 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 	injector := failure.NewInjector(fm, rng.Substream(seed, "failure"))
 	logf("mission start: rho=%.3g /m (mean distance to failure %.0f m), sampled failure at odometer %.0f m",
 		rho, fm.MeanDistanceToFailure(), injector.FailAt())
+	if sched != nil && !sched.Empty() {
+		logf("chaos schedule armed: faults until t=%.0f s", sched.HorizonS())
+	}
+
+	// --- GPS receiver on the ferry (chaos can suppress or degrade it). ---
+	gpsRx, err := gps.NewReceiver(gps.DefaultParams(), geo.NewFrame(geo.LatLon{Lat: 47.3769, Lon: 8.5417}),
+		rng.Substream(seed, "gps/ferry"))
+	if err != nil {
+		return err
+	}
+	if sched != nil {
+		gpsRx.SetFault(func(now float64) (bool, float64) {
+			return sched.GPSOutage("ferry", now), sched.GPSSigmaScale("ferry", now)
+		})
+	}
 
 	// --- Telemetry bus + central planner. --------------------------------
 	bus, err := telemetry.NewBus(telemetry.DefaultParams(), engine)
 	if err != nil {
 		return err
 	}
+	if sched != nil {
+		bus.SetFault(sched.TelemetryDrop)
+	}
 	sc := nowlater.QuadrocopterBaseline()
-	pl, err := planner.New(planner.Config{
+	pcfg := planner.Config{
 		Scenario:   sc,
 		LinkRangeM: 150,
-	})
+	}
+	if sched != nil {
+		// Under chaos the beacon stream is lossy: age out silent vehicles
+		// so the planner degrades to transmit-now instead of trusting a
+		// stale rendezvous.
+		pcfg.StaleAfterS = 5
+	}
+	pl, err := planner.New(pcfg)
 	if err != nil {
 		return err
 	}
@@ -152,6 +193,17 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 	controlTick = func() {
 		ferry.Step(tick)
 		relay.Step(tick)
+		gpsRx.Observe(engine.Now(), ferryV.Position())
+		if sched != nil {
+			if t, ok := sched.VehicleFailTime("ferry"); ok && engine.Now() >= t && !injector.Tripped() {
+				logf("CHAOS: scripted ferry failure at t=%.0f s", t)
+				injector.Trip()
+			}
+			if t, ok := sched.VehicleFailTime("relay"); ok && engine.Now() >= t && !relayV.Failed() {
+				logf("CHAOS: scripted relay failure at t=%.0f s", t)
+				relayV.Fail()
+			}
+		}
 		if injector.Check(ferryV.Odometer()) && !ferryV.Failed() {
 			ferryV.Fail()
 			logf("FAILURE: ferry lost at odometer %.0f m, position %s", ferryV.Odometer(), ferryV.Position())
@@ -198,7 +250,7 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 	// If the scan ended outside link range, close in until the planner has
 	// a decision to make (the moment the paper calls "coming in
 	// communication range", defining d0).
-	dec, ok, err := pl.PlanDelivery("ferry", "relay")
+	dec, ok, err := pl.PlanDeliveryAt("ferry", "relay", engine.Now())
 	if err != nil {
 		return err
 	}
@@ -209,7 +261,7 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 			if err := engine.RunUntil(engine.Now() + 1); err != nil {
 				break
 			}
-			dec, ok, err = pl.PlanDelivery("ferry", "relay")
+			dec, ok, err = pl.PlanDeliveryAt("ferry", "relay", engine.Now())
 			if err != nil {
 				return err
 			}
@@ -230,27 +282,43 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 	} else {
 		logf("planner: d0=%.0f m → dopt=%.0f m (expected Cdelay %.0f s, survival %.3f)",
 			dec.D0M, dec.Optimum.DoptM, dec.Optimum.CommDelay, dec.Optimum.Survival)
+		if dec.Degraded {
+			logf("planner: telemetry stale — degraded to transmit-now")
+		}
+		commanded := true
 		if err := bus.SendWaypoint("gcs", dec.WaypointFor(ferryV.CruiseSpeedMPS)); err != nil {
-			return err
+			if !errors.Is(err, telemetry.ErrOutOfRange) {
+				return err
+			}
+			// The command radio cannot reach the ferry right now: a lost
+			// waypoint is a degraded mission, not a crashed one.
+			logf("waypoint lost (out of telemetry range): transmitting from the current position")
+			commanded = false
 		}
-		if err := engine.RunUntil(engine.Now() + 1); err != nil {
-			return err
-		}
-		if ferryWaypoint == nil {
-			return fmt.Errorf("waypoint never arrived over telemetry")
-		}
-		arrived := false
-		ferry.GoTo(ferryWaypoint.Target, ferryWaypoint.SpeedMPS, func() { arrived = true })
-		for !arrived && !ferryV.Failed() {
+		if commanded {
 			if err := engine.RunUntil(engine.Now() + 1); err != nil {
-				break
+				return err
 			}
 		}
-		if ferryV.Failed() {
-			logf("mission failed while shipping to the rendezvous")
-			return nil
+		if commanded && ferryWaypoint == nil {
+			// Dropped by the chaos layer between the bus and the ferry.
+			logf("waypoint never arrived over telemetry: transmitting from the current position")
+			commanded = false
 		}
-		logf("at rendezvous: distance to relay %.0f m", ferryV.Position().Dist(relayV.Position()))
+		if commanded {
+			arrived := false
+			ferry.GoTo(ferryWaypoint.Target, ferryWaypoint.SpeedMPS, func() { arrived = true })
+			for !arrived && !ferryV.Failed() {
+				if err := engine.RunUntil(engine.Now() + 1); err != nil {
+					break
+				}
+			}
+			if ferryV.Failed() {
+				logf("mission failed while shipping to the rendezvous")
+				return nil
+			}
+			logf("at rendezvous: distance to relay %.0f m", ferryV.Position().Dist(relayV.Position()))
+		}
 	}
 	_ = target
 
@@ -263,17 +331,49 @@ func run(seed int64, rho float64, naive, verbose bool) error {
 		return err
 	}
 	l.SetNow(engine.Now())
-	res, err := transport.TransferBatch(l, transport.BatchConfig{
-		Bytes: int(plan.DataBytes()), DeadlineS: 600, Reliable: true,
-	}, func(float64) nowlater.Geometry {
+	if sched != nil {
+		l.SetFault(func(now float64) (bool, float64) {
+			out := sched.LinkOutage("ferry", now) || sched.LinkOutage("relay", now)
+			for _, id := range []string{"ferry", "relay"} {
+				if t, ok := sched.VehicleFailTime(id); ok && now >= t {
+					out = true
+				}
+			}
+			return out, sched.LinkExtraLossDB("ferry", now) + sched.LinkExtraLossDB("relay", now)
+		})
+	}
+	geom := func(float64) nowlater.Geometry {
 		return nowlater.Geometry{
 			DistanceM:   ferryV.Position().Dist(relayV.Position()),
 			AltitudeM:   plan.AltitudeM,
 			RelSpeedMPS: ferryV.Velocity().Sub(relayV.Velocity()).Norm(),
 		}
-	})
-	if err != nil {
-		return err
+	}
+	var res transport.BatchResult
+	if resilient {
+		rcfg := transport.DefaultResilientConfig(int(plan.DataBytes()), 600)
+		rcfg.Seed = seed
+		rcfg.Label = "uavsim/resilient"
+		rres, rerr := transport.ResilientTransfer(l, rcfg, geom)
+		if rerr != nil {
+			return rerr
+		}
+		logf("resilient transfer: %d attempt(s), %.1f s backing off, resumed=%v",
+			rres.Attempts, rres.BackoffS, rres.Resumed)
+		res = rres.BatchResult
+	} else {
+		res, err = transport.TransferBatch(l, transport.BatchConfig{
+			Bytes: int(plan.DataBytes()), DeadlineS: 600, Reliable: true,
+		}, geom)
+		if err != nil {
+			return err
+		}
+	}
+	if l.OutageSeconds > 0 {
+		logf("chaos: link down %.1f s during the transfer", l.OutageSeconds)
+	}
+	if gpsRx.Outages > 0 {
+		logf("chaos: %d GPS fixes suppressed during the mission", gpsRx.Outages)
 	}
 	if math.IsInf(res.CompletionS, 1) {
 		logf("transfer did not complete within the deadline (%.1f of %.1f MB)",

@@ -4,10 +4,17 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"github.com/nowlater/nowlater/internal/chaos"
 )
 
 // captureRun executes the mission and returns its stdout log.
 func captureRun(t *testing.T, seed int64, rho float64, naive bool) string {
+	return captureChaosRun(t, seed, rho, naive, false, nil)
+}
+
+func captureChaosRun(t *testing.T, seed int64, rho float64, naive, resilient bool,
+	sched *chaos.Schedule) string {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -15,7 +22,7 @@ func captureRun(t *testing.T, seed int64, rho float64, naive bool) string {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(seed, rho, naive, false)
+	runErr := run(seed, rho, naive, false, resilient, sched)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -56,5 +63,27 @@ func TestMissionFailureIsReported(t *testing.T) {
 	out := captureRun(t, 5, 2e-3, false)
 	if !strings.Contains(out, "FAILURE") && !strings.Contains(out, "mission failed") {
 		t.Errorf("high-rho mission did not fail:\n%s", out)
+	}
+}
+
+func TestMissionEmptyChaosScheduleIsTransparent(t *testing.T) {
+	clean := captureRun(t, 1, 0, false)
+	chaosed := captureChaosRun(t, 1, 0, false, false, &chaos.Schedule{Seed: 9})
+	if clean != chaosed {
+		t.Errorf("empty chaos schedule perturbed the mission:\n--- clean ---\n%s\n--- chaos ---\n%s",
+			clean, chaosed)
+	}
+}
+
+func TestMissionChaosOutageAndResilience(t *testing.T) {
+	sched, err := chaos.ParseString("link outage * 128 140\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureChaosRun(t, 1, 0, false, true, sched)
+	for _, want := range []string{"chaos schedule armed", "resilient transfer:", "chaos: link down", "mission complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
 	}
 }

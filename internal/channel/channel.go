@@ -174,10 +174,18 @@ type Channel struct {
 	rng        *stats.RNG
 	noiseDBm   float64
 	refLossDB  float64
+	excess     func(now float64) float64
 	orientDB   float64 // current orientation-loss process value (dB)
 	lastSample float64 // sim time of the previous sample
 	started    bool
 }
+
+// SetExcessLoss installs a time-varying injected attenuation (dB) added to
+// every sample's loss budget — the chaos layer's deep-fade bursts
+// (obstruction, interference, a detuned antenna). Nil restores the nominal
+// channel; the hook never touches the fading draws, so a hook returning 0
+// is bit-identical to no hook.
+func (c *Channel) SetExcessLoss(f func(now float64) float64) { c.excess = f }
 
 // New builds a channel from params with its own random substream.
 func New(p Params, rng *stats.RNG) (*Channel, error) {
@@ -291,6 +299,9 @@ func (c *Channel) Sample(now, d, alt, v float64) Sample {
 	kDB := c.KFactorDB(d, v)
 	fade := c.ricianFadeDB(kDB)
 	pl := c.PathLossDB(d, alt)
+	if c.excess != nil {
+		pl += c.excess(now)
+	}
 	rx := c.p.TxPowerDBm + c.p.AntennaGainDBi - c.p.IntegrationLossDB - pl - c.orientDB + fade
 	return Sample{
 		SNRDB:      rx - c.noiseDBm,

@@ -263,3 +263,25 @@ func TestTwoRayModel(t *testing.T) {
 		t.Fatalf("two-ray at alt 0 = %v", v)
 	}
 }
+
+func TestExcessLossShiftsSamples(t *testing.T) {
+	const extraDB = 25.0
+	a := newTestChannel(t)
+	b := newTestChannel(t)
+	b.SetExcessLoss(func(float64) float64 { return extraDB })
+	for i := 0; i < 100; i++ {
+		now := float64(i) * 0.01
+		sa := a.Sample(now, 50, 10, 0)
+		sb := b.Sample(now, 50, 10, 0)
+		// Identical substreams: the fade and orientation draws match, so
+		// the SNR gap is exactly the injected attenuation.
+		if math.Abs((sa.SNRDB-sb.SNRDB)-extraDB) > 1e-9 {
+			t.Fatalf("sample %d: SNR gap %v, want %v", i, sa.SNRDB-sb.SNRDB, extraDB)
+		}
+	}
+	b.SetExcessLoss(nil)
+	sa, sb := a.Sample(2, 50, 10, 0), b.Sample(2, 50, 10, 0)
+	if sa.SNRDB != sb.SNRDB {
+		t.Fatalf("cleared hook still attenuates: %v vs %v", sa.SNRDB, sb.SNRDB)
+	}
+}

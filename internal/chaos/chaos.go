@@ -1,0 +1,376 @@
+// Package chaos is a deterministic, seedable fault-injection subsystem
+// for the simulation stack. The paper's decision rule prices the risk of
+// the *vehicle* dying (δ(d) = e^{−ρ(d0−d)}), but a real aerial system also
+// loses telemetry beacons, GPS fixes and data-link frames — the regimes
+// the related UAV-networking literature shows dominate delivery ratio and
+// delay. A chaos Schedule declares those faults up front as typed windows
+// so an experiment can be replayed bit-for-bit:
+//
+//   - telemetry packet loss and blackout windows on the control bus;
+//   - GPS outage and degradation (noise inflation) intervals;
+//   - data-link outages and deep-fade bursts (extra dB of loss);
+//   - scripted mid-flight vehicle failures at an absolute time.
+//
+// Schedules are built either through the typed API or parsed from a small
+// text format (see Parse). A nil or empty *Schedule injects nothing and
+// consumes no randomness, so a zero-fault run is byte-identical to a run
+// without the chaos layer compiled in at all.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Wildcard targets every vehicle/link id.
+const Wildcard = "*"
+
+// Window is a half-open fault interval [StartS, EndS) in simulation time.
+type Window struct {
+	StartS, EndS float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.StartS && t < w.EndS }
+
+// Validate reports the first implausible bound.
+func (w Window) Validate() error {
+	switch {
+	case math.IsNaN(w.StartS) || math.IsNaN(w.EndS):
+		return fmt.Errorf("chaos: window bounds must not be NaN")
+	case math.IsInf(w.StartS, 0):
+		return fmt.Errorf("chaos: window start %v must be finite", w.StartS)
+	case w.StartS < 0:
+		return fmt.Errorf("chaos: window start %v must be ≥ 0", w.StartS)
+	case w.EndS <= w.StartS:
+		return fmt.Errorf("chaos: window end %v must be after start %v", w.EndS, w.StartS)
+	}
+	return nil
+}
+
+// overlaps reports whether two windows share any instant.
+func (w Window) overlaps(o Window) bool {
+	return w.StartS < o.EndS && o.StartS < w.EndS
+}
+
+// TelemetryFault drops control-bus messages inside a window: each message
+// sent while the window is active is lost independently with LossProb
+// (1 = blackout).
+type TelemetryFault struct {
+	Window
+	LossProb float64
+}
+
+// GPSFault suppresses or degrades GPS fixes for one vehicle (or Wildcard).
+// Outage drops fixes entirely; otherwise SigmaScale multiplies the
+// receiver's noise sigmas (jamming/multipath-style degradation).
+type GPSFault struct {
+	Window
+	ID         string
+	Outage     bool
+	SigmaScale float64
+}
+
+// LinkFault degrades the data link of one vehicle (or Wildcard). Outage
+// kills the link entirely for the window; otherwise ExtraLossDB is added
+// to the path loss (a deep-fade burst).
+type LinkFault struct {
+	Window
+	ID          string
+	Outage      bool
+	ExtraLossDB float64
+}
+
+// VehicleFault fails one vehicle outright at an absolute time, regardless
+// of its sampled odometer-based failure (the scripted counterpart of
+// failure.Injector).
+type VehicleFault struct {
+	ID  string
+	AtS float64
+}
+
+// Schedule is a declared set of faults. The zero value (and nil) injects
+// nothing. Schedules are not safe for concurrent use: the single-threaded
+// discrete-event simulation queries them in a deterministic order, which
+// is what makes loss draws reproducible.
+type Schedule struct {
+	// Seed drives the Bernoulli draws of probabilistic faults
+	// (telemetry loss). Windowed on/off faults are fully deterministic.
+	Seed int64
+
+	Telemetry []TelemetryFault
+	GPS       []GPSFault
+	Links     []LinkFault
+	Vehicles  []VehicleFault
+
+	rng *stats.RNG
+}
+
+// Empty reports whether the schedule injects no faults at all.
+func (s *Schedule) Empty() bool {
+	return s == nil ||
+		len(s.Telemetry) == 0 && len(s.GPS) == 0 && len(s.Links) == 0 && len(s.Vehicles) == 0
+}
+
+// Clone returns an independent copy with fresh (un-consumed) randomness,
+// so paired policy runs can replay the identical fault realization.
+func (s *Schedule) Clone() *Schedule {
+	if s == nil {
+		return nil
+	}
+	c := &Schedule{Seed: s.Seed}
+	c.Telemetry = append([]TelemetryFault(nil), s.Telemetry...)
+	c.GPS = append([]GPSFault(nil), s.GPS...)
+	c.Links = append([]LinkFault(nil), s.Links...)
+	c.Vehicles = append([]VehicleFault(nil), s.Vehicles...)
+	return c
+}
+
+// Validate reports the first malformed entry: bad windows, probabilities
+// or scales out of range, missing targets, and overlapping windows of the
+// same fault class aimed at the same target (an overlap is ambiguous — two
+// loss probabilities for one instant — so it is rejected rather than
+// silently combined).
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, f := range s.Telemetry {
+		if err := f.Window.Validate(); err != nil {
+			return fmt.Errorf("telemetry fault %d: %w", i, err)
+		}
+		if f.LossProb < 0 || f.LossProb > 1 || math.IsNaN(f.LossProb) {
+			return fmt.Errorf("telemetry fault %d: loss probability %v outside [0,1]", i, f.LossProb)
+		}
+		for j := 0; j < i; j++ {
+			if f.Window.overlaps(s.Telemetry[j].Window) {
+				return fmt.Errorf("telemetry faults %d and %d overlap", j, i)
+			}
+		}
+	}
+	for i, f := range s.GPS {
+		if err := f.Window.Validate(); err != nil {
+			return fmt.Errorf("gps fault %d: %w", i, err)
+		}
+		if f.ID == "" {
+			return fmt.Errorf("gps fault %d: missing target id", i)
+		}
+		if !f.Outage && (f.SigmaScale < 1 || math.IsNaN(f.SigmaScale) || math.IsInf(f.SigmaScale, 0)) {
+			return fmt.Errorf("gps fault %d: sigma scale %v must be finite and ≥ 1", i, f.SigmaScale)
+		}
+		for j := 0; j < i; j++ {
+			o := s.GPS[j]
+			if f.Outage == o.Outage && targetsCollide(f.ID, o.ID) && f.Window.overlaps(o.Window) {
+				return fmt.Errorf("gps faults %d and %d overlap on %q", j, i, f.ID)
+			}
+		}
+	}
+	for i, f := range s.Links {
+		if err := f.Window.Validate(); err != nil {
+			return fmt.Errorf("link fault %d: %w", i, err)
+		}
+		if f.ID == "" {
+			return fmt.Errorf("link fault %d: missing target id", i)
+		}
+		if !f.Outage && (f.ExtraLossDB <= 0 || math.IsNaN(f.ExtraLossDB) || math.IsInf(f.ExtraLossDB, 0)) {
+			return fmt.Errorf("link fault %d: fade %v dB must be finite and positive", i, f.ExtraLossDB)
+		}
+		for j := 0; j < i; j++ {
+			o := s.Links[j]
+			if f.Outage == o.Outage && targetsCollide(f.ID, o.ID) && f.Window.overlaps(o.Window) {
+				return fmt.Errorf("link faults %d and %d overlap on %q", j, i, f.ID)
+			}
+		}
+	}
+	for i, f := range s.Vehicles {
+		if f.ID == "" || f.ID == Wildcard {
+			return fmt.Errorf("vehicle fault %d: needs a concrete vehicle id", i)
+		}
+		if f.AtS < 0 || math.IsNaN(f.AtS) || math.IsInf(f.AtS, 0) {
+			return fmt.Errorf("vehicle fault %d: time %v must be finite and ≥ 0", i, f.AtS)
+		}
+		for j := 0; j < i; j++ {
+			if s.Vehicles[j].ID == f.ID {
+				return fmt.Errorf("vehicle faults %d and %d both fail %q", j, i, f.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// targetsCollide reports whether two fault targets can address the same
+// entity (equal, or either is the wildcard).
+func targetsCollide(a, b string) bool {
+	return a == b || a == Wildcard || b == Wildcard
+}
+
+// matches reports whether a fault target addresses id.
+func matches(target, id string) bool { return target == Wildcard || target == id }
+
+// TelemetryDrop reports whether a control-bus message sent at time now is
+// lost to injected faults. Probabilistic windows consume one seeded draw
+// per query, so call order must be deterministic (it is, under the
+// discrete-event engine).
+func (s *Schedule) TelemetryDrop(now float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Telemetry {
+		if !f.Contains(now) {
+			continue
+		}
+		if f.LossProb >= 1 {
+			return true
+		}
+		if f.LossProb <= 0 {
+			return false
+		}
+		if s.rng == nil {
+			s.rng = stats.NewRNG(s.Seed).Substream(s.Seed, "chaos/telemetry")
+		}
+		return s.rng.Bernoulli(f.LossProb)
+	}
+	return false
+}
+
+// GPSOutage reports whether vehicle id has no GPS fix at time now.
+func (s *Schedule) GPSOutage(id string, now float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.GPS {
+		if f.Outage && matches(f.ID, id) && f.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// GPSSigmaScale returns the noise inflation for vehicle id at time now
+// (1 when no degradation is active).
+func (s *Schedule) GPSSigmaScale(id string, now float64) float64 {
+	if s == nil {
+		return 1
+	}
+	for _, f := range s.GPS {
+		if !f.Outage && matches(f.ID, id) && f.Contains(now) {
+			return f.SigmaScale
+		}
+	}
+	return 1
+}
+
+// LinkOutage reports whether vehicle id's data link is down at time now.
+func (s *Schedule) LinkOutage(id string, now float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Links {
+		if f.Outage && matches(f.ID, id) && f.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkExtraLossDB returns the injected fade (dB) on vehicle id's data link
+// at time now (0 when none).
+func (s *Schedule) LinkExtraLossDB(id string, now float64) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, f := range s.Links {
+		if !f.Outage && matches(f.ID, id) && f.Contains(now) {
+			return f.ExtraLossDB
+		}
+	}
+	return 0
+}
+
+// VehicleFailTime returns the scripted failure time of vehicle id, if any.
+func (s *Schedule) VehicleFailTime(id string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, f := range s.Vehicles {
+		if f.ID == id {
+			return f.AtS, true
+		}
+	}
+	return 0, false
+}
+
+// HorizonS returns the time the last declared fault ends (0 for an empty
+// schedule) — useful for sizing mission durations around a schedule.
+func (s *Schedule) HorizonS() float64 {
+	if s == nil {
+		return 0
+	}
+	var h float64
+	for _, f := range s.Telemetry {
+		h = math.Max(h, f.EndS)
+	}
+	for _, f := range s.GPS {
+		h = math.Max(h, f.EndS)
+	}
+	for _, f := range s.Links {
+		h = math.Max(h, f.EndS)
+	}
+	for _, f := range s.Vehicles {
+		h = math.Max(h, f.AtS)
+	}
+	return h
+}
+
+// String renders the schedule in the Parse text format (sorted for
+// stability), so a programmatically built schedule can be saved and
+// replayed with `uavsim -chaos`.
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var lines []string
+	if s.Seed != 0 {
+		lines = append(lines, fmt.Sprintf("seed %d", s.Seed))
+	}
+	for _, f := range s.Telemetry {
+		if f.LossProb >= 1 {
+			lines = append(lines, fmt.Sprintf("telemetry blackout %g %g", f.StartS, f.EndS))
+		} else {
+			lines = append(lines, fmt.Sprintf("telemetry loss %g %g %g", f.LossProb, f.StartS, f.EndS))
+		}
+	}
+	for _, f := range s.GPS {
+		if f.Outage {
+			lines = append(lines, fmt.Sprintf("gps outage %s %g %g", f.ID, f.StartS, f.EndS))
+		} else {
+			lines = append(lines, fmt.Sprintf("gps degrade %s %g %g %g", f.ID, f.SigmaScale, f.StartS, f.EndS))
+		}
+	}
+	for _, f := range s.Links {
+		if f.Outage {
+			lines = append(lines, fmt.Sprintf("link outage %s %g %g", f.ID, f.StartS, f.EndS))
+		} else {
+			lines = append(lines, fmt.Sprintf("link fade %s %g %g %g", f.ID, f.ExtraLossDB, f.StartS, f.EndS))
+		}
+	}
+	for _, f := range s.Vehicles {
+		lines = append(lines, fmt.Sprintf("vehicle fail %s %g", f.ID, f.AtS))
+	}
+	sort.Strings(lines[boolToInt(s.Seed != 0):])
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

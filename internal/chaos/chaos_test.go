@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilScheduleInjectsNothing(t *testing.T) {
+	var s *Schedule
+	if !s.Empty() {
+		t.Fatal("nil schedule not empty")
+	}
+	if s.TelemetryDrop(10) {
+		t.Fatal("nil schedule dropped telemetry")
+	}
+	if s.GPSOutage("a", 10) || s.GPSSigmaScale("a", 10) != 1 {
+		t.Fatal("nil schedule degraded gps")
+	}
+	if s.LinkOutage("a", 10) || s.LinkExtraLossDB("a", 10) != 0 {
+		t.Fatal("nil schedule degraded link")
+	}
+	if _, ok := s.VehicleFailTime("a"); ok {
+		t.Fatal("nil schedule failed a vehicle")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HorizonS() != 0 {
+		t.Fatal("nil schedule has a horizon")
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	s := &Schedule{Links: []LinkFault{{Window: Window{StartS: 10, EndS: 20}, ID: "uav-1", Outage: true}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		now  float64
+		want bool
+	}{{9.99, false}, {10, true}, {19.99, true}, {20, false}} {
+		if got := s.LinkOutage("uav-1", tc.now); got != tc.want {
+			t.Fatalf("LinkOutage at %v = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	if s.LinkOutage("uav-2", 15) {
+		t.Fatal("outage leaked to another vehicle")
+	}
+	wild := &Schedule{Links: []LinkFault{{Window: Window{StartS: 0, EndS: 1}, ID: Wildcard, Outage: true}}}
+	if !wild.LinkOutage("anything", 0.5) {
+		t.Fatal("wildcard did not match")
+	}
+}
+
+func TestTelemetryDropDeterministic(t *testing.T) {
+	mk := func() *Schedule {
+		return &Schedule{
+			Seed:      7,
+			Telemetry: []TelemetryFault{{Window: Window{StartS: 0, EndS: 100}, LossProb: 0.5}},
+		}
+	}
+	a, b := mk(), mk()
+	drops := 0
+	for i := 0; i < 200; i++ {
+		da, db := a.TelemetryDrop(float64(i)/3), b.TelemetryDrop(float64(i)/3)
+		if da != db {
+			t.Fatalf("draw %d diverged between identical schedules", i)
+		}
+		if da {
+			drops++
+		}
+	}
+	if drops < 60 || drops > 140 {
+		t.Fatalf("0.5-loss window dropped %d of 200", drops)
+	}
+	// Outside the window: no loss and no randomness consumed.
+	if a.TelemetryDrop(1000) {
+		t.Fatal("drop outside window")
+	}
+	// Blackout is certain without consuming randomness.
+	bo := &Schedule{Telemetry: []TelemetryFault{{Window: Window{StartS: 0, EndS: 1}, LossProb: 1}}}
+	for i := 0; i < 10; i++ {
+		if !bo.TelemetryDrop(0.5) {
+			t.Fatal("blackout let a message through")
+		}
+	}
+}
+
+func TestGPSQueries(t *testing.T) {
+	s := &Schedule{GPS: []GPSFault{
+		{Window: Window{StartS: 0, EndS: 10}, ID: "uav-1", Outage: true},
+		{Window: Window{StartS: 20, EndS: 30}, ID: Wildcard, SigmaScale: 5},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.GPSOutage("uav-1", 5) || s.GPSOutage("uav-2", 5) {
+		t.Fatal("outage targeting wrong")
+	}
+	if got := s.GPSSigmaScale("uav-2", 25); got != 5 {
+		t.Fatalf("sigma scale = %v, want 5", got)
+	}
+	if got := s.GPSSigmaScale("uav-2", 35); got != 1 {
+		t.Fatalf("sigma scale outside window = %v, want 1", got)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schedule
+	}{
+		{"negative start", &Schedule{Telemetry: []TelemetryFault{{Window: Window{StartS: -1, EndS: 1}, LossProb: 0.5}}}},
+		{"inverted window", &Schedule{Telemetry: []TelemetryFault{{Window: Window{StartS: 5, EndS: 5}, LossProb: 0.5}}}},
+		{"probability above 1", &Schedule{Telemetry: []TelemetryFault{{Window: Window{StartS: 0, EndS: 1}, LossProb: 1.5}}}},
+		{"telemetry overlap", &Schedule{Telemetry: []TelemetryFault{
+			{Window: Window{StartS: 0, EndS: 10}, LossProb: 0.5},
+			{Window: Window{StartS: 9, EndS: 20}, LossProb: 0.2},
+		}}},
+		{"gps missing id", &Schedule{GPS: []GPSFault{{Window: Window{StartS: 0, EndS: 1}, Outage: true}}}},
+		{"gps scale below 1", &Schedule{GPS: []GPSFault{{Window: Window{StartS: 0, EndS: 1}, ID: "a", SigmaScale: 0.5}}}},
+		{"link zero fade", &Schedule{Links: []LinkFault{{Window: Window{StartS: 0, EndS: 1}, ID: "a"}}}},
+		{"link wildcard overlap", &Schedule{Links: []LinkFault{
+			{Window: Window{StartS: 0, EndS: 10}, ID: "a", Outage: true},
+			{Window: Window{StartS: 5, EndS: 15}, ID: Wildcard, Outage: true},
+		}}},
+		{"vehicle wildcard", &Schedule{Vehicles: []VehicleFault{{ID: Wildcard, AtS: 1}}}},
+		{"vehicle duplicate", &Schedule{Vehicles: []VehicleFault{{ID: "a", AtS: 1}, {ID: "a", AtS: 2}}}},
+		{"vehicle negative time", &Schedule{Vehicles: []VehicleFault{{ID: "a", AtS: -1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Outage and fade on the same target may overlap (different classes).
+	ok := &Schedule{Links: []LinkFault{
+		{Window: Window{StartS: 0, EndS: 10}, ID: "a", Outage: true},
+		{Window: Window{StartS: 0, EndS: 100}, ID: "a", ExtraLossDB: 10},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("outage+fade overlap rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# survivability scenario
+seed 42
+telemetry loss 0.3 0 120
+telemetry blackout 200 230
+gps outage uav-1 10 20
+gps degrade * 4 50 60
+link outage uav-2 30 45
+link fade * 12 100 160
+vehicle fail relay-1 300
+`
+	s, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed = %d", s.Seed)
+	}
+	if len(s.Telemetry) != 2 || len(s.GPS) != 2 || len(s.Links) != 2 || len(s.Vehicles) != 1 {
+		t.Fatalf("parsed counts: %d %d %d %d", len(s.Telemetry), len(s.GPS), len(s.Links), len(s.Vehicles))
+	}
+	if !s.LinkOutage("uav-2", 40) || s.LinkOutage("uav-2", 50) {
+		t.Fatal("link outage window wrong")
+	}
+	if got := s.LinkExtraLossDB("uav-9", 130); got != 12 {
+		t.Fatalf("fade = %v", got)
+	}
+	if at, ok := s.VehicleFailTime("relay-1"); !ok || at != 300 {
+		t.Fatalf("vehicle fail = %v %v", at, ok)
+	}
+	if got := s.HorizonS(); got != 300 {
+		t.Fatalf("horizon = %v", got)
+	}
+
+	// String() renders back to the same schedule.
+	again, err := ParseString(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of String(): %v\n%s", err, s.String())
+	}
+	if again.String() != s.String() {
+		t.Fatalf("round trip drifted:\n%s\nvs\n%s", s.String(), again.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus kind 1 2",
+		"telemetry loss 0.5 10",                  // missing end
+		"telemetry loss 1.5 0 10",                // probability out of range
+		"telemetry loss 0.5 20 10",               // inverted window
+		"telemetry blackout -5 10",               // negative start
+		"gps outage 0 10",                        // missing id (10 parsed as id, then 1 arg)
+		"gps degrade uav-1 0.2 0 10",             // scale < 1
+		"link fade uav-1 nan 0 10",               // NaN fade
+		"link outage uav-1 1e999 2e999",          // inf bounds
+		"vehicle fail uav-1",                     // missing time
+		"vehicle fail * 10",                      // wildcard vehicle
+		"seed twelve",                            // non-integer seed
+		"link outage a 0 10\nlink outage a 5 20", // overlap
+	}
+	for _, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlankLines(t *testing.T) {
+	s, err := ParseString("\n\n# nothing\n   # indented comment\nlink outage a 1 2 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Links) != 1 {
+		t.Fatalf("links = %d", len(s.Links))
+	}
+}
+
+func TestCloneResetsRandomness(t *testing.T) {
+	s := &Schedule{
+		Seed:      3,
+		Telemetry: []TelemetryFault{{Window: Window{StartS: 0, EndS: 100}, LossProb: 0.4}},
+	}
+	// Consume some draws, then clone: the clone must replay from the start.
+	var first []bool
+	for i := 0; i < 50; i++ {
+		first = append(first, s.TelemetryDrop(1))
+	}
+	c := s.Clone()
+	for i := 0; i < 50; i++ {
+		if c.TelemetryDrop(1) != first[i] {
+			t.Fatal("clone did not replay the fault realization")
+		}
+	}
+	if c.Empty() || len(c.Telemetry) != 1 {
+		t.Fatal("clone lost faults")
+	}
+	if (*Schedule)(nil).Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+}
+
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	for _, text := range []string{
+		"", " ", "\x00\x01", "telemetry", "gps", "link", "vehicle",
+		"telemetry loss", "link fade x", strings.Repeat("a ", 1000),
+	} {
+		_, _ = ParseString(text) // must not panic; error or empty both fine
+	}
+}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the schedule parser never panics and that every
+// schedule it accepts passes validation — malformed windows, negative
+// times and overlapping intervals must surface as errors, not as bad
+// schedules or crashes.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"seed 42\ntelemetry loss 0.3 0 120\n",
+		"telemetry blackout 200 230",
+		"gps outage uav-1 10 20\ngps degrade * 4 50 60",
+		"link outage uav-2 30 45\nlink fade * 12 100 160",
+		"vehicle fail relay-1 300",
+		"# comment only\n",
+		"telemetry loss 1.5 0 10",
+		"link outage a 0 10\nlink outage a 5 20",
+		"gps outage x -1 5",
+		"vehicle fail * 10",
+		"telemetry loss 0.5 20 10",
+		"link fade a nan 0 1",
+		"seed 9223372036854775807",
+		strings.Repeat("link outage a 0 1\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		// Accepted schedules must be internally valid and queryable.
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted schedule fails validation: %v\ninput: %q", verr, text)
+		}
+		for _, now := range []float64{0, 1, 1e6} {
+			_ = s.TelemetryDrop(now)
+			_ = s.GPSOutage("x", now)
+			_ = s.GPSSigmaScale("x", now)
+			_ = s.LinkOutage("x", now)
+			_ = s.LinkExtraLossDB("x", now)
+		}
+		_, _ = s.VehicleFailTime("x")
+		_ = s.HorizonS()
+		// The textual rendering of an accepted schedule must re-parse.
+		if _, rerr := ParseString(s.String()); rerr != nil {
+			t.Fatalf("String() of accepted schedule does not re-parse: %v\n%s", rerr, s.String())
+		}
+	})
+}

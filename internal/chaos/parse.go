@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the chaos text format: one fault per line, '#' comments and
+// blank lines ignored. Times are seconds of simulation time; windows are
+// half-open [start, end).
+//
+//	seed <n>
+//	telemetry loss <prob> <start> <end>
+//	telemetry blackout <start> <end>
+//	gps outage <id|*> <start> <end>
+//	gps degrade <id|*> <sigma-scale> <start> <end>
+//	link outage <id|*> <start> <end>
+//	link fade <id|*> <extra-db> <start> <end>
+//	vehicle fail <id> <time>
+//
+// The parsed schedule is validated (overlapping windows of one fault
+// class on one target, negative times, probabilities outside [0,1] and
+// malformed numbers all error — Parse never panics on any input).
+func Parse(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := s.parseLine(strings.Fields(line)); err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return s, nil
+}
+
+// ParseString parses the text format from a string.
+func ParseString(text string) (*Schedule, error) { return Parse(strings.NewReader(text)) }
+
+// Load parses a schedule file from disk.
+func Load(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func (s *Schedule) parseLine(fields []string) error {
+	switch fields[0] {
+	case "seed":
+		if len(fields) != 2 {
+			return fmt.Errorf("seed wants 1 argument, got %d", len(fields)-1)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed %q: %w", fields[1], err)
+		}
+		s.Seed = n
+		return nil
+	case "telemetry":
+		return s.parseTelemetry(fields[1:])
+	case "gps":
+		return s.parseGPS(fields[1:])
+	case "link":
+		return s.parseLink(fields[1:])
+	case "vehicle":
+		return s.parseVehicle(fields[1:])
+	}
+	return fmt.Errorf("unknown fault kind %q", fields[0])
+}
+
+func (s *Schedule) parseTelemetry(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("telemetry wants loss|blackout")
+	}
+	switch args[0] {
+	case "loss":
+		xs, err := floats(args[1:], 3)
+		if err != nil {
+			return fmt.Errorf("telemetry loss: %w", err)
+		}
+		s.Telemetry = append(s.Telemetry, TelemetryFault{
+			Window: Window{StartS: xs[1], EndS: xs[2]}, LossProb: xs[0],
+		})
+	case "blackout":
+		xs, err := floats(args[1:], 2)
+		if err != nil {
+			return fmt.Errorf("telemetry blackout: %w", err)
+		}
+		s.Telemetry = append(s.Telemetry, TelemetryFault{
+			Window: Window{StartS: xs[0], EndS: xs[1]}, LossProb: 1,
+		})
+	default:
+		return fmt.Errorf("unknown telemetry fault %q", args[0])
+	}
+	return nil
+}
+
+func (s *Schedule) parseGPS(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("gps wants outage|degrade and a target id")
+	}
+	id := args[1]
+	switch args[0] {
+	case "outage":
+		xs, err := floats(args[2:], 2)
+		if err != nil {
+			return fmt.Errorf("gps outage: %w", err)
+		}
+		s.GPS = append(s.GPS, GPSFault{
+			Window: Window{StartS: xs[0], EndS: xs[1]}, ID: id, Outage: true,
+		})
+	case "degrade":
+		xs, err := floats(args[2:], 3)
+		if err != nil {
+			return fmt.Errorf("gps degrade: %w", err)
+		}
+		s.GPS = append(s.GPS, GPSFault{
+			Window: Window{StartS: xs[1], EndS: xs[2]}, ID: id, SigmaScale: xs[0],
+		})
+	default:
+		return fmt.Errorf("unknown gps fault %q", args[0])
+	}
+	return nil
+}
+
+func (s *Schedule) parseLink(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("link wants outage|fade and a target id")
+	}
+	id := args[1]
+	switch args[0] {
+	case "outage":
+		xs, err := floats(args[2:], 2)
+		if err != nil {
+			return fmt.Errorf("link outage: %w", err)
+		}
+		s.Links = append(s.Links, LinkFault{
+			Window: Window{StartS: xs[0], EndS: xs[1]}, ID: id, Outage: true,
+		})
+	case "fade":
+		xs, err := floats(args[2:], 3)
+		if err != nil {
+			return fmt.Errorf("link fade: %w", err)
+		}
+		s.Links = append(s.Links, LinkFault{
+			Window: Window{StartS: xs[1], EndS: xs[2]}, ID: id, ExtraLossDB: xs[0],
+		})
+	default:
+		return fmt.Errorf("unknown link fault %q", args[0])
+	}
+	return nil
+}
+
+func (s *Schedule) parseVehicle(args []string) error {
+	if len(args) != 3 || args[0] != "fail" {
+		return fmt.Errorf("vehicle wants: fail <id> <time>")
+	}
+	xs, err := floats(args[2:], 1)
+	if err != nil {
+		return fmt.Errorf("vehicle fail: %w", err)
+	}
+	s.Vehicles = append(s.Vehicles, VehicleFault{ID: args[1], AtS: xs[0]})
+	return nil
+}
+
+// floats parses exactly n float arguments.
+func floats(args []string, n int) ([]float64, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("want %d numeric arguments, got %d", n, len(args))
+	}
+	out := make([]float64, n)
+	for i, a := range args {
+		x, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", a)
+		}
+		out[i] = x
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/fleet"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// SurvivabilityPoint is one fault-intensity grid point of the chaos
+// experiment: the same scripted fault schedule thrown at the naive
+// (plain-transfer) and resilient mission postures.
+type SurvivabilityPoint struct {
+	// Intensity scales the fault schedule in [0, 1]; 0 is the fault-free
+	// control that must reproduce the clean mission bit-for-bit.
+	Intensity float64
+	// Delivery ratio (delivered / sensed) aggregated over the trials.
+	NaiveDeliveryRatio     float64
+	ResilientDeliveryRatio float64
+	// Median delivery delay (s) from scan completion to last byte, over
+	// completed deliveries only (NaN when nothing completed).
+	NaiveMedianDelayS     float64
+	ResilientMedianDelayS float64
+	// Partial deliveries (some bytes landed, batch never finished).
+	NaivePartials     int
+	ResilientPartials int
+}
+
+// SurvivabilityResult is the outcome of the chaos experiment.
+type SurvivabilityResult struct {
+	// Runs is the number of paired missions behind each grid point.
+	Runs   int
+	Points []SurvivabilityPoint
+}
+
+// survivalSpecs is the chaos scenario: three scouts feeding a two-relay
+// tier, so a mid-mission relay loss leaves a surviving receiver for the
+// resilient posture to reassign to.
+func survivalSpecs() []fleet.UAVSpec {
+	plan := mission.Plan{
+		Sector:    mission.Sector{WidthM: 40, HeightM: 40},
+		Camera:    mission.DefaultCamera(),
+		AltitudeM: 10,
+	}
+	return []fleet.UAVSpec{
+		{
+			ID: "scout-1", Platform: uav.Arducopter(), Role: fleet.Scout,
+			Start: geo.Vec3{X: 170, Z: 10}, Plan: plan,
+			SectorOrigin: geo.Vec3{X: 160, Y: 10}, MaxScanLanes: 2,
+		},
+		{
+			ID: "scout-2", Platform: uav.Arducopter(), Role: fleet.Scout,
+			Start: geo.Vec3{X: -150, Y: 50, Z: 10}, Plan: plan,
+			SectorOrigin: geo.Vec3{X: -160, Y: 40}, MaxScanLanes: 2,
+		},
+		{
+			ID: "scout-3", Platform: uav.Arducopter(), Role: fleet.Scout,
+			Start: geo.Vec3{Y: 170, Z: 10}, Plan: plan,
+			SectorOrigin: geo.Vec3{X: -20, Y: 160}, MaxScanLanes: 2,
+		},
+		{ID: "relay-1", Platform: uav.Arducopter(), Role: fleet.Relay, Start: geo.Vec3{Z: 10}},
+		{ID: "relay-2", Platform: uav.Arducopter(), Role: fleet.Relay, Start: geo.Vec3{X: -60, Y: -60, Z: 10}},
+	}
+}
+
+// relayKillS is when the scripted relay loss strikes: inside the clean
+// mission's first transfer to relay-1 (≈97–101 s, see the survivability
+// test's timeline check), so a plain transfer is stranded mid-batch.
+const relayKillS = 99
+
+// survivalSchedule scales one fault script by intensity ∈ [0, 1]:
+// telemetry loss over the whole mission, a deep fade then a hard outage
+// across the later transfer band, and — from intensity 0.5 up — the loss
+// of relay-1 mid-transfer. Intensity 0 is an empty schedule (the
+// fault-free control).
+func survivalSchedule(intensity float64) *chaos.Schedule {
+	s := &chaos.Schedule{Seed: 1}
+	if intensity <= 0 {
+		return s
+	}
+	s.Telemetry = []chaos.TelemetryFault{
+		{Window: chaos.Window{StartS: 0, EndS: 3600}, LossProb: 0.5 * intensity},
+	}
+	s.Links = []chaos.LinkFault{
+		{Window: chaos.Window{StartS: 100, EndS: 130}, ID: chaos.Wildcard, ExtraLossDB: 10 * intensity},
+		{Window: chaos.Window{StartS: 135, EndS: 135 + 8*intensity}, ID: chaos.Wildcard, Outage: true},
+	}
+	if intensity >= 0.5 {
+		s.Vehicles = []chaos.VehicleFault{{ID: "relay-1", AtS: relayKillS}}
+	}
+	return s
+}
+
+// Survivability runs the chaos experiment: for each fault intensity on the
+// grid, cfg.Trials paired missions (same seeds, same cloned schedule) under
+// the naive and the resilient delivery postures. It quantifies what the
+// resilience machinery — resumable transfers, staleness-aware planning,
+// relay reassignment — buys as faults escalate.
+func Survivability(cfg Config) (SurvivabilityResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SurvivabilityResult{}, err
+	}
+	grid := []float64{0, 0.25, 0.5, 0.75, 1}
+	res := SurvivabilityResult{Runs: cfg.Trials}
+
+	for _, intensity := range grid {
+		p := SurvivabilityPoint{Intensity: intensity}
+		var naiveDel, resilDel, total float64
+		var naiveDelays, resilDelays []float64
+
+		for trial := 0; trial < cfg.Trials; trial++ {
+			for _, resilient := range []bool{false, true} {
+				fcfg := fleet.DefaultConfig()
+				fcfg.Seed = cfg.Seed + int64(trial)*101
+				fcfg.Chaos = survivalSchedule(intensity)
+				fcfg.Resilient = resilient
+				fcfg.StaleAfterS = 10
+				ms, err := fleet.New(fcfg, survivalSpecs())
+				if err != nil {
+					return SurvivabilityResult{}, err
+				}
+				rep, err := ms.Run(3600)
+				if err != nil {
+					return SurvivabilityResult{}, err
+				}
+				if resilient {
+					resilDel += rep.DeliveredMB
+					p.ResilientPartials += rep.PartialDeliveries
+					resilDelays = append(resilDelays, delays(rep)...)
+				} else {
+					naiveDel += rep.DeliveredMB
+					p.NaivePartials += rep.PartialDeliveries
+					naiveDelays = append(naiveDelays, delays(rep)...)
+					total += rep.TotalMB
+				}
+			}
+		}
+		if total > 0 {
+			p.NaiveDeliveryRatio = naiveDel / total
+			p.ResilientDeliveryRatio = resilDel / total
+		}
+		p.NaiveMedianDelayS = medianOrNaN(naiveDelays)
+		p.ResilientMedianDelayS = medianOrNaN(resilDelays)
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// delays extracts scan-to-delivery latencies of completed deliveries.
+func delays(rep fleet.Report) []float64 {
+	var out []float64
+	for _, d := range rep.Deliveries {
+		if !math.IsInf(d.DeliveredS, 1) && !d.Failed {
+			out = append(out, d.DeliveredS-d.ScanDoneS)
+		}
+	}
+	return out
+}
+
+func medianOrNaN(xs []float64) float64 {
+	m, err := stats.Median(xs)
+	if err != nil {
+		return math.NaN()
+	}
+	return m
+}

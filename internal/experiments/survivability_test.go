@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/fleet"
+)
+
+func TestSurvivalScheduleValidates(t *testing.T) {
+	for _, i := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if err := survivalSchedule(i).Validate(); err != nil {
+			t.Fatalf("intensity %v: %v", i, err)
+		}
+	}
+	if !survivalSchedule(0).Empty() {
+		t.Fatal("zero intensity is not the empty schedule")
+	}
+	if survivalSchedule(1).Empty() {
+		t.Fatal("full intensity schedule is empty")
+	}
+}
+
+// TestSurvivalTimeline pins the scenario geometry the schedule is built
+// around: in the fault-free mission the first transfer to relay-1 must
+// bracket relayKillS, so the scripted kill really lands mid-delivery.
+func TestSurvivalTimeline(t *testing.T) {
+	ms, err := fleet.New(fleet.DefaultConfig(), survivalSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ms.Run(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := math.Inf(1)
+	var last float64
+	for _, d := range rep.Deliveries {
+		if d.RelayID != "relay-1" {
+			continue
+		}
+		first = math.Min(first, d.DeliveredS)
+		last = math.Max(last, d.DeliveredS)
+	}
+	if !(relayKillS < first && first < last) {
+		t.Fatalf("relay kill at %v s does not precede the relay-1 transfers (%v..%v)",
+			relayKillS, first, last)
+	}
+	if first-relayKillS > 30 {
+		t.Fatalf("relay kill at %v s is nowhere near the first relay-1 delivery at %v s",
+			relayKillS, first)
+	}
+}
+
+func TestSurvivability(t *testing.T) {
+	res, err := Survivability(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 1 || len(res.Points) < 3 {
+		t.Fatalf("shape: %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.NaiveDeliveryRatio < 0 || p.NaiveDeliveryRatio > 1+1e-6 ||
+			p.ResilientDeliveryRatio < 0 || p.ResilientDeliveryRatio > 1+1e-6 {
+			t.Fatalf("ratio out of range: %+v", p)
+		}
+		if p.ResilientDeliveryRatio < p.NaiveDeliveryRatio-1e-9 {
+			t.Fatalf("resilience made delivery worse at intensity %v: %+v", p.Intensity, p)
+		}
+	}
+	clean := res.Points[0]
+	if clean.Intensity != 0 {
+		t.Fatalf("grid must start at the fault-free control: %+v", clean)
+	}
+	// Without faults both postures are the same mission.
+	if clean.NaiveDeliveryRatio < 0.99 || clean.ResilientDeliveryRatio < 0.99 {
+		t.Fatalf("fault-free control lost data: %+v", clean)
+	}
+	if math.Abs(clean.NaiveMedianDelayS-clean.ResilientMedianDelayS) > 1 {
+		t.Fatalf("fault-free postures diverged: %+v", clean)
+	}
+	// The headline: under the harshest schedule the resilient posture
+	// delivers strictly more than the naive one.
+	worst := res.Points[len(res.Points)-1]
+	if !(worst.ResilientDeliveryRatio > worst.NaiveDeliveryRatio) {
+		t.Fatalf("no survivability payoff at intensity %v: naive %v vs resilient %v",
+			worst.Intensity, worst.NaiveDeliveryRatio, worst.ResilientDeliveryRatio)
+	}
+}
+
+func TestSurvivabilityValidation(t *testing.T) {
+	bad := QuickConfig()
+	bad.Trials = 0
+	if _, err := Survivability(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

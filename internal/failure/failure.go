@@ -105,3 +105,8 @@ func (i *Injector) Check(odometer float64) bool {
 
 // Tripped reports whether the injector has already fired.
 func (i *Injector) Tripped() bool { return i.tripped }
+
+// Trip forces the failure immediately, regardless of the sampled odometer
+// reading — the hook the chaos layer uses for scripted mid-flight vehicle
+// failures. Like a natural failure, a forced trip is permanent.
+func (i *Injector) Trip() { i.tripped = true }

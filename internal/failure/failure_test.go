@@ -142,3 +142,18 @@ func TestSurvivalMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTripForcesFailure(t *testing.T) {
+	m, err := NewModel(0) // rho 0: natural failure never occurs
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(m, stats.NewRNG(1))
+	if inj.Check(1e9) {
+		t.Fatal("zero-rho injector failed naturally")
+	}
+	inj.Trip()
+	if !inj.Tripped() || !inj.Check(0) {
+		t.Fatal("forced trip did not stick")
+	}
+}

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// twoRelaySpecs is the reassignment scenario: relay-1 is on the scout's
+// natural path, relay-2 sits behind it as the fallback receiver.
+func twoRelaySpecs() []UAVSpec {
+	return append(specs(), UAVSpec{
+		ID: "relay-2", Platform: uav.Arducopter(), Role: Relay,
+		Start: geo.Vec3{X: -60, Z: 10},
+	})
+}
+
+func TestZeroFaultScheduleIsBitIdentical(t *testing.T) {
+	run := func(sched *chaos.Schedule, resilient bool) Report {
+		cfg := safeConfig()
+		cfg.Chaos = sched
+		cfg.Resilient = resilient
+		m, err := New(cfg, specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(nil, false)
+	empty := run(&chaos.Schedule{Seed: 7}, false)
+	if !reflect.DeepEqual(base, empty) {
+		t.Fatalf("empty schedule perturbed the mission:\n%+v\n%+v", base, empty)
+	}
+	// Windows entirely after the mission's end must also change nothing —
+	// inactive faults may not consume randomness.
+	late := &chaos.Schedule{
+		Seed:      7,
+		Telemetry: []chaos.TelemetryFault{{Window: chaos.Window{StartS: 1e6, EndS: 2e6}, LossProb: 0.9}},
+		Links:     []chaos.LinkFault{{Window: chaos.Window{StartS: 1e6, EndS: 2e6}, ID: chaos.Wildcard, Outage: true}},
+		Vehicles:  []chaos.VehicleFault{{ID: "scout-1", AtS: 1e6}},
+	}
+	if got := run(late, false); !reflect.DeepEqual(base, got) {
+		t.Fatalf("dormant schedule perturbed the mission:\n%+v\n%+v", base, got)
+	}
+}
+
+func TestScoutIDRecordedInDeliveries(t *testing.T) {
+	m, err := New(safeConfig(), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deliveries[0].ScoutID != "scout-1" {
+		t.Fatalf("scout id missing from delivery: %+v", rep.Deliveries[0])
+	}
+}
+
+func TestChaosScoutKillLosesDelivery(t *testing.T) {
+	cfg := safeConfig()
+	cfg.Chaos = &chaos.Schedule{Vehicles: []chaos.VehicleFault{{ID: "scout-1", AtS: 5}}}
+	m, err := New(cfg, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Deliveries[0]
+	if !d.Failed || !math.IsInf(d.DeliveredS, 1) {
+		t.Fatalf("killed scout still delivered: %+v", d)
+	}
+	if len(rep.FailedUAVs) != 1 || rep.FailedUAVs[0] != "scout-1" {
+		t.Fatalf("failed UAVs = %v", rep.FailedUAVs)
+	}
+	if rep.DeliveryRatio() != 0 {
+		t.Fatalf("ratio = %v", rep.DeliveryRatio())
+	}
+}
+
+// TestRelayDeathMidTransfer kills relay-1 one second before the clean
+// run's completion instant — provably mid-transfer — and checks the two
+// postures diverge: the plain transfer strands the remainder, while the
+// resilient mission carries the delivered prefix to relay-2 and finishes.
+func TestRelayDeathMidTransfer(t *testing.T) {
+	// The clean mission completes at ≈54.1 s with the transfer occupying
+	// the last ≈2 s (see TestMissionDeliversEverything's scenario).
+	sched := &chaos.Schedule{Vehicles: []chaos.VehicleFault{{ID: "relay-1", AtS: 53}}}
+
+	run := func(resilient bool) Report {
+		cfg := safeConfig()
+		cfg.Chaos = sched.Clone()
+		cfg.Resilient = resilient
+		cfg.StaleAfterS = 30
+		m, err := New(cfg, twoRelaySpecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	naive := run(false)
+	resilient := run(true)
+
+	if len(naive.FailedUAVs) == 0 || naive.FailedUAVs[0] != "relay-1" {
+		t.Fatalf("relay kill not recorded: %v", naive.FailedUAVs)
+	}
+	nd, rd := naive.Deliveries[0], resilient.Deliveries[0]
+	// The plain transfer stalls when its receiver dies: partial delivery.
+	if !math.IsInf(nd.DeliveredS, 1) || nd.DeliveredMB >= nd.MdataMB-0.1 {
+		t.Fatalf("plain transfer completed through a dead relay: %+v", nd)
+	}
+	if nd.DeliveredMB <= 0 {
+		t.Fatalf("kill at 53 s should land mid-transfer, not before it: %+v", nd)
+	}
+	if naive.PartialDeliveries != 1 {
+		t.Fatalf("partial not counted: %+v", naive)
+	}
+	// The resilient mission reassigns the remainder to relay-2.
+	if math.IsInf(rd.DeliveredS, 1) || rd.DeliveredMB < rd.MdataMB-1e-5 {
+		t.Fatalf("resilient mission did not finish: %+v", rd)
+	}
+	if rd.RelayID != "relay-2" {
+		t.Fatalf("remainder not reassigned: %+v", rd)
+	}
+	if resilient.DeliveryRatio() <= naive.DeliveryRatio() {
+		t.Fatalf("resilient ratio %v not above naive %v",
+			resilient.DeliveryRatio(), naive.DeliveryRatio())
+	}
+}
+
+func TestChaosLinkOutageDelaysResilientDelivery(t *testing.T) {
+	// A 20 s wildcard link outage covering the transfer window: the
+	// resilient transfer must wait it out and still deliver everything.
+	sched := &chaos.Schedule{
+		Links: []chaos.LinkFault{{Window: chaos.Window{StartS: 50, EndS: 70}, ID: chaos.Wildcard, Outage: true}},
+	}
+	cfg := safeConfig()
+	cfg.Chaos = sched
+	cfg.Resilient = true
+	m, err := New(cfg, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Deliveries[0]
+	if math.IsInf(d.DeliveredS, 1) || d.DeliveredMB < d.MdataMB-1e-5 {
+		t.Fatalf("resilient transfer lost to a transient outage: %+v", d)
+	}
+	if d.DeliveredS < 70 {
+		t.Fatalf("delivery at %v s finished inside the outage window", d.DeliveredS)
+	}
+}

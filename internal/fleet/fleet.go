@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/chaos"
 	"github.com/nowlater/nowlater/internal/core"
 	"github.com/nowlater/nowlater/internal/failure"
 	"github.com/nowlater/nowlater/internal/geo"
@@ -68,6 +69,19 @@ type Config struct {
 	Naive bool
 	// TransferDeadlineS bounds each delivery attempt.
 	TransferDeadlineS float64
+	// Chaos injects the scripted faults of a schedule into the mission:
+	// telemetry drops before the planner, link outages and fades during
+	// transfers, and mid-flight vehicle kills. Nil (or an empty schedule)
+	// leaves every run bit-identical to the fault-free mission.
+	Chaos *chaos.Schedule
+	// Resilient arms the survivable delivery path: transfers run through
+	// transport.ResilientTransfer (resumable partial batches), scouts
+	// whose relay dies reassign to the nearest surviving relay carrying
+	// the bytes already delivered, and staleness-aware planning falls
+	// back to transmit-now when telemetry degrades.
+	Resilient bool
+	// StaleAfterS feeds the planner's telemetry aging (0 disables).
+	StaleAfterS float64
 }
 
 // DefaultConfig uses the paper's quadrocopter planning scenario.
@@ -102,6 +116,10 @@ type Report struct {
 	// MakespanS is the time the last successful delivery completed.
 	MakespanS  float64
 	FailedUAVs []string
+	// PartialDeliveries counts scouts that landed some but not all of
+	// their batch — the middle ground chaos creates between a clean
+	// delivery and a total loss.
+	PartialDeliveries int
 }
 
 // DeliveryRatio is delivered/total data.
@@ -120,7 +138,18 @@ type scout struct {
 	hasData  bool
 	done     bool
 	delivery Delivery
+	// deliveredBytes is the batch prefix already landed — carried across
+	// reassigned transfers so a resumed delivery ships only the rest.
+	deliveredBytes int64
 }
+
+// relay is one receiving participant's runtime state.
+type relay struct {
+	ap   *autopilot.Autopilot
+	dead bool
+}
+
+func (r *relay) id() string { return r.ap.Vehicle().ID }
 
 // Mission is a configured multi-UAV run.
 type Mission struct {
@@ -129,7 +158,7 @@ type Mission struct {
 	bus    *telemetry.Bus
 	plan   *planner.Planner
 	scouts []*scout
-	relays []*autopilot.Autopilot
+	relays []*relay
 	rng    *stats.RNG
 }
 
@@ -146,9 +175,19 @@ func New(cfg Config, specs []UAVSpec) (*Mission, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl, err := planner.New(planner.Config{Scenario: cfg.Scenario, LinkRangeM: cfg.LinkRangeM})
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	pl, err := planner.New(planner.Config{
+		Scenario: cfg.Scenario, LinkRangeM: cfg.LinkRangeM, StaleAfterS: cfg.StaleAfterS,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Chaos != nil {
+		bus.SetFault(cfg.Chaos.TelemetryDrop)
 	}
 	m := &Mission{cfg: cfg, engine: engine, bus: bus, plan: pl, rng: stats.NewRNG(cfg.Seed)}
 
@@ -177,10 +216,13 @@ func New(cfg Config, specs []UAVSpec) (*Mission, error) {
 			}
 			inj := failure.NewInjector(cfg.Scenario.Failure,
 				m.rng.Substream(cfg.Seed, "fleet/failure/"+spec.ID))
-			m.scouts = append(m.scouts, &scout{spec: spec, ap: ap, injector: inj})
+			sc := &scout{spec: spec, ap: ap, injector: inj}
+			sc.delivery.ScoutID = spec.ID
+			sc.delivery.DeliveredS = math.Inf(1)
+			m.scouts = append(m.scouts, sc)
 		case Relay:
 			ap.Hold(spec.Start)
-			m.relays = append(m.relays, ap)
+			m.relays = append(m.relays, &relay{ap: ap})
 		default:
 			return nil, fmt.Errorf("fleet: unknown role %d", spec.Role)
 		}
@@ -191,15 +233,52 @@ func New(cfg Config, specs []UAVSpec) (*Mission, error) {
 	return m, nil
 }
 
-// nearestRelay returns the relay closest to a position.
-func (m *Mission) nearestRelay(p geo.Vec3) *autopilot.Autopilot {
-	best, bestD := m.relays[0], math.Inf(1)
+// nearestRelay returns the surviving relay closest to a position (nil when
+// the whole relay tier is gone).
+func (m *Mission) nearestRelay(p geo.Vec3) *relay {
+	var best *relay
+	bestD := math.Inf(1)
 	for _, r := range m.relays {
-		if d := r.Vehicle().Position().Dist(p); d < bestD {
+		if r.dead {
+			continue
+		}
+		if d := r.ap.Vehicle().Position().Dist(p); d < bestD {
 			best, bestD = r, d
 		}
 	}
 	return best
+}
+
+// chaosKillTime reports the scripted failure time for a vehicle, if any.
+func (m *Mission) chaosKillTime(id string) (float64, bool) {
+	if m.cfg.Chaos == nil {
+		return 0, false
+	}
+	return m.cfg.Chaos.VehicleFailTime(id)
+}
+
+// applyChaosKills trips every scripted vehicle failure whose time has come:
+// scouts through their injector (the regular failure path), relays by
+// marking the tier entry dead so planning and reassignment route around it.
+func (m *Mission) applyChaosKills(now float64) {
+	if m.cfg.Chaos == nil {
+		return
+	}
+	for _, s := range m.scouts {
+		if t, ok := m.cfg.Chaos.VehicleFailTime(s.spec.ID); ok && now >= t {
+			s.injector.Trip()
+		}
+	}
+	for _, r := range m.relays {
+		if r.dead {
+			continue
+		}
+		if t, ok := m.cfg.Chaos.VehicleFailTime(r.id()); ok && now >= t {
+			r.dead = true
+			r.ap.Vehicle().Fail()
+			m.plan.Forget(r.id())
+		}
+	}
 }
 
 // Run executes the mission until all scouts have delivered or failed, or
@@ -217,6 +296,7 @@ func (m *Mission) Run(maxSeconds float64) (Report, error) {
 		if err := m.engine.RunUntil(m.engine.Now() + tick); err != nil {
 			return Report{}, err
 		}
+		m.applyChaosKills(m.engine.Now())
 		allDone := true
 		for _, s := range m.scouts {
 			if s.done {
@@ -270,43 +350,58 @@ func (m *Mission) step(s *scout, tick float64) {
 	if !s.hasData {
 		return
 	}
-	relay := m.nearestRelay(v.Position())
-	d := v.Position().Dist(relay.Vehicle().Position())
+	r := m.nearestRelay(v.Position())
+	if r == nil {
+		// No surviving receiver: hold and hope one comes back (it will
+		// not — scripted kills are permanent — but the scout cannot know).
+		return
+	}
+	d := v.Position().Dist(r.ap.Vehicle().Position())
 	if d > m.cfg.LinkRangeM {
 		// Close in until the link opens.
 		if s.ap.Mode() != autopilot.GoTo || s.ap.Arrived() {
-			s.ap.GoTo(relay.Vehicle().Position(), 0, nil)
+			s.ap.GoTo(r.ap.Vehicle().Position(), 0, nil)
 		}
 		return
 	}
 	// Link open: this is d0. Decide, ship, transfer — the remainder is
 	// executed synchronously against the engine clock.
-	m.deliver(s, relay, d)
+	m.deliver(s, r, d)
 }
 
 // deliver runs the decision, the shipping leg and the transfer for one
-// scout; it completes the scout's state machine.
-func (m *Mission) deliver(s *scout, relay *autopilot.Autopilot, d0 float64) {
+// scout. On the resilient path an interrupted transfer may leave the scout
+// un-done so the state machine can reassign the remainder to a surviving
+// relay; otherwise it completes the scout's state machine.
+func (m *Mission) deliver(s *scout, r *relay, d0 float64) {
 	v := s.ap.Vehicle()
-	s.delivery.RelayID = relay.Vehicle().ID
+	rv := r.ap.Vehicle()
+	s.delivery.RelayID = rv.ID
 	s.delivery.D0M = d0
 	target := d0
 
 	if !m.cfg.Naive {
 		// Route the decision through the central planner, exactly as the
-		// ground station would: feed it the two telemetry states, ask for
-		// the rendezvous.
-		m.plan.Observe(telemetry.Status{
-			From: s.spec.ID, Time: m.engine.Now(),
-			Position: v.Position(), Velocity: v.Velocity(),
-			Battery: v.BatteryFraction(),
-			HasData: true, DataMB: s.spec.Plan.DataBytes() / 1e6,
-		})
-		m.plan.Observe(telemetry.Status{
-			From: relay.Vehicle().ID, Time: m.engine.Now(),
-			Position: relay.Vehicle().Position(),
-		})
-		if dec, ok, err := m.plan.PlanDelivery(s.spec.ID, relay.Vehicle().ID); err == nil && ok {
+		// ground station would: feed it the two telemetry states (each
+		// beacon subject to the chaos layer's drop law), ask for the
+		// rendezvous. On degraded telemetry the planner answers
+		// transmit-now; on no telemetry at all, d0 stands.
+		now := m.engine.Now()
+		if m.cfg.Chaos == nil || !m.cfg.Chaos.TelemetryDrop(now) {
+			m.plan.Observe(telemetry.Status{
+				From: s.spec.ID, Time: now,
+				Position: v.Position(), Velocity: v.Velocity(),
+				Battery: v.BatteryFraction(),
+				HasData: true, DataMB: s.spec.Plan.DataBytes() / 1e6,
+			})
+		}
+		if m.cfg.Chaos == nil || !m.cfg.Chaos.TelemetryDrop(now) {
+			m.plan.Observe(telemetry.Status{
+				From: rv.ID, Time: now,
+				Position: rv.Position(),
+			})
+		}
+		if dec, ok, err := m.plan.PlanDeliveryAt(s.spec.ID, rv.ID, now); err == nil && ok {
 			target = dec.Optimum.DoptM
 		}
 	}
@@ -314,15 +409,18 @@ func (m *Mission) deliver(s *scout, relay *autopilot.Autopilot, d0 float64) {
 
 	// Ship to the rendezvous (synchronously on the engine clock).
 	if target < d0-1 {
-		dir := v.Position().Sub(relay.Vehicle().Position()).Unit()
-		rv := relay.Vehicle().Position().Add(dir.Scale(target))
-		rv.Z = v.Position().Z
+		dir := v.Position().Sub(rv.Position()).Unit()
+		wp := rv.Position().Add(dir.Scale(target))
+		wp.Z = v.Position().Z
 		arrived := false
-		s.ap.GoTo(rv, 0, func() { arrived = true })
+		s.ap.GoTo(wp, 0, func() { arrived = true })
 		for !arrived && !v.Failed() {
 			s.ap.Step(0.1)
 			if err := advance(m.engine, 0.1); err != nil {
 				break
+			}
+			if t, ok := m.chaosKillTime(s.spec.ID); ok && m.engine.Now() >= t {
+				s.injector.Trip()
 			}
 			if s.injector.Check(v.Odometer()) {
 				v.Fail()
@@ -345,26 +443,103 @@ func (m *Mission) deliver(s *scout, relay *autopilot.Autopilot, d0 float64) {
 		return
 	}
 	l.SetNow(m.engine.Now())
-	res, err := transport.TransferBatch(l, transport.BatchConfig{
-		Bytes:     int(s.spec.Plan.DataBytes()),
-		DeadlineS: m.cfg.TransferDeadlineS,
-		Reliable:  true,
-	}, func(float64) link.Geometry {
+	if sched := m.cfg.Chaos; sched != nil {
+		// The transfer dies with either endpoint: scripted link outages on
+		// scout or relay, and a mid-transfer vehicle kill, all read as a
+		// link that stops carrying frames at that instant.
+		scoutID, relayID := s.spec.ID, rv.ID
+		l.SetFault(func(now float64) (bool, float64) {
+			out := sched.LinkOutage(scoutID, now) || sched.LinkOutage(relayID, now)
+			if t, ok := sched.VehicleFailTime(scoutID); ok && now >= t {
+				out = true
+			}
+			if t, ok := sched.VehicleFailTime(relayID); ok && now >= t {
+				out = true
+			}
+			return out, sched.LinkExtraLossDB(scoutID, now) + sched.LinkExtraLossDB(relayID, now)
+		})
+	}
+
+	geom := func(float64) link.Geometry {
 		return link.Geometry{
-			DistanceM:   v.Position().Dist(relay.Vehicle().Position()),
-			AltitudeM:   math.Min(v.Position().Z, relay.Vehicle().Position().Z),
-			RelSpeedMPS: v.Velocity().Sub(relay.Vehicle().Velocity()).Norm(),
+			DistanceM:   v.Position().Dist(rv.Position()),
+			AltitudeM:   math.Min(v.Position().Z, rv.Position().Z),
+			RelSpeedMPS: v.Velocity().Sub(rv.Velocity()).Norm(),
 		}
-	})
-	s.done = true
-	if err != nil || math.IsInf(res.CompletionS, 1) {
-		s.delivery.DeliveredS = math.Inf(1)
-		s.delivery.DeliveredMB = float64(res.DeliveredBytes) / 1e6
+	}
+	remaining := int(s.spec.Plan.DataBytes()) - int(s.deliveredBytes)
+
+	var delivered int64
+	var completion float64
+	if m.cfg.Resilient {
+		rcfg := transport.DefaultResilientConfig(remaining, m.cfg.TransferDeadlineS)
+		rcfg.MaxAttempts = 6
+		rcfg.Seed = m.cfg.Seed
+		rcfg.Label = "fleet/resilient/" + s.spec.ID
+		t0 := l.Now()
+		res, rerr := transport.ResilientTransfer(l, rcfg, geom)
+		if rerr != nil {
+			s.done = true
+			s.delivery.DeliveredS = math.Inf(1)
+			return
+		}
+		// The resilient clock really elapsed (attempts plus backoff), so
+		// the mission clock follows it even on a failed transfer.
+		_ = advance(m.engine, l.Now()-t0)
+		delivered, completion = res.DeliveredBytes, res.CompletionS
+	} else {
+		res, terr := transport.TransferBatch(l, transport.BatchConfig{
+			Bytes:     remaining,
+			DeadlineS: m.cfg.TransferDeadlineS,
+			Reliable:  true,
+		}, geom)
+		if terr != nil {
+			s.done = true
+			s.delivery.DeliveredS = math.Inf(1)
+			return
+		}
+		delivered, completion = res.DeliveredBytes, res.CompletionS
+		if !math.IsInf(completion, 1) {
+			_ = advance(m.engine, completion)
+		} else if m.cfg.Chaos != nil {
+			// Under chaos the failed attempt's duration is real time the
+			// mission spent: follow the link clock so scripted kills that
+			// struck mid-transfer land on the mission timeline too. (The
+			// fault-free path keeps the seed behaviour untouched.)
+			_ = advance(m.engine, l.Now()-m.engine.Now())
+		}
+	}
+
+	s.deliveredBytes += delivered
+	s.delivery.DeliveredMB = float64(s.deliveredBytes) / 1e6
+
+	if !math.IsInf(completion, 1) {
+		s.done = true
+		s.delivery.DeliveredS = m.engine.Now()
 		return
 	}
-	_ = advance(m.engine, res.CompletionS)
-	s.delivery.DeliveredS = m.engine.Now()
-	s.delivery.DeliveredMB = float64(res.DeliveredBytes) / 1e6
+
+	// Incomplete. A chaos-killed scout is lost with whatever it landed.
+	m.applyChaosKills(m.engine.Now())
+	if t, ok := m.chaosKillTime(s.spec.ID); ok && m.engine.Now() >= t {
+		s.injector.Trip()
+	}
+	if s.injector.Tripped() {
+		v.Fail()
+		s.done = true
+		s.delivery.Failed = true
+		s.delivery.DeliveredS = math.Inf(1)
+		return
+	}
+	if m.cfg.Resilient {
+		if next := m.nearestRelay(v.Position()); next != nil {
+			// Leave the scout live: the state machine re-approaches the
+			// nearest surviving relay and ships only the remainder.
+			return
+		}
+	}
+	s.done = true
+	s.delivery.DeliveredS = math.Inf(1)
 }
 
 // advance moves the engine clock forward, tolerating an empty queue.
@@ -382,8 +557,16 @@ func (m *Mission) report() Report {
 		if s.delivery.Failed {
 			r.FailedUAVs = append(r.FailedUAVs, s.spec.ID)
 		}
+		if s.delivery.DeliveredMB > 0 && math.IsInf(s.delivery.DeliveredS, 1) {
+			r.PartialDeliveries++
+		}
 		if !math.IsInf(s.delivery.DeliveredS, 1) && s.delivery.DeliveredS > r.MakespanS {
 			r.MakespanS = s.delivery.DeliveredS
+		}
+	}
+	for _, rl := range m.relays {
+		if rl.dead {
+			r.FailedUAVs = append(r.FailedUAVs, rl.id())
 		}
 	}
 	sort.Slice(r.Deliveries, func(i, j int) bool {

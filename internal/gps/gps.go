@@ -46,16 +46,31 @@ type Fix struct {
 	ENU geo.Vec3
 }
 
+// FaultFunc is an injected degradation consulted at each due fix: outage
+// suppresses the fix entirely (antenna shadowing, jamming); otherwise
+// sigmaScale ≥ 1 inflates the noise sigmas for that fix (multipath,
+// degraded constellation geometry).
+type FaultFunc func(now float64) (outage bool, sigmaScale float64)
+
 // Receiver produces noisy fixes of a true ENU position within a mission
 // frame.
 type Receiver struct {
 	p     Params
 	frame *geo.Frame
 	rng   *stats.RNG
+	fault FaultFunc
 	trace []Fix
 	last  float64
 	first bool
+
+	// Outages counts fixes suppressed by the fault hook.
+	Outages int64
 }
+
+// SetFault installs a chaos degradation hook (nil restores nominal
+// operation). With no hook installed the receiver's draws are untouched,
+// so existing traces replay bit-for-bit.
+func (r *Receiver) SetFault(f FaultFunc) { r.fault = f }
 
 // NewReceiver builds a receiver anchored to a mission frame.
 func NewReceiver(p Params, frame *geo.Frame, rng *stats.RNG) (*Receiver, error) {
@@ -78,12 +93,27 @@ func (r *Receiver) Observe(now float64, truePos geo.Vec3) (Fix, bool) {
 	if !r.first && now-r.last < r.p.FixIntervalSeconds {
 		return Fix{}, false
 	}
+	scale := 1.0
+	if r.fault != nil {
+		outage, s := r.fault(now)
+		if outage {
+			// The fix is due but lost; the next offer after the outage
+			// produces one immediately (receivers re-acquire fast at 1–4 Hz).
+			r.Outages++
+			r.first = false
+			r.last = now
+			return Fix{}, false
+		}
+		if s > 1 {
+			scale = s
+		}
+	}
 	r.first = false
 	r.last = now
 	noisy := geo.Vec3{
-		X: truePos.X + r.rng.Normal(0, r.p.HorizontalSigmaM),
-		Y: truePos.Y + r.rng.Normal(0, r.p.HorizontalSigmaM),
-		Z: truePos.Z + r.rng.Normal(0, r.p.VerticalSigmaM),
+		X: truePos.X + r.rng.Normal(0, scale*r.p.HorizontalSigmaM),
+		Y: truePos.Y + r.rng.Normal(0, scale*r.p.HorizontalSigmaM),
+		Z: truePos.Z + r.rng.Normal(0, scale*r.p.VerticalSigmaM),
 	}
 	fix := Fix{Time: now, Position: r.frame.ToLatLon(noisy), ENU: noisy}
 	r.trace = append(r.trace, fix)

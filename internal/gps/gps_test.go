@@ -120,3 +120,62 @@ func TestPairwiseDistances(t *testing.T) {
 		t.Fatal("empty trace should match nothing")
 	}
 }
+
+func TestFaultOutageSuppressesFixes(t *testing.T) {
+	r := newReceiver(t, Params{FixIntervalSeconds: 1, HorizontalSigmaM: 0, VerticalSigmaM: 0})
+	r.SetFault(func(now float64) (bool, float64) { return now >= 3 && now < 7, 1 })
+	var got []float64
+	for i := 0; i <= 10; i++ {
+		if fix, ok := r.Observe(float64(i), geo.Vec3{}); ok {
+			got = append(got, fix.Time)
+		}
+	}
+	want := []float64{0, 1, 2, 7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("fix times = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fix times = %v, want %v", got, want)
+		}
+	}
+	if r.Outages != 4 {
+		t.Fatalf("Outages = %d, want 4", r.Outages)
+	}
+}
+
+func TestFaultDegradationInflatesNoise(t *testing.T) {
+	const sigma, scale = 2.0, 10.0
+	nominal := newReceiver(t, Params{FixIntervalSeconds: 1, HorizontalSigmaM: sigma, VerticalSigmaM: sigma})
+	degraded := newReceiver(t, Params{FixIntervalSeconds: 1, HorizontalSigmaM: sigma, VerticalSigmaM: sigma})
+	degraded.SetFault(func(float64) (bool, float64) { return false, scale })
+	rmsOf := func(r *Receiver) float64 {
+		var sum float64
+		n := 400
+		for i := 0; i < n; i++ {
+			fix, ok := r.Observe(float64(i), geo.Vec3{})
+			if !ok {
+				t.Fatal("fix due but not produced")
+			}
+			sum += fix.ENU.X*fix.ENU.X + fix.ENU.Y*fix.ENU.Y
+		}
+		return math.Sqrt(sum / float64(2*n))
+	}
+	rn, rd := rmsOf(nominal), rmsOf(degraded)
+	if rd < 5*rn {
+		t.Fatalf("degraded rms %v not ≫ nominal %v (scale %v)", rd, rn, scale)
+	}
+}
+
+func TestNilFaultIsBitIdentical(t *testing.T) {
+	a := newReceiver(t, DefaultParams())
+	b := newReceiver(t, DefaultParams())
+	b.SetFault(nil)
+	for i := 0; i < 50; i++ {
+		fa, oka := a.Observe(float64(i), geo.Vec3{X: float64(i)})
+		fb, okb := b.Observe(float64(i), geo.Vec3{X: float64(i)})
+		if oka != okb || fa != fb {
+			t.Fatalf("fix %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+}

@@ -50,7 +50,38 @@ type Link struct {
 	em     *phy.ErrorModel
 	policy rate.Policy
 	tracer Tracer
+	fault  FaultFunc
 	now    float64
+
+	// OutageSeconds accumulates time spent idling through injected
+	// outages.
+	OutageSeconds float64
+}
+
+// FaultFunc is the chaos layer's per-exchange degradation: outage kills
+// the link for the instant (no exchange happens, the clock idles forward);
+// extraLossDB is added to the channel's path loss (deep-fade burst). The
+// hook must be deterministic in now — it is consulted on every Step.
+type FaultFunc func(now float64) (outage bool, extraLossDB float64)
+
+// outageIdleS is how far Step coasts the clock while the link is down: a
+// coarser stride than a MAC slot so multi-second outages stay cheap to
+// simulate, but fine enough (10 ms) to resolve outage-window edges.
+const outageIdleS = 0.01
+
+// SetFault installs a fault hook (nil restores the nominal link). The
+// extra-loss part is wired into the channel's excess-loss hook so it
+// degrades SNR exactly like any physical attenuation.
+func (l *Link) SetFault(f FaultFunc) {
+	l.fault = f
+	if f == nil {
+		l.ch.SetExcessLoss(nil)
+		return
+	}
+	l.ch.SetExcessLoss(func(now float64) float64 {
+		_, extra := f(now)
+		return extra
+	})
 }
 
 // New builds a link with the given rate-control policy. A nil policy gets
@@ -113,6 +144,13 @@ type Geometry struct {
 // geometry and advances the clock by the airtime consumed. With an empty
 // queue it advances the clock by one idle slot so callers can poll.
 func (l *Link) Step(g Geometry) mac.Exchange {
+	if l.fault != nil {
+		if outage, _ := l.fault(l.now); outage {
+			l.now += outageIdleS
+			l.OutageSeconds += outageIdleS
+			return mac.Exchange{}
+		}
+	}
 	if l.mac.QueuedMPDUs() == 0 {
 		l.now += l.cfg.MAC.SlotSeconds
 		return mac.Exchange{}

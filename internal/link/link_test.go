@@ -305,3 +305,55 @@ func TestTracerSeesExchanges(t *testing.T) {
 	l.Enqueue(1500)
 	l.Step(Geometry{DistanceM: 30, AltitudeM: 10})
 }
+
+func TestFaultOutageStallsLink(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	g := Geometry{DistanceM: 20, AltitudeM: 10}
+	l.SetFault(func(now float64) (bool, float64) { return now < 1, 0 })
+	l.Enqueue(100_000)
+	var delivered int64
+	for l.Now() < 1 {
+		ex := l.Step(g)
+		delivered += int64(ex.DeliveredBytes)
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered %d bytes through an outage", delivered)
+	}
+	if l.OutageSeconds < 0.99 {
+		t.Fatalf("OutageSeconds = %v, want ≈1", l.OutageSeconds)
+	}
+	// After the window the link recovers and drains the queue (a handful
+	// of datagrams may die at the MAC retry limit).
+	for l.QueuedBytes() > 0 && l.Now() < 10 {
+		ex := l.Step(g)
+		delivered += int64(ex.DeliveredBytes)
+	}
+	if delivered+l.MAC().DroppedBytes < 100_000 || delivered < 90_000 {
+		t.Fatalf("delivered %d + dropped %d bytes after recovery", delivered, l.MAC().DroppedBytes)
+	}
+}
+
+func TestFaultFadeDegradesThroughput(t *testing.T) {
+	g := Geometry{DistanceM: 60, AltitudeM: 10}
+	clean := newLink(t, rate.NewFixed(3))
+	faded := newLink(t, rate.NewFixed(3))
+	faded.SetFault(func(float64) (bool, float64) { return false, 40 })
+	mc := clean.Measure(g, 3)
+	mf := faded.Measure(g, 3)
+	if mf.ThroughputBps > mc.ThroughputBps/2 {
+		t.Fatalf("40 dB fade: %v vs clean %v bps", mf.ThroughputBps, mc.ThroughputBps)
+	}
+}
+
+func TestNilFaultIsBitIdentical(t *testing.T) {
+	g := Geometry{DistanceM: 40, AltitudeM: 10}
+	a := newLink(t, nil)
+	b := newLink(t, nil)
+	b.SetFault(func(float64) (bool, float64) { return false, 0 })
+	b.SetFault(nil)
+	ma := a.Measure(g, 2)
+	mb := b.Measure(g, 2)
+	if ma != mb {
+		t.Fatalf("cleared fault hook perturbed the link: %+v vs %+v", ma, mb)
+	}
+}

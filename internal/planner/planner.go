@@ -38,6 +38,9 @@ type Decision struct {
 	// Rendezvous is the waypoint at distance dopt from the receiver, on
 	// the ferry-receiver line.
 	Rendezvous geo.Vec3
+	// Degraded marks a decision made on aged telemetry: the planner fell
+	// back to transmit-now instead of trusting a stale rendezvous.
+	Degraded bool
 }
 
 // Config parameterizes the planner's optimization.
@@ -48,6 +51,11 @@ type Config struct {
 	// LinkRangeM is the distance at which the data link becomes usable
 	// (batches are only planned when the pair is within this range).
 	LinkRangeM float64
+	// StaleAfterS ages out telemetry: a vehicle silent for longer than
+	// this is treated as unreliable by PlanDeliveryAt, which then falls
+	// back to transmit-now rather than flying deeper on stale geometry.
+	// Zero disables staleness tracking (the seed behaviour).
+	StaleAfterS float64
 }
 
 // Planner is the central decision maker.
@@ -56,6 +64,9 @@ type Planner struct {
 	states map[string]VehicleState
 	// Decisions records every rendezvous computed (latest first served).
 	Decisions []Decision
+	// StaleDrops counts status beacons rejected for arriving out of
+	// order (an older timestamp than the state already held).
+	StaleDrops int64
 }
 
 // New builds a planner. The scenario's D0M and MdataBytes fields are
@@ -74,8 +85,15 @@ func New(cfg Config) (*Planner, error) {
 	return &Planner{cfg: cfg, states: make(map[string]VehicleState)}, nil
 }
 
-// Observe ingests one telemetry status beacon.
+// Observe ingests one telemetry status beacon. Beacons that arrive out of
+// order — an earlier timestamp than the state already held — are dropped
+// and counted in StaleDrops: a delayed or replayed beacon must never roll
+// the planner's picture of a vehicle backwards.
 func (p *Planner) Observe(st telemetry.Status) {
+	if cur, ok := p.states[st.From]; ok && st.Time < cur.Time {
+		p.StaleDrops++
+		return
+	}
 	p.states[st.From] = VehicleState{
 		ID:       st.From,
 		Time:     st.Time,
@@ -93,6 +111,40 @@ func (p *Planner) State(id string) (VehicleState, bool) {
 	return st, ok
 }
 
+// Forget drops all state for a vehicle — called when a UAV is confirmed
+// lost so stale geometry cannot anchor future rendezvous.
+func (p *Planner) Forget(id string) {
+	delete(p.states, id)
+}
+
+// Stale reports whether a vehicle's telemetry has aged out at the given
+// time. Unknown vehicles are stale by definition; with StaleAfterS zero
+// nothing known ever goes stale.
+func (p *Planner) Stale(id string, now float64) bool {
+	st, ok := p.states[id]
+	if !ok {
+		return true
+	}
+	return p.cfg.StaleAfterS > 0 && now-st.Time > p.cfg.StaleAfterS
+}
+
+// Nearest returns the candidate vehicle with known state closest to the
+// given position, skipping candidates that are unknown or stale at the
+// given time. ok is false when no candidate qualifies.
+func (p *Planner) Nearest(pos geo.Vec3, candidates []string, now float64) (string, bool) {
+	best, bestD := "", math.Inf(1)
+	for _, id := range candidates {
+		st, ok := p.states[id]
+		if !ok || p.Stale(id, now) {
+			continue
+		}
+		if d := pos.Dist(st.Position); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best, best != ""
+}
+
 // Known returns the IDs of all tracked vehicles, sorted.
 func (p *Planner) Known() []string {
 	ids := make([]string, 0, len(p.states))
@@ -108,6 +160,19 @@ func (p *Planner) Known() []string {
 // has no data, or the pair is outside link range (no decision to make
 // yet).
 func (p *Planner) PlanDelivery(ferryID, receiverID string) (Decision, bool, error) {
+	return p.plan(ferryID, receiverID, false)
+}
+
+// PlanDeliveryAt is PlanDelivery with staleness awareness: when either
+// side's telemetry has aged out at the given time (Config.StaleAfterS),
+// the planner does not trust the geometry enough to command a deep
+// rendezvous and degrades to transmit-now at the last known distance.
+func (p *Planner) PlanDeliveryAt(ferryID, receiverID string, now float64) (Decision, bool, error) {
+	degraded := p.cfg.StaleAfterS > 0 && (p.Stale(ferryID, now) || p.Stale(receiverID, now))
+	return p.plan(ferryID, receiverID, degraded)
+}
+
+func (p *Planner) plan(ferryID, receiverID string, degraded bool) (Decision, bool, error) {
 	ferry, ok := p.states[ferryID]
 	if !ok {
 		return Decision{}, false, fmt.Errorf("planner: unknown ferry %q", ferryID)
@@ -140,6 +205,12 @@ func (p *Planner) PlanDelivery(ferryID, receiverID string) (Decision, bool, erro
 		opt.DoptM = d0
 		opt.TransmitImmediately = true
 	}
+	if degraded {
+		// Stale picture: holding position and transmitting from d0 risks
+		// nothing on geometry the planner can no longer vouch for.
+		opt.DoptM = d0
+		opt.TransmitImmediately = true
+	}
 
 	// Rendezvous: the point at distance dopt from the receiver along the
 	// receiver→ferry direction, at the ferry's altitude.
@@ -156,6 +227,7 @@ func (p *Planner) PlanDelivery(ferryID, receiverID string) (Decision, bool, erro
 		D0M:        d0,
 		Optimum:    opt,
 		Rendezvous: rv,
+		Degraded:   degraded,
 	}
 	p.Decisions = append(p.Decisions, dec)
 	return dec, true, nil

@@ -142,6 +142,122 @@ func TestPlanWithCoincidentVehicles(t *testing.T) {
 	}
 }
 
+func TestObserveRejectsOutOfOrder(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "a", Time: 10, Position: geo.Vec3{X: 1}})
+	// A delayed beacon with an older timestamp must not roll state back.
+	p.Observe(telemetry.Status{From: "a", Time: 4, Position: geo.Vec3{X: 99}})
+	st, ok := p.State("a")
+	if !ok || st.Time != 10 || st.Position.X != 1 {
+		t.Fatalf("stale beacon overwrote state: %+v", st)
+	}
+	if p.StaleDrops != 1 {
+		t.Fatalf("StaleDrops = %d, want 1", p.StaleDrops)
+	}
+	// Equal timestamps are a refresh, not a reordering.
+	p.Observe(telemetry.Status{From: "a", Time: 10, Position: geo.Vec3{X: 2}})
+	st, _ = p.State("a")
+	if st.Position.X != 2 {
+		t.Fatalf("same-time beacon dropped: %+v", st)
+	}
+	if p.StaleDrops != 1 {
+		t.Fatalf("StaleDrops = %d after same-time beacon", p.StaleDrops)
+	}
+}
+
+func TestForget(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "a", Time: 1})
+	p.Forget("a")
+	if _, ok := p.State("a"); ok {
+		t.Fatal("forgotten vehicle still known")
+	}
+	// After Forget, an old-timestamp beacon is fresh again.
+	p.Observe(telemetry.Status{From: "a", Time: 0.5})
+	if _, ok := p.State("a"); !ok {
+		t.Fatal("vehicle not re-learned after Forget")
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	cfg := quadConfig()
+	cfg.StaleAfterS = 5
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(telemetry.Status{From: "a", Time: 10})
+	if p.Stale("a", 12) {
+		t.Fatal("fresh state reported stale")
+	}
+	if !p.Stale("a", 16) {
+		t.Fatal("silent vehicle not aged out")
+	}
+	if !p.Stale("ghost", 0) {
+		t.Fatal("unknown vehicle not stale")
+	}
+	// StaleAfterS = 0 disables aging entirely.
+	p2 := newPlanner(t)
+	p2.Observe(telemetry.Status{From: "a", Time: 0})
+	if p2.Stale("a", 1e9) {
+		t.Fatal("aging active with StaleAfterS = 0")
+	}
+}
+
+func TestPlanDeliveryAtDegradesOnStaleTelemetry(t *testing.T) {
+	cfg := quadConfig()
+	cfg.StaleAfterS = 5
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(telemetry.Status{From: "ferry", Time: 0, Position: geo.Vec3{X: 80, Z: 10}, HasData: true, DataMB: 56.2})
+	p.Observe(telemetry.Status{From: "recv", Time: 0, Position: geo.Vec3{Z: 10}})
+
+	// Fresh telemetry: the normal delayed-gratification rendezvous.
+	dec, ok, err := p.PlanDeliveryAt("ferry", "recv", 2)
+	if err != nil || !ok {
+		t.Fatalf("fresh plan failed: %v %v", ok, err)
+	}
+	if dec.Degraded || dec.Optimum.TransmitImmediately {
+		t.Fatalf("fresh plan degraded: %+v", dec)
+	}
+	if dec.Optimum.DoptM >= dec.D0M {
+		t.Fatalf("fresh plan did not move in: dopt %v, d0 %v", dec.Optimum.DoptM, dec.D0M)
+	}
+
+	// The receiver has been silent for 10 s: fall back to transmit-now.
+	dec, ok, err = p.PlanDeliveryAt("ferry", "recv", 10)
+	if err != nil || !ok {
+		t.Fatalf("stale plan failed: %v %v", ok, err)
+	}
+	if !dec.Degraded || !dec.Optimum.TransmitImmediately {
+		t.Fatalf("stale plan not degraded: %+v", dec)
+	}
+	if math.Abs(dec.Optimum.DoptM-dec.D0M) > 1e-9 {
+		t.Fatalf("degraded plan still commands a rendezvous: dopt %v, d0 %v", dec.Optimum.DoptM, dec.D0M)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cfg := quadConfig()
+	cfg.StaleAfterS = 5
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(telemetry.Status{From: "r1", Time: 10, Position: geo.Vec3{X: 100}})
+	p.Observe(telemetry.Status{From: "r2", Time: 10, Position: geo.Vec3{X: 40}})
+	p.Observe(telemetry.Status{From: "r3", Time: 1, Position: geo.Vec3{X: 10}}) // stale at t=10
+	id, ok := p.Nearest(geo.Vec3{}, []string{"r1", "r2", "r3", "ghost"}, 10)
+	if !ok || id != "r2" {
+		t.Fatalf("nearest = %q ok=%v, want r2 (r3 stale, ghost unknown)", id, ok)
+	}
+	if _, ok := p.Nearest(geo.Vec3{}, []string{"ghost"}, 10); ok {
+		t.Fatal("nearest found among unknowns")
+	}
+}
+
 // TestPlanMatchesDirectOptimization: the planner's rendezvous equals the
 // core optimizer's dopt for the same scenario.
 func TestPlanMatchesDirectOptimization(t *testing.T) {

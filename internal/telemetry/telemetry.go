@@ -10,11 +10,19 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/sim"
 )
+
+// ErrOutOfRange reports that a message could not reach any addressee
+// because the radios were farther apart than the channel range. It is a
+// radio-layer outcome, not a usage error: callers that intentionally
+// fire-and-forget (periodic beacons) may ignore it, while callers that
+// depend on delivery (waypoint commands) should check with errors.Is.
+var ErrOutOfRange = errors.New("telemetry: out of range")
 
 // Params configures the control channel.
 type Params struct {
@@ -88,10 +96,29 @@ type Bus struct {
 	p      Params
 	engine *sim.Engine
 	nodes  map[string]*Node
+	fault  func(now float64) bool
 
 	// Counters.
 	SentStatus, SentWaypoints       int64
 	DroppedRange, DeliveredMessages int64
+	DroppedFault                    int64
+}
+
+// SetFault installs an injected-loss hook consulted once per message send:
+// when it returns true the message is lost on the air (chaos-layer packet
+// loss or blackout). A nil hook restores the reliable channel.
+func (b *Bus) SetFault(f func(now float64) bool) { b.fault = f }
+
+// dropByFault reports whether the fault hook eats a message sent now.
+func (b *Bus) dropByFault() bool {
+	if b.fault == nil {
+		return false
+	}
+	if b.fault(b.engine.Now()) {
+		b.DroppedFault++
+		return true
+	}
+	return false
 }
 
 // NewBus creates the control channel on an engine.
@@ -130,7 +157,9 @@ func (b *Bus) inRange(from, to *Node) bool {
 	return from.Position().Dist(to.Position()) <= b.p.RangeM
 }
 
-// SendStatus broadcasts a status beacon to every other node in range.
+// SendStatus broadcasts a status beacon to every other node in range. It
+// returns ErrOutOfRange when listeners existed but none were reachable
+// (beacon senders typically ignore it — fire and forget).
 func (b *Bus) SendStatus(fromID string, st Status) error {
 	from, ok := b.nodes[fromID]
 	if !ok {
@@ -139,15 +168,21 @@ func (b *Bus) SendStatus(fromID string, st Status) error {
 	st.From = fromID
 	st.Time = b.engine.Now()
 	b.SentStatus++
+	if b.dropByFault() {
+		return nil // lost on the air: the sender cannot tell
+	}
 	delay := b.txDelay(statusBytes)
+	listeners, reached := 0, 0
 	for id, n := range b.nodes {
 		if id == fromID || n.OnStatus == nil {
 			continue
 		}
+		listeners++
 		if !b.inRange(from, n) {
 			b.DroppedRange++
 			continue
 		}
+		reached++
 		n := n
 		if _, err := b.engine.After(delay, func() {
 			b.DeliveredMessages++
@@ -156,10 +191,14 @@ func (b *Bus) SendStatus(fromID string, st Status) error {
 			return err
 		}
 	}
+	if listeners > 0 && reached == 0 {
+		return fmt.Errorf("telemetry: status from %q reached no listener: %w", fromID, ErrOutOfRange)
+	}
 	return nil
 }
 
-// SendWaypoint unicasts a waypoint command.
+// SendWaypoint unicasts a waypoint command. It returns ErrOutOfRange when
+// the pair is farther apart than the channel range.
 func (b *Bus) SendWaypoint(fromID string, wp Waypoint) error {
 	from, ok := b.nodes[fromID]
 	if !ok {
@@ -172,7 +211,10 @@ func (b *Bus) SendWaypoint(fromID string, wp Waypoint) error {
 	b.SentWaypoints++
 	if !b.inRange(from, to) {
 		b.DroppedRange++
-		return nil // out of range is a silent radio loss, not an API error
+		return fmt.Errorf("telemetry: waypoint %s→%s: %w", fromID, wp.To, ErrOutOfRange)
+	}
+	if b.dropByFault() {
+		return nil // lost on the air: the sender cannot tell
 	}
 	if to.OnWaypoint == nil {
 		return nil

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -119,19 +120,86 @@ func TestWaypointUnicast(t *testing.T) {
 	}
 }
 
-func TestWaypointOutOfRangeIsSilentLoss(t *testing.T) {
+func TestWaypointOutOfRangeIsTypedLoss(t *testing.T) {
 	b, e := newBus(t)
 	mustAttach(t, b, &Node{ID: "gcs", Position: fixedPos(geo.Vec3{})})
 	mustAttach(t, b, &Node{ID: "uav1", Position: fixedPos(geo.Vec3{X: 3000}),
 		OnWaypoint: func(Waypoint) { t.Error("beyond-range delivery") }})
-	if err := b.SendWaypoint("gcs", Waypoint{To: "uav1"}); err != nil {
-		t.Fatal(err)
+	err := b.SendWaypoint("gcs", Waypoint{To: "uav1"})
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if b.DroppedRange != 1 {
 		t.Fatalf("dropped = %d", b.DroppedRange)
+	}
+}
+
+func TestStatusOutOfRangeIsTypedLoss(t *testing.T) {
+	b, e := newBus(t)
+	mustAttach(t, b, &Node{ID: "uav1", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "gcs", Position: fixedPos(geo.Vec3{X: 3000}),
+		OnStatus: func(Status) { t.Error("beyond-range delivery") }})
+	// A node with no OnStatus handler is not a listener: its absence from
+	// coverage must not turn the send into an error.
+	mustAttach(t, b, &Node{ID: "mute", Position: fixedPos(geo.Vec3{X: 10})})
+	err := b.SendStatus("uav1", Status{})
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A bus with no listeners at all succeeds silently (nothing to miss).
+	lone, e2 := newBus(t)
+	mustAttach(t, lone, &Node{ID: "solo", Position: fixedPos(geo.Vec3{})})
+	if err := lone.SendStatus("solo", Status{}); err != nil {
+		t.Fatalf("lone sender errored: %v", err)
+	}
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultHookDropsMessages(t *testing.T) {
+	b, e := newBus(t)
+	var got int
+	mustAttach(t, b, &Node{ID: "a", Position: fixedPos(geo.Vec3{})})
+	mustAttach(t, b, &Node{ID: "b", Position: fixedPos(geo.Vec3{X: 10}),
+		OnStatus: func(Status) { got++ }, OnWaypoint: func(Waypoint) { got++ }})
+	drop := true
+	b.SetFault(func(now float64) bool { return drop })
+	if err := b.SendStatus("a", Status{}); err != nil {
+		t.Fatalf("chaos loss must look like silence, got %v", err)
+	}
+	if err := b.SendWaypoint("a", Waypoint{To: "b"}); err != nil {
+		t.Fatalf("chaos loss must look like silence, got %v", err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("delivered %d messages through an active fault", got)
+	}
+	if b.DroppedFault != 2 {
+		t.Fatalf("DroppedFault = %d, want 2", b.DroppedFault)
+	}
+	// Healing the fault restores delivery; a nil hook does too.
+	drop = false
+	if err := b.SendStatus("a", Status{}); err != nil {
+		t.Fatal(err)
+	}
+	b.SetFault(nil)
+	if err := b.SendWaypoint("a", Waypoint{To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("delivered = %d after healing, want 2", got)
 	}
 }
 

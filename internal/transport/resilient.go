@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// ResilientConfig controls a fault-tolerant batch transfer: the transfer
+// is cut into attempts with a per-attempt timeout; an attempt that stalls
+// (outage, deep fade) is abandoned and retried after a capped exponential
+// backoff with seeded jitter, and the delivered prefix carries across
+// attempts — the batch resumes, it never restarts.
+type ResilientConfig struct {
+	// Bytes is the batch size (Mdata).
+	Bytes int
+	// DeadlineS is the overall budget, attempts plus backoff.
+	DeadlineS float64
+	// AttemptTimeoutS caps one attempt. An attempt that has not finished
+	// the batch by then is abandoned (its delivered bytes are kept).
+	AttemptTimeoutS float64
+	// MaxAttempts bounds the retry count (0 = limited only by the
+	// deadline).
+	MaxAttempts int
+	// BackoffBaseS is the first retry delay; it doubles per attempt up to
+	// BackoffMaxS.
+	BackoffBaseS float64
+	BackoffMaxS  float64
+	// JitterFrac spreads each backoff uniformly in ±JitterFrac of itself
+	// (seeded — runs replay exactly).
+	JitterFrac float64
+	// Seed and Label derive the jitter substream.
+	Seed  int64
+	Label string
+}
+
+// DefaultResilientConfig returns a transfer tuned for the mission stack:
+// 30 s attempts, 1→16 s backoff with 20% jitter.
+func DefaultResilientConfig(bytes int, deadlineS float64) ResilientConfig {
+	return ResilientConfig{
+		Bytes:           bytes,
+		DeadlineS:       deadlineS,
+		AttemptTimeoutS: 30,
+		BackoffBaseS:    1,
+		BackoffMaxS:     16,
+		JitterFrac:      0.2,
+		Seed:            1,
+		Label:           "resilient",
+	}
+}
+
+// Validate reports the first implausible field.
+func (c ResilientConfig) Validate() error {
+	switch {
+	case c.Bytes <= 0:
+		return errors.New("transport: batch size must be positive")
+	case c.DeadlineS <= 0:
+		return errors.New("transport: deadline must be positive")
+	case c.AttemptTimeoutS <= 0:
+		return errors.New("transport: attempt timeout must be positive")
+	case c.BackoffBaseS < 0 || c.BackoffMaxS < c.BackoffBaseS:
+		return fmt.Errorf("transport: backoff window [%v, %v] invalid", c.BackoffBaseS, c.BackoffMaxS)
+	case c.JitterFrac < 0 || c.JitterFrac >= 1:
+		return fmt.Errorf("transport: jitter fraction %v outside [0, 1)", c.JitterFrac)
+	case c.MaxAttempts < 0:
+		return fmt.Errorf("transport: max attempts %v negative", c.MaxAttempts)
+	}
+	return nil
+}
+
+// ResilientResult is the outcome of a resilient transfer.
+type ResilientResult struct {
+	BatchResult
+	// Attempts is how many attempts ran (≥ 1).
+	Attempts int
+	// BackoffS is the total simulated time spent backing off.
+	BackoffS float64
+	// Resumed reports that delivery spanned more than one attempt — the
+	// partial-batch carry actually happened.
+	Resumed bool
+}
+
+// ResilientTransfer moves a batch over a link that may be degraded or
+// outright dead for stretches of the transfer. It is the survivable
+// counterpart of TransferBatch: same clock discipline (the link's clock is
+// the transfer clock, geometry is queried as it advances), but delivery is
+// always reliable (MAC drops are re-enqueued and accounted as
+// retransmissions) and progress survives attempt boundaries.
+func ResilientTransfer(l *link.Link, cfg ResilientConfig, geom GeometryFunc) (ResilientResult, error) {
+	if l == nil {
+		return ResilientResult{}, errors.New("transport: nil link")
+	}
+	if geom == nil {
+		return ResilientResult{}, errors.New("transport: nil geometry source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return ResilientResult{}, err
+	}
+
+	start := l.Now()
+	deadline := start + cfg.DeadlineS
+	target := int64(cfg.Bytes)
+	res := ResilientResult{BatchResult: BatchResult{CompletionS: math.Inf(1)}}
+	var delivered, attemptDelivered int64
+	backoff := cfg.BackoffBaseS
+	var jitter *stats.RNG // lazily built: an untroubled transfer draws nothing
+	nextSample := start
+
+	sample := func(d float64) {
+		res.Series = append(res.Series, SeriesPoint{
+			TimeS:       l.Now() - start,
+			DeliveredMB: float64(delivered) / 1e6,
+			DistanceM:   d,
+		})
+		nextSample = l.Now() + seriesInterval
+	}
+
+	for {
+		res.Attempts++
+		attemptDelivered = 0
+		attemptEnd := math.Min(l.Now()+cfg.AttemptTimeoutS, deadline)
+		// Top the queue up to the remaining deficit; bytes still queued
+		// from the previous attempt are not re-sent.
+		if deficit := int(target-delivered) - l.QueuedBytes(); deficit > 0 {
+			l.Enqueue(deficit)
+		}
+		droppedBefore := l.MAC().DroppedBytes
+		for l.Now() < attemptEnd && delivered < target {
+			g := geom(l.Now())
+			ex := l.Step(g)
+			delivered += int64(ex.DeliveredBytes)
+			attemptDelivered += int64(ex.DeliveredBytes)
+			// Reliable by construction: a batch that must arrive complete
+			// re-enqueues what the MAC gave up on.
+			if d := l.MAC().DroppedBytes - droppedBefore; d > 0 {
+				droppedBefore = l.MAC().DroppedBytes
+				res.RetransmittedBytes += d
+				l.Enqueue(int(d))
+			}
+			if l.Now() >= nextSample || delivered >= target {
+				sample(g.DistanceM)
+			}
+		}
+		if attemptDelivered > 0 && delivered > attemptDelivered {
+			res.Resumed = true // bytes landed in two or more attempts
+		}
+		if delivered >= target {
+			res.CompletionS = l.Now() - start
+			break
+		}
+		if l.Now() >= deadline || (cfg.MaxAttempts > 0 && res.Attempts >= cfg.MaxAttempts) {
+			break
+		}
+		// Backoff before the next attempt: capped exponential with seeded
+		// jitter, clamped to the remaining budget.
+		b := backoff
+		if cfg.JitterFrac > 0 {
+			if jitter == nil {
+				jitter = stats.NewRNG(cfg.Seed).Substream(cfg.Seed, cfg.Label+"/backoff")
+			}
+			b *= 1 + cfg.JitterFrac*(2*jitter.Float64()-1)
+		}
+		b = math.Min(b, deadline-l.Now())
+		if b > 0 {
+			l.SetNow(l.Now() + b)
+			res.BackoffS += b
+		}
+		backoff = math.Min(backoff*2, cfg.BackoffMaxS)
+	}
+	res.DeliveredBytes = delivered
+	return res, nil
+}

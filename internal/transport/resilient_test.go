@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/rate"
+)
+
+func resilientCfg(bytes int, deadline float64) ResilientConfig {
+	cfg := DefaultResilientConfig(bytes, deadline)
+	cfg.AttemptTimeoutS = 5
+	return cfg
+}
+
+func TestResilientValidation(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	geom := staticGeom(20, 10)
+	if _, err := ResilientTransfer(nil, resilientCfg(1, 1), geom); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, err := ResilientTransfer(l, resilientCfg(1, 1), nil); err == nil {
+		t.Fatal("nil geometry accepted")
+	}
+	bad := []ResilientConfig{
+		{Bytes: 0, DeadlineS: 1, AttemptTimeoutS: 1},
+		{Bytes: 1, DeadlineS: 0, AttemptTimeoutS: 1},
+		{Bytes: 1, DeadlineS: 1, AttemptTimeoutS: 0},
+		{Bytes: 1, DeadlineS: 1, AttemptTimeoutS: 1, BackoffBaseS: 2, BackoffMaxS: 1},
+		{Bytes: 1, DeadlineS: 1, AttemptTimeoutS: 1, JitterFrac: 1},
+		{Bytes: 1, DeadlineS: 1, AttemptTimeoutS: 1, MaxAttempts: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := ResilientTransfer(l, cfg, geom); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestResilientCompletesCleanLinkInOneAttempt(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	res, err := ResilientTransfer(l, resilientCfg(2_000_000, 30), staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) || res.DeliveredBytes < 2_000_000 {
+		t.Fatalf("clean transfer incomplete: %+v", res)
+	}
+	if res.Attempts != 1 || res.Resumed || res.BackoffS != 0 {
+		t.Fatalf("clean transfer was not a single attempt: %+v", res)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no progress series")
+	}
+}
+
+func TestResilientResumesAcrossOutage(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	// The link dies from t=2 to t=12: longer than one attempt timeout, so
+	// the transfer must survive at least one abandoned attempt and resume
+	// the partial batch afterwards.
+	l.SetFault(func(now float64) (bool, float64) { return now >= 2 && now < 12, 0 })
+	res, err := ResilientTransfer(l, resilientCfg(24_000_000, 120), staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("did not complete around a 10 s outage: %+v", res)
+	}
+	if res.DeliveredBytes < 24_000_000 {
+		t.Fatalf("delivered = %d", res.DeliveredBytes)
+	}
+	if res.Attempts < 2 || !res.Resumed {
+		t.Fatalf("outage survived without resuming: attempts=%d resumed=%v", res.Attempts, res.Resumed)
+	}
+	if res.BackoffS <= 0 {
+		t.Fatalf("no backoff recorded: %+v", res)
+	}
+}
+
+func TestResilientPartialOnDeadLink(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	// Deliver for 3 s, then the link dies for good.
+	l.SetFault(func(now float64) (bool, float64) { return now >= 3, 0 })
+	res, err := ResilientTransfer(l, resilientCfg(50_000_000, 40), staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.CompletionS, 1) {
+		t.Fatal("completed over a dead link")
+	}
+	if res.DeliveredBytes <= 0 || res.DeliveredBytes >= 50_000_000 {
+		t.Fatalf("partial delivery = %d", res.DeliveredBytes)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("dead link probed only %d times", res.Attempts)
+	}
+	// The clock never overruns the budget by more than one attempt slice.
+	if res.BackoffS > 40 {
+		t.Fatalf("backoff %v exceeded the whole deadline", res.BackoffS)
+	}
+}
+
+func TestResilientMaxAttemptsBounds(t *testing.T) {
+	l := newLink(t, rate.NewFixed(3))
+	l.SetFault(func(float64) (bool, float64) { return true, 0 }) // always down
+	cfg := resilientCfg(1_000_000, 1000)
+	cfg.MaxAttempts = 3
+	res, err := ResilientTransfer(l, cfg, staticGeom(20, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want exactly 3", res.Attempts)
+	}
+	if res.DeliveredBytes != 0 {
+		t.Fatalf("delivered %d through a permanently dead link", res.DeliveredBytes)
+	}
+}
+
+func TestResilientDeterministicReplay(t *testing.T) {
+	run := func() ResilientResult {
+		l := newLink(t, rate.NewFixed(3))
+		l.SetFault(func(now float64) (bool, float64) { return now >= 1 && now < 8, 15 })
+		cfg := resilientCfg(4_000_000, 90)
+		cfg.Seed = 42
+		res, err := ResilientTransfer(l, cfg, staticGeom(30, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CompletionS != b.CompletionS || a.DeliveredBytes != b.DeliveredBytes ||
+		a.Attempts != b.Attempts || a.BackoffS != b.BackoffS ||
+		a.RetransmittedBytes != b.RetransmittedBytes {
+		t.Fatalf("seeded runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestResilientMatchesReliableBatchOnCleanLink(t *testing.T) {
+	// On an untroubled link the resilient wrapper should deliver the same
+	// bytes in essentially the same time as the plain reliable transfer.
+	const bytes = 3_000_000
+	lb := newLink(t, rate.NewFixed(3))
+	plain, err := TransferBatch(lb, BatchConfig{Bytes: bytes, DeadlineS: 60, Reliable: true},
+		staticGeom(25, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := newLink(t, rate.NewFixed(3))
+	cfg := resilientCfg(bytes, 60)
+	cfg.AttemptTimeoutS = 60
+	res, err := ResilientTransfer(lr, cfg, staticGeom(25, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CompletionS-plain.CompletionS) > 0.5 {
+		t.Fatalf("resilient %v s vs plain %v s on a clean link", res.CompletionS, plain.CompletionS)
+	}
+}

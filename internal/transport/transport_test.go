@@ -98,6 +98,69 @@ func TestReliableRetransmitsDrops(t *testing.T) {
 	}
 }
 
+func TestUnreliableStopsWhenQueueExhausted(t *testing.T) {
+	// Unreliable mode over a lossy geometry: once every queued byte has
+	// either landed or died at the MAC retry limit, the transfer must exit
+	// early rather than spin until the deadline.
+	l := newLink(t, rate.NewFixed(4))
+	res, err := TransferBatch(l, BatchConfig{Bytes: 500_000, DeadlineS: 600, Reliable: false},
+		staticGeom(90, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := l.MAC().DroppedBytes
+	if dropped == 0 {
+		t.Fatal("geometry produced no MAC drops; the early-exit branch was not exercised")
+	}
+	if !math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("lossy unreliable transfer reported completion %v", res.CompletionS)
+	}
+	if res.DeliveredBytes >= 500_000 {
+		t.Fatalf("delivered %d with %d dropped", res.DeliveredBytes, dropped)
+	}
+	if res.DeliveredBytes+dropped < 500_000 {
+		t.Fatalf("exited with work outstanding: delivered %d + dropped %d < batch", res.DeliveredBytes, dropped)
+	}
+	if l.QueuedBytes() != 0 {
+		t.Fatalf("queue not exhausted: %d bytes left", l.QueuedBytes())
+	}
+	if res.RetransmittedBytes != 0 {
+		t.Fatalf("unreliable transfer retransmitted %d bytes", res.RetransmittedBytes)
+	}
+	// The early exit happened long before the (deliberately huge) deadline.
+	if l.Now() > 300 {
+		t.Fatalf("transfer ran to %v s instead of exiting when the queue drained", l.Now())
+	}
+}
+
+func TestReliableAccountsRetransmissions(t *testing.T) {
+	// Sustained heavy drop: every MAC-dropped byte must show up in
+	// RetransmittedBytes, and the delivered total must still reach the
+	// batch size exactly once (retransmissions do not inflate it).
+	l := newLink(t, rate.NewFixed(4))
+	const batch = 1_000_000
+	res, err := TransferBatch(l, BatchConfig{Bytes: batch, DeadlineS: 600, Reliable: true},
+		staticGeom(90, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CompletionS, 1) {
+		t.Fatalf("reliable transfer did not finish: delivered %d", res.DeliveredBytes)
+	}
+	if res.RetransmittedBytes == 0 {
+		t.Fatal("hostile geometry produced no retransmissions")
+	}
+	// Everything the MAC gave up on was re-enqueued, so the account must
+	// match the MAC's drop counter (up to drops from the final re-enqueue
+	// that may still be queued at exit).
+	if res.RetransmittedBytes > l.MAC().DroppedBytes {
+		t.Fatalf("retransmitted %d > MAC dropped %d", res.RetransmittedBytes, l.MAC().DroppedBytes)
+	}
+	if res.DeliveredBytes < batch || res.DeliveredBytes > batch+100_000 {
+		t.Fatalf("delivered %d for a %d-byte batch", res.DeliveredBytes, batch)
+	}
+}
+
 func TestSeriesMonotone(t *testing.T) {
 	l := newLink(t, rate.NewFixed(2))
 	res, err := TransferBatch(l, BatchConfig{Bytes: 3_000_000, DeadlineS: 60, Reliable: true},

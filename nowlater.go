@@ -32,6 +32,7 @@ package nowlater
 import (
 	"io"
 
+	"github.com/nowlater/nowlater/internal/chaos"
 	"github.com/nowlater/nowlater/internal/core"
 	"github.com/nowlater/nowlater/internal/experiments"
 	"github.com/nowlater/nowlater/internal/failure"
@@ -351,6 +352,74 @@ func TransferBatch(l *Link, bytes int, deadlineS float64, geom GeometryFunc) (tr
 	return transport.TransferBatch(l, transport.BatchConfig{
 		Bytes: bytes, DeadlineS: deadlineS, Reliable: true,
 	}, geom)
+}
+
+// --- Chaos layer: fault injection and resilience ---------------------------
+
+// ChaosSchedule is a scripted, seedable fault plan: telemetry loss and
+// blackouts, GPS outages and degradation, link outages and deep fades,
+// and mid-flight vehicle failures — all declared on half-open time
+// windows [StartS, EndS) and replayed deterministically. Attach one to a
+// FleetConfig (Chaos field) or to cmd/uavsim via -chaos <file>.
+type ChaosSchedule = chaos.Schedule
+
+// ChaosWindow is a half-open activity window [StartS, EndS).
+type ChaosWindow = chaos.Window
+
+// The fault declarations a ChaosSchedule is built from.
+type (
+	TelemetryFault = chaos.TelemetryFault
+	GPSFault       = chaos.GPSFault
+	LinkFault      = chaos.LinkFault
+	VehicleFault   = chaos.VehicleFault
+)
+
+// ChaosWildcard targets every vehicle in ID-matched fault classes.
+const ChaosWildcard = chaos.Wildcard
+
+// ParseChaos reads the chaos text format (one fault per line; see
+// internal/chaos.Parse for the grammar) and validates the schedule.
+func ParseChaos(r io.Reader) (*ChaosSchedule, error) { return chaos.Parse(r) }
+
+// ParseChaosString parses the chaos text format from a string.
+func ParseChaosString(text string) (*ChaosSchedule, error) { return chaos.ParseString(text) }
+
+// LoadChaos reads and parses a chaos schedule file.
+func LoadChaos(path string) (*ChaosSchedule, error) { return chaos.Load(path) }
+
+// ResilientConfig tunes a fault-tolerant batch transfer: per-attempt
+// timeout, capped exponential backoff with seeded jitter, and resumable
+// partial batches.
+type ResilientConfig = transport.ResilientConfig
+
+// ResilientResult is a resilient transfer's outcome (attempt count,
+// backoff spent, whether delivery spanned attempts).
+type ResilientResult = transport.ResilientResult
+
+// DefaultResilientConfig returns the mission-stack tuning: 30 s
+// attempts, 1→16 s backoff with 20% jitter.
+func DefaultResilientConfig(bytes int, deadlineS float64) ResilientConfig {
+	return transport.DefaultResilientConfig(bytes, deadlineS)
+}
+
+// ResilientTransfer is the survivable counterpart of TransferBatch: it
+// rides out link outages and deep fades by slicing the transfer into
+// attempts, backing off between them, and resuming the delivered prefix.
+func ResilientTransfer(l *Link, cfg ResilientConfig, geom GeometryFunc) (ResilientResult, error) {
+	return transport.ResilientTransfer(l, cfg, geom)
+}
+
+// Survivability experiment result types (cmd/experiments -fig chaos).
+type (
+	SurvivabilityPoint  = experiments.SurvivabilityPoint
+	SurvivabilityResult = experiments.SurvivabilityResult
+)
+
+// Survivability runs the chaos experiment: delivery ratio and median
+// delay versus fault intensity, the naive and resilient postures paired
+// on identical seeds and schedules.
+func Survivability(cfg ExperimentConfig) (SurvivabilityResult, error) {
+	return experiments.Survivability(cfg)
 }
 
 // SurfaceThroughput is a measured s(d, v) surface (bilinear interpolation)

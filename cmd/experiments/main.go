@@ -7,17 +7,48 @@
 //	experiments                  # everything, publication-scale workload
 //	experiments -quick           # reduced workload
 //	experiments -only fig5,fig6  # a subset (table1, fig1, fig4..fig9, ablations)
+//	experiments -workers 4       # bounded trial parallelism (0 = one per core)
+//	experiments -bench           # also write BENCH_experiments.json timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	nowlater "github.com/nowlater/nowlater"
 	"github.com/nowlater/nowlater/internal/experiments"
+	"github.com/nowlater/nowlater/internal/runner"
 )
+
+// stepBench is the recorded timing of one figure/table step.
+type stepBench struct {
+	Name string `json:"name"`
+	// WallS is the end-to-end wall-clock of the step, rendering included.
+	WallS float64 `json:"wall_s"`
+	// Sweeps are the runner-pool statistics of every trial sweep the step
+	// ran (empty for purely analytic steps).
+	Sweeps []runner.RunStats `json:"sweeps,omitempty"`
+}
+
+// benchReport is the schema of BENCH_experiments.json.
+type benchReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    int         `json:"workers"`
+	Quick      bool        `json:"quick"`
+	Seed       int64       `json:"seed"`
+	Steps      []stepBench `json:"steps"`
+	// ChaosSpeedupVsSerial is the chaos step's wall-clock at the requested
+	// worker count relative to a workers=1 re-run (recorded as the
+	// "chaos-workers1-baseline" step). On a single-core host this hovers
+	// near 1 — the pool buys overlap, not extra silicon.
+	ChaosSpeedupVsSerial float64 `json:"chaos_speedup_vs_serial,omitempty"`
+}
 
 func main() {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
@@ -26,6 +57,8 @@ func main() {
 	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos")
 	fig := fs.String("fig", "", "alias for -only")
 	seed := fs.Int64("seed", 1, "root random seed")
+	workers := fs.Int("workers", 0, "trial-pool size (0 = one worker per core); results are identical for any value")
+	bench := fs.Bool("bench", false, "write per-figure timings to BENCH_experiments.json in the working directory")
 	_ = fs.Parse(os.Args[1:])
 
 	cfg := nowlater.DefaultExperimentConfig()
@@ -33,6 +66,7 @@ func main() {
 		cfg = nowlater.QuickExperimentConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	for _, sel := range []string{*only, *fig} {
@@ -45,22 +79,28 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	runner := &runner{cfg: cfg, outDir: *out}
+	run := &runnerCmd{cfg: cfg, outDir: *out}
 	steps := []struct {
 		name string
 		fn   func() error
 	}{
-		{"table1", runner.table1},
-		{"fig1", runner.fig1},
-		{"fig4", runner.fig4},
-		{"fig5", runner.fig5},
-		{"fig6", runner.fig6},
-		{"fig7", runner.fig7},
-		{"fig8", runner.fig8},
-		{"fig9", runner.fig9},
-		{"ablations", runner.ablations},
-		{"mission", runner.missionLevel},
-		{"chaos", runner.survivability},
+		{"table1", run.table1},
+		{"fig1", run.fig1},
+		{"fig4", run.fig4},
+		{"fig5", run.fig5},
+		{"fig6", run.fig6},
+		{"fig7", run.fig7},
+		{"fig8", run.fig8},
+		{"fig9", run.fig9},
+		{"ablations", run.ablations},
+		{"mission", run.missionLevel},
+		{"chaos", run.survivability},
+	}
+	report := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Quick:      *quick,
+		Seed:       *seed,
 	}
 	failed := false
 	for _, s := range steps {
@@ -68,9 +108,51 @@ func main() {
 			continue
 		}
 		fmt.Printf("=== %s ===\n", s.name)
-		if err := s.fn(); err != nil {
+		runner.ResetMetrics()
+		start := time.Now()
+		err := s.fn()
+		wall := time.Since(start).Seconds()
+		sweeps := runner.Metrics()
+		report.Steps = append(report.Steps, stepBench{Name: s.name, WallS: wall, Sweeps: sweeps})
+		trials := 0
+		for _, sw := range sweeps {
+			trials += sw.Completed
+		}
+		fmt.Printf("--- %s: %.2f s wall, %d trials over %d sweeps\n", s.name, wall, trials, len(sweeps))
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
 			failed = true
+		}
+	}
+	if *bench && sel("chaos") {
+		// Serial baseline for the speedup record: same seed, workers
+		// pinned to 1, bit-identical output (so overwriting chaos.csv is
+		// harmless).
+		baseCfg := cfg
+		baseCfg.Workers = 1
+		base := &runnerCmd{cfg: baseCfg, outDir: *out}
+		runner.ResetMetrics()
+		start := time.Now()
+		if err := base.survivability(); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos workers=1 baseline:", err)
+			failed = true
+		}
+		wall := time.Since(start).Seconds()
+		report.Steps = append(report.Steps, stepBench{
+			Name: "chaos-workers1-baseline", WallS: wall, Sweeps: runner.Metrics(),
+		})
+		for _, s := range report.Steps {
+			if s.Name == "chaos" && s.WallS > 0 {
+				report.ChaosSpeedupVsSerial = wall / s.WallS
+			}
+		}
+	}
+	if *bench {
+		if err := writeBench("BENCH_experiments.json", report); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			failed = true
+		} else {
+			fmt.Println("bench timings written to BENCH_experiments.json")
 		}
 	}
 	if failed {
@@ -79,7 +161,20 @@ func main() {
 	fmt.Printf("\nCSV output written under %s/\n", *out)
 }
 
-type runner struct {
+func writeBench(path string, report benchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+type runnerCmd struct {
 	cfg    experiments.Config
 	outDir string
 }

@@ -9,7 +9,7 @@ import (
 	"github.com/nowlater/nowlater/internal/experiments"
 )
 
-func quietRunner(t *testing.T) (*runner, func() string) {
+func quietRunner(t *testing.T) (*runnerCmd, func() string) {
 	t.Helper()
 	dir := t.TempDir()
 	old := os.Stdout
@@ -32,7 +32,7 @@ func quietRunner(t *testing.T) (*runner, func() string) {
 		}
 		return string(out)
 	}
-	return &runner{cfg: experiments.QuickConfig(), outDir: dir}, done
+	return &runnerCmd{cfg: experiments.QuickConfig(), outDir: dir}, done
 }
 
 func TestTable1Step(t *testing.T) {

@@ -13,9 +13,9 @@ import (
 	"github.com/nowlater/nowlater/internal/trace"
 )
 
-func (r *runner) path(name string) string { return filepath.Join(r.outDir, name) }
+func (r *runnerCmd) path(name string) string { return filepath.Join(r.outDir, name) }
 
-func (r *runner) table1() error {
+func (r *runnerCmd) table1() error {
 	tab := nowlater.Table1()
 	rendered := trace.Table("Table 1: Main features of the flying platforms", tab.Header, tab.Rows)
 	fmt.Print(rendered)
@@ -25,7 +25,7 @@ func (r *runner) table1() error {
 	return os.WriteFile(r.path("table1.txt"), []byte(rendered), 0o644)
 }
 
-func (r *runner) fig1() error {
+func (r *runnerCmd) fig1() error {
 	res, err := experiments.Fig1(r.cfg)
 	if err != nil {
 		return err
@@ -57,7 +57,7 @@ func (r *runner) fig1() error {
 		[]string{"strategy_idx", "time_s", "delivered_mb", "distance_m"}, rows)
 }
 
-func (r *runner) fig4() error {
+func (r *runnerCmd) fig4() error {
 	res, err := experiments.Fig4(r.cfg)
 	if err != nil {
 		return err
@@ -90,7 +90,7 @@ func (r *runner) fig4() error {
 		[]string{"vehicle_idx", "time_s", "lat_deg", "lon_deg", "alt_m"}, rows)
 }
 
-func (r *runner) fig5() error {
+func (r *runnerCmd) fig5() error {
 	res, err := experiments.Fig5(r.cfg)
 	if err != nil {
 		return err
@@ -113,7 +113,7 @@ func (r *runner) fig5() error {
 		[]string{"distance_m", "median_mbps", "q1", "q3", "whisker_lo", "whisker_hi", "n"}, rows)
 }
 
-func (r *runner) fig6() error {
+func (r *runnerCmd) fig6() error {
 	res, err := experiments.Fig6(r.cfg)
 	if err != nil {
 		return err
@@ -140,7 +140,7 @@ func (r *runner) fig6() error {
 		[]string{"distance_m", "auto_median_mbps", "best_median_mbps", "best_mcs"}, rows)
 }
 
-func (r *runner) fig7() error {
+func (r *runnerCmd) fig7() error {
 	res, err := experiments.Fig7(r.cfg)
 	if err != nil {
 		return err
@@ -178,7 +178,7 @@ func (r *runner) fig7() error {
 		[]string{"panel", "x", "median_mbps", "q1", "q3"}, rows)
 }
 
-func (r *runner) fig8() error {
+func (r *runnerCmd) fig8() error {
 	res, err := experiments.Fig8(r.cfg)
 	if err != nil {
 		return err
@@ -211,7 +211,7 @@ func (r *runner) fig8() error {
 		[]string{"curve_idx", "rho", "d_m", "utility"}, rows)
 }
 
-func (r *runner) fig9() error {
+func (r *runnerCmd) fig9() error {
 	res, err := experiments.Fig9(r.cfg)
 	if err != nil {
 		return err
@@ -261,7 +261,7 @@ func (r *runner) fig9() error {
 		[]string{"mdata_mb", "speed_mps", "dopt_m", "utility", "at_minimum"}, rows)
 }
 
-func (r *runner) ablations() error {
+func (r *runnerCmd) ablations() error {
 	type ab struct {
 		name string
 		fn   func(experiments.Config) (experiments.AblationResult, error)
@@ -290,6 +290,15 @@ func (r *runner) ablations() error {
 		[]string{"ablation_idx", "variant_idx", "value"}, rows)
 }
 
+// fmtOrNA renders v with the given verb, or "n/a" when v is NaN — a median
+// or mean over zero completed deliveries is absent data, not a zero.
+func fmtOrNA(format string, v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 func b2f(b bool) float64 {
 	if b {
 		return 1
@@ -313,20 +322,20 @@ func maxOf(xs []float64) float64 {
 	return m
 }
 
-func (r *runner) missionLevel() error {
+func (r *runnerCmd) missionLevel() error {
 	res, err := experiments.MissionLevel(r.cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  mission-level extension (%d paired runs, ρ=8e−4):\n", res.Runs)
-	fmt.Printf("    naive      makespan %.0f s, delivery ratio %.2f\n", res.NaiveMakespanS, res.NaiveDeliveryRatio)
-	fmt.Printf("    rendezvous makespan %.0f s, delivery ratio %.2f\n", res.RendezvousMakespanS, res.RendezvousDeliveryRatio)
+	fmt.Printf("    naive      makespan %s s, delivery ratio %.2f\n", fmtOrNA("%.0f", res.NaiveMakespanS), res.NaiveDeliveryRatio)
+	fmt.Printf("    rendezvous makespan %s s, delivery ratio %.2f\n", fmtOrNA("%.0f", res.RendezvousMakespanS), res.RendezvousDeliveryRatio)
 	return trace.WriteCSV(r.path("mission.csv"),
 		[]string{"naive_makespan_s", "rendezvous_makespan_s", "naive_ratio", "rendezvous_ratio"},
 		[][]float64{{res.NaiveMakespanS, res.RendezvousMakespanS, res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio}})
 }
 
-func (r *runner) survivability() error {
+func (r *runnerCmd) survivability() error {
 	res, err := experiments.Survivability(r.cfg)
 	if err != nil {
 		return err
@@ -336,9 +345,9 @@ func (r *runner) survivability() error {
 	resil := trace.Series{Name: "resilient"}
 	var rows [][]float64
 	for _, p := range res.Points {
-		fmt.Printf("    intensity %.2f: naive ratio %.3f (delay %.0f s, %d partial) vs resilient %.3f (delay %.0f s, %d partial)\n",
-			p.Intensity, p.NaiveDeliveryRatio, p.NaiveMedianDelayS, p.NaivePartials,
-			p.ResilientDeliveryRatio, p.ResilientMedianDelayS, p.ResilientPartials)
+		fmt.Printf("    intensity %.2f: naive ratio %.3f (delay %s s, %d partial) vs resilient %.3f (delay %s s, %d partial)\n",
+			p.Intensity, p.NaiveDeliveryRatio, fmtOrNA("%.0f", p.NaiveMedianDelayS), p.NaivePartials,
+			p.ResilientDeliveryRatio, fmtOrNA("%.0f", p.ResilientMedianDelayS), p.ResilientPartials)
 		naive.X = append(naive.X, p.Intensity)
 		naive.Y = append(naive.Y, p.NaiveDeliveryRatio)
 		resil.X = append(resil.X, p.Intensity)

@@ -28,20 +28,27 @@ func AblationAggregation(cfg Config) (AblationResult, error) {
 		return AblationResult{}, err
 	}
 	res := AblationResult{Unit: "Mb/s"}
-	for _, agg := range []int{1, 4, 14} {
+	aggs := []int{1, 4, 14}
+	values, err := mapN(cfg, "ablation/agg", len(aggs), func(i int) (float64, error) {
 		lcfg := link.DefaultConfig()
 		lcfg.Seed = cfg.Seed
 		lcfg.Label = "ablation/agg"
-		lcfg.MAC.MaxAggregation = agg
+		lcfg.MAC.MaxAggregation = aggs[i]
 		l, err := link.New(lcfg, rate.NewFixed(3))
 		if err != nil {
-			return AblationResult{}, err
+			return 0, err
 		}
 		// Clean geometry: the comparison isolates DCF amortization, not
 		// the link budget.
 		m := l.Measure(link.Geometry{DistanceM: 5, AltitudeM: 90}, cfg.TrialSeconds)
+		return m.ThroughputBps / 1e6, nil
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for i, agg := range aggs {
 		res.Labels = append(res.Labels, "ampdu="+strconv.Itoa(agg))
-		res.Values = append(res.Values, m.ThroughputBps/1e6)
+		res.Values = append(res.Values, values[i])
 	}
 	return res, nil
 }
@@ -62,7 +69,8 @@ func AblationPHYFeatures(cfg Config) (AblationResult, error) {
 		{"40MHz/LGI", true, false},
 		{"40MHz/SGI", true, true},
 	}
-	for _, v := range variants {
+	values, err := mapN(cfg, "ablation/phy", len(variants), func(i int) (float64, error) {
+		v := variants[i]
 		lcfg := link.DefaultConfig()
 		lcfg.Seed = cfg.Seed
 		lcfg.Label = "ablation/phy/" + v.name
@@ -73,13 +81,19 @@ func AblationPHYFeatures(cfg Config) (AblationResult, error) {
 		}
 		l, err := link.New(lcfg, rate.NewFixed(3))
 		if err != nil {
-			return AblationResult{}, err
+			return 0, err
 		}
 		// Short range and high altitude: ample SNR, so the comparison
 		// isolates the PHY feature rather than the link budget.
 		m := l.Measure(link.Geometry{DistanceM: 5, AltitudeM: 90}, cfg.TrialSeconds)
+		return m.ThroughputBps / 1e6, nil
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for i, v := range variants {
 		res.Labels = append(res.Labels, v.name)
-		res.Values = append(res.Values, m.ThroughputBps/1e6)
+		res.Values = append(res.Values, values[i])
 	}
 	return res, nil
 }
@@ -137,8 +151,7 @@ func AblationSpeedFading(cfg Config) (AblationResult, error) {
 		return AblationResult{}, err
 	}
 	measure := func(decoupled bool, v float64) (float64, error) {
-		var xs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
+		xs, err := mapTrials(cfg, "ablation/speedfade", func(trial int) (float64, error) {
 			lcfg := trialLinkConfig(cfg.Seed, "ablation/speedfade", trial)
 			if decoupled {
 				lcfg.Channel.OrientSpeedDB = 0
@@ -149,7 +162,10 @@ func AblationSpeedFading(cfg Config) (AblationResult, error) {
 				return 0, err
 			}
 			m := l.Measure(link.Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, cfg.TrialSeconds)
-			xs = append(xs, m.ThroughputBps/1e6)
+			return m.ThroughputBps / 1e6, nil
+		})
+		if err != nil {
+			return 0, err
 		}
 		return stats.MustMedian(xs), nil
 	}
@@ -222,15 +238,17 @@ func AblationAutoRate(cfg Config) (AblationResult, error) {
 	}
 	g := link.Geometry{DistanceM: 60, AltitudeM: 90, RelSpeedMPS: 18}
 	measure := func(mk func(lcfg link.Config) rate.Policy) (float64, error) {
-		var xs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
+		xs, err := mapTrials(cfg, "ablation/autorate", func(trial int) (float64, error) {
 			lcfg := trialLinkConfig(cfg.Seed, "ablation/autorate", trial)
 			l, err := link.New(lcfg, mk(lcfg))
 			if err != nil {
 				return 0, err
 			}
 			m := l.Measure(g, cfg.TrialSeconds)
-			xs = append(xs, m.ThroughputBps/1e6)
+			return m.ThroughputBps / 1e6, nil
+		})
+		if err != nil {
+			return 0, err
 		}
 		return stats.MustMedian(xs), nil
 	}
@@ -275,8 +293,7 @@ func AblationTwoRay(cfg Config) (AblationResult, error) {
 	fitFor := func(twoRay bool) (float64, error) {
 		var ds, meds []float64
 		for _, d := range []float64{20, 40, 80, 160, 320} {
-			var xs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
+			xs, err := mapTrials(cfg, "ablation/tworay", func(trial int) (float64, error) {
 				lcfg := trialLinkConfig(cfg.Seed, "ablation/tworay", trial)
 				lcfg.Channel.TwoRay = twoRay
 				lcfg.Channel.GroundReflectionCoeff = 0.7
@@ -285,7 +302,10 @@ func AblationTwoRay(cfg Config) (AblationResult, error) {
 					return 0, err
 				}
 				m := l.Measure(link.Geometry{DistanceM: d, AltitudeM: 90}, cfg.TrialSeconds)
-				xs = append(xs, m.ThroughputBps/1e6)
+				return m.ThroughputBps / 1e6, nil
+			})
+			if err != nil {
+				return 0, err
 			}
 			ds = append(ds, d)
 			meds = append(meds, stats.MustMedian(xs))

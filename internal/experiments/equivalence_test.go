@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/link"
+)
+
+// repr is a bit-faithful textual form of a result: unlike
+// reflect.DeepEqual it treats two NaNs as equal, and unlike JSON it
+// handles ±Inf (Fig 1's "did not finish" completion time).
+func repr(v any) string { return fmt.Sprintf("%#v", v) }
+
+// TestWorkerCountInvariance is the determinism contract of the runner port:
+// every experiment must produce bit-identical output whatever the worker
+// count, because each trial derives its randomness from its index alone and
+// aggregation happens in trial order after collection.
+func TestWorkerCountInvariance(t *testing.T) {
+	base := Config{Seed: 1, Trials: 2, TrialSeconds: 1}
+
+	cases := []struct {
+		name string
+		run  func(cfg Config) (any, error)
+	}{
+		{"fig5samples", func(cfg Config) (any, error) { return airplaneFlightSamples(cfg, "fig5", nil) }},
+		{"fig9", func(cfg Config) (any, error) { return Fig9(cfg) }},
+		{"mission", func(cfg Config) (any, error) { return MissionLevel(cfg) }},
+		{"chaos", func(cfg Config) (any, error) { return Survivability(cfg) }},
+		{"ablation-agg", func(cfg Config) (any, error) { return AblationAggregation(cfg) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := base
+			serialCfg.Workers = 1
+			serial, err := tc.run(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallelCfg := base
+			parallelCfg.Workers = 4
+			parallel, err := tc.run(parallelCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repr(serial) != repr(parallel) {
+				t.Errorf("workers=1 and workers=4 disagree:\n  serial:   %.200s\n  parallel: %.200s",
+					repr(serial), repr(parallel))
+			}
+		})
+	}
+}
+
+// TestLinkMeasureTrialsWorkerInvariance pins the same contract at the link
+// layer, where the trial fan-out originally lived.
+func TestLinkMeasureTrialsWorkerInvariance(t *testing.T) {
+	g := link.Geometry{DistanceM: 40, AltitudeM: 10}
+	serial, err := link.MeasureTrialsWorkers(link.DefaultConfig(), nil, g, 1.0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := link.MeasureTrialsWorkers(link.DefaultConfig(), nil, g, 1.0, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repr(serial) != repr(parallel) {
+		t.Errorf("MeasureTrials workers=1 vs workers=3 disagree:\n  %s\n  %s", repr(serial), repr(parallel))
+	}
+	// And the default entry point must match the explicit-workers one.
+	def, err := link.MeasureTrials(link.DefaultConfig(), nil, g, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repr(def) != repr(serial) {
+		t.Error("MeasureTrials disagrees with MeasureTrialsWorkers")
+	}
+}

@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/nowlater/nowlater/internal/runner"
 	"github.com/nowlater/nowlater/internal/stats"
 )
 
@@ -20,6 +22,11 @@ type Config struct {
 	Trials int
 	// TrialSeconds is the simulated duration of one measurement.
 	TrialSeconds float64
+	// Workers bounds the experiment engine's trial pool; ≤ 0 selects one
+	// worker per core. Results are bit-identical for any value (see
+	// internal/runner's determinism contract); 1 forces the serial order
+	// the equivalence tests compare against.
+	Workers int
 }
 
 // DefaultConfig reproduces the figures at publication quality.
@@ -41,6 +48,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("experiments: trial duration %v must be positive", c.TrialSeconds)
 	}
 	return nil
+}
+
+// mapTrials runs fn for each trial index on the shared bounded pool
+// (internal/runner), collecting results in trial order. Every trial loop in
+// this package routes through it: fn must derive all randomness from the
+// trial index so that any worker count reproduces the serial output
+// bit-for-bit.
+func mapTrials[T any](cfg Config, label string, fn func(trial int) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), cfg.Trials,
+		runner.Options{Workers: cfg.Workers, Label: label}, fn)
+}
+
+// mapN is mapTrials over an explicit index range (grid cells, variants,
+// strategies) rather than cfg.Trials.
+func mapN[T any](cfg Config, label string, n int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), n,
+		runner.Options{Workers: cfg.Workers, Label: label}, fn)
 }
 
 // DistanceBin is one boxplot column of a throughput-vs-distance figure.

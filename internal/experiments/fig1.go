@@ -77,20 +77,19 @@ func Fig1With(cfg Config, p Fig1Params) (Fig1Result, error) {
 	}
 	res := Fig1Result{Params: p}
 
-	// Hover-and-transmit at each target distance.
-	for _, target := range p.Targets {
-		st, err := fig1HoverStrategy(cfg, p, target)
-		if err != nil {
-			return Fig1Result{}, err
+	// Hover-and-transmit at each target distance, plus move-and-transmit as
+	// the last slot. Strategies run on the shared pool and are collected in
+	// target order, so the result matches the serial race.
+	strategies, err := mapN(cfg, "fig1/strategies", len(p.Targets)+1, func(i int) (Fig1Strategy, error) {
+		if i < len(p.Targets) {
+			return fig1HoverStrategy(cfg, p, p.Targets[i])
 		}
-		res.Strategies = append(res.Strategies, st)
-	}
-	// Move and transmit.
-	mv, err := fig1MovingStrategy(cfg, p)
+		return fig1MovingStrategy(cfg, p)
+	})
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	res.Strategies = append(res.Strategies, mv)
+	res.Strategies = strategies
 
 	best := math.Inf(1)
 	for _, st := range res.Strategies {

@@ -70,27 +70,32 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	}
 	res.AirplaneDistances = gps.PairwiseDistances(recvA.Trace(), recvB.Trace(), 0.5)
 
-	// (b) Quadrocopters hovering at 10 m at separations 20–80 m.
-	for _, d := range []float64{20, 40, 60, 80} {
+	// (b) Quadrocopters hovering at 10 m at separations 20–80 m. The
+	// separations run on the shared pool: each pair draws its GPS noise from
+	// label-keyed substreams (order-independent), and the traces are
+	// collected in separation order, so the result matches the serial sweep.
+	seps := []float64{20, 40, 60, 80}
+	pairs, err := mapN(cfg, "fig4/quads", len(seps), func(i int) ([2]Fig4Trace, error) {
+		d := seps[i]
 		q1, err := quadAt("quad-a", geo.Vec3{Z: 10})
 		if err != nil {
-			return Fig4Result{}, err
+			return [2]Fig4Trace{}, err
 		}
 		q2, err := quadAt("quad-b", geo.Vec3{X: d, Z: 10})
 		if err != nil {
-			return Fig4Result{}, err
+			return [2]Fig4Trace{}, err
 		}
 		q1.Hold(geo.Vec3{Z: 10})
 		q2.Hold(geo.Vec3{X: d, Z: 10})
 		r1, err := gps.NewReceiver(gps.DefaultParams(), frame,
 			rng.Substream(cfg.Seed, "fig4/quad-a/"+strconv.Itoa(int(d))))
 		if err != nil {
-			return Fig4Result{}, err
+			return [2]Fig4Trace{}, err
 		}
 		r2, err := gps.NewReceiver(gps.DefaultParams(), frame,
 			rng.Substream(cfg.Seed, "fig4/quad-b/"+strconv.Itoa(int(d))))
 		if err != nil {
-			return Fig4Result{}, err
+			return [2]Fig4Trace{}, err
 		}
 		for now := 0.0; now < cfg.TrialSeconds; now += tick {
 			q1.Step(tick)
@@ -98,10 +103,16 @@ func Fig4(cfg Config) (Fig4Result, error) {
 			r1.Observe(now, q1.Vehicle().Position())
 			r2.Observe(now, q2.Vehicle().Position())
 		}
-		res.Quads = append(res.Quads,
-			Fig4Trace{VehicleID: "quad-a-d" + strconv.Itoa(int(d)), Fixes: r1.Trace()},
-			Fig4Trace{VehicleID: "quad-b-d" + strconv.Itoa(int(d)), Fixes: r2.Trace()},
-		)
+		return [2]Fig4Trace{
+			{VehicleID: "quad-a-d" + strconv.Itoa(int(d)), Fixes: r1.Trace()},
+			{VehicleID: "quad-b-d" + strconv.Itoa(int(d)), Fixes: r2.Trace()},
+		}, nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	for _, pair := range pairs {
+		res.Quads = append(res.Quads, pair[0], pair[1])
 	}
 	return res, nil
 }

@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/stats"
@@ -51,55 +49,45 @@ func Fig5(cfg Config) (Fig5Result, error) {
 // airplaneFlightSamples runs cfg.Trials commuting flights and pools the
 // windowed throughput samples. policyName selects a fixed MCS ("mcsN") or
 // auto-rate (nil / empty).
+//
+// Trials are seeded independently and run on the shared bounded pool. The
+// whole trial body — autopilot and flight-state setup included — executes
+// inside the worker, so at most cfg.Workers trials exist at once (the old
+// hand-rolled fan-out spawned every goroutine up front); samples are pooled
+// per trial index to keep the output deterministic.
 func airplaneFlightSamples(cfg Config, label string, mkPolicy func(trial int) policySpec) ([]windowSample, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Trials are seeded independently, so they run concurrently; samples
-	// are gathered per trial index to keep the pooled set deterministic.
-	perTrial := make([][]windowSample, cfg.Trials)
-	errs := make([]error, cfg.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for trial := 0; trial < cfg.Trials; trial++ {
-		wg.Add(1)
-		go func(trial int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			a, err := planeAt("plane-a", geo.Vec3{X: 0, Z: 80})
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			b, err := planeAt("plane-b", geo.Vec3{X: 400, Z: 100})
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			commutePlanes(a, b, 400)
-			lcfg := trialLinkConfig(cfg.Seed, label, trial)
-			spec := policySpec{FixedMCS: -1} // default: Minstrel auto-rate
-			if mkPolicy != nil {
-				spec = mkPolicy(trial)
-			}
-			fp, err := newFlightPair(lcfg, spec.build(lcfg), a, b)
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			// One commute leg is 400 m at ~10 m/s: measure several legs so
-			// every distance bin fills.
-			duration := math.Max(cfg.TrialSeconds*10, 90)
-			perTrial[trial] = fp.measureWindowed(duration, 1.0)
-		}(trial)
-	}
-	wg.Wait()
-	var all []windowSample
-	for trial, samples := range perTrial {
-		if errs[trial] != nil {
-			return nil, errs[trial]
+	perTrial, err := mapTrials(cfg, label, func(trial int) ([]windowSample, error) {
+		a, err := planeAt("plane-a", geo.Vec3{X: 0, Z: 80})
+		if err != nil {
+			return nil, err
 		}
+		b, err := planeAt("plane-b", geo.Vec3{X: 400, Z: 100})
+		if err != nil {
+			return nil, err
+		}
+		commutePlanes(a, b, 400)
+		lcfg := trialLinkConfig(cfg.Seed, label, trial)
+		spec := policySpec{FixedMCS: -1} // default: Minstrel auto-rate
+		if mkPolicy != nil {
+			spec = mkPolicy(trial)
+		}
+		fp, err := newFlightPair(lcfg, spec.build(lcfg), a, b)
+		if err != nil {
+			return nil, err
+		}
+		// One commute leg is 400 m at ~10 m/s: measure several legs so
+		// every distance bin fills.
+		duration := math.Max(cfg.TrialSeconds*10, 90)
+		return fp.measureWindowed(duration, 1.0), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []windowSample
+	for _, samples := range perTrial {
 		all = append(all, samples...)
 	}
 	return all, nil

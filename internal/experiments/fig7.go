@@ -35,18 +35,23 @@ func Fig7(cfg Config) (Fig7Result, error) {
 	}
 	var res Fig7Result
 
-	// Left: hovering pairs at 20–80 m.
+	// Left: hovering pairs at 20–80 m; trials of one bin run on the pool.
 	hover := make(map[float64][]float64)
 	for _, d := range []float64{20, 30, 40, 50, 60, 70, 80} {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			lcfg := trialLinkConfig(cfg.Seed, fmt.Sprintf("fig7/hover/d%.0f", d), trial)
+		label := fmt.Sprintf("fig7/hover/d%.0f", d)
+		xs, err := mapTrials(cfg, label, func(trial int) (float64, error) {
+			lcfg := trialLinkConfig(cfg.Seed, label, trial)
 			l, err := link.New(lcfg, minstrelFor(lcfg))
 			if err != nil {
-				return Fig7Result{}, err
+				return 0, err
 			}
 			m := l.Measure(link.Geometry{DistanceM: d, AltitudeM: 10}, cfg.TrialSeconds)
-			hover[d] = append(hover[d], m.ThroughputBps/1e6)
+			return m.ThroughputBps / 1e6, nil
+		})
+		if err != nil {
+			return Fig7Result{}, err
 		}
+		hover[d] = xs
 	}
 	res.Hover = binSamples(hover)
 	if ds, meds := medians(res.Hover); len(ds) >= 3 {
@@ -56,13 +61,16 @@ func Fig7(cfg Config) (Fig7Result, error) {
 	}
 
 	// Centre: one quad approaches the hovering one at ≈8 m/s, binned by
-	// distance along the pass.
+	// distance along the pass. Passes run in parallel; binning happens
+	// afterwards in trial order, matching the serial accumulation.
+	perTrial, err := mapTrials(cfg, "fig7/approach", func(trial int) ([]windowSample, error) {
+		return fig7ApproachRun(cfg, trial)
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
 	moving := make(map[float64][]float64)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		samples, err := fig7ApproachRun(cfg, trial)
-		if err != nil {
-			return Fig7Result{}, err
-		}
+	for _, samples := range perTrial {
 		for _, s := range samples {
 			bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
 			if bin < 20 || bin > 80 {
@@ -75,15 +83,18 @@ func Fig7(cfg Config) (Fig7Result, error) {
 
 	// Right: orbiting at ~60 m separation at different cruise speeds.
 	for _, v := range []float64{0, 2, 4, 6, 8, 10, 12, 15} {
-		var xs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			lcfg := trialLinkConfig(cfg.Seed, fmt.Sprintf("fig7/speed/v%.0f", v), trial)
+		label := fmt.Sprintf("fig7/speed/v%.0f", v)
+		xs, err := mapTrials(cfg, label, func(trial int) (float64, error) {
+			lcfg := trialLinkConfig(cfg.Seed, label, trial)
 			l, err := link.New(lcfg, minstrelFor(lcfg))
 			if err != nil {
-				return Fig7Result{}, err
+				return 0, err
 			}
 			m := l.Measure(link.Geometry{DistanceM: 60, AltitudeM: 10, RelSpeedMPS: v}, cfg.TrialSeconds)
-			xs = append(xs, m.ThroughputBps/1e6)
+			return m.ThroughputBps / 1e6, nil
+		})
+		if err != nil {
+			return Fig7Result{}, err
 		}
 		box, err := stats.Summarize(xs)
 		if err != nil {

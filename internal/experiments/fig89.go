@@ -37,39 +37,41 @@ func Fig8(cfg Config) (Fig8Result, error) {
 	}
 	var res Fig8Result
 	var err error
-	res.Airplane, err = fig8For(core.AirplaneBaseline(), failure.AirplaneRho)
+	res.Airplane, err = fig8For(cfg, "fig8/airplane", core.AirplaneBaseline(), failure.AirplaneRho)
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	res.Quadrocopter, err = fig8For(core.QuadrocopterBaseline(), failure.QuadrocopterRho)
+	res.Quadrocopter, err = fig8For(cfg, "fig8/quad", core.QuadrocopterBaseline(), failure.QuadrocopterRho)
 	if err != nil {
 		return Fig8Result{}, err
 	}
 	return res, nil
 }
 
-func fig8For(base core.Scenario, nominal float64) ([]Fig8Curve, error) {
-	var curves []Fig8Curve
-	for _, rho := range fig8Rhos(nominal) {
+// fig8For evaluates the curves of one baseline; the rhos run on the shared
+// pool and the curves are collected in rho order.
+func fig8For(cfg Config, label string, base core.Scenario, nominal float64) ([]Fig8Curve, error) {
+	rhos := fig8Rhos(nominal)
+	return mapN(cfg, label, len(rhos), func(i int) (Fig8Curve, error) {
+		rho := rhos[i]
 		sc := base
 		m, err := failure.NewModel(rho)
 		if err != nil {
-			return nil, err
+			return Fig8Curve{}, err
 		}
 		sc.Failure = m
 		pts, err := sc.UtilityCurve(fig8CurvePoints)
 		if err != nil {
-			return nil, err
+			return Fig8Curve{}, err
 		}
 		opt, err := sc.Optimize()
 		if err != nil {
-			return nil, err
+			return Fig8Curve{}, err
 		}
-		curves = append(curves, Fig8Curve{
+		return Fig8Curve{
 			Rho: rho, Points: pts, DoptM: opt.DoptM, UMax: opt.Utility, Optimum: opt,
-		})
-	}
-	return curves, nil
+		}, nil
+	})
 }
 
 // Fig9Point is one (Mdata, v) cell of the Fig. 9 sweep.
@@ -102,23 +104,30 @@ func Fig9(cfg Config) (Fig9Result, error) {
 		SpeedSet: []float64{3, 5, 10, 15, 20},
 	}
 	base := core.AirplaneBaseline()
-	for _, mb := range res.MdataSet {
-		for _, v := range res.SpeedSet {
-			sc := base
-			sc.MdataBytes = mb * 1e6
-			sc.SpeedMPS = v
-			opt, err := sc.Optimize()
-			if err != nil {
-				return Fig9Result{}, err
-			}
-			res.Points = append(res.Points, Fig9Point{
-				MdataMB:   mb,
-				SpeedMPS:  v,
-				DoptM:     opt.DoptM,
-				Utility:   opt.Utility,
-				AtMinimum: opt.DoptM <= sc.MinDistanceM+1e-6,
-			})
+	// Flatten the (Mdata, v) grid onto the shared pool; cells are collected
+	// in row-major order, matching the serial nested loop.
+	nv := len(res.SpeedSet)
+	pts, err := mapN(cfg, "fig9/grid", len(res.MdataSet)*nv, func(i int) (Fig9Point, error) {
+		mb := res.MdataSet[i/nv]
+		v := res.SpeedSet[i%nv]
+		sc := base
+		sc.MdataBytes = mb * 1e6
+		sc.SpeedMPS = v
+		opt, err := sc.Optimize()
+		if err != nil {
+			return Fig9Point{}, err
 		}
+		return Fig9Point{
+			MdataMB:   mb,
+			SpeedMPS:  v,
+			DoptM:     opt.DoptM,
+			Utility:   opt.Utility,
+			AtMinimum: opt.DoptM <= sc.MinDistanceM+1e-6,
+		}, nil
+	})
+	if err != nil {
+		return Fig9Result{}, err
 	}
+	res.Points = pts
 	return res, nil
 }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"math"
-
 	"github.com/nowlater/nowlater/internal/failure"
 	"github.com/nowlater/nowlater/internal/fleet"
 	"github.com/nowlater/nowlater/internal/geo"
@@ -17,7 +15,9 @@ import (
 // failure injection.
 type MissionLevelResult struct {
 	Runs int
-	// Mean makespan (s) over missions where both policies delivered.
+	// Mean makespan (s) over missions where both policies delivered; NaN
+	// when no mission of that posture completed (rendered as "n/a"
+	// downstream — see stats.Mean's empty-input contract).
 	NaiveMakespanS      float64
 	RendezvousMakespanS float64
 	// Delivery ratio (data delivered / data sensed) including failed runs.
@@ -48,17 +48,24 @@ func missionSpecs() []fleet.UAVSpec {
 	}
 }
 
+// missionTrial is one paired mission's contribution to the aggregates.
+type missionTrial struct {
+	naiveDeliveredMB, smartDeliveredMB, totalMB float64
+	naiveMakespanS, smartMakespanS              float64 // 0 when the posture never delivered
+}
+
 // MissionLevel runs cfg.Trials paired missions (same seeds) under both
-// policies with a moderately risky failure model.
+// policies with a moderately risky failure model. Paired trials run on the
+// shared bounded pool; aggregation happens afterwards in trial order, so
+// the floating-point sums match the serial loop bit-for-bit.
 func MissionLevel(cfg Config) (MissionLevelResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return MissionLevelResult{}, err
 	}
 	res := MissionLevelResult{Runs: cfg.Trials}
-	var naiveMs, smartMs []float64
-	var naiveDel, smartDel, total float64
 
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := mapTrials(cfg, "mission", func(trial int) (missionTrial, error) {
+		var out missionTrial
 		for _, naive := range []bool{false, true} {
 			fcfg := fleet.DefaultConfig()
 			fcfg.Seed = cfg.Seed + int64(trial)*101
@@ -67,39 +74,52 @@ func MissionLevel(cfg Config) (MissionLevelResult, error) {
 			// across the trial set.
 			m, err := failure.NewModel(8e-4)
 			if err != nil {
-				return MissionLevelResult{}, err
+				return missionTrial{}, err
 			}
 			fcfg.Scenario.Failure = m
 			ms, err := fleet.New(fcfg, missionSpecs())
 			if err != nil {
-				return MissionLevelResult{}, err
+				return missionTrial{}, err
 			}
 			rep, err := ms.Run(3600)
 			if err != nil {
-				return MissionLevelResult{}, err
+				return missionTrial{}, err
 			}
 			if naive {
-				naiveDel += rep.DeliveredMB
-				if rep.MakespanS > 0 {
-					naiveMs = append(naiveMs, rep.MakespanS)
-				}
-				total += rep.TotalMB
+				out.naiveDeliveredMB = rep.DeliveredMB
+				out.naiveMakespanS = rep.MakespanS
+				out.totalMB = rep.TotalMB
 			} else {
-				smartDel += rep.DeliveredMB
-				if rep.MakespanS > 0 {
-					smartMs = append(smartMs, rep.MakespanS)
-				}
+				out.smartDeliveredMB = rep.DeliveredMB
+				out.smartMakespanS = rep.MakespanS
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return MissionLevelResult{}, err
 	}
+
+	var naiveMs, smartMs []float64
+	var naiveDel, smartDel, total float64
+	for _, tr := range trials {
+		naiveDel += tr.naiveDeliveredMB
+		smartDel += tr.smartDeliveredMB
+		total += tr.totalMB
+		if tr.naiveMakespanS > 0 {
+			naiveMs = append(naiveMs, tr.naiveMakespanS)
+		}
+		if tr.smartMakespanS > 0 {
+			smartMs = append(smartMs, tr.smartMakespanS)
+		}
+	}
+	// NaN (no completed mission) flows through deliberately; renderers show
+	// it as "n/a" rather than a fake zero makespan.
 	res.NaiveMakespanS = stats.Mean(naiveMs)
 	res.RendezvousMakespanS = stats.Mean(smartMs)
 	if total > 0 {
 		res.NaiveDeliveryRatio = naiveDel / total
 		res.RendezvousDeliveryRatio = smartDel / total
-	}
-	if math.IsNaN(res.NaiveMakespanS) || math.IsNaN(res.RendezvousMakespanS) {
-		res.NaiveMakespanS, res.RendezvousMakespanS = 0, 0
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/nowlater/nowlater/internal/chaos"
@@ -95,11 +96,22 @@ func survivalSchedule(intensity float64) *chaos.Schedule {
 	return s
 }
 
+// survivalTrial is one paired mission's contribution to a grid point.
+type survivalTrial struct {
+	naiveDeliveredMB, resilDeliveredMB, totalMB float64
+	naivePartials, resilPartials                int
+	naiveDelays, resilDelays                    []float64
+}
+
 // Survivability runs the chaos experiment: for each fault intensity on the
 // grid, cfg.Trials paired missions (same seeds, same cloned schedule) under
 // the naive and the resilient delivery postures. It quantifies what the
 // resilience machinery — resumable transfers, staleness-aware planning,
 // relay reassignment — buys as faults escalate.
+//
+// The paired missions of one grid point run on the shared bounded pool;
+// per-point aggregation happens afterwards in trial order, so every ratio,
+// partial count and delay median is bit-identical to the serial sweep.
 func Survivability(cfg Config) (SurvivabilityResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return SurvivabilityResult{}, err
@@ -109,10 +121,9 @@ func Survivability(cfg Config) (SurvivabilityResult, error) {
 
 	for _, intensity := range grid {
 		p := SurvivabilityPoint{Intensity: intensity}
-		var naiveDel, resilDel, total float64
-		var naiveDelays, resilDelays []float64
-
-		for trial := 0; trial < cfg.Trials; trial++ {
+		label := fmt.Sprintf("chaos/i%.2f", intensity)
+		trials, err := mapTrials(cfg, label, func(trial int) (survivalTrial, error) {
+			var out survivalTrial
 			for _, resilient := range []bool{false, true} {
 				fcfg := fleet.DefaultConfig()
 				fcfg.Seed = cfg.Seed + int64(trial)*101
@@ -121,23 +132,39 @@ func Survivability(cfg Config) (SurvivabilityResult, error) {
 				fcfg.StaleAfterS = 10
 				ms, err := fleet.New(fcfg, survivalSpecs())
 				if err != nil {
-					return SurvivabilityResult{}, err
+					return survivalTrial{}, err
 				}
 				rep, err := ms.Run(3600)
 				if err != nil {
-					return SurvivabilityResult{}, err
+					return survivalTrial{}, err
 				}
 				if resilient {
-					resilDel += rep.DeliveredMB
-					p.ResilientPartials += rep.PartialDeliveries
-					resilDelays = append(resilDelays, delays(rep)...)
+					out.resilDeliveredMB = rep.DeliveredMB
+					out.resilPartials = rep.PartialDeliveries
+					out.resilDelays = delays(rep)
 				} else {
-					naiveDel += rep.DeliveredMB
-					p.NaivePartials += rep.PartialDeliveries
-					naiveDelays = append(naiveDelays, delays(rep)...)
-					total += rep.TotalMB
+					out.naiveDeliveredMB = rep.DeliveredMB
+					out.naivePartials = rep.PartialDeliveries
+					out.naiveDelays = delays(rep)
+					out.totalMB = rep.TotalMB
 				}
 			}
+			return out, nil
+		})
+		if err != nil {
+			return SurvivabilityResult{}, err
+		}
+
+		var naiveDel, resilDel, total float64
+		var naiveDelays, resilDelays []float64
+		for _, tr := range trials {
+			naiveDel += tr.naiveDeliveredMB
+			resilDel += tr.resilDeliveredMB
+			total += tr.totalMB
+			p.NaivePartials += tr.naivePartials
+			p.ResilientPartials += tr.resilPartials
+			naiveDelays = append(naiveDelays, tr.naiveDelays...)
+			resilDelays = append(resilDelays, tr.resilDelays...)
 		}
 		if total > 0 {
 			p.NaiveDeliveryRatio = naiveDel / total

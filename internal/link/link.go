@@ -7,14 +7,14 @@
 package link
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/nowlater/nowlater/internal/channel"
 	"github.com/nowlater/nowlater/internal/mac"
 	"github.com/nowlater/nowlater/internal/phy"
 	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/runner"
 	"github.com/nowlater/nowlater/internal/stats"
 )
 
@@ -252,13 +252,20 @@ func (l *Link) Measure(g Geometry, duration float64) Measurement {
 // substream), returning the throughput samples in Mb/s. This mirrors the
 // paper's repeated flight passes that fill each boxplot column.
 //
-// Trials are independent by construction (per-trial seeds derived from the
-// config seed), so they run concurrently; results are collected by trial
-// index, keeping the output deterministic.
+// Trials run on the shared bounded pool (internal/runner) with one worker
+// per core; MeasureTrialsWorkers exposes the pool width.
 func MeasureTrials(cfg Config, newPolicy func(rng *stats.RNG) rate.Policy,
 	g Geometry, duration float64, n int) ([]float64, error) {
-	samples := make([]float64, n)
-	errs := make([]error, n)
+	return MeasureTrialsWorkers(cfg, newPolicy, g, duration, n, 0)
+}
+
+// MeasureTrialsWorkers is MeasureTrials with an explicit worker bound
+// (workers ≤ 0 selects one per core). Trials are independent by
+// construction — per-trial seeds derived from the config seed via
+// runner.SplitSeed — and results are collected by trial index, so the
+// samples are bit-identical for any worker count, including 1.
+func MeasureTrialsWorkers(cfg Config, newPolicy func(rng *stats.RNG) rate.Policy,
+	g Geometry, duration float64, n, workers int) ([]float64, error) {
 	root := stats.NewRNG(cfg.Seed)
 
 	// Build policies serially: the caller's constructor may not be
@@ -268,42 +275,21 @@ func MeasureTrials(cfg Config, newPolicy func(rng *stats.RNG) rate.Policy,
 	for i := 0; i < n; i++ {
 		trialCfg := cfg
 		trialCfg.Label = fmt.Sprintf("%s/trial%d", cfg.Label, i)
-		trialCfg.Seed = splitSeed(cfg.Seed, i)
+		trialCfg.Seed = runner.SplitSeed(cfg.Seed, i)
 		trialCfgs[i] = trialCfg
 		if newPolicy != nil {
 			policies[i] = newPolicy(root.Substream(trialCfg.Seed, trialCfg.Label+"/policy"))
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	return runner.Map(context.Background(), n,
+		runner.Options{Workers: workers, Label: cfg.Label},
+		func(i int) (float64, error) {
 			l, err := New(trialCfgs[i], policies[i])
 			if err != nil {
-				errs[i] = err
-				return
+				return 0, err
 			}
-			m := l.Measure(g, duration)
-			samples[i] = m.ThroughputBps / 1e6
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return samples, nil
-}
-
-func splitSeed(seed int64, i int) int64 {
-	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
-	x ^= x >> 31
-	return int64(x)
+			return l.Measure(g, duration).ThroughputBps / 1e6, nil
+		})
 }
 
 // NewOraclePolicy returns the omniscient rate control for this link's PHY

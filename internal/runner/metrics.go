@@ -1,0 +1,48 @@
+package runner
+
+import "sync"
+
+// RunStats is one Map call's timing record: how many trials ran, how wide
+// the pool was, how long the run took on the wall versus summed across
+// workers, and the observed concurrency peak. cmd/experiments snapshots
+// these per figure into BENCH_experiments.json — the repo's perf
+// trajectory.
+type RunStats struct {
+	Label       string  `json:"label"`
+	Trials      int     `json:"trials"`
+	Workers     int     `json:"workers"`
+	Completed   int     `json:"completed"`
+	WallS       float64 `json:"wall_s"`
+	BusyS       float64 `json:"busy_s"`
+	MaxInFlight int     `json:"max_in_flight"`
+	MaxTrialS   float64 `json:"max_trial_s"`
+	MeanTrialS  float64 `json:"mean_trial_s"`
+}
+
+var (
+	metricsMu sync.Mutex
+	metrics   []RunStats
+)
+
+func record(m RunStats) {
+	metricsMu.Lock()
+	metrics = append(metrics, m)
+	metricsMu.Unlock()
+}
+
+// ResetMetrics clears the run registry (call before a measured section).
+func ResetMetrics() {
+	metricsMu.Lock()
+	metrics = nil
+	metricsMu.Unlock()
+}
+
+// Metrics returns a copy of every RunStats recorded since the last reset,
+// in completion order.
+func Metrics() []RunStats {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	out := make([]RunStats, len(metrics))
+	copy(out, metrics)
+	return out
+}

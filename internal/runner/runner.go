@@ -1,0 +1,159 @@
+// Package runner is the shared parallel experiment engine: every Monte-Carlo
+// grid in the reproduction (the paper's Figs 4–9, the ablations, the chaos
+// survivability sweep, link.MeasureTrials) is a set of independently seeded
+// trials, and this package runs them on one bounded worker pool while
+// keeping the output bit-identical to a serial loop.
+//
+// The determinism contract:
+//
+//   - Each trial must derive all of its randomness from its trial index
+//     alone (via SplitSeed or a caller-chosen seed offset feeding
+//     stats.NewRNG / stats.RNG.Substream), never from shared mutable state
+//     or from the order in which trials happen to run.
+//   - Results are collected into a slice indexed by trial, so the returned
+//     order — and therefore any downstream floating-point accumulation
+//     order — matches the serial loop exactly, whatever the interleaving.
+//   - The whole trial body (setup and measurement) runs inside the worker,
+//     so at most Workers trials exist in flight at once; constructing
+//     vehicles or links never outruns the pool bound.
+//
+// Under this contract Map(workers=1) and Map(workers=N) produce the same
+// bits, and both match the pre-engine serial loops.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options tunes one Map run.
+type Options struct {
+	// Workers bounds the number of trials in flight; ≤ 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Label names the run in the metrics registry (and bench output).
+	Label string
+	// OnTrial, when non-nil, is invoked after each completed trial with its
+	// wall-clock duration — the progress hook. Calls are serialized by the
+	// engine, so the callback itself need not be goroutine-safe, but it
+	// runs concurrently with other trials and must not mutate trial state.
+	OnTrial func(trial int, elapsed time.Duration)
+}
+
+// ErrCancelled reports a run aborted by context cancellation.
+var ErrCancelled = errors.New("runner: run cancelled")
+
+// Map runs fn for every trial in [0, n) on a bounded worker pool and
+// returns the results in trial order.
+//
+// On failure the error of the lowest failing trial index is returned (so
+// the reported error is deterministic) together with a nil slice — never a
+// partially filled one. Once any trial fails or ctx is cancelled, no new
+// trials start; trials already in flight run to completion (fn is not
+// preemptible) and their results are discarded.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, errors.New("runner: nil trial function")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	var (
+		mu       sync.Mutex
+		next     int
+		failed   bool
+		inFlight int
+		m        = RunStats{Label: opts.Label, Trials: n, Workers: workers}
+	)
+	if m.Label == "" {
+		m.Label = "run"
+	}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed || next >= n || ctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				trial := next
+				next++
+				inFlight++
+				if inFlight > m.MaxInFlight {
+					m.MaxInFlight = inFlight
+				}
+				mu.Unlock()
+
+				t0 := time.Now()
+				res, err := fn(trial)
+				elapsed := time.Since(t0)
+
+				mu.Lock()
+				inFlight--
+				m.Completed++
+				m.BusyS += elapsed.Seconds()
+				if s := elapsed.Seconds(); s > m.MaxTrialS {
+					m.MaxTrialS = s
+				}
+				if err != nil {
+					errs[trial] = err
+					failed = true
+				} else {
+					results[trial] = res
+				}
+				cb := opts.OnTrial
+				if cb != nil {
+					cb(trial, elapsed)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	m.WallS = time.Since(start).Seconds()
+	if m.Completed > 0 {
+		m.MeanTrialS = m.BusyS / float64(m.Completed)
+	}
+	record(m)
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errors.Join(ErrCancelled, err)
+	}
+	return results, nil
+}
+
+// SplitSeed derives the i-th trial seed from a root seed with a SplitMix64
+// mix — the derivation link.MeasureTrials has always used, hoisted here so
+// every consumer of per-trial seeding shares one definition. Changing the
+// mixing constants would silently reshuffle every experiment's draws; they
+// are part of the determinism contract.
+func SplitSeed(seed int64, i int) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return int64(x)
+}

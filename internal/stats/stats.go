@@ -15,10 +15,13 @@ import (
 // ErrNoData is returned by summaries that require at least one sample.
 var ErrNoData = errors.New("stats: no data")
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice. The
+// NaN mirrors ErrNoData from the error-returning summaries (Quantile,
+// Median, Summarize): an absent mean must not masquerade as a measured
+// zero. Renderers turn it into an empty cell or "n/a".
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var s float64
 	for _, x := range xs {
@@ -27,11 +30,13 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// Variance returns the unbiased sample variance of xs (0 for n < 2).
+// Variance returns the unbiased sample variance of xs, or NaN for n < 2 —
+// the sample variance is undefined there, and a silent 0 would read as "no
+// spread" (see Mean for the contract).
 func Variance(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
-		return 0
+		return math.NaN()
 	}
 	m := Mean(xs)
 	var s float64
@@ -42,7 +47,8 @@ func Variance(xs []float64) float64 {
 	return s / float64(n-1)
 }
 
-// StdDev returns the sample standard deviation of xs.
+// StdDev returns the sample standard deviation of xs, or NaN for n < 2
+// (see Variance).
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear

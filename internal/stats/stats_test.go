@@ -17,8 +17,19 @@ func TestMeanVarianceStdDev(t *testing.T) {
 	if s := StdDev(xs); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
 		t.Fatalf("StdDev = %v", s)
 	}
-	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
-		t.Fatal("empty/singleton edge cases")
+	// Undefined summaries are NaN, never a silent zero — mirroring the
+	// ErrNoData contract of the error-returning summaries.
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatalf("Mean(nil) = %v, want NaN", Mean(nil))
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatalf("Variance(singleton) = %v, want NaN", Variance([]float64{1}))
+	}
+	if !math.IsNaN(StdDev(nil)) {
+		t.Fatalf("StdDev(nil) = %v, want NaN", StdDev(nil))
+	}
+	if v := Variance([]float64{3, 3}); v != 0 {
+		t.Fatalf("Variance of identical pair = %v, want 0", v)
 	}
 }
 

@@ -58,8 +58,11 @@ func formatCell(v float64) string {
 	if math.IsInf(v, -1) {
 		return "-inf"
 	}
+	// NaN means "no data" (e.g. a median over zero completed deliveries);
+	// an empty cell keeps the CSV honest and spreadsheet-friendly, matching
+	// how the SVG layer drops non-finite points.
 	if math.IsNaN(v) {
-		return "nan"
+		return ""
 	}
 	return fmt.Sprintf("%g", v)
 }

@@ -26,7 +26,8 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := string(data)
-	want := "d,mbps\n20,24.97\n40,19.4\ninf,nan\n"
+	// NaN renders as an empty cell — "no data", not a literal "nan" token.
+	want := "d,mbps\n20,24.97\n40,19.4\ninf,\n"
 	if got != want {
 		t.Fatalf("csv = %q, want %q", got, want)
 	}

@@ -185,6 +185,13 @@ func MeasureTrials(cfg LinkConfig, newPolicy func(rng *RNG) RatePolicy,
 	return link.MeasureTrials(cfg, newPolicy, g, duration, n)
 }
 
+// MeasureTrialsWorkers is MeasureTrials with an explicit worker-pool size
+// (≤0 = one per core). The samples are bit-identical for any worker count.
+func MeasureTrialsWorkers(cfg LinkConfig, newPolicy func(rng *RNG) RatePolicy,
+	g Geometry, duration float64, n, workers int) ([]float64, error) {
+	return link.MeasureTrialsWorkers(cfg, newPolicy, g, duration, n, workers)
+}
+
 // RatePolicy selects the MCS per transmission and learns from feedback.
 type RatePolicy = rate.Policy
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/runner"
+)
+
+// TestMain lets the test binary double as the experiments CLI: when
+// re-exec'd with EXPERIMENTS_CRASH_CHILD=1 it runs the real run() with the
+// newline-joined args from EXPERIMENTS_CRASH_ARGS instead of the test
+// suite. The kill-and-resume test uses this to SIGKILL a genuine
+// mid-sweep process rather than simulating a crash in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPERIMENTS_CRASH_CHILD") == "1" {
+		os.Exit(run(strings.Split(os.Getenv("EXPERIMENTS_CRASH_ARGS"), "\n")))
+	}
+	os.Exit(m.Run())
+}
+
+// runQuiet runs the CLI in-process with stdout discarded (step narration
+// is noise here); stderr stays visible for debugging failures.
+func runQuiet(t *testing.T, args ...string) int {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return run(args)
+}
+
+// TestKillAndResumeByteIdentical is the crash-safety acceptance test:
+// SIGKILL the chaos sweep mid-run, resume from the journal at a different
+// worker count, and require the final CSV byte-identical to an
+// uninterrupted run.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-and-resume runs the chaos sweep three times")
+	}
+	base := t.TempDir()
+	outClean := filepath.Join(base, "clean")
+	outCrash := filepath.Join(base, "crash")
+	ckDir := filepath.Join(base, "ck")
+
+	// Uninterrupted reference run, no checkpointing.
+	if rc := runQuiet(t, "-quick", "-only", "chaos", "-workers", "2", "-out", outClean); rc != 0 {
+		t.Fatalf("reference run exited %d", rc)
+	}
+
+	// Child process with journaling, killed once at least one trial is
+	// durably journaled.
+	child := exec.Command(os.Args[0])
+	child.Env = append(os.Environ(),
+		"EXPERIMENTS_CRASH_CHILD=1",
+		"EXPERIMENTS_CRASH_ARGS="+strings.Join([]string{
+			"-quick", "-only", "chaos", "-workers", "2",
+			"-out", outCrash, "-checkpoint", ckDir,
+		}, "\n"))
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- child.Wait() }()
+
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if journaledBytes(t, ckDir) > 0 {
+			break
+		}
+		select {
+		case err := <-exited:
+			t.Fatalf("child finished before it could be killed: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			child.Process.Kill()
+			t.Fatal("no journal records appeared within the deadline")
+		}
+	}
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	<-exited
+
+	// Resume at a different worker count: the determinism contract makes
+	// this legal, and the test proves it.
+	if rc := runQuiet(t, "-quick", "-only", "chaos", "-workers", "3",
+		"-out", outCrash, "-checkpoint", ckDir, "-resume"); rc != 0 {
+		t.Fatalf("resume exited %d", rc)
+	}
+	var skipped int
+	for _, sw := range runner.Metrics() {
+		skipped += sw.Skipped
+	}
+	if skipped == 0 {
+		t.Error("resume re-ran every trial — the journal was ignored")
+	}
+
+	for _, f := range []string{"chaos.csv", "chaos.svg"} {
+		clean, err := os.ReadFile(filepath.Join(outClean, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := os.ReadFile(filepath.Join(outCrash, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(clean) != string(resumed) {
+			t.Errorf("%s differs between uninterrupted and killed+resumed runs", f)
+		}
+	}
+}
+
+// journaledBytes sums the record bytes (past each 24-byte header) across
+// the directory's journals — > 0 means at least part of a trial is on disk.
+func journaledBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil && fi.Size() > 24 {
+			n += fi.Size() - 24
+		}
+	}
+	return n
+}
+
+// TestResumeMismatchRejected: journals written under one seed must refuse
+// to feed a run with another, loudly, rather than silently mixing grids.
+func TestResumeMismatchRejected(t *testing.T) {
+	base := t.TempDir()
+	out := filepath.Join(base, "out")
+	ckDir := filepath.Join(base, "ck")
+
+	// fig8 is analytic and fast, and routes through the same sweep engine.
+	if rc := runQuiet(t, "-quick", "-only", "fig8", "-out", out, "-checkpoint", ckDir); rc != 0 {
+		t.Fatalf("initial run exited %d", rc)
+	}
+	if rc := runQuiet(t, "-quick", "-only", "fig8", "-out", out,
+		"-checkpoint", ckDir, "-resume", "-seed", "2"); rc != 1 {
+		t.Fatalf("mismatched resume exited %d, want 1", rc)
+	}
+	// The matching config still resumes cleanly, skipping journaled work.
+	if rc := runQuiet(t, "-quick", "-only", "fig8", "-out", out,
+		"-checkpoint", ckDir, "-resume"); rc != 0 {
+		t.Fatalf("matching resume exited %d", rc)
+	}
+	var skipped int
+	for _, sw := range runner.Metrics() {
+		skipped += sw.Skipped
+	}
+	if skipped == 0 {
+		t.Error("matching resume re-ran journaled trials")
+	}
+}
+
+func TestResumeRequiresCheckpointDir(t *testing.T) {
+	if rc := runQuiet(t, "-resume"); rc != 2 {
+		t.Fatalf("-resume without -checkpoint exited %d, want 2", rc)
+	}
+}

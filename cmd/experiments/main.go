@@ -9,6 +9,14 @@
 //	experiments -only fig5,fig6  # a subset (table1, fig1, fig4..fig9, ablations)
 //	experiments -workers 4       # bounded trial parallelism (0 = one per core)
 //	experiments -bench           # also write BENCH_experiments.json timings
+//	experiments -checkpoint DIR  # journal per-trial results under DIR
+//	experiments -checkpoint DIR -resume   # resume a killed run from DIR
+//
+// With -checkpoint every completed trial is fsync'd to an append-only
+// journal before it counts; after a crash or SIGKILL, rerunning with
+// -resume re-executes only the missing trials and produces byte-identical
+// output to an uninterrupted run — at any -workers value. Resuming against
+// journals written under a different seed/workload fails loudly.
 package main
 
 import (
@@ -16,14 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	nowlater "github.com/nowlater/nowlater"
+	"github.com/nowlater/nowlater/internal/checkpoint"
 	"github.com/nowlater/nowlater/internal/experiments"
 	"github.com/nowlater/nowlater/internal/runner"
+	"github.com/nowlater/nowlater/internal/trace"
 )
 
 // stepBench is the recorded timing of one figure/table step.
@@ -48,10 +57,20 @@ type benchReport struct {
 	// "chaos-workers1-baseline" step). On a single-core host this hovers
 	// near 1 — the pool buys overlap, not extra silicon.
 	ChaosSpeedupVsSerial float64 `json:"chaos_speedup_vs_serial,omitempty"`
+	// ChaosCheckpointOverhead is the chaos step's wall-clock with per-trial
+	// journaling (the "chaos-checkpointed" step, fsync per trial) relative
+	// to the plain chaos step — what crash-safety costs.
+	ChaosCheckpointOverhead float64 `json:"chaos_checkpoint_overhead,omitempty"`
 }
 
 func main() {
-	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main with testable plumbing: flag errors return 2, step or setup
+// failures return 1.
+func run(args []string) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	out := fs.String("out", "results", "output directory for CSV files")
 	quick := fs.Bool("quick", false, "reduced workload (fewer trials, shorter runs)")
 	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos")
@@ -59,7 +78,11 @@ func main() {
 	seed := fs.Int64("seed", 1, "root random seed")
 	workers := fs.Int("workers", 0, "trial-pool size (0 = one worker per core); results are identical for any value")
 	bench := fs.Bool("bench", false, "write per-figure timings to BENCH_experiments.json in the working directory")
-	_ = fs.Parse(os.Args[1:])
+	ckptDir := fs.String("checkpoint", "", "journal per-trial results under this directory (fsync'd; survives SIGKILL)")
+	resume := fs.Bool("resume", false, "with -checkpoint: skip trials already journaled instead of wiping the directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := nowlater.DefaultExperimentConfig()
 	if *quick {
@@ -67,6 +90,19 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint DIR")
+		return 2
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		cfg.Checkpoint = store
+	}
 
 	want := map[string]bool{}
 	for _, sel := range []string{*only, *fig} {
@@ -114,22 +150,37 @@ func main() {
 		wall := time.Since(start).Seconds()
 		sweeps := runner.Metrics()
 		report.Steps = append(report.Steps, stepBench{Name: s.name, WallS: wall, Sweeps: sweeps})
-		trials := 0
+		var trials, skipped, stalls, panics int
 		for _, sw := range sweeps {
 			trials += sw.Completed
+			skipped += sw.Skipped
+			stalls += sw.Stalls
+			panics += sw.Panics
 		}
-		fmt.Printf("--- %s: %.2f s wall, %d trials over %d sweeps\n", s.name, wall, trials, len(sweeps))
+		fmt.Printf("--- %s: %.2f s wall, %d trials over %d sweeps", s.name, wall, trials, len(sweeps))
+		if skipped > 0 {
+			fmt.Printf(", %d resumed from checkpoint", skipped)
+		}
+		if stalls > 0 {
+			fmt.Printf(", %d stalls", stalls)
+		}
+		if panics > 0 {
+			fmt.Printf(", %d panics", panics)
+		}
+		fmt.Println()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
 			failed = true
 		}
 	}
 	if *bench && sel("chaos") {
-		// Serial baseline for the speedup record: same seed, workers
-		// pinned to 1, bit-identical output (so overwriting chaos.csv is
+		// Serial baseline for the speedup record: same seed, workers pinned
+		// to 1, no checkpointing (so it never resumes the main step's
+		// journals), bit-identical output (so overwriting chaos.csv is
 		// harmless).
 		baseCfg := cfg
 		baseCfg.Workers = 1
+		baseCfg.Checkpoint = nil
 		base := &runnerCmd{cfg: baseCfg, outDir: *out}
 		runner.ResetMetrics()
 		start := time.Now()
@@ -146,6 +197,19 @@ func main() {
 				report.ChaosSpeedupVsSerial = wall / s.WallS
 			}
 		}
+		// Checkpoint-overhead record: the same chaos step with a fresh
+		// journal per sweep (one fsync per trial) into a throwaway
+		// directory, at the requested worker count.
+		if ckWall, err := benchCheckpointedChaos(cfg, *out, &report); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos checkpointed run:", err)
+			failed = true
+		} else {
+			for _, s := range report.Steps {
+				if s.Name == "chaos" && s.WallS > 0 {
+					report.ChaosCheckpointOverhead = ckWall / s.WallS
+				}
+			}
+		}
 	}
 	if *bench {
 		if err := writeBench("BENCH_experiments.json", report); err != nil {
@@ -156,9 +220,38 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("\nCSV output written under %s/\n", *out)
+	return 0
+}
+
+// benchCheckpointedChaos reruns the chaos step with journaling into a
+// temporary checkpoint directory and records it as the "chaos-checkpointed"
+// bench step, returning its wall-clock.
+func benchCheckpointedChaos(cfg experiments.Config, outDir string, report *benchReport) (float64, error) {
+	dir, err := os.MkdirTemp("", "experiments-ckpt-bench-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := checkpoint.NewStore(dir, false)
+	if err != nil {
+		return 0, err
+	}
+	ckCfg := cfg
+	ckCfg.Checkpoint = store
+	ck := &runnerCmd{cfg: ckCfg, outDir: outDir}
+	runner.ResetMetrics()
+	start := time.Now()
+	if err := ck.survivability(); err != nil {
+		return 0, err
+	}
+	wall := time.Since(start).Seconds()
+	report.Steps = append(report.Steps, stepBench{
+		Name: "chaos-checkpointed", WallS: wall, Sweeps: runner.Metrics(),
+	})
+	return wall, nil
 }
 
 func writeBench(path string, report benchReport) error {
@@ -166,12 +259,7 @@ func writeBench(path string, report benchReport) error {
 	if err != nil {
 		return err
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return trace.WriteFileAtomicBytes(path, append(data, '\n'))
 }
 
 type runnerCmd struct {

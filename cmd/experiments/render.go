@@ -19,10 +19,7 @@ func (r *runnerCmd) table1() error {
 	tab := nowlater.Table1()
 	rendered := trace.Table("Table 1: Main features of the flying platforms", tab.Header, tab.Rows)
 	fmt.Print(rendered)
-	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(r.path("table1.txt"), []byte(rendered), 0o644)
+	return trace.WriteFileAtomicBytes(r.path("table1.txt"), []byte(rendered))
 }
 
 func (r *runnerCmd) fig1() error {

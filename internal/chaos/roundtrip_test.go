@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestScheduleStringParseRoundTrip is the serialization property test:
+// for any valid schedule s, Parse(s.String()) must succeed, reproduce the
+// same rendered form (String is a fixpoint), and reconstruct the same
+// faults. The generator covers every fault class, wildcard and concrete
+// targets, blackout (LossProb = 1) versus probabilistic telemetry loss,
+// and awkward float values — %g must render every float64 so that
+// ParseFloat recovers it exactly.
+func TestScheduleStringParseRoundTrip(t *testing.T) {
+	for iter := 0; iter < 300; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		s := randomSchedule(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("iter %d: generator produced an invalid schedule: %v", iter, err)
+		}
+
+		text := s.String()
+		p, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("iter %d: Parse(String) failed: %v\nschedule:\n%s", iter, err, text)
+		}
+		if got := p.String(); got != text {
+			t.Fatalf("iter %d: String is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", iter, text, got)
+		}
+
+		if s.Empty() {
+			// An empty schedule renders to "" and parses back empty; its
+			// seed is irrelevant (no draws) and not preserved.
+			if !p.Empty() {
+				t.Fatalf("iter %d: empty schedule parsed non-empty", iter)
+			}
+			continue
+		}
+		// Parse appends faults in rendered-line order, so compare against
+		// the generated schedule with each class canonically sorted the
+		// same way.
+		want := canonicalize(s)
+		if !reflect.DeepEqual(want, p) {
+			t.Fatalf("iter %d: round-trip lost information:\nwant %#v\ngot  %#v", iter, want, p)
+		}
+	}
+}
+
+// randomSchedule draws a valid schedule: windows within one fault class
+// are laid out sequentially (the validator rejects same-class overlap on
+// colliding targets), scales and probabilities stay in their legal ranges,
+// and vehicle ids are unique and concrete.
+func randomSchedule(rng *rand.Rand) *Schedule {
+	s := &Schedule{}
+	if rng.Intn(2) == 0 {
+		s.Seed = rng.Int63n(1 << 40)
+	}
+
+	// Occasionally generate the empty schedule to cover that edge.
+	if rng.Intn(10) == 0 {
+		return s
+	}
+
+	next := func(cursor *float64) Window {
+		start := *cursor + roundedFloat(rng, 0, 50)
+		end := start + 0.001 + roundedFloat(rng, 0, 200)
+		*cursor = end
+		return Window{StartS: start, EndS: end}
+	}
+	target := func() string {
+		if rng.Intn(3) == 0 {
+			return Wildcard
+		}
+		return fmt.Sprintf("veh-%d", rng.Intn(4))
+	}
+
+	var cursor float64
+	for i := rng.Intn(4); i > 0; i-- {
+		f := TelemetryFault{Window: next(&cursor), LossProb: roundedFloat(rng, 0, 1)}
+		if rng.Intn(4) == 0 {
+			f.LossProb = 1 // renders as a blackout line
+		}
+		s.Telemetry = append(s.Telemetry, f)
+	}
+	cursor = 0
+	for i := rng.Intn(4); i > 0; i-- {
+		f := GPSFault{Window: next(&cursor), ID: target()}
+		if rng.Intn(2) == 0 {
+			f.Outage = true
+		} else {
+			f.SigmaScale = 1 + roundedFloat(rng, 0, 30)
+		}
+		s.GPS = append(s.GPS, f)
+	}
+	cursor = 0
+	for i := rng.Intn(4); i > 0; i-- {
+		f := LinkFault{Window: next(&cursor), ID: target()}
+		if rng.Intn(2) == 0 {
+			f.Outage = true
+		} else {
+			f.ExtraLossDB = 0.5 + roundedFloat(rng, 0, 40)
+		}
+		s.Links = append(s.Links, f)
+	}
+	for _, id := range rng.Perm(4)[:rng.Intn(3)] {
+		s.Vehicles = append(s.Vehicles, VehicleFault{
+			ID: fmt.Sprintf("veh-%d", id), AtS: roundedFloat(rng, 0, 3600),
+		})
+	}
+	return s
+}
+
+// roundedFloat draws from [lo, hi), half the time truncated to one decimal
+// (pretty values like real schedules use), half the time left at full
+// float64 precision (the adversarial case for %g round-tripping).
+func roundedFloat(rng *rand.Rand, lo, hi float64) float64 {
+	x := lo + rng.Float64()*(hi-lo)
+	if rng.Intn(2) == 0 {
+		return float64(int(x*10)) / 10
+	}
+	return x
+}
+
+// canonicalize returns a copy with every fault class sorted by its
+// rendered text line — the order Parse(String) reconstructs.
+func canonicalize(s *Schedule) *Schedule {
+	c := s.Clone()
+	sort.SliceStable(c.Telemetry, func(i, j int) bool {
+		return telemetryLine(c.Telemetry[i]) < telemetryLine(c.Telemetry[j])
+	})
+	sort.SliceStable(c.GPS, func(i, j int) bool {
+		return gpsLine(c.GPS[i]) < gpsLine(c.GPS[j])
+	})
+	sort.SliceStable(c.Links, func(i, j int) bool {
+		return linkLine(c.Links[i]) < linkLine(c.Links[j])
+	})
+	sort.SliceStable(c.Vehicles, func(i, j int) bool {
+		return vehicleLine(c.Vehicles[i]) < vehicleLine(c.Vehicles[j])
+	})
+	return c
+}
+
+func telemetryLine(f TelemetryFault) string {
+	if f.LossProb >= 1 {
+		return fmt.Sprintf("telemetry blackout %g %g", f.StartS, f.EndS)
+	}
+	return fmt.Sprintf("telemetry loss %g %g %g", f.LossProb, f.StartS, f.EndS)
+}
+
+func gpsLine(f GPSFault) string {
+	if f.Outage {
+		return fmt.Sprintf("gps outage %s %g %g", f.ID, f.StartS, f.EndS)
+	}
+	return fmt.Sprintf("gps degrade %s %g %g %g", f.ID, f.SigmaScale, f.StartS, f.EndS)
+}
+
+func linkLine(f LinkFault) string {
+	if f.Outage {
+		return fmt.Sprintf("link outage %s %g %g", f.ID, f.StartS, f.EndS)
+	}
+	return fmt.Sprintf("link fade %s %g %g %g", f.ID, f.ExtraLossDB, f.StartS, f.EndS)
+}
+
+func vehicleLine(f VehicleFault) string {
+	return fmt.Sprintf("vehicle fail %s %g", f.ID, f.AtS)
+}

@@ -1,0 +1,319 @@
+// Package checkpoint persists per-trial Monte-Carlo results in an
+// append-only, fsync'd journal so a killed sweep resumes from its last
+// completed trial instead of restarting from zero. The design goal is the
+// bit-identical-resume guarantee: because internal/runner slots results by
+// trial index and every trial is independently seeded, a resumed run that
+// re-executes only the missing trials produces byte-identical output to an
+// uninterrupted run at any worker count.
+//
+// On-disk layout of one journal file (all integers little-endian):
+//
+//	header (24 bytes, written atomically via temp file + rename):
+//	  [0:4]   magic "NLJ1"
+//	  [4:12]  fingerprint — hash of the sweep's config/seed/grid identity
+//	  [12:16] trial count of the sweep
+//	  [16:20] reserved (zero)
+//	  [20:24] CRC32C of bytes [0:20]
+//
+//	record (one per completed trial, appended then fsync'd):
+//	  [0:4]   payload length
+//	  [4:8]   trial index
+//	  [8:8+L] payload (the gob-encoded trial result)
+//	  [..+4]  CRC32C of bytes [4:8+L] (trial index + payload)
+//
+// A crash can only tear the final record; Open verifies every record's CRC
+// and truncates the file back to the last intact one (truncated-tail
+// recovery), so a journal is always reopenable after SIGKILL. A journal
+// whose header fingerprint or trial count disagrees with the resuming
+// sweep fails loudly with ErrMismatch rather than silently mixing grids.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/nowlater/nowlater/internal/runner"
+)
+
+var (
+	magic = [4]byte{'N', 'L', 'J', '1'}
+
+	// ErrMismatch reports a journal written by a different config, seed or
+	// grid than the sweep trying to resume from it.
+	ErrMismatch = errors.New("checkpoint: journal does not match this run")
+)
+
+const (
+	headerSize = 24
+	// recordOverhead is the non-payload bytes of one record.
+	recordOverhead = 12
+	// maxPayload bounds one record; anything larger in a length prefix is
+	// treated as tail corruption.
+	maxPayload = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta identifies the sweep a journal belongs to.
+type Meta struct {
+	// Fingerprint hashes everything that determines the sweep's bits:
+	// config, root seed and grid identity (but not the worker count, which
+	// may legally differ between a run and its resume).
+	Fingerprint uint64
+	// Trials is the sweep's trial count.
+	Trials int
+}
+
+// Journal is one sweep's append-only result log. Append is safe for
+// concurrent use; the recovery state (Completed, Result) is fixed at Open.
+type Journal struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	meta Meta
+
+	done    *runner.Bitmap
+	results map[int][]byte
+	// truncatedBytes records how much torn tail Open discarded (0 for a
+	// clean journal) — observability for tests and logs.
+	truncatedBytes int64
+}
+
+// Open opens (or creates) the journal at path for the sweep identified by
+// meta. An existing journal is validated against meta — ErrMismatch if it
+// belongs to a different config/seed/grid — and scanned, recovering every
+// intact record and truncating any torn tail left by a crash.
+func Open(path string, meta Meta) (*Journal, error) {
+	if meta.Trials <= 0 || meta.Trials > 1<<31-1 {
+		return nil, fmt.Errorf("checkpoint: implausible trial count %d", meta.Trials)
+	}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		if err := create(path, meta); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{
+		path: path, f: f, meta: meta,
+		done:    runner.NewBitmap(meta.Trials),
+		results: make(map[int][]byte),
+	}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// create writes a fresh header via temp file + rename, so a crash during
+// creation never leaves a headerless journal behind.
+func create(path string, meta Meta) error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], meta.Fingerprint)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(meta.Trials))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(hdr[:20], castagnoli))
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// recover validates the header, replays every intact record and truncates
+// the journal at the first torn or corrupt one.
+func (j *Journal) recover() error {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(j.f, hdr); err != nil {
+		return fmt.Errorf("checkpoint: %s: truncated header: %w", j.path, err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return fmt.Errorf("checkpoint: %s: not a journal (bad magic)", j.path)
+	}
+	if got := crc32.Checksum(hdr[:20], castagnoli); got != binary.LittleEndian.Uint32(hdr[20:24]) {
+		return fmt.Errorf("checkpoint: %s: header checksum mismatch", j.path)
+	}
+	gotFP := binary.LittleEndian.Uint64(hdr[4:12])
+	gotTrials := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if gotFP != j.meta.Fingerprint || gotTrials != j.meta.Trials {
+		return fmt.Errorf("%w: %s holds fingerprint %016x over %d trials, this run is %016x over %d — "+
+			"delete the checkpoint directory or rerun with the original config/seed",
+			ErrMismatch, j.path, gotFP, gotTrials, j.meta.Fingerprint, j.meta.Trials)
+	}
+
+	offset := int64(headerSize)
+	for {
+		rec, n, err := readRecord(j.f, j.meta.Trials)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: drop it and everything after.
+			end, serr := j.f.Seek(0, io.SeekEnd)
+			if serr != nil {
+				return fmt.Errorf("checkpoint: %s: %w", j.path, serr)
+			}
+			j.truncatedBytes = end - offset
+			if terr := j.f.Truncate(offset); terr != nil {
+				return fmt.Errorf("checkpoint: %s: truncating torn tail: %w", j.path, terr)
+			}
+			if serr := j.f.Sync(); serr != nil {
+				return fmt.Errorf("checkpoint: %s: %w", j.path, serr)
+			}
+			break
+		}
+		j.done.Set(rec.trial)
+		j.results[rec.trial] = rec.payload
+		offset += n
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	return nil
+}
+
+type record struct {
+	trial   int
+	payload []byte
+}
+
+// readRecord reads one record. io.EOF means a clean end; any other error
+// means a torn or corrupt tail starting at the current offset.
+func readRecord(r io.Reader, trials int) (record, int64, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return record{}, 0, io.EOF
+		}
+		return record{}, 0, fmt.Errorf("torn record prefix: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(pre[0:4])
+	trial := binary.LittleEndian.Uint32(pre[4:8])
+	if length > maxPayload || int(trial) >= trials {
+		return record{}, 0, fmt.Errorf("implausible record (len %d, trial %d)", length, trial)
+	}
+	body := make([]byte, int(length)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, 0, fmt.Errorf("torn record body: %w", err)
+	}
+	payload := body[:length]
+	wantCRC := binary.LittleEndian.Uint32(body[length:])
+	crc := crc32.Checksum(pre[4:8], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != wantCRC {
+		return record{}, 0, errors.New("record checksum mismatch")
+	}
+	return record{trial: int(trial), payload: payload}, int64(recordOverhead) + int64(length), nil
+}
+
+// Append journals one completed trial's encoded result and fsyncs before
+// returning: once Append returns nil, the record survives SIGKILL.
+func (j *Journal) Append(trial int, payload []byte) error {
+	if trial < 0 || trial >= j.meta.Trials {
+		return fmt.Errorf("checkpoint: trial %d outside [0, %d)", trial, j.meta.Trials)
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("checkpoint: %d-byte payload exceeds the record bound", len(payload))
+	}
+	buf := make([]byte, recordOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(trial))
+	copy(buf[8:], payload)
+	crc := crc32.Checksum(buf[4:8+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(buf[8+len(payload):], crc)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: %s: journal closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	j.done.Set(trial)
+	return nil
+}
+
+// Completed returns the bitmap of trials the journal already holds. The
+// caller must treat it as read-only; it feeds runner.Options.Completed.
+func (j *Journal) Completed() *runner.Bitmap { return j.done }
+
+// Result returns the recovered payload of one trial, if present at Open
+// time.
+func (j *Journal) Result(trial int) ([]byte, bool) {
+	p, ok := j.results[trial]
+	return p, ok
+}
+
+// TruncatedTailBytes reports how many bytes of torn tail Open discarded.
+func (j *Journal) TruncatedTailBytes() int64 { return j.truncatedBytes }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle. Appended records are already durable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testMeta() Meta { return Meta{Fingerprint: 0xDEADBEEFCAFE, Trials: 16} }
+
+func openTemp(t *testing.T, meta Meta) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, err := Open(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, path := openTemp(t, testMeta())
+	payloads := map[int][]byte{
+		0:  []byte("trial zero"),
+		3:  {},
+		7:  bytes.Repeat([]byte{0xAB}, 1000),
+		15: []byte("last"),
+	}
+	for trial, p := range payloads {
+		if err := j.Append(trial, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Completed().Count(); got != len(payloads) {
+		t.Fatalf("recovered %d trials, want %d", got, len(payloads))
+	}
+	for trial, want := range payloads {
+		got, ok := re.Result(trial)
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("trial %d: got %q ok=%v", trial, got, ok)
+		}
+	}
+	if _, ok := re.Result(1); ok {
+		t.Error("phantom trial recovered")
+	}
+	if re.TruncatedTailBytes() != 0 {
+		t.Errorf("clean journal reported %d torn bytes", re.TruncatedTailBytes())
+	}
+	// A recovered journal keeps accepting appends.
+	if err := re.Append(1, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalTornTailRecovery(t *testing.T) {
+	for cut := 1; cut <= 11; cut++ {
+		j, path := openTemp(t, testMeta())
+		if err := j.Append(2, []byte("intact record")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(5, []byte("doomed record")); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+
+		// Tear `cut` bytes off the final record, as a crash mid-write would.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		re, err := Open(path, testMeta())
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if !re.Completed().Get(2) {
+			t.Errorf("cut %d: intact record lost", cut)
+		}
+		if re.Completed().Get(5) {
+			t.Errorf("cut %d: torn record survived", cut)
+		}
+		if re.TruncatedTailBytes() <= 0 {
+			t.Errorf("cut %d: no tail truncation recorded", cut)
+		}
+		// The truncated journal must append cleanly right where it ends.
+		if err := re.Append(5, []byte("rewritten")); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		re.Close()
+		re2, err := Open(path, testMeta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, ok := re2.Result(5); !ok || string(p) != "rewritten" {
+			t.Errorf("cut %d: rewritten record: %q ok=%v", cut, p, ok)
+		}
+		re2.Close()
+	}
+}
+
+func TestJournalCorruptRecordTruncates(t *testing.T) {
+	j, path := openTemp(t, testMeta())
+	if err := j.Append(0, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, []byte("bitrot victim")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip one payload byte of the second record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Completed().Get(0) || re.Completed().Get(1) {
+		t.Errorf("recovery kept the wrong records: %v", re.Completed())
+	}
+}
+
+func TestJournalMismatchRejected(t *testing.T) {
+	j, path := openTemp(t, testMeta())
+	j.Close()
+
+	for _, bad := range []Meta{
+		{Fingerprint: 0x1234, Trials: 16},        // different config/seed
+		{Fingerprint: 0xDEADBEEFCAFE, Trials: 8}, // different grid size
+	} {
+		if _, err := Open(path, bad); !errors.Is(err, ErrMismatch) {
+			t.Errorf("meta %+v accepted: %v", bad, err)
+		}
+	}
+}
+
+func TestJournalHeaderCorruptionRejected(t *testing.T) {
+	j, path := openTemp(t, testMeta())
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[6] ^= 0x01 // flip a fingerprint bit without fixing the CRC
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(path, testMeta()); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+}
+
+func TestJournalImplausibleRecordTruncates(t *testing.T) {
+	j, path := openTemp(t, testMeta())
+	j.Append(0, []byte("good"))
+	j.Close()
+	// Append garbage that decodes as an absurd length prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var garbage [12]byte
+	binary.LittleEndian.PutUint32(garbage[0:4], 0xFFFFFFFF)
+	f.Write(garbage[:])
+	f.Close()
+
+	re, err := Open(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Completed().Count(); got != 1 {
+		t.Errorf("recovered %d records, want 1", got)
+	}
+}
+
+func TestJournalAppendBounds(t *testing.T) {
+	j, _ := openTemp(t, testMeta())
+	defer j.Close()
+	if err := j.Append(-1, nil); err == nil {
+		t.Error("negative trial accepted")
+	}
+	if err := j.Append(16, nil); err == nil {
+		t.Error("out-of-range trial accepted")
+	}
+}
+
+func TestStoreFreshWipesResumeKeeps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Journal("fig5", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(3, []byte("x"))
+	j.Close()
+
+	// Resume keeps the journal and its records.
+	rs, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := rs.Journal("fig5", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rj.Completed().Get(3) {
+		t.Error("resume store lost the journal")
+	}
+	rj.Close()
+
+	// A fresh store wipes it.
+	fs, err := NewStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := fs.Journal("fig5", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fj.Close()
+	if fj.Completed().Count() != 0 {
+		t.Error("fresh store resumed stale trials")
+	}
+}
+
+func TestStoreRepeatedLabelsGetDistinctJournals(t *testing.T) {
+	s, err := NewStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		j, err := s.Journal("ablation/speedfade", testMeta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[j.Path()] {
+			t.Fatalf("occurrence %d reused %s", i, j.Path())
+		}
+		seen[j.Path()] = true
+		j.Close()
+	}
+	// A second store (new process) must map occurrences to the same files.
+	s2, err := NewStore(s.Dir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j, err := s2.Journal("ablation/speedfade", testMeta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[j.Path()] {
+			t.Fatalf("resumed occurrence %d maps to unseen file %s", i, j.Path())
+		}
+		j.Close()
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"fig5":        "fig5",
+		"chaos/i0.25": "chaos_i0.25",
+		"":            "sweep",
+		"a b#c":       "a_b_c",
+	} {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	j, path := openTemp(t, Meta{Fingerprint: 1, Trials: 64})
+	done := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		go func(i int) {
+			done <- j.Append(i, []byte(fmt.Sprintf("payload-%d", i)))
+		}(i)
+	}
+	for i := 0; i < 64; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	re, err := Open(path, Meta{Fingerprint: 1, Trials: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Completed().Count(); got != 64 {
+		t.Fatalf("recovered %d/64 concurrent appends", got)
+	}
+	for i := 0; i < 64; i++ {
+		if p, ok := re.Result(i); !ok || string(p) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("trial %d payload %q ok=%v", i, p, ok)
+		}
+	}
+}

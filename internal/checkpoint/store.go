@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store manages the journals of one experiment run, one file per sweep
+// under a checkpoint directory. Sweep labels repeat when an experiment
+// runs the same sweep per variant (e.g. the ablations), so the store
+// disambiguates repeated opens of one label with a deterministic
+// occurrence counter — sweeps always run in the same order, so a resumed
+// process maps each sweep back to the same file.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	seq map[string]int
+}
+
+// NewStore opens a checkpoint directory. With resume false the directory
+// is wiped of prior journals (a fresh run must never skip trials from an
+// old one); with resume true existing journals are kept and validated
+// against each sweep's fingerprint at open time.
+func NewStore(dir string, resume bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if !resume {
+		old, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		for _, p := range old {
+			if err := os.Remove(p); err != nil {
+				return nil, fmt.Errorf("checkpoint: clearing stale journal: %w", err)
+			}
+		}
+	}
+	return &Store{dir: dir, seq: make(map[string]int)}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Journal opens the journal for the next occurrence of label, creating or
+// resuming the underlying file. The caller owns the returned journal and
+// must Close it when its sweep finishes.
+func (s *Store) Journal(label string, meta Meta) (*Journal, error) {
+	s.mu.Lock()
+	k := s.seq[label]
+	s.seq[label]++
+	s.mu.Unlock()
+	name := sanitizeLabel(label)
+	if k > 0 {
+		name = fmt.Sprintf("%s.%d", name, k)
+	}
+	return Open(filepath.Join(s.dir, name+".ckpt"), meta)
+}
+
+// sanitizeLabel maps a sweep label to a filesystem-safe journal name.
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "sweep"
+	}
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 
+	"github.com/nowlater/nowlater/internal/checkpoint"
 	"github.com/nowlater/nowlater/internal/runner"
 	"github.com/nowlater/nowlater/internal/stats"
 )
@@ -27,6 +31,14 @@ type Config struct {
 	// internal/runner's determinism contract); 1 forces the serial order
 	// the equivalence tests compare against.
 	Workers int
+	// Checkpoint, when non-nil, journals every completed trial of every
+	// sweep so a killed run resumes from its last fsync'd trial. Resumed
+	// trials are skipped and their journaled results merged back in trial
+	// order, so a resumed run is byte-identical to an uninterrupted one at
+	// any worker count. A journal written under a different seed, trial
+	// count, trial duration or grid size is rejected loudly (the worker
+	// count is deliberately excluded from the fingerprint).
+	Checkpoint *checkpoint.Store
 }
 
 // DefaultConfig reproduces the figures at publication quality.
@@ -56,15 +68,71 @@ func (c Config) Validate() error {
 // trial index so that any worker count reproduces the serial output
 // bit-for-bit.
 func mapTrials[T any](cfg Config, label string, fn func(trial int) (T, error)) ([]T, error) {
-	return runner.Map(context.Background(), cfg.Trials,
-		runner.Options{Workers: cfg.Workers, Label: label}, fn)
+	return mapSweep(cfg, label, cfg.Trials, fn)
 }
 
 // mapN is mapTrials over an explicit index range (grid cells, variants,
 // strategies) rather than cfg.Trials.
 func mapN[T any](cfg Config, label string, n int, fn func(i int) (T, error)) ([]T, error) {
-	return runner.Map(context.Background(), n,
-		runner.Options{Workers: cfg.Workers, Label: label}, fn)
+	return mapSweep(cfg, label, n, fn)
+}
+
+// fingerprint hashes the identity of one sweep — everything that
+// determines its bits. The worker count is excluded on purpose: the
+// determinism contract makes results worker-invariant, so a run may
+// legally resume at a different width.
+func (c Config) fingerprint(label string, n int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|n=%d|seed=%d|trials=%d|trialseconds=%g",
+		label, n, c.Seed, c.Trials, c.TrialSeconds)
+	return h.Sum64()
+}
+
+// mapSweep is the single chokepoint every sweep runs through. Without a
+// checkpoint store it is a plain runner.Map; with one it opens the sweep's
+// journal, skips trials the journal already holds, streams each fresh
+// result into the journal (gob-encoded, fsync'd before the trial counts as
+// complete), and merges the journaled results back into their slots so the
+// caller sees a complete, in-order result set either way.
+func mapSweep[T any](cfg Config, label string, n int, fn func(i int) (T, error)) ([]T, error) {
+	opts := runner.Options{Workers: cfg.Workers, Label: label}
+	var prior map[int]T
+	if cfg.Checkpoint != nil {
+		meta := checkpoint.Meta{Fingerprint: cfg.fingerprint(label, n), Trials: n}
+		j, err := cfg.Checkpoint.Journal(label, meta)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		prior = make(map[int]T)
+		for i := 0; i < n; i++ {
+			p, ok := j.Result(i)
+			if !ok {
+				continue
+			}
+			var v T
+			if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
+				return nil, fmt.Errorf("experiments: %s: decoding journaled trial %d: %w", label, i, err)
+			}
+			prior[i] = v
+		}
+		opts.Completed = j.Completed()
+		opts.OnResult = func(trial int, result any) error {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(result.(T)); err != nil {
+				return err
+			}
+			return j.Append(trial, buf.Bytes())
+		}
+	}
+	out, err := runner.Map(context.Background(), n, opts, fn)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range prior {
+		out[i] = v
+	}
+	return out, nil
 }
 
 // DistanceBin is one boxplot column of a throughput-vs-distance figure.

@@ -49,9 +49,11 @@ func missionSpecs() []fleet.UAVSpec {
 }
 
 // missionTrial is one paired mission's contribution to the aggregates.
+// Fields are exported because trials are gob-journaled under -checkpoint
+// and gob silently drops unexported fields.
 type missionTrial struct {
-	naiveDeliveredMB, smartDeliveredMB, totalMB float64
-	naiveMakespanS, smartMakespanS              float64 // 0 when the posture never delivered
+	NaiveDeliveredMB, SmartDeliveredMB, TotalMB float64
+	NaiveMakespanS, SmartMakespanS              float64 // 0 when the posture never delivered
 }
 
 // MissionLevel runs cfg.Trials paired missions (same seeds) under both
@@ -86,12 +88,12 @@ func MissionLevel(cfg Config) (MissionLevelResult, error) {
 				return missionTrial{}, err
 			}
 			if naive {
-				out.naiveDeliveredMB = rep.DeliveredMB
-				out.naiveMakespanS = rep.MakespanS
-				out.totalMB = rep.TotalMB
+				out.NaiveDeliveredMB = rep.DeliveredMB
+				out.NaiveMakespanS = rep.MakespanS
+				out.TotalMB = rep.TotalMB
 			} else {
-				out.smartDeliveredMB = rep.DeliveredMB
-				out.smartMakespanS = rep.MakespanS
+				out.SmartDeliveredMB = rep.DeliveredMB
+				out.SmartMakespanS = rep.MakespanS
 			}
 		}
 		return out, nil
@@ -103,14 +105,14 @@ func MissionLevel(cfg Config) (MissionLevelResult, error) {
 	var naiveMs, smartMs []float64
 	var naiveDel, smartDel, total float64
 	for _, tr := range trials {
-		naiveDel += tr.naiveDeliveredMB
-		smartDel += tr.smartDeliveredMB
-		total += tr.totalMB
-		if tr.naiveMakespanS > 0 {
-			naiveMs = append(naiveMs, tr.naiveMakespanS)
+		naiveDel += tr.NaiveDeliveredMB
+		smartDel += tr.SmartDeliveredMB
+		total += tr.TotalMB
+		if tr.NaiveMakespanS > 0 {
+			naiveMs = append(naiveMs, tr.NaiveMakespanS)
 		}
-		if tr.smartMakespanS > 0 {
-			smartMs = append(smartMs, tr.smartMakespanS)
+		if tr.SmartMakespanS > 0 {
+			smartMs = append(smartMs, tr.SmartMakespanS)
 		}
 	}
 	// NaN (no completed mission) flows through deliberately; renderers show

@@ -97,10 +97,12 @@ func survivalSchedule(intensity float64) *chaos.Schedule {
 }
 
 // survivalTrial is one paired mission's contribution to a grid point.
+// Fields are exported because trials are gob-journaled under -checkpoint
+// and gob silently drops unexported fields.
 type survivalTrial struct {
-	naiveDeliveredMB, resilDeliveredMB, totalMB float64
-	naivePartials, resilPartials                int
-	naiveDelays, resilDelays                    []float64
+	NaiveDeliveredMB, ResilDeliveredMB, TotalMB float64
+	NaivePartials, ResilPartials                int
+	NaiveDelays, ResilDelays                    []float64
 }
 
 // Survivability runs the chaos experiment: for each fault intensity on the
@@ -139,14 +141,14 @@ func Survivability(cfg Config) (SurvivabilityResult, error) {
 					return survivalTrial{}, err
 				}
 				if resilient {
-					out.resilDeliveredMB = rep.DeliveredMB
-					out.resilPartials = rep.PartialDeliveries
-					out.resilDelays = delays(rep)
+					out.ResilDeliveredMB = rep.DeliveredMB
+					out.ResilPartials = rep.PartialDeliveries
+					out.ResilDelays = delays(rep)
 				} else {
-					out.naiveDeliveredMB = rep.DeliveredMB
-					out.naivePartials = rep.PartialDeliveries
-					out.naiveDelays = delays(rep)
-					out.totalMB = rep.TotalMB
+					out.NaiveDeliveredMB = rep.DeliveredMB
+					out.NaivePartials = rep.PartialDeliveries
+					out.NaiveDelays = delays(rep)
+					out.TotalMB = rep.TotalMB
 				}
 			}
 			return out, nil
@@ -158,13 +160,13 @@ func Survivability(cfg Config) (SurvivabilityResult, error) {
 		var naiveDel, resilDel, total float64
 		var naiveDelays, resilDelays []float64
 		for _, tr := range trials {
-			naiveDel += tr.naiveDeliveredMB
-			resilDel += tr.resilDeliveredMB
-			total += tr.totalMB
-			p.NaivePartials += tr.naivePartials
-			p.ResilientPartials += tr.resilPartials
-			naiveDelays = append(naiveDelays, tr.naiveDelays...)
-			resilDelays = append(resilDelays, tr.resilDelays...)
+			naiveDel += tr.NaiveDeliveredMB
+			resilDel += tr.ResilDeliveredMB
+			total += tr.TotalMB
+			p.NaivePartials += tr.NaivePartials
+			p.ResilientPartials += tr.ResilPartials
+			naiveDelays = append(naiveDelays, tr.NaiveDelays...)
+			resilDelays = append(resilDelays, tr.ResilDelays...)
 		}
 		if total > 0 {
 			p.NaiveDeliveryRatio = naiveDel / total

@@ -1,0 +1,55 @@
+package runner
+
+import "math/bits"
+
+// Bitmap is a fixed-size set of trial indices. Its main use is
+// Options.Completed: a checkpoint journal marks the trials it already holds
+// and Map skips them, so a resumed sweep re-runs only the missing work.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an empty bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the index range the bitmap covers.
+func (b *Bitmap) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Set marks index i. Out-of-range indices are ignored.
+func (b *Bitmap) Set(i int) {
+	if b == nil || i < 0 || i >= b.n {
+		return
+	}
+	b.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Get reports whether index i is marked. A nil bitmap holds nothing.
+func (b *Bitmap) Get(i int) bool {
+	if b == nil || i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of marked indices.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

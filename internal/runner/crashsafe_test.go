@@ -1,0 +1,267 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMapPanicIsolated is the panic-isolation regression: a panicking
+// trial must not crash the process, must surface as a TrialPanicError with
+// the trial index and captured stack, and must win the lowest-index rule
+// like any other failure.
+func TestMapPanicIsolated(t *testing.T) {
+	_, err := Map(context.Background(), 12, Options{Workers: 4},
+		func(trial int) (int, error) {
+			if trial == 5 {
+				panic("trial blew up")
+			}
+			return trial, nil
+		})
+	if err == nil {
+		t.Fatal("panicking trial returned nil error")
+	}
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *TrialPanicError", err, err)
+	}
+	if pe.Trial != 5 {
+		t.Errorf("panic trial = %d, want 5", pe.Trial)
+	}
+	if pe.Value != "trial blew up" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "crashsafe_test") {
+		t.Errorf("stack does not point at the trial body:\n%s", pe.Stack)
+	}
+	ms := Metrics()
+	if got := ms[len(ms)-1].Panics; got != 1 {
+		t.Errorf("RunStats.Panics = %d, want 1", got)
+	}
+}
+
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	// A panic at a low index must beat an ordinary error at a higher one.
+	_, err := Map(context.Background(), 8, Options{Workers: 8},
+		func(trial int) (int, error) {
+			switch trial {
+			case 1:
+				panic("low")
+			case 6:
+				return 0, errors.New("high")
+			}
+			return trial, nil
+		})
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) || pe.Trial != 1 {
+		t.Fatalf("err = %v, want panic of trial 1", err)
+	}
+}
+
+func TestMapTrialTimeoutAborts(t *testing.T) {
+	start := time.Now()
+	_, err := Map(context.Background(), 4, Options{Workers: 4, TrialTimeout: 30 * time.Millisecond},
+		func(trial int) (int, error) {
+			if trial == 2 {
+				time.Sleep(2 * time.Second) // hung trial
+			}
+			return trial, nil
+		})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout abort took %v — watchdog did not abandon the hung trial", elapsed)
+	}
+	var se *TrialStallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *TrialStallError", err)
+	}
+	if se.Trial != 2 || !se.Hard || se.Limit != 30*time.Millisecond {
+		t.Errorf("stall error = %+v", se)
+	}
+	ms := Metrics()
+	if got := ms[len(ms)-1].Stalls; got < 1 {
+		t.Errorf("RunStats.Stalls = %d, want ≥ 1", got)
+	}
+}
+
+func TestMapStallDetectorFlags(t *testing.T) {
+	// Many fast trials establish the running median; one slow trial must be
+	// flagged (but, without AbortOnStall, the run still completes).
+	out, err := Map(context.Background(), 40, Options{Workers: 2, StallFactor: 4},
+		func(trial int) (int, error) {
+			if trial == 30 {
+				time.Sleep(400 * time.Millisecond)
+			} else {
+				time.Sleep(2 * time.Millisecond)
+			}
+			return trial, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 40 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	ms := Metrics()
+	m := ms[len(ms)-1]
+	if m.Stalls < 1 {
+		t.Errorf("stall detector never flagged the slow trial: %+v", m)
+	}
+	if m.Completed != 40 {
+		t.Errorf("flag-only watchdog must not abort: completed = %d", m.Completed)
+	}
+}
+
+func TestMapAbortOnStall(t *testing.T) {
+	start := time.Now()
+	_, err := Map(context.Background(), 40, Options{Workers: 2, StallFactor: 4, AbortOnStall: true},
+		func(trial int) (int, error) {
+			if trial == 20 {
+				time.Sleep(5 * time.Second)
+			} else {
+				time.Sleep(2 * time.Millisecond)
+			}
+			return trial, nil
+		})
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stall abort took %v", elapsed)
+	}
+	var se *TrialStallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *TrialStallError", err)
+	}
+	if se.Trial != 20 || se.Hard {
+		t.Errorf("stall error = %+v, want soft stall of trial 20", se)
+	}
+}
+
+func TestMapCompletedBitmapSkips(t *testing.T) {
+	done := NewBitmap(10)
+	for _, i := range []int{0, 3, 4, 9} {
+		done.Set(i)
+	}
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	out, err := Map(context.Background(), 10, Options{Workers: 3, Completed: done},
+		func(trial int) (int, error) {
+			mu.Lock()
+			ran[trial] = true
+			mu.Unlock()
+			return trial + 100, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if done.Get(i) {
+			if ran[i] {
+				t.Errorf("completed trial %d was re-run", i)
+			}
+			if out[i] != 0 {
+				t.Errorf("skipped trial %d slot = %d, want zero value", i, out[i])
+			}
+		} else {
+			if !ran[i] {
+				t.Errorf("missing trial %d never ran", i)
+			}
+			if out[i] != i+100 {
+				t.Errorf("out[%d] = %d", i, out[i])
+			}
+		}
+	}
+	ms := Metrics()
+	if got := ms[len(ms)-1].Skipped; got != 4 {
+		t.Errorf("RunStats.Skipped = %d, want 4", got)
+	}
+}
+
+// TestMapOnResultSurvivesFailure pins the durable-sink guarantee: when a
+// trial fails, every other trial that completes (including in-flight ones
+// finishing after the failure) is still delivered to OnResult, so a
+// journal keeps all finished work.
+func TestMapOnResultSurvivesFailure(t *testing.T) {
+	started3 := make(chan struct{})
+	failing := make(chan struct{})
+	var mu sync.Mutex
+	sunk := map[int]int{}
+	_, err := Map(context.Background(), 4, Options{Workers: 4,
+		OnResult: func(trial int, v any) error {
+			mu.Lock()
+			sunk[trial] = v.(int)
+			mu.Unlock()
+			return nil
+		}},
+		func(trial int) (int, error) {
+			if trial == 1 {
+				<-started3 // fail only once trial 3 is in flight
+				close(failing)
+				return 0, errors.New("boom")
+			}
+			if trial == 3 {
+				close(started3)
+				// Stay in flight until trial 1 has failed, then let the
+				// failure be recorded before completing.
+				<-failing
+				time.Sleep(20 * time.Millisecond)
+			}
+			return trial * 10, nil
+		})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	mu.Lock()
+	got3, ok3 := sunk[3]
+	mu.Unlock()
+	if !ok3 || got3 != 30 {
+		t.Fatalf("in-flight trial 3 result lost on failure: sunk=%v", sunk)
+	}
+	if _, ok := sunk[1]; ok {
+		t.Error("failed trial delivered to the sink")
+	}
+}
+
+func TestMapOnResultErrorFailsTrial(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	_, err := Map(context.Background(), 6, Options{Workers: 2,
+		OnResult: func(trial int, v any) error {
+			if trial == 2 {
+				return sinkErr
+			}
+			return nil
+		}},
+		func(trial int) (int, error) { return trial, nil })
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want wrapped sink error", err)
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	var nilB *Bitmap
+	if nilB.Get(0) || nilB.Count() != 0 || nilB.Len() != 0 {
+		t.Error("nil bitmap must be empty")
+	}
+	nilB.Set(1) // must not panic
+
+	b := NewBitmap(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitmap: len=%d count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	b.Set(-1)
+	b.Set(130) // out of range: ignored
+	if b.Count() != 4 {
+		t.Errorf("count = %d, want 4", b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(130) || b.Get(-1) {
+		t.Error("unexpected bits set")
+	}
+}

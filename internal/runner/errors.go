@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrialPanicError reports a trial body that panicked. Map recovers the
+// panic inside the worker, so one bad trial fails the run through the
+// ordinary lowest-index-wins error path instead of tearing down the whole
+// process (and with it every other sweep's progress).
+type TrialPanicError struct {
+	// Trial is the index of the panicking trial.
+	Trial int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *TrialPanicError) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", e.Trial, e.Value, e.Stack)
+}
+
+// TrialStallError reports a trial aborted by a watchdog: either the hard
+// Options.TrialTimeout or the running-median stall detector with
+// Options.AbortOnStall set. The trial body itself cannot be preempted, so
+// an aborted run abandons it (see Map's watchdog notes).
+type TrialStallError struct {
+	// Trial is the index of the stalled trial.
+	Trial int
+	// Elapsed is how long the trial had been running when the watchdog
+	// fired; Limit is the threshold it crossed.
+	Elapsed, Limit time.Duration
+	// Hard distinguishes the fixed TrialTimeout (true) from the
+	// running-median stall detector (false).
+	Hard bool
+}
+
+func (e *TrialStallError) Error() string {
+	kind := "stalled at >"
+	if e.Hard {
+		kind = "exceeded trial timeout"
+	}
+	return fmt.Sprintf("runner: trial %d %s %v (running for %v)", e.Trial, kind, e.Limit, e.Elapsed)
+}

@@ -17,6 +17,15 @@ type RunStats struct {
 	MaxInFlight int     `json:"max_in_flight"`
 	MaxTrialS   float64 `json:"max_trial_s"`
 	MeanTrialS  float64 `json:"mean_trial_s"`
+	// Skipped counts trials bypassed via Options.Completed (a resumed run
+	// re-using journaled results).
+	Skipped int `json:"skipped,omitempty"`
+	// Panics counts trials that failed by panicking (recovered into
+	// TrialPanicError).
+	Panics int `json:"panics,omitempty"`
+	// Stalls counts watchdog firings: trials flagged by the running-median
+	// stall detector plus hard TrialTimeout expiries.
+	Stalls int `json:"stalls,omitempty"`
 }
 
 var (

@@ -19,12 +19,28 @@
 //
 // Under this contract Map(workers=1) and Map(workers=N) produce the same
 // bits, and both match the pre-engine serial loops.
+//
+// The crash-safety contract layered on top:
+//
+//   - A panicking trial body never kills the process: the panic is
+//     recovered into a TrialPanicError carrying the trial index and stack,
+//     and reported through the ordinary lowest-index-wins error path.
+//   - Every successfully completed trial is delivered to Options.OnResult
+//     even when the run as a whole fails — a crash after N good trials
+//     never loses those N results from a durable sink (the checkpoint
+//     journal). Only a watchdog abort abandons in-flight work.
+//   - Options.Completed lets a resumed run skip trials a journal already
+//     holds; because results are slotted by index, a resumed run is
+//     bit-identical to an uninterrupted one at any worker count.
 package runner
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 )
@@ -41,10 +57,55 @@ type Options struct {
 	// engine, so the callback itself need not be goroutine-safe, but it
 	// runs concurrently with other trials and must not mutate trial state.
 	OnTrial func(trial int, elapsed time.Duration)
+	// OnResult, when non-nil, receives every successfully completed
+	// trial's result — the durable-sink hook. It is invoked even for
+	// trials that finish after another trial has already failed the run,
+	// so a sink such as the checkpoint journal never loses completed work
+	// on a failure. Calls are serialized like OnTrial. A non-nil return
+	// fails that trial (and therefore the run) — a sink that cannot
+	// persist must stop the sweep rather than silently drop results.
+	OnResult func(trial int, result any) error
+	// Completed marks trials that are already done (typically from a
+	// checkpoint journal). Marked trials are skipped — fn is never invoked
+	// for them and OnTrial/OnResult do not fire — and their result slots
+	// are returned as zero values for the caller to fill from its journal.
+	Completed *Bitmap
+	// TrialTimeout, when > 0, is a hard per-trial watchdog: a trial
+	// running longer aborts the run with a TrialStallError. The trial body
+	// is not preemptible, so the abort abandons the stuck goroutine (it is
+	// leaked until it returns on its own); see the watchdog notes on Map.
+	TrialTimeout time.Duration
+	// StallFactor, when > 0, arms the stall detector: any in-flight trial
+	// exceeding StallFactor × the running median trial duration (over the
+	// last stallWindow completed trials, once stallMinSamples have
+	// finished, with a stallFloor lower bound against scheduler noise) is
+	// flagged in RunStats.Stalls.
+	StallFactor float64
+	// AbortOnStall upgrades stall flags to aborts: the first flagged trial
+	// aborts the run with a TrialStallError, abandoning in-flight work
+	// like TrialTimeout does.
+	AbortOnStall bool
 }
 
 // ErrCancelled reports a run aborted by context cancellation.
 var ErrCancelled = errors.New("runner: run cancelled")
+
+// Stall-detector tuning: the running median is taken over the last
+// stallWindow completed trials once stallMinSamples have finished, and the
+// stall threshold never drops below stallFloor (a GC pause or scheduler
+// hiccup must not flag a microsecond-scale trial).
+const (
+	stallWindow     = 256
+	stallMinSamples = 5
+	stallFloor      = 20 * time.Millisecond
+	stallTick       = 10 * time.Millisecond
+)
+
+// trialOutcome carries one trial's result across the watchdog boundary.
+type trialOutcome[T any] struct {
+	res T
+	err error
+}
 
 // Map runs fn for every trial in [0, n) on a bounded worker pool and
 // returns the results in trial order.
@@ -53,7 +114,19 @@ var ErrCancelled = errors.New("runner: run cancelled")
 // the reported error is deterministic) together with a nil slice — never a
 // partially filled one. Once any trial fails or ctx is cancelled, no new
 // trials start; trials already in flight run to completion (fn is not
-// preemptible) and their results are discarded.
+// preemptible) and their results, while absent from the returned slice,
+// are still delivered to Options.OnResult — a durable sink keeps every
+// completed trial even when the run fails.
+//
+// A panic inside fn is recovered into a *TrialPanicError and treated as
+// that trial's failure; it never propagates out of Map.
+//
+// Watchdogs are the exception to run-to-completion: when TrialTimeout or
+// AbortOnStall trips, Map returns a *TrialStallError promptly and abandons
+// in-flight trial goroutines (fn cannot be preempted, so they leak until
+// they return on their own; their results are discarded). Use the abort
+// watchdogs only when a hung trial is worse than a leaked goroutine —
+// e.g. unattended million-trial sweeps.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T, error)) ([]T, error) {
 	if fn == nil {
 		return nil, errors.New("runner: nil trial function")
@@ -68,6 +141,9 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T,
 	if workers > n {
 		workers = n
 	}
+	// Watchdog aborts need the trial body in its own goroutine so the
+	// worker can stop waiting; without them fn runs inline on the worker.
+	abandonable := opts.TrialTimeout > 0 || opts.AbortOnStall
 
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -76,11 +152,26 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T,
 		mu       sync.Mutex
 		next     int
 		failed   bool
-		inFlight int
+		inflight = make(map[int]*trialState)
+		recent   []float64 // ring buffer of recent trial durations (seconds)
+		recentAt int
 		m        = RunStats{Label: opts.Label, Trials: n, Workers: workers}
 	)
 	if m.Label == "" {
 		m.Label = "run"
+	}
+	abortCh := make(chan struct{})
+	var abortOnce sync.Once
+	// abortWith records err against trial (unless it already failed some
+	// other way) and releases every worker. Callers must not hold mu.
+	abortWith := func(trial int, err error) {
+		mu.Lock()
+		if errs[trial] == nil {
+			errs[trial] = err
+		}
+		failed = true
+		mu.Unlock()
+		abortOnce.Do(func() { close(abortCh) })
 	}
 	start := time.Now()
 
@@ -91,44 +182,154 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T,
 			defer wg.Done()
 			for {
 				mu.Lock()
+				for next < n && opts.Completed.Get(next) {
+					m.Skipped++
+					next++
+				}
 				if failed || next >= n || ctx.Err() != nil {
 					mu.Unlock()
 					return
 				}
 				trial := next
 				next++
-				inFlight++
-				if inFlight > m.MaxInFlight {
-					m.MaxInFlight = inFlight
+				st := &trialState{start: time.Now()}
+				inflight[trial] = st
+				if len(inflight) > m.MaxInFlight {
+					m.MaxInFlight = len(inflight)
 				}
 				mu.Unlock()
 
-				t0 := time.Now()
-				res, err := fn(trial)
-				elapsed := time.Since(t0)
+				var out trialOutcome[T]
+				if !abandonable {
+					out.res, out.err = safeCall(fn, trial)
+				} else {
+					ch := make(chan trialOutcome[T], 1)
+					go func() {
+						var o trialOutcome[T]
+						o.res, o.err = safeCall(fn, trial)
+						ch <- o
+					}()
+					var timer *time.Timer
+					var timeoutC <-chan time.Time
+					if opts.TrialTimeout > 0 {
+						timer = time.NewTimer(opts.TrialTimeout)
+						timeoutC = timer.C
+					}
+					select {
+					case out = <-ch:
+						if timer != nil {
+							timer.Stop()
+						}
+					case <-timeoutC:
+						mu.Lock()
+						m.Stalls++
+						delete(inflight, trial)
+						mu.Unlock()
+						abortWith(trial, &TrialStallError{
+							Trial: trial, Elapsed: time.Since(st.start),
+							Limit: opts.TrialTimeout, Hard: true,
+						})
+						return
+					case <-abortCh:
+						// Another trial's watchdog fired; this trial is
+						// abandoned (its goroutine drains into the
+						// buffered channel whenever it finishes).
+						mu.Lock()
+						delete(inflight, trial)
+						mu.Unlock()
+						return
+					}
+				}
+				elapsed := time.Since(st.start)
 
 				mu.Lock()
-				inFlight--
+				delete(inflight, trial)
 				m.Completed++
-				m.BusyS += elapsed.Seconds()
-				if s := elapsed.Seconds(); s > m.MaxTrialS {
+				s := elapsed.Seconds()
+				m.BusyS += s
+				if s > m.MaxTrialS {
 					m.MaxTrialS = s
 				}
-				if err != nil {
-					errs[trial] = err
-					failed = true
+				if len(recent) < stallWindow {
+					recent = append(recent, s)
 				} else {
-					results[trial] = res
+					recent[recentAt] = s
+					recentAt = (recentAt + 1) % stallWindow
 				}
-				cb := opts.OnTrial
-				if cb != nil {
-					cb(trial, elapsed)
+				if out.err != nil {
+					errs[trial] = out.err
+					failed = true
+					var pe *TrialPanicError
+					if errors.As(out.err, &pe) {
+						m.Panics++
+					}
+				} else {
+					results[trial] = out.res
+					if opts.OnResult != nil {
+						if serr := opts.OnResult(trial, out.res); serr != nil {
+							errs[trial] = fmt.Errorf("runner: trial %d result sink: %w", trial, serr)
+							failed = true
+						}
+					}
+				}
+				if opts.OnTrial != nil {
+					opts.OnTrial(trial, elapsed)
 				}
 				mu.Unlock()
 			}
 		}()
 	}
+
+	// The stall watchdog samples in-flight trials against the running
+	// median of recently completed ones.
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	if opts.StallFactor > 0 {
+		go func() {
+			defer close(watchDone)
+			ticker := time.NewTicker(stallTick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-abortCh:
+					return
+				case <-watchStop:
+					return
+				case <-ticker.C:
+				}
+				var stalled []stallHit
+				mu.Lock()
+				if m.Completed >= stallMinSamples {
+					med := medianOf(recent)
+					limit := time.Duration(opts.StallFactor * med * float64(time.Second))
+					if limit < stallFloor {
+						limit = stallFloor
+					}
+					for trial, st := range inflight {
+						if el := time.Since(st.start); el > limit && !st.flagged {
+							st.flagged = true
+							m.Stalls++
+							stalled = append(stalled, stallHit{trial: trial, elapsed: el, limit: limit})
+						}
+					}
+				}
+				mu.Unlock()
+				if opts.AbortOnStall {
+					for _, h := range stalled {
+						abortWith(h.trial, &TrialStallError{
+							Trial: h.trial, Elapsed: h.elapsed, Limit: h.limit,
+						})
+					}
+				}
+			}
+		}()
+	} else {
+		close(watchDone)
+	}
+
 	wg.Wait()
+	close(watchStop)
+	<-watchDone
 
 	m.WallS = time.Since(start).Seconds()
 	if m.Completed > 0 {
@@ -145,6 +346,43 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(trial int) (T,
 		return nil, errors.Join(ErrCancelled, err)
 	}
 	return results, nil
+}
+
+// trialState is the watchdog's view of one in-flight trial.
+type trialState struct {
+	start   time.Time
+	flagged bool
+}
+
+// stallHit is one stall-detector firing, extracted under the lock and
+// reported after it is released.
+type stallHit struct {
+	trial          int
+	elapsed, limit time.Duration
+}
+
+// safeCall invokes fn and converts a panic into a *TrialPanicError.
+func safeCall[T any](fn func(trial int) (T, error), trial int) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TrialPanicError{Trial: trial, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(trial)
+}
+
+// medianOf returns the median of xs (unsorted input, not mutated).
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if len(tmp)%2 == 1 {
+		return tmp[len(tmp)/2]
+	}
+	return (tmp[len(tmp)/2-1] + tmp[len(tmp)/2]) / 2
 }
 
 // SplitSeed derives the i-th trial seed from a root seed with a SplitMix64

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a result file via temp file + rename: render
+// streams the content into a temp file in the destination directory (same
+// filesystem, so the rename is atomic), which is fsync'd and only then
+// moved over path. An interrupted or failed write leaves either the old
+// content intact or nothing — never a torn file — and the temp file is
+// always cleaned up. Every CSV/SVG/summary emitted by cmd/experiments
+// routes through here; this is what makes the kill-and-resume guarantee
+// meaningful at the output layer, not just the journal layer.
+func WriteFileAtomic(path string, render func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := render(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomicBytes is WriteFileAtomic for pre-rendered content.
+func WriteFileAtomicBytes(path string, data []byte) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		return nil
+	})
+}

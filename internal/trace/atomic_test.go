@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomicFailureLeavesOldContent pins the atomicity contract:
+// a render that fails partway (an interrupted run) must leave the previous
+// file byte-intact and no temp debris in the directory.
+func TestWriteFileAtomicFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.csv")
+	if err := WriteFileAtomicBytes(path, []byte("old,complete,content\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("interrupted mid-render")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		// Partial bytes hit the temp file before the failure, as a crash
+		// mid-render would leave them.
+		io.WriteString(w, "new,partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want render error", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old,complete,content\n" {
+		t.Errorf("old content clobbered: %q", data)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileAtomicFailureOnFreshPathLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.svg")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "<svg")
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("render error swallowed")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("failed write materialized the target: %v", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileAtomicReplacesWhole(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.txt")
+	for _, content := range []string{"first\n", "second, longer content\n", "3\n"} {
+		if err := WriteFileAtomicBytes(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != content {
+			t.Errorf("got %q, want %q", data, content)
+		}
+	}
+	assertNoTempFiles(t, filepath.Join(dir, "sub"))
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}

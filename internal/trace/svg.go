@@ -7,8 +7,6 @@ package trace
 import (
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"strings"
 )
 
@@ -182,12 +180,7 @@ func svgEscape(s string) string {
 }
 
 // WriteSVG writes an SVG document to path, creating parent directories.
+// The write is atomic (temp file + rename), like every other result file.
 func WriteSVG(path, svg string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	return nil
+	return WriteFileAtomicBytes(path, []byte(svg))
 }

@@ -8,8 +8,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
@@ -17,20 +15,12 @@ import (
 )
 
 // WriteCSV writes a header row and records to path, creating parent
-// directories as needed.
+// directories as needed. The write is atomic (temp file + rename): an
+// interrupted run never leaves a truncated CSV behind.
 func WriteCSV(path string, header []string, rows [][]float64) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	defer f.Close()
-	if err := writeCSVTo(f, header, rows); err != nil {
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return writeCSVTo(w, header, rows)
+	})
 }
 
 func writeCSVTo(w io.Writer, header []string, rows [][]float64) error {

@@ -61,6 +61,12 @@ type benchReport struct {
 	// journaling (the "chaos-checkpointed" step, fsync per trial) relative
 	// to the plain chaos step — what crash-safety costs.
 	ChaosCheckpointOverhead float64 `json:"chaos_checkpoint_overhead,omitempty"`
+	// PolicyLookupNS and PolicyExactOptimizeNS are the policy step's mean
+	// nanoseconds per table-served lookup and per exact golden-section
+	// optimization; PolicySpeedup their ratio (the serving win).
+	PolicyLookupNS        float64 `json:"policy_lookup_ns,omitempty"`
+	PolicyExactOptimizeNS float64 `json:"policy_exact_optimize_ns,omitempty"`
+	PolicySpeedup         float64 `json:"policy_speedup,omitempty"`
 }
 
 func main() {
@@ -73,7 +79,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	out := fs.String("out", "results", "output directory for CSV files")
 	quick := fs.Bool("quick", false, "reduced workload (fewer trials, shorter runs)")
-	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos")
+	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos,policy")
 	fig := fs.String("fig", "", "alias for -only")
 	seed := fs.Int64("seed", 1, "root random seed")
 	workers := fs.Int("workers", 0, "trial-pool size (0 = one worker per core); results are identical for any value")
@@ -115,7 +121,7 @@ func run(args []string) int {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	run := &runnerCmd{cfg: cfg, outDir: *out}
+	run := &runnerCmd{cfg: cfg, outDir: *out, quick: *quick}
 	steps := []struct {
 		name string
 		fn   func() error
@@ -131,6 +137,7 @@ func run(args []string) int {
 		{"ablations", run.ablations},
 		{"mission", run.missionLevel},
 		{"chaos", run.survivability},
+		{"policy", run.policyCheck},
 	}
 	report := benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -211,6 +218,11 @@ func run(args []string) int {
 			}
 		}
 	}
+	if pr := run.policyRes; pr != nil {
+		report.PolicyLookupNS = pr.LookupNS
+		report.PolicyExactOptimizeNS = pr.OptimizeNS
+		report.PolicySpeedup = pr.Speedup
+	}
 	if *bench {
 		if err := writeBench("BENCH_experiments.json", report); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -265,4 +277,9 @@ func writeBench(path string, report benchReport) error {
 type runnerCmd struct {
 	cfg    experiments.Config
 	outDir string
+	// quick shrinks the policy step's serving tables along with the rest
+	// of the reduced workload.
+	quick bool
+	// policyRes holds the policy step's result for the bench report.
+	policyRes *experiments.PolicyCheckResult
 }

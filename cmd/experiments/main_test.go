@@ -91,6 +91,29 @@ func TestFig1StepWritesSeries(t *testing.T) {
 	}
 }
 
+func TestPolicyStep(t *testing.T) {
+	r, done := quietRunner(t)
+	r.quick = true
+	err := r.policyCheck()
+	out := done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, readErr := os.ReadFile(filepath.Join(r.outDir, "policy.csv"))
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.HasPrefix(string(data), "figure_idx,d0_m,speed_mps,mdata_mb,rho") {
+		t.Fatalf("policy.csv header: %q", string(data[:60]))
+	}
+	if !strings.Contains(out, "policy_lookup") || !strings.Contains(out, "exact_optimize") {
+		t.Errorf("policy narration missing timings:\n%s", out)
+	}
+	if r.policyRes == nil || r.policyRes.Speedup <= 1 {
+		t.Fatalf("bench result not captured: %+v", r.policyRes)
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

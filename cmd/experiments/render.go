@@ -332,6 +332,35 @@ func (r *runnerCmd) missionLevel() error {
 		[][]float64{{res.NaiveMakespanS, res.RendezvousMakespanS, res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio}})
 }
 
+// policyCheck replays the Fig 8/Fig 9 sweep optima through the precomputed
+// policy tables (internal/policy) and reports serving accuracy and speed.
+func (r *runnerCmd) policyCheck() error {
+	params := experiments.DefaultPolicyCheckParams()
+	if r.quick {
+		params = experiments.QuickPolicyCheckParams()
+	}
+	res, err := experiments.PolicyCheckWith(r.cfg, params)
+	if err != nil {
+		return err
+	}
+	r.policyRes = &res
+	fmt.Printf("  policy tables vs sweep optima (%d lattice points):\n", res.TablePoints)
+	fmt.Printf("    %d/%d optima table-served, %d exact fallbacks (out-of-grid rhos, regime boundaries)\n",
+		res.TableServed, len(res.Cases), res.ExactServed)
+	fmt.Printf("    max served dopt error %.3g relative (bound %g)\n", res.MaxRelErr, res.Tolerance)
+	fmt.Printf("    policy_lookup %.0f ns vs exact_optimize %.0f ns → %.0fx\n",
+		res.LookupNS, res.OptimizeNS, res.Speedup)
+	var rows [][]float64
+	for _, c := range res.Cases {
+		rows = append(rows, []float64{float64(c.Figure),
+			c.Query.D0M, c.Query.SpeedMPS, c.Query.MdataMB, c.Query.Rho,
+			c.ExactDoptM, c.ServedDoptM, c.RelErr, float64(c.Source)})
+	}
+	return trace.WriteCSV(r.path("policy.csv"),
+		[]string{"figure_idx", "d0_m", "speed_mps", "mdata_mb", "rho",
+			"exact_dopt_m", "served_dopt_m", "rel_err", "source_idx"}, rows)
+}
+
 func (r *runnerCmd) survivability() error {
 	res, err := experiments.Survivability(r.cfg)
 	if err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds, spanning
+// cache hits (~100 ns) through exact-optimizer fallbacks (~200 µs) to
+// pathological stalls.
+var latencyBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2,
+}
+
+// latencyHistogram is a lock-free cumulative histogram of decision
+// latencies, exported in Prometheus text format.
+type latencyHistogram struct {
+	buckets []atomic.Uint64 // one per bound, plus a final +Inf bucket
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+func newLatencyHistogram() *latencyHistogram {
+	return &latencyHistogram{buckets: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBounds); i++ {
+		if s <= latencyBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// write emits the histogram in Prometheus text format (cumulative
+// buckets, as the exposition format requires).
+func (h *latencyHistogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP nowlaterd_decision_latency_seconds Decision latency, all serving paths.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_decision_latency_seconds histogram\n")
+	var cum uint64
+	for i, le := range latencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_bucket{le=%q} %d\n", formatBound(le), cum)
+	}
+	cum += h.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_sum %g\n", float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_count %d\n", h.count.Load())
+}
+
+func formatBound(le float64) string {
+	if le == math.Trunc(le) {
+		return fmt.Sprintf("%.1f", le)
+	}
+	return fmt.Sprintf("%g", le)
+}

@@ -1,0 +1,83 @@
+// Policy service: precompute the dopt decision surface once, persist it,
+// and serve decisions from the table instead of re-optimizing per query —
+// the library-level view of what cmd/nowlaterd does over HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	nowlater "github.com/nowlater/nowlater"
+)
+
+func main() {
+	// A smoke-scale lattice builds in tens of milliseconds; the default
+	// grid (11k points, ~2 s) is what a deployment would precompute.
+	cfg := nowlater.AirplanePolicyConfig()
+	cfg.Grid = nowlater.QuickPolicyGrid()
+
+	start := time.Now()
+	tbl, err := nowlater.BuildPolicyTable(context.Background(), cfg, nowlater.PolicyBuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d-point table in %v\n", cfg.Grid.Points(), time.Since(start).Round(time.Millisecond))
+
+	// Persist and reload: the file is CRC-checked and fingerprinted, so a
+	// corrupted file or a config drift is rejected loudly at load time.
+	dir, err := os.MkdirTemp("", "policy-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "airplane.nlpt")
+	if err := nowlater.WritePolicyTable(tbl, path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := nowlater.LoadMatchingPolicyTable(path, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted and reloaded %s\n", filepath.Base(path))
+
+	eng, err := nowlater.NewPolicyEngine(loaded, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the paper's baseline decision and a few variations; the same
+	// query twice shows the cache path.
+	queries := []nowlater.PolicyQuery{
+		{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: nowlater.AirplaneRho},
+		{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: nowlater.AirplaneRho},
+		{D0M: 200, SpeedMPS: 5, MdataMB: 10, Rho: 1e-3},
+		{D0M: 900, SpeedMPS: 10, MdataMB: 28, Rho: nowlater.AirplaneRho}, // outside the grid
+	}
+	for _, q := range queries {
+		dec, err := eng.Decide(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("d0=%3.0f m, v=%2.0f m/s, %4.1f MB, rho=%.3g → dopt %6.1f m (%s)\n",
+			q.D0M, q.SpeedMPS, q.MdataMB, q.Rho, dec.DoptM, dec.Source)
+	}
+
+	// The engine answer must agree with solving exactly.
+	sc := nowlater.AirplaneBaseline()
+	exact, err := sc.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := eng.Decide(queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("baseline: served %.2f m vs exact %.2f m\n", dec.DoptM, exact.DoptM)
+	fmt.Printf("stats: %d requests, %d cache hits, %d table hits, %d exact fallbacks\n",
+		st.Requests, st.CacheHits, st.TableHits, st.ExactFallbacks())
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// PolicyCheckParams parameterizes the policy-table cross-check.
+type PolicyCheckParams struct {
+	// Airplane and Quadrocopter are the serving-table configurations under
+	// test; they must use the same throughput fits as the core baselines or
+	// the comparison is vacuous.
+	Airplane, Quadrocopter policy.Config
+	// Tolerance is the maximum acceptable |served−exact|/exact on dopt for
+	// table-served decisions (exact fallbacks agree by construction).
+	Tolerance float64
+	// LookupIters and OptimizeIters size the timing loops.
+	LookupIters, OptimizeIters int
+}
+
+// DefaultPolicyCheckParams checks the default serving tables against the
+// paper sweeps at the documented interpolation bound.
+func DefaultPolicyCheckParams() PolicyCheckParams {
+	return PolicyCheckParams{
+		Airplane:      policy.AirplaneConfig(),
+		Quadrocopter:  policy.QuadrocopterConfig(),
+		Tolerance:     1e-3,
+		LookupIters:   4096,
+		OptimizeIters: 64,
+	}
+}
+
+// QuickPolicyCheckParams shrinks the serving tables to smoke scale (the
+// tables build in tens of milliseconds) while still covering every sweep
+// optimum the default grids cover.
+func QuickPolicyCheckParams() PolicyCheckParams {
+	p := DefaultPolicyCheckParams()
+	p.Airplane.Grid = policy.QuickGrid()
+	p.Quadrocopter.Grid = policy.Grid{
+		D0M:       policy.Linspace(30, 120, 8),
+		LoadMBmps: policy.Logspace(4, 1080, 12),
+		Rho:       policy.RhoAxis(2e-5, 4e-3, 5),
+	}
+	p.LookupIters = 1024
+	p.OptimizeIters = 16
+	return p
+}
+
+// PolicyCheckCase is one sweep optimum replayed through a policy engine.
+type PolicyCheckCase struct {
+	// Figure indexes the originating sweep: 0 = Fig8 airplane, 1 = Fig8
+	// quadrocopter, 2 = Fig9 grid.
+	Figure int
+	Query  policy.Query
+	// ExactDoptM is the sweep's golden-section optimum; ServedDoptM is the
+	// engine's answer; RelErr their relative gap.
+	ExactDoptM  float64
+	ServedDoptM float64
+	RelErr      float64
+	Source      policy.Source
+}
+
+// PolicyCheckResult cross-checks the precomputed decision tables against
+// the Fig. 8 and Fig. 9 sweep optima and times the serving paths.
+type PolicyCheckResult struct {
+	Cases []PolicyCheckCase
+	// MaxRelErr is the worst table-served dopt disagreement; Tolerance the
+	// bound it was checked against.
+	MaxRelErr float64
+	Tolerance float64
+	// TableServed and ExactServed count cases by serving path.
+	TableServed, ExactServed int
+	// LookupNS and OptimizeNS are mean wall-clock nanoseconds per
+	// table-served lookup and per exact optimization; Speedup their ratio.
+	LookupNS   float64
+	OptimizeNS float64
+	Speedup    float64
+	// TablePoints is the total lattice size across both tables.
+	TablePoints int
+}
+
+// PolicyCheck runs the cross-check with the default serving tables.
+func PolicyCheck(cfg Config) (PolicyCheckResult, error) {
+	return PolicyCheckWith(cfg, DefaultPolicyCheckParams())
+}
+
+// PolicyCheckWith replays every optimum of the Fig. 8 curves and the
+// Fig. 9 (Mdata, v) grid through engine-served policy tables. Each case
+// records the sweep's exact golden-section dopt, the engine's answer and
+// which path produced it; a table-served answer beyond Tolerance is an
+// error, because it means the precomputed tables would steer a mission to
+// a measurably wrong rendezvous.
+func PolicyCheckWith(cfg Config, p PolicyCheckParams) (PolicyCheckResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PolicyCheckResult{}, err
+	}
+	if p.Tolerance <= 0 {
+		return PolicyCheckResult{}, fmt.Errorf("experiments: policy tolerance %v must be positive", p.Tolerance)
+	}
+
+	air, err := policy.Build(context.Background(), p.Airplane, policy.BuildOptions{
+		Workers: cfg.Workers, Label: "policy/build-airplane", Checkpoint: cfg.Checkpoint,
+	})
+	if err != nil {
+		return PolicyCheckResult{}, err
+	}
+	quad, err := policy.Build(context.Background(), p.Quadrocopter, policy.BuildOptions{
+		Workers: cfg.Workers, Label: "policy/build-quad", Checkpoint: cfg.Checkpoint,
+	})
+	if err != nil {
+		return PolicyCheckResult{}, err
+	}
+	airEng, err := policy.NewEngine(air, 0)
+	if err != nil {
+		return PolicyCheckResult{}, err
+	}
+	quadEng, err := policy.NewEngine(quad, 0)
+	if err != nil {
+		return PolicyCheckResult{}, err
+	}
+
+	// The case list replays exactly the optima the Fig. 8 and Fig. 9 sweeps
+	// mark: both baselines across the paper's failure rates, then the
+	// airplane (Mdata, v) grid at the nominal rate.
+	type caseSpec struct {
+		figure int
+		base   core.Scenario
+		eng    *policy.Engine
+		q      policy.Query
+	}
+	var specs []caseSpec
+	airBase, quadBase := core.AirplaneBaseline(), core.QuadrocopterBaseline()
+	for _, rho := range fig8Rhos(failure.AirplaneRho) {
+		specs = append(specs, caseSpec{0, airBase, airEng, policy.Query{
+			D0M: airBase.D0M, SpeedMPS: airBase.SpeedMPS, MdataMB: airBase.MdataBytes / 1e6, Rho: rho,
+		}})
+	}
+	for _, rho := range fig8Rhos(failure.QuadrocopterRho) {
+		specs = append(specs, caseSpec{1, quadBase, quadEng, policy.Query{
+			D0M: quadBase.D0M, SpeedMPS: quadBase.SpeedMPS, MdataMB: quadBase.MdataBytes / 1e6, Rho: rho,
+		}})
+	}
+	fig9 := Fig9Result{
+		MdataSet: []float64{5, 7, 10, 15, 25, 45},
+		SpeedSet: []float64{3, 5, 10, 15, 20},
+	}
+	for _, mb := range fig9.MdataSet {
+		for _, v := range fig9.SpeedSet {
+			specs = append(specs, caseSpec{2, airBase, airEng, policy.Query{
+				D0M: airBase.D0M, SpeedMPS: v, MdataMB: mb, Rho: failure.AirplaneRho,
+			}})
+		}
+	}
+
+	cases, err := mapN(cfg, "policy/cases", len(specs), func(i int) (PolicyCheckCase, error) {
+		s := specs[i]
+		// The exact side is the sweep's own construction: the baseline
+		// scenario with the case's failure rate, geometry and payload.
+		sc := s.base
+		m, err := failure.NewModel(s.q.Rho)
+		if err != nil {
+			return PolicyCheckCase{}, err
+		}
+		sc.Failure = m
+		sc.D0M = s.q.D0M
+		sc.SpeedMPS = s.q.SpeedMPS
+		sc.MdataBytes = s.q.MdataMB * 1e6
+		exact, err := sc.Optimize()
+		if err != nil {
+			return PolicyCheckCase{}, err
+		}
+		served, err := s.eng.Decide(s.q)
+		if err != nil {
+			return PolicyCheckCase{}, err
+		}
+		rel := absDiff(served.DoptM, exact.DoptM) / exact.DoptM
+		return PolicyCheckCase{
+			Figure:      s.figure,
+			Query:       s.q,
+			ExactDoptM:  exact.DoptM,
+			ServedDoptM: served.DoptM,
+			RelErr:      rel,
+			Source:      served.Source,
+		}, nil
+	})
+	if err != nil {
+		return PolicyCheckResult{}, err
+	}
+
+	res := PolicyCheckResult{
+		Cases:       cases,
+		Tolerance:   p.Tolerance,
+		TablePoints: p.Airplane.Grid.Points() + p.Quadrocopter.Grid.Points(),
+	}
+	type timedQuery struct {
+		q   policy.Query
+		tbl *policy.Table
+	}
+	var inGrid []timedQuery
+	for i, c := range cases {
+		if c.RelErr > res.MaxRelErr {
+			res.MaxRelErr = c.RelErr
+		}
+		switch c.Source {
+		case policy.SourceTable, policy.SourceCache:
+			res.TableServed++
+			tbl := air
+			if specs[i].eng == quadEng {
+				tbl = quad
+			}
+			inGrid = append(inGrid, timedQuery{c.Query, tbl})
+		default:
+			res.ExactServed++
+		}
+		if c.Source == policy.SourceTable && c.RelErr > p.Tolerance {
+			return res, fmt.Errorf(
+				"experiments: policy table disagrees with sweep optimum at %+v: served %.4f m vs exact %.4f m (rel %.2e > %g)",
+				c.Query, c.ServedDoptM, c.ExactDoptM, c.RelErr, p.Tolerance)
+		}
+	}
+	if len(inGrid) == 0 {
+		return res, fmt.Errorf("experiments: no sweep optimum landed inside the policy grids")
+	}
+
+	// Timing: mean wall-clock of the table lookup path versus the exact
+	// golden-section optimizer, over the in-grid sweep queries.
+	if p.LookupIters > 0 {
+		start := time.Now()
+		for i := 0; i < p.LookupIters; i++ {
+			tq := inGrid[i%len(inGrid)]
+			tq.tbl.Lookup(tq.q)
+		}
+		res.LookupNS = float64(time.Since(start).Nanoseconds()) / float64(p.LookupIters)
+	}
+	if p.OptimizeIters > 0 {
+		start := time.Now()
+		for i := 0; i < p.OptimizeIters; i++ {
+			tq := inGrid[i%len(inGrid)]
+			pcfg := p.Airplane
+			if tq.tbl == quad {
+				pcfg = p.Quadrocopter
+			}
+			if _, err := pcfg.Scenario(tq.q).Optimize(); err != nil {
+				return res, err
+			}
+		}
+		res.OptimizeNS = float64(time.Since(start).Nanoseconds()) / float64(p.OptimizeIters)
+	}
+	if res.LookupNS > 0 && res.OptimizeNS > 0 {
+		res.Speedup = res.OptimizeNS / res.LookupNS
+	}
+	return res, nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

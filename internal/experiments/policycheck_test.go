@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+func TestPolicyCheck(t *testing.T) {
+	res, err := PolicyCheckWith(QuickConfig(), QuickPolicyCheckParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig8 contributes 5 rhos per baseline, Fig9 a 6×5 grid.
+	if want := 5 + 5 + 30; len(res.Cases) != want {
+		t.Fatalf("%d cases, want %d", len(res.Cases), want)
+	}
+	if res.TableServed == 0 {
+		t.Fatal("no sweep optimum was served from the tables")
+	}
+	// The paper's 5e-3 and 1e-2 failure-rate curves sit above both rho
+	// axes, so exact fallbacks must appear — and agree by construction.
+	if res.ExactServed == 0 {
+		t.Fatal("expected out-of-grid rhos to fall back to the exact optimizer")
+	}
+	for _, c := range res.Cases {
+		if c.Source != policy.SourceTable && c.RelErr > 1e-9 {
+			t.Fatalf("exact-served case disagrees with the sweep: %+v", c)
+		}
+	}
+	if res.MaxRelErr > res.Tolerance {
+		t.Fatalf("max rel err %.3e beyond tolerance %g", res.MaxRelErr, res.Tolerance)
+	}
+	if res.LookupNS <= 0 || res.OptimizeNS <= 0 || res.Speedup <= 1 {
+		t.Fatalf("implausible timings: lookup %.0f ns, optimize %.0f ns, speedup %.1f",
+			res.LookupNS, res.OptimizeNS, res.Speedup)
+	}
+	t.Logf("policy check: %d/%d table-served, max rel err %.3e, %.0f ns lookup vs %.0f ns exact (%.0fx)",
+		res.TableServed, len(res.Cases), res.MaxRelErr, res.LookupNS, res.OptimizeNS, res.Speedup)
+}
+
+func TestPolicyCheckValidation(t *testing.T) {
+	p := QuickPolicyCheckParams()
+	p.Tolerance = 0
+	if _, err := PolicyCheckWith(QuickConfig(), p); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	bad := QuickConfig()
+	bad.Trials = 0
+	if _, err := PolicyCheck(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -56,17 +56,41 @@ type Config struct {
 	// back to transmit-now rather than flying deeper on stale geometry.
 	// Zero disables staleness tracking (the seed behaviour).
 	StaleAfterS float64
+	// Optimizer, when non-nil, answers each per-decision optimization in
+	// place of core.Scenario.Optimize — the policy-engine fast path
+	// (policy.Engine.OptimizeScenario matches this signature). The planner
+	// never inspects how the answer was produced; a nil Optimizer solves
+	// exactly with an internal per-scenario memo.
+	Optimizer func(core.Scenario) (core.Optimum, error)
 }
+
+// memoKey identifies one exact optimization within a planner's fixed
+// configuration: only the link-opening distance and batch size vary per
+// decision (speed, failure model, throughput law and floor are planning
+// parameters).
+type memoKey struct {
+	d0M        float64
+	mdataBytes float64
+}
+
+// memoCap bounds the exact-path memo; at capacity the memo resets rather
+// than grow without bound (replanning workloads cycle a small key set, so
+// a full reset is rare and cheap).
+const memoCap = 1024
 
 // Planner is the central decision maker.
 type Planner struct {
 	cfg    Config
 	states map[string]VehicleState
+	memo   map[memoKey]core.Optimum
 	// Decisions records every rendezvous computed (latest first served).
 	Decisions []Decision
 	// StaleDrops counts status beacons rejected for arriving out of
 	// order (an older timestamp than the state already held).
 	StaleDrops int64
+	// MemoHits counts per-decision optimizations answered from the
+	// planner's exact-path memo (nil Config.Optimizer only).
+	MemoHits int64
 }
 
 // New builds a planner. The scenario's D0M and MdataBytes fields are
@@ -82,7 +106,34 @@ func New(cfg Config) (*Planner, error) {
 	if cfg.LinkRangeM <= 0 {
 		return nil, fmt.Errorf("planner: link range %v must be positive", cfg.LinkRangeM)
 	}
-	return &Planner{cfg: cfg, states: make(map[string]VehicleState)}, nil
+	return &Planner{
+		cfg:    cfg,
+		states: make(map[string]VehicleState),
+		memo:   make(map[memoKey]core.Optimum),
+	}, nil
+}
+
+// optimize answers one per-decision optimization: through the configured
+// Optimizer when set (the policy-engine fast path), otherwise exactly,
+// memoized on the scenario values that vary per decision.
+func (p *Planner) optimize(sc core.Scenario) (core.Optimum, error) {
+	if p.cfg.Optimizer != nil {
+		return p.cfg.Optimizer(sc)
+	}
+	key := memoKey{d0M: sc.D0M, mdataBytes: sc.MdataBytes}
+	if opt, ok := p.memo[key]; ok {
+		p.MemoHits++
+		return opt, nil
+	}
+	opt, err := sc.Optimize()
+	if err != nil {
+		return core.Optimum{}, err
+	}
+	if len(p.memo) >= memoCap {
+		p.memo = make(map[memoKey]core.Optimum)
+	}
+	p.memo[key] = opt
+	return opt, nil
 }
 
 // Observe ingests one telemetry status beacon. Beacons that arrive out of
@@ -197,7 +248,7 @@ func (p *Planner) plan(ferryID, receiverID string, degraded bool) (Decision, boo
 	if sc.MinDistanceM == 0 {
 		sc.MinDistanceM = core.MinSeparationM
 	}
-	opt, err := sc.Optimize()
+	opt, err := p.optimize(sc)
 	if err != nil {
 		return Decision{}, false, fmt.Errorf("planner: %w", err)
 	}

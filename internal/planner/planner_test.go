@@ -277,3 +277,84 @@ func TestPlanMatchesDirectOptimization(t *testing.T) {
 		t.Fatalf("planner dopt %v vs direct %v", dec.Optimum.DoptM, want.DoptM)
 	}
 }
+
+func TestMemoization(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 80, Z: 10}, HasData: true, DataMB: 56.2})
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+
+	first, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil || !ok {
+		t.Fatalf("plan failed: %v %v", ok, err)
+	}
+	if p.MemoHits != 0 {
+		t.Fatalf("first plan hit the memo (%d)", p.MemoHits)
+	}
+	// Identical geometry and payload: the second plan must be answered
+	// from the memo with an identical optimum.
+	second, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil || !ok {
+		t.Fatalf("replan failed: %v %v", ok, err)
+	}
+	if p.MemoHits != 1 {
+		t.Fatalf("MemoHits = %d, want 1", p.MemoHits)
+	}
+	if second.Optimum != first.Optimum {
+		t.Fatal("memoized optimum differs from the computed one")
+	}
+	// Different payload: a fresh optimization, not a stale memo answer.
+	p.Observe(telemetry.Status{From: "ferry", Time: 1, Position: geo.Vec3{X: 80, Z: 10}, HasData: true, DataMB: 10})
+	third, ok, err := p.PlanDelivery("ferry", "recv")
+	if err != nil || !ok {
+		t.Fatalf("third plan failed: %v %v", ok, err)
+	}
+	if p.MemoHits != 1 {
+		t.Fatalf("MemoHits = %d after a different payload, want 1", p.MemoHits)
+	}
+	if third.Optimum.DoptM == first.Optimum.DoptM {
+		t.Fatal("different payload produced the same dopt — memo key too coarse?")
+	}
+}
+
+func TestMemoCapReset(t *testing.T) {
+	p := newPlanner(t)
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+	// Overflow the memo with distinct geometries; the planner must stay
+	// correct (the reset is an internal detail) and bounded.
+	for i := 0; i < memoCap+10; i++ {
+		x := 30 + float64(i%1030)*0.05
+		p.Observe(telemetry.Status{From: "ferry", Time: float64(i), Position: geo.Vec3{X: x, Z: 10}, HasData: true, DataMB: 56.2})
+		if _, ok, err := p.PlanDelivery("ferry", "recv"); err != nil || !ok {
+			t.Fatalf("plan %d failed: %v %v", i, ok, err)
+		}
+	}
+	if len(p.memo) > memoCap {
+		t.Fatalf("memo grew past its cap: %d", len(p.memo))
+	}
+}
+
+func TestOptimizerHook(t *testing.T) {
+	cfg := quadConfig()
+	calls := 0
+	cfg.Optimizer = func(sc core.Scenario) (core.Optimum, error) {
+		calls++
+		return sc.Optimize()
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: 80, Z: 10}, HasData: true, DataMB: 56.2})
+	p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+	for i := 0; i < 3; i++ {
+		if _, ok, err := p.PlanDelivery("ferry", "recv"); err != nil || !ok {
+			t.Fatalf("plan failed: %v %v", ok, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("optimizer called %d times, want 3 (no memo when hooked)", calls)
+	}
+	if p.MemoHits != 0 {
+		t.Fatalf("MemoHits = %d with an Optimizer configured", p.MemoHits)
+	}
+}

@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// benchQueries draws a fixed in-grid query mix shared by all benchmarks,
+// so the lookup/optimize comparison runs over identical work.
+func benchQueries(b *testing.B, g Grid) []Query {
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]Query, 512)
+	for i := range qs {
+		qs[i] = randomInGrid(rng, g)
+	}
+	return qs
+}
+
+// BenchmarkTableLookup is the uncached serving path: interpolate + polish.
+// Compare against BenchmarkExactOptimize for the table's speedup (~300×
+// on the reference machine).
+func BenchmarkTableLookup(b *testing.B) {
+	tbl := defaultTable(b)
+	qs := benchQueries(b, tbl.Config().Grid)
+	b.ResetTimer()
+	served := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(qs[i%len(qs)]); ok {
+			served++
+		}
+	}
+	if served == 0 {
+		b.Fatal("no queries served")
+	}
+}
+
+// BenchmarkEngineCacheHit is the hit path: every query already cached.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	eng, err := NewEngine(defaultTable(b), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(b, eng.Table().Config().Grid)
+	for _, q := range qs {
+		if _, err := eng.Decide(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Decide(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if hits := eng.Stats().CacheHits; hits < uint64(b.N) {
+		b.Fatalf("only %d cache hits over %d decisions", hits, b.N)
+	}
+}
+
+// BenchmarkExactOptimize is the per-query baseline the table replaces.
+func BenchmarkExactOptimize(b *testing.B) {
+	cfg := AirplaneConfig()
+	qs := benchQueries(b, cfg.Grid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Scenario(qs[i%len(qs)]).Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildQuick tracks table construction cost at smoke scale.
+func BenchmarkBuildQuick(b *testing.B) {
+	cfg := quickConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(context.Background(), cfg, BuildOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/checkpoint"
+	"github.com/nowlater/nowlater/internal/runner"
+)
+
+// BuildOptions tunes one table construction.
+type BuildOptions struct {
+	// Workers bounds the build pool (≤ 0 selects one per core). The table
+	// is bit-identical for any value: each lattice point is a pure
+	// function of the config.
+	Workers int
+	// Label names the build in the runner metrics registry (and the
+	// checkpoint journal). Defaults to "policy/build".
+	Label string
+	// Checkpoint, when non-nil, journals every completed d0-row so a
+	// killed build resumes from its last fsync'd row. A journal written
+	// under a different config is rejected with checkpoint.ErrMismatch.
+	Checkpoint *checkpoint.Store
+	// OnRow, when non-nil, is invoked after each completed d0-row — the
+	// progress hook. It runs on worker goroutines (rows complete out of
+	// order under parallelism) and must be safe for concurrent use.
+	OnRow func(row, rows int)
+}
+
+// Build precomputes the full lattice. The unit of parallelism and of
+// checkpointing is one d0-row (all load × ρ points at one d0 value):
+// coarse enough that per-row journal fsyncs are negligible, fine enough to
+// load every core.
+func Build(ctx context.Context, cfg Config, opts BuildOptions) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	label := opts.Label
+	if label == "" {
+		label = "policy/build"
+	}
+	g := cfg.Grid
+	rows := len(g.D0M)
+	rowLen := len(g.LoadMBmps) * len(g.Rho)
+
+	ropts := runner.Options{Workers: opts.Workers, Label: label}
+	var prior map[int][]Entry
+	if opts.Checkpoint != nil {
+		meta := checkpoint.Meta{Fingerprint: cfg.Fingerprint(), Trials: rows}
+		j, err := opts.Checkpoint.Journal(label, meta)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		prior = make(map[int][]Entry)
+		for i := 0; i < rows; i++ {
+			p, ok := j.Result(i)
+			if !ok {
+				continue
+			}
+			var row []Entry
+			if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&row); err != nil {
+				return nil, fmt.Errorf("policy: decoding journaled row %d: %w", i, err)
+			}
+			if len(row) != rowLen {
+				return nil, fmt.Errorf("policy: journaled row %d has %d entries, want %d", i, len(row), rowLen)
+			}
+			prior[i] = row
+		}
+		ropts.Completed = j.Completed()
+		ropts.OnResult = func(trial int, result any) error {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(result.([]Entry)); err != nil {
+				return err
+			}
+			return j.Append(trial, buf.Bytes())
+		}
+	}
+	out, err := runner.Map(ctx, rows, ropts, func(row int) ([]Entry, error) {
+		entries := make([]Entry, 0, rowLen)
+		d0 := g.D0M[row]
+		for _, load := range g.LoadMBmps {
+			for _, rho := range g.Rho {
+				sc := cfg.Scenario(canonicalQuery(d0, load, rho))
+				opt, err := sc.Optimize()
+				if err != nil {
+					return nil, fmt.Errorf("policy: row %d (d0=%g, load=%g, rho=%g): %w",
+						row, d0, load, rho, err)
+				}
+				entries = append(entries, entryFor(sc, opt))
+			}
+		}
+		if opts.OnRow != nil {
+			opts.OnRow(row, rows)
+		}
+		return entries, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range prior {
+		out[i] = row
+	}
+	entries := make([]Entry, 0, rows*rowLen)
+	for _, row := range out {
+		entries = append(entries, row...)
+	}
+	return NewTable(cfg, entries)
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/checkpoint"
+)
+
+// tinyConfig is a lattice small enough to rebuild repeatedly in tests.
+func tinyConfig() Config {
+	cfg := AirplaneConfig()
+	cfg.Grid = Grid{
+		D0M:       linspace(80, 320, 5),
+		LoadMBmps: logspace(10, 800, 6),
+		Rho:       rhoAxis(1e-5, 1e-3, 3),
+	}
+	return cfg
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	cfg := tinyConfig()
+	ref, err := Build(ctx, cfg, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := Build(ctx, cfg, BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.entries {
+			if got.entries[i] != ref.entries[i] {
+				t.Fatalf("workers=%d: entry %d differs: %+v != %+v",
+					workers, i, got.entries[i], ref.entries[i])
+			}
+		}
+	}
+}
+
+func TestBuildOnRow(t *testing.T) {
+	cfg := tinyConfig()
+	var calls atomic.Int64
+	_, err := Build(context.Background(), cfg, BuildOptions{
+		Workers: 2,
+		OnRow: func(row, rows int) {
+			if row < 0 || row >= rows || rows != len(cfg.Grid.D0M) {
+				t.Errorf("OnRow(%d, %d) out of range", row, rows)
+			}
+			calls.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(cfg.Grid.D0M)) {
+		t.Fatalf("OnRow called %d times, want %d", got, len(cfg.Grid.D0M))
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Grid.D0M = nil
+	if _, err := Build(context.Background(), cfg, BuildOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBuildCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, AirplaneConfig(), BuildOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v", err)
+	}
+}
+
+func TestBuildCheckpointResume(t *testing.T) {
+	ctx := context.Background()
+	cfg := tinyConfig()
+	dir := t.TempDir()
+
+	// First pass journals every row.
+	store, err := checkpoint.NewStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Build(ctx, cfg, BuildOptions{Workers: 2, Checkpoint: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume must replay rows from the journal without re-solving them:
+	// with every row journaled, the resumed build does zero optimizer work
+	// and still reproduces the table bit-for-bit.
+	resumed, err := checkpoint.NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := 0
+	second, err := Build(ctx, cfg, BuildOptions{
+		Workers:    2,
+		Checkpoint: resumed,
+		OnRow:      func(_, _ int) { recomputed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed != 0 {
+		t.Fatalf("resume recomputed %d rows, want 0", recomputed)
+	}
+	for i := range first.entries {
+		if first.entries[i] != second.entries[i] {
+			t.Fatalf("entry %d differs after resume", i)
+		}
+	}
+
+	// A journal written under a different config must be rejected, not
+	// silently merged.
+	drifted := cfg
+	drifted.Grid.Rho = append([]float64(nil), cfg.Grid.Rho...)
+	drifted.Grid.Rho[1] *= 1.5
+	store3, err := checkpoint.NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(ctx, drifted, BuildOptions{Checkpoint: store3}); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("drifted config resume returned %v, want checkpoint.ErrMismatch", err)
+	}
+}

@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+// lruCache is a bounded, mutex-guarded LRU of exact-scenario decisions —
+// the Engine's hit path for repeated queries (a planner replanning the
+// same geometry, a fleet of identical ferries). Query is a small
+// comparable value type, so it keys the map directly.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Query]*list.Element
+}
+
+type lruEntry struct {
+	key Query
+	opt core.Optimum
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[Query]*list.Element, capacity)}
+}
+
+// get returns the cached optimum and promotes the entry.
+func (c *lruCache) get(q Query) (core.Optimum, bool) {
+	if c == nil {
+		return core.Optimum{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[q]
+	if !ok {
+		return core.Optimum{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).opt, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// beyond capacity.
+func (c *lruCache) add(q Query, opt core.Optimum) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[q]; ok {
+		el.Value.(*lruEntry).opt = opt
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[q] = c.ll.PushFront(&lruEntry{key: q, opt: opt})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+func q(d0 float64) Query { return Query{D0M: d0, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4} }
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRUCache(2)
+	if _, ok := c.get(q(1)); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.add(q(1), core.Optimum{DoptM: 1})
+	c.add(q(2), core.Optimum{DoptM: 2})
+	if opt, ok := c.get(q(1)); !ok || opt.DoptM != 1 {
+		t.Fatalf("get(1) = %+v, %v", opt, ok)
+	}
+	// 1 was just promoted; adding 3 must evict 2, not 1.
+	c.add(q(3), core.Optimum{DoptM: 3})
+	if _, ok := c.get(q(2)); ok {
+		t.Fatal("LRU evicted the recently used entry instead of the stale one")
+	}
+	if _, ok := c.get(q(1)); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key refreshes in place, no growth.
+	c.add(q(1), core.Optimum{DoptM: 11})
+	if opt, _ := c.get(q(1)); opt.DoptM != 11 {
+		t.Fatal("re-add did not refresh the stored value")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after refresh = %d, want 2", c.len())
+	}
+}
+
+func TestLRUNilSafe(t *testing.T) {
+	var c *lruCache // caching disabled
+	if _, ok := c.get(q(1)); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.add(q(1), core.Optimum{}) // must not panic
+	if c.len() != 0 {
+		t.Fatal("nil cache has nonzero length")
+	}
+	if newLRUCache(0) != nil || newLRUCache(-1) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := q(float64(1 + (w*i)%100))
+				c.add(key, core.Optimum{DoptM: key.D0M})
+				if opt, ok := c.get(key); ok && opt.DoptM != key.D0M {
+					t.Errorf("cache returned wrong value for %v", key.D0M)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.len())
+	}
+}

@@ -1,0 +1,189 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+// Source identifies which path answered a decision.
+type Source uint8
+
+const (
+	// SourceCache is an exact-scenario LRU hit.
+	SourceCache Source = iota
+	// SourceTable is an interpolated table lookup.
+	SourceTable
+	// SourceExactOutOfGrid is the exact optimizer, reached because the
+	// query fell outside the table's grid hull.
+	SourceExactOutOfGrid
+	// SourceExactBoundary is the exact optimizer, reached because the
+	// query's stencil straddled a decision-regime boundary.
+	SourceExactBoundary
+)
+
+// String returns the metrics label of a source.
+func (s Source) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceTable:
+		return "table"
+	case SourceExactOutOfGrid:
+		return "exact_out_of_grid"
+	case SourceExactBoundary:
+		return "exact_boundary"
+	default:
+		return fmt.Sprintf("source(%d)", uint8(s))
+	}
+}
+
+// Decision is one answered query.
+type Decision struct {
+	core.Optimum
+	Source Source
+}
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	// Requests counts Decide calls that passed validation.
+	Requests uint64
+	// CacheHits, TableHits count the fast paths.
+	CacheHits, TableHits uint64
+	// OutOfGrid, BoundaryFallbacks count the exact-optimizer paths by
+	// cause.
+	OutOfGrid, BoundaryFallbacks uint64
+	// Errors counts rejected queries (validation or optimizer failures).
+	Errors uint64
+}
+
+// ExactFallbacks is the total exact-optimizer invocations.
+func (s Stats) ExactFallbacks() uint64 { return s.OutOfGrid + s.BoundaryFallbacks }
+
+// CacheHitRatio is CacheHits / Requests (0 before any request).
+func (s Stats) CacheHitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Requests)
+}
+
+// FallbackRatio is ExactFallbacks / Requests (0 before any request).
+func (s Stats) FallbackRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.ExactFallbacks()) / float64(s.Requests)
+}
+
+// Engine serves decisions from a policy table: LRU cache first, then
+// interpolated table lookup, then the exact optimizer for queries the
+// table cannot answer (outside the grid, or across a regime boundary).
+// Every path returns the same Optimum shape, so callers cannot tell — or
+// need to care — how a decision was produced, except through Source and
+// Stats. Engines are safe for concurrent use.
+type Engine struct {
+	table *Table
+	cache *lruCache
+
+	requests, cacheHits, tableHits atomic.Uint64
+	outOfGrid, boundary, errs      atomic.Uint64
+}
+
+// DefaultCacheSize bounds the exact-scenario LRU when the caller does not
+// choose one.
+const DefaultCacheSize = 4096
+
+// NewEngine wraps a table. cacheSize bounds the exact-scenario LRU; 0
+// selects DefaultCacheSize, negative disables caching.
+func NewEngine(t *Table, cacheSize int) (*Engine, error) {
+	if t == nil {
+		return nil, fmt.Errorf("policy: engine needs a table")
+	}
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	var cache *lruCache
+	if cacheSize > 0 {
+		cache = newLRUCache(cacheSize)
+	}
+	return &Engine{table: t, cache: cache}, nil
+}
+
+// Table returns the engine's table.
+func (e *Engine) Table() *Table { return e.table }
+
+// Decide answers one query.
+func (e *Engine) Decide(q Query) (Decision, error) {
+	if err := q.Validate(); err != nil {
+		e.errs.Add(1)
+		return Decision{}, err
+	}
+	e.requests.Add(1)
+	if opt, ok := e.cache.get(q); ok {
+		e.cacheHits.Add(1)
+		return Decision{Optimum: opt, Source: SourceCache}, nil
+	}
+	if opt, ok := e.table.Lookup(q); ok {
+		e.tableHits.Add(1)
+		e.cache.add(q, opt)
+		return Decision{Optimum: opt, Source: SourceTable}, nil
+	}
+	src := SourceExactBoundary
+	if !e.table.Contains(q) {
+		src = SourceExactOutOfGrid
+	}
+	opt, err := e.table.cfg.Scenario(q).Optimize()
+	if err != nil {
+		e.errs.Add(1)
+		return Decision{}, err
+	}
+	if src == SourceExactOutOfGrid {
+		e.outOfGrid.Add(1)
+	} else {
+		e.boundary.Add(1)
+	}
+	e.cache.add(q, opt)
+	return Decision{Optimum: opt, Source: src}, nil
+}
+
+// OptimizeScenario is the internal/planner fast path: it answers a
+// core.Scenario through the policy engine when the scenario matches the
+// table's calibration (same log-fit throughput law and separation floor),
+// and transparently falls back to the scenario's own exact optimizer when
+// it does not. The signature matches planner.Config.Optimizer.
+func (e *Engine) OptimizeScenario(sc core.Scenario) (core.Optimum, error) {
+	cfg := e.table.cfg
+	fit, ok := sc.Throughput.(core.LogFitThroughput)
+	if !ok || fit.AMbps != cfg.FitAMbps || fit.BMbps != cfg.FitBMbps ||
+		math.Abs(sc.MinDistanceM-cfg.MinDistanceM) > 1e-9 {
+		return sc.Optimize()
+	}
+	d, err := e.Decide(Query{
+		D0M:      sc.D0M,
+		SpeedMPS: sc.SpeedMPS,
+		MdataMB:  sc.MdataBytes / 1e6,
+		Rho:      sc.Failure.Rho,
+	})
+	if err != nil {
+		return core.Optimum{}, err
+	}
+	return d.Optimum, nil
+}
+
+// CacheLen returns the LRU's current size.
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:          e.requests.Load(),
+		CacheHits:         e.cacheHits.Load(),
+		TableHits:         e.tableHits.Load(),
+		OutOfGrid:         e.outOfGrid.Load(),
+		BoundaryFallbacks: e.boundary.Load(),
+		Errors:            e.errs.Load(),
+	}
+}

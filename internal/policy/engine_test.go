@@ -1,0 +1,241 @@
+package policy
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+func TestEngineSources(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := Query{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	d1, err := eng.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Source != SourceTable {
+		t.Fatalf("first in-grid decision source = %v, want table", d1.Source)
+	}
+	d2, err := eng.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Source != SourceCache {
+		t.Fatalf("repeat decision source = %v, want cache", d2.Source)
+	}
+	if d2.Optimum != d1.Optimum {
+		t.Fatal("cache returned a different optimum than the table")
+	}
+
+	out := Query{D0M: 500, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	d3, err := eng.Decide(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Source != SourceExactOutOfGrid {
+		t.Fatalf("out-of-grid decision source = %v", d3.Source)
+	}
+	want, err := eng.Table().Config().Scenario(out).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.DoptM != want.DoptM {
+		t.Fatalf("out-of-grid answer %.6f differs from exact %.6f", d3.DoptM, want.DoptM)
+	}
+	// Exact fallbacks are cached too.
+	if d4, _ := eng.Decide(out); d4.Source != SourceCache {
+		t.Fatalf("repeated out-of-grid decision source = %v, want cache", d4.Source)
+	}
+
+	if _, err := eng.Decide(Query{D0M: -1, SpeedMPS: 1, MdataMB: 1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+
+	st := eng.Stats()
+	if st.Requests != 4 || st.CacheHits != 2 || st.TableHits != 1 || st.OutOfGrid != 1 || st.Errors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := st.CacheHitRatio(); got != 0.5 {
+		t.Fatalf("cache hit ratio %v, want 0.5", got)
+	}
+	if got := st.FallbackRatio(); got != 0.25 {
+		t.Fatalf("fallback ratio %v, want 0.25", got)
+	}
+}
+
+func TestEngineBoundaryFallback(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), -1) // no cache: count raw paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep until some in-grid query straddles a regime boundary; the
+	// default grid has ~10% such cells, so a small sweep is plenty.
+	found := false
+	for d0 := 60.0; d0 <= 400 && !found; d0 += 7 {
+		for rho := 1e-5; rho <= 2e-3; rho *= 2.2 {
+			qy := Query{D0M: d0, SpeedMPS: 3, MdataMB: 20, Rho: rho}
+			d, err := eng.Decide(qy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Source == SourceExactBoundary {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no boundary-straddling query in this sweep (grid changed?)")
+	}
+	if eng.Stats().BoundaryFallbacks == 0 {
+		t.Fatal("boundary fallback not counted")
+	}
+}
+
+func TestEngineNoCache(t *testing.T) {
+	eng, err := NewEngine(quickTable(t), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Query{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	for i := 0; i < 3; i++ {
+		d, err := eng.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Source == SourceCache {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if eng.CacheLen() != 0 {
+		t.Fatal("disabled cache stored entries")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, 0); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	eng, err := NewEngine(quickTable(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.cache == nil || eng.cache.cap != DefaultCacheSize {
+		t.Fatal("cacheSize 0 should select the default capacity")
+	}
+}
+
+func TestEngineConcurrent(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Query, 32)
+	for i := range queries {
+		queries[i] = Query{
+			D0M:      70 + float64(i*9),
+			SpeedMPS: 2 + float64(i%7),
+			MdataMB:  3 + float64(i%11),
+			Rho:      float64(i) * 5e-5,
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				qy := queries[(w+i)%len(queries)]
+				d, err := eng.Decide(qy)
+				if err != nil {
+					t.Errorf("decide %+v: %v", qy, err)
+					return
+				}
+				if !d.TransmitImmediately && (d.DoptM < eng.Table().Config().MinDistanceM-1e-9 || d.DoptM > qy.D0M+1e-9) {
+					t.Errorf("decide %+v: dopt %.3f outside feasible range", qy, d.DoptM)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if st.Requests != 8*200 {
+		t.Fatalf("requests %d, want %d", st.Requests, 8*200)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits despite repeated queries")
+	}
+}
+
+func TestOptimizeScenarioAdapter(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := eng.Table().Config()
+
+	// Matching calibration: the engine must answer (and count a request).
+	sc := core.Scenario{
+		D0M:          220,
+		SpeedMPS:     8,
+		MdataBytes:   12e6,
+		Failure:      failure.Model{Rho: 3e-4},
+		Throughput:   core.LogFitThroughput{AMbps: cfg.FitAMbps, BMbps: cfg.FitBMbps},
+		MinDistanceM: cfg.MinDistanceM,
+	}
+	got, err := eng.OptimizeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.DoptM-want.DoptM) / want.DoptM; rel > servedDoptTol {
+		t.Fatalf("adapter dopt %.6f vs exact %.6f (rel %.3e)", got.DoptM, want.DoptM, rel)
+	}
+	if eng.Stats().Requests == 0 {
+		t.Fatal("matching scenario did not go through the engine")
+	}
+
+	// Mismatched calibration: transparently exact, no engine involvement.
+	before := eng.Stats().Requests
+	other := sc
+	other.Throughput = core.LogFitThroughput{AMbps: cfg.FitAMbps + 1, BMbps: cfg.FitBMbps}
+	got2, err := eng.OptimizeScenario(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := other.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.DoptM != want2.DoptM {
+		t.Fatal("mismatched scenario not answered exactly")
+	}
+	if eng.Stats().Requests != before {
+		t.Fatal("mismatched scenario consumed an engine request")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for src, want := range map[Source]string{
+		SourceCache:          "cache",
+		SourceTable:          "table",
+		SourceExactOutOfGrid: "exact_out_of_grid",
+		SourceExactBoundary:  "exact_boundary",
+		Source(99):           "source(99)",
+	} {
+		if got := src.String(); got != want {
+			t.Errorf("Source(%d).String() = %q, want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package policy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"github.com/nowlater/nowlater/internal/trace"
+)
+
+// On-disk layout of one policy table (all integers little-endian),
+// mirroring internal/checkpoint's header discipline:
+//
+//	header (28 bytes):
+//	  [0:4)   magic "NLPT"
+//	  [4:8)   format version
+//	  [8:16)  config fingerprint (Config.Fingerprint of the payload)
+//	  [16:24) payload length L
+//	  [24:28) CRC32C of bytes [0:24)
+//
+//	payload (L bytes):
+//	  [0:8)   fit A (float64 bits)      [8:16)  fit B
+//	  [16:24) min distance
+//	  [24:36) axis lengths (3 × uint32: d0, load, rho)
+//	  then each axis's values (float64 each), then one 17-byte record per
+//	  lattice point in row-major (d0, load, rho) order:
+//	  dopt (float64), utility (float64), flags (uint8)
+//
+//	trailer (4 bytes): CRC32C of the payload
+//
+// Load verifies both CRCs, the version, the structural lengths, the grid
+// monotonicity and every entry's finiteness before returning a table; any
+// violation is ErrCorrupt (wrapped with detail), never a panic. A loaded
+// table whose recomputed config fingerprint disagrees with the header is
+// also corrupt. LoadMatching additionally rejects a structurally valid
+// table built under a different config with ErrMismatch — the caller's
+// guard against serving stale calibrations.
+const (
+	// FormatVersion is the current table file format.
+	FormatVersion = 1
+
+	headerSize  = 28
+	entrySize   = 17
+	payloadBase = 3*8 + 3*4
+
+	// maxAxisLen bounds one axis; anything larger in a length field is
+	// treated as corruption.
+	maxAxisLen = 1 << 20
+	// maxFilePoints bounds the lattice a file may declare (~2.1 GB of
+	// entries), protecting Load from allocation bombs.
+	maxFilePoints = 1 << 27
+)
+
+var fileMagic = [4]byte{'N', 'L', 'P', 'T'}
+
+var (
+	// ErrCorrupt reports a structurally invalid or checksum-failing table
+	// file.
+	ErrCorrupt = errors.New("policy: corrupt table file")
+	// ErrVersion reports a table written by an unsupported format version.
+	ErrVersion = errors.New("policy: unsupported table format version")
+	// ErrMismatch reports a valid table whose config differs from the one
+	// the caller expects.
+	ErrMismatch = errors.New("policy: table config mismatch")
+)
+
+var fileCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes the table into the versioned binary format.
+func (t *Table) Encode() []byte {
+	g := t.cfg.Grid
+	axes := [][]float64{g.D0M, g.LoadMBmps, g.Rho}
+	payloadLen := payloadBase
+	for _, axis := range axes {
+		payloadLen += 8 * len(axis)
+	}
+	payloadLen += entrySize * len(t.entries)
+
+	buf := make([]byte, headerSize+payloadLen+4)
+	copy(buf[0:4], fileMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], FormatVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], t.cfg.Fingerprint())
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(payloadLen))
+	binary.LittleEndian.PutUint32(buf[24:28], crc32.Checksum(buf[:24], fileCRC))
+
+	p := buf[headerSize:]
+	binary.LittleEndian.PutUint64(p[0:8], math.Float64bits(t.cfg.FitAMbps))
+	binary.LittleEndian.PutUint64(p[8:16], math.Float64bits(t.cfg.FitBMbps))
+	binary.LittleEndian.PutUint64(p[16:24], math.Float64bits(t.cfg.MinDistanceM))
+	for i, axis := range axes {
+		binary.LittleEndian.PutUint32(p[24+4*i:], uint32(len(axis)))
+	}
+	off := payloadBase
+	for _, axis := range axes {
+		for _, v := range axis {
+			binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	for _, e := range t.entries {
+		binary.LittleEndian.PutUint64(p[off:], math.Float64bits(e.DoptM))
+		binary.LittleEndian.PutUint64(p[off+8:], math.Float64bits(e.Utility))
+		p[off+16] = e.Flags
+		off += entrySize
+	}
+	binary.LittleEndian.PutUint32(buf[headerSize+payloadLen:], crc32.Checksum(p[:payloadLen], fileCRC))
+	return buf
+}
+
+// Decode parses and validates an encoded table.
+func Decode(data []byte) (*Table, error) {
+	if len(data) < headerSize+payloadBase+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any table", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[0:4]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got := crc32.Checksum(data[:24], fileCRC); got != binary.LittleEndian.Uint32(data[24:28]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersion, v, FormatVersion)
+	}
+	wantFP := binary.LittleEndian.Uint64(data[8:16])
+	payloadLen := binary.LittleEndian.Uint64(data[16:24])
+	if payloadLen < payloadBase || payloadLen > uint64(len(data))-headerSize-4 ||
+		uint64(len(data)) != headerSize+payloadLen+4 {
+		return nil, fmt.Errorf("%w: declared payload %d bytes in a %d-byte file", ErrCorrupt, payloadLen, len(data))
+	}
+	p := data[headerSize : headerSize+payloadLen]
+	if got := crc32.Checksum(p, fileCRC); got != binary.LittleEndian.Uint32(data[headerSize+payloadLen:]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+
+	cfg := Config{
+		FitAMbps:     math.Float64frombits(binary.LittleEndian.Uint64(p[0:8])),
+		FitBMbps:     math.Float64frombits(binary.LittleEndian.Uint64(p[8:16])),
+		MinDistanceM: math.Float64frombits(binary.LittleEndian.Uint64(p[16:24])),
+	}
+	var lens [3]uint64
+	points := uint64(1)
+	for i := range lens {
+		lens[i] = uint64(binary.LittleEndian.Uint32(p[24+4*i:]))
+		if lens[i] < 2 || lens[i] > maxAxisLen {
+			return nil, fmt.Errorf("%w: axis %d declares %d points", ErrCorrupt, i, lens[i])
+		}
+		points *= lens[i]
+	}
+	if points > maxFilePoints {
+		return nil, fmt.Errorf("%w: %d lattice points exceeds the format bound", ErrCorrupt, points)
+	}
+	want := uint64(payloadBase) + 8*(lens[0]+lens[1]+lens[2]) + entrySize*points
+	if payloadLen != want {
+		return nil, fmt.Errorf("%w: payload is %d bytes, axis/entry counts require %d", ErrCorrupt, payloadLen, want)
+	}
+
+	off := uint64(payloadBase)
+	readAxis := func(n uint64) []float64 {
+		axis := make([]float64, n)
+		for i := range axis {
+			axis[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		return axis
+	}
+	cfg.Grid.D0M = readAxis(lens[0])
+	cfg.Grid.LoadMBmps = readAxis(lens[1])
+	cfg.Grid.Rho = readAxis(lens[2])
+
+	entries := make([]Entry, points)
+	for i := range entries {
+		entries[i] = Entry{
+			DoptM:   math.Float64frombits(binary.LittleEndian.Uint64(p[off:])),
+			Utility: math.Float64frombits(binary.LittleEndian.Uint64(p[off+8:])),
+			Flags:   p[off+16],
+		}
+		off += entrySize
+	}
+
+	t, err := NewTable(cfg, entries)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if fp := cfg.Fingerprint(); fp != wantFP {
+		return nil, fmt.Errorf("%w: header fingerprint %016x, payload config hashes to %016x", ErrCorrupt, wantFP, fp)
+	}
+	return t, nil
+}
+
+// WriteFile atomically persists the table (temp file + fsync + rename via
+// trace.WriteFileAtomic): an interrupted write leaves the old table or
+// nothing, never a torn file.
+func (t *Table) WriteFile(path string) error {
+	return trace.WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(t.Encode()); err != nil {
+			return fmt.Errorf("policy: %w", err)
+		}
+		return nil
+	})
+}
+
+// Load reads and validates a table file.
+func Load(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	t, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return t, nil
+}
+
+// LoadMatching loads a table and rejects it with ErrMismatch unless it was
+// built under exactly the expected config (fit, floor and grid).
+func LoadMatching(path string, want Config) (*Table, error) {
+	t, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if got, exp := t.Fingerprint(), want.Fingerprint(); got != exp {
+		return nil, fmt.Errorf("%w: %s holds config %016x, expected %016x — rebuild the table or pass its config",
+			ErrMismatch, path, got, exp)
+	}
+	return t, nil
+}

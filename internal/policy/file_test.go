@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tbl := quickTable(t)
+	data := tbl.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decoding freshly encoded table: %v", err)
+	}
+	if got.Fingerprint() != tbl.Fingerprint() {
+		t.Fatal("round-trip changed the config fingerprint")
+	}
+	if len(got.entries) != len(tbl.entries) {
+		t.Fatalf("round-trip changed entry count: %d != %d", len(got.entries), len(tbl.entries))
+	}
+	for i := range got.entries {
+		if got.entries[i] != tbl.entries[i] {
+			t.Fatalf("entry %d not bit-identical after round-trip: %+v != %+v",
+				i, got.entries[i], tbl.entries[i])
+		}
+	}
+	// Encoding must be deterministic: same table, same bytes.
+	if !bytes.Equal(data, got.Encode()) {
+		t.Fatal("re-encoding a decoded table produced different bytes")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tbl := quickTable(t)
+	data := tbl.Encode()
+
+	check := func(name string, mutate func([]byte) []byte, want error) {
+		t.Helper()
+		mutated := mutate(append([]byte(nil), data...))
+		_, err := Decode(mutated)
+		if err == nil {
+			t.Fatalf("%s: corrupted file accepted", name)
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Fatalf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	check("empty", func(b []byte) []byte { return nil }, ErrCorrupt)
+	check("truncated header", func(b []byte) []byte { return b[:10] }, ErrCorrupt)
+	check("truncated payload", func(b []byte) []byte { return b[:len(b)/2] }, ErrCorrupt)
+	check("truncated trailer", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt)
+	check("extra bytes", func(b []byte) []byte { return append(b, 0) }, ErrCorrupt)
+	check("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt)
+	check("header bit flip", func(b []byte) []byte { b[17] ^= 0x01; return b }, ErrCorrupt)
+	check("payload bit flip", func(b []byte) []byte { b[headerSize+5] ^= 0x10; return b }, ErrCorrupt)
+	check("entry bit flip", func(b []byte) []byte { b[len(b)-10] ^= 0x40; return b }, ErrCorrupt)
+	check("trailer bit flip", func(b []byte) []byte { b[len(b)-1] ^= 0x02; return b }, ErrCorrupt)
+
+	// A wrong version with a recomputed header CRC must be ErrVersion.
+	check("future version", func(b []byte) []byte {
+		b[4] = 99
+		fixHeaderCRC(b)
+		return b
+	}, ErrVersion)
+
+	// A tampered fingerprint with valid CRCs must still be rejected: the
+	// recomputed config hash won't match the header.
+	check("fingerprint swap", func(b []byte) []byte {
+		b[8] ^= 0xAA
+		fixHeaderCRC(b)
+		return b
+	}, ErrCorrupt)
+}
+
+func TestLoadMatching(t *testing.T) {
+	tbl := quickTable(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.nlpt")
+	if err := tbl.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadMatching(path, tbl.Config())
+	if err != nil {
+		t.Fatalf("loading just-written table: %v", err)
+	}
+	if got.Points() != tbl.Points() {
+		t.Fatal("loaded table has different size")
+	}
+
+	other := AirplaneConfig() // different grid than quickConfig
+	if _, err := LoadMatching(path, other); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("config drift: got %v, want ErrMismatch", err)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.nlpt")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+
+	// A torn write (partial file) must be ErrCorrupt, not a panic.
+	torn := filepath.Join(dir, "torn.nlpt")
+	if err := os.WriteFile(torn, tbl.Encode()[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(torn); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn file: got %v, want ErrCorrupt", err)
+	}
+}
+
+// fixHeaderCRC recomputes the header checksum after a deliberate header
+// mutation, so tests reach the checks behind it.
+func fixHeaderCRC(b []byte) {
+	if len(b) < headerSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(b[24:28], crc32.Checksum(b[:24], fileCRC))
+}
+
+// FuzzDecode drives arbitrary bytes through Decode: any input must either
+// produce a valid table or a typed error — never a panic, never an
+// allocation bomb. Seeds cover the valid encoding and its prefixes so the
+// fuzzer starts at the interesting boundaries.
+func FuzzDecode(f *testing.F) {
+	cfg := quickConfig()
+	cfg.Grid = Grid{ // tiny lattice keeps fuzz iterations fast
+		D0M:       []float64{100, 200},
+		LoadMBmps: []float64{10, 100},
+		Rho:       []float64{0, 1e-3},
+	}
+	tbl, err := Build(context.Background(), cfg, BuildOptions{Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := tbl.Encode()
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("NLPT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrMismatch) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Anything Decode accepts must re-encode to the same bytes.
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatal("accepted input does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/planner"
+	"github.com/nowlater/nowlater/internal/telemetry"
+)
+
+// TestEngineDrivesPlanner wires a policy engine into the mission planner
+// as its optimizer fast path and checks the planned rendezvous matches a
+// planner solving exactly.
+func TestEngineDrivesPlanner(t *testing.T) {
+	cfg := QuadrocopterConfig()
+	cfg.Grid = Grid{ // small lattice covering the test geometry
+		D0M:       linspace(30, 120, 10),
+		LoadMBmps: logspace(20, 600, 16),
+		Rho:       rhoAxis(1e-4, 4e-3, 6),
+	}
+	tbl, err := Build(context.Background(), cfg, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tbl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := failure.NewModel(failure.QuadrocopterRho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := planner.Config{
+		Scenario: core.Scenario{
+			SpeedMPS:     4.5,
+			Failure:      m,
+			Throughput:   core.LogFitThroughput{AMbps: cfg.FitAMbps, BMbps: cfg.FitBMbps},
+			MinDistanceM: cfg.MinDistanceM,
+			D0M:          1,
+			MdataBytes:   1,
+		},
+		LinkRangeM: 120,
+	}
+
+	fast := base
+	fast.Optimizer = eng.OptimizeScenario
+	pFast, err := planner.New(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pExact, err := planner.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d0 := range []float64{45, 72.5, 98, 115} {
+		for _, p := range []*planner.Planner{pFast, pExact} {
+			p.Observe(telemetry.Status{From: "ferry", Position: geo.Vec3{X: d0, Z: 10}, HasData: true, DataMB: 56.2})
+			p.Observe(telemetry.Status{From: "recv", Position: geo.Vec3{Z: 10}})
+		}
+		got, ok, err := pFast.PlanDelivery("ferry", "recv")
+		if err != nil || !ok {
+			t.Fatalf("d0=%g: engine-backed plan failed: %v %v", d0, ok, err)
+		}
+		want, ok, err := pExact.PlanDelivery("ferry", "recv")
+		if err != nil || !ok {
+			t.Fatalf("d0=%g: exact plan failed: %v %v", d0, ok, err)
+		}
+		rel := math.Abs(got.Optimum.DoptM-want.Optimum.DoptM) / math.Max(want.Optimum.DoptM, 1)
+		if rel > servedDoptTol {
+			t.Fatalf("d0=%g: engine-backed dopt %.6f vs exact %.6f (rel %.3e)",
+				d0, got.Optimum.DoptM, want.Optimum.DoptM, rel)
+		}
+	}
+	if eng.Stats().Requests == 0 {
+		t.Fatal("planner never consulted the policy engine")
+	}
+}

@@ -1,0 +1,321 @@
+// Package policy turns the paper's decision rule into a servable
+// artifact. The reproduction's core output is dopt(d0, Mdata, v, ρ) — the
+// distance at which a data-ferrying UAV should transmit — but solving it
+// per query costs a full coarse-grid + golden-section optimization
+// (core.Scenario.Optimize, ~2000 utility evaluations). This package
+// precomputes the optimum over a configurable parameter grid once, stores
+// the result in a versioned CRC-checked binary table, and answers online
+// queries in microseconds.
+//
+// # Dimension reduction
+//
+// The utility U(d) = e^{−ρ(d0−d)} / ((d0−d)/v + Mdata/s(d)) rescaled by
+// the constant v is e^{−ρ(d0−d)} · v / ((d0−d) + v·Mdata/s(d)): speed and
+// batch size move the argmax only through their product v·Mdata. The
+// decision surface is therefore three-dimensional — dopt(d0, v·Mdata, ρ)
+// — and the table stores a (d0, load, ρ) lattice, one dimension smaller
+// than the query space. Queries carry v and Mdata separately; the lookup
+// collapses them.
+//
+// # Lookup = interpolate, guard, polish
+//
+// The surface has three regimes: interior (dopt strictly between the
+// anti-collision floor and d0, smooth), floor (dopt pinned at
+// MinDistanceM) and immediate (dopt = d0). Each entry records its regime;
+// a lookup whose stencil mixes regimes straddles a decision boundary
+// where dopt is kinked, so it reports !ok and the Engine falls back to
+// the exact optimizer (counted, never silent). Clamped regimes
+// reconstruct dopt exactly from the query. Interior lookups multilinearly
+// interpolate dopt, then polish it with a short golden-section pass on
+// the true query utility, bracketed by the stencil's corner spread — so
+// the served dopt is accurate to the refinement tolerance (~1e-4
+// relative, bounded at ≤1e-3 by the equivalence tests) even inside cells
+// whose liftoff-corner curvature defeats plain interpolation, at ~15
+// utility evaluations instead of Optimize's ~2000.
+//
+// Build fans grid rows out over internal/runner, so table construction is
+// parallel, deterministic, and — with a checkpoint store — resumable
+// after SIGKILL like every other sweep in this repo.
+package policy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+)
+
+// Query is one decision request: the scenario parameters that vary at
+// serving time. The throughput law and anti-collision floor are fixed per
+// table (they are calibration constants, not per-request inputs).
+type Query struct {
+	// D0M is the ferry-receiver distance when the link opens (metres).
+	D0M float64
+	// SpeedMPS is the shipping cruise speed v.
+	SpeedMPS float64
+	// MdataMB is the batch size in megabytes (10^6 bytes).
+	MdataMB float64
+	// Rho is the failure rate per metre travelled.
+	Rho float64
+}
+
+// Validate reports the first implausible field.
+func (q Query) Validate() error {
+	switch {
+	case !isFinite(q.D0M) || q.D0M <= 0:
+		return fmt.Errorf("policy: d0 %v must be positive and finite", q.D0M)
+	case !isFinite(q.SpeedMPS) || q.SpeedMPS <= 0:
+		return fmt.Errorf("policy: speed %v must be positive and finite", q.SpeedMPS)
+	case !isFinite(q.MdataMB) || q.MdataMB <= 0:
+		return fmt.Errorf("policy: mdata %v must be positive and finite", q.MdataMB)
+	case !isFinite(q.Rho) || q.Rho < 0:
+		return fmt.Errorf("policy: rho %v must be ≥ 0 and finite", q.Rho)
+	}
+	return nil
+}
+
+// LoadMBmps is the v·Mdata product in MB·m/s — the table's second axis.
+func (q Query) LoadMBmps() float64 { return q.SpeedMPS * q.MdataMB }
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Grid is the precomputation lattice: one sorted axis per surface
+// dimension. Axis order (d0, load, ρ) is also the row-major storage order
+// of the table, ρ fastest.
+type Grid struct {
+	// D0M is the link-opening distance axis (metres).
+	D0M []float64
+	// LoadMBmps is the v·Mdata axis (MB·m/s) — the single parameter
+	// through which cruise speed and batch size jointly set dopt.
+	LoadMBmps []float64
+	// Rho is the failure-rate axis (per metre; may start at 0).
+	Rho []float64
+}
+
+// Validate checks every axis is strictly increasing, finite, and long
+// enough to bracket a query (≥ 2 points).
+func (g Grid) Validate() error {
+	axes := []struct {
+		name    string
+		vals    []float64
+		minimum float64
+	}{
+		{"d0", g.D0M, math.SmallestNonzeroFloat64},
+		{"load", g.LoadMBmps, math.SmallestNonzeroFloat64},
+		{"rho", g.Rho, 0},
+	}
+	for _, ax := range axes {
+		if len(ax.vals) < 2 {
+			return fmt.Errorf("policy: %s axis needs ≥ 2 points, got %d", ax.name, len(ax.vals))
+		}
+		for i, v := range ax.vals {
+			if !isFinite(v) || v < ax.minimum {
+				return fmt.Errorf("policy: %s axis value %v at %d out of range", ax.name, v, i)
+			}
+			if i > 0 && v <= ax.vals[i-1] {
+				return fmt.Errorf("policy: %s axis not strictly increasing at %d", ax.name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Points returns the number of lattice points.
+func (g Grid) Points() int {
+	return len(g.D0M) * len(g.LoadMBmps) * len(g.Rho)
+}
+
+// index maps axis indices to the row-major entry offset.
+func (g Grid) index(i0, il, ir int) int {
+	return (i0*len(g.LoadMBmps)+il)*len(g.Rho) + ir
+}
+
+// Contains reports whether a query falls inside the grid's hull
+// (boundaries included).
+func (g Grid) Contains(q Query) bool {
+	in := func(axis []float64, x float64) bool {
+		return x >= axis[0] && x <= axis[len(axis)-1]
+	}
+	return in(g.D0M, q.D0M) && in(g.LoadMBmps, q.LoadMBmps()) && in(g.Rho, q.Rho)
+}
+
+// locate finds the bracketing interval of x on a sorted axis: the largest
+// i with axis[i] ≤ x, and the interpolation fraction t ∈ [0, 1] within
+// [axis[i], axis[i+1]]. ok is false outside the axis range.
+func locate(axis []float64, x float64) (i int, t float64, ok bool) {
+	n := len(axis)
+	if x < axis[0] || x > axis[n-1] {
+		return 0, 0, false
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if axis[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t = (x - axis[lo]) / (axis[hi] - axis[lo])
+	return lo, t, true
+}
+
+// Config fixes everything that identifies one table: the throughput fit,
+// the anti-collision floor, and the grid.
+type Config struct {
+	// FitAMbps, FitBMbps parameterize the platform throughput law
+	// s(d) = 10⁶·(A·log2 d + B) (core.LogFitThroughput).
+	FitAMbps, FitBMbps float64
+	// MinDistanceM is the anti-collision floor (core.MinSeparationM for
+	// both paper platforms).
+	MinDistanceM float64
+	// Grid is the precomputation lattice.
+	Grid Grid
+}
+
+// Validate reports the first implausible field.
+func (c Config) Validate() error {
+	if !isFinite(c.FitAMbps) || !isFinite(c.FitBMbps) {
+		return fmt.Errorf("policy: fit (%v, %v) must be finite", c.FitAMbps, c.FitBMbps)
+	}
+	if !isFinite(c.MinDistanceM) || c.MinDistanceM < 0 {
+		return fmt.Errorf("policy: min distance %v must be ≥ 0 and finite", c.MinDistanceM)
+	}
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.Grid.D0M[0] <= c.MinDistanceM {
+		return fmt.Errorf("policy: d0 axis starts at %v, inside the %v m separation floor",
+			c.Grid.D0M[0], c.MinDistanceM)
+	}
+	return nil
+}
+
+// Scenario materializes the exact decision instance a query denotes under
+// this table's calibration.
+func (c Config) Scenario(q Query) core.Scenario {
+	return core.Scenario{
+		D0M:          q.D0M,
+		SpeedMPS:     q.SpeedMPS,
+		MdataBytes:   q.MdataMB * 1e6,
+		Failure:      failure.Model{Rho: q.Rho},
+		Throughput:   core.LogFitThroughput{AMbps: c.FitAMbps, BMbps: c.FitBMbps},
+		MinDistanceM: c.MinDistanceM,
+	}
+}
+
+// canonicalQuery is the (v=1, Mdata=load) representative of one lattice
+// point — the scenario the builder actually solves. Every (v, Mdata) pair
+// with the same product shares its dopt.
+func canonicalQuery(d0, load, rho float64) Query {
+	return Query{D0M: d0, SpeedMPS: 1, MdataMB: load, Rho: rho}
+}
+
+// Fingerprint hashes the table identity — fit, floor and every grid value.
+// It keys both the on-disk header (drift rejection at load) and the build
+// checkpoint journal (drift rejection at resume).
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "policy|v%d|fit=%x,%x|min=%x", FormatVersion,
+		math.Float64bits(c.FitAMbps), math.Float64bits(c.FitBMbps),
+		math.Float64bits(c.MinDistanceM))
+	for _, axis := range [][]float64{c.Grid.D0M, c.Grid.LoadMBmps, c.Grid.Rho} {
+		fmt.Fprintf(h, "|n=%d", len(axis))
+		for _, v := range axis {
+			fmt.Fprintf(h, ",%x", math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
+}
+
+// linspace returns n evenly spaced points over [lo, hi].
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// logspace returns n log-evenly spaced points over [lo, hi] (lo > 0).
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	out[0], out[n-1] = lo, hi // exact endpoints, no exp/log round-trip drift
+	return out
+}
+
+// rhoAxis prepends ρ = 0 (no failure risk — a legitimate query) to a
+// log-spaced failure-rate axis.
+func rhoAxis(lo, hi float64, n int) []float64 {
+	return append([]float64{0}, logspace(lo, hi, n)...)
+}
+
+// Linspace returns n evenly spaced points over [lo, hi] — an axis helper
+// for callers assembling custom grids.
+func Linspace(lo, hi float64, n int) []float64 { return linspace(lo, hi, n) }
+
+// Logspace returns n log-evenly spaced points over [lo, hi] (lo > 0), with
+// exact endpoints.
+func Logspace(lo, hi float64, n int) []float64 { return logspace(lo, hi, n) }
+
+// RhoAxis prepends ρ = 0 to a log-spaced failure-rate axis over [lo, hi].
+func RhoAxis(lo, hi float64, n int) []float64 { return rhoAxis(lo, hi, n) }
+
+// DefaultGrid covers the airplane serving envelope: d0 across the usable
+// 802.11n range, v·Mdata loads from a slow platform with a small burst to
+// a fast one with a full sensing sweep, and failure rates from zero to
+// ~20× the paper baseline. Density only needs to bracket the polish pass
+// (see the package comment); the equivalence tests bound the served dopt
+// error at ≤ 1e-3 relative over this grid.
+func DefaultGrid() Grid {
+	return Grid{
+		D0M:       linspace(60, 400, 18),
+		LoadMBmps: logspace(8, 1280, 48),
+		Rho:       rhoAxis(1e-5, 2e-3, 12),
+	}
+}
+
+// QuickGrid is a coarse smoke-scale lattice (hundreds of points, builds
+// in tens of milliseconds) for tests, examples and the nowlaterd CI smoke
+// job.
+func QuickGrid() Grid {
+	return Grid{
+		D0M:       linspace(60, 400, 8),
+		LoadMBmps: logspace(8, 1280, 12),
+		Rho:       rhoAxis(1e-5, 2e-3, 4),
+	}
+}
+
+// AirplaneConfig is the default serving table: the paper's airplane
+// throughput fit over DefaultGrid.
+func AirplaneConfig() Config {
+	fit := core.AirplaneFit()
+	return Config{
+		FitAMbps:     fit.AMbps,
+		FitBMbps:     fit.BMbps,
+		MinDistanceM: core.MinSeparationM,
+		Grid:         DefaultGrid(),
+	}
+}
+
+// QuadrocopterConfig is the quadrocopter fit over a lattice scaled to its
+// shorter usable range.
+func QuadrocopterConfig() Config {
+	fit := core.QuadrocopterFit()
+	return Config{
+		FitAMbps:     fit.AMbps,
+		FitBMbps:     fit.BMbps,
+		MinDistanceM: core.MinSeparationM,
+		Grid: Grid{
+			D0M:       linspace(30, 120, 16),
+			LoadMBmps: logspace(4, 1080, 44),
+			Rho:       rhoAxis(2e-5, 4e-3, 12),
+		},
+	}
+}

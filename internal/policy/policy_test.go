@@ -1,0 +1,227 @@
+package policy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQueryValidate(t *testing.T) {
+	good := Query{D0M: 300, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	if (Query{D0M: 300, SpeedMPS: 10, MdataMB: 10, Rho: 0}).Validate() != nil {
+		t.Fatal("rho = 0 must be a legal query (no failure risk)")
+	}
+	bad := []Query{
+		{D0M: 0, SpeedMPS: 10, MdataMB: 10},
+		{D0M: -5, SpeedMPS: 10, MdataMB: 10},
+		{D0M: math.NaN(), SpeedMPS: 10, MdataMB: 10},
+		{D0M: math.Inf(1), SpeedMPS: 10, MdataMB: 10},
+		{D0M: 300, SpeedMPS: 0, MdataMB: 10},
+		{D0M: 300, SpeedMPS: 10, MdataMB: -1},
+		{D0M: 300, SpeedMPS: 10, MdataMB: math.NaN()},
+		{D0M: 300, SpeedMPS: 10, MdataMB: 10, Rho: -1e-9},
+		{D0M: 300, SpeedMPS: 10, MdataMB: 10, Rho: math.Inf(1)},
+	}
+	for _, q := range bad {
+		if q.Validate() == nil {
+			t.Errorf("query %+v should be rejected", q)
+		}
+	}
+}
+
+func TestQueryLoad(t *testing.T) {
+	q := Query{D0M: 300, SpeedMPS: 7, MdataMB: 12, Rho: 0}
+	if got := q.LoadMBmps(); got != 84 {
+		t.Fatalf("load = %v, want 84", got)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := DefaultGrid().Validate(); err != nil {
+		t.Fatalf("default grid invalid: %v", err)
+	}
+	if err := QuickGrid().Validate(); err != nil {
+		t.Fatalf("quick grid invalid: %v", err)
+	}
+	base := func() Grid {
+		return Grid{D0M: []float64{100, 200}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base grid invalid: %v", err)
+	}
+	cases := map[string]Grid{
+		"short axis":     {D0M: []float64{100}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}},
+		"empty axis":     {D0M: []float64{100, 200}, LoadMBmps: nil, Rho: []float64{0, 1e-3}},
+		"not increasing": {D0M: []float64{200, 100}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}},
+		"duplicate":      {D0M: []float64{100, 100}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}},
+		"nan":            {D0M: []float64{100, math.NaN()}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}},
+		"zero d0":        {D0M: []float64{0, 200}, LoadMBmps: []float64{10, 20}, Rho: []float64{0, 1e-3}},
+		"negative rho":   {D0M: []float64{100, 200}, LoadMBmps: []float64{10, 20}, Rho: []float64{-1e-3, 1e-3}},
+	}
+	for name, g := range cases {
+		if g.Validate() == nil {
+			t.Errorf("%s: grid should be rejected", name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{AirplaneConfig(), QuadrocopterConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("stock config invalid: %v", err)
+		}
+	}
+	cfg := AirplaneConfig()
+	cfg.MinDistanceM = cfg.Grid.D0M[0] // floor swallows the d0 axis start
+	if cfg.Validate() == nil {
+		t.Fatal("d0 axis inside the separation floor should be rejected")
+	}
+	cfg = AirplaneConfig()
+	cfg.FitAMbps = math.NaN()
+	if cfg.Validate() == nil {
+		t.Fatal("NaN fit should be rejected")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	axis := []float64{10, 20, 40, 80}
+	tests := []struct {
+		x      float64
+		wantI  int
+		wantT  float64
+		wantOK bool
+	}{
+		{10, 0, 0, true},
+		{15, 0, 0.5, true},
+		{20, 1, 0, true},
+		{70, 2, 0.75, true},
+		{80, 2, 1, true},
+		{9.999, 0, 0, false},
+		{80.001, 0, 0, false},
+	}
+	for _, tc := range tests {
+		i, frac, ok := locate(axis, tc.x)
+		if ok != tc.wantOK {
+			t.Fatalf("locate(%v): ok = %v, want %v", tc.x, ok, tc.wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if i != tc.wantI || math.Abs(frac-tc.wantT) > 1e-12 {
+			t.Fatalf("locate(%v) = (%d, %v), want (%d, %v)", tc.x, i, frac, tc.wantI, tc.wantT)
+		}
+	}
+}
+
+func TestGridIndexRowMajor(t *testing.T) {
+	g := Grid{D0M: []float64{1, 2, 3}, LoadMBmps: []float64{1, 2}, Rho: []float64{0, 1, 2, 3}}
+	seen := make(map[int]bool)
+	want := 0
+	for i0 := range g.D0M {
+		for il := range g.LoadMBmps {
+			for ir := range g.Rho {
+				got := g.index(i0, il, ir)
+				if got != want {
+					t.Fatalf("index(%d,%d,%d) = %d, want %d", i0, il, ir, got, want)
+				}
+				seen[got] = true
+				want++
+			}
+		}
+	}
+	if len(seen) != g.Points() {
+		t.Fatalf("index covered %d offsets, grid has %d points", len(seen), g.Points())
+	}
+}
+
+func TestSpacingHelpers(t *testing.T) {
+	lin := linspace(60, 400, 18)
+	if lin[0] != 60 || lin[17] != 400 {
+		t.Fatalf("linspace endpoints %v, %v", lin[0], lin[17])
+	}
+	logs := logspace(8, 1280, 48)
+	if logs[0] != 8 || logs[47] != 1280 {
+		t.Fatalf("logspace endpoints must be exact, got %v, %v", logs[0], logs[47])
+	}
+	for i := 1; i < len(logs); i++ {
+		if logs[i] <= logs[i-1] {
+			t.Fatalf("logspace not increasing at %d", i)
+		}
+	}
+	rho := rhoAxis(1e-5, 2e-3, 12)
+	if rho[0] != 0 || rho[1] != 1e-5 || len(rho) != 13 {
+		t.Fatalf("rhoAxis must prepend zero: %v", rho[:2])
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := AirplaneConfig()
+	fp := base.Fingerprint()
+	if fp != base.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	mutations := map[string]func(*Config){
+		"fit A":     func(c *Config) { c.FitAMbps += 1e-9 },
+		"fit B":     func(c *Config) { c.FitBMbps -= 1e-9 },
+		"floor":     func(c *Config) { c.MinDistanceM += 1e-9 },
+		"d0 value":  func(c *Config) { c.Grid.D0M[3] += 1e-9 },
+		"load axis": func(c *Config) { c.Grid.LoadMBmps = c.Grid.LoadMBmps[:len(c.Grid.LoadMBmps)-1] },
+		"rho value": func(c *Config) { c.Grid.Rho[1] *= 1.000001 },
+	}
+	for name, mutate := range mutations {
+		c := AirplaneConfig()
+		// Deep-copy the axes so mutation doesn't alias the base config.
+		c.Grid.D0M = append([]float64(nil), c.Grid.D0M...)
+		c.Grid.LoadMBmps = append([]float64(nil), c.Grid.LoadMBmps...)
+		c.Grid.Rho = append([]float64(nil), c.Grid.Rho...)
+		mutate(&c)
+		if c.Fingerprint() == fp {
+			t.Errorf("%s: mutation not reflected in fingerprint", name)
+		}
+	}
+}
+
+func TestScenarioMapping(t *testing.T) {
+	cfg := AirplaneConfig()
+	q := Query{D0M: 300, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	sc := cfg.Scenario(q)
+	if sc.D0M != 300 || sc.SpeedMPS != 10 || sc.MdataBytes != 10e6 ||
+		sc.Failure.Rho != 1e-4 || sc.MinDistanceM != cfg.MinDistanceM {
+		t.Fatalf("scenario mapping wrong: %+v", sc)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("mapped scenario invalid: %v", err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := DefaultGrid()
+	in := Query{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	if !g.Contains(in) {
+		t.Fatalf("query %+v should be inside the default grid", in)
+	}
+	outs := []Query{
+		{D0M: 50, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4},    // d0 below axis
+		{D0M: 500, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4},   // d0 above axis
+		{D0M: 200, SpeedMPS: 0.1, MdataMB: 1, Rho: 1e-4},   // load below axis
+		{D0M: 200, SpeedMPS: 100, MdataMB: 100, Rho: 1e-4}, // load above axis
+		{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1},      // rho above axis
+	}
+	for _, q := range outs {
+		if g.Contains(q) {
+			t.Errorf("query %+v should be outside the default grid", q)
+		}
+	}
+}
+
+func TestValidateMessages(t *testing.T) {
+	// Error text should name the offending axis, not just fail.
+	g := Grid{D0M: []float64{100, 200}, LoadMBmps: []float64{20, 10}, Rho: []float64{0, 1e-3}}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "load") {
+		t.Fatalf("want load-axis error, got %v", err)
+	}
+}

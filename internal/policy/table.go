@@ -1,0 +1,273 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+// Entry regime flags.
+const (
+	// flagImmediate marks dopt = d0 (transmit now).
+	flagImmediate uint8 = 1 << 0
+	// flagFloor marks dopt pinned at the anti-collision floor.
+	flagFloor uint8 = 1 << 1
+
+	flagsKnown = flagImmediate | flagFloor
+)
+
+// Entry is one precomputed lattice point.
+type Entry struct {
+	// DoptM is the optimal transmit distance at this point.
+	DoptM float64
+	// Utility is U(dopt) for the point's canonical scenario (v = 1,
+	// Mdata = load). True utility scales with the query's actual speed, so
+	// this field is diagnostic; Lookup recomputes utility exactly for the
+	// query it answers.
+	Utility float64
+	// Flags records the regime (flagImmediate / flagFloor / neither).
+	Flags uint8
+}
+
+// Table is one built policy table: the config plus every lattice entry in
+// row-major (d0, load, ρ) order. Tables are immutable after construction
+// and safe for concurrent lookup.
+type Table struct {
+	cfg     Config
+	entries []Entry
+}
+
+// NewTable assembles a table from a config and its entries. Callers
+// normally get tables from Build or Load; this constructor validates the
+// pair for them.
+func NewTable(cfg Config, entries []Entry) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(entries) != cfg.Grid.Points() {
+		return nil, fmt.Errorf("policy: %d entries for a %d-point grid", len(entries), cfg.Grid.Points())
+	}
+	for i, e := range entries {
+		if !isFinite(e.DoptM) || e.DoptM < 0 || !isFinite(e.Utility) || e.Utility < 0 {
+			return nil, fmt.Errorf("policy: invalid entry %d (dopt %v, utility %v)", i, e.DoptM, e.Utility)
+		}
+		if e.Flags&^flagsKnown != 0 {
+			return nil, fmt.Errorf("policy: entry %d has unknown flags %#x", i, e.Flags)
+		}
+	}
+	return &Table{cfg: cfg, entries: entries}, nil
+}
+
+// Config returns the table's identity.
+func (t *Table) Config() Config { return t.cfg }
+
+// Points returns the lattice size.
+func (t *Table) Points() int { return len(t.entries) }
+
+// Fingerprint returns the config fingerprint (also stored in the file
+// header).
+func (t *Table) Fingerprint() uint64 { return t.cfg.Fingerprint() }
+
+// Contains reports whether a query is inside the grid hull.
+func (t *Table) Contains(q Query) bool { return t.cfg.Grid.Contains(q) }
+
+// axisSpan is one axis's contribution to the interpolation stencil: the
+// base index and, when the query sits strictly inside a cell, the far
+// index with its weight.
+type axisSpan struct {
+	i  int
+	t  float64
+	on bool // query exactly on the lattice plane axis[i]
+}
+
+func span(axis []float64, x float64) (axisSpan, bool) {
+	i, t, ok := locate(axis, x)
+	if !ok {
+		return axisSpan{}, false
+	}
+	if t == 1 { // top edge: collapse onto the last plane
+		return axisSpan{i: i + 1, t: 0, on: true}, true
+	}
+	return axisSpan{i: i, t: t, on: t == 0}, true
+}
+
+// interpolate blends the stencil surrounding a query. ok is false outside
+// the grid or when the stencil straddles the transmit-now boundary, where
+// dopt is discontinuous. It returns the union (any) and intersection
+// (all) of the corner regime flags plus the corner dopt range, which
+// brackets the true optimum for the polish pass.
+func (t *Table) interpolate(q Query) (dopt, lo, hi float64, any, all uint8, ok bool) {
+	g := t.cfg.Grid
+	s0, ok := span(g.D0M, q.D0M)
+	if !ok {
+		return 0, 0, 0, 0, 0, false
+	}
+	sl, ok := span(g.LoadMBmps, q.LoadMBmps())
+	if !ok {
+		return 0, 0, 0, 0, 0, false
+	}
+	sr, ok := span(g.Rho, q.Rho)
+	if !ok {
+		return 0, 0, 0, 0, 0, false
+	}
+
+	// Gather the stencil corners. An axis whose query lies exactly on a
+	// lattice plane contributes a single index, so on-lattice lookups (the
+	// experiments cross-check, batch replays of swept grids) read only the
+	// corners they actually depend on and cannot be vetoed by a regime
+	// change on the far side of the plane.
+	lo, hi = math.Inf(1), math.Inf(-1)
+	all = flagsKnown
+	for b0 := 0; b0 <= 1; b0++ {
+		if b0 == 1 && s0.on {
+			continue
+		}
+		w0 := 1 - s0.t
+		if b0 == 1 {
+			w0 = s0.t
+		}
+		for bl := 0; bl <= 1; bl++ {
+			if bl == 1 && sl.on {
+				continue
+			}
+			wl := 1 - sl.t
+			if bl == 1 {
+				wl = sl.t
+			}
+			for br := 0; br <= 1; br++ {
+				if br == 1 && sr.on {
+					continue
+				}
+				wr := 1 - sr.t
+				if br == 1 {
+					wr = sr.t
+				}
+				e := t.entries[g.index(s0.i+b0, sl.i+bl, sr.i+br)]
+				any |= e.Flags
+				all &= e.Flags
+				dopt += w0 * wl * wr * e.DoptM
+				lo = math.Min(lo, e.DoptM)
+				hi = math.Max(hi, e.DoptM)
+			}
+		}
+	}
+	if any&flagImmediate != 0 && all&flagImmediate == 0 {
+		// The transmit-now boundary is a first-order transition: two
+		// competing utility maxima (deliver at d0 versus approach close)
+		// swap rank, and dopt jumps across most of the feasible range.
+		// A stencil straddling it cannot be blended or locally refined —
+		// refuse, so the caller solves exactly.
+		return 0, 0, 0, 0, 0, false
+	}
+	return dopt, lo, hi, any, all, true
+}
+
+// polishTolFrac sets the golden-section stopping width as a fraction of
+// the working dopt — an order of magnitude inside the package's 1e-3
+// served-accuracy bound, at ~15 utility evaluations per lookup.
+const polishTolFrac = 1e-4
+
+// jumpSpreadFrac is the corner-dopt spread, as a fraction of the feasible
+// range, beyond which an interior stencil is treated as straddling a
+// basin swap (see Lookup) instead of a smooth cell.
+const jumpSpreadFrac = 0.2
+
+// polish refines an interpolated dopt by golden-section search on the true
+// query utility over [lo, hi]. The bracket comes from the stencil's corner
+// dopt range (padded): dopt varies monotonically along each axis within a
+// regime, so the true optimum lies inside it, and interpolation only has
+// to land the bracket — curvature near a regime's liftoff corner, where
+// plain multilinear interpolation degrades, is absorbed here.
+func polish(sc core.Scenario, guess, lo, hi float64) float64 {
+	const invphi = 0.6180339887498949
+	tol := polishTolFrac * math.Max(guess, sc.MinDistanceM)
+	if !(hi-lo > tol) {
+		return guess
+	}
+	c := hi - invphi*(hi-lo)
+	d := lo + invphi*(hi-lo)
+	fc, fd := sc.Utility(c), sc.Utility(d)
+	for iter := 0; hi-lo > tol && iter < 64; iter++ {
+		if fc > fd {
+			hi, d, fd = d, c, fc
+			c = hi - invphi*(hi-lo)
+			fc = sc.Utility(c)
+		} else {
+			lo, c, fc = c, d, fd
+			d = lo + invphi*(hi-lo)
+			fd = sc.Utility(d)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Lookup answers a query from the table: multilinear interpolation over
+// the (d0, v·Mdata, ρ) lattice, then a bounded golden-section polish
+// against the query's true utility. ok is false when the query is outside
+// the grid or its cell straddles the discontinuous transmit-now boundary
+// — the caller must then solve exactly. A stencil uniformly in one clamp
+// regime reconstructs dopt exactly from the query; everything else (pure
+// interior, or the value-continuous liftoff kink where the floor regime
+// borders the interior) is polished, with the bracket widened down to the
+// floor when floor corners are present.
+// On success the returned Optimum carries delay, survival and utility
+// recomputed exactly at the served dopt, so the answer is always
+// self-consistent for the actual query scenario (never a blend of
+// neighbouring scenarios' delays).
+func (t *Table) Lookup(q Query) (core.Optimum, bool) {
+	if q.Validate() != nil {
+		return core.Optimum{}, false
+	}
+	dopt, clo, chi, any, all, ok := t.interpolate(q)
+	if !ok {
+		return core.Optimum{}, false
+	}
+
+	sc := t.cfg.Scenario(q)
+	// Regime-exact reconstruction: in a uniformly clamped cell the optimum
+	// is a known function of the query, not of the neighbours.
+	switch {
+	case all&flagImmediate != 0:
+		dopt = q.D0M
+	case all&flagFloor != 0:
+		dopt = t.cfg.MinDistanceM
+	default:
+		if chi-clo > jumpSpreadFrac*(q.D0M-t.cfg.MinDistanceM) {
+			// The transmit-now jump does not always land exactly on d0:
+			// two interior maxima (approach close versus deliver almost
+			// immediately) can swap rank between corners that all classify
+			// as interior. A basin swap inside the cell shows up as a
+			// corner spread out of all proportion to a smooth cell —
+			// refuse rather than polish a bimodal bracket.
+			return core.Optimum{}, false
+		}
+		pad := 0.25*(chi-clo) + 0.5
+		lo := math.Max(t.cfg.MinDistanceM, clo-pad)
+		hi := math.Min(q.D0M, chi+pad)
+		if any&flagFloor != 0 {
+			lo = t.cfg.MinDistanceM
+		}
+		dopt = math.Min(math.Max(dopt, lo), hi)
+		dopt = polish(sc, dopt, lo, hi)
+	}
+
+	return core.Optimum{
+		DoptM:               dopt,
+		Utility:             sc.Utility(dopt),
+		CommDelay:           sc.CommDelay(dopt),
+		Survival:            sc.Discount(dopt),
+		TransmitImmediately: all&flagImmediate != 0 || math.Abs(dopt-q.D0M) < 1e-6,
+	}, true
+}
+
+// entryFor classifies one solved optimum into a table entry.
+func entryFor(sc core.Scenario, opt core.Optimum) Entry {
+	e := Entry{DoptM: opt.DoptM, Utility: opt.Utility}
+	if opt.TransmitImmediately {
+		e.Flags |= flagImmediate
+	} else if opt.DoptM <= sc.MinDistanceM+1e-6 {
+		e.Flags |= flagFloor
+	}
+	return e
+}

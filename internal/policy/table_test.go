@@ -1,0 +1,259 @@
+package policy
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+)
+
+// Tolerance is the package's documented served-accuracy bound: table
+// lookups agree with the exact optimizer to 1e-3 relative on dopt. The
+// equivalence test enforces it; measured error is typically ~3e-5.
+const servedDoptTol = 1e-3
+
+var (
+	defaultOnce sync.Once
+	defaultTbl  *Table
+	defaultErr  error
+
+	quickOnce sync.Once
+	quickTbl  *Table
+	quickErr  error
+)
+
+// defaultTable builds the full airplane table once per test binary (~2 s).
+func defaultTable(t testing.TB) *Table {
+	t.Helper()
+	defaultOnce.Do(func() {
+		defaultTbl, defaultErr = Build(context.Background(), AirplaneConfig(), BuildOptions{})
+	})
+	if defaultErr != nil {
+		t.Fatalf("building default table: %v", defaultErr)
+	}
+	return defaultTbl
+}
+
+// quickConfig is the airplane fit over the smoke-scale grid.
+func quickConfig() Config {
+	cfg := AirplaneConfig()
+	cfg.Grid = QuickGrid()
+	return cfg
+}
+
+// quickTable builds the smoke-scale table once per test binary.
+func quickTable(t testing.TB) *Table {
+	t.Helper()
+	quickOnce.Do(func() {
+		quickTbl, quickErr = Build(context.Background(), quickConfig(), BuildOptions{})
+	})
+	if quickErr != nil {
+		t.Fatalf("building quick table: %v", quickErr)
+	}
+	return quickTbl
+}
+
+// randomInGrid draws a query inside the grid hull, splitting the load into
+// a random (speed, Mdata) factorization so the product-axis collapse is
+// exercised, not just the canonical v = 1 representative.
+func randomInGrid(rng *rand.Rand, g Grid) Query {
+	logRange := func(lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	}
+	rhoLo := g.Rho[0]
+	if rhoLo == 0 {
+		rhoLo = g.Rho[1] / 2 // sample below the first positive node too
+	}
+	load := logRange(g.LoadMBmps[0], g.LoadMBmps[len(g.LoadMBmps)-1])
+	v := logRange(1, 25)
+	return Query{
+		D0M:      g.D0M[0] + rng.Float64()*(g.D0M[len(g.D0M)-1]-g.D0M[0]),
+		SpeedMPS: v,
+		MdataMB:  load / v,
+		Rho:      rhoLo * math.Pow(g.Rho[len(g.Rho)-1]/rhoLo, rng.Float64()),
+	}
+}
+
+// TestLookupMatchesOptimize is the equivalence check behind the package's
+// accuracy contract: every in-grid query the table serves must agree with
+// core.Scenario.Optimize to servedDoptTol relative on dopt, and the
+// returned utility/delay/survival must be exactly self-consistent with
+// the served distance.
+func TestLookupMatchesOptimize(t *testing.T) {
+	tbl := defaultTable(t)
+	cfg := tbl.Config()
+	rng := rand.New(rand.NewSource(42))
+
+	const trials = 2500
+	served, fallback := 0, 0
+	var maxRel float64
+	for i := 0; i < trials; i++ {
+		q := randomInGrid(rng, cfg.Grid)
+		got, ok := tbl.Lookup(q)
+		if !ok {
+			fallback++
+			continue
+		}
+		served++
+		sc := cfg.Scenario(q)
+		want, err := sc.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(got.DoptM-want.DoptM) / math.Max(want.DoptM, 1)
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if rel > servedDoptTol {
+			t.Fatalf("query %+v: served dopt %.6f, exact %.6f (rel %.3e > %.0e)",
+				q, got.DoptM, want.DoptM, rel, servedDoptTol)
+		}
+		// Self-consistency: the answer must describe the served distance
+		// under the query's own scenario, not a blend of neighbours.
+		if got.Utility != sc.Utility(got.DoptM) || got.CommDelay != sc.CommDelay(got.DoptM) ||
+			got.Survival != sc.Discount(got.DoptM) {
+			t.Fatalf("query %+v: served optimum not self-consistent at dopt %.6f", q, got.DoptM)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no queries served from the table")
+	}
+	// The fallback share (regime straddles) should stay a small minority.
+	if frac := float64(fallback) / trials; frac > 0.25 {
+		t.Fatalf("fallback fraction %.2f is too high for the default grid", frac)
+	}
+	t.Logf("served %d/%d, max rel dopt err %.3e", served, trials, maxRel)
+}
+
+// TestLookupOnLattice: queries exactly on lattice points must reproduce
+// the stored optimum to optimizer precision — the span collapse reads only
+// the corners the query depends on.
+func TestLookupOnLattice(t *testing.T) {
+	tbl := quickTable(t)
+	cfg := tbl.Config()
+	g := cfg.Grid
+	for _, i0 := range []int{0, len(g.D0M) / 2, len(g.D0M) - 1} {
+		for _, il := range []int{0, len(g.LoadMBmps) / 2, len(g.LoadMBmps) - 1} {
+			for _, ir := range []int{0, len(g.Rho) / 2, len(g.Rho) - 1} {
+				q := canonicalQuery(g.D0M[i0], g.LoadMBmps[il], g.Rho[ir])
+				got, ok := tbl.Lookup(q)
+				if !ok {
+					continue // lattice point on a vetoed stencil edge: served exactly by the engine
+				}
+				e := tbl.entries[g.index(i0, il, ir)]
+				tol := math.Max(polishTolFrac*e.DoptM, 1e-6)
+				if math.Abs(got.DoptM-e.DoptM) > tol {
+					t.Fatalf("lattice point (%d,%d,%d): lookup dopt %.9f, stored %.9f",
+						i0, il, ir, got.DoptM, e.DoptM)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupOutOfGrid: out-of-hull queries must refuse, never extrapolate.
+func TestLookupOutOfGrid(t *testing.T) {
+	tbl := quickTable(t)
+	g := tbl.Config().Grid
+	outs := []Query{
+		{D0M: g.D0M[0] - 1, SpeedMPS: 1, MdataMB: 100, Rho: 1e-4},
+		{D0M: g.D0M[len(g.D0M)-1] + 1, SpeedMPS: 1, MdataMB: 100, Rho: 1e-4},
+		{D0M: 200, SpeedMPS: 1, MdataMB: g.LoadMBmps[0] / 2, Rho: 1e-4},
+		{D0M: 200, SpeedMPS: 2, MdataMB: g.LoadMBmps[len(g.LoadMBmps)-1], Rho: 1e-4},
+		{D0M: 200, SpeedMPS: 1, MdataMB: 100, Rho: g.Rho[len(g.Rho)-1] * 2},
+	}
+	for _, q := range outs {
+		if _, ok := tbl.Lookup(q); ok {
+			t.Errorf("query %+v outside the hull was served", q)
+		}
+	}
+	if _, ok := tbl.Lookup(Query{D0M: -1, SpeedMPS: 1, MdataMB: 1, Rho: 0}); ok {
+		t.Error("invalid query was served")
+	}
+}
+
+// TestLookupRegimeReconstruction: uniformly clamped cells answer from the
+// query, not the neighbours.
+func TestLookupRegimeReconstruction(t *testing.T) {
+	tbl := defaultTable(t)
+	cfg := tbl.Config()
+	// Deep in the floor regime: a huge batch at negligible failure risk —
+	// transfer time dominates, so the ferry closes to the separation floor.
+	qFloor := Query{D0M: 395, SpeedMPS: 2, MdataMB: 300, Rho: 1e-5}
+	want, err := cfg.Scenario(qFloor).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.DoptM > cfg.MinDistanceM+1e-6 {
+		t.Fatalf("test query %+v is not in the floor regime (exact dopt %.3f)", qFloor, want.DoptM)
+	}
+	if opt, ok := tbl.Lookup(qFloor); ok && opt.DoptM != cfg.MinDistanceM {
+		t.Fatalf("floor-regime lookup served %.6f, want exactly the %.0f m floor",
+			opt.DoptM, cfg.MinDistanceM)
+	}
+	// Deep in the immediate regime: a tiny batch far out — the transfer
+	// finishes faster than any approach, transmit at d0.
+	qNow := Query{D0M: 250, SpeedMPS: 16, MdataMB: 0.6, Rho: 1e-5}
+	want, err = cfg.Scenario(qNow).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.TransmitImmediately {
+		t.Fatalf("test query %+v is not in the immediate regime (exact dopt %.3f)", qNow, want.DoptM)
+	}
+	if opt, ok := tbl.Lookup(qNow); ok {
+		if !opt.TransmitImmediately || opt.DoptM != qNow.D0M {
+			t.Fatalf("immediate-regime lookup served %.6f (immediate=%v), want d0=%g",
+				opt.DoptM, opt.TransmitImmediately, qNow.D0M)
+		}
+	}
+}
+
+// TestProductCollapse verifies the dimension reduction the table is built
+// on: scenarios sharing v·Mdata share dopt.
+func TestProductCollapse(t *testing.T) {
+	cfg := quickConfig()
+	const load = 120.0 // MB·m/s
+	var ref core.Optimum
+	for i, v := range []float64{1, 3.7, 12, 20} {
+		opt, err := cfg.Scenario(Query{D0M: 250, SpeedMPS: v, MdataMB: load / v, Rho: 2e-4}).Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = opt
+			continue
+		}
+		if rel := math.Abs(opt.DoptM-ref.DoptM) / ref.DoptM; rel > 1e-6 {
+			t.Fatalf("v=%g: dopt %.9f differs from v=1 dopt %.9f (rel %.2e) — product collapse broken",
+				v, opt.DoptM, ref.DoptM, rel)
+		}
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	cfg := quickConfig()
+	n := cfg.Grid.Points()
+	good := make([]Entry, n)
+	for i := range good {
+		good[i] = Entry{DoptM: 100, Utility: 1}
+	}
+	if _, err := NewTable(cfg, good); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	if _, err := NewTable(cfg, good[:n-1]); err == nil {
+		t.Fatal("entry count mismatch accepted")
+	}
+	bad := append([]Entry(nil), good...)
+	bad[3] = Entry{DoptM: math.NaN(), Utility: 1}
+	if _, err := NewTable(cfg, bad); err == nil {
+		t.Fatal("NaN dopt accepted")
+	}
+	bad[3] = Entry{DoptM: 100, Utility: 1, Flags: 0x80}
+	if _, err := NewTable(cfg, bad); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+}

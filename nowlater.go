@@ -30,6 +30,7 @@
 package nowlater
 
 import (
+	"context"
 	"io"
 
 	"github.com/nowlater/nowlater/internal/chaos"
@@ -40,6 +41,7 @@ import (
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/mission"
 	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/policy"
 	"github.com/nowlater/nowlater/internal/rate"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/transport"
@@ -445,4 +447,84 @@ func NewSurfaceThroughput(distances, speeds []float64, bps [][]float64) (*Surfac
 func MeasureSurface(cfg LinkConfig, distances, speeds []float64, alt, duration float64,
 	trials int) ([][]float64, error) {
 	return link.MeasureSurface(cfg, distances, speeds, alt, duration, trials)
+}
+
+// --- Policy engine: precomputed dopt tables served online ------------------
+//
+// The per-decision optimization is a pure function of (d0, v, Mdata, ρ) —
+// and, through the model's structure, of only (d0, v·Mdata, ρ). The policy
+// layer precomputes that decision surface on a lattice once, persists it as
+// a versioned checksummed file, and serves lookups in sub-microsecond time
+// (cmd/nowlaterd is the HTTP daemon over the same engine).
+
+// PolicyQuery is one decision request: the link-opening distance, shipping
+// speed, batch size and failure rate.
+type PolicyQuery = policy.Query
+
+// PolicyGrid is the 3-axis lattice (d0 × v·Mdata × ρ) a table covers.
+type PolicyGrid = policy.Grid
+
+// PolicyConfig binds a throughput fit, separation floor and grid — the
+// complete identity of one precomputed table.
+type PolicyConfig = policy.Config
+
+// PolicyTable is an immutable precomputed decision surface with an
+// interpolate-then-polish Lookup.
+type PolicyTable = policy.Table
+
+// PolicyEngine serves decisions: LRU cache, then table lookup, then the
+// exact optimizer for out-of-grid or regime-boundary queries. Safe for
+// concurrent use; its OptimizeScenario method slots into the mission
+// planner (internal/planner Config.Optimizer) as the optimizer fast path.
+type PolicyEngine = policy.Engine
+
+// PolicyDecision is an answered query, tagged with the serving path.
+type PolicyDecision = policy.Decision
+
+// PolicyBuildOptions tunes a table build (workers, checkpoint journal).
+type PolicyBuildOptions = policy.BuildOptions
+
+// AirplanePolicyConfig is the default serving table: the airplane fit over
+// the full serving envelope.
+func AirplanePolicyConfig() PolicyConfig { return policy.AirplaneConfig() }
+
+// QuadrocopterPolicyConfig scales the lattice to the quadrocopter's range.
+func QuadrocopterPolicyConfig() PolicyConfig { return policy.QuadrocopterConfig() }
+
+// QuickPolicyGrid is a coarse smoke-scale lattice for tests and examples.
+func QuickPolicyGrid() PolicyGrid { return policy.QuickGrid() }
+
+// BuildPolicyTable precomputes a decision table (deterministic for any
+// worker count; resumable via PolicyBuildOptions.Checkpoint).
+func BuildPolicyTable(ctx context.Context, cfg PolicyConfig, opts PolicyBuildOptions) (*PolicyTable, error) {
+	return policy.Build(ctx, cfg, opts)
+}
+
+// WritePolicyTable atomically persists a table (versioned, CRC-checked).
+func WritePolicyTable(t *PolicyTable, path string) error { return t.WriteFile(path) }
+
+// LoadPolicyTable reads a table file, rejecting corruption and version
+// drift with typed errors.
+func LoadPolicyTable(path string) (*PolicyTable, error) { return policy.Load(path) }
+
+// LoadMatchingPolicyTable additionally rejects a table whose config
+// fingerprint differs from the expected one.
+func LoadMatchingPolicyTable(path string, want PolicyConfig) (*PolicyTable, error) {
+	return policy.LoadMatching(path, want)
+}
+
+// NewPolicyEngine wraps a table with an LRU of the given size (0 selects
+// the default, negative disables caching).
+func NewPolicyEngine(t *PolicyTable, cacheSize int) (*PolicyEngine, error) {
+	return policy.NewEngine(t, cacheSize)
+}
+
+// PolicyCheckResult cross-checks the precomputed tables against the Fig 8
+// and Fig 9 sweep optima and times table serving against exact solving.
+type PolicyCheckResult = experiments.PolicyCheckResult
+
+// PolicyCheck runs the cross-check with the default serving tables
+// (cmd/experiments -only policy).
+func PolicyCheck(cfg ExperimentConfig) (PolicyCheckResult, error) {
+	return experiments.PolicyCheck(cfg)
 }

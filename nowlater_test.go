@@ -1,7 +1,9 @@
 package nowlater_test
 
 import (
+	"context"
 	"math"
+	"path/filepath"
 	"testing"
 
 	nowlater "github.com/nowlater/nowlater"
@@ -97,6 +99,46 @@ func TestFacadeCustomThroughputTable(t *testing.T) {
 	}
 	if opt.DoptM >= 80 {
 		t.Fatalf("steep table should pull dopt inward: %v", opt.DoptM)
+	}
+}
+
+// TestFacadePolicy exercises the policy exports end to end: build a quick
+// table, persist and reload it, and serve a decision that agrees with the
+// exact optimizer.
+func TestFacadePolicy(t *testing.T) {
+	cfg := nowlater.AirplanePolicyConfig()
+	cfg.Grid = nowlater.QuickPolicyGrid()
+	tbl, err := nowlater.BuildPolicyTable(context.Background(), cfg, nowlater.PolicyBuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "policy.nlpt")
+	if err := nowlater.WritePolicyTable(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nowlater.LoadMatchingPolicyTable(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nowlater.LoadPolicyTable(path); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := nowlater.NewPolicyEngine(loaded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := nowlater.PolicyQuery{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: nowlater.AirplaneRho}
+	dec, err := eng.Decide(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := nowlater.AirplaneBaseline()
+	want, err := sc.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(dec.DoptM-want.DoptM) / want.DoptM; rel > 1e-3 {
+		t.Fatalf("served dopt %.4f vs exact %.4f (rel %.2e)", dec.DoptM, want.DoptM, rel)
 	}
 }
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/experiments"
+)
+
+// The golden hashes pin the CSV bytes of every figure that moved onto the
+// scenario layer (fig1, fig5, fig6, fig7) plus the chaos-survivability
+// experiment. They were captured from the pre-refactor rigs (the private
+// flightPair clock and the fleet tick loop) and prove the single-clock
+// port is byte-identical at any worker count.
+//
+// goldenQuick pins a reduced workload (Trials 2, TrialSeconds 1) that runs
+// on every `go test`; goldenDefault pins seed 1 at the publication-scale
+// default config and runs only with GOLDEN_DEFAULT=1 (minutes, not
+// seconds — see EXPERIMENTS.md).
+var goldenQuick = map[string]string{
+	"fig1.csv":  "f8ed5ee48b9ec592b861327398540c6f75c16af9bf8deb71c8f2c9b0bcee351d",
+	"fig5.csv":  "393a77ef4afcde9a357a82c317ae5949d8118051c13911a241a1612b3f2531e3",
+	"fig6.csv":  "50ef4f5ecd0eaad5aa174f99fc946df85cf6e91453f1cd54ae1d259280bfed87",
+	"fig7.csv":  "e7756a4c5d605646fad211da24ea79adf9ca696eb4bb0eba911dcba1fabc7441",
+	"chaos.csv": "271562f5c7a331ed35781b14f07b96bb73bc0df57a1f6353943d8fab92762b22",
+}
+
+var goldenDefault = map[string]string{
+	"fig1.csv":  "f8ed5ee48b9ec592b861327398540c6f75c16af9bf8deb71c8f2c9b0bcee351d",
+	"fig5.csv":  "7f690119945d068e5bcffb15bc52250973acdff59d972a3021d9f1839bb2d091",
+	"fig6.csv":  "7542fc854c46905f15f2b9e7dbf61a0414bf7baec6eec7d41ee672d602854ba3",
+	"fig7.csv":  "9078a015b2f03f0c39e2b2f2ed879cb5aa0d416d1ffbeebc136d02d1f74d1c6b",
+	"chaos.csv": "b9ea1aad6db5dc0576acbf870edd55df12966075731ce5fbb0fb65a36031b217",
+}
+
+// goldenSteps maps each pinned CSV to the step that writes it.
+func goldenSteps(r *runnerCmd) map[string]func() error {
+	return map[string]func() error{
+		"fig1.csv":  r.fig1,
+		"fig5.csv":  r.fig5,
+		"fig6.csv":  r.fig6,
+		"fig7.csv":  r.fig7,
+		"chaos.csv": r.survivability,
+	}
+}
+
+func hashFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// runGolden executes the pinned steps under cfg and returns name → sha256.
+func runGolden(t *testing.T, cfg experiments.Config) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	r := &runnerCmd{cfg: cfg, outDir: dir}
+	out := make(map[string]string)
+	for name, step := range goldenSteps(r) {
+		if err := step(); err != nil {
+			t.Fatalf("step for %s: %v", name, err)
+		}
+		out[name] = hashFile(t, filepath.Join(dir, name))
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, want, got map[string]string) {
+	t.Helper()
+	for name, wantHash := range want {
+		gotHash, ok := got[name]
+		if !ok {
+			t.Errorf("%s: not produced", name)
+			continue
+		}
+		if wantHash == "" {
+			// Capture mode: print the hash to paste into the table.
+			fmt.Printf("golden %s: %q\n", name, gotHash)
+			t.Errorf("%s: golden hash not recorded yet", name)
+			continue
+		}
+		if gotHash != wantHash {
+			t.Errorf("%s: CSV bytes drifted from the pre-refactor output:\n  want %s\n  got  %s",
+				name, wantHash, gotHash)
+		}
+	}
+}
+
+// TestGoldenEquivalenceQuick is the refactor's equivalence gate at smoke
+// scale: the scenario-layer rigs must reproduce the pre-refactor CSVs
+// byte-for-byte, serial and parallel alike.
+func TestGoldenEquivalenceQuick(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			t.Parallel()
+			cfg := experiments.Config{Seed: 1, Trials: 2, TrialSeconds: 1, Workers: workers}
+			checkGolden(t, goldenQuick, runGolden(t, cfg))
+		})
+	}
+}
+
+// TestGoldenEquivalenceDefault is the same gate at the publication-scale
+// default workload (seed 1). Gated behind GOLDEN_DEFAULT=1: it reruns the
+// five heaviest steps twice.
+func TestGoldenEquivalenceDefault(t *testing.T) {
+	if os.Getenv("GOLDEN_DEFAULT") == "" {
+		t.Skip("set GOLDEN_DEFAULT=1 to run the publication-scale equivalence gate")
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := experiments.DefaultConfig()
+		cfg.Workers = workers
+		checkGolden(t, goldenDefault, runGolden(t, cfg))
+	}
+}

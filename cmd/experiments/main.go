@@ -6,7 +6,8 @@
 //
 //	experiments                  # everything, publication-scale workload
 //	experiments -quick           # reduced workload
-//	experiments -only fig5,fig6  # a subset (table1, fig1, fig4..fig9, ablations)
+//	experiments -list            # enumerate the registered steps and exit
+//	experiments -only fig5,fig6  # a subset (run -list for the vocabulary)
 //	experiments -workers 4       # bounded trial parallelism (0 = one per core)
 //	experiments -bench           # also write BENCH_experiments.json timings
 //	experiments -checkpoint DIR  # journal per-trial results under DIR
@@ -79,8 +80,10 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	out := fs.String("out", "results", "output directory for CSV files")
 	quick := fs.Bool("quick", false, "reduced workload (fewer trials, shorter runs)")
-	only := fs.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ablations,mission,chaos,policy")
+	only := fs.String("only", "",
+		"comma-separated subset: "+strings.Join(experiments.StepNames(), ","))
 	fig := fs.String("fig", "", "alias for -only")
+	list := fs.Bool("list", false, "list the registered steps and exit")
 	seed := fs.Int64("seed", 1, "root random seed")
 	workers := fs.Int("workers", 0, "trial-pool size (0 = one worker per core); results are identical for any value")
 	bench := fs.Bool("bench", false, "write per-figure timings to BENCH_experiments.json in the working directory")
@@ -88,6 +91,13 @@ func run(args []string) int {
 	resume := fs.Bool("resume", false, "with -checkpoint: skip trials already journaled instead of wiping the directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Title)
+		}
+		return 0
 	}
 
 	cfg := nowlater.DefaultExperimentConfig()
@@ -110,34 +120,58 @@ func run(args []string) int {
 		cfg.Checkpoint = store
 	}
 
+	known := map[string]bool{}
+	for _, name := range experiments.StepNames() {
+		known[name] = true
+	}
 	want := map[string]bool{}
 	for _, sel := range []string{*only, *fig} {
 		if sel == "" {
 			continue
 		}
 		for _, name := range strings.Split(sel, ",") {
-			want[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown step %q (want one of %s)\n",
+					name, strings.Join(experiments.StepNames(), ","))
+				return 2
+			}
+			want[name] = true
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
 	run := &runnerCmd{cfg: cfg, outDir: *out, quick: *quick}
-	steps := []struct {
+	// The step order and vocabulary come from the shared registry; this map
+	// only binds each registered name to its runner.
+	bind := map[string]func() error{
+		"table1":    run.table1,
+		"fig1":      run.fig1,
+		"fig4":      run.fig4,
+		"fig5":      run.fig5,
+		"fig6":      run.fig6,
+		"fig7":      run.fig7,
+		"fig8":      run.fig8,
+		"fig9":      run.fig9,
+		"ablations": run.ablations,
+		"mission":   run.missionLevel,
+		"chaos":     run.survivability,
+		"policy":    run.policyCheck,
+	}
+	var steps []struct {
 		name string
 		fn   func() error
-	}{
-		{"table1", run.table1},
-		{"fig1", run.fig1},
-		{"fig4", run.fig4},
-		{"fig5", run.fig5},
-		{"fig6", run.fig6},
-		{"fig7", run.fig7},
-		{"fig8", run.fig8},
-		{"fig9", run.fig9},
-		{"ablations", run.ablations},
-		{"mission", run.missionLevel},
-		{"chaos", run.survivability},
-		{"policy", run.policyCheck},
+	}
+	for _, info := range experiments.Registry() {
+		fn, ok := bind[info.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: registry step %q has no runner\n", info.Name)
+			return 1
+		}
+		steps = append(steps, struct {
+			name string
+			fn   func() error
+		}{info.Name, fn})
 	}
 	report := benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

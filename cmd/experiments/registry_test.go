@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestListExitsClean pins the -list flag: enumerate and stop, no step runs.
+func TestListExitsClean(t *testing.T) {
+	if rc := runQuiet(t, "-list"); rc != 0 {
+		t.Fatalf("-list exited %d", rc)
+	}
+}
+
+// TestUnknownStepRejected pins that a typo'd -only selector is a loud
+// usage error against the registry vocabulary, not a silent no-op run.
+func TestUnknownStepRejected(t *testing.T) {
+	if rc := runQuiet(t, "-only", "nosuchstep", "-out", t.TempDir()); rc != 2 {
+		t.Fatalf("unknown step exited %d, want 2", rc)
+	}
+	if rc := runQuiet(t, "-fig", "fig5,bogus", "-out", t.TempDir()); rc != 2 {
+		t.Fatalf("unknown -fig step exited %d, want 2", rc)
+	}
+}

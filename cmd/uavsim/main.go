@@ -12,6 +12,11 @@
 //	uavsim -naive               # ignore dopt: transmit as soon as linked
 //	uavsim -chaos faults.txt    # inject a scripted fault schedule
 //	uavsim -resilient           # resumable transfers with retry/backoff
+//	uavsim -scenario spec.json  # run a declarative scenario file instead
+//
+// With -scenario the mission comes entirely from the JSON Spec (see
+// internal/scenario): vehicles, routes, link, workloads, chaos script and
+// decision policy, all executed on the one engine clock.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/gps"
 	"github.com/nowlater/nowlater/internal/planner"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/telemetry"
@@ -42,8 +48,17 @@ func main() {
 	naive := fs.Bool("naive", false, "transmit as soon as the link opens (skip the dopt rendezvous)")
 	chaosPath := fs.String("chaos", "", "scripted fault schedule file (see internal/chaos for the format)")
 	resilient := fs.Bool("resilient", false, "resumable transfer with per-attempt timeout and jittered backoff")
+	scenarioPath := fs.String("scenario", "", "declarative scenario Spec file (JSON; see internal/scenario)")
 	verbose := fs.Bool("v", false, "log telemetry traffic")
 	_ = fs.Parse(os.Args[1:])
+
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath); err != nil {
+			fmt.Fprintln(os.Stderr, "uavsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sched *chaos.Schedule
 	if *chaosPath != "" {
@@ -58,6 +73,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uavsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario loads, compiles and executes a declarative Spec, then prints
+// every workload's outcome and the final vehicle states.
+func runScenario(path string) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	rt, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: %d vehicle(s), %d traffic, %d transfer(s), %d chaos line(s)\n",
+		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), len(spec.Chaos))
+	res, err := rt.Run()
+	if err != nil {
+		return err
+	}
+	for _, tr := range res.Traffic {
+		var sum float64
+		for _, s := range tr.Samples {
+			sum += s.ThroughputMb
+		}
+		mean := 0.0
+		if len(tr.Samples) > 0 {
+			mean = sum / float64(len(tr.Samples))
+		}
+		fmt.Printf("traffic %s->%s: %d windows from t=%.1f s, mean %.1f Mb/s\n",
+			tr.From, tr.To, len(tr.Samples), tr.StartS, mean)
+	}
+	for _, tr := range res.Transfers {
+		status := fmt.Sprintf("delivered %.1f MB in %.1f s", tr.DeliveredMB(), tr.CompletionS)
+		if math.IsInf(tr.CompletionS, 1) {
+			status = fmt.Sprintf("incomplete: %.1f MB before the deadline", tr.DeliveredMB())
+		}
+		fmt.Printf("transfer %s->%s: start t=%.1f s, %s", tr.From, tr.To, tr.StartS, status)
+		if tr.DoptM > 0 {
+			fmt.Printf(" (decision: d0=%.0f m -> dopt=%.0f m)", tr.D0M, tr.DoptM)
+		}
+		if tr.Rerouted {
+			fmt.Printf(" [rerouted to fallback %s]", tr.To)
+		}
+		fmt.Println()
+	}
+	for _, v := range res.Vehicles {
+		state := "ok"
+		if v.Failed {
+			state = "FAILED"
+		}
+		fmt.Printf("vehicle %s: %s at %s, route done=%v\n", v.ID, state, v.Position, v.RouteDone)
+	}
+	fmt.Printf("scenario clock at exit: %.1f s (fingerprint %016x)\n", res.DurationS, res.Fingerprint)
+	return nil
 }
 
 func run(seed int64, rho float64, naive, verbose, resilient bool, sched *chaos.Schedule) error {
@@ -186,8 +255,8 @@ func run(seed int64, rho float64, naive, verbose, resilient bool, sched *chaos.S
 	logf("scanning %vx%v m sector at %v m: %d lanes, Mdata=%.1f MB",
 		plan.Sector.WidthM, plan.Sector.HeightM, plan.AltitudeM, len(waypoints)/2, mdataMB)
 
-	// Control loop: 10 Hz flight + 1 Hz telemetry.
-	const tick = 0.1
+	// Control loop: flight at the mission-logic cadence + 1 Hz telemetry.
+	const tick = scenario.MissionTickS
 	var controlTick func()
 	lastBeacon := -1.0
 	controlTick = func() {

@@ -23,7 +23,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		name string
 		run  func(cfg Config) (any, error)
 	}{
-		{"fig5samples", func(cfg Config) (any, error) { return airplaneFlightSamples(cfg, "fig5", nil) }},
+		{"fig5samples", func(cfg Config) (any, error) { return airplaneFlightSamples(cfg, "fig5", "") }},
 		{"fig9", func(cfg Config) (any, error) { return Fig9(cfg) }},
 		{"mission", func(cfg Config) (any, error) { return MissionLevel(cfg) }},
 		{"chaos", func(cfg Config) (any, error) { return Survivability(cfg) }},

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/nowlater/nowlater/internal/autopilot"
 	"github.com/nowlater/nowlater/internal/core"
 	"github.com/nowlater/nowlater/internal/geo"
-	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/transport"
 )
 
@@ -109,45 +108,37 @@ func Fig1With(cfg Config, p Fig1Params) (Fig1Result, error) {
 }
 
 // fig1HoverStrategy ships silently to the target distance, then transmits
-// while both quads hover.
+// while both quads hover — declared as a Spec: a route to the target, then
+// a transfer gated on arrival.
 func fig1HoverStrategy(cfg Config, p Fig1Params, target float64) (Fig1Strategy, error) {
-	mover, receiver, fp, err := fig1Rig(cfg, p, fmt.Sprintf("fig1/d%.0f", target))
+	s := fig1Spec(cfg, p, fmt.Sprintf("fig1/d%.0f", target))
+	if target < p.D0M {
+		s.Vehicles[0].Route = []geo.Vec3{{X: target, Z: 10}}
+		s.Vehicles[0].SpeedMPS = p.ShipSpeed
+	}
+	s.Transfers = []scenario.TransferSpec{{
+		From: "mover", To: "receiver", SizeMB: p.BatchMB, DeadlineS: p.DeadlineS,
+		StartOnArrival: true, Reliable: true,
+	}}
+	res, err := runSpec(s)
 	if err != nil {
 		return Fig1Strategy{}, err
 	}
+	tr := res.Transfers[0]
 	st := Fig1Strategy{Name: fmt.Sprintf("d=%.0f", target), TargetDM: target}
 
-	// Phase 1: ship (no transmission; the paper's UAV stays silent).
-	if target < p.D0M {
-		arrived := false
-		mover.GoTo(geo.Vec3{X: target, Z: 10}, p.ShipSpeed, func() { arrived = true })
-		for !arrived && fp.link.Now() < p.DeadlineS {
-			fp.link.SetNow(fp.link.Now() + fp.tick)
-			fp.advanceVehicles()
-		}
-		// Record the silent shipping phase in the series.
-		for ts := 0.25; ts < fp.link.Now(); ts += 0.25 {
-			st.Series = append(st.Series, transport.SeriesPoint{
-				TimeS: ts, DeliveredMB: 0, DistanceM: p.D0M - p.ShipSpeed*ts,
-			})
-		}
+	// Record the silent shipping phase in the series (tr.StartS is the end
+	// of the shipping leg; zero when the target is d0 itself).
+	for ts := 0.25; ts < tr.StartS; ts += 0.25 {
+		st.Series = append(st.Series, transport.SeriesPoint{
+			TimeS: ts, DeliveredMB: 0, DistanceM: p.D0M - p.ShipSpeed*ts,
+		})
 	}
-	shipEnd := fp.link.Now()
-
-	// Phase 2: hover and transmit.
-	geom := func(float64) link.Geometry { fp.advanceVehicles(); return fp.geometry() }
-	batch, err := transport.TransferBatch(fp.link, transport.BatchConfig{
-		Bytes: int(p.BatchMB * 1e6), DeadlineS: p.DeadlineS, Reliable: true,
-	}, geom)
-	if err != nil {
-		return Fig1Strategy{}, err
-	}
-	for _, pt := range batch.Series {
-		pt.TimeS += shipEnd
+	for _, pt := range tr.Series {
+		pt.TimeS += tr.StartS
 		st.Series = append(st.Series, pt)
 	}
-	st.CompletionS = shipEnd + batch.CompletionS
-	_ = receiver
+	st.CompletionS = tr.StartS + tr.CompletionS
 	return st, nil
 }
 
@@ -157,49 +148,45 @@ func fig1HoverStrategy(cfg Config, p Fig1Params, target float64) (Fig1Strategy, 
 // the receiver at the separation floor, still in motion, until the batch
 // completes — the mixed strategy the paper leaves out of scope.
 func fig1MovingStrategy(cfg Config, p Fig1Params) (Fig1Strategy, error) {
-	mover, _, fp, err := fig1Rig(cfg, p, "fig1/moving")
-	if err != nil {
-		return Fig1Strategy{}, err
-	}
-	st := Fig1Strategy{Name: "moving", TargetDM: core.MinSeparationM}
-
-	approachDone := false
-	var next func()
-	if p.LoiterAfterApproach {
-		orbit := orbitWaypoints(core.MinSeparationM, 10)
-		leg := 0
-		next = func() {
-			approachDone = true
-			wp := orbit[leg%len(orbit)]
-			leg++
-			mover.GoTo(wp, p.MovingSpeed, next)
-		}
-	} else {
-		next = func() { approachDone = true }
-	}
-	mover.GoTo(geo.Vec3{X: core.MinSeparationM, Z: 10}, p.MovingSpeed, next)
-
+	s := fig1Spec(cfg, p, "fig1/moving")
+	s.Vehicles[0].Route = []geo.Vec3{{X: core.MinSeparationM, Z: 10}}
+	s.Vehicles[0].SpeedMPS = p.MovingSpeed
 	deadline := p.DeadlineS
-	if !p.LoiterAfterApproach {
+	if p.LoiterAfterApproach {
+		// After the approach leg, loop forever over the orbit ring (re-enter
+		// at index 1, skipping the approach waypoint).
+		s.Vehicles[0].Route = append(s.Vehicles[0].Route, orbitWaypoints(core.MinSeparationM, 10)...)
+		s.Vehicles[0].Loop = true
+		s.Vehicles[0].LoopFrom = 1
+	} else {
 		// The experiment ends shortly after the approach completes.
 		deadline = (p.D0M-core.MinSeparationM)/p.MovingSpeed + 2
 	}
-	geom := func(float64) link.Geometry { fp.advanceVehicles(); return fp.geometry() }
-	batch, err := transport.TransferBatch(fp.link, transport.BatchConfig{
-		Bytes: int(p.BatchMB * 1e6), DeadlineS: deadline, Reliable: true,
-	}, geom)
+	s.Transfers = []scenario.TransferSpec{{
+		From: "mover", To: "receiver", SizeMB: p.BatchMB, DeadlineS: deadline, Reliable: true,
+	}}
+	res, err := runSpec(s)
 	if err != nil {
 		return Fig1Strategy{}, err
 	}
-	st.Series = batch.Series
-	st.CompletionS = batch.CompletionS
-	st.DeliveredMB = float64(batch.DeliveredBytes) / 1e6
+	tr := res.Transfers[0]
+	st := Fig1Strategy{Name: "moving", TargetDM: core.MinSeparationM}
+	st.Series = tr.Series
+	st.CompletionS = tr.CompletionS
+	st.DeliveredMB = tr.DeliveredMB()
+
+	approachDone := false
+	for _, v := range res.Vehicles {
+		if v.ID == "mover" {
+			approachDone = v.RouteDone
+		}
+	}
 	if !p.LoiterAfterApproach && approachDone {
 		// Truncate the record at the end of the approach, like the paper's
 		// moving curve: the strategy did not complete within its window.
 		arrival := (p.D0M - core.MinSeparationM) / p.MovingSpeed
 		var trimmed []transport.SeriesPoint
-		for _, pt := range batch.Series {
+		for _, pt := range tr.Series {
 			if pt.TimeS <= arrival+1.0 {
 				trimmed = append(trimmed, pt)
 			}
@@ -227,21 +214,13 @@ func orbitWaypoints(radius, alt float64) []geo.Vec3 {
 	return wps
 }
 
-// fig1Rig builds the two quads and their link for one strategy run.
-func fig1Rig(cfg Config, p Fig1Params, label string) (*autopilot.Autopilot, *autopilot.Autopilot, *flightPair, error) {
-	mover, err := quadAt("mover", geo.Vec3{X: p.D0M, Z: 10})
-	if err != nil {
-		return nil, nil, nil, err
+// fig1Spec declares the two quads of one strategy run: the mover at d0 and
+// a hovering receiver at the origin.
+func fig1Spec(cfg Config, p Fig1Params, label string) scenario.Spec {
+	s := trialSpec(label, cfg.Seed, label, 0)
+	s.Vehicles = []scenario.VehicleSpec{
+		{ID: "mover", Platform: scenario.PlatformQuad, Start: geo.Vec3{X: p.D0M, Z: 10}},
+		{ID: "receiver", Platform: scenario.PlatformQuad, Start: geo.Vec3{Z: 10}, Hold: true},
 	}
-	receiver, err := quadAt("receiver", geo.Vec3{Z: 10})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	receiver.Hold(geo.Vec3{Z: 10})
-	lcfg := trialLinkConfig(cfg.Seed, label, 0)
-	fp, err := newFlightPair(lcfg, minstrelFor(lcfg), mover, receiver)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return mover, receiver, fp, nil
+	return s
 }

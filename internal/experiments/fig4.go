@@ -5,6 +5,8 @@ import (
 
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/gps"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
 )
 
@@ -56,13 +58,21 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	if err != nil {
 		return Fig4Result{}, err
 	}
+	// GPS fixes are labelled with the pre-step clock (the fix timestamps a
+	// position already reached), so the observation label trails the engine
+	// tick by one period.
 	const tick = 0.05
 	duration := 12 * cfg.TrialSeconds
-	for now := 0.0; now < duration; now += tick {
+	t := 0.0
+	if err := scenario.Ticks(sim.NewEngine(), tick, duration, func(float64) bool {
 		a.Step(tick)
 		b.Step(tick)
-		recvA.Observe(now, a.Vehicle().Position())
-		recvB.Observe(now, b.Vehicle().Position())
+		recvA.Observe(t, a.Vehicle().Position())
+		recvB.Observe(t, b.Vehicle().Position())
+		t += tick
+		return true
+	}); err != nil {
+		return Fig4Result{}, err
 	}
 	res.Airplanes = []Fig4Trace{
 		{VehicleID: "plane-a", Fixes: recvA.Trace()},
@@ -97,11 +107,16 @@ func Fig4(cfg Config) (Fig4Result, error) {
 		if err != nil {
 			return [2]Fig4Trace{}, err
 		}
-		for now := 0.0; now < cfg.TrialSeconds; now += tick {
+		t := 0.0
+		if err := scenario.Ticks(sim.NewEngine(), tick, cfg.TrialSeconds, func(float64) bool {
 			q1.Step(tick)
 			q2.Step(tick)
-			r1.Observe(now, q1.Vehicle().Position())
-			r2.Observe(now, q2.Vehicle().Position())
+			r1.Observe(t, q1.Vehicle().Position())
+			r2.Observe(t, q2.Vehicle().Position())
+			t += tick
+			return true
+		}); err != nil {
+			return [2]Fig4Trace{}, err
 		}
 		return [2]Fig4Trace{
 			{VehicleID: "quad-a-d" + strconv.Itoa(int(d)), Fixes: r1.Trace()},

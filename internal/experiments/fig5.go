@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/stats"
 )
 
@@ -23,7 +24,7 @@ const fig5BinWidth = 20.0
 // traffic under Minstrel auto-rate and bins windowed throughput by
 // distance.
 func Fig5(cfg Config) (Fig5Result, error) {
-	samples, err := airplaneFlightSamples(cfg, "fig5", nil)
+	samples, err := airplaneFlightSamples(cfg, "fig5", "")
 	if err != nil {
 		return Fig5Result{}, err
 	}
@@ -47,41 +48,39 @@ func Fig5(cfg Config) (Fig5Result, error) {
 }
 
 // airplaneFlightSamples runs cfg.Trials commuting flights and pools the
-// windowed throughput samples. policyName selects a fixed MCS ("mcsN") or
-// auto-rate (nil / empty).
+// windowed throughput samples. rate selects a fixed MCS ("mcsN") or
+// auto-rate (""), in the scenario layer's LinkSpec.Rate vocabulary.
 //
-// Trials are seeded independently and run on the shared bounded pool. The
-// whole trial body — autopilot and flight-state setup included — executes
-// inside the worker, so at most cfg.Workers trials exist at once (the old
-// hand-rolled fan-out spawned every goroutine up front); samples are pooled
-// per trial index to keep the output deterministic.
-func airplaneFlightSamples(cfg Config, label string, mkPolicy func(trial int) policySpec) ([]windowSample, error) {
+// Each trial is one declarative Spec: two airplanes commuting between
+// opposite waypoints at separated altitudes (the Fig 4(a)/Fig 5 pattern,
+// sweeping their mutual distance over the full 20–400 m range every leg)
+// under a saturation workload. Trials are seeded independently and run on
+// the shared bounded pool; samples are pooled per trial index to keep the
+// output deterministic.
+func airplaneFlightSamples(cfg Config, label, rate string) ([]windowSample, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	perTrial, err := mapTrials(cfg, label, func(trial int) ([]windowSample, error) {
-		a, err := planeAt("plane-a", geo.Vec3{X: 0, Z: 80})
-		if err != nil {
-			return nil, err
-		}
-		b, err := planeAt("plane-b", geo.Vec3{X: 400, Z: 100})
-		if err != nil {
-			return nil, err
-		}
-		commutePlanes(a, b, 400)
-		lcfg := trialLinkConfig(cfg.Seed, label, trial)
-		spec := policySpec{FixedMCS: -1} // default: Minstrel auto-rate
-		if mkPolicy != nil {
-			spec = mkPolicy(trial)
-		}
-		fp, err := newFlightPair(lcfg, spec.build(lcfg), a, b)
-		if err != nil {
-			return nil, err
+		s := trialSpec(label, cfg.Seed, label, trial)
+		s.Link.Rate = rate
+		s.Vehicles = []scenario.VehicleSpec{
+			{ID: "plane-a", Platform: scenario.PlatformPlane, Start: geo.Vec3{X: 0, Z: 80},
+				Route: []geo.Vec3{{X: 400, Z: 80}, {X: 0, Z: 80}}, Loop: true},
+			{ID: "plane-b", Platform: scenario.PlatformPlane, Start: geo.Vec3{X: 400, Z: 100},
+				Route: []geo.Vec3{{X: 0, Z: 100}, {X: 400, Z: 100}}, Loop: true},
 		}
 		// One commute leg is 400 m at ~10 m/s: measure several legs so
 		// every distance bin fills.
-		duration := math.Max(cfg.TrialSeconds*10, 90)
-		return fp.measureWindowed(duration, 1.0), nil
+		s.Traffic = []scenario.TrafficSpec{{
+			From: "plane-a", To: "plane-b",
+			DurationS: math.Max(cfg.TrialSeconds*10, 90), WindowS: 1.0,
+		}}
+		res, err := runSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return res.Traffic[0].Samples, nil
 	})
 	if err != nil {
 		return nil, err

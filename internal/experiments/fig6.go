@@ -3,24 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
-
-	"github.com/nowlater/nowlater/internal/link"
-	"github.com/nowlater/nowlater/internal/phy"
-	"github.com/nowlater/nowlater/internal/rate"
 )
-
-// policySpec builds a rate policy per trial link.
-type policySpec struct {
-	// FixedMCS < 0 selects Minstrel auto-rate.
-	FixedMCS int
-}
-
-func (p policySpec) build(lcfg link.Config) rate.Policy {
-	if p.FixedMCS >= 0 {
-		return rate.NewFixed(phy.MCS(p.FixedMCS))
-	}
-	return minstrelFor(lcfg)
-}
 
 // Fig6MCSSet is the fixed-rate set the paper sweeps: "we select modulation
 // schemes and coding rates ... such as MCS1, MCS2, MCS3 and MCS8".
@@ -53,9 +36,8 @@ func Fig6(cfg Config) (Fig6Result, error) {
 	runs := make(map[string]map[float64][]float64)
 	losses := make(map[string]float64)
 
-	collect := func(name string, spec policySpec) error {
-		samples, err := airplaneFlightSamples(cfg, "fig6/"+name,
-			func(int) policySpec { return spec })
+	collect := func(name, rate string) error {
+		samples, err := airplaneFlightSamples(cfg, "fig6/"+name, rate)
 		if err != nil {
 			return err
 		}
@@ -78,11 +60,12 @@ func Fig6(cfg Config) (Fig6Result, error) {
 		return nil
 	}
 
-	if err := collect("auto", policySpec{FixedMCS: -1}); err != nil {
+	if err := collect("auto", ""); err != nil {
 		return Fig6Result{}, err
 	}
 	for _, m := range Fig6MCSSet {
-		if err := collect(fmt.Sprintf("mcs%d", m), policySpec{FixedMCS: m}); err != nil {
+		name := fmt.Sprintf("mcs%d", m)
+		if err := collect(name, name); err != nil {
 			return Fig6Result{}, err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/stats"
 )
 
@@ -106,24 +107,19 @@ func Fig7(cfg Config) (Fig7Result, error) {
 }
 
 // fig7ApproachRun flies one 100 m → 20 m approach at ≈8 m/s while
-// saturating the link.
+// saturating the link, declared as a Spec. The 0.5 s window gives distance
+// resolution over the ≈10 s pass (80 m at 8 m/s).
 func fig7ApproachRun(cfg Config, trial int) ([]windowSample, error) {
-	mover, err := quadAt("mover", geo.Vec3{X: 100, Z: 10})
+	s := trialSpec("fig7/approach", cfg.Seed, "fig7/approach", trial)
+	s.Vehicles = []scenario.VehicleSpec{
+		{ID: "mover", Platform: scenario.PlatformQuad, Start: geo.Vec3{X: 100, Z: 10},
+			Route: []geo.Vec3{{X: 20, Z: 10}}, SpeedMPS: 8},
+		{ID: "target", Platform: scenario.PlatformQuad, Start: geo.Vec3{Z: 10}, Hold: true},
+	}
+	s.Traffic = []scenario.TrafficSpec{{From: "mover", To: "target", DurationS: 10.5, WindowS: 0.5}}
+	res, err := runSpec(s)
 	if err != nil {
 		return nil, err
 	}
-	target, err := quadAt("target", geo.Vec3{Z: 10})
-	if err != nil {
-		return nil, err
-	}
-	target.Hold(geo.Vec3{Z: 10})
-	mover.GoTo(geo.Vec3{X: 20, Z: 10}, 8, nil)
-	lcfg := trialLinkConfig(cfg.Seed, "fig7/approach", trial)
-	fp, err := newFlightPair(lcfg, minstrelFor(lcfg), mover, target)
-	if err != nil {
-		return nil, err
-	}
-	// 80 m at 8 m/s ≈ 10 s of approach; window at 0.5 s for distance
-	// resolution.
-	return fp.measureWindowed(10.5, 0.5), nil
+	return res.Traffic[0].Samples, nil
 }

@@ -2,115 +2,19 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/nowlater/nowlater/internal/autopilot"
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/rate"
-	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/uav"
 )
 
-// flightPair couples two autopiloted vehicles with one data link: the
-// in-flight measurement rig of the paper's Figs 1, 5, 6 and 7. The link's
-// clock is authoritative; vehicles are advanced in fixed control-loop
-// ticks whenever the link clock passes them.
-type flightPair struct {
-	tx, rx *autopilot.Autopilot
-	link   *link.Link
-	// tick is the control-loop period.
-	tick float64
-	// flown tracks the last vehicle-advance time.
-	flown float64
-}
-
-// newFlightPair wires vehicles to a fresh link.
-func newFlightPair(cfg link.Config, pol rate.Policy, tx, rx *autopilot.Autopilot) (*flightPair, error) {
-	l, err := link.New(cfg, pol)
-	if err != nil {
-		return nil, err
-	}
-	return &flightPair{tx: tx, rx: rx, link: l, tick: 0.02}, nil
-}
-
-// geometry returns the instantaneous link geometry from vehicle state.
-// Relative speed is the full relative-velocity magnitude: attitude
-// dynamics and Doppler care about motion, not just range rate.
-func (fp *flightPair) geometry() link.Geometry {
-	a, b := fp.tx.Vehicle(), fp.rx.Vehicle()
-	return link.Geometry{
-		DistanceM:   a.Position().Dist(b.Position()),
-		AltitudeM:   math.Min(a.Position().Z, b.Position().Z),
-		RelSpeedMPS: a.Velocity().Sub(b.Velocity()).Norm(),
-	}
-}
-
-// advanceVehicles steps both autopilots up to the link clock.
-func (fp *flightPair) advanceVehicles() {
-	for fp.flown+fp.tick <= fp.link.Now() {
-		fp.tx.Step(fp.tick)
-		fp.rx.Step(fp.tick)
-		fp.flown += fp.tick
-	}
-}
-
-// windowSample is one throughput observation labelled with geometry.
-type windowSample struct {
-	TimeS        float64
-	ThroughputMb float64
-	DistanceM    float64
-	RelSpeedMPS  float64
-	// LossRate is the fraction of datagrams dropped at the MAC retry
-	// limit within the window.
-	LossRate float64
-}
-
-// measureWindowed saturates the link for duration seconds while the
-// vehicles fly, recording throughput in windowS-second windows labelled
-// with the mid-window distance — the simulation analogue of binning iperf
-// reports against GPS logs.
-func (fp *flightPair) measureWindowed(duration, windowS float64) []windowSample {
-	var out []windowSample
-	start := fp.link.Now()
-	end := start + duration
-	winStart := start
-	var winBytes, winDropped int64
-	droppedBefore := fp.link.MAC().DroppedBytes
-	var distSum, speedSum float64
-	var distN int
-	for fp.link.Now() < end {
-		if fp.link.QueuedBytes() < 64*1500 {
-			fp.link.Enqueue(128 * 1500)
-		}
-		fp.advanceVehicles()
-		g := fp.geometry()
-		ex := fp.link.Step(g)
-		winBytes += int64(ex.DeliveredBytes)
-		distSum += g.DistanceM
-		speedSum += g.RelSpeedMPS
-		distN++
-		if fp.link.Now()-winStart >= windowS {
-			elapsed := fp.link.Now() - winStart
-			winDropped = fp.link.MAC().DroppedBytes - droppedBefore
-			droppedBefore = fp.link.MAC().DroppedBytes
-			loss := 0.0
-			if winBytes+winDropped > 0 {
-				loss = float64(winDropped) / float64(winBytes+winDropped)
-			}
-			out = append(out, windowSample{
-				TimeS:        winStart - start,
-				ThroughputMb: float64(winBytes) * 8 / elapsed / 1e6,
-				DistanceM:    distSum / float64(distN),
-				RelSpeedMPS:  speedSum / float64(distN),
-				LossRate:     loss,
-			})
-			winStart = fp.link.Now()
-			winBytes, distSum, speedSum, distN = 0, 0, 0, 0
-		}
-	}
-	return out
-}
+// The in-flight measurement rigs of Figs 1, 5, 6 and 7 are declarative
+// scenario Specs (see scenariorig.go): the scenario runtime owns the only
+// clock, and this file keeps just the pieces that are not flights — link
+// seeding, rate policy, and the vehicle constructors of the GPS traces.
 
 // quadAt builds a hover-capable vehicle with autopilot at a position.
 func quadAt(id string, pos geo.Vec3) (*autopilot.Autopilot, error) {
@@ -139,15 +43,17 @@ func trialLinkConfig(seed int64, label string, trial int) link.Config {
 	return cfg
 }
 
-// minstrelFor builds a fresh auto-rate policy for a trial link config.
+// minstrelFor builds a fresh auto-rate policy for a trial link config —
+// the scenario layer's seeding, so link behaviour is a pure function of
+// (seed, label) whether a figure measures in place or flies a Spec.
 func minstrelFor(cfg link.Config) rate.Policy {
-	rng := stats.NewRNG(cfg.Seed).Substream(cfg.Seed, cfg.Label+"/minstrel")
-	return rate.NewMinstrel(rate.DefaultMinstrelParams(), cfg.PHY, rng)
+	return scenario.MinstrelPolicy(cfg)
 }
 
-// commutePlanes configures the Fig 4(a)/Fig 5 flight pattern: two
-// airplanes commuting between opposite waypoints at separated altitudes,
-// so their mutual distance sweeps the full 20–400 m range every leg.
+// commutePlanes configures the Fig 4(a) flight pattern: two airplanes
+// commuting between opposite waypoints at separated altitudes, so their
+// mutual distance sweeps the full 20–400 m range every leg. (Fig 5 flies
+// the same pattern as a scenario Spec route.)
 func commutePlanes(a, b *autopilot.Autopilot, legM float64) {
 	wA1 := geo.Vec3{X: 0, Y: 0, Z: 80}
 	wA2 := geo.Vec3{X: legM, Y: 0, Z: 80}

@@ -1,0 +1,39 @@
+package experiments
+
+// StepInfo describes one reproduction step of the evaluation: the name the
+// -only/-fig selectors accept and what the step regenerates.
+type StepInfo struct {
+	Name  string
+	Title string
+}
+
+// Registry returns the ordered list of reproduction steps. cmd/experiments
+// iterates this to run, select (-only) and enumerate (-list) steps, so a
+// new figure needs exactly one entry here plus its runner binding — no
+// hand-maintained usage strings.
+func Registry() []StepInfo {
+	return []StepInfo{
+		{"table1", "Table 1: measured vs modelled throughput fits"},
+		{"fig1", "Fig 1: strategy race — ship-then-hover vs transmit-while-moving"},
+		{"fig4", "Fig 4: GPS traces of the commuting airplanes and hovering quads"},
+		{"fig5", "Fig 5: airplane throughput vs distance (auto rate) with log2 fit"},
+		{"fig6", "Fig 6: fixed MCS sweep vs auto-rate between airplanes"},
+		{"fig7", "Fig 7: quadrocopter panels — hover, approach, speed sweep"},
+		{"fig8", "Fig 8: utility and dopt over the failure-rate sweep"},
+		{"fig9", "Fig 9: Mdata x speed sweep of the airplane scenario"},
+		{"ablations", "Ablations: aggregation, PHY features, optimizer, fading, rate control"},
+		{"mission", "Mission-level comparison: naive vs planned delivery"},
+		{"chaos", "Survivability: scripted fault schedules vs the resilient posture"},
+		{"policy", "Policy tables: table-served dopt vs exact optimization"},
+	}
+}
+
+// StepNames returns the registry names in order (the -only vocabulary).
+func StepNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, s := range reg {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// windowSample is one throughput observation labelled with geometry — the
+// scenario runtime's windowed saturation sample, under the name the
+// experiment renderers grew up with.
+type windowSample = scenario.Sample
+
+// trialSpec starts a declarative Spec with the harness's per-trial
+// substream derivation: the same (seed, label, trial) always yields the
+// same link behaviour, whichever figure asks.
+func trialSpec(name string, seed int64, label string, trial int) scenario.Spec {
+	return scenario.Spec{
+		Name: name,
+		Seed: seed + int64(trial)*7919,
+		Link: scenario.LinkSpec{Label: fmt.Sprintf("%s/trial%d", label, trial)},
+	}
+}
+
+// runSpec compiles and executes one Spec on a fresh engine.
+func runSpec(s scenario.Spec) (scenario.Result, error) {
+	rt, err := scenario.Compile(s)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	return rt.Run()
+}

@@ -7,9 +7,8 @@ import (
 	"github.com/nowlater/nowlater/internal/chaos"
 	"github.com/nowlater/nowlater/internal/fleet"
 	"github.com/nowlater/nowlater/internal/geo"
-	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/stats"
-	"github.com/nowlater/nowlater/internal/uav"
 )
 
 // SurvivabilityPoint is one fault-intensity grid point of the chaos
@@ -38,33 +37,33 @@ type SurvivabilityResult struct {
 	Points []SurvivabilityPoint
 }
 
-// survivalSpecs is the chaos scenario: three scouts feeding a two-relay
-// tier, so a mid-mission relay loss leaves a surviving receiver for the
-// resilient posture to reassign to.
-func survivalSpecs() []fleet.UAVSpec {
-	plan := mission.Plan{
-		Sector:    mission.Sector{WidthM: 40, HeightM: 40},
-		Camera:    mission.DefaultCamera(),
-		AltitudeM: 10,
+// survivalMissionSpec is the chaos scenario as declarative data: three
+// scouts feeding a two-relay tier, so a mid-mission relay loss leaves a
+// surviving receiver for the resilient posture to reassign to. The chaos
+// schedule rides along in its text form, making the whole paired mission a
+// value that fleet.FromSpec compiles.
+func survivalMissionSpec(seed int64, resilient bool, sched *chaos.Schedule) scenario.MissionSpec {
+	scout := func(id string, start, origin geo.Vec3) scenario.MissionVehicle {
+		return scenario.MissionVehicle{
+			ID: id, Platform: scenario.PlatformQuad, Role: scenario.RoleScout,
+			Start: start, SectorOrigin: origin,
+			SectorWM: 40, SectorHM: 40, AltitudeM: 10, MaxScanLanes: 2,
+		}
 	}
-	return []fleet.UAVSpec{
-		{
-			ID: "scout-1", Platform: uav.Arducopter(), Role: fleet.Scout,
-			Start: geo.Vec3{X: 170, Z: 10}, Plan: plan,
-			SectorOrigin: geo.Vec3{X: 160, Y: 10}, MaxScanLanes: 2,
+	return scenario.MissionSpec{
+		Name:       "chaos/survivability",
+		Seed:       seed,
+		MaxSeconds: 3600,
+		Vehicles: []scenario.MissionVehicle{
+			scout("scout-1", geo.Vec3{X: 170, Z: 10}, geo.Vec3{X: 160, Y: 10}),
+			scout("scout-2", geo.Vec3{X: -150, Y: 50, Z: 10}, geo.Vec3{X: -160, Y: 40}),
+			scout("scout-3", geo.Vec3{Y: 170, Z: 10}, geo.Vec3{X: -20, Y: 160}),
+			{ID: "relay-1", Platform: scenario.PlatformQuad, Role: scenario.RoleRelay, Start: geo.Vec3{Z: 10}},
+			{ID: "relay-2", Platform: scenario.PlatformQuad, Role: scenario.RoleRelay, Start: geo.Vec3{X: -60, Y: -60, Z: 10}},
 		},
-		{
-			ID: "scout-2", Platform: uav.Arducopter(), Role: fleet.Scout,
-			Start: geo.Vec3{X: -150, Y: 50, Z: 10}, Plan: plan,
-			SectorOrigin: geo.Vec3{X: -160, Y: 40}, MaxScanLanes: 2,
-		},
-		{
-			ID: "scout-3", Platform: uav.Arducopter(), Role: fleet.Scout,
-			Start: geo.Vec3{Y: 170, Z: 10}, Plan: plan,
-			SectorOrigin: geo.Vec3{X: -20, Y: 160}, MaxScanLanes: 2,
-		},
-		{ID: "relay-1", Platform: uav.Arducopter(), Role: fleet.Relay, Start: geo.Vec3{Z: 10}},
-		{ID: "relay-2", Platform: uav.Arducopter(), Role: fleet.Relay, Start: geo.Vec3{X: -60, Y: -60, Z: 10}},
+		Resilient:   resilient,
+		StaleAfterS: 10,
+		Chaos:       scenario.ChaosLines(sched),
 	}
 }
 
@@ -127,16 +126,12 @@ func Survivability(cfg Config) (SurvivabilityResult, error) {
 		trials, err := mapTrials(cfg, label, func(trial int) (survivalTrial, error) {
 			var out survivalTrial
 			for _, resilient := range []bool{false, true} {
-				fcfg := fleet.DefaultConfig()
-				fcfg.Seed = cfg.Seed + int64(trial)*101
-				fcfg.Chaos = survivalSchedule(intensity)
-				fcfg.Resilient = resilient
-				fcfg.StaleAfterS = 10
-				ms, err := fleet.New(fcfg, survivalSpecs())
+				spec := survivalMissionSpec(cfg.Seed+int64(trial)*101, resilient, survivalSchedule(intensity))
+				ms, err := fleet.FromSpec(spec)
 				if err != nil {
 					return survivalTrial{}, err
 				}
-				rep, err := ms.Run(3600)
+				rep, err := ms.Run(spec.MaxSeconds)
 				if err != nil {
 					return survivalTrial{}, err
 				}

@@ -25,11 +25,12 @@ func TestSurvivalScheduleValidates(t *testing.T) {
 // around: in the fault-free mission the first transfer to relay-1 must
 // bracket relayKillS, so the scripted kill really lands mid-delivery.
 func TestSurvivalTimeline(t *testing.T) {
-	ms, err := fleet.New(fleet.DefaultConfig(), survivalSpecs())
+	spec := survivalMissionSpec(fleet.DefaultConfig().Seed, false, nil)
+	ms, err := fleet.FromSpec(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ms.Run(3600)
+	rep, err := ms.Run(spec.MaxSeconds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/mission"
 	"github.com/nowlater/nowlater/internal/planner"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/telemetry"
@@ -291,25 +292,25 @@ func (m *Mission) Run(maxSeconds float64) (Report, error) {
 	for _, s := range m.scouts {
 		m.startScan(s)
 	}
-	const tick = 0.1
-	for m.engine.Now() < maxSeconds {
-		if err := m.engine.RunUntil(m.engine.Now() + tick); err != nil {
-			return Report{}, err
-		}
-		m.applyChaosKills(m.engine.Now())
+	// The mission does not own a clock loop: it hands its per-tick state
+	// machine to the scenario layer's Ticks driver, which advances the
+	// shared engine at the mission cadence.
+	err := scenario.Ticks(m.engine, scenario.MissionTickS, maxSeconds, func(now float64) bool {
+		m.applyChaosKills(now)
 		allDone := true
 		for _, s := range m.scouts {
 			if s.done {
 				continue
 			}
-			m.step(s, tick)
+			m.step(s, scenario.MissionTickS)
 			if !s.done {
 				allDone = false
 			}
 		}
-		if allDone {
-			break
-		}
+		return !allDone
+	})
+	if err != nil {
+		return Report{}, err
 	}
 	return m.report(), nil
 }
@@ -407,28 +408,40 @@ func (m *Mission) deliver(s *scout, r *relay, d0 float64) {
 	}
 	s.delivery.DoptM = target
 
-	// Ship to the rendezvous (synchronously on the engine clock).
+	// Ship to the rendezvous (synchronously on the engine clock). The leg
+	// steps the scout once per mission tick and hands the clock itself to
+	// scenario.Ticks; kill and injector checks run after each advance,
+	// exactly as the tick loop they replace did.
 	if target < d0-1 {
 		dir := v.Position().Sub(rv.Position()).Unit()
 		wp := rv.Position().Add(dir.Scale(target))
 		wp.Z = v.Position().Z
 		arrived := false
 		s.ap.GoTo(wp, 0, func() { arrived = true })
-		for !arrived && !v.Failed() {
-			s.ap.Step(0.1)
-			if err := advance(m.engine, 0.1); err != nil {
-				break
-			}
-			if t, ok := m.chaosKillTime(s.spec.ID); ok && m.engine.Now() >= t {
-				s.injector.Trip()
-			}
-			if s.injector.Check(v.Odometer()) {
-				v.Fail()
-				s.done = true
-				s.delivery.Failed = true
-				s.delivery.DeliveredS = math.Inf(1)
-				return
-			}
+		killed := false
+		if !arrived && !v.Failed() {
+			s.ap.Step(scenario.MissionTickS)
+			_ = scenario.Ticks(m.engine, scenario.MissionTickS, math.Inf(1), func(now float64) bool {
+				if t, ok := m.chaosKillTime(s.spec.ID); ok && now >= t {
+					s.injector.Trip()
+				}
+				if s.injector.Check(v.Odometer()) {
+					v.Fail()
+					killed = true
+					return false
+				}
+				if arrived || v.Failed() {
+					return false
+				}
+				s.ap.Step(scenario.MissionTickS)
+				return true
+			})
+		}
+		if killed {
+			s.done = true
+			s.delivery.Failed = true
+			s.delivery.DeliveredS = math.Inf(1)
+			return
 		}
 	}
 

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// FromSpec compiles a declarative scenario.MissionSpec into a runnable
+// Mission: platform names become platform models, scout sectors become
+// lawnmower plans, and the chaos lines become a parsed schedule. The spec
+// layer stays pure data (scenario does not import fleet); this is the
+// compiler going the other way.
+func FromSpec(ms scenario.MissionSpec) (*Mission, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = ms.Seed
+	cfg.Naive = ms.Naive
+	cfg.Resilient = ms.Resilient
+	cfg.StaleAfterS = ms.StaleAfterS
+	if ms.LinkRangeM > 0 {
+		cfg.LinkRangeM = ms.LinkRangeM
+	}
+	if ms.TransferDeadlineS > 0 {
+		cfg.TransferDeadlineS = ms.TransferDeadlineS
+	}
+	sched, err := ms.ChaosSchedule()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Chaos = sched
+
+	specs := make([]UAVSpec, 0, len(ms.Vehicles))
+	for _, mv := range ms.Vehicles {
+		var platform uav.Platform
+		switch mv.Platform {
+		case scenario.PlatformQuad:
+			platform = uav.Arducopter()
+		case scenario.PlatformPlane:
+			platform = uav.Swinglet()
+		default:
+			return nil, fmt.Errorf("fleet: vehicle %s: unknown platform %q", mv.ID, mv.Platform)
+		}
+		spec := UAVSpec{ID: mv.ID, Platform: platform, Start: mv.Start}
+		switch mv.Role {
+		case scenario.RoleScout:
+			spec.Role = Scout
+			spec.Plan = mission.Plan{
+				Sector:    mission.Sector{WidthM: mv.SectorWM, HeightM: mv.SectorHM},
+				Camera:    mission.DefaultCamera(),
+				AltitudeM: mv.AltitudeM,
+			}
+			spec.SectorOrigin = mv.SectorOrigin
+			spec.MaxScanLanes = mv.MaxScanLanes
+		case scenario.RoleRelay:
+			spec.Role = Relay
+		default:
+			return nil, fmt.Errorf("fleet: vehicle %s: unknown role %q", mv.ID, mv.Role)
+		}
+		specs = append(specs, spec)
+	}
+	return New(cfg, specs)
+}

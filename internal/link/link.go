@@ -9,6 +9,7 @@ package link
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"github.com/nowlater/nowlater/internal/channel"
 	"github.com/nowlater/nowlater/internal/mac"
@@ -117,8 +118,13 @@ func (l *Link) MAC() *mac.MAC { return l.mac }
 func (l *Link) Now() float64 { return l.now }
 
 // SetNow aligns the link clock with an external simulation clock. It cannot
-// move backwards.
+// move backwards, and non-finite instants are ignored: NaN compares false
+// and would be silently dropped anyway, while +Inf would poison the clock
+// so that every later deadline check reads as expired.
 func (l *Link) SetNow(now float64) {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return
+	}
 	if now > l.now {
 		l.now = now
 	}

@@ -79,6 +79,27 @@ func TestSetNowMonotone(t *testing.T) {
 	}
 }
 
+func TestSetNowRejectsNonFinite(t *testing.T) {
+	l := newLink(t, nil)
+	l.SetNow(5)
+	l.SetNow(math.Inf(1))
+	if l.Now() != 5 {
+		t.Fatalf("+Inf poisoned the clock: %v", l.Now())
+	}
+	l.SetNow(math.NaN())
+	if l.Now() != 5 {
+		t.Fatalf("NaN poisoned the clock: %v", l.Now())
+	}
+	l.SetNow(math.Inf(-1))
+	if l.Now() != 5 {
+		t.Fatalf("-Inf moved the clock: %v", l.Now())
+	}
+	l.SetNow(6)
+	if l.Now() != 6 {
+		t.Fatalf("finite advance after non-finite inputs failed: %v", l.Now())
+	}
+}
+
 func TestMeasureThroughputDecreasesWithDistance(t *testing.T) {
 	med := func(d float64) float64 {
 		xs, err := MeasureTrials(DefaultConfig(), nil,

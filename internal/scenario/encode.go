@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// Encode renders a Spec as indented JSON, the on-disk scenario format. The
+// encoding is canonical — struct-ordered fields, empty fields omitted — so
+// equal Specs encode to equal bytes and Fingerprint is stable.
+func Encode(s Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a JSON Spec and validates it. Unknown fields are rejected:
+// a typo in a hand-authored scenario must fail loudly, not silently run a
+// different experiment.
+func Decode(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	// A second document after the first is a malformed file.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("scenario: decode: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and decodes a Spec file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Decode(data)
+}
+
+// Fingerprint hashes the canonical encoding of a Spec (FNV-1a). Two Specs
+// share a fingerprint exactly when they encode identically — the identity
+// used to label result files and reject mismatched comparisons.
+func Fingerprint(s Spec) (uint64, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), nil
+}

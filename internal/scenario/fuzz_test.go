@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSpec: Decode must never panic on arbitrary bytes, and any spec
+// it accepts must survive a byte-exact Encode/Decode round trip — the
+// fixpoint property that makes Fingerprint a usable identity.
+func FuzzDecodeSpec(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(""),
+		[]byte("{}"),
+		[]byte(`{"name":"x"}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"swinglet","start":{"x":1},"route":[{"x":5}],"loop":true}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}],"chaos":["vehicle fail a 5"]}`),
+	}
+	if data, err := Encode(twoQuadSpec()); err == nil {
+		seeds = append(seeds, data)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(again, s) {
+			t.Fatalf("round trip changed accepted spec:\n got %#v\nwant %#v", again, s)
+		}
+		enc2, err := Encode(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatal("encoding not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// Mission roles accepted by MissionVehicle.Role.
+const (
+	// RoleScout scans a sector and ferries its own imagery.
+	RoleScout = "scout"
+	// RoleRelay hovers and receives.
+	RoleRelay = "relay"
+)
+
+// MissionVehicle declares one participant of a declarative fleet mission.
+type MissionVehicle struct {
+	ID       string   `json:"id"`
+	Platform string   `json:"platform"`
+	Start    geo.Vec3 `json:"start"`
+	Role     string   `json:"role"`
+	// Scout sensing assignment (ignored for relays): a SectorWM×SectorHM
+	// lawnmower scan at AltitudeM anchored at SectorOrigin.
+	SectorOrigin geo.Vec3 `json:"sector_origin,omitempty"`
+	SectorWM     float64  `json:"sector_w_m,omitempty"`
+	SectorHM     float64  `json:"sector_h_m,omitempty"`
+	AltitudeM    float64  `json:"altitude_m,omitempty"`
+	// MaxScanLanes truncates the lawnmower pattern (0 = full coverage).
+	MaxScanLanes int `json:"max_scan_lanes,omitempty"`
+}
+
+// MissionSpec is the declarative form of a multi-UAV ferrying mission: the
+// pure data a mission compiler (fleet.FromSpec) turns into scouts, relays,
+// a planner and a chaos schedule. It lives here — not in package fleet —
+// so experiment declarations and scenario files can state missions without
+// importing the execution machinery.
+type MissionSpec struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// MaxSeconds bounds the mission clock.
+	MaxSeconds float64          `json:"max_seconds"`
+	Vehicles   []MissionVehicle `json:"vehicles"`
+	// Naive transmits where the link opens; otherwise deliveries route
+	// through the planner's now-or-later rendezvous.
+	Naive bool `json:"naive,omitempty"`
+	// Resilient arms resumable transfers and relay reassignment.
+	Resilient bool `json:"resilient,omitempty"`
+	// StaleAfterS feeds the planner's telemetry aging (0 disables).
+	StaleAfterS float64 `json:"stale_after_s,omitempty"`
+	// LinkRangeM is where the data link opens (0 = compiler default).
+	LinkRangeM float64 `json:"link_range_m,omitempty"`
+	// TransferDeadlineS bounds each delivery attempt (0 = compiler
+	// default).
+	TransferDeadlineS float64 `json:"transfer_deadline_s,omitempty"`
+	// Chaos is a scripted fault schedule in the chaos text format.
+	Chaos []string `json:"chaos,omitempty"`
+}
+
+// Validate reports the first implausible field.
+func (m MissionSpec) Validate() error {
+	if !(m.MaxSeconds > 0) || math.IsInf(m.MaxSeconds, 0) {
+		return fmt.Errorf("scenario: mission max seconds %v must be positive and finite", m.MaxSeconds)
+	}
+	ids := map[string]bool{}
+	var scouts, relays int
+	for i, v := range m.Vehicles {
+		if v.ID == "" || ids[v.ID] {
+			return fmt.Errorf("scenario: mission vehicle %d: missing or duplicate id %q", i, v.ID)
+		}
+		ids[v.ID] = true
+		if v.Platform != PlatformQuad && v.Platform != PlatformPlane {
+			return fmt.Errorf("scenario: mission vehicle %s: unknown platform %q", v.ID, v.Platform)
+		}
+		switch v.Role {
+		case RoleScout:
+			scouts++
+			if !(v.SectorWM > 0) || !(v.SectorHM > 0) {
+				return fmt.Errorf("scenario: mission scout %s: sector %vx%v must be positive", v.ID, v.SectorWM, v.SectorHM)
+			}
+		case RoleRelay:
+			relays++
+		default:
+			return fmt.Errorf("scenario: mission vehicle %s: unknown role %q", v.ID, v.Role)
+		}
+	}
+	if scouts == 0 || relays == 0 {
+		return fmt.Errorf("scenario: mission needs at least one scout and one relay")
+	}
+	if _, err := m.ChaosSchedule(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChaosSchedule parses the mission's chaos lines (nil when there are none).
+func (m MissionSpec) ChaosSchedule() (*chaos.Schedule, error) {
+	if len(m.Chaos) == 0 {
+		return nil, nil
+	}
+	sched, err := chaos.ParseString(strings.Join(m.Chaos, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: mission chaos: %w", err)
+	}
+	return sched, nil
+}
+
+// ChaosLines renders a schedule into MissionSpec.Chaos form (the text
+// grammar, one directive per line), so programmatic schedules can be
+// embedded in declarative specs. Round-tripping through the text format is
+// property-tested in internal/chaos.
+func ChaosLines(s *chaos.Schedule) []string {
+	if s == nil {
+		return nil
+	}
+	text := strings.TrimRight(s.String(), "\n")
+	if text == "" {
+		return nil
+	}
+	return strings.Split(text, "\n")
+}

@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/failure"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/policy"
+	"github.com/nowlater/nowlater/internal/transport"
+)
+
+// TrafficResult is one saturation workload's windowed record.
+type TrafficResult struct {
+	From, To string
+	// StartS is the scenario clock when the workload began.
+	StartS  float64
+	Samples []Sample
+}
+
+// TransferResult is one batch delivery's outcome.
+type TransferResult struct {
+	From, To string
+	// StartS is the scenario clock when transmission began (after any
+	// arrival wait and decision shipping leg).
+	StartS float64
+	// CompletionS is the transmission time from StartS to the last byte
+	// (+Inf if the deadline expired first, failover attempts included).
+	CompletionS float64
+	// D0M and DoptM record the decision, when one ran: the distance at
+	// which the transfer was requested and the chosen transmit distance.
+	D0M, DoptM         float64
+	DeliveredBytes     int64
+	RetransmittedBytes int64
+	Series             []transport.SeriesPoint
+	// Rerouted reports that the remainder was re-sent to AltTo after the
+	// primary attempt failed.
+	Rerouted bool
+}
+
+// DeliveredMB is the delivered volume in megabytes.
+func (t TransferResult) DeliveredMB() float64 { return float64(t.DeliveredBytes) / 1e6 }
+
+// VehicleResult is one vehicle's final state.
+type VehicleResult struct {
+	ID        string
+	Position  geo.Vec3
+	RouteDone bool
+	Failed    bool
+}
+
+// Result is the outcome of one Spec execution.
+type Result struct {
+	Name string
+	// Fingerprint identifies the Spec that produced this result.
+	Fingerprint uint64
+	Traffic     []TrafficResult
+	Transfers   []TransferResult
+	Vehicles    []VehicleResult
+	// DurationS is the final scenario clock.
+	DurationS float64
+}
+
+// Run executes the Spec: workloads in declaration order (traffic first,
+// then transfers) on the single engine clock, then flies out any remaining
+// DurationS. Each workload advances the shared clock, so a later workload
+// starts where the previous one ended.
+func (rt *Runtime) Run() (Result, error) {
+	fp, err := Fingerprint(rt.spec)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Name: rt.spec.Name, Fingerprint: fp}
+	for _, ts := range rt.spec.Traffic {
+		tr, err := rt.runTraffic(ts)
+		if err != nil {
+			return res, err
+		}
+		res.Traffic = append(res.Traffic, tr)
+	}
+	for _, ts := range rt.spec.Transfers {
+		tr, err := rt.runTransfer(ts)
+		if err != nil {
+			return res, err
+		}
+		res.Transfers = append(res.Transfers, tr)
+	}
+	if rt.spec.DurationS > rt.engine.Now() {
+		rt.idleUntil(rt.spec.DurationS)
+	}
+	res.DurationS = rt.engine.Now()
+	for _, c := range rt.crafts {
+		res.Vehicles = append(res.Vehicles, VehicleResult{
+			ID:        c.spec.ID,
+			Position:  c.ap.Vehicle().Position(),
+			RouteDone: c.routeDone,
+			Failed:    c.failed,
+		})
+	}
+	return res, rt.err
+}
+
+// runTraffic executes one saturation workload.
+func (rt *Runtime) runTraffic(ts TrafficSpec) (TrafficResult, error) {
+	from, to := rt.byID[ts.From], rt.byID[ts.To]
+	if ts.StartS > rt.engine.Now() {
+		rt.idleUntil(ts.StartS)
+	}
+	rt.link.SetNow(rt.engine.Now())
+	rt.installFault(ts.From, ts.To)
+	out := TrafficResult{From: ts.From, To: ts.To, StartS: rt.engine.Now()}
+	out.Samples = rt.measureWindowed(from, to, ts.DurationS, ts.WindowS)
+	return out, rt.err
+}
+
+// runTransfer executes one batch delivery: optional start wait, optional
+// arrival wait, optional now-or-later decision with its shipping leg, the
+// transfer itself, and the AltTo failover for an incomplete batch.
+func (rt *Runtime) runTransfer(ts TransferSpec) (TransferResult, error) {
+	from, to := rt.byID[ts.From], rt.byID[ts.To]
+	out := TransferResult{From: ts.From, To: ts.To, CompletionS: math.Inf(1)}
+	if ts.StartS > rt.engine.Now() {
+		rt.idleUntil(ts.StartS)
+	}
+	if ts.StartOnArrival {
+		waitDeadline := rt.engine.Now() + ts.DeadlineS
+		for !from.routeDone && rt.engine.Now() < waitDeadline {
+			rt.tickAdvance()
+		}
+	}
+	if ts.Decision != nil {
+		if err := rt.runDecision(from, to, ts, &out); err != nil {
+			return out, err
+		}
+	}
+
+	out.StartS = rt.engine.Now()
+	batch, err := rt.runBatch(from, to, int(ts.SizeMB*1e6), ts.DeadlineS, ts.Reliable)
+	if err != nil {
+		return out, err
+	}
+	out.CompletionS = batch.CompletionS
+	out.DeliveredBytes = batch.DeliveredBytes
+	out.RetransmittedBytes = batch.RetransmittedBytes
+	out.Series = batch.Series
+
+	// Failover: if the batch did not complete and a live fallback receiver
+	// is declared, re-send the remainder to it.
+	if math.IsInf(out.CompletionS, 1) && ts.AltTo != "" {
+		alt := rt.byID[ts.AltTo]
+		if alt != nil && !alt.failed && !from.failed {
+			remaining := int(ts.SizeMB*1e6) - int(out.DeliveredBytes)
+			if remaining > 0 {
+				retryStart := rt.engine.Now()
+				retry, err := rt.runBatch(from, alt, remaining, ts.DeadlineS, ts.Reliable)
+				if err != nil {
+					return out, err
+				}
+				out.Rerouted = true
+				out.To = ts.AltTo
+				out.DeliveredBytes += retry.DeliveredBytes
+				out.RetransmittedBytes += retry.RetransmittedBytes
+				for _, pt := range retry.Series {
+					pt.TimeS += retryStart - out.StartS
+					out.Series = append(out.Series, pt)
+				}
+				if !math.IsInf(retry.CompletionS, 1) {
+					out.CompletionS = rt.engine.Now() - out.StartS
+				}
+			}
+		}
+	}
+	return out, rt.err
+}
+
+// runDecision computes dopt for the transfer's geometry and, when the
+// model says "later", ships the sender to the rendezvous distance first.
+func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferResult) error {
+	g := rt.pairGeometry(from, to)
+	d0 := g.DistanceM
+	out.D0M = d0
+	speed := from.spec.SpeedMPS
+	if speed <= 0 {
+		speed = from.ap.Vehicle().CruiseSpeedMPS
+	}
+	dopt, err := rt.decide(from.spec.Platform, d0, speed, ts.SizeMB, ts.Decision)
+	if err != nil {
+		return err
+	}
+	out.DoptM = dopt
+	if dopt >= d0-1 {
+		return nil // transmit now
+	}
+	fv, tv := from.ap.Vehicle(), to.ap.Vehicle()
+	dir := fv.Position().Sub(tv.Position()).Unit()
+	wp := tv.Position().Add(dir.Scale(dopt))
+	wp.Z = fv.Position().Z
+	arrived := false
+	from.ap.GoTo(wp, from.spec.SpeedMPS, func() { arrived = true })
+	shipDeadline := rt.engine.Now() + ts.DeadlineS
+	for !arrived && !from.failed && rt.engine.Now() < shipDeadline {
+		rt.tickAdvance()
+	}
+	return nil
+}
+
+// decide answers one now-or-later query for the given platform.
+func (rt *Runtime) decide(platform string, d0, speed, sizeMB float64, d *DecisionSpec) (float64, error) {
+	switch d.Kind {
+	case "exact":
+		sc := rt.decisionScenario(platform, d0, speed, sizeMB, d.RhoPerM)
+		opt, err := sc.Optimize()
+		if err != nil {
+			return 0, fmt.Errorf("scenario: decision: %w", err)
+		}
+		return opt.DoptM, nil
+	case "table":
+		eng, err := rt.policyEngine(platform)
+		if err != nil {
+			return 0, err
+		}
+		dec, err := eng.Decide(policy.Query{
+			D0M: d0, SpeedMPS: speed, MdataMB: sizeMB, Rho: d.RhoPerM,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("scenario: decision: %w", err)
+		}
+		return dec.Optimum.DoptM, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown decision kind %q", d.Kind)
+	}
+}
+
+// decisionScenario builds the closed-form model instance for a decision.
+func (rt *Runtime) decisionScenario(platform string, d0, speed, sizeMB, rho float64) core.Scenario {
+	sc := core.QuadrocopterBaseline()
+	if platform == PlatformPlane {
+		sc = core.AirplaneBaseline()
+	}
+	sc.D0M = d0
+	sc.SpeedMPS = speed
+	sc.MdataBytes = sizeMB * 1e6
+	if rho > 0 {
+		if m, err := failure.NewModel(rho); err == nil {
+			sc.Failure = m
+		}
+	}
+	return sc
+}
+
+// policyEngine lazily builds (and caches per Runtime) the table-serving
+// engine for a platform, on the quick grid — the deployment decision path
+// a scenario file can exercise without a pre-built table artifact.
+func (rt *Runtime) policyEngine(platform string) (*policy.Engine, error) {
+	if rt.policyEngines == nil {
+		rt.policyEngines = make(map[string]*policy.Engine)
+	}
+	if eng, ok := rt.policyEngines[platform]; ok {
+		return eng, nil
+	}
+	cfg := policy.QuadrocopterConfig()
+	if platform == PlatformPlane {
+		cfg = policy.AirplaneConfig()
+	}
+	cfg.Grid = policy.QuickGrid()
+	table, err := policy.Build(context.Background(), cfg, policy.BuildOptions{
+		Label: "scenario/policy/" + platform,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: policy table: %w", err)
+	}
+	eng, err := policy.NewEngine(table, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: policy engine: %w", err)
+	}
+	rt.policyEngines[platform] = eng
+	return eng, nil
+}

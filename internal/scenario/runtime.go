@@ -1,0 +1,350 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/phy"
+	"github.com/nowlater/nowlater/internal/policy"
+	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/sim"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/transport"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// Saturation traffic keeps the MAC queue between these marks so offered
+// load never starves an exchange, mirroring iperf's behaviour.
+const (
+	trafficQueueLowWater = 64 * 1500
+	trafficEnqueueBytes  = 128 * 1500
+)
+
+// Craft is one compiled vehicle: the autopilot plus route bookkeeping.
+type Craft struct {
+	spec      VehicleSpec
+	ap        *autopilot.Autopilot
+	routeDone bool
+	failed    bool
+}
+
+// ID returns the vehicle id.
+func (c *Craft) ID() string { return c.spec.ID }
+
+// Autopilot exposes the compiled autopilot.
+func (c *Craft) Autopilot() *autopilot.Autopilot { return c.ap }
+
+// RouteDone reports whether the declared route has been fully flown
+// (immediately true for vehicles without one).
+func (c *Craft) RouteDone() bool { return c.routeDone }
+
+// Failed reports whether chaos killed the vehicle.
+func (c *Craft) Failed() bool { return c.failed }
+
+// Runtime executes one compiled Spec. It owns the only two time-advancement
+// loops of a scenario: the fixed-tick advance used while waiting (arrival,
+// start times, post-workload flight) and the link-clock sync used while a
+// workload's radio exchanges set the pace. Vehicles are integrated lazily:
+// whenever the engine clock moves, every autopilot is stepped in
+// ControlTickS sub-ticks until it catches up.
+type Runtime struct {
+	spec   Spec
+	engine *sim.Engine
+	link   *link.Link
+	crafts []*Craft
+	byID   map[string]*Craft
+	sched  *chaos.Schedule
+	// flown is the shared vehicle-integration frontier: all crafts have
+	// been stepped through [0, flown] in ControlTickS sub-ticks.
+	flown float64
+	// err latches the first internal clock error (it indicates a Runtime
+	// bug, not a bad Spec, and is surfaced by Run).
+	err error
+	// policyEngines caches the per-platform table-serving engines built
+	// lazily for "table" decisions.
+	policyEngines map[string]*policy.Engine
+}
+
+// Compile validates a Spec and builds its Runtime: vehicles with their
+// route programs, the link with its rate policy, and the parsed chaos
+// schedule, all sharing one fresh engine at clock zero.
+func Compile(spec Spec) (*Runtime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{spec: spec, engine: sim.NewEngine(), byID: make(map[string]*Craft)}
+	for _, vs := range spec.Vehicles {
+		c, err := compileVehicle(vs)
+		if err != nil {
+			return nil, err
+		}
+		rt.crafts = append(rt.crafts, c)
+		rt.byID[vs.ID] = c
+	}
+	lcfg := link.DefaultConfig()
+	lcfg.Seed = spec.Link.Seed
+	if lcfg.Seed == 0 {
+		lcfg.Seed = spec.Seed
+	}
+	lcfg.Label = spec.Link.Label
+	if lcfg.Label == "" {
+		lcfg.Label = "scenario/" + spec.Name
+	}
+	l, err := link.New(lcfg, RatePolicy(lcfg, spec.Link.Rate))
+	if err != nil {
+		return nil, err
+	}
+	rt.link = l
+	if rt.sched, err = spec.ChaosSchedule(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// RatePolicy builds the rate-control policy a LinkSpec.Rate names for a
+// link configuration: a Minstrel instance seeded from the link's substream
+// for auto-rate, or a fixed MCS. The rate string must have passed
+// ParseRate (Compile validates it); an invalid one falls back to auto.
+func RatePolicy(cfg link.Config, rateStr string) rate.Policy {
+	mcs, err := ParseRate(rateStr)
+	if err == nil && mcs >= 0 {
+		return rate.NewFixed(phy.MCS(mcs))
+	}
+	return MinstrelPolicy(cfg)
+}
+
+// MinstrelPolicy builds the auto-rate policy on the link's own substream —
+// the seeding every trial rig shares so auto-rate behaviour is a pure
+// function of (seed, label).
+func MinstrelPolicy(cfg link.Config) rate.Policy {
+	rng := stats.NewRNG(cfg.Seed).Substream(cfg.Seed, cfg.Label+"/minstrel")
+	return rate.NewMinstrel(rate.DefaultMinstrelParams(), cfg.PHY, rng)
+}
+
+// compileVehicle builds one craft and programs its route chain.
+func compileVehicle(vs VehicleSpec) (*Craft, error) {
+	var platform uav.Platform
+	switch vs.Platform {
+	case PlatformQuad:
+		platform = uav.Arducopter()
+	case PlatformPlane:
+		platform = uav.Swinglet()
+	default:
+		return nil, fmt.Errorf("scenario: vehicle %s: unknown platform %q", vs.ID, vs.Platform)
+	}
+	v, err := uav.NewVehicle(vs.ID, platform, vs.Start)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := autopilot.New(v)
+	if err != nil {
+		return nil, err
+	}
+	c := &Craft{spec: vs, ap: ap}
+	switch {
+	case vs.Hold:
+		ap.Hold(vs.Start)
+		c.routeDone = true
+	case len(vs.Route) == 0:
+		c.routeDone = true
+	default:
+		idx := 0
+		var next func()
+		next = func() {
+			idx++
+			if idx >= len(vs.Route) {
+				if !vs.Loop {
+					c.routeDone = true
+					return
+				}
+				idx = vs.LoopFrom
+			}
+			ap.GoTo(vs.Route[idx], vs.SpeedMPS, next)
+		}
+		ap.GoTo(vs.Route[0], vs.SpeedMPS, next)
+	}
+	return c, nil
+}
+
+// Engine exposes the scenario's clock.
+func (rt *Runtime) Engine() *sim.Engine { return rt.engine }
+
+// Link exposes the scenario's radio.
+func (rt *Runtime) Link() *link.Link { return rt.link }
+
+// Craft looks a vehicle up by id (nil when absent).
+func (rt *Runtime) Craft(id string) *Craft { return rt.byID[id] }
+
+// advanceCrafts integrates every live vehicle up to the engine clock in
+// ControlTickS sub-ticks. The shared frontier keeps all vehicles in
+// lockstep: each sub-tick steps every craft once before time moves on.
+func (rt *Runtime) advanceCrafts() {
+	for rt.flown+ControlTickS <= rt.engine.Now() {
+		for _, c := range rt.crafts {
+			if !c.failed {
+				c.ap.Step(ControlTickS)
+			}
+		}
+		rt.flown += ControlTickS
+	}
+}
+
+// applyChaosKills fails every vehicle whose scripted death has come.
+func (rt *Runtime) applyChaosKills(now float64) {
+	if rt.sched == nil {
+		return
+	}
+	for _, c := range rt.crafts {
+		if c.failed {
+			continue
+		}
+		if t, ok := rt.sched.VehicleFailTime(c.spec.ID); ok && now >= t {
+			c.failed = true
+			c.ap.Vehicle().Fail()
+		}
+	}
+}
+
+// tickAdvance moves the clock one control tick and catches everything up —
+// the waiting-mode advance (no workload pacing the clock).
+func (rt *Runtime) tickAdvance() {
+	if err := rt.engine.RunUntil(rt.engine.Now() + ControlTickS); err != nil && rt.err == nil {
+		rt.err = err
+	}
+	rt.advanceCrafts()
+	rt.applyChaosKills(rt.engine.Now())
+}
+
+// syncToLink pulls the engine clock up to the link clock and catches the
+// vehicles up — the workload-mode advance, where each radio exchange's
+// airtime sets the pace.
+func (rt *Runtime) syncToLink() {
+	if now := rt.link.Now(); now > rt.engine.Now() {
+		if err := rt.engine.RunUntil(now); err != nil && rt.err == nil {
+			rt.err = err
+		}
+	}
+	rt.advanceCrafts()
+	rt.applyChaosKills(rt.engine.Now())
+}
+
+// idleUntil flies the scenario (no workload) until the clock reaches t.
+func (rt *Runtime) idleUntil(t float64) {
+	for rt.engine.Now() < t {
+		rt.tickAdvance()
+	}
+}
+
+// pairGeometry is the instantaneous link geometry between two vehicles.
+// Relative speed is the full relative-velocity magnitude: attitude
+// dynamics and Doppler care about motion, not just range rate.
+func (rt *Runtime) pairGeometry(a, b *Craft) link.Geometry {
+	av, bv := a.ap.Vehicle(), b.ap.Vehicle()
+	return link.Geometry{
+		DistanceM:   av.Position().Dist(bv.Position()),
+		AltitudeM:   math.Min(av.Position().Z, bv.Position().Z),
+		RelSpeedMPS: av.Velocity().Sub(bv.Velocity()).Norm(),
+	}
+}
+
+// installFault wires the chaos schedule into the link for one workload
+// between the given endpoints: outages and fades scripted on either end —
+// and either end's scripted death — read as a link that stops carrying
+// frames.
+func (rt *Runtime) installFault(fromID, toID string) {
+	if rt.sched == nil {
+		return
+	}
+	sched := rt.sched
+	rt.link.SetFault(func(now float64) (bool, float64) {
+		out := sched.LinkOutage(fromID, now) || sched.LinkOutage(toID, now)
+		if t, ok := sched.VehicleFailTime(fromID); ok && now >= t {
+			out = true
+		}
+		if t, ok := sched.VehicleFailTime(toID); ok && now >= t {
+			out = true
+		}
+		return out, sched.LinkExtraLossDB(fromID, now) + sched.LinkExtraLossDB(toID, now)
+	})
+}
+
+// Sample is one saturation-throughput observation labelled with the
+// mid-window geometry.
+type Sample struct {
+	TimeS        float64
+	ThroughputMb float64
+	DistanceM    float64
+	RelSpeedMPS  float64
+	// LossRate is the fraction of datagrams dropped at the MAC retry
+	// limit within the window.
+	LossRate float64
+}
+
+// measureWindowed saturates the link for duration seconds while the
+// vehicles fly, recording throughput in windowS-second windows labelled
+// with the mid-window distance — the simulation analogue of binning iperf
+// reports against GPS logs.
+func (rt *Runtime) measureWindowed(tx, rx *Craft, duration, windowS float64) []Sample {
+	l := rt.link
+	var out []Sample
+	start := l.Now()
+	end := start + duration
+	winStart := start
+	var winBytes, winDropped int64
+	droppedBefore := l.MAC().DroppedBytes
+	var distSum, speedSum float64
+	var distN int
+	for l.Now() < end {
+		if l.QueuedBytes() < trafficQueueLowWater {
+			l.Enqueue(trafficEnqueueBytes)
+		}
+		rt.syncToLink()
+		g := rt.pairGeometry(tx, rx)
+		ex := l.Step(g)
+		winBytes += int64(ex.DeliveredBytes)
+		distSum += g.DistanceM
+		speedSum += g.RelSpeedMPS
+		distN++
+		if l.Now()-winStart >= windowS {
+			elapsed := l.Now() - winStart
+			winDropped = l.MAC().DroppedBytes - droppedBefore
+			droppedBefore = l.MAC().DroppedBytes
+			loss := 0.0
+			if winBytes+winDropped > 0 {
+				loss = float64(winDropped) / float64(winBytes+winDropped)
+			}
+			out = append(out, Sample{
+				TimeS:        winStart - start,
+				ThroughputMb: float64(winBytes) * 8 / elapsed / 1e6,
+				DistanceM:    distSum / float64(distN),
+				RelSpeedMPS:  speedSum / float64(distN),
+				LossRate:     loss,
+			})
+			winStart = l.Now()
+			winBytes, distSum, speedSum, distN = 0, 0, 0, 0
+		}
+	}
+	rt.syncToLink()
+	return out
+}
+
+// runBatch drives one batch attempt over the scenario link between two
+// crafts, syncing the engine (and therefore the vehicles and chaos kills)
+// to the link clock around every exchange.
+func (rt *Runtime) runBatch(from, to *Craft, bytes int, deadlineS float64, reliable bool) (transport.BatchResult, error) {
+	l := rt.link
+	l.SetNow(rt.engine.Now())
+	rt.installFault(from.spec.ID, to.spec.ID)
+	geom := func(float64) link.Geometry {
+		rt.syncToLink()
+		return rt.pairGeometry(from, to)
+	}
+	res, err := transport.TransferBatch(l, transport.BatchConfig{
+		Bytes: bytes, DeadlineS: deadlineS, Reliable: reliable,
+	}, geom)
+	rt.syncToLink()
+	return res, err
+}

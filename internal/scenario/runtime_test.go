@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/runner"
+)
+
+func TestCompileRejectsInvalidSpec(t *testing.T) {
+	if _, err := Compile(Spec{Name: "empty"}); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+}
+
+func TestRuntimeTransferBetweenHoldingQuads(t *testing.T) {
+	s := twoQuadSpec()
+	s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 1, DeadlineS: 60, Reliable: true}}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transfers) != 1 {
+		t.Fatalf("transfers = %d", len(res.Transfers))
+	}
+	tr := res.Transfers[0]
+	if math.IsInf(tr.CompletionS, 1) {
+		t.Fatalf("1 MB at 30 m did not complete: delivered %v bytes", tr.DeliveredBytes)
+	}
+	if tr.DeliveredBytes != 1e6 {
+		t.Fatalf("delivered %v bytes, want 1e6", tr.DeliveredBytes)
+	}
+	if rt.Engine().Now() < tr.CompletionS {
+		t.Fatalf("engine clock %v behind transfer completion %v", rt.Engine().Now(), tr.CompletionS)
+	}
+	// The link and engine clocks must agree at the end — one clock.
+	if got, want := rt.Link().Now(), rt.Engine().Now(); got < want-ControlTickS {
+		t.Fatalf("link clock %v lags engine clock %v", got, want)
+	}
+}
+
+func TestRuntimeRouteAndLoop(t *testing.T) {
+	s := Spec{
+		Name: "route",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "a", Platform: PlatformQuad, Start: geo.Vec3{Z: 10},
+				Route: []geo.Vec3{{X: 20, Z: 10}}, SpeedMPS: 10},
+			{ID: "b", Platform: PlatformQuad, Start: geo.Vec3{X: 50, Z: 10},
+				Route: []geo.Vec3{{X: 70, Z: 10}, {X: 50, Z: 10}}, SpeedMPS: 10, Loop: true},
+		},
+		DurationS: 30,
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]VehicleResult{}
+	for _, v := range res.Vehicles {
+		byID[v.ID] = v
+	}
+	if !byID["a"].RouteDone {
+		t.Fatal("finite route not done after 30 s at 10 m/s")
+	}
+	if byID["a"].Position.Dist(geo.Vec3{X: 20, Z: 10}) > 5 {
+		t.Fatalf("vehicle a at %v, want near (20,0,10)", byID["a"].Position)
+	}
+	if byID["b"].RouteDone {
+		t.Fatal("looping route reported done")
+	}
+	// The tick loop lands within one control tick of the horizon.
+	if res.DurationS < 30 || res.DurationS > 30+ControlTickS {
+		t.Fatalf("scenario ended at %v, want 30 (+≤1 tick)", res.DurationS)
+	}
+}
+
+func TestRuntimeChaosKillStopsVehicle(t *testing.T) {
+	s := Spec{
+		Name: "kill",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "a", Platform: PlatformQuad, Start: geo.Vec3{Z: 10},
+				Route: []geo.Vec3{{X: 200, Z: 10}}, SpeedMPS: 10},
+			{ID: "b", Platform: PlatformQuad, Start: geo.Vec3{X: 30, Z: 10}, Hold: true},
+		},
+		Chaos:     []string{"vehicle fail a 5"},
+		DurationS: 20,
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a VehicleResult
+	for _, v := range res.Vehicles {
+		if v.ID == "a" {
+			a = v
+		}
+	}
+	if !a.Failed {
+		t.Fatal("scripted kill did not fail the vehicle")
+	}
+	// Killed at t=5 while flying at 10 m/s: it must have frozen around
+	// x=50, far short of the 200 m waypoint.
+	if a.Position.X > 60 || a.RouteDone {
+		t.Fatalf("killed vehicle kept flying: %+v", a)
+	}
+}
+
+// TestRuntimeDeterminism: compiling and running the same Spec twice gives
+// byte-identical results.
+func TestRuntimeDeterminism(t *testing.T) {
+	run := func() string {
+		s := twoQuadSpec()
+		s.Traffic = []TrafficSpec{{From: "tx", To: "rx", DurationS: 3, WindowS: 1}}
+		rt, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", res)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two runs of the same spec differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestRuntimeWorkerInvariance: a sweep of Runtime-driven trials produces
+// identical results at any worker count — the contract that lets the
+// experiment harness parallelize scenario trials freely.
+func TestRuntimeWorkerInvariance(t *testing.T) {
+	const trials = 4
+	sweep := func(workers int) []string {
+		out, err := runner.Map(context.Background(), trials,
+			runner.Options{Workers: workers, Label: "scenario/invariance"},
+			func(trial int) (string, error) {
+				s := twoQuadSpec()
+				s.Name = fmt.Sprintf("inv/trial%d", trial)
+				s.Seed = 1 + int64(trial)*7919
+				s.Traffic = []TrafficSpec{{From: "tx", To: "rx", DurationS: 2, WindowS: 1}}
+				s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 0.5, DeadlineS: 30, Reliable: true}}
+				rt, err := Compile(s)
+				if err != nil {
+					return "", err
+				}
+				res, err := rt.Run()
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%#v", res), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := sweep(1)
+	for _, workers := range []int{2, 4} {
+		got := sweep(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("trial %d differs at %d workers:\n%s\nvs serial:\n%s",
+					i, workers, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestRuntimeDecisionShipsCloser: an "exact" decision from 200 m must move
+// the sender to the model's dopt before transmitting.
+func TestRuntimeDecisionShipsCloser(t *testing.T) {
+	s := Spec{
+		Name: "decision",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "tx", Platform: PlatformQuad, Start: geo.Vec3{X: 200, Z: 10}, SpeedMPS: 4.5},
+			{ID: "rx", Platform: PlatformQuad, Start: geo.Vec3{Z: 10}, Hold: true},
+		},
+		Transfers: []TransferSpec{{
+			From: "tx", To: "rx", SizeMB: 5, DeadlineS: 300, Reliable: true,
+			Decision: &DecisionSpec{Kind: "exact"},
+		}},
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transfers[0]
+	if tr.D0M < 199 || tr.D0M > 201 {
+		t.Fatalf("d0 = %v, want ≈200", tr.D0M)
+	}
+	if !(tr.DoptM < tr.D0M) {
+		t.Fatalf("dopt %v not closer than d0 %v", tr.DoptM, tr.D0M)
+	}
+	// The transfer must have started only after the shipping leg.
+	shipTime := (tr.D0M - tr.DoptM) / 4.5
+	if tr.StartS < shipTime*0.8 {
+		t.Fatalf("transfer started at %v, before the ≈%v s shipping leg", tr.StartS, shipTime)
+	}
+	if math.IsInf(tr.CompletionS, 1) {
+		t.Fatal("decided transfer did not complete")
+	}
+}

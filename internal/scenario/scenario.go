@@ -1,0 +1,288 @@
+// Package scenario is the declarative experiment layer: a Spec names the
+// vehicles, trajectories, link, workloads, chaos script and decision policy
+// of one flight scenario, and a Runtime compiles it onto the discrete-event
+// engine of internal/sim. The paper's evaluation is one experiment shape —
+// two vehicles, a link, a workload, a decision rule — instantiated nine
+// ways; the Spec makes that shape data instead of per-figure rig code, so
+// new scenarios (three vehicles, mid-flight kills, table-served decisions)
+// are a JSON file rather than a new Go file.
+//
+// # The single-clock contract
+//
+// All time advancement belongs to sim.Engine (and to this package, which
+// drives it). The Runtime is the only component that moves vehicles: it
+// advances the engine clock either in ControlTickS steps (while waiting on
+// arrivals or the wall clock) or to the link clock after each radio
+// exchange (while a workload runs), and integrates every autopilot up to
+// the engine clock in fixed ControlTickS sub-ticks. No other package may
+// own a loop that trades simulated time for state.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// ControlTickS is the autopilot control-loop period (seconds): the
+// integration sub-tick at which every vehicle's velocity command is
+// recomputed and its kinematics advanced. 20 ms matches the attitude-loop
+// cadence of the paper's platforms and was previously duplicated as a
+// magic 0.02 inside the experiments' flight rig.
+const ControlTickS = 0.02
+
+// MissionTickS is the mission-logic period (seconds): the cadence at which
+// fleet state machines (scan progress, link-range checks, chaos kills) are
+// re-evaluated. Coarser than ControlTickS because mission decisions do not
+// need attitude-rate resolution; previously duplicated as a magic 0.1 in
+// two places inside package fleet.
+const MissionTickS = 0.1
+
+// Platform names accepted by VehicleSpec.Platform.
+const (
+	// PlatformQuad is the paper's Arducopter quadrocopter.
+	PlatformQuad = "arducopter"
+	// PlatformPlane is the paper's Swinglet fixed-wing airplane.
+	PlatformPlane = "swinglet"
+)
+
+// VehicleSpec declares one vehicle and its trajectory.
+type VehicleSpec struct {
+	ID string `json:"id"`
+	// Platform is PlatformQuad or PlatformPlane.
+	Platform string   `json:"platform"`
+	Start    geo.Vec3 `json:"start"`
+	// Hold station-keeps at Start (hover for quads, minimum-radius circling
+	// for planes). Mutually exclusive with Route.
+	Hold bool `json:"hold,omitempty"`
+	// Route is the waypoint chain flown from Start. After the last waypoint
+	// the vehicle holds there, unless Loop restarts the chain at LoopFrom.
+	Route []geo.Vec3 `json:"route,omitempty"`
+	// SpeedMPS is the commanded leg speed (0 selects the platform cruise
+	// speed).
+	SpeedMPS float64 `json:"speed_mps,omitempty"`
+	// Loop repeats the route forever, re-entering at index LoopFrom — the
+	// commuting and orbiting patterns of Figs 1 and 5.
+	Loop     bool `json:"loop,omitempty"`
+	LoopFrom int  `json:"loop_from,omitempty"`
+}
+
+// LinkSpec configures the scenario's packet-level radio.
+type LinkSpec struct {
+	// Seed drives the link's random substreams; 0 inherits Spec.Seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Label separates substreams of links sharing a seed; empty defaults
+	// to "scenario/<spec name>".
+	Label string `json:"label,omitempty"`
+	// Rate selects rate control: "" or "minstrel" for auto-rate, "mcsN"
+	// for a fixed scheme.
+	Rate string `json:"rate,omitempty"`
+}
+
+// TrafficSpec is an iperf-style saturation workload between two vehicles,
+// recorded in geometry-labelled throughput windows (Figs 5–7).
+type TrafficSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// StartS delays the workload until the scenario clock reaches it.
+	StartS    float64 `json:"start_s,omitempty"`
+	DurationS float64 `json:"duration_s"`
+	WindowS   float64 `json:"window_s"`
+}
+
+// DecisionSpec routes a transfer through the paper's now-or-later decision
+// before any byte moves: given the distance d0 at which the transfer would
+// start, compute the optimal transmit distance dopt and ship to it first.
+type DecisionSpec struct {
+	// Kind selects the decision engine: "exact" runs the golden-section
+	// optimizer on the closed-form model; "table" serves dopt from a
+	// precomputed policy table (internal/policy), the deployment path.
+	Kind string `json:"kind"`
+	// RhoPerM is the failure rate per metre fed to the decision model
+	// (0 = failure-free, where dopt collapses to the separation floor).
+	RhoPerM float64 `json:"rho_per_m,omitempty"`
+}
+
+// TransferSpec is a reliable batch delivery between two vehicles — the
+// workload of Fig. 1 and of every ferrying mission.
+type TransferSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// SizeMB is the batch volume (Mdata) in megabytes.
+	SizeMB float64 `json:"size_mb"`
+	// DeadlineS bounds the transfer attempt; with StartOnArrival it also
+	// bounds the wait for the sender's route to complete.
+	DeadlineS float64 `json:"deadline_s"`
+	// StartS delays the transfer until the scenario clock reaches it.
+	StartS float64 `json:"start_s,omitempty"`
+	// StartOnArrival waits for the sender to finish its route before
+	// transmitting (the paper's silent shipping phase).
+	StartOnArrival bool `json:"start_on_arrival,omitempty"`
+	// Reliable re-enqueues MAC-dropped datagrams until delivered.
+	Reliable bool `json:"reliable,omitempty"`
+	// AltTo is a fallback receiver: if the batch did not complete (e.g. the
+	// primary receiver was chaos-killed mid-transfer) and the fallback is
+	// alive, the remainder is re-sent to it.
+	AltTo string `json:"alt_to,omitempty"`
+	// Decision, when set, runs the now-or-later rendezvous decision first.
+	Decision *DecisionSpec `json:"decision,omitempty"`
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	Name string `json:"name"`
+	// Seed drives every random substream not overridden per-component.
+	Seed int64 `json:"seed"`
+	// DurationS, when positive, keeps the scenario flying (vehicles moving,
+	// chaos firing) until the clock reaches it even after all workloads
+	// finished.
+	DurationS float64        `json:"duration_s,omitempty"`
+	Vehicles  []VehicleSpec  `json:"vehicles"`
+	Link      LinkSpec       `json:"link,omitempty"`
+	Traffic   []TrafficSpec  `json:"traffic,omitempty"`
+	Transfers []TransferSpec `json:"transfers,omitempty"`
+	// Chaos is a scripted fault schedule in the chaos text format, one
+	// directive per line (e.g. "vehicle fail relay-1 99").
+	Chaos []string `json:"chaos,omitempty"`
+}
+
+// decisionKinds are the accepted DecisionSpec.Kind values.
+var decisionKinds = map[string]bool{"exact": true, "table": true}
+
+// Validate reports the first implausible field.
+func (s Spec) Validate() error {
+	if len(s.Vehicles) == 0 {
+		return fmt.Errorf("scenario: no vehicles")
+	}
+	if math.IsNaN(s.DurationS) || math.IsInf(s.DurationS, 0) || s.DurationS < 0 {
+		return fmt.Errorf("scenario: duration %v must be finite and ≥ 0", s.DurationS)
+	}
+	ids := map[string]bool{}
+	for i, v := range s.Vehicles {
+		if v.ID == "" || ids[v.ID] {
+			return fmt.Errorf("scenario: vehicle %d: missing or duplicate id %q", i, v.ID)
+		}
+		ids[v.ID] = true
+		if v.Platform != PlatformQuad && v.Platform != PlatformPlane {
+			return fmt.Errorf("scenario: vehicle %s: unknown platform %q (want %q or %q)",
+				v.ID, v.Platform, PlatformQuad, PlatformPlane)
+		}
+		if !finiteVec(v.Start) {
+			return fmt.Errorf("scenario: vehicle %s: non-finite start", v.ID)
+		}
+		if math.IsNaN(v.SpeedMPS) || math.IsInf(v.SpeedMPS, 0) || v.SpeedMPS < 0 {
+			return fmt.Errorf("scenario: vehicle %s: speed %v must be finite and ≥ 0", v.ID, v.SpeedMPS)
+		}
+		if v.Hold && len(v.Route) > 0 {
+			return fmt.Errorf("scenario: vehicle %s: hold and route are mutually exclusive", v.ID)
+		}
+		for j, wp := range v.Route {
+			if !finiteVec(wp) {
+				return fmt.Errorf("scenario: vehicle %s: non-finite waypoint %d", v.ID, j)
+			}
+		}
+		if v.Loop && len(v.Route) == 0 {
+			return fmt.Errorf("scenario: vehicle %s: loop without a route", v.ID)
+		}
+		if v.LoopFrom < 0 || (len(v.Route) > 0 && v.LoopFrom >= len(v.Route)) {
+			return fmt.Errorf("scenario: vehicle %s: loop_from %d outside route", v.ID, v.LoopFrom)
+		}
+		if !v.Loop && v.LoopFrom != 0 {
+			return fmt.Errorf("scenario: vehicle %s: loop_from without loop", v.ID)
+		}
+	}
+	if _, err := ParseRate(s.Link.Rate); err != nil {
+		return err
+	}
+	for i, t := range s.Traffic {
+		if !ids[t.From] || !ids[t.To] {
+			return fmt.Errorf("scenario: traffic %d: unknown vehicle %q or %q", i, t.From, t.To)
+		}
+		if t.From == t.To {
+			return fmt.Errorf("scenario: traffic %d: from == to (%q)", i, t.From)
+		}
+		if math.IsNaN(t.StartS) || math.IsInf(t.StartS, 0) || t.StartS < 0 {
+			return fmt.Errorf("scenario: traffic %d: start %v must be finite and ≥ 0", i, t.StartS)
+		}
+		if !(t.DurationS > 0) || math.IsInf(t.DurationS, 0) {
+			return fmt.Errorf("scenario: traffic %d: duration %v must be positive and finite", i, t.DurationS)
+		}
+		if !(t.WindowS > 0) || math.IsInf(t.WindowS, 0) {
+			return fmt.Errorf("scenario: traffic %d: window %v must be positive and finite", i, t.WindowS)
+		}
+	}
+	for i, t := range s.Transfers {
+		if !ids[t.From] || !ids[t.To] {
+			return fmt.Errorf("scenario: transfer %d: unknown vehicle %q or %q", i, t.From, t.To)
+		}
+		if t.From == t.To {
+			return fmt.Errorf("scenario: transfer %d: from == to (%q)", i, t.From)
+		}
+		if t.AltTo != "" && (!ids[t.AltTo] || t.AltTo == t.From) {
+			return fmt.Errorf("scenario: transfer %d: bad alt_to %q", i, t.AltTo)
+		}
+		if !(t.SizeMB > 0) || math.IsInf(t.SizeMB, 0) {
+			return fmt.Errorf("scenario: transfer %d: size %v MB must be positive and finite", i, t.SizeMB)
+		}
+		if !(t.DeadlineS > 0) || math.IsInf(t.DeadlineS, 0) {
+			return fmt.Errorf("scenario: transfer %d: deadline %v must be positive and finite", i, t.DeadlineS)
+		}
+		if math.IsNaN(t.StartS) || math.IsInf(t.StartS, 0) || t.StartS < 0 {
+			return fmt.Errorf("scenario: transfer %d: start %v must be finite and ≥ 0", i, t.StartS)
+		}
+		if d := t.Decision; d != nil {
+			if !decisionKinds[d.Kind] {
+				return fmt.Errorf("scenario: transfer %d: unknown decision kind %q", i, d.Kind)
+			}
+			if math.IsNaN(d.RhoPerM) || math.IsInf(d.RhoPerM, 0) || d.RhoPerM < 0 {
+				return fmt.Errorf("scenario: transfer %d: rho %v must be finite and ≥ 0", i, d.RhoPerM)
+			}
+		}
+	}
+	if _, err := s.ChaosSchedule(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChaosSchedule parses the Spec's chaos lines (nil when there are none).
+func (s Spec) ChaosSchedule() (*chaos.Schedule, error) {
+	if len(s.Chaos) == 0 {
+		return nil, nil
+	}
+	sched, err := chaos.ParseString(strings.Join(s.Chaos, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: chaos: %w", err)
+	}
+	return sched, nil
+}
+
+// ParseRate parses a LinkSpec.Rate string into a fixed MCS index; fixed is
+// false for auto-rate ("" or "minstrel").
+func ParseRate(rate string) (mcs int, err error) {
+	switch {
+	case rate == "" || rate == "minstrel":
+		return -1, nil
+	case strings.HasPrefix(rate, "mcs"):
+		n, err := strconv.Atoi(strings.TrimPrefix(rate, "mcs"))
+		if err != nil || n < 0 || n > 31 {
+			return 0, fmt.Errorf("scenario: bad rate %q", rate)
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("scenario: bad rate %q (want \"minstrel\" or \"mcsN\")", rate)
+	}
+}
+
+func finiteVec(v geo.Vec3) bool {
+	for _, x := range []float64{v.X, v.Y, v.Z} {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/sim"
+)
+
+// twoQuadSpec is the minimal valid scenario most tests start from.
+func twoQuadSpec() Spec {
+	return Spec{
+		Name: "test",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "tx", Platform: PlatformQuad, Start: geo.Vec3{X: 30, Z: 10}, Hold: true},
+			{ID: "rx", Platform: PlatformQuad, Start: geo.Vec3{Z: 10}, Hold: true},
+		},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := twoQuadSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no vehicles", func(s *Spec) { s.Vehicles = nil }},
+		{"duplicate id", func(s *Spec) { s.Vehicles[1].ID = "tx" }},
+		{"empty id", func(s *Spec) { s.Vehicles[0].ID = "" }},
+		{"unknown platform", func(s *Spec) { s.Vehicles[0].Platform = "zeppelin" }},
+		{"NaN start", func(s *Spec) { s.Vehicles[0].Start.X = math.NaN() }},
+		{"negative speed", func(s *Spec) { s.Vehicles[0].SpeedMPS = -1 }},
+		{"hold and route", func(s *Spec) { s.Vehicles[0].Route = []geo.Vec3{{X: 1}} }},
+		{"non-finite waypoint", func(s *Spec) {
+			s.Vehicles[0].Hold = false
+			s.Vehicles[0].Route = []geo.Vec3{{X: math.Inf(1)}}
+		}},
+		{"loop without route", func(s *Spec) { s.Vehicles[0].Loop = true }},
+		{"loop_from outside route", func(s *Spec) {
+			s.Vehicles[0].Hold = false
+			s.Vehicles[0].Route = []geo.Vec3{{X: 1}}
+			s.Vehicles[0].Loop = true
+			s.Vehicles[0].LoopFrom = 1
+		}},
+		{"loop_from without loop", func(s *Spec) {
+			s.Vehicles[0].Hold = false
+			s.Vehicles[0].Route = []geo.Vec3{{X: 1}, {X: 2}}
+			s.Vehicles[0].LoopFrom = 1
+		}},
+		{"negative duration", func(s *Spec) { s.DurationS = -1 }},
+		{"NaN duration", func(s *Spec) { s.DurationS = math.NaN() }},
+		{"bad rate", func(s *Spec) { s.Link.Rate = "mcs99" }},
+		{"traffic unknown vehicle", func(s *Spec) {
+			s.Traffic = []TrafficSpec{{From: "tx", To: "ghost", DurationS: 1, WindowS: 1}}
+		}},
+		{"traffic self-loop", func(s *Spec) {
+			s.Traffic = []TrafficSpec{{From: "tx", To: "tx", DurationS: 1, WindowS: 1}}
+		}},
+		{"traffic zero duration", func(s *Spec) {
+			s.Traffic = []TrafficSpec{{From: "tx", To: "rx", WindowS: 1}}
+		}},
+		{"traffic zero window", func(s *Spec) {
+			s.Traffic = []TrafficSpec{{From: "tx", To: "rx", DurationS: 1}}
+		}},
+		{"transfer unknown vehicle", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "ghost", To: "rx", SizeMB: 1, DeadlineS: 1}}
+		}},
+		{"transfer zero size", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "tx", To: "rx", DeadlineS: 1}}
+		}},
+		{"transfer zero deadline", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 1}}
+		}},
+		{"transfer alt_to is sender", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 1, DeadlineS: 1, AltTo: "tx"}}
+		}},
+		{"unknown decision kind", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 1, DeadlineS: 1,
+				Decision: &DecisionSpec{Kind: "oracle"}}}
+		}},
+		{"negative rho", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "tx", To: "rx", SizeMB: 1, DeadlineS: 1,
+				Decision: &DecisionSpec{Kind: "exact", RhoPerM: -1}}}
+		}},
+		{"bad chaos line", func(s *Spec) { s.Chaos = []string{"vehicle explode tx 5"} }},
+	}
+	for _, tc := range cases {
+		s := twoQuadSpec()
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mcs  int
+		fail bool
+	}{
+		{"", -1, false},
+		{"minstrel", -1, false},
+		{"mcs0", 0, false},
+		{"mcs15", 15, false},
+		{"mcs31", 31, false},
+		{"mcs32", 0, true},
+		{"mcs-1", 0, true},
+		{"mcsx", 0, true},
+		{"fixed", 0, true},
+	} {
+		mcs, err := ParseRate(tc.in)
+		if tc.fail != (err != nil) {
+			t.Errorf("ParseRate(%q) err = %v", tc.in, err)
+			continue
+		}
+		if !tc.fail && mcs != tc.mcs {
+			t.Errorf("ParseRate(%q) = %d, want %d", tc.in, mcs, tc.mcs)
+		}
+	}
+}
+
+// randSpec generates a random valid Spec — the round-trip property's input
+// distribution covers every optional field.
+func randSpec(rng *rand.Rand) Spec {
+	platforms := []string{PlatformQuad, PlatformPlane}
+	n := 1 + rng.Intn(4)
+	s := Spec{
+		Name:      "prop",
+		Seed:      rng.Int63n(1 << 40),
+		DurationS: float64(rng.Intn(100)),
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		v := VehicleSpec{
+			ID:       ids[i],
+			Platform: platforms[rng.Intn(2)],
+			Start:    geo.Vec3{X: rng.Float64() * 100, Y: rng.Float64() * 100, Z: 10 + rng.Float64()*90},
+			SpeedMPS: float64(rng.Intn(20)),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			v.Hold = true
+		case 1:
+			for j := 0; j <= rng.Intn(3); j++ {
+				v.Route = append(v.Route, geo.Vec3{X: rng.Float64() * 500, Z: 10})
+			}
+			if rng.Intn(2) == 0 {
+				v.Loop = true
+				v.LoopFrom = rng.Intn(len(v.Route))
+			}
+		}
+		s.Vehicles = append(s.Vehicles, v)
+	}
+	if rng.Intn(2) == 0 {
+		s.Link = LinkSpec{
+			Seed:  rng.Int63n(1000),
+			Label: "prop/link",
+			Rate:  []string{"", "minstrel", "mcs3", "mcs15"}[rng.Intn(4)],
+		}
+	}
+	if n >= 2 && rng.Intn(2) == 0 {
+		s.Traffic = append(s.Traffic, TrafficSpec{
+			From: ids[0], To: ids[1],
+			StartS:    float64(rng.Intn(10)),
+			DurationS: 1 + rng.Float64()*10,
+			WindowS:   0.5 + rng.Float64(),
+		})
+	}
+	if n >= 2 && rng.Intn(2) == 0 {
+		tr := TransferSpec{
+			From: ids[1], To: ids[0],
+			SizeMB:         0.1 + rng.Float64()*10,
+			DeadlineS:      1 + rng.Float64()*100,
+			StartOnArrival: rng.Intn(2) == 0,
+			Reliable:       rng.Intn(2) == 0,
+		}
+		if n >= 3 && rng.Intn(2) == 0 {
+			tr.AltTo = ids[2]
+		}
+		if rng.Intn(2) == 0 {
+			tr.Decision = &DecisionSpec{
+				Kind:    []string{"exact", "table"}[rng.Intn(2)],
+				RhoPerM: float64(rng.Intn(3)) * 1e-4,
+			}
+		}
+		s.Transfers = append(s.Transfers, tr)
+	}
+	if rng.Intn(3) == 0 {
+		s.Chaos = []string{
+			"seed 7",
+			"telemetry loss 0.25 0 100",
+			"vehicle fail " + ids[0] + " 50",
+		}
+	}
+	return s
+}
+
+// TestSpecRoundTripProperty: Decode(Encode(s)) == s for any valid Spec, and
+// the encoding (hence the fingerprint) is a pure function of the Spec.
+func TestSpecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		s := randSpec(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generator produced invalid spec: %v", err)
+		}
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, data)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip changed the spec:\n got %#v\nwant %#v", got, s)
+		}
+		fp1, err := Fingerprint(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp2, err := Fingerprint(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint not stable across round trip: %x vs %x", fp1, fp2)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownField(t *testing.T) {
+	if _, err := Decode([]byte(`{"name":"x","seed":1,"vehicels":[]}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	data, err := Encode(twoQuadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(data, []byte("{}")...)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+}
+
+func TestChaosLinesRoundTrip(t *testing.T) {
+	sched := &chaos.Schedule{Seed: 3}
+	sched.Telemetry = append(sched.Telemetry, chaos.TelemetryFault{
+		LossProb: 0.25, Window: chaos.Window{StartS: 0, EndS: 100},
+	})
+	sched.Vehicles = append(sched.Vehicles, chaos.VehicleFault{
+		ID: "relay-1", AtS: 99,
+	})
+	lines := ChaosLines(sched)
+	if len(lines) == 0 {
+		t.Fatal("no lines")
+	}
+	s := twoQuadSpec()
+	s.Chaos = lines
+	parsed, err := s.ChaosSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed != 3 || len(parsed.Telemetry) != 1 || len(parsed.Vehicles) != 1 {
+		t.Fatalf("schedule did not survive the text round trip: %+v", parsed)
+	}
+	if tt, ok := parsed.VehicleFailTime("relay-1"); !ok || tt != 99 {
+		t.Fatalf("vehicle fail time = %v, %v", tt, ok)
+	}
+	if ChaosLines(nil) != nil || ChaosLines(&chaos.Schedule{}) != nil {
+		t.Fatal("empty schedules must render to no lines")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	e := sim.NewEngine()
+	var at []float64
+	err := Ticks(e, 0.5, 2.0, func(now float64) bool {
+		at = append(at, now)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.0, 1.5, 2.0}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("ticks at %v, want %v", at, want)
+	}
+	if e.Now() != 2.0 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+
+	// Early stop: fn returning false ends the loop without reaching the
+	// horizon.
+	e = sim.NewEngine()
+	n := 0
+	err = Ticks(e, 0.5, 10, func(float64) bool { n++; return n < 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || e.Now() != 1.5 {
+		t.Fatalf("early stop: n=%d now=%v", n, e.Now())
+	}
+
+	// Events scheduled on the engine fire during ticks (the single-clock
+	// point: mission logic and event traffic share the clock).
+	e = sim.NewEngine()
+	fired := false
+	if _, err := e.Schedule(0.75, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Ticks(e, 0.5, 1.0, func(float64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("scheduled event did not fire during ticks")
+	}
+}
+
+func TestMissionSpecValidate(t *testing.T) {
+	valid := MissionSpec{
+		Name:       "m",
+		Seed:       1,
+		MaxSeconds: 100,
+		Vehicles: []MissionVehicle{
+			{ID: "scout-1", Platform: PlatformQuad, Role: RoleScout, SectorWM: 40, SectorHM: 40, AltitudeM: 10},
+			{ID: "relay-1", Platform: PlatformQuad, Role: RoleRelay},
+		},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*MissionSpec)
+	}{
+		{"zero max seconds", func(m *MissionSpec) { m.MaxSeconds = 0 }},
+		{"no relay", func(m *MissionSpec) { m.Vehicles = m.Vehicles[:1] }},
+		{"no scout", func(m *MissionSpec) { m.Vehicles = m.Vehicles[1:] }},
+		{"duplicate id", func(m *MissionSpec) { m.Vehicles[1].ID = "scout-1" }},
+		{"unknown role", func(m *MissionSpec) { m.Vehicles[0].Role = "tanker" }},
+		{"unknown platform", func(m *MissionSpec) { m.Vehicles[0].Platform = "balloon" }},
+		{"zero sector", func(m *MissionSpec) { m.Vehicles[0].SectorWM = 0 }},
+		{"bad chaos", func(m *MissionSpec) { m.Chaos = []string{"gremlins everywhere"} }},
+	}
+	for _, tc := range cases {
+		m := valid
+		m.Vehicles = append([]MissionVehicle(nil), valid.Vehicles...)
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

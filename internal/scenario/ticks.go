@@ -1,0 +1,21 @@
+package scenario
+
+import "github.com/nowlater/nowlater/internal/sim"
+
+// Ticks is the mission-logic clock driver: it advances the engine in tickS
+// steps until the clock reaches horizonS, calling fn after each step with
+// the new clock. fn returning false ends the loop early. This is the one
+// fixed-cadence loop mission state machines (package fleet) are allowed —
+// they delegate the clock here instead of owning it, keeping all time
+// advancement in sim/scenario.
+func Ticks(e *sim.Engine, tickS, horizonS float64, fn func(now float64) bool) error {
+	for e.Now() < horizonS {
+		if err := e.RunUntil(e.Now() + tickS); err != nil {
+			return err
+		}
+		if !fn(e.Now()) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -146,6 +146,12 @@ func (e *Engine) Step() bool {
 // the clock to exactly horizon. Events scheduled at the horizon itself
 // fire. Returns ErrStopped if Stop was called.
 func (e *Engine) RunUntil(horizon float64) error {
+	// NaN must be rejected explicitly: both ordering checks below are
+	// false for NaN, so it would fire every queued event regardless of
+	// time and poison the clock.
+	if math.IsNaN(horizon) {
+		return errors.New("sim: horizon NaN")
+	}
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -76,6 +77,30 @@ func TestRunUntilHorizon(t *testing.T) {
 	}
 	if fired != 3 || e.Now() != 10 {
 		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntilRejectsNaN(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	mustSchedule(t, e, 5, func() { fired = true })
+	if err := e.RunUntil(math.NaN()); err == nil {
+		t.Fatal("NaN horizon accepted")
+	}
+	// The guard must leave the engine untouched: both comparisons in the
+	// event loop are false for NaN, so without it every queued event would
+	// fire and the clock would become NaN.
+	if fired {
+		t.Fatal("NaN horizon fired a future event")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("NaN horizon moved the clock to %v", e.Now())
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || e.Now() != 5 {
+		t.Fatalf("engine unusable after rejected NaN: fired=%v now=%v", fired, e.Now())
 	}
 }
 

@@ -38,11 +38,13 @@ import (
 	"github.com/nowlater/nowlater/internal/experiments"
 	"github.com/nowlater/nowlater/internal/failure"
 	"github.com/nowlater/nowlater/internal/fleet"
+	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/mission"
 	"github.com/nowlater/nowlater/internal/phy"
 	"github.com/nowlater/nowlater/internal/policy"
 	"github.com/nowlater/nowlater/internal/rate"
+	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/transport"
 )
@@ -339,6 +341,73 @@ func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 
 // NewMission assembles a multi-UAV mission.
 func NewMission(cfg FleetConfig, specs []UAVSpec) (*Mission, error) { return fleet.New(cfg, specs) }
+
+// --- Declarative scenarios -------------------------------------------------
+
+// ControlTickS is the autopilot control-loop period (seconds) — the single
+// integration sub-tick every vehicle advances by.
+const ControlTickS = scenario.ControlTickS
+
+// MissionTickS is the mission-logic re-evaluation period (seconds).
+const MissionTickS = scenario.MissionTickS
+
+// Vec3 is the Cartesian position/velocity vector (metres, metres/second)
+// scenario specs place vehicles with.
+type Vec3 = geo.Vec3
+
+// ScenarioSpec is one complete declarative flight scenario: vehicles,
+// trajectories, link, workloads, chaos script and decision policy. The
+// paper's figures are instances of this shape; arbitrary new scenarios
+// (more vehicles, mid-flight kills, failover receivers) are a JSON file —
+// see examples/scenario/.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioVehicleSpec declares one vehicle and its trajectory.
+type ScenarioVehicleSpec = scenario.VehicleSpec
+
+// ScenarioLinkSpec configures the scenario's packet-level radio.
+type ScenarioLinkSpec = scenario.LinkSpec
+
+// ScenarioTrafficSpec is a windowed saturation workload (Figs 5–7).
+type ScenarioTrafficSpec = scenario.TrafficSpec
+
+// ScenarioTransferSpec is a reliable batch delivery, optionally routed
+// through the now-or-later decision and a fallback receiver.
+type ScenarioTransferSpec = scenario.TransferSpec
+
+// ScenarioDecisionSpec selects the decision engine ("exact" or "table")
+// and failure rate for a transfer.
+type ScenarioDecisionSpec = scenario.DecisionSpec
+
+// ScenarioRuntime executes a compiled ScenarioSpec on the discrete-event
+// engine under the single-clock contract.
+type ScenarioRuntime = scenario.Runtime
+
+// ScenarioResult is the recorded outcome of one scenario run.
+type ScenarioResult = scenario.Result
+
+// CompileScenario validates a spec and builds its runtime.
+func CompileScenario(spec ScenarioSpec) (*ScenarioRuntime, error) { return scenario.Compile(spec) }
+
+// LoadScenarioSpec reads and validates a JSON scenario file
+// (cmd/uavsim -scenario).
+func LoadScenarioSpec(path string) (ScenarioSpec, error) { return scenario.Load(path) }
+
+// MissionSpec is the declarative form of a multi-UAV fleet mission.
+type MissionSpec = scenario.MissionSpec
+
+// MissionVehicle declares one fleet participant (scout or relay).
+type MissionVehicle = scenario.MissionVehicle
+
+// Fleet roles accepted by MissionVehicle.Role.
+const (
+	RoleScout = scenario.RoleScout
+	RoleRelay = scenario.RoleRelay
+)
+
+// FleetFromSpec compiles a declarative MissionSpec into a runnable
+// Mission (the cmd/experiments chaos step builds its trials this way).
+func FleetFromSpec(ms MissionSpec) (*Mission, error) { return fleet.FromSpec(ms) }
 
 // --- Multi-hop ferrying ----------------------------------------------------
 

@@ -142,6 +142,75 @@ func TestFacadePolicy(t *testing.T) {
 	}
 }
 
+// TestFacadeScenario compiles and runs a declarative three-vehicle
+// scenario with a chaos kill and a failover receiver through the public
+// facade — the shape the per-figure rigs could not express.
+func TestFacadeScenario(t *testing.T) {
+	spec := nowlater.ScenarioSpec{
+		Name: "facade/failover",
+		Seed: 7,
+		Vehicles: []nowlater.ScenarioVehicleSpec{
+			{ID: "ferry", Platform: "arducopter", Start: nowlater.Vec3{X: 60, Z: 10},
+				Route: []nowlater.Vec3{{X: 25, Z: 10}}, SpeedMPS: 8},
+			{ID: "rx", Platform: "arducopter", Start: nowlater.Vec3{Z: 10}, Hold: true},
+			{ID: "backup", Platform: "arducopter", Start: nowlater.Vec3{X: 20, Y: 20, Z: 10}, Hold: true},
+		},
+		Transfers: []nowlater.ScenarioTransferSpec{{
+			From: "ferry", To: "rx", SizeMB: 0.5, DeadlineS: 15,
+			StartOnArrival: true, Reliable: true, AltTo: "backup",
+		}},
+		Chaos: []string{"vehicle fail rx 1"},
+	}
+	rt, err := nowlater.CompileScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transfers) != 1 || len(res.Vehicles) != 3 {
+		t.Fatalf("shape: %+v", res)
+	}
+	tr := res.Transfers[0]
+	if !tr.Rerouted || tr.To != "backup" {
+		t.Fatalf("chaos kill did not force the failover: %+v", tr)
+	}
+	if tr.DeliveredMB() < 0.5 {
+		t.Fatalf("failover lost data: delivered %.2f MB", tr.DeliveredMB())
+	}
+	if res.DurationS <= 0 {
+		t.Fatalf("clock did not advance: %+v", res)
+	}
+}
+
+// TestFacadeMissionSpec runs a minimal declarative fleet mission.
+func TestFacadeMissionSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet mission is slow")
+	}
+	ms, err := nowlater.FleetFromSpec(nowlater.MissionSpec{
+		Name: "facade/mission", Seed: 3, MaxSeconds: 1800,
+		Vehicles: []nowlater.MissionVehicle{
+			{ID: "scout-1", Platform: "arducopter", Role: nowlater.RoleScout,
+				Start: nowlater.Vec3{X: 60, Z: 10}, SectorOrigin: nowlater.Vec3{X: 50},
+				SectorWM: 30, SectorHM: 30, AltitudeM: 10, MaxScanLanes: 2},
+			{ID: "relay-1", Platform: "arducopter", Role: nowlater.RoleRelay,
+				Start: nowlater.Vec3{Z: 10}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ms.Run(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deliveries) == 0 {
+		t.Fatalf("mission delivered nothing: %+v", rep)
+	}
+}
+
 func TestFacadeExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment harness is slow")

@@ -68,6 +68,11 @@ type benchReport struct {
 	PolicyLookupNS        float64 `json:"policy_lookup_ns,omitempty"`
 	PolicyExactOptimizeNS float64 `json:"policy_exact_optimize_ns,omitempty"`
 	PolicySpeedup         float64 `json:"policy_speedup,omitempty"`
+	// SvcNaiveOKRatio and SvcResilientOKRatio are the svcchaos step's
+	// success ratios at the highest fault intensity — what the resilient
+	// client buys against a faulting decision service.
+	SvcNaiveOKRatio     float64 `json:"svcchaos_naive_ok_ratio,omitempty"`
+	SvcResilientOKRatio float64 `json:"svcchaos_resilient_ok_ratio,omitempty"`
 }
 
 func main() {
@@ -156,6 +161,7 @@ func run(args []string) int {
 		"ablations": run.ablations,
 		"mission":   run.missionLevel,
 		"chaos":     run.survivability,
+		"svcchaos":  run.svcChaos,
 		"policy":    run.policyCheck,
 	}
 	var steps []struct {
@@ -257,6 +263,11 @@ func run(args []string) int {
 		report.PolicyExactOptimizeNS = pr.OptimizeNS
 		report.PolicySpeedup = pr.Speedup
 	}
+	if sr := run.svcChaosRes; sr != nil && len(sr.Points) > 0 {
+		last := sr.Points[len(sr.Points)-1]
+		report.SvcNaiveOKRatio = last.NaiveOKRatio
+		report.SvcResilientOKRatio = last.ResilientOKRatio
+	}
 	if *bench {
 		if err := writeBench("BENCH_experiments.json", report); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -314,6 +325,8 @@ type runnerCmd struct {
 	// quick shrinks the policy step's serving tables along with the rest
 	// of the reduced workload.
 	quick bool
-	// policyRes holds the policy step's result for the bench report.
-	policyRes *experiments.PolicyCheckResult
+	// policyRes and svcChaosRes hold their steps' results for the bench
+	// report.
+	policyRes   *experiments.PolicyCheckResult
+	svcChaosRes *experiments.SvcChaosResult
 }

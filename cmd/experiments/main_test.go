@@ -114,6 +114,34 @@ func TestPolicyStep(t *testing.T) {
 	}
 }
 
+// TestSvcChaosStep drives the service-chaos renderer end to end at a tiny
+// workload, guarding the CSV schema and the bench-report capture.
+func TestSvcChaosStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live HTTP servers")
+	}
+	r, done := quietRunner(t)
+	r.cfg = experiments.Config{Seed: 1, Trials: 1, TrialSeconds: 1}
+	err := r.svcChaos()
+	out := done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, readErr := os.ReadFile(filepath.Join(r.outDir, "svcchaos.csv"))
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.HasPrefix(string(data), "intensity,naive_ok_ratio,resilient_ok_ratio") {
+		t.Fatalf("svcchaos.csv header: %q", string(data[:min(60, len(data))]))
+	}
+	if !strings.Contains(out, "service chaos") || !strings.Contains(out, "resilient ok") {
+		t.Errorf("svcchaos narration missing:\n%s", out)
+	}
+	if r.svcChaosRes == nil || len(r.svcChaosRes.Points) == 0 {
+		t.Fatal("bench result not captured")
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -332,6 +332,46 @@ func (r *runnerCmd) missionLevel() error {
 		[][]float64{{res.NaiveMakespanS, res.RendezvousMakespanS, res.NaiveDeliveryRatio, res.RendezvousDeliveryRatio}})
 }
 
+// svcChaos runs the service-layer chaos experiment: a live in-process
+// nowlaterd behind the fault-injecting proxy, naive vs resilient client
+// under paired seeds.
+func (r *runnerCmd) svcChaos() error {
+	res, err := experiments.SvcChaos(r.cfg)
+	if err != nil {
+		return err
+	}
+	r.svcChaosRes = &res
+	fmt.Printf("  service chaos: naive vs resilient client (%d queries per arm):\n", res.Queries)
+	naive := trace.Series{Name: "naive"}
+	resil := trace.Series{Name: "resilient"}
+	var rows [][]float64
+	for _, p := range res.Points {
+		fmt.Printf("    intensity %.2f: naive ok %.3f (median %s ms) vs resilient ok %.3f (median %s ms, %d retries, %d hedges)\n",
+			p.Intensity, p.NaiveOKRatio, fmtOrNA("%.1f", p.NaiveMedianMs),
+			p.ResilientOKRatio, fmtOrNA("%.1f", p.ResilientMedianMs),
+			p.ResilientRetries, p.ResilientHedges)
+		naive.X = append(naive.X, p.Intensity)
+		naive.Y = append(naive.Y, p.NaiveOKRatio)
+		resil.X = append(resil.X, p.Intensity)
+		resil.Y = append(resil.Y, p.ResilientOKRatio)
+		rows = append(rows, []float64{p.Intensity,
+			p.NaiveOKRatio, p.ResilientOKRatio,
+			p.NaiveMedianMs, p.ResilientMedianMs,
+			float64(p.ResilientRetries), float64(p.ResilientHedges)})
+	}
+	series := []trace.Series{naive, resil}
+	fmt.Print(trace.LinePlot("Service chaos: answered-in-deadline ratio vs fault intensity", series, 72, 14))
+	if err := trace.WriteSVG(r.path("svcchaos.svg"),
+		trace.SVGLinePlot("Service chaos: success ratio vs fault intensity",
+			"fault intensity", "answered within deadline", series)); err != nil {
+		fmt.Fprintln(os.Stderr, "svcchaos svg:", err)
+	}
+	return trace.WriteCSV(r.path("svcchaos.csv"),
+		[]string{"intensity", "naive_ok_ratio", "resilient_ok_ratio",
+			"naive_median_ms", "resilient_median_ms",
+			"resilient_retries", "resilient_hedges"}, rows)
+}
+
 // policyCheck replays the Fig 8/Fig 9 sweep optima through the precomputed
 // policy tables (internal/policy) and reports serving accuracy and speed.
 func (r *runnerCmd) policyCheck() error {

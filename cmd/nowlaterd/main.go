@@ -1,13 +1,14 @@
 // Command nowlaterd serves the paper's transmit decision over HTTP: a
 // policy engine (precomputed dopt table + LRU cache + exact fallback)
-// behind three endpoints.
+// behind the internal/nlserver overload-hardened serving layer.
 //
 //	POST /v1/decide        one query  {"d0_m":300,"speed_mps":10,"mdata_mb":28,"rho":1.11e-4}
 //	POST /v1/decide/batch  a JSON array of queries, answered in order
-//	GET  /healthz          liveness + table identity
-//	GET  /metrics          Prometheus text: request/decision counters by
-//	                       source, cache hit ratio, fallback ratio, and a
-//	                       decision latency histogram
+//	GET  /healthz          liveness + build version + table identity
+//	GET  /readyz           readiness: 503 while the table builds or the
+//	                       server drains, 200 with degradation detail otherwise
+//	GET  /metrics          Prometheus text: decision counters by source,
+//	                       admission shed/in-flight, breaker state, latency histogram
 //
 // Usage:
 //
@@ -15,28 +16,36 @@
 //	nowlaterd -table policy.nlpt -addr :8753     # serve a prebuilt table
 //	nowlaterd -grid quick -addr :8753            # build in memory and serve
 //
+// When building in memory, the listener opens immediately and /readyz
+// reports 503 until the table is ready — orchestrators can probe instead
+// of timing the build. Overload behaviour (admission ceiling, queue bound,
+// shed hint, fallback breaker) is tunable via the -max-* flags; saturated
+// periods shed with 429 + Retry-After and serve breaker-refused fallbacks
+// as degraded nearest-table answers rather than queueing without bound.
+//
 // The table file is versioned, CRC-checked and atomically written; serving
 // a file built under a different platform/grid than requested fails loudly
 // (policy.ErrMismatch) instead of answering from a stale calibration.
-// Shutdown is graceful: SIGINT/SIGTERM stop accepting connections and let
-// in-flight decisions finish.
+// Shutdown is graceful: SIGINT/SIGTERM flip /readyz to draining, hold
+// -drain-grace, then let in-flight decisions finish.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"github.com/nowlater/nowlater/internal/checkpoint"
+	"github.com/nowlater/nowlater/internal/nlserver"
+	"github.com/nowlater/nowlater/internal/overload"
 	"github.com/nowlater/nowlater/internal/policy"
 )
 
@@ -59,8 +68,19 @@ func run(args []string, out io.Writer) error {
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request handler timeout")
 	ckptDir := fs.String("checkpoint", "", "journal build rows under this directory")
 	resume := fs.Bool("resume", false, "resume a killed -build from -checkpoint")
+	maxInFlight := fs.Int("max-inflight", 0, "admission ceiling on concurrent requests (0 = default)")
+	maxQueue := fs.Int("max-queue", -1, "admission wait-queue length (-1 = default, 0 = shed instantly)")
+	maxWait := fs.Duration("max-wait", 0, "admission queue-latency bound before shedding (0 = default)")
+	retryAfter := fs.Duration("retry-after", 0, "backoff hint attached to 429 sheds (0 = default)")
+	drainGrace := fs.Duration("drain-grace", 0, "hold /readyz at 503 draining this long before shutdown")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *version {
+		fmt.Fprintln(out, versionString())
+		return nil
 	}
 
 	cfg, err := tableConfig(*platform, *grid)
@@ -75,28 +95,38 @@ func run(args []string, out io.Writer) error {
 		return buildTable(cfg, *tablePath, *workers, *ckptDir, *resume, out)
 	}
 
-	var tbl *policy.Table
+	admission := overload.AdmissionConfig{
+		MaxInFlight: *maxInFlight, MaxWait: *maxWait, RetryAfter: *retryAfter,
+	}
+	if *maxQueue >= 0 {
+		admission.MaxQueue = *maxQueue
+	} else {
+		admission.MaxQueue = overload.DefaultAdmissionConfig().MaxQueue
+	}
+	srv := nlserver.New(nlserver.Config{
+		Version:    versionString(),
+		ReqTimeout: *reqTimeout,
+		DrainGrace: *drainGrace,
+		Admission:  overload.NewAdmission(admission),
+		Breaker:    overload.NewBreaker(overload.BreakerConfig{}),
+	})
+
+	// A prebuilt table loads in milliseconds: do it before the listener so
+	// calibration mismatches fail the process, not the first probe. An
+	// in-memory build takes seconds-to-minutes: open the listener first and
+	// let /readyz report 503 until the table lands.
 	if *tablePath != "" {
-		tbl, err = policy.LoadMatching(*tablePath, cfg)
+		tbl, err := policy.LoadMatching(*tablePath, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "loaded %s: %d points, config %016x\n", *tablePath, tbl.Points(), tbl.Fingerprint())
-	} else {
-		start := time.Now()
-		tbl, err = policy.Build(context.Background(), cfg, policy.BuildOptions{Workers: *workers})
+		eng, err := policy.NewEngine(tbl, *cacheSize)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "built %d points in %s (in memory; use -build -table to persist)\n",
-			tbl.Points(), time.Since(start).Round(time.Millisecond))
+		srv.SetEngine(eng)
 	}
-
-	eng, err := policy.NewEngine(tbl, *cacheSize)
-	if err != nil {
-		return err
-	}
-	srv := newServer(eng)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,8 +134,68 @@ func run(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	buildErr := make(chan error, 1)
+	if *tablePath == "" {
+		go func() {
+			start := time.Now()
+			tbl, err := policy.Build(ctx, cfg, policy.BuildOptions{Workers: *workers})
+			if err != nil {
+				buildErr <- err
+				stop() // no table will ever arrive: shut the listener down
+				return
+			}
+			eng, err := policy.NewEngine(tbl, *cacheSize)
+			if err != nil {
+				buildErr <- err
+				stop()
+				return
+			}
+			srv.SetEngine(eng)
+			fmt.Fprintf(out, "built %d points in %s (in memory; use -build -table to persist)\n",
+				tbl.Points(), time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
 	fmt.Fprintf(out, "serving on %s\n", ln.Addr())
-	return srv.serve(ctx, ln, *reqTimeout)
+	err = srv.Serve(ctx, ln)
+	select {
+	case berr := <-buildErr:
+		if berr != nil && !errors.Is(berr, context.Canceled) {
+			return berr
+		}
+	default:
+	}
+	return err
+}
+
+// versionString reports the build identity the Go linker stamped into the
+// binary (module version for released builds, VCS revision for source
+// builds), surfaced by -version and /healthz.
+func versionString() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "nowlaterd (no build info)"
+	}
+	version := info.Main.Version
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return fmt.Sprintf("nowlaterd %s (%s%s, %s)", version, rev, dirty, info.GoVersion)
+	}
+	return fmt.Sprintf("nowlaterd %s (%s)", version, info.GoVersion)
 }
 
 // tableConfig resolves the -platform/-grid flags into a table identity.
@@ -150,199 +240,4 @@ func buildTable(cfg policy.Config, path string, workers int, ckptDir string, res
 	fmt.Fprintf(out, "wrote %s: %d points, config %016x, %s\n",
 		path, tbl.Points(), tbl.Fingerprint(), time.Since(start).Round(time.Millisecond))
 	return nil
-}
-
-// maxBatch bounds one batch request; larger batches get 400, not OOM.
-const maxBatch = 10000
-
-// maxBodyBytes bounds any request body.
-const maxBodyBytes = 4 << 20
-
-// queryJSON is the wire form of a policy query.
-type queryJSON struct {
-	D0M      float64 `json:"d0_m"`
-	SpeedMPS float64 `json:"speed_mps"`
-	MdataMB  float64 `json:"mdata_mb"`
-	Rho      float64 `json:"rho"`
-}
-
-func (q queryJSON) query() policy.Query {
-	return policy.Query{D0M: q.D0M, SpeedMPS: q.SpeedMPS, MdataMB: q.MdataMB, Rho: q.Rho}
-}
-
-// decisionJSON is the wire form of one answered (or refused) query.
-type decisionJSON struct {
-	DoptM               float64 `json:"dopt_m"`
-	Utility             float64 `json:"utility"`
-	CommDelayS          float64 `json:"comm_delay_s"`
-	Survival            float64 `json:"survival"`
-	TransmitImmediately bool    `json:"transmit_immediately"`
-	Source              string  `json:"source,omitempty"`
-	Error               string  `json:"error,omitempty"`
-}
-
-func toJSON(d policy.Decision) decisionJSON {
-	return decisionJSON{
-		DoptM:               d.DoptM,
-		Utility:             d.Utility,
-		CommDelayS:          d.CommDelay,
-		Survival:            d.Survival,
-		TransmitImmediately: d.TransmitImmediately,
-		Source:              d.Source.String(),
-	}
-}
-
-// server is the HTTP layer over one policy engine.
-type server struct {
-	engine  *policy.Engine
-	latency *latencyHistogram
-	mux     *http.ServeMux
-}
-
-func newServer(eng *policy.Engine) *server {
-	s := &server{engine: eng, latency: newLatencyHistogram(), mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/decide", s.handleDecide)
-	s.mux.HandleFunc("/v1/decide/batch", s.handleBatch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
-}
-
-// handler wraps the mux with the per-request timeout.
-func (s *server) handler(timeout time.Duration) http.Handler {
-	if timeout <= 0 {
-		return s.mux
-	}
-	return http.TimeoutHandler(s.mux, timeout, "request timed out\n")
-}
-
-// serve runs the server on ln until ctx is cancelled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests get
-// drainTimeout to finish.
-func (s *server) serve(ctx context.Context, ln net.Listener, reqTimeout time.Duration) error {
-	hs := &http.Server{
-		Handler:           s.handler(reqTimeout),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- hs.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(shutdownCtx); err != nil {
-		return err
-	}
-	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
-	return nil
-}
-
-func (s *server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var q queryJSON
-	if err := decodeBody(w, r, &q); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	start := time.Now()
-	d, err := s.engine.Decide(q.query())
-	s.latency.observe(time.Since(start))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, decisionJSON{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, toJSON(d))
-}
-
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var qs []queryJSON
-	if err := decodeBody(w, r, &qs); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(qs) > maxBatch {
-		http.Error(w, fmt.Sprintf("batch of %d exceeds the %d-query limit", len(qs), maxBatch),
-			http.StatusBadRequest)
-		return
-	}
-	out := make([]decisionJSON, len(qs))
-	for i, q := range qs {
-		start := time.Now()
-		d, err := s.engine.Decide(q.query())
-		s.latency.observe(time.Since(start))
-		if err != nil {
-			out[i] = decisionJSON{Error: err.Error()}
-			continue
-		}
-		out[i] = toJSON(d)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	tbl := s.engine.Table()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"points":      tbl.Points(),
-		"fingerprint": fmt.Sprintf("%016x", tbl.Fingerprint()),
-	})
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.engine.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP nowlaterd_requests_total Decide calls that passed validation.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_requests_total counter\n")
-	fmt.Fprintf(w, "nowlaterd_requests_total %d\n", st.Requests)
-	fmt.Fprintf(w, "# HELP nowlaterd_decisions_total Decisions answered, by serving path.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_decisions_total counter\n")
-	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceCache.String(), st.CacheHits)
-	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceTable.String(), st.TableHits)
-	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceExactOutOfGrid.String(), st.OutOfGrid)
-	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceExactBoundary.String(), st.BoundaryFallbacks)
-	fmt.Fprintf(w, "# HELP nowlaterd_decision_errors_total Rejected queries.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_decision_errors_total counter\n")
-	fmt.Fprintf(w, "nowlaterd_decision_errors_total %d\n", st.Errors)
-	fmt.Fprintf(w, "# HELP nowlaterd_cache_hit_ratio Cache hits over requests.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_cache_hit_ratio gauge\n")
-	fmt.Fprintf(w, "nowlaterd_cache_hit_ratio %g\n", st.CacheHitRatio())
-	fmt.Fprintf(w, "# HELP nowlaterd_fallback_ratio Exact-optimizer fallbacks over requests.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_fallback_ratio gauge\n")
-	fmt.Fprintf(w, "nowlaterd_fallback_ratio %g\n", st.FallbackRatio())
-	fmt.Fprintf(w, "# HELP nowlaterd_table_points Lattice points in the served table.\n")
-	fmt.Fprintf(w, "# TYPE nowlaterd_table_points gauge\n")
-	fmt.Fprintf(w, "nowlaterd_table_points %d\n", s.engine.Table().Points())
-	s.latency.write(w)
-}
-
-// decodeBody parses a bounded JSON request body into dst.
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
-	}
-	if dec.More() {
-		return errors.New("request body has trailing data")
-	}
-	return nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }

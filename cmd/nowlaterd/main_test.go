@@ -2,279 +2,37 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"io"
-	"net"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"github.com/nowlater/nowlater/internal/nlwire"
 	"github.com/nowlater/nowlater/internal/policy"
 )
 
-// testServer builds a quick-grid engine-backed server once per binary.
-var (
-	testSrvOnce sync.Once
-	testSrv     *server
-	testSrvErr  error
-)
-
-func quickServer(t *testing.T) *server {
-	t.Helper()
-	testSrvOnce.Do(func() {
-		cfg, err := tableConfig("airplane", "quick")
-		if err != nil {
-			testSrvErr = err
-			return
-		}
-		tbl, err := policy.Build(context.Background(), cfg, policy.BuildOptions{})
-		if err != nil {
-			testSrvErr = err
-			return
-		}
-		eng, err := policy.NewEngine(tbl, 256)
-		if err != nil {
-			testSrvErr = err
-			return
-		}
-		testSrv = newServer(eng)
-	})
-	if testSrvErr != nil {
-		t.Fatal(testSrvErr)
-	}
-	return testSrv
+// syncBuffer is a race-safe bytes.Buffer for run()'s progress output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
 }
 
-func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
-	t.Helper()
-	data, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
-	req.Header.Set("Content-Type", "application/json")
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	return rec
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
 }
 
-func TestDecideEndpoint(t *testing.T) {
-	s := quickServer(t)
-	h := s.handler(5 * time.Second)
-
-	rec := postJSON(t, h, "/v1/decide",
-		queryJSON{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", rec.Code, rec.Body)
-	}
-	var d decisionJSON
-	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
-		t.Fatal(err)
-	}
-	if d.Error != "" || d.DoptM <= 0 || d.DoptM > 300 || d.Source == "" {
-		t.Fatalf("implausible decision: %+v", d)
-	}
-	// The answer must agree with the exact optimizer to the policy bound.
-	cfg, _ := tableConfig("airplane", "quick")
-	want, err := cfg.Scenario(policy.Query{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4}).Optimize()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rel := abs(d.DoptM-want.DoptM) / want.DoptM; rel > 1e-3 {
-		t.Fatalf("served dopt %.4f vs exact %.4f (rel %.2e)", d.DoptM, want.DoptM, rel)
-	}
-
-	// Invalid query: 400 with a JSON error, not a panic.
-	rec = postJSON(t, h, "/v1/decide", queryJSON{D0M: -5, SpeedMPS: 10, MdataMB: 28})
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("invalid query status %d", rec.Code)
-	}
-	// Malformed body and wrong method.
-	req := httptest.NewRequest(http.MethodPost, "/v1/decide", strings.NewReader("{not json"))
-	rr := httptest.NewRecorder()
-	h.ServeHTTP(rr, req)
-	if rr.Code != http.StatusBadRequest {
-		t.Fatalf("malformed body status %d", rr.Code)
-	}
-	req = httptest.NewRequest(http.MethodGet, "/v1/decide", nil)
-	rr = httptest.NewRecorder()
-	h.ServeHTTP(rr, req)
-	if rr.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET status %d", rr.Code)
-	}
-}
-
-func TestBatchEndpoint(t *testing.T) {
-	s := quickServer(t)
-	h := s.handler(5 * time.Second)
-
-	batch := []queryJSON{
-		{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4},
-		{D0M: 150, SpeedMPS: 5, MdataMB: 10, Rho: 5e-4},
-		{D0M: -1, SpeedMPS: 5, MdataMB: 10},           // invalid: per-item error
-		{D0M: 900, SpeedMPS: 10, MdataMB: 28, Rho: 0}, // out of grid: exact fallback
-	}
-	rec := postJSON(t, h, "/v1/decide/batch", batch)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", rec.Code, rec.Body)
-	}
-	var ds []decisionJSON
-	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
-		t.Fatal(err)
-	}
-	if len(ds) != len(batch) {
-		t.Fatalf("%d decisions for %d queries", len(ds), len(batch))
-	}
-	if ds[0].Error != "" || ds[1].Error != "" {
-		t.Fatalf("valid queries failed: %+v", ds[:2])
-	}
-	if ds[2].Error == "" {
-		t.Fatal("invalid query did not report an error")
-	}
-	if ds[3].Error != "" || ds[3].Source != policy.SourceExactOutOfGrid.String() {
-		t.Fatalf("out-of-grid query: %+v", ds[3])
-	}
-
-	// Oversized batch: rejected.
-	big := make([]queryJSON, maxBatch+1)
-	rec = postJSON(t, h, "/v1/decide/batch", big)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("oversized batch status %d", rec.Code)
-	}
-}
-
-func TestHealthzAndMetrics(t *testing.T) {
-	s := quickServer(t)
-	h := s.handler(5 * time.Second)
-
-	// Generate traffic so counters and the histogram move: the same query
-	// twice guarantees a cache hit.
-	q := queryJSON{D0M: 200, SpeedMPS: 8, MdataMB: 15, Rho: 2e-4}
-	postJSON(t, h, "/v1/decide", q)
-	postJSON(t, h, "/v1/decide", q)
-
-	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("healthz status %d", rec.Code)
-	}
-	var health struct {
-		Status      string `json:"status"`
-		Points      int    `json:"points"`
-		Fingerprint string `json:"fingerprint"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
-		t.Fatal(err)
-	}
-	if health.Status != "ok" || health.Points == 0 || len(health.Fingerprint) != 16 {
-		t.Fatalf("healthz payload %+v", health)
-	}
-
-	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
-	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("metrics status %d", rec.Code)
-	}
-	body := rec.Body.String()
-	for _, want := range []string{
-		"nowlaterd_requests_total",
-		`nowlaterd_decisions_total{source="cache"}`,
-		"nowlaterd_cache_hit_ratio",
-		"nowlaterd_fallback_ratio",
-		"nowlaterd_decision_latency_seconds_bucket{le=\"+Inf\"}",
-		"nowlaterd_decision_latency_seconds_count",
-		"nowlaterd_table_points",
-	} {
-		if !strings.Contains(body, want) {
-			t.Errorf("metrics missing %q", want)
-		}
-	}
-	if strings.Contains(body, "nowlaterd_cache_hit_ratio 0\n") {
-		t.Error("cache hit ratio still zero after a repeated query")
-	}
-}
-
-// TestServeConcurrentAndGracefulShutdown drives the real listener: batches
-// from several goroutines, then a shutdown that must let in-flight
-// requests complete.
-func TestServeConcurrentAndGracefulShutdown(t *testing.T) {
-	s := quickServer(t)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() { done <- s.serve(ctx, ln, 5*time.Second) }()
-	base := "http://" + ln.Addr().String()
-
-	batch := make([]queryJSON, 50)
-	for i := range batch {
-		batch[i] = queryJSON{
-			D0M:      80 + float64(i*6),
-			SpeedMPS: 2 + float64(i%9),
-			MdataMB:  2 + float64(i%13),
-			Rho:      float64(i%5) * 3e-4,
-		}
-	}
-	payload, err := json.Marshal(batch)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < 6; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 10; i++ {
-				resp, err := http.Post(base+"/v1/decide/batch", "application/json", bytes.NewReader(payload))
-				if err != nil {
-					t.Errorf("batch request: %v", err)
-					return
-				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					t.Errorf("batch status %d: %s", resp.StatusCode, body)
-					return
-				}
-				var ds []decisionJSON
-				if err := json.Unmarshal(body, &ds); err != nil {
-					t.Errorf("batch decode: %v", err)
-					return
-				}
-				if len(ds) != len(batch) {
-					t.Errorf("%d decisions for %d queries", len(ds), len(batch))
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	// All traffic done: shutdown must return promptly and cleanly.
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("serve returned %v", err)
-		}
-	case <-time.After(15 * time.Second):
-		t.Fatal("shutdown did not complete")
-	}
-	// The listener is closed: new connections must fail.
-	if _, err := http.Get(base + "/healthz"); err == nil {
-		t.Fatal("server still accepting connections after shutdown")
-	}
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func TestBuildModeAndServeFromFile(t *testing.T) {
@@ -314,26 +72,85 @@ func TestBuildModeAndServeFromFile(t *testing.T) {
 	}
 }
 
-func TestLatencyHistogram(t *testing.T) {
-	h := newLatencyHistogram()
-	h.observe(500 * time.Nanosecond) // first bucket
-	h.observe(3 * time.Microsecond)  // le=5e-6
-	h.observe(time.Second)           // +Inf
-	var buf bytes.Buffer
-	h.write(&buf)
-	out := buf.String()
-	if !strings.Contains(out, "nowlaterd_decision_latency_seconds_count 3") {
-		t.Fatalf("count wrong:\n%s", out)
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
 	}
-	// Buckets are cumulative: the +Inf bucket carries every observation.
-	if !strings.Contains(out, `_bucket{le="+Inf"} 3`) {
-		t.Fatalf("+Inf bucket not cumulative:\n%s", out)
+	if !strings.Contains(out.String(), "nowlaterd") {
+		t.Fatalf("version output %q", out.String())
 	}
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+// TestServeInMemoryBuildBecomesReady boots the daemon end to end: the
+// listener must open before the in-memory table build finishes, /readyz
+// must flip to 200 once it lands, and SIGTERM must shut down cleanly.
+func TestServeInMemoryBuildBecomesReady(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-grid", "quick", "-addr", "127.0.0.1:0", "-drain-grace", "10ms"}, &out)
+	}()
+
+	// The "serving on" line carries the bound address.
+	var base string
+	for i := 0; i < 200 && base == ""; i++ {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if addr, ok := strings.CutPrefix(line, "serving on "); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	return x
+	if base == "" {
+		t.Fatalf("listener never announced; output:\n%s", out.String())
+	}
+
+	ready := false
+	for i := 0; i < 400 && !ready; i++ {
+		resp, err := http.Get(base + nlwire.PathReadyz)
+		if err == nil {
+			ready = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatalf("/readyz never reached 200; output:\n%s", out.String())
+	}
+
+	// A decision flows, and /healthz carries the build version.
+	resp, err := http.Post(base+nlwire.PathDecide, "application/json",
+		strings.NewReader(`{"d0_m":300,"speed_mps":10,"mdata_mb":28,"rho":1.11e-4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d nlwire.Decision
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil || d.Error != "" || d.DoptM <= 0 {
+		t.Fatalf("decision %+v (err %v)", d, err)
+	}
+	resp, err = http.Get(base + nlwire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h nlwire.Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || h.Status != "ok" || !strings.Contains(h.Version, "nowlaterd") {
+		t.Fatalf("health %+v (err %v)", h, err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
 }

@@ -1,0 +1,267 @@
+// Command nowlaterload drives nowlaterd with open-loop load: Poisson
+// arrivals at a fixed mean rate, independent of completions, the way real
+// traffic behaves. A closed-loop generator (send, wait, send) slows down
+// exactly when the server does, hiding the overload it was meant to
+// measure; an open-loop one keeps arriving and exposes queueing, shedding
+// and degraded serving.
+//
+// The query mix is reproducible from -seed: mostly in-grid lookups
+// (cache/table speed) with an -exact-frac slice of out-of-grid queries
+// that force ~180 µs exact solves — the expensive traffic that saturates
+// the fallback path.
+//
+// The run report is one JSON object (stdout, or -out): offered vs achieved
+// rate, completion and failure counts, degraded-answer count, shed/retry
+// counters from the resilient client, whether any 429 carried Retry-After,
+// and latency percentiles (p50/p99/p99.9). The CI smoke job asserts on
+// these fields; the svcchaos experiment records the same shape.
+//
+// Usage:
+//
+//	nowlaterload -url http://127.0.0.1:8753 -rate 500 -duration 10s
+//	nowlaterload -url ... -rate 2000 -exact-frac 0.5 -naive   # baseline client
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlclient"
+	"github.com/nowlater/nowlater/internal/nlwire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nowlaterload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON run summary.
+type Report struct {
+	// OfferedPerSec is the configured arrival rate; AchievedPerSec is
+	// completions over wall time.
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	DurationS      float64 `json:"duration_s"`
+	Sent           int64   `json:"sent"`
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	// Degraded counts answers marked as nearest-table approximations.
+	Degraded int64 `json:"degraded"`
+	// ShedsSeen and Retries come from the client; RetryAfterSeen reports
+	// whether every observed 429 carried a parseable Retry-After.
+	ShedsSeen      uint64  `json:"sheds_seen"`
+	Retries        uint64  `json:"retries"`
+	Hedges         uint64  `json:"hedges"`
+	RetryAfterSeen bool    `json:"retry_after_seen"`
+	ShedsMissingRA uint64  `json:"sheds_missing_retry_after"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	P999Ms         float64 `json:"p999_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// retryAfterWatch is a RoundTripper that audits 429 responses for the
+// Retry-After contract the server promises.
+type retryAfterWatch struct {
+	base    http.RoundTripper
+	sheds   atomic.Uint64
+	missing atomic.Uint64
+}
+
+func (w *retryAfterWatch) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := w.base.RoundTrip(req)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		w.sheds.Add(1)
+		if _, ok := nlwire.ParseRetryAfter(resp.Header.Get("Retry-After")); !ok {
+			w.missing.Add(1)
+		}
+	}
+	return resp, err
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nowlaterload", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8753", "nowlaterd base URL")
+	rate := fs.Float64("rate", 200, "arrival rate, requests per second")
+	duration := fs.Duration("duration", 5*time.Second, "load duration")
+	exactFrac := fs.Float64("exact-frac", 0.1, "fraction of out-of-grid queries (exact-solve cost)")
+	deadline := fs.Duration("deadline", 500*time.Millisecond, "per-request deadline (propagated unless -naive)")
+	hedge := fs.Duration("hedge", 0, "hedge delay for single decides (0 disables)")
+	naive := fs.Bool("naive", false, "use the naive client: no retries, hedging or deadline propagation")
+	seed := fs.Int64("seed", 1, "query-mix and jitter seed")
+	outPath := fs.String("out", "", "write the JSON report here instead of stdout")
+	version := fs.Bool("version", false, "print build info and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, versionString())
+		return nil
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %v", *rate)
+	}
+
+	watch := &retryAfterWatch{base: http.DefaultTransport}
+	client := nlclient.New(nlclient.Config{
+		BaseURL:    *url,
+		HTTPClient: &http.Client{Transport: watch},
+		Hedge:      *hedge,
+		Naive:      *naive,
+		Seed:       *seed,
+	})
+
+	rng := rand.New(rand.NewSource(*seed))
+	stop := time.After(*duration)
+	arrival := time.NewTimer(nextInterval(rng, *rate))
+	defer arrival.Stop()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		sent      atomic.Int64
+		completed atomic.Int64
+		failed    atomic.Int64
+		degraded  atomic.Int64
+	)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-arrival.C:
+			arrival.Reset(nextInterval(rng, *rate))
+			q := nextQuery(rng, *exactFrac)
+			sent.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+				defer cancel()
+				t0 := time.Now()
+				d, err := client.Decide(ctx, q)
+				el := time.Since(t0)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				completed.Add(1)
+				if d.Degraded {
+					degraded.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, el)
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st := client.Stats()
+	rep := Report{
+		OfferedPerSec:  *rate,
+		AchievedPerSec: float64(completed.Load()) / wall.Seconds(),
+		DurationS:      wall.Seconds(),
+		Sent:           sent.Load(),
+		Completed:      completed.Load(),
+		Failed:         failed.Load(),
+		Degraded:       degraded.Load(),
+		ShedsSeen:      watch.sheds.Load(),
+		Retries:        st.Retries,
+		Hedges:         st.Hedges,
+		RetryAfterSeen: watch.sheds.Load() > 0 && watch.missing.Load() == 0,
+		ShedsMissingRA: watch.missing.Load(),
+	}
+	rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MaxMs = percentiles(latencies)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// nextInterval draws a Poisson inter-arrival gap (exponential, mean
+// 1/rate, truncated at 10× to bound stalls). Evenly spaced arrivals never
+// collide with sub-millisecond service times; Poisson arrivals burst the
+// way real traffic does, which is exactly what an overload test needs.
+func nextInterval(rng *rand.Rand, rate float64) time.Duration {
+	gap := rng.ExpFloat64() / rate
+	if max := 10 / rate; gap > max {
+		gap = max
+	}
+	return time.Duration(gap * float64(time.Second))
+}
+
+// nextQuery draws from the reproducible mix: in-grid airplane-envelope
+// queries, with an exactFrac slice pushed beyond the d0 axis so the server
+// must run the exact optimizer.
+func nextQuery(rng *rand.Rand, exactFrac float64) nlwire.Query {
+	q := nlwire.Query{
+		D0M:      60 + rng.Float64()*340,
+		SpeedMPS: 2 + rng.Float64()*18,
+		MdataMB:  1 + rng.Float64()*40,
+		Rho:      rng.Float64() * 2e-3,
+	}
+	if rng.Float64() < exactFrac {
+		q.D0M = 450 + rng.Float64()*4000 // out of grid: exact fallback
+	}
+	return q
+}
+
+// percentiles returns p50/p99/p99.9/max in milliseconds.
+func percentiles(ds []time.Duration) (p50, p99, p999, max float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.99), at(0.999), float64(ds[len(ds)-1]) / float64(time.Millisecond)
+}
+
+// versionString mirrors nowlaterd's -version: the linker-stamped build
+// identity.
+func versionString() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "nowlaterload (no build info)"
+	}
+	version := info.Main.Version
+	var rev string
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			rev = s.Value
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return fmt.Sprintf("nowlaterload %s (%s, %s)", version, rev, info.GoVersion)
+	}
+	return fmt.Sprintf("nowlaterload %s (%s)", version, info.GoVersion)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlserver"
+	"github.com/nowlater/nowlater/internal/overload"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+func quickServer(t *testing.T, cfg nlserver.Config) *httptest.Server {
+	t.Helper()
+	pcfg := policy.AirplaneConfig()
+	pcfg.Grid = policy.QuickGrid()
+	tbl, err := policy.Build(context.Background(), pcfg, policy.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := policy.NewEngine(tbl, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = eng
+	srv := httptest.NewServer(nlserver.New(cfg).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestLoadRunReport(t *testing.T) {
+	srv := quickServer(t, nlserver.Config{})
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", srv.URL, "-rate", "300", "-duration", "300ms",
+		"-exact-frac", "0.2", "-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Sent == 0 || rep.Completed == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Completed+rep.Failed != rep.Sent {
+		t.Fatalf("sent %d != completed %d + failed %d", rep.Sent, rep.Completed, rep.Failed)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Fatalf("implausible percentiles: %+v", rep)
+	}
+	if rep.AchievedPerSec <= 0 {
+		t.Fatalf("achieved rate %v", rep.AchievedPerSec)
+	}
+}
+
+// TestLoadObservesShedsWithRetryAfter points the generator at a one-slot
+// server whose only slot the test itself holds for the whole run: every
+// arrival must shed, and every shed must surface in the report carrying
+// Retry-After. Holding the slot directly (rather than hoping arrivals
+// collide) keeps the test deterministic at any machine speed.
+func TestLoadObservesShedsWithRetryAfter(t *testing.T) {
+	adm := overload.NewAdmission(overload.AdmissionConfig{
+		MaxInFlight: 1, MaxQueue: 0, MaxWait: time.Millisecond, RetryAfter: 20 * time.Millisecond,
+	})
+	release, err := adm.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	srv := quickServer(t, nlserver.Config{Admission: adm})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	err = run([]string{
+		"-url", srv.URL, "-rate", "300", "-duration", "200ms",
+		"-exact-frac", "1", "-seed", "3", "-out", path,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShedsSeen == 0 {
+		t.Fatalf("one-slot server shed nothing: %+v", rep)
+	}
+	if !rep.RetryAfterSeen || rep.ShedsMissingRA != 0 {
+		t.Fatalf("429s without Retry-After: %+v", rep)
+	}
+}
+
+func TestVersionAndFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nowlaterload") {
+		t.Fatalf("version output %q", out.String())
+	}
+	if err := run([]string{"-rate", "0"}, nil); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 1000; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	p50, p99, p999, max := percentiles(ds)
+	if p50 < 499 || p50 > 501 || p99 < 989 || p99 > 991 || p999 < 998 || max != 1000 {
+		t.Fatalf("p50=%v p99=%v p999=%v max=%v", p50, p99, p999, max)
+	}
+	if a, b, c, d := percentiles(nil); a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Fatal("empty percentiles not zero")
+	}
+}

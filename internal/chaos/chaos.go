@@ -92,6 +92,32 @@ type VehicleFault struct {
 	AtS float64
 }
 
+// Service fault modes: what a ServiceFault does to each decision-service
+// request inside its window.
+const (
+	// SvcLatency delays every request by DelayS before forwarding.
+	SvcLatency = "latency"
+	// SvcReset aborts the client connection (TCP RST) with probability Prob.
+	SvcReset = "reset"
+	// SvcDrop blackholes the request (no bytes ever) with probability Prob.
+	SvcDrop = "drop"
+)
+
+// ServiceFault degrades the HTTP decision service itself — the faults a
+// client of nowlaterd actually sees in the field: added latency, reset
+// connections and blackholed requests. ServiceProxy injects these in front
+// of a live server; times are seconds since the proxy started, reusing the
+// schedule's window conventions.
+type ServiceFault struct {
+	Window
+	// Mode is SvcLatency, SvcReset or SvcDrop.
+	Mode string
+	// DelayS is the injected per-request delay (SvcLatency only).
+	DelayS float64
+	// Prob is the per-request fault probability (SvcReset/SvcDrop only).
+	Prob float64
+}
+
 // Schedule is a declared set of faults. The zero value (and nil) injects
 // nothing. Schedules are not safe for concurrent use: the single-threaded
 // discrete-event simulation queries them in a deterministic order, which
@@ -105,6 +131,7 @@ type Schedule struct {
 	GPS       []GPSFault
 	Links     []LinkFault
 	Vehicles  []VehicleFault
+	Service   []ServiceFault
 
 	rng *stats.RNG
 }
@@ -112,7 +139,8 @@ type Schedule struct {
 // Empty reports whether the schedule injects no faults at all.
 func (s *Schedule) Empty() bool {
 	return s == nil ||
-		len(s.Telemetry) == 0 && len(s.GPS) == 0 && len(s.Links) == 0 && len(s.Vehicles) == 0
+		len(s.Telemetry) == 0 && len(s.GPS) == 0 && len(s.Links) == 0 &&
+			len(s.Vehicles) == 0 && len(s.Service) == 0
 }
 
 // Clone returns an independent copy with fresh (un-consumed) randomness,
@@ -126,6 +154,7 @@ func (s *Schedule) Clone() *Schedule {
 	c.GPS = append([]GPSFault(nil), s.GPS...)
 	c.Links = append([]LinkFault(nil), s.Links...)
 	c.Vehicles = append([]VehicleFault(nil), s.Vehicles...)
+	c.Service = append([]ServiceFault(nil), s.Service...)
 	return c
 }
 
@@ -195,6 +224,34 @@ func (s *Schedule) Validate() error {
 		for j := 0; j < i; j++ {
 			if s.Vehicles[j].ID == f.ID {
 				return fmt.Errorf("vehicle faults %d and %d both fail %q", j, i, f.ID)
+			}
+		}
+	}
+	for i, f := range s.Service {
+		if err := f.Window.Validate(); err != nil {
+			return fmt.Errorf("svc fault %d: %w", i, err)
+		}
+		switch f.Mode {
+		case SvcLatency:
+			if f.DelayS <= 0 || math.IsNaN(f.DelayS) || math.IsInf(f.DelayS, 0) {
+				return fmt.Errorf("svc fault %d: delay %v s must be finite and positive", i, f.DelayS)
+			}
+			if f.Prob != 0 {
+				return fmt.Errorf("svc fault %d: latency faults take a delay, not a probability", i)
+			}
+		case SvcReset, SvcDrop:
+			if f.Prob <= 0 || f.Prob > 1 || math.IsNaN(f.Prob) {
+				return fmt.Errorf("svc fault %d: probability %v outside (0,1]", i, f.Prob)
+			}
+			if f.DelayS != 0 {
+				return fmt.Errorf("svc fault %d: %s faults take a probability, not a delay", i, f.Mode)
+			}
+		default:
+			return fmt.Errorf("svc fault %d: unknown mode %q", i, f.Mode)
+		}
+		for j := 0; j < i; j++ {
+			if o := s.Service[j]; o.Mode == f.Mode && f.Window.overlaps(o.Window) {
+				return fmt.Errorf("svc %s faults %d and %d overlap", f.Mode, j, i)
 			}
 		}
 	}
@@ -290,6 +347,48 @@ func (s *Schedule) LinkExtraLossDB(id string, now float64) float64 {
 	return 0
 }
 
+// ServiceLatencyS returns the injected per-request delay on the decision
+// service at time now (0 when none).
+func (s *Schedule) ServiceLatencyS(now float64) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, f := range s.Service {
+		if f.Mode == SvcLatency && f.Contains(now) {
+			return f.DelayS
+		}
+	}
+	return 0
+}
+
+// ServiceResetProb returns the per-request connection-reset probability at
+// time now (0 when none).
+func (s *Schedule) ServiceResetProb(now float64) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, f := range s.Service {
+		if f.Mode == SvcReset && f.Contains(now) {
+			return f.Prob
+		}
+	}
+	return 0
+}
+
+// ServiceDropProb returns the per-request blackhole probability at time
+// now (0 when none).
+func (s *Schedule) ServiceDropProb(now float64) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, f := range s.Service {
+		if f.Mode == SvcDrop && f.Contains(now) {
+			return f.Prob
+		}
+	}
+	return 0
+}
+
 // VehicleFailTime returns the scripted failure time of vehicle id, if any.
 func (s *Schedule) VehicleFailTime(id string) (float64, bool) {
 	if s == nil {
@@ -321,6 +420,9 @@ func (s *Schedule) HorizonS() float64 {
 	}
 	for _, f := range s.Vehicles {
 		h = math.Max(h, f.AtS)
+	}
+	for _, f := range s.Service {
+		h = math.Max(h, f.EndS)
 	}
 	return h
 }
@@ -359,6 +461,13 @@ func (s *Schedule) String() string {
 	}
 	for _, f := range s.Vehicles {
 		lines = append(lines, fmt.Sprintf("vehicle fail %s %g", f.ID, f.AtS))
+	}
+	for _, f := range s.Service {
+		v := f.Prob
+		if f.Mode == SvcLatency {
+			v = f.DelayS
+		}
+		lines = append(lines, fmt.Sprintf("svc %s %g %g %g", f.Mode, v, f.StartS, f.EndS))
 	}
 	sort.Strings(lines[boolToInt(s.Seed != 0):])
 	out := ""

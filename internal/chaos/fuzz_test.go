@@ -25,6 +25,11 @@ func FuzzParse(f *testing.F) {
 		"link fade a nan 0 1",
 		"seed 9223372036854775807",
 		strings.Repeat("link outage a 0 1\n", 50),
+		"svc latency 0.05 0 10\nsvc reset 0.5 10 20\nsvc drop 1 20 30",
+		"svc latency 0 0 10",
+		"svc reset 1.5 0 10",
+		"svc drop 0.5 0 10\nsvc drop 0.5 5 20",
+		"svc jitter 1 0 10",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -44,6 +49,9 @@ func FuzzParse(f *testing.F) {
 			_ = s.GPSSigmaScale("x", now)
 			_ = s.LinkOutage("x", now)
 			_ = s.LinkExtraLossDB("x", now)
+			_ = s.ServiceLatencyS(now)
+			_ = s.ServiceResetProb(now)
+			_ = s.ServiceDropProb(now)
 		}
 		_, _ = s.VehicleFailTime("x")
 		_ = s.HorizonS()

@@ -21,6 +21,9 @@ import (
 //	link outage <id|*> <start> <end>
 //	link fade <id|*> <extra-db> <start> <end>
 //	vehicle fail <id> <time>
+//	svc latency <delay-s> <start> <end>
+//	svc reset <prob> <start> <end>
+//	svc drop <prob> <start> <end>
 //
 // The parsed schedule is validated (overlapping windows of one fault
 // class on one target, negative times, probabilities outside [0,1] and
@@ -85,6 +88,8 @@ func (s *Schedule) parseLine(fields []string) error {
 		return s.parseLink(fields[1:])
 	case "vehicle":
 		return s.parseVehicle(fields[1:])
+	case "svc":
+		return s.parseService(fields[1:])
 	}
 	return fmt.Errorf("unknown fault kind %q", fields[0])
 }
@@ -181,6 +186,27 @@ func (s *Schedule) parseVehicle(args []string) error {
 		return fmt.Errorf("vehicle fail: %w", err)
 	}
 	s.Vehicles = append(s.Vehicles, VehicleFault{ID: args[1], AtS: xs[0]})
+	return nil
+}
+
+func (s *Schedule) parseService(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("svc wants latency|reset|drop")
+	}
+	xs, err := floats(args[1:], 3)
+	if err != nil {
+		return fmt.Errorf("svc %s: %w", args[0], err)
+	}
+	f := ServiceFault{Window: Window{StartS: xs[1], EndS: xs[2]}, Mode: args[0]}
+	switch args[0] {
+	case SvcLatency:
+		f.DelayS = xs[0]
+	case SvcReset, SvcDrop:
+		f.Prob = xs[0]
+	default:
+		return fmt.Errorf("unknown svc fault %q", args[0])
+	}
+	s.Service = append(s.Service, f)
 	return nil
 }
 

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// ServiceProxy is a fault-injecting reverse proxy for the decision
+// service: it sits between a client and a live nowlaterd and applies the
+// schedule's svc faults to real HTTP traffic. Unlike the simulation-side
+// faults (telemetry/gps/link), these are wall-clock: a request arriving t
+// seconds after the proxy started sees the faults whose windows contain t.
+//
+//   - svc latency: the request is held for DelayS before forwarding
+//     (context-aware — a client that gives up releases the slot).
+//   - svc reset: the client connection is torn down with a TCP RST
+//     (SetLinger(0)), the way a crashing server or stateful middlebox
+//     fails — clients see ECONNRESET mid-request.
+//   - svc drop: the request is blackholed — no bytes are ever written, the
+//     connection is held open until the client hangs up. This is the fault
+//     only a deadline saves you from.
+//
+// Probabilistic faults draw from a seeded substream of the schedule's
+// Seed behind a mutex, so a single-client (or paired-seed) run is
+// reproducible. The zero schedule (or nil) forwards everything untouched.
+type ServiceProxy struct {
+	sched *Schedule
+	proxy *httputil.ReverseProxy
+	start time.Time
+	// now returns seconds since start; tests may override it to pin
+	// schedule time.
+	now func() float64
+
+	mu  sync.Mutex
+	rng *stats.RNG
+
+	delayed, resets, drops, forwarded atomic.Uint64
+}
+
+// NewServiceProxy builds a proxy forwarding to target (a base URL such as
+// "http://127.0.0.1:8753") under the schedule's svc faults.
+func NewServiceProxy(target string, sched *Schedule) (*ServiceProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy target: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("chaos: proxy target %q needs a scheme and host", target)
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	// Backend errors surface to the client as 502s; the default logger
+	// would spam stderr during chaos runs where they are the point.
+	rp.ErrorLog = log.New(io.Discard, "", 0)
+	p := &ServiceProxy{sched: sched, proxy: rp, start: time.Now()}
+	p.now = func() float64 { return time.Since(p.start).Seconds() }
+	if sched != nil {
+		p.rng = stats.NewRNG(sched.Seed).Substream(sched.Seed, "chaos/service")
+	}
+	return p, nil
+}
+
+// ProxyStats counts what the proxy did to traffic so far.
+type ProxyStats struct {
+	// Delayed counts requests that served a latency window (they may still
+	// have been reset, dropped or forwarded afterwards).
+	Delayed uint64
+	// Resets and Drops count requests killed by the respective faults.
+	Resets, Drops uint64
+	// Forwarded counts requests passed through to the backend.
+	Forwarded uint64
+}
+
+// Stats snapshots the proxy's fault counters.
+func (p *ServiceProxy) Stats() ProxyStats {
+	return ProxyStats{
+		Delayed:   p.delayed.Load(),
+		Resets:    p.resets.Load(),
+		Drops:     p.drops.Load(),
+		Forwarded: p.forwarded.Load(),
+	}
+}
+
+// draw performs one seeded Bernoulli trial. Degenerate probabilities skip
+// the draw so deterministic schedules consume no randomness.
+func (p *ServiceProxy) draw(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Bernoulli(prob)
+}
+
+func (p *ServiceProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	now := p.now()
+	if d := p.sched.ServiceLatencyS(now); d > 0 {
+		p.delayed.Add(1)
+		t := time.NewTimer(time.Duration(d * float64(time.Second)))
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+	if p.draw(p.sched.ServiceResetProb(now)) {
+		p.resets.Add(1)
+		abortConn(w)
+		return
+	}
+	if p.draw(p.sched.ServiceDropProb(now)) {
+		p.drops.Add(1)
+		blackhole(w, r)
+		return
+	}
+	p.forwarded.Add(1)
+	p.proxy.ServeHTTP(w, r)
+}
+
+// abortConn hijacks the client connection and closes it with linger 0, so
+// the close goes out as a TCP RST rather than a graceful FIN — the client
+// sees a connection reset, not a truncated-but-clean response.
+func abortConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No raw connection (e.g. HTTP/2): the closest available fault.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// blackhole holds the connection open without writing a byte until the
+// client gives up. After Hijack the server no longer watches the
+// connection, so client abandonment is detected by reading: the read
+// returns when the peer closes (or after a generous deadline, as a leak
+// backstop for clients that never hang up).
+func blackhole(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		<-r.Context().Done()
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(time.Hour))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}

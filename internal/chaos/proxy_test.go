@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// backend returns a trivial upstream and its URL.
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// proxyFor wires a ServiceProxy for the schedule in front of a fresh
+// backend and serves it over HTTP.
+func proxyFor(t *testing.T, sched *Schedule) (*ServiceProxy, *httptest.Server) {
+	t.Helper()
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("test schedule invalid: %v", err)
+	}
+	p, err := NewServiceProxy(backend(t).URL, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestProxyForwardsUntouchedWithoutFaults(t *testing.T) {
+	for _, sched := range []*Schedule{nil, {}} {
+		p, srv := proxyFor(t, sched)
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+			t.Fatalf("status %d body %q", resp.StatusCode, body)
+		}
+		st := p.Stats()
+		if st.Forwarded != 1 || st.Delayed+st.Resets+st.Drops != 0 {
+			t.Fatalf("stats %+v", st)
+		}
+	}
+}
+
+func TestProxyInjectsLatency(t *testing.T) {
+	delay := 60 * time.Millisecond
+	p, srv := proxyFor(t, &Schedule{Service: []ServiceFault{
+		{Window: Window{EndS: 1e9}, Mode: SvcLatency, DelayS: delay.Seconds()},
+	}})
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < delay {
+		t.Fatalf("request finished in %s, latency fault is %s", el, delay)
+	}
+	if st := p.Stats(); st.Delayed != 1 || st.Forwarded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestProxyResetsConnection(t *testing.T) {
+	p, srv := proxyFor(t, &Schedule{Service: []ServiceFault{
+		{Window: Window{EndS: 1e9}, Mode: SvcReset, Prob: 1},
+	}})
+	resp, err := http.Get(srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset fault answered with status %d", resp.StatusCode)
+	}
+	if st := p.Stats(); st.Resets != 1 || st.Forwarded != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestProxyDropsBlackholeUntilClientDeadline: a dropped request must never
+// produce bytes; only the client's own timeout ends it.
+func TestProxyDropsBlackholeUntilClientDeadline(t *testing.T) {
+	p, srv := proxyFor(t, &Schedule{Service: []ServiceFault{
+		{Window: Window{EndS: 1e9}, Mode: SvcDrop, Prob: 1},
+	}})
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("blackholed request answered with status %d", resp.StatusCode)
+	}
+	if el := time.Since(start); el < 90*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("blackhole ended after %s, want ≈ the client's 100ms deadline", el)
+	}
+	if st := p.Stats(); st.Drops != 1 || st.Forwarded != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestProxyProbabilisticFaultsAreSeeded: with prob 0.5 and a fixed seed,
+// two proxies over the same schedule kill the same subset of a serial
+// request sequence.
+func TestProxyProbabilisticFaultsAreSeeded(t *testing.T) {
+	sched := &Schedule{Seed: 7, Service: []ServiceFault{
+		{Window: Window{EndS: 1e9}, Mode: SvcReset, Prob: 0.5},
+	}}
+	// Keep-alives off: the transport silently retries idempotent requests
+	// when a *reused* connection dies, which would consume extra draws.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	outcomes := func() []bool {
+		_, srv := proxyFor(t, sched.Clone())
+		var got []bool
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			got = append(got, err == nil)
+		}
+		return got
+	}
+	a, b := outcomes(), outcomes()
+	var kills int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A ok=%v, run B ok=%v — draws not seeded", i, a[i], b[i])
+		}
+		if !a[i] {
+			kills++
+		}
+	}
+	if kills == 0 || kills == len(a) {
+		t.Fatalf("prob-0.5 fault killed %d of %d requests", kills, len(a))
+	}
+}
+
+func TestProxyWindowsUseProxyClock(t *testing.T) {
+	p, srv := proxyFor(t, &Schedule{Service: []ServiceFault{
+		{Window: Window{StartS: 100, EndS: 200}, Mode: SvcReset, Prob: 1},
+	}})
+	// Outside the window: clean pass-through.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Pin the clock inside the window: every request dies.
+	p.now = func() float64 { return 150 }
+	if resp, err = http.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("in-window request survived")
+	}
+}
+
+func TestNewServiceProxyRejectsBadTargets(t *testing.T) {
+	for _, target := range []string{"", "not a url\x7f://", "127.0.0.1:8753", "/just/a/path"} {
+		if _, err := NewServiceProxy(target, nil); err == nil {
+			t.Fatalf("target %q accepted", target)
+		}
+	}
+}

@@ -111,6 +111,19 @@ func randomSchedule(rng *rand.Rand) *Schedule {
 			ID: fmt.Sprintf("veh-%d", id), AtS: roundedFloat(rng, 0, 3600),
 		})
 	}
+	cursor = 0
+	for i := rng.Intn(4); i > 0; i-- {
+		f := ServiceFault{Window: next(&cursor)}
+		switch rng.Intn(3) {
+		case 0:
+			f.Mode, f.DelayS = SvcLatency, 0.001+roundedFloat(rng, 0, 2)
+		case 1:
+			f.Mode, f.Prob = SvcReset, 0.05+roundedFloat(rng, 0, 0.9)
+		default:
+			f.Mode, f.Prob = SvcDrop, 0.05+roundedFloat(rng, 0, 0.9)
+		}
+		s.Service = append(s.Service, f)
+	}
 	return s
 }
 
@@ -141,6 +154,9 @@ func canonicalize(s *Schedule) *Schedule {
 	sort.SliceStable(c.Vehicles, func(i, j int) bool {
 		return vehicleLine(c.Vehicles[i]) < vehicleLine(c.Vehicles[j])
 	})
+	sort.SliceStable(c.Service, func(i, j int) bool {
+		return svcLine(c.Service[i]) < svcLine(c.Service[j])
+	})
 	return c
 }
 
@@ -167,4 +183,12 @@ func linkLine(f LinkFault) string {
 
 func vehicleLine(f VehicleFault) string {
 	return fmt.Sprintf("vehicle fail %s %g", f.ID, f.AtS)
+}
+
+func svcLine(f ServiceFault) string {
+	v := f.Prob
+	if f.Mode == SvcLatency {
+		v = f.DelayS
+	}
+	return fmt.Sprintf("svc %s %g %g %g", f.Mode, v, f.StartS, f.EndS)
 }

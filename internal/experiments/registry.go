@@ -24,6 +24,7 @@ func Registry() []StepInfo {
 		{"ablations", "Ablations: aggregation, PHY features, optimizer, fading, rate control"},
 		{"mission", "Mission-level comparison: naive vs planned delivery"},
 		{"chaos", "Survivability: scripted fault schedules vs the resilient posture"},
+		{"svcchaos", "Service chaos: naive vs resilient client against a fault-injected nowlaterd"},
 		{"policy", "Policy tables: table-served dopt vs exact optimization"},
 	}
 }

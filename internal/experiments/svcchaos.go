@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/nlclient"
+	"github.com/nowlater/nowlater/internal/nlserver"
+	"github.com/nowlater/nowlater/internal/nlwire"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// SvcChaosPoint is one fault-intensity grid point of the service-layer
+// chaos experiment: the same seeded fault schedule and query stream thrown
+// at nowlaterd through the chaos proxy, once with the naive client and once
+// with the resilient one.
+type SvcChaosPoint struct {
+	Intensity float64
+	// OK counts queries answered within their deadline; the ratios divide
+	// by the per-arm query count.
+	NaiveOK, ResilientOK           int
+	NaiveOKRatio, ResilientOKRatio float64
+	// Median latency (ms) over answered queries only (NaN when none).
+	NaiveMedianMs, ResilientMedianMs float64
+	// What the resilient client spent to get its answers.
+	ResilientRetries, ResilientHedges uint64
+}
+
+// SvcChaosResult is the outcome of the service-chaos experiment.
+type SvcChaosResult struct {
+	// Queries is the per-arm query count behind each grid point.
+	Queries int
+	Points  []SvcChaosPoint
+}
+
+// svcChaosSchedule scales one service-fault script by intensity ∈ [0, 1]:
+// added per-request latency, probabilistic connection resets and
+// probabilistic blackholes, all active for the whole run. Intensity 0 is
+// the fault-free control where both clients must score 100%.
+func svcChaosSchedule(intensity float64) *chaos.Schedule {
+	s := &chaos.Schedule{Seed: 11}
+	if intensity <= 0 {
+		return s
+	}
+	always := chaos.Window{EndS: 1e9}
+	s.Service = []chaos.ServiceFault{
+		{Window: always, Mode: chaos.SvcLatency, DelayS: 0.003 * intensity},
+		{Window: always, Mode: chaos.SvcReset, Prob: 0.25 * intensity},
+		{Window: always, Mode: chaos.SvcDrop, Prob: 0.15 * intensity},
+	}
+	return s
+}
+
+// svcChaosDeadline bounds each query; it is what saves a client from a
+// blackholed request, so it is part of the experiment's contract.
+const svcChaosDeadline = 250 * time.Millisecond
+
+// SvcChaos runs the service-layer chaos experiment: a live in-process
+// nowlaterd behind a fault-injecting chaos.ServiceProxy, driven by the
+// naive and the resilient nlclient under paired seeds (same query stream,
+// same cloned fault schedule). It quantifies what the client-side
+// resilience machinery — retry budget with Retry-After floors, hedging,
+// deadline propagation — buys as the service's failure modes escalate,
+// the service-layer counterpart of the Survivability experiment.
+//
+// Latencies are wall-clock (this arm of the evaluation exercises real HTTP
+// sockets, not simulated time), so unlike the simulation experiments the
+// medians are not bit-reproducible — the OK counts are the stable series.
+func SvcChaos(cfg Config) (SvcChaosResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SvcChaosResult{}, err
+	}
+	pcfg := policy.AirplaneConfig()
+	pcfg.Grid = policy.QuickGrid()
+	tbl, err := policy.Build(context.Background(), pcfg, policy.BuildOptions{})
+	if err != nil {
+		return SvcChaosResult{}, fmt.Errorf("svcchaos: building policy table: %w", err)
+	}
+	eng, err := policy.NewEngine(tbl, 1024)
+	if err != nil {
+		return SvcChaosResult{}, fmt.Errorf("svcchaos: %w", err)
+	}
+
+	res := SvcChaosResult{Queries: 10 * cfg.Trials}
+	for _, intensity := range []float64{0, 0.5, 1} {
+		p := SvcChaosPoint{Intensity: intensity}
+		for _, resilient := range []bool{false, true} {
+			ok, medianMs, st, err := svcChaosArm(cfg, eng, intensity, resilient, res.Queries)
+			if err != nil {
+				return SvcChaosResult{}, err
+			}
+			if resilient {
+				p.ResilientOK = ok
+				p.ResilientOKRatio = float64(ok) / float64(res.Queries)
+				p.ResilientMedianMs = medianMs
+				p.ResilientRetries = st.Retries
+				p.ResilientHedges = st.Hedges
+			} else {
+				p.NaiveOK = ok
+				p.NaiveOKRatio = float64(ok) / float64(res.Queries)
+				p.NaiveMedianMs = medianMs
+			}
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// svcChaosArm runs one (intensity, client-posture) cell: fresh server,
+// fresh proxy over a cloned schedule, a seeded serial query stream.
+func svcChaosArm(cfg Config, eng *policy.Engine, intensity float64, resilient bool, queries int) (ok int, medianMs float64, st nlclient.Stats, err error) {
+	backendURL, stopBackend, err := serveLoopback(nlserver.New(nlserver.Config{Engine: eng}).Handler())
+	if err != nil {
+		return 0, 0, st, fmt.Errorf("svcchaos: %w", err)
+	}
+	defer stopBackend()
+	proxy, err := chaos.NewServiceProxy(backendURL, svcChaosSchedule(intensity).Clone())
+	if err != nil {
+		return 0, 0, st, fmt.Errorf("svcchaos: %w", err)
+	}
+	proxyURL, stopProxy, err := serveLoopback(proxy)
+	if err != nil {
+		return 0, 0, st, fmt.Errorf("svcchaos: %w", err)
+	}
+	defer stopProxy()
+
+	// Keep-alives off: Go's transport silently replays requests whose
+	// *reused* connection died, which would blur the naive/resilient
+	// contrast and consume extra fault draws.
+	ccfg := nlclient.Config{
+		BaseURL:     proxyURL,
+		HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		Naive:       !resilient,
+		Seed:        cfg.Seed,
+		BaseBackoff: 2 * time.Millisecond,
+	}
+	if resilient {
+		ccfg.Hedge = 25 * time.Millisecond
+	}
+	client := nlclient.New(ccfg)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var latencies []float64
+	for i := 0; i < queries; i++ {
+		q := nlwire.Query{
+			D0M:      60 + rng.Float64()*340,
+			SpeedMPS: 2 + rng.Float64()*18,
+			MdataMB:  1 + rng.Float64()*40,
+			Rho:      rng.Float64() * 2e-3,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), svcChaosDeadline)
+		t0 := time.Now()
+		_, derr := client.Decide(ctx, q)
+		cancel()
+		if derr == nil {
+			ok++
+			latencies = append(latencies, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+	}
+	return ok, medianOrNaN(latencies), client.Stats(), nil
+}
+
+// serveLoopback serves h on an ephemeral loopback port, returning the base
+// URL and a shutdown function.
+func serveLoopback(h http.Handler) (baseURL string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}

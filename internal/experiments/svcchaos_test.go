@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSvcChaosContrastsPostures runs the service-chaos experiment at a
+// tiny workload: the fault-free control must answer everything for both
+// clients, and under faults the resilient client must answer at least as
+// much as the naive one (strictly more is the expected outcome, but a
+// lucky fault draw on a 10-query arm must not flake the suite).
+func TestSvcChaosContrastsPostures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live HTTP servers")
+	}
+	cfg := Config{Seed: 1, Trials: 1, TrialSeconds: 1}
+	res, err := SvcChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 10 || len(res.Points) != 3 {
+		t.Fatalf("shape: queries %d, %d points", res.Queries, len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.NaiveOK < 0 || p.NaiveOK > res.Queries || p.ResilientOK < 0 || p.ResilientOK > res.Queries {
+			t.Fatalf("point %d: counts out of range: %+v", i, p)
+		}
+		if p.ResilientOK < p.NaiveOK {
+			t.Errorf("intensity %.2f: resilient client answered less (%d) than naive (%d)",
+				p.Intensity, p.ResilientOK, p.NaiveOK)
+		}
+		if p.NaiveOK > 0 && (math.IsNaN(p.NaiveMedianMs) || p.NaiveMedianMs <= 0) {
+			t.Errorf("intensity %.2f: %d naive answers but median %v ms", p.Intensity, p.NaiveOK, p.NaiveMedianMs)
+		}
+	}
+	ctrl := res.Points[0]
+	if ctrl.Intensity != 0 || ctrl.NaiveOK != res.Queries || ctrl.ResilientOK != res.Queries {
+		t.Fatalf("fault-free control lost queries: %+v", ctrl)
+	}
+}
+
+func TestSvcChaosScheduleScaling(t *testing.T) {
+	if !svcChaosSchedule(0).Empty() {
+		t.Fatal("intensity 0 is not the empty schedule")
+	}
+	for _, intensity := range []float64{0.25, 0.5, 1} {
+		s := svcChaosSchedule(intensity)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("intensity %v: %v", intensity, err)
+		}
+		if s.ServiceLatencyS(10) <= 0 || s.ServiceResetProb(10) <= 0 || s.ServiceDropProb(10) <= 0 {
+			t.Fatalf("intensity %v: some fault classes missing", intensity)
+		}
+	}
+	if svcChaosSchedule(1).ServiceResetProb(10) <= svcChaosSchedule(0.5).ServiceResetProb(10) {
+		t.Fatal("reset probability does not scale with intensity")
+	}
+}
+
+func TestSvcChaosRejectsBadConfig(t *testing.T) {
+	if _, err := SvcChaos(Config{Seed: 1, Trials: 0, TrialSeconds: 1}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

@@ -1,0 +1,454 @@
+// Package nlclient is the Go client for nowlaterd, built for the failure
+// modes internal/nlserver deliberately produces: 429 sheds with Retry-After
+// hints, 503s while the table builds or the server drains, and the injected
+// latency/resets/drops of the service chaos harness. Aerial clients live on
+// flaky links with hard deadlines — the paper's setting — so the client is
+// deadline-first:
+//
+//   - Deadline propagation: the context's remaining budget rides the
+//     X-Deadline-Ms header, letting the server stop work for callers that
+//     will have hung up.
+//   - Retry budget: retries spend from a token bucket refilled by
+//     successes, so a broken server gets a bounded retry storm, not an
+//     amplified one. Backoff is decorrelated jitter, floored at the
+//     server's Retry-After hint.
+//   - Hedging (optional): a single decide still unanswered after the hedge
+//     delay launches one duplicate and takes the first answer — the
+//     standard tail-latency cut for cheap idempotent requests.
+//   - Batch splitting: a shed batch is halved and retried, because the
+//     server's admission gate prices a batch like a single request —
+//     smaller batches fit through a saturated gate.
+//
+// Naive mode (Config.Naive) disables all of it: one attempt, no headers,
+// no retries. The service-chaos experiment runs both modes over identical
+// fault schedules to measure what the resilience machinery buys.
+package nlclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlwire"
+)
+
+// Config tunes one client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8753".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses a private default.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first attempt included); ≤ 0
+	// selects 4.
+	MaxAttempts int
+	// BaseBackoff seeds the decorrelated-jitter backoff; ≤ 0 selects 10 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep; ≤ 0 selects 1 s.
+	MaxBackoff time.Duration
+	// RetryBudget is the retry token bucket's capacity: every retry spends
+	// one token, every success refills a tenth. ≤ 0 selects 10.
+	RetryBudget float64
+	// Hedge, when positive, launches one duplicate single-decide request
+	// if the first has not answered within this delay.
+	Hedge time.Duration
+	// MaxSplits bounds how many times a shed batch may halve (fan-out
+	// 2^MaxSplits requests); ≤ 0 selects 4.
+	MaxSplits int
+	// Naive disables retries, hedging, splitting and deadline propagation:
+	// one plain attempt per call. The chaos experiment's baseline arm.
+	Naive bool
+	// Seed fixes the jitter sequence for reproducible experiments; 0 seeds
+	// from wall time.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
+	}
+	if c.MaxSplits <= 0 {
+		c.MaxSplits = 4
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of client behaviour.
+type Stats struct {
+	// Attempts counts HTTP requests sent (retries, hedges and split
+	// sub-batches included).
+	Attempts uint64
+	// Retries counts re-sends after a retryable failure.
+	Retries uint64
+	// Hedges counts duplicate requests launched; HedgeWins how many
+	// answered first.
+	Hedges, HedgeWins uint64
+	// Splits counts batch halvings after a shed.
+	Splits uint64
+	// ShedsSeen counts 429 responses observed.
+	ShedsSeen uint64
+	// BudgetDenied counts retries skipped because the token bucket was
+	// empty.
+	BudgetDenied uint64
+}
+
+// Client talks to one nowlaterd. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tokens float64
+
+	attempts, retries atomic.Uint64
+	hedges, hedgeWins atomic.Uint64
+	splits, shedsSeen atomic.Uint64
+	budgetDenied      atomic.Uint64
+}
+
+// New builds a client; zero-valued config fields take defaults.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		cfg:    cfg,
+		http:   hc,
+		rng:    rand.New(rand.NewSource(seed)),
+		tokens: cfg.RetryBudget,
+	}
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		Splits:       c.splits.Load(),
+		ShedsSeen:    c.shedsSeen.Load(),
+		BudgetDenied: c.budgetDenied.Load(),
+	}
+}
+
+// spendRetry takes one retry token; false means the budget is exhausted
+// and the caller must give up instead of amplifying the outage.
+func (c *Client) spendRetry() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens < 1 {
+		c.budgetDenied.Add(1)
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// refillRetry returns a tenth of a token per success, capped at the
+// configured budget.
+func (c *Client) refillRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tokens += 0.1
+	if c.tokens > c.cfg.RetryBudget {
+		c.tokens = c.cfg.RetryBudget
+	}
+}
+
+// backoff computes the next decorrelated-jitter sleep: uniform in
+// [base, 3·prev], capped, and never below the server's Retry-After floor.
+func (c *Client) backoff(prev, floor time.Duration) time.Duration {
+	base := c.cfg.BaseBackoff
+	hi := 3 * prev
+	if hi < base {
+		hi = base
+	}
+	c.mu.Lock()
+	d := base + time.Duration(c.rng.Int63n(int64(hi-base)+1))
+	c.mu.Unlock()
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// httpError is a non-200 response: status plus whether a retry can help.
+type httpError struct {
+	status     int
+	body       string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("nlclient: server returned %d: %s", e.status, e.body)
+}
+
+// retryable reports whether another attempt might succeed: sheds, not-ready
+// and transient server errors, but never 4xx rejections of the query itself.
+func (e *httpError) retryable() bool {
+	return e.status == http.StatusTooManyRequests || e.status >= 500
+}
+
+// post sends one JSON request and decodes one JSON response.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	c.attempts.Add(1)
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if !c.cfg.Naive {
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				req.Header.Set(nlwire.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
+			}
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			c.shedsSeen.Add(1)
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		he := &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+		if ra, ok := nlwire.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			he.retryAfter = ra
+		}
+		return he
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("nlclient: decoding response: %w", err)
+	}
+	return nil
+}
+
+// sleep waits d or until ctx dies.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryableErr reports whether err is worth another attempt: retryable
+// HTTP statuses and transport failures (resets, refused connections,
+// injected chaos), but not context expiry or 4xx rejections.
+func retryableErr(ctx context.Context, err error) (floor time.Duration, ok bool) {
+	if ctx.Err() != nil {
+		return 0, false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter, he.retryable()
+	}
+	// Transport-level failure (connection reset, EOF, refused): the
+	// request may simply have hit an injected fault — retry.
+	return 0, true
+}
+
+// Decide answers one query, retrying (and optionally hedging) within the
+// context's deadline.
+func (c *Client) Decide(ctx context.Context, q nlwire.Query) (nlwire.Decision, error) {
+	if c.cfg.Naive {
+		var d nlwire.Decision
+		if err := c.post(ctx, nlwire.PathDecide, q, &d); err != nil {
+			return nlwire.Decision{}, err
+		}
+		return decisionErr(d)
+	}
+	if c.cfg.Hedge > 0 {
+		return c.decideHedged(ctx, q)
+	}
+	return c.decideRetry(ctx, q)
+}
+
+// decideRetry is the plain retry loop for one query.
+func (c *Client) decideRetry(ctx context.Context, q nlwire.Query) (nlwire.Decision, error) {
+	var lastErr error
+	backoff := time.Duration(0)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			floor, ok := retryableErr(ctx, lastErr)
+			if !ok || !c.spendRetry() {
+				break
+			}
+			c.retries.Add(1)
+			backoff = c.backoff(backoff, floor)
+			if err := sleep(ctx, backoff); err != nil {
+				break
+			}
+		}
+		var d nlwire.Decision
+		if err := c.post(ctx, nlwire.PathDecide, q, &d); err != nil {
+			lastErr = err
+			continue
+		}
+		c.refillRetry()
+		return decisionErr(d)
+	}
+	return nlwire.Decision{}, lastErr
+}
+
+// decideHedged races the retry loop against one delayed duplicate.
+func (c *Client) decideHedged(ctx context.Context, q nlwire.Query) (nlwire.Decision, error) {
+	type result struct {
+		d   nlwire.Decision
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, 2)
+	launch := func() {
+		d, err := c.decideRetry(ctx, q)
+		results <- result{d, err}
+	}
+	go launch()
+	timer := time.NewTimer(c.cfg.Hedge)
+	defer timer.Stop()
+	hedged := false
+	select {
+	case r := <-results:
+		return r.d, r.err
+	case <-timer.C:
+		c.hedges.Add(1)
+		hedged = true
+		go launch()
+	case <-ctx.Done():
+		return nlwire.Decision{}, ctx.Err()
+	}
+	// One answer in flight from each attempt: take the first success, or
+	// the second result if the first failed.
+	r := <-results
+	if r.err == nil {
+		if hedged {
+			c.hedgeWins.Add(1) // first result after hedging may be either request
+		}
+		return r.d, r.err
+	}
+	r = <-results
+	return r.d, r.err
+}
+
+// DecideBatch answers a batch, preserving order. A shed batch is halved
+// (down to MaxSplits times) so the pieces fit through the saturated
+// admission gate; other retryable failures use the standard backoff.
+func (c *Client) DecideBatch(ctx context.Context, qs []nlwire.Query) ([]nlwire.Decision, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if c.cfg.Naive {
+		var ds []nlwire.Decision
+		if err := c.post(ctx, nlwire.PathBatch, qs, &ds); err != nil {
+			return nil, err
+		}
+		if len(ds) != len(qs) {
+			return nil, fmt.Errorf("nlclient: %d answers for %d queries", len(ds), len(qs))
+		}
+		return ds, nil
+	}
+	return c.batch(ctx, qs, 0)
+}
+
+func (c *Client) batch(ctx context.Context, qs []nlwire.Query, depth int) ([]nlwire.Decision, error) {
+	var lastErr error
+	backoff := time.Duration(0)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			floor, ok := retryableErr(ctx, lastErr)
+			if !ok {
+				break
+			}
+			// A shed batch halves instead of retrying whole: two smaller
+			// requests clear a saturated gate where one big one cannot.
+			var he *httpError
+			if errors.As(lastErr, &he) && he.status == http.StatusTooManyRequests &&
+				len(qs) > 1 && depth < c.cfg.MaxSplits {
+				if err := sleep(ctx, c.backoff(backoff, floor)); err != nil {
+					break
+				}
+				c.splits.Add(1)
+				mid := len(qs) / 2
+				left, err := c.batch(ctx, qs[:mid], depth+1)
+				if err != nil {
+					return nil, err
+				}
+				right, err := c.batch(ctx, qs[mid:], depth+1)
+				if err != nil {
+					return nil, err
+				}
+				return append(left, right...), nil
+			}
+			if !c.spendRetry() {
+				break
+			}
+			c.retries.Add(1)
+			backoff = c.backoff(backoff, floor)
+			if err := sleep(ctx, backoff); err != nil {
+				break
+			}
+		}
+		var ds []nlwire.Decision
+		if err := c.post(ctx, nlwire.PathBatch, qs, &ds); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(ds) != len(qs) {
+			return nil, fmt.Errorf("nlclient: %d answers for %d queries", len(ds), len(qs))
+		}
+		c.refillRetry()
+		return ds, nil
+	}
+	return nil, lastErr
+}
+
+// decisionErr surfaces a per-decision server-side rejection as the call's
+// error.
+func decisionErr(d nlwire.Decision) (nlwire.Decision, error) {
+	if d.Error != "" {
+		return d, fmt.Errorf("nlclient: query rejected: %s", d.Error)
+	}
+	return d, nil
+}

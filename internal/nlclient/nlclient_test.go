@@ -1,0 +1,271 @@
+package nlclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlwire"
+)
+
+func answer(q nlwire.Query) nlwire.Decision {
+	return nlwire.Decision{DoptM: q.D0M / 2, Utility: 1, Source: "table"}
+}
+
+// decideServer answers every decide/batch request, after consulting the
+// per-request hook (return false to have the hook write the response).
+func decideServer(t *testing.T, hook func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc(nlwire.PathDecide, func(w http.ResponseWriter, r *http.Request) {
+		if hook != nil && !hook(w, r) {
+			return
+		}
+		var q nlwire.Query
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(answer(q))
+	})
+	mux.HandleFunc(nlwire.PathBatch, func(w http.ResponseWriter, r *http.Request) {
+		if hook != nil && !hook(w, r) {
+			return
+		}
+		var qs []nlwire.Query
+		if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ds := make([]nlwire.Decision, len(qs))
+		for i, q := range qs {
+			ds[i] = answer(q)
+		}
+		json.NewEncoder(w).Encode(ds)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDecideRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0.020")
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return false
+		}
+		return true
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1, BaseBackoff: time.Millisecond})
+	start := time.Now()
+	d, err := c.Decide(context.Background(), nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DoptM != 50 {
+		t.Fatalf("answer %+v", d)
+	}
+	// Two failures, each with a 20 ms Retry-After floor.
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("retries ignored Retry-After: elapsed %s", el)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Attempts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDecideDoesNotRetryRejections(t *testing.T) {
+	var calls atomic.Int64
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(nlwire.Decision{Error: "policy: d0 must be positive"})
+		return false
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1})
+	if _, err := c.Decide(context.Background(), nlwire.Query{D0M: -1}); err == nil {
+		t.Fatal("rejection not surfaced")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("rejected query retried %d times", calls.Load()-1)
+	}
+}
+
+func TestNaiveClientGivesUpImmediately(t *testing.T) {
+	var calls atomic.Int64
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		calls.Add(1)
+		http.Error(w, "unavailable", http.StatusServiceUnavailable)
+		return false
+	})
+	c := New(Config{BaseURL: srv.URL, Naive: true, Seed: 1})
+	if _, err := c.Decide(context.Background(), nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1}); err == nil {
+		t.Fatal("naive client swallowed the failure")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("naive client sent %d requests", calls.Load())
+	}
+	if _, err := c.DecideBatch(context.Background(), []nlwire.Query{{D0M: 100, SpeedMPS: 1, MdataMB: 1}}); err == nil {
+		t.Fatal("naive batch swallowed the failure")
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	var sawHeader atomic.Bool
+	var naiveHeader atomic.Bool
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if v := r.Header.Get(nlwire.HeaderDeadlineMS); v != "" {
+			sawHeader.Store(true)
+		}
+		return true
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	c := New(Config{BaseURL: srv.URL, Seed: 1})
+	if _, err := c.Decide(ctx, nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawHeader.Load() {
+		t.Fatal("deadline header not propagated")
+	}
+
+	srv2 := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if v := r.Header.Get(nlwire.HeaderDeadlineMS); v != "" {
+			naiveHeader.Store(true)
+		}
+		return true
+	})
+	n := New(Config{BaseURL: srv2.URL, Naive: true, Seed: 1})
+	if _, err := n.Decide(ctx, nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if naiveHeader.Load() {
+		t.Fatal("naive client propagated the deadline header")
+	}
+}
+
+// TestBatchSplitsOnShed sheds every batch above 2 queries: the client must
+// halve its way down and reassemble the answers in order.
+func TestBatchSplitsOnShed(t *testing.T) {
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path != nlwire.PathBatch {
+			return true
+		}
+		var qs []nlwire.Query
+		if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return false
+		}
+		if len(qs) > 2 {
+			w.Header().Set("Retry-After", "0.001")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return false
+		}
+		ds := make([]nlwire.Decision, len(qs))
+		for i, q := range qs {
+			ds[i] = answer(q)
+		}
+		json.NewEncoder(w).Encode(ds)
+		return false
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1, BaseBackoff: time.Millisecond})
+	qs := make([]nlwire.Query, 8)
+	for i := range qs {
+		qs[i] = nlwire.Query{D0M: float64(100 + i), SpeedMPS: 1, MdataMB: 1}
+	}
+	ds, err := c.DecideBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(qs) {
+		t.Fatalf("%d answers for %d queries", len(ds), len(qs))
+	}
+	for i, d := range ds {
+		if want := qs[i].D0M / 2; d.DoptM != want {
+			t.Fatalf("answer %d out of order: dopt %.1f, want %.1f", i, d.DoptM, want)
+		}
+	}
+	st := c.Stats()
+	if st.Splits == 0 || st.ShedsSeen == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHedgeCutsTailLatency(t *testing.T) {
+	var calls atomic.Int64
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		if calls.Add(1) == 1 {
+			// First request stalls far longer than the hedge delay.
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+			return false
+		}
+		return true
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1, Hedge: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	d, err := c.Decide(ctx, nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DoptM != 50 {
+		t.Fatalf("answer %+v", d)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("hedge did not cut the stall: %s", el)
+	}
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRetryBudgetBoundsAmplification: with the server hard-down, total
+// attempts must be bounded by the budget, not MaxAttempts × calls.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	var calls atomic.Int64
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return false
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1, RetryBudget: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		if _, err := c.Decide(context.Background(), nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1}); err == nil {
+			t.Fatal("dead server answered")
+		}
+	}
+	// 20 first attempts plus at most 3 budgeted retries.
+	if got := calls.Load(); got > 23 {
+		t.Fatalf("%d attempts against a dead server (budget leak)", got)
+	}
+	if st := c.Stats(); st.BudgetDenied == 0 {
+		t.Fatalf("budget never denied a retry: %+v", st)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	srv := decideServer(t, func(w http.ResponseWriter, r *http.Request) bool {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return false
+	})
+	c := New(Config{BaseURL: srv.URL, Seed: 1, BaseBackoff: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Decide(ctx, nlwire.Query{D0M: 100, SpeedMPS: 1, MdataMB: 1}); err == nil {
+		t.Fatal("dead server answered")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("retries outlived the context: %s", el)
+	}
+}

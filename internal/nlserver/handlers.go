@@ -1,0 +1,199 @@
+package nlserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlwire"
+	"github.com/nowlater/nowlater/internal/overload"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// MaxBatch bounds one batch request; larger batches get 400, not OOM.
+const MaxBatch = 10000
+
+// maxBodyBytes bounds any request body.
+const maxBodyBytes = 4 << 20
+
+// admit runs the admission gate for a decide-path request. A shed writes
+// the 429 (with Retry-After) itself and returns false; a client that gave
+// up while queued gets nothing (it is gone). The returned release must be
+// called when the request finishes.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.cfg.Admission.Acquire(r.Context())
+	if err == nil {
+		return release, true
+	}
+	var shed *overload.ShedError
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", nlwire.FormatRetryAfter(shed.RetryAfter))
+		s.writeJSON(w, http.StatusTooManyRequests,
+			nlwire.Decision{Error: fmt.Sprintf("overloaded (%s), retry later", shed.Reason)})
+	}
+	return nil, false
+}
+
+// readyEngine returns the serving engine, or writes the 503 (table still
+// loading) and returns nil.
+func (s *Server) readyEngine(w http.ResponseWriter) *policy.Engine {
+	eng := s.engine.Load()
+	if eng == nil {
+		w.Header().Set("Retry-After", nlwire.FormatRetryAfter(time.Second))
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			nlwire.Decision{Error: "policy table still loading"})
+	}
+	return eng
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	eng := s.readyEngine(w)
+	if eng == nil {
+		return
+	}
+	var q nlwire.Query
+	if err := decodeBody(w, r, &q); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	start := time.Now()
+	d, err := eng.DecideContext(ctx, q.Policy())
+	s.latency.observe(time.Since(start))
+	if err != nil {
+		status := http.StatusBadRequest
+		if ctx.Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeJSON(w, status, nlwire.Decision{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, nlwire.FromDecision(d))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	eng := s.readyEngine(w)
+	if eng == nil {
+		return
+	}
+	var qs []nlwire.Query
+	if err := decodeBody(w, r, &qs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(qs) > MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds the %d-query limit", len(qs), MaxBatch),
+			http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	out := make([]nlwire.Decision, len(qs))
+	for i, q := range qs {
+		// The request context covers the whole batch: once the client's
+		// deadline passes (or it hangs up), the remaining items are
+		// reported unanswered instead of burning optimizer time on them.
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(qs); j++ {
+				out[j] = nlwire.Decision{Error: err.Error()}
+			}
+			break
+		}
+		start := time.Now()
+		d, err := eng.DecideContext(ctx, q.Policy())
+		s.latency.observe(time.Since(start))
+		if err != nil {
+			out[i] = nlwire.Decision{Error: err.Error()}
+			continue
+		}
+		out[i] = nlwire.FromDecision(d)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := nlwire.Health{Status: "ok", Version: s.cfg.Version}
+	if eng := s.engine.Load(); eng != nil {
+		tbl := eng.Table()
+		h.Points = tbl.Points()
+		h.Fingerprint = fmt.Sprintf("%016x", tbl.Fingerprint())
+	}
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine.Load()
+	ready := nlwire.Ready{Status: "ok"}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		ready.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case eng == nil:
+		ready.Status = "loading"
+		status = http.StatusServiceUnavailable
+	}
+	if s.cfg.Breaker != nil {
+		ready.BreakerState = s.cfg.Breaker.Stats().State.String()
+	}
+	if eng != nil {
+		ready.DegradedRatio = eng.Stats().DegradedRatio()
+	}
+	s.writeJSON(w, status, ready)
+}
+
+// decodeBody parses a bounded JSON request body into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("request body has trailing data")
+	}
+	return nil
+}
+
+// writeJSON marshals first and writes once: a response is either complete
+// (correct Content-Length, single WriteHeader) or it is counted as a write
+// failure — never a silently truncated body or a double WriteHeader under
+// http.TimeoutHandler.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.writeFails.Add(1)
+		http.Error(w, "encoding response", http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	if _, err := w.Write(data); err != nil {
+		s.writeFails.Add(1)
+	}
+}

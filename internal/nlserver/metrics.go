@@ -1,0 +1,144 @@
+package nlserver
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds, spanning
+// cache hits (~100 ns) through exact-optimizer fallbacks (~200 µs) to
+// pathological stalls.
+var latencyBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2,
+}
+
+// latencyHistogram is a lock-free cumulative histogram of decision
+// latencies, exported in Prometheus text format.
+type latencyHistogram struct {
+	buckets []atomic.Uint64 // one per bound, plus a final +Inf bucket
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+func newLatencyHistogram() *latencyHistogram {
+	return &latencyHistogram{buckets: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBounds); i++ {
+		if s <= latencyBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// write emits the histogram in Prometheus text format (cumulative
+// buckets, as the exposition format requires).
+func (h *latencyHistogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP nowlaterd_decision_latency_seconds Decision latency, all serving paths.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_decision_latency_seconds histogram\n")
+	var cum uint64
+	for i, le := range latencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_bucket{le=%q} %d\n", formatBound(le), cum)
+	}
+	cum += h.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_sum %g\n", float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "nowlaterd_decision_latency_seconds_count %d\n", h.count.Load())
+}
+
+func formatBound(le float64) string {
+	if le == math.Trunc(le) {
+		return fmt.Sprintf("%.1f", le)
+	}
+	return fmt.Sprintf("%g", le)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var st policy.Stats
+	ready := 0
+	if eng := s.engine.Load(); eng != nil {
+		st = eng.Stats()
+		if !s.draining.Load() {
+			ready = 1
+		}
+		fmt.Fprintf(w, "# HELP nowlaterd_table_points Lattice points in the served table.\n")
+		fmt.Fprintf(w, "# TYPE nowlaterd_table_points gauge\n")
+		fmt.Fprintf(w, "nowlaterd_table_points %d\n", eng.Table().Points())
+	}
+	fmt.Fprintf(w, "# HELP nowlaterd_ready Whether the server is serving decisions (table loaded, not draining).\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_ready gauge\n")
+	fmt.Fprintf(w, "nowlaterd_ready %d\n", ready)
+	fmt.Fprintf(w, "# HELP nowlaterd_requests_total Decide calls that passed validation.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_requests_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_requests_total %d\n", st.Requests)
+	fmt.Fprintf(w, "# HELP nowlaterd_decisions_total Decisions answered, by serving path.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_decisions_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceCache.String(), st.CacheHits)
+	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceTable.String(), st.TableHits)
+	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceExactOutOfGrid.String(), st.OutOfGrid)
+	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceExactBoundary.String(), st.BoundaryFallbacks)
+	fmt.Fprintf(w, "nowlaterd_decisions_total{source=%q} %d\n", policy.SourceDegradedTable.String(), st.Degraded)
+	fmt.Fprintf(w, "# HELP nowlaterd_decision_errors_total Rejected queries.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_decision_errors_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_decision_errors_total %d\n", st.Errors)
+	fmt.Fprintf(w, "# HELP nowlaterd_cache_hit_ratio Cache hits over requests.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "nowlaterd_cache_hit_ratio %g\n", st.CacheHitRatio())
+	fmt.Fprintf(w, "# HELP nowlaterd_fallback_ratio Exact-optimizer fallbacks over requests.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_fallback_ratio gauge\n")
+	fmt.Fprintf(w, "nowlaterd_fallback_ratio %g\n", st.FallbackRatio())
+	fmt.Fprintf(w, "# HELP nowlaterd_degraded_ratio Degraded (nearest-table) answers over requests.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_degraded_ratio gauge\n")
+	fmt.Fprintf(w, "nowlaterd_degraded_ratio %g\n", st.DegradedRatio())
+
+	ast := s.cfg.Admission.Stats()
+	fmt.Fprintf(w, "# HELP nowlaterd_inflight_requests Requests currently admitted and running.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "nowlaterd_inflight_requests %d\n", ast.InFlight)
+	fmt.Fprintf(w, "# HELP nowlaterd_queued_requests Requests waiting for an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_queued_requests gauge\n")
+	fmt.Fprintf(w, "nowlaterd_queued_requests %d\n", ast.Waiting)
+	fmt.Fprintf(w, "# HELP nowlaterd_admitted_total Requests that got an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_admitted_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_admitted_total %d\n", ast.Admitted)
+	fmt.Fprintf(w, "# HELP nowlaterd_shed_total Requests refused at admission, by reason.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_shed_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_shed_total{reason=\"queue_full\"} %d\n", ast.ShedQueueFull)
+	fmt.Fprintf(w, "nowlaterd_shed_total{reason=\"queue_wait\"} %d\n", ast.ShedQueueWait)
+
+	bst := s.cfg.Breaker.Stats()
+	fmt.Fprintf(w, "# HELP nowlaterd_breaker_state Exact-fallback breaker position (0 closed, 1 half-open, 2 open).\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_breaker_state gauge\n")
+	fmt.Fprintf(w, "nowlaterd_breaker_state %d\n", bst.State)
+	fmt.Fprintf(w, "# HELP nowlaterd_breaker_active_solves Exact solves currently holding a breaker token.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_breaker_active_solves gauge\n")
+	fmt.Fprintf(w, "nowlaterd_breaker_active_solves %d\n", bst.Active)
+	fmt.Fprintf(w, "# HELP nowlaterd_breaker_allowed_total Exact solves the breaker admitted.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_breaker_allowed_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_breaker_allowed_total %d\n", bst.Allowed)
+	fmt.Fprintf(w, "# HELP nowlaterd_breaker_denied_total Exact solves the breaker refused (served degraded instead).\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_breaker_denied_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_breaker_denied_total %d\n", bst.Denied)
+	fmt.Fprintf(w, "# HELP nowlaterd_breaker_opens_total Times the breaker tripped open.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_breaker_opens_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_breaker_opens_total %d\n", bst.Opens)
+
+	fmt.Fprintf(w, "# HELP nowlaterd_response_write_failures_total Responses whose encode or write failed.\n")
+	fmt.Fprintf(w, "# TYPE nowlaterd_response_write_failures_total counter\n")
+	fmt.Fprintf(w, "nowlaterd_response_write_failures_total %d\n", s.writeFails.Load())
+	s.latency.write(w)
+}

@@ -1,0 +1,152 @@
+// Package nlserver is the HTTP serving layer of the decision service:
+// the handlers, admission control and observability that cmd/nowlaterd
+// wraps in flags. It lives as a library so the service-chaos experiment
+// (internal/experiments) can run the real server in-process — the same
+// code path a deployment serves, not a test double.
+//
+// The request path is an overload ladder, cheapest refusal first:
+//
+//	admission (shed → 429 + Retry-After)
+//	→ readiness (no table yet → 503)
+//	→ engine: cache → table → breaker-gated exact fallback
+//	   (breaker open → nearest table answer, marked degraded)
+//
+// /healthz is pure liveness — it answers 200 whenever the process can
+// serve HTTP, so orchestrators do not kill a daemon that is merely
+// saturated. /readyz carries the traffic signal: 503 while the table is
+// still building and while draining, 200 with degradation detail
+// otherwise.
+package nlserver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlwire"
+	"github.com/nowlater/nowlater/internal/overload"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// Config assembles one server.
+type Config struct {
+	// Engine serves decisions. nil starts the server not-ready (503 on
+	// /readyz and the decide endpoints) until SetEngine installs one —
+	// how cmd/nowlaterd gets its listener up while the table builds.
+	Engine *policy.Engine
+	// Version is the build identity surfaced in /healthz.
+	Version string
+	// ReqTimeout bounds one request end to end (http.TimeoutHandler);
+	// ≤ 0 disables.
+	ReqTimeout time.Duration
+	// DrainGrace holds /readyz at 503 "draining" for this long before
+	// graceful shutdown begins, giving load balancers one probe interval
+	// to stop routing here. 0 drains immediately.
+	DrainGrace time.Duration
+	// Admission gates the decide endpoints; nil admits everything.
+	Admission *overload.Admission
+	// Breaker guards the engine's exact-optimizer fallback; nil leaves
+	// the fallback ungated. Installed on the engine by SetEngine.
+	Breaker *overload.Breaker
+}
+
+// Server is the HTTP layer over one policy engine. Build with New.
+type Server struct {
+	cfg     Config
+	engine  atomic.Pointer[policy.Engine]
+	latency *latencyHistogram
+	mux     *http.ServeMux
+
+	draining   atomic.Bool
+	writeFails atomic.Uint64
+}
+
+// New assembles a server; if cfg.Engine is non-nil the server starts
+// ready.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, latency: newLatencyHistogram(), mux: http.NewServeMux()}
+	s.mux.HandleFunc(nlwire.PathDecide, s.handleDecide)
+	s.mux.HandleFunc(nlwire.PathBatch, s.handleBatch)
+	s.mux.HandleFunc(nlwire.PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(nlwire.PathReadyz, s.handleReadyz)
+	s.mux.HandleFunc(nlwire.PathMetrics, s.handleMetrics)
+	if cfg.Engine != nil {
+		s.SetEngine(cfg.Engine)
+	}
+	return s
+}
+
+// SetEngine installs the serving engine, wiring the configured breaker as
+// its fallback gate, and flips /readyz from 503 to 200. Safe to call while
+// serving; the decide handlers pick the engine up atomically.
+func (s *Server) SetEngine(eng *policy.Engine) {
+	if s.cfg.Breaker != nil {
+		eng.SetFallbackGate(s.cfg.Breaker)
+	}
+	s.engine.Store(eng)
+}
+
+// Ready reports whether an engine is installed and the server is not
+// draining.
+func (s *Server) Ready() bool {
+	return s.engine.Load() != nil && !s.draining.Load()
+}
+
+// WriteFailures counts responses whose encode or write failed (client gone,
+// handler timeout fired mid-write).
+func (s *Server) WriteFailures() uint64 { return s.writeFails.Load() }
+
+// Handler returns the full middleware stack: mux wrapped in the
+// per-request timeout.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.ReqTimeout <= 0 {
+		return s.mux
+	}
+	return http.TimeoutHandler(s.mux, s.cfg.ReqTimeout, "request timed out\n")
+}
+
+// Serve runs the server on ln until ctx is cancelled, then drains: /readyz
+// flips to 503 "draining", DrainGrace elapses, and graceful shutdown lets
+// in-flight requests finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	if s.cfg.DrainGrace > 0 {
+		time.Sleep(s.cfg.DrainGrace)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// requestContext applies the client's propagated deadline budget
+// (X-Deadline-Ms) to the request context, so the engine's expensive path
+// can stop working for callers that have already hung up.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if v := r.Header.Get(nlwire.HeaderDeadlineMS); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 && ms <= 3600_000 {
+			return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		}
+	}
+	return r.Context(), func() {}
+}

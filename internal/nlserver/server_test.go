@@ -1,0 +1,691 @@
+package nlserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/nlwire"
+	"github.com/nowlater/nowlater/internal/overload"
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// quickConfig is the airplane fit over the smoke-scale grid.
+func quickConfig() policy.Config {
+	cfg := policy.AirplaneConfig()
+	cfg.Grid = policy.QuickGrid()
+	return cfg
+}
+
+// quickEngine builds a quick-grid policy engine once per test binary.
+var (
+	quickEngOnce sync.Once
+	quickEng     *policy.Engine
+	quickEngErr  error
+)
+
+func quickEngine(t testing.TB) *policy.Engine {
+	t.Helper()
+	quickEngOnce.Do(func() {
+		tbl, err := policy.Build(context.Background(), quickConfig(), policy.BuildOptions{})
+		if err != nil {
+			quickEngErr = err
+			return
+		}
+		quickEng, quickEngErr = policy.NewEngine(tbl, 256)
+	})
+	if quickEngErr != nil {
+		t.Fatal(quickEngErr)
+	}
+	return quickEng
+}
+
+// freshServer builds a server around its own engine (private counters), so
+// tests that assert on stats do not share state.
+func freshServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	tbl := quickEngine(t).Table()
+	eng, err := policy.NewEngine(tbl, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = eng
+	return New(cfg)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDecideEndpoint(t *testing.T) {
+	s := freshServer(t, Config{ReqTimeout: 5 * time.Second})
+	h := s.Handler()
+
+	rec := postJSON(t, h, nlwire.PathDecide,
+		nlwire.Query{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var d nlwire.Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Error != "" || d.DoptM <= 0 || d.DoptM > 300 || d.Source == "" || d.Degraded {
+		t.Fatalf("implausible decision: %+v", d)
+	}
+	// The answer must agree with the exact optimizer to the policy bound.
+	want, err := quickConfig().Scenario(policy.Query{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4}).Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := abs(d.DoptM-want.DoptM) / want.DoptM; rel > 1e-3 {
+		t.Fatalf("served dopt %.4f vs exact %.4f (rel %.2e)", d.DoptM, want.DoptM, rel)
+	}
+
+	// Invalid query: 400 with a JSON error, not a panic.
+	rec = postJSON(t, h, nlwire.PathDecide, nlwire.Query{D0M: -5, SpeedMPS: 10, MdataMB: 28})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid query status %d", rec.Code)
+	}
+	// Malformed body and wrong method.
+	req := httptest.NewRequest(http.MethodPost, nlwire.PathDecide, strings.NewReader("{not json"))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", rr.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, nlwire.PathDecide, nil)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rr.Code)
+	}
+}
+
+// TestBatchEndpointOrderAndPartialErrors pins the batch contract: one
+// response per query, in request order, with failures isolated per item —
+// answers around an invalid query must be exactly the answers those
+// queries get when asked alone.
+func TestBatchEndpointOrderAndPartialErrors(t *testing.T) {
+	s := freshServer(t, Config{ReqTimeout: 5 * time.Second})
+	h := s.Handler()
+
+	batch := []nlwire.Query{
+		{D0M: 300, SpeedMPS: 10, MdataMB: 28, Rho: 1.11e-4},
+		{D0M: 150, SpeedMPS: 5, MdataMB: 10, Rho: 5e-4},
+		{D0M: -1, SpeedMPS: 5, MdataMB: 10},           // invalid: per-item error
+		{D0M: 900, SpeedMPS: 10, MdataMB: 28, Rho: 0}, // out of grid: exact fallback
+		{D0M: 220, SpeedMPS: 7, MdataMB: 12, Rho: 3e-4},
+	}
+	rec := postJSON(t, h, nlwire.PathBatch, batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var ds []nlwire.Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(batch) {
+		t.Fatalf("%d decisions for %d queries", len(ds), len(batch))
+	}
+	if ds[2].Error == "" {
+		t.Fatal("invalid query did not report an error")
+	}
+	if ds[3].Error != "" || ds[3].Source != policy.SourceExactOutOfGrid.String() {
+		t.Fatalf("out-of-grid query: %+v", ds[3])
+	}
+	// Each positional answer must match the single-decide answer for the
+	// query at that position — the strongest order check available.
+	for _, i := range []int{0, 1, 3, 4} {
+		single := postJSON(t, h, nlwire.PathDecide, batch[i])
+		var want nlwire.Decision
+		if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+			t.Fatal(err)
+		}
+		got := ds[i]
+		got.Source, want.Source = "", "" // cache vs table: same answer, different path
+		if got != want {
+			t.Fatalf("batch[%d] = %+v, single decide = %+v", i, got, want)
+		}
+	}
+
+	// Oversized batch: rejected.
+	big := make([]nlwire.Query, MaxBatch+1)
+	rec = postJSON(t, h, nlwire.PathBatch, big)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d", rec.Code)
+	}
+}
+
+// TestBatchHonorsDeadlineHeader propagates a deadline that expires inside
+// the batch: the response must still cover every query, with the
+// unprocessed tail reporting the deadline error.
+func TestBatchHonorsDeadlineHeader(t *testing.T) {
+	s := freshServer(t, Config{})
+	h := s.Handler()
+
+	// Out-of-grid queries force ~180 µs exact solves; 2000 of them cannot
+	// finish inside 1 ms.
+	batch := make([]nlwire.Query, 2000)
+	for i := range batch {
+		batch[i] = nlwire.Query{
+			D0M: 500 + float64(i)*0.01, SpeedMPS: 10, MdataMB: 28, Rho: 1e-4,
+		}
+	}
+	data, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, nlwire.PathBatch, bytes.NewReader(data))
+	req.Header.Set(nlwire.HeaderDeadlineMS, "1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var ds []nlwire.Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(batch) {
+		t.Fatalf("%d decisions for %d queries", len(ds), len(batch))
+	}
+	expired := 0
+	for _, d := range ds {
+		if strings.Contains(d.Error, context.DeadlineExceeded.Error()) {
+			expired++
+		}
+	}
+	if expired == 0 {
+		t.Fatal("1 ms deadline over 2000 exact solves expired nothing")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s := freshServer(t, Config{
+		Version:   "test-build",
+		Admission: overload.NewAdmission(overload.AdmissionConfig{}),
+		Breaker:   overload.NewBreaker(overload.BreakerConfig{}),
+	})
+	h := s.Handler()
+
+	// Generate traffic so counters and the histogram move: the same query
+	// twice guarantees a cache hit.
+	q := nlwire.Query{D0M: 200, SpeedMPS: 8, MdataMB: 15, Rho: 2e-4}
+	postJSON(t, h, nlwire.PathDecide, q)
+	postJSON(t, h, nlwire.PathDecide, q)
+
+	req := httptest.NewRequest(http.MethodGet, nlwire.PathHealthz, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health nlwire.Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Points == 0 || len(health.Fingerprint) != 16 ||
+		health.Version != "test-build" {
+		t.Fatalf("healthz payload %+v", health)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, nlwire.PathMetrics, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"nowlaterd_requests_total",
+		`nowlaterd_decisions_total{source="cache"}`,
+		`nowlaterd_decisions_total{source="degraded_table"}`,
+		"nowlaterd_cache_hit_ratio",
+		"nowlaterd_fallback_ratio",
+		"nowlaterd_degraded_ratio",
+		"nowlaterd_ready 1",
+		"nowlaterd_inflight_requests",
+		"nowlaterd_admitted_total",
+		`nowlaterd_shed_total{reason="queue_full"}`,
+		`nowlaterd_shed_total{reason="queue_wait"}`,
+		"nowlaterd_breaker_state 0",
+		"nowlaterd_breaker_opens_total",
+		"nowlaterd_response_write_failures_total",
+		"nowlaterd_decision_latency_seconds_bucket{le=\"+Inf\"}",
+		"nowlaterd_decision_latency_seconds_count",
+		"nowlaterd_table_points",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "nowlaterd_cache_hit_ratio 0\n") {
+		t.Error("cache hit ratio still zero after a repeated query")
+	}
+}
+
+// TestMetricsUnderConcurrentLoad hammers the decide endpoints from many
+// goroutines while scraping /metrics — under -race this is the proof that
+// every counter on the scrape path is safely published.
+func TestMetricsUnderConcurrentLoad(t *testing.T) {
+	s := freshServer(t, Config{
+		Admission: overload.NewAdmission(overload.AdmissionConfig{MaxInFlight: 4, MaxQueue: 8, MaxWait: time.Millisecond}),
+		Breaker:   overload.NewBreaker(overload.BreakerConfig{MaxConcurrent: 2}),
+	})
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Mix of cached, table and exact-fallback traffic.
+				q := nlwire.Query{
+					D0M: 100 + float64((w*31+i)%400), SpeedMPS: 5, MdataMB: 10, Rho: 1e-4,
+				}
+				if i%3 == 0 {
+					postJSON(t, h, nlwire.PathBatch, []nlwire.Query{q, {D0M: -1, SpeedMPS: 1, MdataMB: 1}})
+				} else {
+					postJSON(t, h, nlwire.PathDecide, q)
+				}
+			}
+		}(w)
+	}
+	deadline := time.After(300 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			req := httptest.NewRequest(http.MethodGet, nlwire.PathMetrics, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("metrics status %d", rec.Code)
+				done = true
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShedReturns429WithRetryAfter saturates a one-slot admission gate and
+// asserts the overflow is refused with 429 + Retry-After.
+func TestShedReturns429WithRetryAfter(t *testing.T) {
+	s := freshServer(t, Config{
+		Admission: overload.NewAdmission(overload.AdmissionConfig{
+			MaxInFlight: 1, MaxQueue: 0, MaxWait: time.Millisecond, RetryAfter: 50 * time.Millisecond,
+		}),
+	})
+	h := s.Handler()
+
+	// Hold the only slot with a long batch of exact-fallback queries.
+	slow := make([]nlwire.Query, 3000)
+	for i := range slow {
+		slow[i] = nlwire.Query{D0M: 600 + float64(i)*0.01, SpeedMPS: 10, MdataMB: 28, Rho: 1e-4}
+	}
+	started := make(chan struct{})
+	doneSlow := make(chan struct{})
+	go func() {
+		defer close(doneSlow)
+		close(started)
+		postJSON(t, h, nlwire.PathBatch, slow)
+	}()
+	<-started
+
+	q := nlwire.Query{D0M: 200, SpeedMPS: 8, MdataMB: 15, Rho: 2e-4}
+	var shed *httptest.ResponseRecorder
+	for i := 0; i < 500; i++ {
+		rec := postJSON(t, h, nlwire.PathDecide, q)
+		if rec.Code == http.StatusTooManyRequests {
+			shed = rec
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-doneSlow
+	if shed == nil {
+		t.Fatal("no request was shed while the slot was held")
+	}
+	ra, ok := nlwire.ParseRetryAfter(shed.Header().Get("Retry-After"))
+	if !ok || ra != 50*time.Millisecond {
+		t.Fatalf("Retry-After %q", shed.Header().Get("Retry-After"))
+	}
+	var d nlwire.Decision
+	if err := json.Unmarshal(shed.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Error, "overloaded") {
+		t.Fatalf("shed body %+v", d)
+	}
+	if st := s.cfg.Admission.Stats(); st.Shed() == 0 {
+		t.Fatalf("shed not counted: %+v", st)
+	}
+}
+
+// TestDegradedServingUnderFallbackStorm floods the exact fallback until
+// the breaker trips, then asserts the service keeps answering — degraded,
+// marked, and within the feasible envelope.
+func TestDegradedServingUnderFallbackStorm(t *testing.T) {
+	s := freshServer(t, Config{
+		Breaker: overload.NewBreaker(overload.BreakerConfig{
+			MaxConcurrent: 1, Window: time.Second, TripDenials: 2,
+			OpenFor: 10 * time.Second, HalfOpenProbes: 1,
+		}),
+	})
+	h := s.Handler()
+
+	var mu sync.Mutex
+	var degraded []nlwire.Decision
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := nlwire.Query{
+					D0M: 500 + float64(w*1000+i), SpeedMPS: 10, MdataMB: 28, Rho: 1e-4,
+				}
+				rec := postJSON(t, h, nlwire.PathDecide, q)
+				if rec.Code != http.StatusOK {
+					t.Errorf("storm decide status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var d nlwire.Decision
+				if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+					t.Error(err)
+					return
+				}
+				if d.Degraded {
+					if d.Source != policy.SourceDegradedTable.String() {
+						t.Errorf("degraded decision with source %q", d.Source)
+						return
+					}
+					if d.DoptM <= 0 || d.DoptM > q.D0M {
+						t.Errorf("degraded dopt %.3f outside (0, %.0f]", d.DoptM, q.D0M)
+						return
+					}
+					mu.Lock()
+					degraded = append(degraded, d)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(degraded) == 0 {
+		t.Fatal("fallback storm produced no degraded answers")
+	}
+	if st := s.cfg.Breaker.Stats(); st.Opens == 0 {
+		t.Fatalf("breaker never opened: %+v", st)
+	}
+	req := httptest.NewRequest(http.MethodGet, nlwire.PathReadyz, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var ready nlwire.Ready
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || ready.DegradedRatio == 0 || ready.BreakerState != "open" {
+		t.Fatalf("readyz after storm: %d %+v", rec.Code, ready)
+	}
+}
+
+// TestReadyzLifecycle walks 503(loading) → 200 → 503(draining).
+func TestReadyzLifecycle(t *testing.T) {
+	s := New(Config{DrainGrace: 150 * time.Millisecond})
+
+	getReady := func(h http.Handler) (int, nlwire.Ready) {
+		req := httptest.NewRequest(http.MethodGet, nlwire.PathReadyz, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var ready nlwire.Ready
+		if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, ready
+	}
+
+	code, ready := getReady(s.Handler())
+	if code != http.StatusServiceUnavailable || ready.Status != "loading" {
+		t.Fatalf("before engine: %d %+v", code, ready)
+	}
+	// Decide while loading: 503 with a retry hint, not a panic.
+	rec := postJSON(t, s.Handler(), nlwire.PathDecide, nlwire.Query{D0M: 200, SpeedMPS: 8, MdataMB: 15})
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("decide while loading: %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	// /healthz is liveness: already 200 with no table.
+	req := httptest.NewRequest(http.MethodGet, nlwire.PathHealthz, nil)
+	hrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hrec, req)
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("healthz while loading: %d", hrec.Code)
+	}
+
+	s.SetEngine(quickEngine(t))
+	if code, ready = getReady(s.Handler()); code != http.StatusOK || ready.Status != "ok" {
+		t.Fatalf("after engine: %d %+v", code, ready)
+	}
+	if !s.Ready() {
+		t.Fatal("Ready() false with engine installed")
+	}
+
+	// Serve, then cancel: during DrainGrace /readyz must say draining.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	waitHTTPReady(t, base)
+	cancel()
+	sawDraining := false
+	for i := 0; i < 50 && !sawDraining; i++ {
+		resp, err := http.Get(base + nlwire.PathReadyz)
+		if err != nil {
+			break // already shut down
+		}
+		var ready nlwire.Ready
+		err = json.NewDecoder(resp.Body).Decode(&ready)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusServiceUnavailable && ready.Status == "draining" {
+			sawDraining = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("never observed /readyz draining during the grace window")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+func waitHTTPReady(t *testing.T, base string) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + nlwire.PathHealthz)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never came up")
+}
+
+// TestServeConcurrentAndGracefulShutdown drives the real listener: batches
+// from several goroutines, then a shutdown that must let in-flight
+// requests complete.
+func TestServeConcurrentAndGracefulShutdown(t *testing.T) {
+	s := freshServer(t, Config{ReqTimeout: 5 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	batch := make([]nlwire.Query, 50)
+	for i := range batch {
+		batch[i] = nlwire.Query{
+			D0M:      80 + float64(i*6),
+			SpeedMPS: 2 + float64(i%9),
+			MdataMB:  2 + float64(i%13),
+			Rho:      float64(i%5) * 3e-4,
+		}
+	}
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(base+nlwire.PathBatch, "application/json", bytes.NewReader(payload))
+				if err != nil {
+					t.Errorf("batch request: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var ds []nlwire.Decision
+				if err := json.Unmarshal(body, &ds); err != nil {
+					t.Errorf("batch decode: %v", err)
+					return
+				}
+				if len(ds) != len(batch) {
+					t.Errorf("%d decisions for %d queries", len(ds), len(batch))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All traffic done: shutdown must return promptly and cleanly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get(base + nlwire.PathHealthz); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// failingWriter rejects every write, standing in for a hung-up client.
+type failingWriter struct{ h http.Header }
+
+func (f *failingWriter) Header() http.Header        { return f.h }
+func (f *failingWriter) Write([]byte) (int, error)  { return 0, errors.New("client gone") }
+func (f *failingWriter) WriteHeader(statusCode int) {}
+
+func TestWriteJSONCountsFailures(t *testing.T) {
+	s := New(Config{})
+	s.writeJSON(&failingWriter{h: http.Header{}}, http.StatusOK, nlwire.Health{Status: "ok"})
+	if got := s.WriteFailures(); got != 1 {
+		t.Fatalf("write failures %d, want 1", got)
+	}
+	// Unencodable value: counted too, before any write.
+	s.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]any{"x": func() {}})
+	if got := s.WriteFailures(); got != 2 {
+		t.Fatalf("write failures %d, want 2", got)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	h := newLatencyHistogram()
+	h.observe(500 * time.Nanosecond) // first bucket
+	h.observe(3 * time.Microsecond)  // le=5e-6
+	h.observe(time.Second)           // +Inf
+	var buf bytes.Buffer
+	h.write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "nowlaterd_decision_latency_seconds_count 3") {
+		t.Fatalf("count wrong:\n%s", out)
+	}
+	// Buckets are cumulative: the +Inf bucket carries every observation.
+	if !strings.Contains(out, `_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket not cumulative:\n%s", out)
+	}
+}
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{time.Second, "1"},
+		{50 * time.Millisecond, "0.050"},
+		{1500 * time.Millisecond, "2"},
+	} {
+		if got := nlwire.FormatRetryAfter(tc.d); got != tc.want {
+			t.Errorf("FormatRetryAfter(%s) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+	if d, ok := nlwire.ParseRetryAfter("0.050"); !ok || d != 50*time.Millisecond {
+		t.Fatalf("ParseRetryAfter fractional: %v %v", d, ok)
+	}
+	if d, ok := nlwire.ParseRetryAfter("2"); !ok || d != 2*time.Second {
+		t.Fatalf("ParseRetryAfter integer: %v %v", d, ok)
+	}
+	for _, bad := range []string{"", "nan", "-1", "1e9", "Tue, 29 Oct 2024 16:56:32 GMT"} {
+		if _, ok := nlwire.ParseRetryAfter(bad); ok {
+			t.Errorf("ParseRetryAfter(%q) accepted", bad)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

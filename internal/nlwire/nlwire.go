@@ -1,0 +1,133 @@
+// Package nlwire is the wire contract of the decision service: the JSON
+// shapes, endpoint paths, headers and header encodings shared by the
+// server (internal/nlserver), the client (internal/nlclient) and the load
+// generator (cmd/nowlaterload). Keeping them in one package means the two
+// sides cannot drift — a field added here is a field both ends speak.
+package nlwire
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// Endpoint paths served by nowlaterd.
+const (
+	// PathDecide answers one query per POST.
+	PathDecide = "/v1/decide"
+	// PathBatch answers a JSON array of queries, in order.
+	PathBatch = "/v1/decide/batch"
+	// PathHealthz is liveness: 200 whenever the process can answer HTTP,
+	// table loaded or not.
+	PathHealthz = "/healthz"
+	// PathReadyz is readiness: 503 until the policy table is serving and
+	// again while draining, 200 (with degradation detail) in between.
+	PathReadyz = "/readyz"
+	// PathMetrics is the Prometheus text exposition.
+	PathMetrics = "/metrics"
+)
+
+// HeaderDeadlineMS carries the client's remaining deadline budget in
+// integer milliseconds. The server clips its per-request timeout to it, so
+// work for a caller that will have hung up is never started.
+const HeaderDeadlineMS = "X-Deadline-Ms"
+
+// Query is the wire form of one decision request.
+type Query struct {
+	D0M      float64 `json:"d0_m"`
+	SpeedMPS float64 `json:"speed_mps"`
+	MdataMB  float64 `json:"mdata_mb"`
+	Rho      float64 `json:"rho"`
+}
+
+// Policy converts to the engine's query type.
+func (q Query) Policy() policy.Query {
+	return policy.Query{D0M: q.D0M, SpeedMPS: q.SpeedMPS, MdataMB: q.MdataMB, Rho: q.Rho}
+}
+
+// FromPolicy converts an engine query to its wire form.
+func FromPolicy(q policy.Query) Query {
+	return Query{D0M: q.D0M, SpeedMPS: q.SpeedMPS, MdataMB: q.MdataMB, Rho: q.Rho}
+}
+
+// Decision is the wire form of one answered (or refused) query.
+type Decision struct {
+	DoptM               float64 `json:"dopt_m"`
+	Utility             float64 `json:"utility"`
+	CommDelayS          float64 `json:"comm_delay_s"`
+	Survival            float64 `json:"survival"`
+	TransmitImmediately bool    `json:"transmit_immediately"`
+	Source              string  `json:"source,omitempty"`
+	// Degraded marks a nearest-clamped-table answer served because the
+	// exact fallback was gated off under overload.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// FromDecision converts an engine decision to its wire form.
+func FromDecision(d policy.Decision) Decision {
+	return Decision{
+		DoptM:               d.DoptM,
+		Utility:             d.Utility,
+		CommDelayS:          d.CommDelay,
+		Survival:            d.Survival,
+		TransmitImmediately: d.TransmitImmediately,
+		Source:              d.Source.String(),
+		Degraded:            d.Degraded,
+	}
+}
+
+// Health is the PathHealthz payload: liveness plus build/table identity.
+type Health struct {
+	Status      string `json:"status"`
+	Version     string `json:"version,omitempty"`
+	Points      int    `json:"points,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Ready is the PathReadyz payload. Status is "ok", "loading" (table still
+// building — HTTP 503) or "draining" (shutdown under way — HTTP 503).
+type Ready struct {
+	Status string `json:"status"`
+	// BreakerState is the exact-fallback breaker position
+	// (closed/half_open/open); empty when no breaker is wired.
+	BreakerState string `json:"breaker_state,omitempty"`
+	// DegradedRatio is the fraction of decisions served degraded.
+	DegradedRatio float64 `json:"degraded_ratio"`
+}
+
+// FormatRetryAfter renders a backoff hint for the Retry-After header.
+// Whole seconds use the RFC 7231 integer form every client understands;
+// sub-second hints (test and benchmark servers) use a decimal fraction,
+// which ParseRetryAfter — and curl — accept.
+func FormatRetryAfter(d time.Duration) string {
+	if d <= 0 {
+		return "0"
+	}
+	s := d.Seconds()
+	if s == math.Trunc(s) {
+		return strconv.Itoa(int(s))
+	}
+	if s < 1 {
+		return fmt.Sprintf("%.3f", s)
+	}
+	return strconv.Itoa(int(math.Ceil(s)))
+}
+
+// ParseRetryAfter reads a Retry-After value in seconds (integer per RFC
+// 7231, or the decimal fraction FormatRetryAfter emits). ok is false for
+// absent, malformed or HTTP-date values — callers fall back to their own
+// backoff.
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	s, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(s) || math.IsInf(s, 0) || s < 0 || s > 3600 {
+		return 0, false
+	}
+	return time.Duration(s * float64(time.Second)), true
+}

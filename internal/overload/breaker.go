@@ -1,0 +1,250 @@
+package overload
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: exact solves flow, bounded by the token pool.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: a few probe solves are allowed; their outcome
+	// decides between closing and reopening.
+	BreakerHalfOpen
+	// BreakerOpen: every fallback is refused until the cooldown passes.
+	BreakerOpen
+)
+
+// String returns the metrics label of a state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half_open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the exact-fallback circuit breaker.
+type BreakerConfig struct {
+	// MaxConcurrent bounds simultaneous exact solves. ≤ 0 selects the
+	// default (half the cores, at least 2): the exact optimizer is pure
+	// CPU, so letting it claim every core starves the sub-µs table path
+	// that serves everyone else.
+	MaxConcurrent int
+	// Window is the tumbling observation window for denial counting.
+	Window time.Duration
+	// TripDenials opens the breaker when this many fallbacks are denied
+	// (or fail) within one Window — the signature of a fallback storm.
+	TripDenials int
+	// OpenFor is the cooldown an open breaker holds before probing.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many exact solves the half-open state risks;
+	// all must succeed to close the breaker, one failure reopens it.
+	HalfOpenProbes int
+}
+
+// DefaultBreakerConfig trips after a burst of denied fallbacks well below
+// one second of storm, and probes its way back in quarter-second steps.
+func DefaultBreakerConfig() BreakerConfig {
+	maxc := maxInt(2, runtime.GOMAXPROCS(0)/2)
+	return BreakerConfig{
+		MaxConcurrent:  maxc,
+		Window:         100 * time.Millisecond,
+		TripDenials:    50,
+		OpenFor:        250 * time.Millisecond,
+		HalfOpenProbes: 3,
+	}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = d.MaxConcurrent
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.TripDenials <= 0 {
+		c.TripDenials = d.TripDenials
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = d.OpenFor
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = d.HalfOpenProbes
+	}
+	return c
+}
+
+// Breaker is a circuit breaker over a bounded token pool, shaped for the
+// policy engine's exact-optimizer fallback: Allow before the solve,
+// Record(after) with its outcome. It implements policy.FallbackGate.
+// A nil *Breaker allows everything and records nothing.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	active   int // tokens out (granted solves not yet recorded)
+	openedAt time.Time
+	// tumbling denial window (closed state)
+	windowStart   time.Time
+	windowDenials int
+	// half-open probe bookkeeping
+	probesLeft, probeSuccesses int
+	// counters
+	allowed, denied, opens uint64
+}
+
+// NewBreaker builds a breaker; zero-valued config fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// newBreakerAt is the test constructor with an injectable clock.
+func newBreakerAt(cfg BreakerConfig, now func() time.Time) *Breaker {
+	b := NewBreaker(cfg)
+	b.now = now
+	return b
+}
+
+// Allow reports whether one exact solve may run now. Every true must be
+// paired with exactly one Record call.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+
+	if b.state == BreakerOpen {
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			b.denied++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probesLeft = b.cfg.HalfOpenProbes
+		b.probeSuccesses = 0
+	}
+
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probesLeft > 0 && b.active < b.cfg.MaxConcurrent {
+			b.probesLeft--
+			b.active++
+			b.allowed++
+			return true
+		}
+		b.denied++
+		return false
+	default: // closed
+		if b.active < b.cfg.MaxConcurrent {
+			b.active++
+			b.allowed++
+			return true
+		}
+		b.denial(now)
+		return false
+	}
+}
+
+// denial books one refused fallback in the tumbling window and trips the
+// breaker when the window fills. Callers hold b.mu.
+func (b *Breaker) denial(now time.Time) {
+	b.denied++
+	if now.Sub(b.windowStart) > b.cfg.Window {
+		b.windowStart = now
+		b.windowDenials = 0
+	}
+	b.windowDenials++
+	if b.windowDenials >= b.cfg.TripDenials {
+		b.trip(now)
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.opens++
+	b.windowDenials = 0
+}
+
+// Record reports the outcome of an allowed solve: ok=false (optimizer
+// error) counts like a denial in the closed state and reopens a half-open
+// breaker; successes close a half-open breaker once every probe lands.
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.active > 0 {
+		b.active--
+	}
+	now := b.now()
+	if !ok {
+		if b.state == BreakerHalfOpen {
+			b.trip(now)
+		} else if b.state == BreakerClosed {
+			b.denial(now)
+		}
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.windowDenials = 0
+		}
+	}
+}
+
+// BreakerStats is a point-in-time snapshot.
+type BreakerStats struct {
+	State BreakerState
+	// Active is the instantaneous number of granted, unrecorded solves.
+	Active int
+	// Allowed and Denied count Allow outcomes; Opens counts trips.
+	Allowed, Denied, Opens uint64
+}
+
+// Stats snapshots the breaker (zero value, state closed, for nil).
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface the cooldown expiry eagerly so metrics do not report "open"
+	// forever on an idle server whose storm has passed.
+	state := b.state
+	if state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		state = BreakerHalfOpen
+	}
+	return BreakerStats{
+		State:   state,
+		Active:  b.active,
+		Allowed: b.allowed,
+		Denied:  b.denied,
+		Opens:   b.opens,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func testBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreakerAt(cfg, clk.now), clk
+}
+
+var breakerTestCfg = BreakerConfig{
+	MaxConcurrent:  2,
+	Window:         100 * time.Millisecond,
+	TripDenials:    5,
+	OpenFor:        250 * time.Millisecond,
+	HalfOpenProbes: 2,
+}
+
+func TestBreakerBoundsConcurrency(t *testing.T) {
+	b, _ := testBreaker(breakerTestCfg)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("tokens not granted")
+	}
+	if b.Allow() {
+		t.Fatal("third concurrent solve allowed above MaxConcurrent=2")
+	}
+	b.Record(true)
+	if !b.Allow() {
+		t.Fatal("released token not reusable")
+	}
+	st := b.Stats()
+	if st.Active != 2 || st.Allowed != 3 || st.Denied != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBreakerTripsOnDenialStorm(t *testing.T) {
+	b, clk := testBreaker(breakerTestCfg)
+	// Saturate the pool, then hammer: TripDenials denials inside one
+	// window must open the breaker.
+	b.Allow()
+	b.Allow()
+	for i := 0; i < breakerTestCfg.TripDenials; i++ {
+		if b.Allow() {
+			t.Fatal("saturated pool granted a token")
+		}
+	}
+	if st := b.Stats(); st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("not open after storm: %+v", st)
+	}
+	// Open: denial even though tokens exist once the in-flight ones land.
+	b.Record(true)
+	b.Record(true)
+	if b.Allow() {
+		t.Fatal("open breaker granted a token")
+	}
+
+	// Cooldown passes → half-open: exactly HalfOpenProbes probes.
+	clk.advance(breakerTestCfg.OpenFor + time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open probes not granted")
+	}
+	if b.Allow() {
+		t.Fatal("more probes than HalfOpenProbes")
+	}
+	// All probes succeed → closed again.
+	b.Record(true)
+	b.Record(true)
+	if st := b.Stats(); st.State != BreakerClosed {
+		t.Fatalf("not closed after successful probes: %+v", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a token")
+	}
+	b.Record(true)
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	b, clk := testBreaker(breakerTestCfg)
+	b.Allow()
+	b.Allow()
+	for i := 0; i < breakerTestCfg.TripDenials; i++ {
+		b.Allow()
+	}
+	b.Record(true)
+	b.Record(true)
+	clk.advance(breakerTestCfg.OpenFor + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not granted")
+	}
+	b.Record(false) // probe failed → straight back to open
+	st := b.Stats()
+	if st.Opens != 2 {
+		t.Fatalf("failed probe did not reopen: %+v", st)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker granted a token")
+	}
+}
+
+func TestBreakerDenialWindowTumbles(t *testing.T) {
+	b, clk := testBreaker(breakerTestCfg)
+	b.Allow()
+	b.Allow()
+	// Denials spread across windows must not accumulate into a trip.
+	for i := 0; i < 20; i++ {
+		b.Allow()
+		clk.advance(breakerTestCfg.Window + time.Millisecond)
+	}
+	if st := b.Stats(); st.State != BreakerClosed || st.Opens != 0 {
+		t.Fatalf("slow denial drip tripped the breaker: %+v", st)
+	}
+}
+
+func TestBreakerSolveFailuresCountTowardTrip(t *testing.T) {
+	b, _ := testBreaker(breakerTestCfg)
+	for i := 0; i < breakerTestCfg.TripDenials; i++ {
+		if !b.Allow() {
+			t.Fatalf("allow %d refused", i)
+		}
+		b.Record(false)
+	}
+	if st := b.Stats(); st.State != BreakerOpen {
+		t.Fatalf("repeated solve failures did not trip: %+v", st)
+	}
+}
+
+func TestBreakerNilAllowsEverything(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker denied")
+	}
+	b.Record(true)
+	if st := b.Stats(); st.State != BreakerClosed {
+		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.MaxConcurrent < 2 || b.cfg.TripDenials <= 0 || b.cfg.Window <= 0 ||
+		b.cfg.OpenFor <= 0 || b.cfg.HalfOpenProbes <= 0 {
+		t.Fatalf("defaults not filled: %+v", b.cfg)
+	}
+	if got := BreakerOpen.String(); got != "open" {
+		t.Fatalf("state label %q", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package overload is the survival layer for the decision service: the
+// machinery that keeps nowlaterd answering — exactly, approximately, or
+// with an honest 429 — when the offered load exceeds what the exact
+// optimizer can absorb. The paper's question is time-critical ("now or
+// later?"), so a service that queues 180 µs exact solves behind a melted
+// run queue is worse than one that sheds or degrades: a stale-but-bounded
+// answer arrives in time, a perfect one does not.
+//
+// Two controls, composed by internal/nlserver:
+//
+//   - Admission bounds the HTTP layer: a fixed number of in-flight
+//     requests plus a short wait queue. A request that would wait longer
+//     than the queue-latency bound is shed immediately with a Retry-After
+//     hint — queueing delay is the one latency no server can refund.
+//   - Breaker guards the exact-optimizer fallback inside the policy
+//     engine: a token pool bounds concurrent exact solves, and when
+//     demand for tokens saturates (a fallback storm: out-of-grid query
+//     floods, regime-boundary clusters), the breaker opens and the engine
+//     serves nearest clamped table answers marked Degraded instead.
+//     After a cooldown it half-opens, probes a few exact solves, and
+//     closes again only when they succeed.
+//
+// Both types are safe for concurrent use and nil-tolerant: a nil
+// *Admission admits everything, a nil *Breaker allows every fallback, so
+// callers can wire the controls in unconditionally.
+package overload
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the HTTP-layer admission controller.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests served concurrently. ≤ 0
+	// selects DefaultAdmissionConfig's value.
+	MaxInFlight int
+	// MaxQueue is how many requests may wait for an in-flight slot; an
+	// arrival beyond it is shed instantly (the queue is already hopeless).
+	MaxQueue int
+	// MaxWait bounds the time one request may spend queued. A request
+	// still waiting when it expires is shed — by then its queueing delay
+	// rivals the work itself.
+	MaxWait time.Duration
+	// RetryAfter is the backoff hint attached to sheds (the HTTP
+	// Retry-After header upstream).
+	RetryAfter time.Duration
+}
+
+// DefaultAdmissionConfig sizes the controller for the decision service:
+// table lookups are sub-µs and exact fallbacks ~180 µs, so a small
+// multiple of the core count keeps the run queue honest, and a few
+// hundred µs of queueing already doubles a fallback's latency.
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{
+		MaxInFlight: 8 * runtime.GOMAXPROCS(0),
+		MaxQueue:    16 * runtime.GOMAXPROCS(0),
+		MaxWait:     5 * time.Millisecond,
+		RetryAfter:  time.Second,
+	}
+}
+
+// withDefaults fills unset fields from DefaultAdmissionConfig.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	d := DefaultAdmissionConfig()
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = d.MaxWait
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	return c
+}
+
+// ShedError reports an admission refusal: the server is saturated and the
+// caller should retry no sooner than RetryAfter.
+type ShedError struct {
+	// Reason is "queue_full" (the wait queue was at capacity on arrival)
+	// or "queue_wait" (the request queued for MaxWait without a slot).
+	Reason string
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overload: shed (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Admission is a bounded-concurrency gate with a short latency-bounded
+// wait queue. The zero value is unusable; build one with NewAdmission.
+// A nil *Admission admits everything.
+type Admission struct {
+	cfg    AdmissionConfig
+	tokens chan struct{}
+
+	waiters  atomic.Int64
+	inFlight atomic.Int64
+
+	admitted      atomic.Uint64
+	shedQueueFull atomic.Uint64
+	shedQueueWait atomic.Uint64
+}
+
+// NewAdmission builds an admission controller; zero-valued config fields
+// take the defaults.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	return &Admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxInFlight)}
+}
+
+// Acquire admits the request or refuses it. On admission it returns a
+// release function the caller must invoke exactly once when the request
+// finishes. On refusal the error is a *ShedError (saturation) or the
+// context's error (caller gave up while queued).
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.tokens <- struct{}{}:
+	default:
+		// No free slot: join the wait queue if it has room.
+		if a.waiters.Add(1) > int64(a.cfg.MaxQueue) {
+			a.waiters.Add(-1)
+			a.shedQueueFull.Add(1)
+			return nil, &ShedError{Reason: "queue_full", RetryAfter: a.cfg.RetryAfter}
+		}
+		timer := time.NewTimer(a.cfg.MaxWait)
+		select {
+		case a.tokens <- struct{}{}:
+			timer.Stop()
+			a.waiters.Add(-1)
+		case <-timer.C:
+			a.waiters.Add(-1)
+			a.shedQueueWait.Add(1)
+			return nil, &ShedError{Reason: "queue_wait", RetryAfter: a.cfg.RetryAfter}
+		case <-ctx.Done():
+			timer.Stop()
+			a.waiters.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	a.admitted.Add(1)
+	a.inFlight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			a.inFlight.Add(-1)
+			<-a.tokens
+		}
+	}, nil
+}
+
+// RetryAfter returns the configured shed backoff hint (0 for nil).
+func (a *Admission) RetryAfter() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return a.cfg.RetryAfter
+}
+
+// AdmissionStats is a point-in-time snapshot of the controller.
+type AdmissionStats struct {
+	// InFlight and Waiting are instantaneous gauges.
+	InFlight, Waiting int64
+	// Admitted counts requests that got a slot.
+	Admitted uint64
+	// ShedQueueFull and ShedQueueWait count refusals by cause.
+	ShedQueueFull, ShedQueueWait uint64
+}
+
+// Shed is the total refusals.
+func (s AdmissionStats) Shed() uint64 { return s.ShedQueueFull + s.ShedQueueWait }
+
+// Stats snapshots the controller's counters (zero value for nil).
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		InFlight:      a.inFlight.Load(),
+		Waiting:       a.waiters.Load(),
+		Admitted:      a.admitted.Load(),
+		ShedQueueFull: a.shedQueueFull.Load(),
+		ShedQueueWait: a.shedQueueWait.Load(),
+	}
+}

@@ -1,0 +1,193 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 2, MaxQueue: 1, MaxWait: time.Millisecond})
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().InFlight; got != 2 {
+		t.Fatalf("in-flight %d, want 2", got)
+	}
+	r1()
+	r1() // double release must be a no-op, not a token underflow
+	r2()
+	st := a.Stats()
+	if st.InFlight != 0 || st.Admitted != 2 || st.Shed() != 0 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+	// Slots freed: a new acquire succeeds immediately.
+	r3, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxInFlight: 1, MaxQueue: 0, MaxWait: 50 * time.Millisecond, RetryAfter: 2 * time.Second,
+	})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// The single slot is taken and the queue holds nobody: instant shed.
+	_, err = a.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_full" || shed.RetryAfter != 2*time.Second {
+		t.Fatalf("shed %+v", shed)
+	}
+	if st := a.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmissionShedsOnQueueWait(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: 20 * time.Millisecond})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_wait" {
+		t.Fatalf("reason %q", shed.Reason)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("shed after only %s, want ≈MaxWait", waited)
+	}
+	if st := a.Stats(); st.ShedQueueWait != 1 || st.Waiting != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmissionQueuedRequestGetsFreedSlot(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Second})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it queue
+	release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued request never admitted")
+	}
+}
+
+func TestAdmissionHonorsContext(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Minute})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+}
+
+func TestAdmissionNilAdmitsEverything(t *testing.T) {
+	var a *Admission
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if st := a.Stats(); st != (AdmissionStats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if a.RetryAfter() != 0 {
+		t.Fatal("nil retry-after not zero")
+	}
+}
+
+// TestAdmissionConcurrentCeiling hammers the gate from many goroutines and
+// asserts the in-flight ceiling is never pierced.
+func TestAdmissionConcurrentCeiling(t *testing.T) {
+	const ceiling = 4
+	a := NewAdmission(AdmissionConfig{MaxInFlight: ceiling, MaxQueue: 64, MaxWait: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	var maxSeen int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				release, err := a.Acquire(context.Background())
+				if err != nil {
+					continue
+				}
+				if in := a.Stats().InFlight; in > ceiling {
+					t.Errorf("in-flight %d above ceiling %d", in, ceiling)
+				} else {
+					mu.Lock()
+					if in > maxSeen {
+						maxSeen = in
+					}
+					mu.Unlock()
+				}
+				time.Sleep(100 * time.Microsecond)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen == 0 {
+		t.Fatal("nothing ever ran")
+	}
+	if st := a.Stats(); st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("gauges not drained: %+v", st)
+	}
+}

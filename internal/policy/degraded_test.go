@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fakeGate scripts FallbackGate decisions and records the call pattern, so
+// tests can assert the engine's one-Record-per-Allow contract.
+type fakeGate struct {
+	allow   bool
+	allows  int
+	records []bool
+}
+
+func (g *fakeGate) Allow() bool    { g.allows++; return g.allow }
+func (g *fakeGate) Record(ok bool) { g.records = append(g.records, ok) }
+
+func TestNearestStaysFeasible(t *testing.T) {
+	tbl := defaultTable(t)
+	cfg := tbl.Config()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		q := randomInGrid(rng, cfg.Grid)
+		opt := tbl.Nearest(q)
+		if opt.DoptM < cfg.MinDistanceM-1e-9 || opt.DoptM > q.D0M+1e-9 {
+			t.Fatalf("query %+v: nearest dopt %.3f outside [%.1f, %.1f]",
+				q, opt.DoptM, cfg.MinDistanceM, q.D0M)
+		}
+		sc := cfg.Scenario(q)
+		if math.Abs(opt.Utility-sc.Utility(opt.DoptM)) > 1e-12 {
+			t.Fatalf("query %+v: utility not recomputed for the real query", q)
+		}
+		if opt.TransmitImmediately != (math.Abs(opt.DoptM-q.D0M) < 1e-6) {
+			t.Fatalf("query %+v: immediate flag inconsistent with dopt", q)
+		}
+	}
+}
+
+func TestNearestOutOfGridClamps(t *testing.T) {
+	tbl := defaultTable(t)
+	cfg := tbl.Config()
+	// Far beyond every axis: the snap must clamp to the grid edge and the
+	// dopt must still respect the query's own feasible range.
+	q := Query{D0M: 900, SpeedMPS: 30, MdataMB: 200, Rho: 5e-2}
+	opt := tbl.Nearest(q)
+	if opt.DoptM < cfg.MinDistanceM-1e-9 || opt.DoptM > q.D0M+1e-9 {
+		t.Fatalf("out-of-grid nearest dopt %.3f outside feasible range", opt.DoptM)
+	}
+	// Below every axis, with d0 inside the separation floor: dopt must
+	// collapse to d0 (the only feasible point), not the floor above it.
+	tiny := Query{D0M: cfg.MinDistanceM / 2, SpeedMPS: 0.5, MdataMB: 0.1, Rho: 0}
+	opt = tbl.Nearest(tiny)
+	if opt.DoptM > tiny.D0M+1e-9 {
+		t.Fatalf("sub-floor query served dopt %.3f above its own d0 %.3f", opt.DoptM, tiny.D0M)
+	}
+}
+
+// TestNearestBoundedError pins the degraded mode's value: on in-grid
+// queries the nearest-entry answer must stay within a modest utility
+// factor of the true optimum — coarse, but honest enough to serve.
+func TestNearestBoundedError(t *testing.T) {
+	tbl := defaultTable(t)
+	cfg := tbl.Config()
+	rng := rand.New(rand.NewSource(11))
+	worst := 1.0
+	for i := 0; i < 300; i++ {
+		q := randomInGrid(rng, cfg.Grid)
+		exact, err := cfg.Scenario(q).Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tbl.Nearest(q)
+		if exact.Utility <= 0 {
+			continue
+		}
+		if ratio := got.Utility / exact.Utility; ratio < worst {
+			worst = ratio
+		}
+	}
+	if worst < 0.5 {
+		t.Fatalf("nearest answer dropped to %.3f of optimal utility", worst)
+	}
+}
+
+func TestDecideDegradedWhenGateRefuses(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &fakeGate{allow: false}
+	eng.SetFallbackGate(gate)
+
+	// In-grid table hits must not consult the gate at all.
+	in := Query{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	if d, err := eng.Decide(in); err != nil || d.Degraded {
+		t.Fatalf("table-served decision touched the gate: %+v, %v", d, err)
+	}
+	if gate.allows != 0 {
+		t.Fatalf("gate consulted %d times on the table path", gate.allows)
+	}
+
+	// Out-of-grid forces the fallback; the refusing gate must degrade it.
+	out := Query{D0M: 500, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	d, err := eng.Decide(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded || d.Source != SourceDegradedTable {
+		t.Fatalf("refused fallback not degraded: %+v", d)
+	}
+	if d.DoptM < eng.Table().Config().MinDistanceM-1e-9 || d.DoptM > out.D0M+1e-9 {
+		t.Fatalf("degraded dopt %.3f outside feasible range", d.DoptM)
+	}
+	if len(gate.records) != 0 {
+		t.Fatalf("refused Allow still recorded: %v", gate.records)
+	}
+
+	// Degraded answers are never cached: the same query must consult the
+	// gate again, and once it permits, serve (and cache) the exact answer.
+	gate.allow = true
+	d2, err := eng.Decide(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Degraded || d2.Source != SourceExactOutOfGrid {
+		t.Fatalf("gate reopened but decision stayed degraded: %+v", d2)
+	}
+	if len(gate.records) != 1 || !gate.records[0] {
+		t.Fatalf("granted solve recorded %v, want exactly [true]", gate.records)
+	}
+	if d3, _ := eng.Decide(out); d3.Source != SourceCache {
+		t.Fatalf("exact answer not cached after degraded episode: %v", d3.Source)
+	}
+
+	st := eng.Stats()
+	if st.Degraded != 1 {
+		t.Fatalf("degraded counter %d, want 1", st.Degraded)
+	}
+	if got := st.DegradedRatio(); got != 0.25 {
+		t.Fatalf("degraded ratio %v, want 0.25", got)
+	}
+}
+
+func TestDecideContextCancelled(t *testing.T) {
+	eng, err := NewEngine(defaultTable(t), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := Query{D0M: 500, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	if _, err := eng.DecideContext(ctx, out); err != context.Canceled {
+		t.Fatalf("cancelled exact fallback returned %v, want context.Canceled", err)
+	}
+	// Cheap paths ignore the context: the table answer must still flow.
+	in := Query{D0M: 200, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	if _, err := eng.DecideContext(ctx, in); err != nil {
+		t.Fatalf("cancelled table lookup failed: %v", err)
+	}
+}
+
+func TestSetFallbackGateNilRemoves(t *testing.T) {
+	eng, err := NewEngine(quickTable(t), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &fakeGate{allow: false}
+	eng.SetFallbackGate(gate)
+	eng.SetFallbackGate(nil)
+	out := Query{D0M: 500, SpeedMPS: 10, MdataMB: 10, Rho: 1e-4}
+	d, err := eng.Decide(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degraded {
+		t.Fatal("removed gate still degrading decisions")
+	}
+	if gate.allows != 0 {
+		t.Fatal("removed gate still consulted")
+	}
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -22,6 +23,12 @@ const (
 	// SourceExactBoundary is the exact optimizer, reached because the
 	// query's stencil straddled a decision-regime boundary.
 	SourceExactBoundary
+	// SourceDegradedTable is the nearest clamped table answer, served
+	// because a fallback gate refused the exact optimizer (the service is
+	// under a fallback storm). Decisions from this path carry
+	// Degraded=true: they are bounded-error approximations, not
+	// polish-accurate optima.
+	SourceDegradedTable
 )
 
 // String returns the metrics label of a source.
@@ -35,6 +42,8 @@ func (s Source) String() string {
 		return "exact_out_of_grid"
 	case SourceExactBoundary:
 		return "exact_boundary"
+	case SourceDegradedTable:
+		return "degraded_table"
 	default:
 		return fmt.Sprintf("source(%d)", uint8(s))
 	}
@@ -44,6 +53,12 @@ func (s Source) String() string {
 type Decision struct {
 	core.Optimum
 	Source Source
+	// Degraded marks an answer served from the nearest clamped table
+	// entry because the exact fallback was gated off under overload. The
+	// answer is still within the table's envelope (dopt clamped to
+	// [floor, d0], utility recomputed for the real query) but does not
+	// meet the polished-lookup accuracy bound.
+	Degraded bool
 }
 
 // Stats is a point-in-time snapshot of an engine's counters.
@@ -55,6 +70,9 @@ type Stats struct {
 	// OutOfGrid, BoundaryFallbacks count the exact-optimizer paths by
 	// cause.
 	OutOfGrid, BoundaryFallbacks uint64
+	// Degraded counts nearest-clamped-table answers served because the
+	// fallback gate refused the exact optimizer.
+	Degraded uint64
 	// Errors counts rejected queries (validation or optimizer failures).
 	Errors uint64
 }
@@ -78,6 +96,14 @@ func (s Stats) FallbackRatio() float64 {
 	return float64(s.ExactFallbacks()) / float64(s.Requests)
 }
 
+// DegradedRatio is Degraded / Requests (0 before any request).
+func (s Stats) DegradedRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Degraded) / float64(s.Requests)
+}
+
 // Engine serves decisions from a policy table: LRU cache first, then
 // interpolated table lookup, then the exact optimizer for queries the
 // table cannot answer (outside the grid, or across a regime boundary).
@@ -87,9 +113,35 @@ func (s Stats) FallbackRatio() float64 {
 type Engine struct {
 	table *Table
 	cache *lruCache
+	// gate, when set, authorizes each exact-optimizer fallback. A refusal
+	// downgrades the answer to the nearest clamped table entry (marked
+	// Degraded) instead of queueing an exact solve.
+	gate atomic.Value // FallbackGate
 
 	requests, cacheHits, tableHits atomic.Uint64
 	outOfGrid, boundary, errs      atomic.Uint64
+	degraded                       atomic.Uint64
+}
+
+// FallbackGate authorizes exact-optimizer fallbacks under load. Allow is
+// consulted once per would-be exact solve; every granted solve reports
+// its outcome through Record. internal/overload's Breaker implements it.
+type FallbackGate interface {
+	Allow() bool
+	Record(ok bool)
+}
+
+// SetFallbackGate installs (or, with nil, removes) the gate. Safe to call
+// concurrently with Decide.
+func (e *Engine) SetFallbackGate(g FallbackGate) {
+	e.gate.Store(&g)
+}
+
+func (e *Engine) fallbackGate() FallbackGate {
+	if p, ok := e.gate.Load().(*FallbackGate); ok && p != nil {
+		return *p
+	}
+	return nil
 }
 
 // DefaultCacheSize bounds the exact-scenario LRU when the caller does not
@@ -117,6 +169,14 @@ func (e *Engine) Table() *Table { return e.table }
 
 // Decide answers one query.
 func (e *Engine) Decide(q Query) (Decision, error) {
+	return e.DecideContext(context.Background(), q)
+}
+
+// DecideContext answers one query, honouring ctx on the expensive path:
+// a cancelled context stops the decision before (never during) an exact
+// solve, so a dead client does not keep 180 µs optimizations running.
+// The cache and table paths are sub-µs and never consult ctx.
+func (e *Engine) DecideContext(ctx context.Context, q Query) (Decision, error) {
 	if err := q.Validate(); err != nil {
 		e.errs.Add(1)
 		return Decision{}, err
@@ -131,11 +191,26 @@ func (e *Engine) Decide(q Query) (Decision, error) {
 		e.cache.add(q, opt)
 		return Decision{Optimum: opt, Source: SourceTable}, nil
 	}
+	// Exact-fallback path: the only one expensive enough to gate.
+	if err := ctx.Err(); err != nil {
+		return Decision{}, err
+	}
+	gate := e.fallbackGate()
+	if gate != nil && !gate.Allow() {
+		opt := e.table.Nearest(q)
+		e.degraded.Add(1)
+		// Deliberately not cached: a degraded answer must not shadow the
+		// polished one a later, unloaded request could produce.
+		return Decision{Optimum: opt, Source: SourceDegradedTable, Degraded: true}, nil
+	}
 	src := SourceExactBoundary
 	if !e.table.Contains(q) {
 		src = SourceExactOutOfGrid
 	}
 	opt, err := e.table.cfg.Scenario(q).Optimize()
+	if gate != nil {
+		gate.Record(err == nil)
+	}
 	if err != nil {
 		e.errs.Add(1)
 		return Decision{}, err
@@ -184,6 +259,7 @@ func (e *Engine) Stats() Stats {
 		TableHits:         e.tableHits.Load(),
 		OutOfGrid:         e.outOfGrid.Load(),
 		BoundaryFallbacks: e.boundary.Load(),
+		Degraded:          e.degraded.Load(),
 		Errors:            e.errs.Load(),
 	}
 }

@@ -232,6 +232,7 @@ func TestSourceString(t *testing.T) {
 		SourceTable:          "table",
 		SourceExactOutOfGrid: "exact_out_of_grid",
 		SourceExactBoundary:  "exact_boundary",
+		SourceDegradedTable:  "degraded_table",
 		Source(99):           "source(99)",
 	} {
 		if got := src.String(); got != want {

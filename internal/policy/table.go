@@ -261,6 +261,60 @@ func (t *Table) Lookup(q Query) (core.Optimum, bool) {
 	}, true
 }
 
+// nearestIndex snaps x to the closest axis value (clamping outside the
+// range), so Nearest can answer queries the interpolating Lookup cannot.
+func nearestIndex(axis []float64, x float64) int {
+	i, t, ok := locate(axis, x)
+	if !ok {
+		if x < axis[0] {
+			return 0
+		}
+		return len(axis) - 1
+	}
+	if t > 0.5 {
+		return i + 1
+	}
+	return i
+}
+
+// Nearest is the degraded-mode answer: the single lattice entry closest to
+// the query (per-axis nearest neighbour, clamped to the grid hull), with
+// its dopt reconstructed regime-aware and clamped into the query's feasible
+// range [floor, d0]. Unlike Lookup it never refuses — regime boundaries,
+// out-of-grid queries and basin swaps all still get an answer — and unlike
+// the exact fallback it costs three utility evaluations, not ~2000. The
+// price is accuracy: the answer is only as good as the nearest lattice
+// point, so the Engine serves it solely when a FallbackGate refuses the
+// exact path, and marks the decision Degraded. Utility, delay and survival
+// are recomputed exactly for the real query at the served dopt, so the
+// Optimum is self-consistent even when dopt is approximate.
+func (t *Table) Nearest(q Query) core.Optimum {
+	g := t.cfg.Grid
+	e := t.entries[g.index(
+		nearestIndex(g.D0M, q.D0M),
+		nearestIndex(g.LoadMBmps, q.LoadMBmps()),
+		nearestIndex(g.Rho, q.Rho),
+	)]
+	floor := math.Min(t.cfg.MinDistanceM, q.D0M)
+	var dopt float64
+	switch {
+	case e.Flags&flagImmediate != 0:
+		dopt = q.D0M
+	case e.Flags&flagFloor != 0:
+		dopt = floor
+	default:
+		dopt = math.Min(math.Max(e.DoptM, floor), q.D0M)
+	}
+	sc := t.cfg.Scenario(q)
+	return core.Optimum{
+		DoptM:               dopt,
+		Utility:             sc.Utility(dopt),
+		CommDelay:           sc.CommDelay(dopt),
+		Survival:            sc.Discount(dopt),
+		TransmitImmediately: math.Abs(dopt-q.D0M) < 1e-6,
+	}
+}
+
 // entryFor classifies one solved optimum into a table entry.
 func entryFor(sc core.Scenario, opt core.Optimum) Entry {
 	e := Entry{DoptM: opt.DoptM, Utility: opt.Utility}

@@ -41,6 +41,10 @@ import (
 	"github.com/nowlater/nowlater/internal/geo"
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/mission"
+	"github.com/nowlater/nowlater/internal/nlclient"
+	"github.com/nowlater/nowlater/internal/nlserver"
+	"github.com/nowlater/nowlater/internal/nlwire"
+	"github.com/nowlater/nowlater/internal/overload"
 	"github.com/nowlater/nowlater/internal/phy"
 	"github.com/nowlater/nowlater/internal/policy"
 	"github.com/nowlater/nowlater/internal/rate"
@@ -596,4 +600,114 @@ type PolicyCheckResult = experiments.PolicyCheckResult
 // (cmd/experiments -only policy).
 func PolicyCheck(cfg ExperimentConfig) (PolicyCheckResult, error) {
 	return experiments.PolicyCheck(cfg)
+}
+
+// --- Overload hardening: admission control, degraded serving, clients ------
+//
+// The decision service survives saturation in layers: an admission
+// controller bounds HTTP concurrency and sheds with Retry-After, a circuit
+// breaker around the exact-optimizer fallback flips the engine to
+// nearest-table answers marked Degraded, and the client rides through
+// faults with deadline propagation, a retry budget and hedging
+// (cmd/nowlaterd serves; cmd/nowlaterload measures).
+
+// AdmissionConfig tunes the HTTP-layer admission controller (bounded
+// in-flight plus a short latency-bounded wait queue).
+type AdmissionConfig = overload.AdmissionConfig
+
+// Admission is the bounded-concurrency gate; nil admits everything.
+type Admission = overload.Admission
+
+// AdmissionStats snapshots the gate's gauges and shed counters.
+type AdmissionStats = overload.AdmissionStats
+
+// ShedError is an admission refusal carrying the server's Retry-After
+// backoff hint (HTTP 429 upstream).
+type ShedError = overload.ShedError
+
+// NewAdmission builds an admission controller; zero fields take defaults.
+func NewAdmission(cfg AdmissionConfig) *Admission { return overload.NewAdmission(cfg) }
+
+// DefaultAdmissionConfig sizes the controller for the decision service.
+func DefaultAdmissionConfig() AdmissionConfig { return overload.DefaultAdmissionConfig() }
+
+// BreakerConfig tunes the exact-fallback circuit breaker.
+type BreakerConfig = overload.BreakerConfig
+
+// Breaker guards the exact-optimizer fallback: a token pool bounds
+// concurrent solves, and sustained denial opens the circuit so the policy
+// engine serves nearest clamped table answers marked Degraded instead.
+type Breaker = overload.Breaker
+
+// BreakerStats snapshots the breaker's state and counters.
+type BreakerStats = overload.BreakerStats
+
+// NewBreaker builds a circuit breaker; zero fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker { return overload.NewBreaker(cfg) }
+
+// DefaultBreakerConfig sizes the breaker for the ~180 µs exact solves.
+func DefaultBreakerConfig() BreakerConfig { return overload.DefaultBreakerConfig() }
+
+// ServiceQuery and ServiceDecision are the decision service's wire types
+// (shared by cmd/nowlaterd, the Go client and the load generator).
+type (
+	ServiceQuery    = nlwire.Query
+	ServiceDecision = nlwire.Decision
+)
+
+// DecisionServerConfig assembles a decision server: engine, admission
+// gate, fallback breaker, timeouts and drain grace.
+type DecisionServerConfig = nlserver.Config
+
+// DecisionServer is the HTTP layer of cmd/nowlaterd: decide/batch
+// endpoints, liveness (/healthz), readiness (/readyz) and /metrics.
+type DecisionServer = nlserver.Server
+
+// NewDecisionServer builds the server; the engine may arrive later via
+// SetEngine (readiness flips when it lands).
+func NewDecisionServer(cfg DecisionServerConfig) *DecisionServer { return nlserver.New(cfg) }
+
+// DecisionClientConfig tunes the resilient decision client: retry budget,
+// backoff, hedging, batch splitting, deadline propagation — or Naive mode,
+// which disables all of it (the experiment baseline).
+type DecisionClientConfig = nlclient.Config
+
+// DecisionClient is the Go client for nowlaterd.
+type DecisionClient = nlclient.Client
+
+// DecisionClientStats counts what the client spent: attempts, retries,
+// hedges, splits, sheds observed, budget denials.
+type DecisionClientStats = nlclient.Stats
+
+// NewDecisionClient builds a client; zero config fields take defaults.
+func NewDecisionClient(cfg DecisionClientConfig) *DecisionClient { return nlclient.New(cfg) }
+
+// ServiceFault is a scripted HTTP-layer fault (svc lines of the chaos
+// text format): added latency, connection resets, blackholed requests.
+type ServiceFault = chaos.ServiceFault
+
+// ServiceProxy injects a schedule's svc faults into live decision-service
+// traffic (the harness behind cmd/experiments -only svcchaos).
+type ServiceProxy = chaos.ServiceProxy
+
+// ServiceProxyStats counts the proxy's injected faults.
+type ServiceProxyStats = chaos.ProxyStats
+
+// NewServiceProxy builds a fault-injecting reverse proxy for target under
+// the schedule's svc faults.
+func NewServiceProxy(target string, sched *ChaosSchedule) (*ServiceProxy, error) {
+	return chaos.NewServiceProxy(target, sched)
+}
+
+// Service-chaos experiment result types (cmd/experiments -only svcchaos).
+type (
+	SvcChaosPoint  = experiments.SvcChaosPoint
+	SvcChaosResult = experiments.SvcChaosResult
+)
+
+// SvcChaos runs the service-layer chaos experiment: the naive and the
+// resilient client against a fault-injected live nowlaterd, paired on
+// identical seeds, schedules and query streams.
+func SvcChaos(cfg ExperimentConfig) (SvcChaosResult, error) {
+	return experiments.SvcChaos(cfg)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/nowlater/nowlater/internal/experiments"
+	"github.com/nowlater/nowlater/internal/trace"
+)
+
+// fleetScale runs the fleet-scaling sweep on the event-driven scenario core
+// and records the cost-scales-with-events evidence: sub-ticks stepped vs the
+// legacy lockstep cost, events processed, and the hub capacity/delay curves.
+func (r *runnerCmd) fleetScale() error {
+	params := experiments.DefaultFleetScaleParams()
+	if r.quick {
+		params = experiments.QuickFleetScaleParams()
+	}
+	res, err := experiments.FleetScaleWith(r.cfg, params)
+	if err != nil {
+		return err
+	}
+	r.fleetScaleRes = &res
+	fmt.Printf("  fleet scale on the event-driven core (%d sizes, %.0f m area, %.0f s horizon):\n",
+		len(res.Points), params.AreaM, params.DurationS)
+	perNode := trace.Series{Name: "per-node capacity (Mb/s)"}
+	bound := trace.Series{Name: "W/sqrt(n ln n) reference"}
+	var rows [][]float64
+	for _, p := range res.Points {
+		saved := 1 - float64(p.SubTicksStepped)/float64(p.LegacySubTicks)
+		fmt.Printf("    n=%5d: R=%5.1f m, %7d events (peak %5d pending), stepped %9d of %10d sub-ticks (%.0f%% elided), %.2f s wall\n",
+			p.Fleet, p.HubRangeM, p.EventsProcessed, p.PeakPending,
+			p.SubTicksStepped, p.LegacySubTicks, 100*saved, p.WallS)
+		fmt.Printf("             %d contacts from %d/%d vehicles (%d killed), first contact %.1f s, contention %.2f, hub busy %.0f%%, per-node %.4f Mb/s\n",
+			p.Contacts, p.Contacted, p.Fleet-1, p.Killed, p.MeanFirstContactS,
+			p.MeanContention, 100*p.HubBusyFrac, p.PerNodeMbps)
+		x := math.Log10(float64(p.Fleet))
+		perNode.X = append(perNode.X, x)
+		perNode.Y = append(perNode.Y, p.PerNodeMbps)
+		bound.X = append(bound.X, x)
+		bound.Y = append(bound.Y, p.BoundMbps)
+		rows = append(rows, []float64{float64(p.Fleet), p.HubRangeM,
+			float64(p.EventsProcessed), float64(p.PeakPending),
+			float64(p.SubTicksStepped), float64(p.SubTicksElided), float64(p.LegacySubTicks),
+			float64(p.Contacts), float64(p.Contacted), float64(p.Killed),
+			p.MeanFirstContactS, p.MeanContention, p.HubBusyFrac,
+			p.AggCapacityMbps, p.PerNodeMbps, p.BoundMbps, p.MeanNNDistM})
+	}
+	series := []trace.Series{perNode, bound}
+	fmt.Print(trace.LinePlot("Fleet scale: per-node capacity vs log10(fleet size)", series, 72, 14))
+	if err := trace.WriteSVG(r.path("fleetscale.svg"),
+		trace.SVGLinePlot("Fleet scale: per-node hub capacity",
+			"log10(fleet size)", "per-node capacity (Mb/s)", series)); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetscale svg:", err)
+	}
+	// Wall-clock stays out of the CSV: the figure data must be
+	// machine-independent (it lives in the bench report instead).
+	return trace.WriteCSV(r.path("fleetscale.csv"),
+		[]string{"fleet", "hub_range_m", "events_processed", "peak_pending",
+			"sub_ticks_stepped", "sub_ticks_elided", "legacy_sub_ticks",
+			"contacts", "contacted", "killed",
+			"mean_first_contact_s", "mean_contention", "hub_busy_frac",
+			"agg_capacity_mbps", "per_node_mbps", "bound_mbps", "mean_nn_dist_m"}, rows)
+}

@@ -73,6 +73,10 @@ type benchReport struct {
 	// client buys against a faulting decision service.
 	SvcNaiveOKRatio     float64 `json:"svcchaos_naive_ok_ratio,omitempty"`
 	SvcResilientOKRatio float64 `json:"svcchaos_resilient_ok_ratio,omitempty"`
+	// FleetScale is the fleetscale step's per-size record: events processed,
+	// sub-ticks stepped vs the legacy lockstep cost, and wall-clock — the
+	// evidence that run cost scales with events, not time × fleet.
+	FleetScale []experiments.FleetScalePoint `json:"fleetscale,omitempty"`
 }
 
 func main() {
@@ -150,19 +154,20 @@ func run(args []string) int {
 	// The step order and vocabulary come from the shared registry; this map
 	// only binds each registered name to its runner.
 	bind := map[string]func() error{
-		"table1":    run.table1,
-		"fig1":      run.fig1,
-		"fig4":      run.fig4,
-		"fig5":      run.fig5,
-		"fig6":      run.fig6,
-		"fig7":      run.fig7,
-		"fig8":      run.fig8,
-		"fig9":      run.fig9,
-		"ablations": run.ablations,
-		"mission":   run.missionLevel,
-		"chaos":     run.survivability,
-		"svcchaos":  run.svcChaos,
-		"policy":    run.policyCheck,
+		"table1":     run.table1,
+		"fig1":       run.fig1,
+		"fig4":       run.fig4,
+		"fig5":       run.fig5,
+		"fig6":       run.fig6,
+		"fig7":       run.fig7,
+		"fig8":       run.fig8,
+		"fig9":       run.fig9,
+		"ablations":  run.ablations,
+		"mission":    run.missionLevel,
+		"chaos":      run.survivability,
+		"svcchaos":   run.svcChaos,
+		"policy":     run.policyCheck,
+		"fleetscale": run.fleetScale,
 	}
 	var steps []struct {
 		name string
@@ -263,6 +268,9 @@ func run(args []string) int {
 		report.PolicyExactOptimizeNS = pr.OptimizeNS
 		report.PolicySpeedup = pr.Speedup
 	}
+	if fr := run.fleetScaleRes; fr != nil {
+		report.FleetScale = fr.Points
+	}
 	if sr := run.svcChaosRes; sr != nil && len(sr.Points) > 0 {
 		last := sr.Points[len(sr.Points)-1]
 		report.SvcNaiveOKRatio = last.NaiveOKRatio
@@ -327,6 +335,7 @@ type runnerCmd struct {
 	quick bool
 	// policyRes and svcChaosRes hold their steps' results for the bench
 	// report.
-	policyRes   *experiments.PolicyCheckResult
-	svcChaosRes *experiments.SvcChaosResult
+	policyRes     *experiments.PolicyCheckResult
+	svcChaosRes   *experiments.SvcChaosResult
+	fleetScaleRes *experiments.FleetScaleResult
 }

@@ -125,6 +125,9 @@ func runScenario(path string) error {
 		}
 		fmt.Printf("vehicle %s: %s at %s, route done=%v\n", v.ID, state, v.Position, v.RouteDone)
 	}
+	st := rt.Stats()
+	fmt.Printf("event core: %d events processed, %d sub-ticks stepped, %d elided\n",
+		st.EventsProcessed, st.SubTicksStepped, st.SubTicksElided)
 	fmt.Printf("scenario clock at exit: %.1f s (fingerprint %016x)\n", res.DurationS, res.Fingerprint)
 	return nil
 }

@@ -111,6 +111,38 @@ func (a *Autopilot) Step(dt float64) {
 	a.v.Step(dt, a.command())
 }
 
+// Settled reports that Step has become a fixed point for position and
+// velocity: absent a new command, any number of further Steps leaves the
+// vehicle exactly where it is. That holds when the vehicle can no longer
+// move (failed, or battery exhausted — uav.Vehicle.Step is a full no-op
+// then), or when a hovering platform sits at zero velocity inside the
+// arrival radius of an Idle/Hold target, where the command is the zero
+// vector and accel-limited tracking of zero from zero stays zero.
+//
+// Fixed wings never settle (Hold orbits), and GoTo never settles (the
+// arrival callback may issue new legs). Callers that elide Steps for a
+// settled vehicle must still replay them before reading battery state:
+// hover draws power, so battery drain is NOT part of the fixed point.
+func (a *Autopilot) Settled() bool {
+	if a.v.Failed() || a.v.BatteryLeftSeconds() <= 0 {
+		return true
+	}
+	if !a.v.CanHover {
+		return false
+	}
+	if a.v.Velocity() != (geo.Vec3{}) {
+		return false
+	}
+	switch a.mode {
+	case Idle:
+		return true
+	case Hold:
+		return a.target.Sub(a.v.Position()).Norm() <= ArrivalRadiusM
+	default:
+		return false
+	}
+}
+
 // command computes the desired velocity for the current mode.
 func (a *Autopilot) command() geo.Vec3 {
 	switch a.mode {

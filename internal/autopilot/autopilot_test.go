@@ -191,3 +191,58 @@ func TestHoldQuadReturnsWhenDisplaced(t *testing.T) {
 		t.Fatalf("quad did not return to hold point: %v m away", d)
 	}
 }
+
+// Settled must be exact: once it reports true, further Steps may be elided
+// and later replayed without changing position or velocity at all.
+func TestSettledIsAStepFixedPoint(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	a.GoTo(geo.Vec3{X: 40, Z: 10}, 0, nil)
+	if a.Settled() {
+		t.Fatal("settled while GoTo is active")
+	}
+	for i := 0; i < 3000 && !a.Settled(); i++ {
+		a.Step(0.02)
+	}
+	if !a.Settled() {
+		t.Fatalf("quad never settled (mode %v, vel %v)", a.Mode(), a.Vehicle().Velocity())
+	}
+	pos, vel := a.Vehicle().Position(), a.Vehicle().Velocity()
+	for i := 0; i < 500; i++ {
+		a.Step(0.02)
+	}
+	if a.Vehicle().Position() != pos || a.Vehicle().Velocity() != vel {
+		t.Fatalf("settled state moved: pos %v→%v vel %v→%v",
+			pos, a.Vehicle().Position(), vel, a.Vehicle().Velocity())
+	}
+	// Battery is NOT part of the fixed point: hover still draws power.
+	b0 := a.Vehicle().BatteryLeftSeconds()
+	a.Step(0.02)
+	if a.Vehicle().BatteryLeftSeconds() >= b0 {
+		t.Fatal("settled hover stopped draining battery")
+	}
+	// A new command unsettles.
+	a.GoTo(geo.Vec3{X: 80, Z: 10}, 0, nil)
+	if a.Settled() {
+		t.Fatal("still settled after a new GoTo")
+	}
+}
+
+func TestSettledPlaneNever(t *testing.T) {
+	a := newPlane(t, geo.Vec3{Z: 20})
+	a.Hold(geo.Vec3{Z: 20})
+	for i := 0; i < 100; i++ {
+		a.Step(0.02)
+		if a.Settled() {
+			t.Fatal("orbiting plane reported settled")
+		}
+	}
+}
+
+func TestSettledOnFailure(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	a.GoTo(geo.Vec3{X: 400, Z: 10}, 0, nil)
+	a.Vehicle().Fail()
+	if !a.Settled() {
+		t.Fatal("failed vehicle not settled")
+	}
+}

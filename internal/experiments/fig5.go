@@ -30,6 +30,9 @@ func Fig5(cfg Config) (Fig5Result, error) {
 	}
 	byBin := make(map[float64][]float64)
 	for _, s := range samples {
+		if s.Partial {
+			continue // trailing sub-window: not comparable to full windows
+		}
 		bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
 		if bin < 20 || bin > 320 {
 			continue

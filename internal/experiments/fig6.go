@@ -45,6 +45,9 @@ func Fig6(cfg Config) (Fig6Result, error) {
 		var lossSum float64
 		var lossN int
 		for _, s := range samples {
+			if s.Partial {
+				continue // trailing sub-window: not comparable to full windows
+			}
 			bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
 			if bin < 20 || bin > fig6MaxDistance {
 				continue

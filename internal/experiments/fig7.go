@@ -73,6 +73,9 @@ func Fig7(cfg Config) (Fig7Result, error) {
 	moving := make(map[float64][]float64)
 	for _, samples := range perTrial {
 		for _, s := range samples {
+			if s.Partial {
+				continue // trailing sub-window: not comparable to full windows
+			}
 			bin := math.Round(s.DistanceM/fig5BinWidth) * fig5BinWidth
 			if bin < 20 || bin > 80 {
 				continue

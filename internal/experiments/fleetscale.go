@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/spatial"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// FleetScaleParams shapes the fleet-scaling sweep: how many vehicles, over
+// what area, flying how far, and how hard chaos hits them.
+type FleetScaleParams struct {
+	// Sizes are the fleet sizes swept, each run independently.
+	Sizes []int
+	// AreaM is the square operating area's edge; AltM the common altitude.
+	AreaM float64
+	AltM  float64
+	// SpeedMPS is the commanded leg speed; LegsPerVehicle how many random
+	// waypoints each non-hub vehicle visits before holding at the last one.
+	SpeedMPS       float64
+	LegsPerVehicle int
+	// DurationS is the simulated horizon of each run.
+	DurationS float64
+	// KillFraction of the fleet receives a scripted mid-run chaos kill.
+	KillFraction float64
+	// RangeScale multiplies the connectivity-threshold radius
+	// sqrt(A²·ln n/(π·n)) to set the hub's contact range R(n).
+	RangeScale float64
+}
+
+// DefaultFleetScaleParams is the publication-scale sweep up to 10,000
+// vehicles.
+func DefaultFleetScaleParams() FleetScaleParams {
+	return FleetScaleParams{
+		Sizes:          []int{100, 300, 1000, 3000, 10000},
+		AreaM:          1200,
+		AltM:           30,
+		SpeedMPS:       9,
+		LegsPerVehicle: 2,
+		DurationS:      420,
+		KillFraction:   0.01,
+		RangeScale:     1.2,
+	}
+}
+
+// QuickFleetScaleParams shrinks the sweep for -quick and CI while keeping a
+// thousands-scale point, so the events-not-ticks cost claim is still
+// exercised.
+func QuickFleetScaleParams() FleetScaleParams {
+	p := DefaultFleetScaleParams()
+	p.Sizes = []int{100, 300, 1000, 5000}
+	p.AreaM = 800
+	p.DurationS = 240
+	return p
+}
+
+// FleetScalePoint is one fleet size's outcome: the event-driven core's work
+// accounting against the legacy lockstep cost, plus the hub-contact capacity
+// and density metrics.
+type FleetScalePoint struct {
+	Fleet     int     `json:"fleet"`
+	HubRangeM float64 `json:"hub_range_m"`
+	// EventsProcessed / SubTicksStepped / SubTicksElided are the runtime's
+	// work accounting; LegacySubTicks is what the lockstep core would have
+	// integrated (duration/tick × fleet), the denominator of the win.
+	EventsProcessed uint64 `json:"events_processed"`
+	PeakPending     int    `json:"peak_pending"`
+	SubTicksStepped int64  `json:"sub_ticks_stepped"`
+	SubTicksElided  int64  `json:"sub_ticks_elided"`
+	LegacySubTicks  int64  `json:"legacy_sub_ticks"`
+	// Contacts counts hub-range contact intervals; Contacted the distinct
+	// vehicles that ever made contact; Killed the scripted deaths.
+	Contacts  int `json:"contacts"`
+	Contacted int `json:"contacted"`
+	Killed    int `json:"killed"`
+	// MeanFirstContactS is the mean delay to a vehicle's first hub contact
+	// (0 when none contacted); MeanContention the time-averaged number of
+	// simultaneous in-range vehicles while the hub is busy.
+	MeanFirstContactS float64 `json:"mean_first_contact_s"`
+	MeanContention    float64 `json:"mean_contention"`
+	// HubBusyFrac is the fraction of the horizon with ≥1 vehicle in range;
+	// AggCapacityMbps = s̄(0.75R)·busy fraction under the single-collector
+	// contact model, PerNodeMbps its per-vehicle share, and BoundMbps the
+	// W/sqrt(n·ln n) per-node reference scaling.
+	HubBusyFrac     float64 `json:"hub_busy_frac"`
+	AggCapacityMbps float64 `json:"agg_capacity_mbps"`
+	PerNodeMbps     float64 `json:"per_node_mbps"`
+	BoundMbps       float64 `json:"bound_mbps"`
+	// MeanNNDistM is the mean nearest-neighbor distance sampled from the
+	// spatial grid at waypoint arrivals — the density the radius law shapes.
+	MeanNNDistM float64 `json:"mean_nn_dist_m"`
+	// WallS is the measured wall-clock of the run (excluded from CSV output:
+	// it is machine-dependent).
+	WallS float64 `json:"wall_s"`
+}
+
+// FleetScaleResult is the full sweep.
+type FleetScaleResult struct {
+	Params FleetScaleParams
+	Points []FleetScalePoint
+}
+
+// FleetScale runs the publication-scale sweep.
+func FleetScale(cfg Config) (FleetScaleResult, error) {
+	return FleetScaleWith(cfg, DefaultFleetScaleParams())
+}
+
+// FleetScaleWith sweeps fleet sizes through the event-driven scenario core:
+// each size compiles one Spec — a holding hub quad at the area center plus
+// n−1 quads flying seeded random waypoint legs, ~KillFraction of them
+// chaos-killed mid-run — and measures how run cost scales with events
+// processed rather than simulated time × fleet size.
+//
+// Hub contact is a first-order analytic model: each leg is treated as a
+// straight constant-speed segment and its crossings of the hub sphere R(n)
+// are scheduled as exact-time engine events (clipped at the vehicle's
+// scripted kill), so contact bookkeeping costs O(legs) events instead of
+// O(ticks·fleet) polls. R(n) follows the connectivity-threshold law
+// RangeScale·sqrt(A²·ln n/(π·n)), so density and contact pressure stay
+// comparable across sizes. Sizes run sequentially so per-size wall-clock is
+// honest.
+func FleetScaleWith(cfg Config, p FleetScaleParams) (FleetScaleResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FleetScaleResult{}, err
+	}
+	if len(p.Sizes) == 0 || p.AreaM <= 0 || p.SpeedMPS <= 0 || p.LegsPerVehicle < 1 ||
+		p.DurationS <= 0 || p.KillFraction < 0 || p.KillFraction > 1 || p.RangeScale <= 0 {
+		return FleetScaleResult{}, fmt.Errorf("experiments: implausible fleetscale params %+v", p)
+	}
+	res := FleetScaleResult{Params: p}
+	for _, n := range p.Sizes {
+		if n < 2 {
+			return res, fmt.Errorf("experiments: fleetscale size %d must be ≥ 2", n)
+		}
+		pt, err := fleetScalePoint(cfg, p, n)
+		if err != nil {
+			return res, fmt.Errorf("experiments: fleetscale n=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// hubTracker integrates the hub's contact process from enter/exit events:
+// busy time (≥1 vehicle in range), the ∫k dt contention integral, and
+// first-contact delays.
+type hubTracker struct {
+	k          int
+	lastT      float64
+	busyStart  float64
+	busyTimeS  float64
+	kIntegralS float64
+	contacts   int
+	contacted  int
+	firstSumS  float64
+}
+
+func (h *hubTracker) integrate(now float64) {
+	h.kIntegralS += float64(h.k) * (now - h.lastT)
+	h.lastT = now
+}
+
+func fleetScalePoint(cfg Config, p FleetScaleParams, n int) (FleetScalePoint, error) {
+	rng := stats.NewRNG(cfg.Seed).Substream(cfg.Seed, fmt.Sprintf("fleetscale/n%d", n))
+	hub := geo.Vec3{X: p.AreaM / 2, Y: p.AreaM / 2, Z: p.AltM}
+	rangeM := p.RangeScale * math.Sqrt(p.AreaM*p.AreaM*math.Log(float64(n))/(math.Pi*float64(n)))
+	randPt := func() geo.Vec3 {
+		return geo.Vec3{X: rng.Float64() * p.AreaM, Y: rng.Float64() * p.AreaM, Z: p.AltM}
+	}
+
+	spec := scenario.Spec{
+		Name:      fmt.Sprintf("fleetscale/n%d", n),
+		Seed:      cfg.Seed,
+		DurationS: p.DurationS,
+		Vehicles: []scenario.VehicleSpec{
+			{ID: "hub", Platform: scenario.PlatformQuad, Start: hub, Hold: true},
+		},
+	}
+	ids := make([]string, n-1)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("v%05d", i)
+		vs := scenario.VehicleSpec{
+			ID: ids[i], Platform: scenario.PlatformQuad,
+			Start: randPt(), SpeedMPS: p.SpeedMPS,
+		}
+		for l := 0; l < p.LegsPerVehicle; l++ {
+			vs.Route = append(vs.Route, randPt())
+		}
+		spec.Vehicles = append(spec.Vehicles, vs)
+	}
+	killAt := make(map[string]float64)
+	if k := int(math.Round(p.KillFraction * float64(len(ids)))); k > 0 {
+		for _, j := range rng.Perm(len(ids))[:k] {
+			t := rng.Uniform(0.15, 0.6) * p.DurationS
+			killAt[ids[j]] = t
+			spec.Chaos = append(spec.Chaos, fmt.Sprintf("vehicle fail %s %g", ids[j], t))
+		}
+	}
+	killOf := func(id string) float64 {
+		if t, ok := killAt[id]; ok {
+			return t
+		}
+		return math.Inf(1)
+	}
+
+	rt, err := scenario.Compile(spec)
+	if err != nil {
+		return FleetScalePoint{}, err
+	}
+	eng := rt.Engine()
+	grid, err := spatial.NewGrid(math.Max(rangeM, 1))
+	if err != nil {
+		return FleetScalePoint{}, err
+	}
+
+	tr := &hubTracker{}
+	seen := make([]bool, len(ids))
+	peakPending := 0
+	var nnSum float64
+	var nnN int
+	var evErr error
+	notePending := func() {
+		if l := eng.Len(); l > peakPending {
+			peakPending = l
+		}
+	}
+
+	// addContact schedules one [enter, exit) hub-contact interval as a pair
+	// of exact-time events. Intervals are clipped to the horizon and never
+	// scheduled in the past (a hold contact discovered mid-integration
+	// starts now).
+	addContact := func(idx int, enter, exit float64) {
+		if exit > p.DurationS {
+			exit = p.DurationS
+		}
+		if now := eng.Now(); enter < now {
+			enter = now
+		}
+		if enter >= p.DurationS || !(exit > enter) {
+			return
+		}
+		if _, err := eng.Schedule(enter, func() {
+			now := eng.Now()
+			tr.integrate(now)
+			tr.k++
+			if tr.k == 1 {
+				tr.busyStart = now
+			}
+			tr.contacts++
+			if !seen[idx] {
+				seen[idx] = true
+				tr.contacted++
+				tr.firstSumS += now
+			}
+			notePending()
+		}); err != nil && evErr == nil {
+			evErr = err
+		}
+		if _, err := eng.Schedule(exit, func() {
+			now := eng.Now()
+			tr.integrate(now)
+			tr.k--
+			if tr.k == 0 {
+				tr.busyTimeS += now - tr.busyStart
+			}
+		}); err != nil && evErr == nil {
+			evErr = err
+		}
+	}
+
+	// predictLeg intersects one straight constant-speed leg with the hub
+	// sphere and schedules the crossing interval, clipped at the scripted
+	// kill. Entering after the kill schedules nothing.
+	predictLeg := func(idx int, from, to geo.Vec3, startT, killT float64) {
+		d := to.Sub(from)
+		length := d.Norm()
+		if length == 0 {
+			return
+		}
+		u := d.Scale(1 / length)
+		w := from.Sub(hub)
+		b := w.Dot(u)
+		disc := b*b - (w.Dot(w) - rangeM*rangeM)
+		if disc <= 0 {
+			return
+		}
+		s0 := -b - math.Sqrt(disc)
+		s1 := -b + math.Sqrt(disc)
+		if s1 <= 0 || s0 >= length {
+			return
+		}
+		enter := startT + math.Max(s0, 0)/p.SpeedMPS
+		exit := startT + math.Min(s1, length)/p.SpeedMPS
+		if enter >= killT {
+			return
+		}
+		addContact(idx, enter, math.Min(exit, killT))
+	}
+
+	for i, id := range ids {
+		grid.Upsert(i, spec.Vehicles[i+1].Start)
+		predictLeg(i, spec.Vehicles[i+1].Start, spec.Vehicles[i+1].Route[0], 0, killOf(id))
+	}
+	for i, id := range ids {
+		i, id := i, id
+		c := rt.Craft(id)
+		c.SetLegHook(func(int) {
+			pos := c.Autopilot().Vehicle().Position()
+			grid.Upsert(i, pos)
+			if _, d, ok := grid.Nearest(pos, i); ok {
+				nnSum += d
+				nnN++
+			}
+			notePending()
+			if c.RouteDone() {
+				// Settling into a hold inside the hub sphere: in contact
+				// from arrival until killed or the horizon ends.
+				if pos.Dist(hub) <= rangeM {
+					addContact(i, eng.Now(), killOf(id))
+				}
+				return
+			}
+			predictLeg(i, pos, c.Autopilot().Target(), eng.Now(), killOf(id))
+		})
+	}
+
+	start := time.Now()
+	if _, err := rt.Run(); err != nil {
+		return FleetScalePoint{}, err
+	}
+	wall := time.Since(start).Seconds()
+	if evErr != nil {
+		return FleetScalePoint{}, evErr
+	}
+	if tr.k > 0 { // defensive: every exit is clipped to the horizon
+		tr.integrate(p.DurationS)
+		tr.busyTimeS += p.DurationS - tr.busyStart
+		tr.k = 0
+	}
+
+	st := rt.Stats()
+	sbar := core.QuadrocopterFit().Bps(0.75*rangeM) / 1e6
+	busyFrac := tr.busyTimeS / p.DurationS
+	pt := FleetScalePoint{
+		Fleet:           n,
+		HubRangeM:       rangeM,
+		EventsProcessed: st.EventsProcessed,
+		PeakPending:     peakPending,
+		SubTicksStepped: st.SubTicksStepped,
+		SubTicksElided:  st.SubTicksElided,
+		LegacySubTicks:  int64(p.DurationS/scenario.ControlTickS) * int64(n),
+		Contacts:        tr.contacts,
+		Contacted:       tr.contacted,
+		Killed:          len(killAt),
+		MeanContention:  0,
+		HubBusyFrac:     busyFrac,
+		AggCapacityMbps: sbar * busyFrac,
+		PerNodeMbps:     sbar * busyFrac / float64(n-1),
+		BoundMbps:       sbar / math.Sqrt(float64(n)*math.Log(float64(n))),
+		WallS:           wall,
+	}
+	if tr.contacted > 0 {
+		pt.MeanFirstContactS = tr.firstSumS / float64(tr.contacted)
+	}
+	if tr.busyTimeS > 0 {
+		pt.MeanContention = tr.kIntegralS / tr.busyTimeS
+	}
+	if nnN > 0 {
+		pt.MeanNNDistM = nnSum / float64(nnN)
+	}
+	return pt, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func fleetScaleTestParams(sizes []int) FleetScaleParams {
+	p := QuickFleetScaleParams()
+	p.Sizes = sizes
+	p.AreaM = 400
+	p.DurationS = 60
+	return p
+}
+
+// A small sweep completes, its accounting is self-consistent, and the
+// event-driven core genuinely elides work relative to the legacy lockstep
+// cost of duration/tick × fleet.
+func TestFleetScaleSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := FleetScaleWith(cfg, fleetScaleTestParams([]int{60, 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.EventsProcessed == 0 {
+			t.Fatalf("n=%d: no events processed", pt.Fleet)
+		}
+		if pt.SubTicksStepped == 0 || pt.SubTicksElided == 0 {
+			t.Fatalf("n=%d: sub-tick accounting empty: %+v", pt.Fleet, pt)
+		}
+		if pt.SubTicksStepped >= pt.LegacySubTicks {
+			t.Fatalf("n=%d: stepped %d of legacy %d sub-ticks: nothing elided",
+				pt.Fleet, pt.SubTicksStepped, pt.LegacySubTicks)
+		}
+		if pt.Killed == 0 {
+			t.Fatalf("n=%d: chaos killed nobody", pt.Fleet)
+		}
+		if pt.Contacted == 0 || pt.Contacts < pt.Contacted {
+			t.Fatalf("n=%d: contact accounting implausible: %+v", pt.Fleet, pt)
+		}
+		if pt.HubBusyFrac < 0 || pt.HubBusyFrac > 1 {
+			t.Fatalf("n=%d: busy fraction %v outside [0,1]", pt.Fleet, pt.HubBusyFrac)
+		}
+		if pt.MeanFirstContactS < 0 || pt.MeanFirstContactS > 60 {
+			t.Fatalf("n=%d: first-contact delay %v outside the horizon", pt.Fleet, pt.MeanFirstContactS)
+		}
+		if !(pt.MeanNNDistM > 0) {
+			t.Fatalf("n=%d: no nearest-neighbor density samples", pt.Fleet)
+		}
+		if !(pt.AggCapacityMbps >= 0) || !(pt.BoundMbps > 0) {
+			t.Fatalf("n=%d: capacity columns implausible: %+v", pt.Fleet, pt)
+		}
+		if pt.PeakPending == 0 {
+			t.Fatalf("n=%d: peak pending events never sampled", pt.Fleet)
+		}
+	}
+	// Denser sweep point sees more contact pressure on an area this small.
+	if res.Points[1].Contacts <= res.Points[0].Contacts {
+		t.Fatalf("contacts did not grow with fleet size: %d then %d",
+			res.Points[0].Contacts, res.Points[1].Contacts)
+	}
+}
+
+// The sweep is a pure function of (seed, params): wall-clock aside, two runs
+// agree field for field.
+func TestFleetScaleDeterministic(t *testing.T) {
+	cfg := QuickConfig()
+	run := func() []FleetScalePoint {
+		res, err := FleetScaleWith(cfg, fleetScaleTestParams([]int{120}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Points {
+			res.Points[i].WallS = 0
+		}
+		return res.Points
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d not deterministic:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFleetScaleRejectsBadParams(t *testing.T) {
+	cfg := QuickConfig()
+	bad := []FleetScaleParams{
+		{},
+		{Sizes: []int{100}, AreaM: -1, SpeedMPS: 9, LegsPerVehicle: 1, DurationS: 10, RangeScale: 1},
+		{Sizes: []int{1}, AreaM: 400, SpeedMPS: 9, LegsPerVehicle: 1, DurationS: 10, RangeScale: 1},
+	}
+	for i, p := range bad {
+		if _, err := FleetScaleWith(cfg, p); err == nil {
+			t.Fatalf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// CI's fleetscale-smoke gate: a 1,000-vehicle fleet must finish inside a
+// generous wall-clock ceiling (sized for -race), with advance cost scaling
+// with events processed — most lockstep sub-ticks elided.
+func TestFleetScaleThousandVehicles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousand-vehicle run skipped in -short")
+	}
+	cfg := QuickConfig()
+	p := QuickFleetScaleParams()
+	p.Sizes = []int{1000}
+	start := time.Now()
+	res, err := FleetScaleWith(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 120*time.Second {
+		t.Fatalf("1,000-vehicle run took %v, ceiling 120s", wall)
+	}
+	pt := res.Points[0]
+	if pt.SubTicksStepped*2 >= pt.LegacySubTicks {
+		t.Fatalf("stepped %d of %d legacy sub-ticks: elision is not scaling",
+			pt.SubTicksStepped, pt.LegacySubTicks)
+	}
+	if pt.EventsProcessed == 0 || pt.Contacted == 0 {
+		t.Fatalf("implausible large-fleet point: %+v", pt)
+	}
+}

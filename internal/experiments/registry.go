@@ -26,6 +26,7 @@ func Registry() []StepInfo {
 		{"chaos", "Survivability: scripted fault schedules vs the resilient posture"},
 		{"svcchaos", "Service chaos: naive vs resilient client against a fault-injected nowlaterd"},
 		{"policy", "Policy tables: table-served dopt vs exact optimization"},
+		{"fleetscale", "Fleet scale: event-driven core cost and hub capacity, 100 to 10,000 vehicles"},
 	}
 }
 

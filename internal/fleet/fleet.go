@@ -24,6 +24,7 @@ import (
 	"github.com/nowlater/nowlater/internal/planner"
 	"github.com/nowlater/nowlater/internal/scenario"
 	"github.com/nowlater/nowlater/internal/sim"
+	"github.com/nowlater/nowlater/internal/spatial"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/telemetry"
 	"github.com/nowlater/nowlater/internal/transport"
@@ -161,6 +162,10 @@ type Mission struct {
 	scouts []*scout
 	relays []*relay
 	rng    *stats.RNG
+	// relayGrid indexes the (static, hovering) relay tier by position for
+	// O(1)-cell nearest-relay lookup; ids are indices into relays. Dead
+	// relays are removed so queries only ever see the surviving tier.
+	relayGrid *spatial.Grid
 }
 
 // New assembles a mission. At least one scout and one relay are required.
@@ -231,23 +236,28 @@ func New(cfg Config, specs []UAVSpec) (*Mission, error) {
 	if len(m.scouts) == 0 || len(m.relays) == 0 {
 		return nil, fmt.Errorf("fleet: need at least one scout and one relay")
 	}
+	// Cell size = link range: a nearest-relay query for a scout near its
+	// relay touches O(1) cells.
+	m.relayGrid, err = spatial.NewGrid(cfg.LinkRangeM)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: relay grid: %w", err)
+	}
+	for i, r := range m.relays {
+		m.relayGrid.Upsert(i, r.ap.Vehicle().Position())
+	}
 	return m, nil
 }
 
 // nearestRelay returns the surviving relay closest to a position (nil when
-// the whole relay tier is gone).
+// the whole relay tier is gone). The grid's lowest-id tie-break reproduces
+// the first-index-wins linear scan this replaces, so mission outcomes are
+// bit-identical.
 func (m *Mission) nearestRelay(p geo.Vec3) *relay {
-	var best *relay
-	bestD := math.Inf(1)
-	for _, r := range m.relays {
-		if r.dead {
-			continue
-		}
-		if d := r.ap.Vehicle().Position().Dist(p); d < bestD {
-			best, bestD = r, d
-		}
+	i, _, ok := m.relayGrid.Nearest(p, -1)
+	if !ok {
+		return nil
 	}
-	return best
+	return m.relays[i]
 }
 
 // chaosKillTime reports the scripted failure time for a vehicle, if any.
@@ -270,7 +280,7 @@ func (m *Mission) applyChaosKills(now float64) {
 			s.injector.Trip()
 		}
 	}
-	for _, r := range m.relays {
+	for i, r := range m.relays {
 		if r.dead {
 			continue
 		}
@@ -278,6 +288,7 @@ func (m *Mission) applyChaosKills(now float64) {
 			r.dead = true
 			r.ap.Vehicle().Fail()
 			m.plan.Forget(r.id())
+			m.relayGrid.Remove(i)
 		}
 	}
 }

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/autopilot"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/uav"
+)
+
+// Regression: applyChaosKills used to quantize scripted deaths to the next
+// tick boundary (a kill at t=5.01 landed at 5.02). Kills are now engine
+// events fired at their exact scripted instant.
+func TestChaosKillAtExactScriptedTime(t *testing.T) {
+	const killAt = 5.01 // deliberately off the 0.02 s tick grid
+	s := Spec{
+		Name: "exact-kill",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "a", Platform: PlatformQuad, Start: geo.Vec3{Z: 10},
+				Route: []geo.Vec3{{X: 200, Z: 10}}, SpeedMPS: 10},
+		},
+		Chaos:     []string{"vehicle fail a 5.01"},
+		DurationS: 8,
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Vehicles[0]
+	if !v.Failed {
+		t.Fatal("vehicle survived its scripted kill")
+	}
+	if v.FailedAtS != killAt {
+		t.Fatalf("FailedAtS = %v, want exactly %v", v.FailedAtS, killAt)
+	}
+	if c := rt.Craft("a"); c.FailedAtS() != killAt {
+		t.Fatalf("craft FailedAtS = %v, want exactly %v", c.FailedAtS(), killAt)
+	}
+	// The craft froze at the kill: ~30 m flown (2.5 m/s² accel ramp, then
+	// cruise at 10), and no further motion through the remaining 3 s.
+	if v.Position.X < 25 || v.Position.X > killAt*10 {
+		t.Fatalf("final X = %v, want within the pre-kill flight envelope", v.Position.X)
+	}
+}
+
+// A surviving vehicle reports +Inf for its (absent) kill time.
+func TestFailedAtInfForSurvivors(t *testing.T) {
+	rt, err := Compile(twoQuadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Vehicles {
+		if !math.IsInf(v.FailedAtS, 1) {
+			t.Fatalf("vehicle %s: FailedAtS = %v, want +Inf", v.ID, v.FailedAtS)
+		}
+	}
+}
+
+// Regression: measureWindowed silently discarded the trailing partial
+// window, so its delivered and dropped bytes vanished from accounting.
+// With a duration that is not a multiple of windowS, the final window must
+// be emitted and marked Partial.
+func TestTrailingPartialWindowEmitted(t *testing.T) {
+	s := twoQuadSpec()
+	s.Traffic = []TrafficSpec{{From: "tx", To: "rx", DurationS: 2.3, WindowS: 1.0}}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := res.Traffic[0].Samples
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want full windows plus a trailing partial", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if !last.Partial {
+		t.Fatalf("trailing window not marked Partial: %+v", last)
+	}
+	for _, sm := range samples[:len(samples)-1] {
+		if sm.Partial {
+			t.Fatalf("non-trailing window marked Partial: %+v", sm)
+		}
+	}
+	if last.ThroughputMb <= 0 {
+		t.Fatalf("partial window carried no bytes: %+v", last)
+	}
+	// The partial window starts after the last full one and covers the
+	// fractional remainder of the 2.3 s workload.
+	if last.TimeS < 1.9 || last.TimeS >= 2.3 {
+		t.Fatalf("partial window start %v outside the trailing fraction", last.TimeS)
+	}
+}
+
+// Settled crafts must not pay per-tick integration: a fleet of holding
+// quads elides essentially all of its sub-ticks.
+func TestSettledCraftsElideSubTicks(t *testing.T) {
+	s := Spec{Name: "settled", Seed: 1, DurationS: 60}
+	for i := 0; i < 40; i++ {
+		s.Vehicles = append(s.Vehicles, VehicleSpec{
+			ID:       string(rune('a'+i/26)) + string(rune('a'+i%26)),
+			Platform: PlatformQuad,
+			Start:    geo.Vec3{X: float64(i) * 20, Z: 10},
+			Hold:     true,
+		})
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	total := st.SubTicksStepped + st.SubTicksElided
+	if total == 0 {
+		t.Fatal("no sub-ticks accounted")
+	}
+	if st.SubTicksElided < total*9/10 {
+		t.Fatalf("elided only %d of %d sub-ticks: settled crafts are being stepped", st.SubTicksElided, total)
+	}
+}
+
+// Elided sub-ticks owe their battery drain: reading a settled craft's
+// autopilot must replay them, leaving the battery bit-identical to having
+// stepped every tick of the run.
+func TestElisionReplaysBatteryExactly(t *testing.T) {
+	const duration = 20.0
+	s := Spec{
+		Name: "battery",
+		Seed: 1,
+		Vehicles: []VehicleSpec{
+			{ID: "h", Platform: PlatformQuad, Start: geo.Vec3{Z: 10}, Hold: true},
+		},
+		DurationS: duration,
+	}
+	rt, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.Craft("h").Autopilot().Vehicle().BatteryLeftSeconds()
+
+	// Reference: the legacy lockstep advance — step every accumulated
+	// ControlTickS boundary up to the final clock.
+	v, err := uav.NewVehicle("h", uav.Arducopter(), geo.Vec3{Z: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := autopilot.New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap.Hold(geo.Vec3{Z: 10})
+	now := rt.Engine().Now()
+	for f := 0.0; f+ControlTickS <= now; f += ControlTickS {
+		ap.Step(ControlTickS)
+	}
+	if want := v.BatteryLeftSeconds(); got != want {
+		t.Fatalf("battery after elision replay = %v, want exactly %v", got, want)
+	}
+}
+
+// Stats must report real event-driven work: a route scenario fires arrival
+// checks and processes events, and the counts are deterministic.
+func TestStatsDeterministic(t *testing.T) {
+	spec := func() Spec {
+		return Spec{
+			Name: "stats",
+			Seed: 1,
+			Vehicles: []VehicleSpec{
+				{ID: "a", Platform: PlatformQuad, Start: geo.Vec3{Z: 10},
+					Route: []geo.Vec3{{X: 100, Z: 10}, {X: 100, Y: 100, Z: 10}}, SpeedMPS: 8},
+			},
+			DurationS: 40,
+		}
+	}
+	run := func() RuntimeStats {
+		rt, err := Compile(spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stats not deterministic: %+v vs %+v", a, b)
+	}
+	if a.EventsProcessed == 0 {
+		t.Fatal("no events processed on a route scenario")
+	}
+	if a.SubTicksStepped == 0 {
+		t.Fatal("no sub-ticks stepped on a route scenario")
+	}
+}

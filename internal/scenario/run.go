@@ -49,6 +49,9 @@ type VehicleResult struct {
 	Position  geo.Vec3
 	RouteDone bool
 	Failed    bool
+	// FailedAtS is the exact scenario clock of the chaos kill (+Inf when
+	// the vehicle survived).
+	FailedAtS float64
 }
 
 // Result is the outcome of one Spec execution.
@@ -91,12 +94,14 @@ func (rt *Runtime) Run() (Result, error) {
 		rt.idleUntil(rt.spec.DurationS)
 	}
 	res.DurationS = rt.engine.Now()
+	rt.advanceAll()
 	for _, c := range rt.crafts {
 		res.Vehicles = append(res.Vehicles, VehicleResult{
 			ID:        c.spec.ID,
 			Position:  c.ap.Vehicle().Position(),
 			RouteDone: c.routeDone,
 			Failed:    c.failed,
+			FailedAtS: c.failedAt,
 		})
 	}
 	return res, rt.err
@@ -125,10 +130,10 @@ func (rt *Runtime) runTransfer(ts TransferSpec) (TransferResult, error) {
 		rt.idleUntil(ts.StartS)
 	}
 	if ts.StartOnArrival {
-		waitDeadline := rt.engine.Now() + ts.DeadlineS
-		for !from.routeDone && rt.engine.Now() < waitDeadline {
-			rt.tickAdvance()
-		}
+		rt.waitTicks(rt.engine.Now()+ts.DeadlineS, func() bool {
+			rt.advanceCraftTo(from, rt.engine.Now())
+			return from.routeDone
+		})
 	}
 	if ts.Decision != nil {
 		if err := rt.runDecision(from, to, ts, &out); err != nil {
@@ -198,11 +203,12 @@ func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferRe
 	wp := tv.Position().Add(dir.Scale(dopt))
 	wp.Z = fv.Position().Z
 	arrived := false
-	from.ap.GoTo(wp, from.spec.SpeedMPS, func() { arrived = true })
-	shipDeadline := rt.engine.Now() + ts.DeadlineS
-	for !arrived && !from.failed && rt.engine.Now() < shipDeadline {
-		rt.tickAdvance()
-	}
+	from.Autopilot().GoTo(wp, from.spec.SpeedMPS, func() { arrived = true })
+	rt.scheduleArrivalCheck(from)
+	rt.waitTicks(rt.engine.Now()+ts.DeadlineS, func() bool {
+		rt.advanceCraftTo(from, rt.engine.Now())
+		return arrived || from.failed
+	})
 	return nil
 }
 

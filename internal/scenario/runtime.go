@@ -29,13 +29,49 @@ type Craft struct {
 	ap        *autopilot.Autopilot
 	routeDone bool
 	failed    bool
+	// failedAt is the exact scenario clock of the chaos kill (+Inf alive).
+	failedAt float64
+	// ticks counts the ControlTickS sub-ticks accounted to this craft on
+	// the runtime's shared frontier grid; elided is how many of those were
+	// skipped because the autopilot had settled (position and velocity are
+	// a Step fixed point). Elided ticks still owe their battery drain,
+	// which catchUp replays before any state-mutating access.
+	ticks  int64
+	elided int64
+	// legHook, when set, fires after each completed route leg (0-based),
+	// with the craft integrated to the moment of arrival.
+	legHook func(leg int)
 }
 
 // ID returns the vehicle id.
 func (c *Craft) ID() string { return c.spec.ID }
 
-// Autopilot exposes the compiled autopilot.
-func (c *Craft) Autopilot() *autopilot.Autopilot { return c.ap }
+// Autopilot exposes the compiled autopilot, first replaying any elided
+// sub-ticks so callers observe (and command) fully-integrated state.
+func (c *Craft) Autopilot() *autopilot.Autopilot {
+	c.catchUp()
+	return c.ap
+}
+
+// catchUp replays elided sub-ticks. Position and velocity are unchanged by
+// construction (the craft was settled), but hover power keeps draining, so
+// the battery sequence stays bit-identical to never having elided at all.
+func (c *Craft) catchUp() {
+	for ; c.elided > 0; c.elided-- {
+		c.ap.Step(ControlTickS)
+	}
+}
+
+func (c *Craft) notifyLeg(leg int) {
+	if c.legHook != nil {
+		c.legHook(leg)
+	}
+}
+
+// SetLegHook installs a callback fired after each completed route leg.
+// The hook runs inside craft integration: it may read the craft and
+// schedule engine events, but must not advance the clock.
+func (c *Craft) SetLegHook(fn func(leg int)) { c.legHook = fn }
 
 // RouteDone reports whether the declared route has been fully flown
 // (immediately true for vehicles without one).
@@ -44,12 +80,19 @@ func (c *Craft) RouteDone() bool { return c.routeDone }
 // Failed reports whether chaos killed the vehicle.
 func (c *Craft) Failed() bool { return c.failed }
 
-// Runtime executes one compiled Spec. It owns the only two time-advancement
-// loops of a scenario: the fixed-tick advance used while waiting (arrival,
-// start times, post-workload flight) and the link-clock sync used while a
-// workload's radio exchanges set the pace. Vehicles are integrated lazily:
-// whenever the engine clock moves, every autopilot is stepped in
-// ControlTickS sub-ticks until it catches up.
+// FailedAtS is the exact scenario clock of the chaos kill (+Inf alive).
+func (c *Craft) FailedAtS() float64 { return c.failedAt }
+
+// Runtime executes one compiled Spec on an event-driven core. The engine
+// clock is advanced by RunUntil alone (workloads pace it by the link clock,
+// waits by accumulated control-tick boundaries); everything that used to be
+// discovered by per-tick polling — chaos kills, waypoint arrivals — is a
+// scheduled engine event fired at its exact instant. Vehicles are
+// integrated lazily and individually: a craft is stepped in ControlTickS
+// sub-ticks only when something observes it (geometry reads, kill events,
+// arrival checks, wait conditions), and settled crafts skip sub-ticks
+// entirely, so advance cost scales with events processed rather than
+// simulated time × fleet size.
 type Runtime struct {
 	spec   Spec
 	engine *sim.Engine
@@ -57,9 +100,17 @@ type Runtime struct {
 	crafts []*Craft
 	byID   map[string]*Craft
 	sched  *chaos.Schedule
-	// flown is the shared vehicle-integration frontier: all crafts have
-	// been stepped through [0, flown] in ControlTickS sub-ticks.
-	flown float64
+	// frontier/frontierTicks form the shared sub-tick grid: the frontier
+	// accumulates in exact ControlTickS float additions (never closed
+	// form), so every craft steps through the identical boundary sequence
+	// the legacy lockstep advance produced. frontierTicks is the grid
+	// index; crafts record how many grid ticks they have accounted.
+	frontier      float64
+	frontierTicks int64
+	// steppedTicks/elidedTicks count sub-ticks actually integrated vs
+	// skipped for settled crafts, across the whole run.
+	steppedTicks int64
+	elidedTicks  int64
 	// err latches the first internal clock error (it indicates a Runtime
 	// bug, not a bad Spec, and is surfaced by Run).
 	err error
@@ -101,7 +152,71 @@ func Compile(spec Spec) (*Runtime, error) {
 	if rt.sched, err = spec.ChaosSchedule(); err != nil {
 		return nil, err
 	}
+	if err := rt.armChaosKills(); err != nil {
+		return nil, err
+	}
+	for _, c := range rt.crafts {
+		rt.scheduleArrivalCheck(c)
+	}
 	return rt, nil
+}
+
+// armChaosKills schedules every scripted vehicle death as an engine event
+// at its exact scripted instant — kills no longer wait for the next tick
+// boundary to be discovered.
+func (rt *Runtime) armChaosKills() error {
+	if rt.sched == nil {
+		return nil
+	}
+	for _, c := range rt.crafts {
+		t, ok := rt.sched.VehicleFailTime(c.spec.ID)
+		if !ok {
+			continue
+		}
+		c := c
+		if _, err := rt.engine.Schedule(math.Max(t, 0), func() { rt.killCraft(c) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// killCraft fails a vehicle at the current (exact) engine clock: it is
+// integrated up to the kill instant, its pending battery drain replayed,
+// and then frozen.
+func (rt *Runtime) killCraft(c *Craft) {
+	if c.failed {
+		return
+	}
+	rt.advanceCraftTo(c, rt.engine.Now())
+	c.catchUp()
+	c.failed = true
+	c.failedAt = rt.engine.Now()
+	c.ap.Vehicle().Fail()
+}
+
+// scheduleArrivalCheck arms the next waypoint-arrival prediction for a
+// route-flying craft: an event at the earliest instant the craft could
+// reach its target (straight line at the platform's speed cap), which
+// integrates the craft and re-predicts. This keeps leg transitions — and
+// any leg hooks — firing near their true arrival times even when nothing
+// else observes the craft, while costing O(legs) events instead of
+// O(ticks) polls.
+func (rt *Runtime) scheduleArrivalCheck(c *Craft) {
+	if c.failed || c.ap.Mode() != autopilot.GoTo {
+		return
+	}
+	v := c.ap.Vehicle()
+	eta := (c.ap.Target().Sub(v.Position()).Norm() - autopilot.ArrivalRadiusM) / v.MaxSpeedMPS
+	if !(eta > ControlTickS) { // NaN-safe floor of one control tick
+		eta = ControlTickS
+	}
+	if _, err := rt.engine.After(eta, func() {
+		rt.advanceCraftTo(c, rt.engine.Now())
+		rt.scheduleArrivalCheck(c)
+	}); err != nil && rt.err == nil {
+		rt.err = err
+	}
 }
 
 // RatePolicy builds the rate-control policy a LinkSpec.Rate names for a
@@ -143,7 +258,7 @@ func compileVehicle(vs VehicleSpec) (*Craft, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Craft{spec: vs, ap: ap}
+	c := &Craft{spec: vs, ap: ap, failedAt: math.Inf(1)}
 	switch {
 	case vs.Hold:
 		ap.Hold(vs.Start)
@@ -154,15 +269,18 @@ func compileVehicle(vs VehicleSpec) (*Craft, error) {
 		idx := 0
 		var next func()
 		next = func() {
+			done := idx
 			idx++
 			if idx >= len(vs.Route) {
 				if !vs.Loop {
 					c.routeDone = true
+					c.notifyLeg(done)
 					return
 				}
 				idx = vs.LoopFrom
 			}
 			ap.GoTo(vs.Route[idx], vs.SpeedMPS, next)
+			c.notifyLeg(done)
 		}
 		ap.GoTo(vs.Route[0], vs.SpeedMPS, next)
 	}
@@ -178,75 +296,132 @@ func (rt *Runtime) Link() *link.Link { return rt.link }
 // Craft looks a vehicle up by id (nil when absent).
 func (rt *Runtime) Craft(id string) *Craft { return rt.byID[id] }
 
-// advanceCrafts integrates every live vehicle up to the engine clock in
-// ControlTickS sub-ticks. The shared frontier keeps all vehicles in
-// lockstep: each sub-tick steps every craft once before time moves on.
-func (rt *Runtime) advanceCrafts() {
-	for rt.flown+ControlTickS <= rt.engine.Now() {
-		for _, c := range rt.crafts {
-			if !c.failed {
-				c.ap.Step(ControlTickS)
-			}
-		}
-		rt.flown += ControlTickS
+// frontierTicksAt advances the shared sub-tick grid to time t and returns
+// its index. The frontier accumulates in exact ControlTickS additions so
+// the boundary float sequence is bit-identical to the legacy lockstep
+// advance. t must be the engine clock (monotone): the grid never rewinds.
+func (rt *Runtime) frontierTicksAt(t float64) int64 {
+	for rt.frontier+ControlTickS <= t {
+		rt.frontier += ControlTickS
+		rt.frontierTicks++
 	}
+	return rt.frontierTicks
 }
 
-// applyChaosKills fails every vehicle whose scripted death has come.
-func (rt *Runtime) applyChaosKills(now float64) {
-	if rt.sched == nil {
+// advanceCraftTo integrates one craft up to time t on the shared grid.
+// Failed crafts account their ticks for free (Step is a no-op), settled
+// crafts elide them in O(1) (the drained battery is replayed by catchUp on
+// the next state-mutating access), and only genuinely moving crafts pay
+// per-sub-tick integration.
+func (rt *Runtime) advanceCraftTo(c *Craft, t float64) {
+	k := rt.frontierTicksAt(t)
+	if c.ticks >= k {
 		return
 	}
-	for _, c := range rt.crafts {
-		if c.failed {
-			continue
+	if c.failed {
+		c.ticks = k
+		return
+	}
+	for c.ticks < k {
+		if c.ap.Settled() {
+			n := k - c.ticks
+			c.elided += n
+			rt.elidedTicks += n
+			c.ticks = k
+			return
 		}
-		if t, ok := rt.sched.VehicleFailTime(c.spec.ID); ok && now >= t {
-			c.failed = true
-			c.ap.Vehicle().Fail()
-		}
+		c.catchUp()
+		c.ap.Step(ControlTickS)
+		c.ticks++
+		rt.steppedTicks++
 	}
 }
 
-// tickAdvance moves the clock one control tick and catches everything up —
-// the waiting-mode advance (no workload pacing the clock).
-func (rt *Runtime) tickAdvance() {
+// advanceAll integrates every craft up to the engine clock — used only at
+// observation points that genuinely read the whole fleet (end of Run).
+func (rt *Runtime) advanceAll() {
+	now := rt.engine.Now()
+	for _, c := range rt.crafts {
+		rt.advanceCraftTo(c, now)
+	}
+}
+
+// stepClock moves the engine one control tick, firing any events due in
+// between (kills, arrival checks) at their exact instants.
+func (rt *Runtime) stepClock() {
 	if err := rt.engine.RunUntil(rt.engine.Now() + ControlTickS); err != nil && rt.err == nil {
 		rt.err = err
 	}
-	rt.advanceCrafts()
-	rt.applyChaosKills(rt.engine.Now())
 }
 
-// syncToLink pulls the engine clock up to the link clock and catches the
-// vehicles up — the workload-mode advance, where each radio exchange's
-// airtime sets the pace.
+// waitTicks advances the clock tick by tick until done() reports true or
+// the deadline passes. done is checked before each advance and is
+// responsible for integrating whichever crafts it observes.
+func (rt *Runtime) waitTicks(deadline float64, done func() bool) {
+	for !done() && rt.engine.Now() < deadline {
+		rt.stepClock()
+	}
+}
+
+// syncToLink pulls the engine clock up to the link clock — the
+// workload-mode advance, where each radio exchange's airtime sets the
+// pace. Vehicles are not touched here: geometry reads integrate exactly
+// the crafts they observe.
 func (rt *Runtime) syncToLink() {
 	if now := rt.link.Now(); now > rt.engine.Now() {
 		if err := rt.engine.RunUntil(now); err != nil && rt.err == nil {
 			rt.err = err
 		}
 	}
-	rt.advanceCrafts()
-	rt.applyChaosKills(rt.engine.Now())
 }
 
-// idleUntil flies the scenario (no workload) until the clock reaches t.
+// idleUntil flies the scenario (no workload) until the clock reaches t —
+// one RunUntil to the first accumulated tick boundary at or past t, which
+// is exactly where the legacy tick-polling loop stopped.
 func (rt *Runtime) idleUntil(t float64) {
-	for rt.engine.Now() < t {
-		rt.tickAdvance()
+	b := rt.engine.Now()
+	for b < t {
+		b += ControlTickS
+	}
+	if b > rt.engine.Now() {
+		if err := rt.engine.RunUntil(b); err != nil && rt.err == nil {
+			rt.err = err
+		}
 	}
 }
 
-// pairGeometry is the instantaneous link geometry between two vehicles.
-// Relative speed is the full relative-velocity magnitude: attitude
-// dynamics and Doppler care about motion, not just range rate.
+// pairGeometry is the instantaneous link geometry between two vehicles,
+// integrated up to the engine clock first. Relative speed is the full
+// relative-velocity magnitude: attitude dynamics and Doppler care about
+// motion, not just range rate.
 func (rt *Runtime) pairGeometry(a, b *Craft) link.Geometry {
+	rt.advanceCraftTo(a, rt.engine.Now())
+	rt.advanceCraftTo(b, rt.engine.Now())
 	av, bv := a.ap.Vehicle(), b.ap.Vehicle()
 	return link.Geometry{
 		DistanceM:   av.Position().Dist(bv.Position()),
 		AltitudeM:   math.Min(av.Position().Z, bv.Position().Z),
 		RelSpeedMPS: av.Velocity().Sub(bv.Velocity()).Norm(),
+	}
+}
+
+// RuntimeStats reports the event-driven core's work accounting for one
+// runtime: engine events fired, sub-ticks actually integrated vs elided
+// for settled crafts, and the current event-queue depth.
+type RuntimeStats struct {
+	EventsProcessed uint64
+	PendingEvents   int
+	SubTicksStepped int64
+	SubTicksElided  int64
+}
+
+// Stats returns the runtime's work accounting so far.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		EventsProcessed: rt.engine.Processed(),
+		PendingEvents:   rt.engine.Len(),
+		SubTicksStepped: rt.steppedTicks,
+		SubTicksElided:  rt.elidedTicks,
 	}
 }
 
@@ -281,6 +456,11 @@ type Sample struct {
 	// LossRate is the fraction of datagrams dropped at the MAC retry
 	// limit within the window.
 	LossRate float64
+	// Partial marks the trailing window of a workload whose duration is
+	// not a multiple of windowS: shorter than windowS, but its delivered
+	// and dropped bytes still count. Distance-binned figure aggregation
+	// skips partial windows.
+	Partial bool
 }
 
 // measureWindowed saturates the link for duration seconds while the
@@ -326,6 +506,23 @@ func (rt *Runtime) measureWindowed(tx, rx *Craft, duration, windowS float64) []S
 			winStart = l.Now()
 			winBytes, distSum, speedSum, distN = 0, 0, 0, 0
 		}
+	}
+	// Emit the trailing partial window: its bytes used to vanish from
+	// throughput and loss accounting entirely.
+	if elapsed := l.Now() - winStart; distN > 0 && elapsed > 0 {
+		winDropped = l.MAC().DroppedBytes - droppedBefore
+		loss := 0.0
+		if winBytes+winDropped > 0 {
+			loss = float64(winDropped) / float64(winBytes+winDropped)
+		}
+		out = append(out, Sample{
+			TimeS:        winStart - start,
+			ThroughputMb: float64(winBytes) * 8 / elapsed / 1e6,
+			DistanceM:    distSum / float64(distN),
+			RelSpeedMPS:  speedSum / float64(distN),
+			LossRate:     loss,
+			Partial:      true,
+		})
 	}
 	rt.syncToLink()
 	return out

@@ -11,11 +11,16 @@
 //
 // All time advancement belongs to sim.Engine (and to this package, which
 // drives it). The Runtime is the only component that moves vehicles: it
-// advances the engine clock either in ControlTickS steps (while waiting on
-// arrivals or the wall clock) or to the link clock after each radio
-// exchange (while a workload runs), and integrates every autopilot up to
-// the engine clock in fixed ControlTickS sub-ticks. No other package may
-// own a loop that trades simulated time for state.
+// advances the engine clock either to accumulated ControlTickS boundaries
+// (while waiting on arrivals or the wall clock) or to the link clock after
+// each radio exchange (while a workload runs). Everything in between —
+// chaos kills, waypoint-arrival predictions — is a scheduled engine event
+// fired at its exact instant, and vehicles are integrated lazily: a craft
+// is stepped in ControlTickS sub-ticks on the shared accumulated grid only
+// when something observes it, and settled crafts elide sub-ticks entirely
+// (replaying the owed battery drain on next access), so run cost scales
+// with events processed rather than simulated time × fleet size. No other
+// package may own a loop that trades simulated time for state.
 package scenario
 
 import (

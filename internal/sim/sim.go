@@ -65,10 +65,11 @@ func (q *eventQueue) Pop() any {
 
 // Engine is the discrete-event scheduler.
 type Engine struct {
-	now     float64
-	seq     uint64
-	queue   eventQueue
-	stopped bool
+	now       float64
+	seq       uint64
+	queue     eventQueue
+	stopped   bool
+	processed uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -77,16 +78,13 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Len returns the number of pending (non-canceled) events.
-func (e *Engine) Len() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending events. Cancel removes events from the
+// heap immediately, so the queue length is the pending count: O(1).
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Processed returns the total number of events fired over the engine's
+// lifetime.
+func (e *Engine) Processed() uint64 { return e.processed }
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before the
 // current clock) is an error: it would silently reorder causality.
@@ -128,18 +126,17 @@ func (e *Engine) Cancel(ev *Event) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step fires the single next event. It reports false when the queue is
-// empty.
+// empty. Canceled events never appear here: Cancel removes them from the
+// heap at cancel time.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
 }
 
 // RunUntil processes events until the clock would pass horizon, then sets
@@ -158,15 +155,12 @@ func (e *Engine) RunUntil(horizon float64) error {
 	e.stopped = false
 	for e.queue.Len() > 0 {
 		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
 		if next.at > horizon {
 			break
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at
+		e.processed++
 		next.fn()
 		if e.stopped {
 			return ErrStopped
@@ -190,12 +184,18 @@ func (e *Engine) Run() error {
 // Ticker fires fn every interval seconds starting at the next interval
 // boundary from now, until Stop is called on the returned handle or the
 // engine stops being run.
+//
+// Tick n fires at exactly start + n*interval. Rescheduling by repeated
+// After(interval) would instead accumulate one float rounding error per
+// tick, drifting the boundary over long missions.
 type Ticker struct {
 	engine   *Engine
 	interval float64
 	fn       func(now float64)
 	ev       *Event
 	stopped  bool
+	start    float64
+	n        uint64
 }
 
 // NewTicker schedules a periodic callback. interval must be > 0.
@@ -203,7 +203,7 @@ func (e *Engine) NewTicker(interval float64, fn func(now float64)) (*Ticker, err
 	if interval <= 0 {
 		return nil, fmt.Errorf("sim: ticker interval %v must be positive", interval)
 	}
-	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t := &Ticker{engine: e, interval: interval, fn: fn, start: e.Now()}
 	if err := t.arm(); err != nil {
 		return nil, err
 	}
@@ -211,13 +211,20 @@ func (e *Engine) NewTicker(interval float64, fn func(now float64)) (*Ticker, err
 }
 
 func (t *Ticker) arm() error {
-	ev, err := t.engine.After(t.interval, func() {
+	t.n++
+	at := t.start + float64(t.n)*t.interval
+	if now := t.engine.Now(); at < now {
+		// Float rounding placed the boundary a hair behind the clock;
+		// never schedule in the past.
+		at = now
+	}
+	ev, err := t.engine.Schedule(at, func() {
 		if t.stopped {
 			return
 		}
 		t.fn(t.engine.Now())
 		if !t.stopped {
-			_ = t.arm() // After with positive delay cannot fail
+			_ = t.arm() // Schedule at/after now cannot fail
 		}
 	})
 	if err != nil {

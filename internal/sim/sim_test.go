@@ -211,6 +211,119 @@ func TestLenCountsPending(t *testing.T) {
 	}
 }
 
+// Regression: Ticker used to reschedule via repeated After(interval), so
+// tick n fired at an accumulated-float-error time. Rebased on the tick
+// count, a million 0.02 s ticks must each land exactly on n*0.02.
+func TestTickerNoDrift(t *testing.T) {
+	const (
+		interval = 0.02
+		ticks    = 1_000_000
+	)
+	e := NewEngine()
+	var n uint64
+	var bad []float64
+	_, err := e.NewTicker(interval, func(now float64) {
+		n++
+		if want := float64(n) * interval; now != want && len(bad) < 5 {
+			bad = append(bad, now)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(float64(ticks) * interval); err != nil {
+		t.Fatal(err)
+	}
+	if n != ticks {
+		t.Fatalf("fired %d ticks, want %d", n, ticks)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("ticks off the n*%v grid, first offenders: %v", interval, bad)
+	}
+}
+
+// A ticker created after the clock has moved anchors its grid at creation
+// time, not at zero.
+func TestTickerStartOffset(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(0.25); err != nil {
+		t.Fatal(err)
+	}
+	var ticks []float64
+	if _, err := e.NewTicker(0.25, func(now float64) { ticks = append(ticks, now) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1.0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.75, 1.0}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+// Regression: Len used to be an O(n) scan with a dead canceled-event
+// filter. It must stay an exact pending count through schedule, cancel,
+// and firing.
+func TestLenO1PendingCount(t *testing.T) {
+	e := NewEngine()
+	if e.Len() != 0 {
+		t.Fatalf("empty Len = %d", e.Len())
+	}
+	evs := make([]*Event, 0, 100)
+	for i := 0; i < 100; i++ {
+		evs = append(evs, mustSchedule(t, e, float64(i+1), func() {}))
+	}
+	if e.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", e.Len())
+	}
+	for i := 0; i < 100; i += 2 {
+		e.Cancel(evs[i])
+	}
+	if e.Len() != 50 {
+		t.Fatalf("Len after cancels = %d, want 50", e.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if !e.Step() {
+			t.Fatal("Step exhausted early")
+		}
+	}
+	if e.Len() != 40 {
+		t.Fatalf("Len after 10 steps = %d, want 40", e.Len())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after drain = %d", e.Len())
+	}
+}
+
+func TestProcessedCountsFiredEvents(t *testing.T) {
+	e := NewEngine()
+	a := mustSchedule(t, e, 1, func() {})
+	mustSchedule(t, e, 2, func() {})
+	mustSchedule(t, e, 3, func() {})
+	e.Cancel(a)
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1 (canceled events never fire)", e.Processed())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2", e.Processed())
+	}
+}
+
 // Property: any batch of events fires in non-decreasing time order.
 func TestFiringOrderProperty(t *testing.T) {
 	f := func(delays []uint16) bool {

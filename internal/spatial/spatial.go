@@ -1,0 +1,360 @@
+// Package spatial provides an incrementally-updatable uniform grid over 3-D
+// points for neighbor queries on large fleets: exact nearest-neighbor via
+// expanding cell shells and fixed-radius range queries, both deterministic.
+// Upsert/Remove are O(points per cell); Nearest visits only the shells it
+// must, so dense fleets answer in O(1) cells and the degenerate all-far case
+// is clipped to the live bounding box instead of spiraling through empty
+// space.
+//
+// Determinism contract: Nearest breaks exact distance ties toward the
+// lowest id — matching a first-index-wins linear scan over points inserted
+// in id order — and Within visits ids in ascending order, so callers get
+// byte-identical results regardless of map iteration order.
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+type cellKey struct{ x, y, z int32 }
+
+// Grid is a uniform-cell spatial index. The zero value is not usable; use
+// NewGrid.
+type Grid struct {
+	cell  float64
+	pts   map[int]geo.Vec3
+	cells map[cellKey][]int
+	// bounds of live cells in cell coordinates, maintained lazily:
+	// recomputed on demand after a removal invalidates them.
+	lo, hi      cellKey
+	boundsDirty bool
+}
+
+// NewGrid builds an empty grid with the given cell edge length. Pick the
+// typical query radius: range queries then touch O(1) cells.
+func NewGrid(cellSize float64) (*Grid, error) {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		return nil, fmt.Errorf("spatial: cell size %v must be positive and finite", cellSize)
+	}
+	return &Grid{
+		cell:  cellSize,
+		pts:   make(map[int]geo.Vec3),
+		cells: make(map[cellKey][]int),
+	}, nil
+}
+
+// Len returns the number of live points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+func (g *Grid) key(p geo.Vec3) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / g.cell)),
+		y: int32(math.Floor(p.Y / g.cell)),
+		z: int32(math.Floor(p.Z / g.cell)),
+	}
+}
+
+// Upsert inserts or moves a point. Position updates from waypoint events
+// stay O(points in the two touched cells).
+func (g *Grid) Upsert(id int, p geo.Vec3) {
+	nk := g.key(p)
+	if old, ok := g.pts[id]; ok {
+		ok2 := g.key(old)
+		if ok2 == nk {
+			g.pts[id] = p
+			return
+		}
+		g.removeFromCell(ok2, id)
+	}
+	g.pts[id] = p
+	g.cells[nk] = append(g.cells[nk], id)
+	if len(g.cells) == 1 {
+		g.lo, g.hi = nk, nk
+		return
+	}
+	if g.boundsDirty {
+		return // a pending recompute will see this cell too
+	}
+	g.lo.x = min32(g.lo.x, nk.x)
+	g.lo.y = min32(g.lo.y, nk.y)
+	g.lo.z = min32(g.lo.z, nk.z)
+	g.hi.x = max32(g.hi.x, nk.x)
+	g.hi.y = max32(g.hi.y, nk.y)
+	g.hi.z = max32(g.hi.z, nk.z)
+}
+
+// Remove deletes a point (no-op when absent).
+func (g *Grid) Remove(id int) {
+	p, ok := g.pts[id]
+	if !ok {
+		return
+	}
+	delete(g.pts, id)
+	g.removeFromCell(g.key(p), id)
+}
+
+func (g *Grid) removeFromCell(k cellKey, id int) {
+	ids := g.cells[k]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(g.cells, k)
+		if k.x == g.lo.x || k.y == g.lo.y || k.z == g.lo.z ||
+			k.x == g.hi.x || k.y == g.hi.y || k.z == g.hi.z {
+			g.boundsDirty = true
+		}
+	} else {
+		g.cells[k] = ids
+	}
+}
+
+func (g *Grid) bounds() (cellKey, cellKey, bool) {
+	if len(g.cells) == 0 {
+		return cellKey{}, cellKey{}, false
+	}
+	if g.boundsDirty {
+		first := true
+		for k := range g.cells {
+			if first {
+				g.lo, g.hi = k, k
+				first = false
+				continue
+			}
+			g.lo.x = min32(g.lo.x, k.x)
+			g.lo.y = min32(g.lo.y, k.y)
+			g.lo.z = min32(g.lo.z, k.z)
+			g.hi.x = max32(g.hi.x, k.x)
+			g.hi.y = max32(g.hi.y, k.y)
+			g.hi.z = max32(g.hi.z, k.z)
+		}
+		g.boundsDirty = false
+	}
+	return g.lo, g.hi, true
+}
+
+// Nearest returns the live point closest to p, excluding the point with id
+// exclude (pass a negative id to exclude nothing). Exact ties on distance
+// go to the lowest id — the same winner a first-index-wins linear scan
+// picks. ok is false when no eligible point exists.
+func (g *Grid) Nearest(p geo.Vec3, exclude int) (id int, dist float64, ok bool) {
+	lo, hi, any := g.bounds()
+	if !any || (len(g.pts) == 1 && exclude >= 0 && hasID(g.pts, exclude)) {
+		return 0, 0, false
+	}
+	c := g.key(p)
+	// Shells below the box's Chebyshev distance are provably empty;
+	// shells beyond its farthest corner cannot intersect a live cell.
+	rMin := chebyshevFromBox(c, lo, hi)
+	rMax := chebyshevToBox(c, lo, hi)
+	bestID, bestD := -1, math.Inf(1)
+	consider := func(cand int) {
+		if cand == exclude {
+			return
+		}
+		d := g.pts[cand].Dist(p)
+		if d < bestD || (d == bestD && (bestID < 0 || cand < bestID)) {
+			bestID, bestD = cand, d
+		}
+	}
+	for r := rMin; r <= rMax; r++ {
+		// Any point in a cell at Chebyshev shell r is at least
+		// (r-1)*cell away from p; once the best found beats that floor,
+		// neither this shell nor any farther one can improve on it (ties
+		// keep scanning: an equal-distance lower id may still appear).
+		if bestID >= 0 && float64(r-1)*g.cell > bestD {
+			break
+		}
+		g.shell(c, r, lo, hi, func(ids []int) {
+			for _, cand := range ids {
+				consider(cand)
+			}
+		})
+	}
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return bestID, bestD, true
+}
+
+// Neighbor is one range-query hit.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// Within returns every live point at distance ≤ radius from p (excluding
+// id exclude; negative excludes nothing), sorted by ascending id.
+func (g *Grid) Within(p geo.Vec3, radius float64, exclude int) []Neighbor {
+	if !(radius >= 0) {
+		return nil
+	}
+	var out []Neighbor
+	lo, hi, any := g.bounds()
+	if !any {
+		return nil
+	}
+	klo, khi := lo, hi
+	if !math.IsInf(radius, 1) {
+		klo = g.key(geo.Vec3{X: p.X - radius, Y: p.Y - radius, Z: p.Z - radius})
+		khi = g.key(geo.Vec3{X: p.X + radius, Y: p.Y + radius, Z: p.Z + radius})
+	}
+	klo.x, khi.x = max32(klo.x, lo.x), min32(khi.x, hi.x)
+	klo.y, khi.y = max32(klo.y, lo.y), min32(khi.y, hi.y)
+	klo.z, khi.z = max32(klo.z, lo.z), min32(khi.z, hi.z)
+	if klo.x > khi.x || klo.y > khi.y || klo.z > khi.z {
+		return nil
+	}
+	// A radius much larger than the cell size would walk more cells than
+	// there are points; scan the points directly instead (output is
+	// sorted, so map order does not leak).
+	cellsInRange := int64(khi.x-klo.x+1) * int64(khi.y-klo.y+1) * int64(khi.z-klo.z+1)
+	if cellsInRange > int64(len(g.pts)) {
+		for id, q := range g.pts {
+			if id == exclude {
+				continue
+			}
+			if d := q.Dist(p); d <= radius {
+				out = append(out, Neighbor{ID: id, Dist: d})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	for x := klo.x; x <= khi.x; x++ {
+		for y := klo.y; y <= khi.y; y++ {
+			for z := klo.z; z <= khi.z; z++ {
+				for _, id := range g.cells[cellKey{x, y, z}] {
+					if id == exclude {
+						continue
+					}
+					if d := g.pts[id].Dist(p); d <= radius {
+						out = append(out, Neighbor{ID: id, Dist: d})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// shell visits the cells at exactly Chebyshev radius r around c whose
+// coordinates fall inside the live bounding box — face loops are clamped
+// to the box, so a huge shell around a faraway query point costs only the
+// box-intersecting fraction.
+func (g *Grid) shell(c cellKey, r int32, lo, hi cellKey, visit func(ids []int)) {
+	look := func(k cellKey) {
+		if ids, ok := g.cells[k]; ok {
+			visit(ids)
+		}
+	}
+	xlo, xhi := max32(c.x-r, lo.x), min32(c.x+r, hi.x)
+	ylo, yhi := max32(c.y-r, lo.y), min32(c.y+r, hi.y)
+	zlo, zhi := max32(c.z-r, lo.z), min32(c.z+r, hi.z)
+	if xlo > xhi || ylo > yhi || zlo > zhi {
+		return
+	}
+	if r == 0 {
+		look(c)
+		return
+	}
+	for _, zf := range []int32{c.z - r, c.z + r} {
+		if zf < zlo || zf > zhi {
+			continue
+		}
+		for x := xlo; x <= xhi; x++ {
+			for y := ylo; y <= yhi; y++ {
+				look(cellKey{x, y, zf})
+			}
+		}
+	}
+	izlo, izhi := max32(zlo, c.z-r+1), min32(zhi, c.z+r-1)
+	for _, yf := range []int32{c.y - r, c.y + r} {
+		if yf < ylo || yf > yhi {
+			continue
+		}
+		for x := xlo; x <= xhi; x++ {
+			for z := izlo; z <= izhi; z++ {
+				look(cellKey{x, yf, z})
+			}
+		}
+	}
+	iylo, iyhi := max32(ylo, c.y-r+1), min32(yhi, c.y+r-1)
+	for _, xf := range []int32{c.x - r, c.x + r} {
+		if xf < xlo || xf > xhi {
+			continue
+		}
+		for y := iylo; y <= iyhi; y++ {
+			for z := izlo; z <= izhi; z++ {
+				look(cellKey{xf, y, z})
+			}
+		}
+	}
+}
+
+// chebyshevFromBox is the Chebyshev distance from c to the nearest cell of
+// the box [lo, hi] (0 when inside): shells closer than it are empty.
+func chebyshevFromBox(c, lo, hi cellKey) int32 {
+	m := int32(0)
+	if c.x < lo.x {
+		m = max32(m, lo.x-c.x)
+	} else if c.x > hi.x {
+		m = max32(m, c.x-hi.x)
+	}
+	if c.y < lo.y {
+		m = max32(m, lo.y-c.y)
+	} else if c.y > hi.y {
+		m = max32(m, c.y-hi.y)
+	}
+	if c.z < lo.z {
+		m = max32(m, lo.z-c.z)
+	} else if c.z > hi.z {
+		m = max32(m, c.z-hi.z)
+	}
+	return m
+}
+
+// chebyshevToBox is the Chebyshev distance from c to the farthest corner of
+// the box [lo, hi]: shells beyond it cannot intersect any live cell.
+func chebyshevToBox(c, lo, hi cellKey) int32 {
+	m := int32(0)
+	m = max32(m, abs32(c.x-lo.x))
+	m = max32(m, abs32(c.x-hi.x))
+	m = max32(m, abs32(c.y-lo.y))
+	m = max32(m, abs32(c.y-hi.y))
+	m = max32(m, abs32(c.z-lo.z))
+	m = max32(m, abs32(c.z-hi.z))
+	return m
+}
+
+func hasID(m map[int]geo.Vec3, id int) bool { _, ok := m[id]; return ok }
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs32(a int32) int32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

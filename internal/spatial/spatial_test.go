@@ -1,0 +1,175 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// bruteNearest is the reference O(n) scan: strict d < best over ascending
+// ids, so exact distance ties go to the lowest id — the contract Grid
+// promises.
+func bruteNearest(pts map[int]geo.Vec3, p geo.Vec3, exclude int) (int, float64, bool) {
+	bestID, bestD := -1, math.Inf(1)
+	maxID := -1
+	for id := range pts {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := 0; id <= maxID; id++ {
+		q, ok := pts[id]
+		if !ok || id == exclude {
+			continue
+		}
+		if d := q.Dist(p); d < bestD {
+			bestID, bestD = id, d
+		}
+	}
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return bestID, bestD, true
+}
+
+func bruteWithin(pts map[int]geo.Vec3, p geo.Vec3, radius float64, exclude int) []Neighbor {
+	maxID := -1
+	for id := range pts {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	var out []Neighbor
+	for id := 0; id <= maxID; id++ {
+		q, ok := pts[id]
+		if !ok || id == exclude {
+			continue
+		}
+		if d := q.Dist(p); d <= radius {
+			out = append(out, Neighbor{ID: id, Dist: d})
+		}
+	}
+	return out
+}
+
+func randVec(rng *rand.Rand, span float64) geo.Vec3 {
+	return geo.Vec3{
+		X: (rng.Float64() - 0.5) * span,
+		Y: (rng.Float64() - 0.5) * span,
+		Z: rng.Float64() * span * 0.1,
+	}
+}
+
+// Property: on randomized fleets under churn (inserts, moves, removals),
+// grid neighbor queries match the brute-force O(n²) scan exactly —
+// including tie-breaks — for both nearest-neighbor and range queries.
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 60; round++ {
+		cell := []float64{5, 37.5, 150, 900}[round%4]
+		span := []float64{40, 400, 2000}[round%3]
+		g, err := NewGrid(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := make(map[int]geo.Vec3)
+		n := 1 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			p := randVec(rng, span)
+			if i > 0 && rng.Float64() < 0.15 {
+				// Duplicate an existing position: forces distance ties.
+				p = ref[rng.Intn(i)]
+			}
+			g.Upsert(i, p)
+			ref[i] = p
+		}
+		// Churn: moves and removals, as waypoint events and kills produce.
+		for op := 0; op < n/2; op++ {
+			id := rng.Intn(n)
+			if rng.Float64() < 0.3 {
+				g.Remove(id)
+				delete(ref, id)
+			} else {
+				p := randVec(rng, span)
+				g.Upsert(id, p)
+				ref[id] = p
+			}
+		}
+		if g.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, want %d", round, g.Len(), len(ref))
+		}
+		for q := 0; q < 25; q++ {
+			p := randVec(rng, span*1.5) // some queries outside the fleet
+			exclude := -1
+			if rng.Float64() < 0.3 {
+				exclude = rng.Intn(n)
+			}
+			gotID, gotD, gotOK := g.Nearest(p, exclude)
+			wantID, wantD, wantOK := bruteNearest(ref, p, exclude)
+			if gotOK != wantOK || (gotOK && (gotID != wantID || gotD != wantD)) {
+				t.Fatalf("round %d: Nearest(%v, excl %d) = (%d, %v, %v), want (%d, %v, %v)",
+					round, p, exclude, gotID, gotD, gotOK, wantID, wantD, wantOK)
+			}
+			radius := rng.Float64() * span
+			got := g.Within(p, radius, exclude)
+			want := bruteWithin(ref, p, radius, exclude)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: Within(%v, %v) returned %d hits, want %d",
+					round, p, radius, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: Within hit %d = %+v, want %+v", round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGridEmptyAndSingle(t *testing.T) {
+	g, err := NewGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := g.Nearest(geo.Vec3{}, -1); ok {
+		t.Fatal("Nearest on empty grid reported a hit")
+	}
+	if hits := g.Within(geo.Vec3{}, 100, -1); hits != nil {
+		t.Fatalf("Within on empty grid = %v", hits)
+	}
+	g.Upsert(3, geo.Vec3{X: 4})
+	if id, d, ok := g.Nearest(geo.Vec3{}, -1); !ok || id != 3 || d != 4 {
+		t.Fatalf("Nearest = (%d, %v, %v)", id, d, ok)
+	}
+	if _, _, ok := g.Nearest(geo.Vec3{}, 3); ok {
+		t.Fatal("excluding the only point still reported a hit")
+	}
+	g.Remove(3)
+	g.Remove(3) // idempotent
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d after removal", g.Len())
+	}
+}
+
+func TestGridRejectsBadCell(t *testing.T) {
+	for _, c := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewGrid(c); err == nil {
+			t.Fatalf("cell size %v accepted", c)
+		}
+	}
+}
+
+func TestGridWithinInfiniteRadius(t *testing.T) {
+	g, err := NewGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g.Upsert(i, geo.Vec3{X: float64(i) * 100})
+	}
+	if hits := g.Within(geo.Vec3{}, math.Inf(1), -1); len(hits) != 5 {
+		t.Fatalf("infinite radius returned %d hits", len(hits))
+	}
+}

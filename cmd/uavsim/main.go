@@ -13,10 +13,17 @@
 //	uavsim -chaos faults.txt    # inject a scripted fault schedule
 //	uavsim -resilient           # resumable transfers with retry/backoff
 //	uavsim -scenario spec.json  # run a declarative scenario file instead
+//	uavsim -validate spec.json  # validate + compile a Spec without running
 //
 // With -scenario the mission comes entirely from the JSON Spec (see
 // internal/scenario): vehicles, routes, link, workloads, chaos script and
 // decision policy, all executed on the one engine clock.
+//
+// -validate is the dry-run gate for scenario files: it loads the Spec
+// (Validate runs at load, chaos script included), compiles it against the
+// event-driven core, and prints the Spec fingerprint — without simulating
+// anything. A CI job or a pre-flight check can reject a malformed scenario
+// in milliseconds.
 package main
 
 import (
@@ -49,8 +56,17 @@ func main() {
 	chaosPath := fs.String("chaos", "", "scripted fault schedule file (see internal/chaos for the format)")
 	resilient := fs.Bool("resilient", false, "resumable transfer with per-attempt timeout and jittered backoff")
 	scenarioPath := fs.String("scenario", "", "declarative scenario Spec file (JSON; see internal/scenario)")
+	validatePath := fs.String("validate", "", "validate and compile a scenario Spec file without running it")
 	verbose := fs.Bool("v", false, "log telemetry traffic")
 	_ = fs.Parse(os.Args[1:])
+
+	if *validatePath != "" {
+		if err := validateScenario(*validatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "uavsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scenarioPath != "" {
 		if err := runScenario(*scenarioPath); err != nil {
@@ -73,6 +89,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uavsim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateScenario is the -validate dry run: load (which validates the
+// Spec, chaos script included), compile against the event-driven core, and
+// print the canonical fingerprint — no simulation.
+func validateScenario(path string) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	if _, err := scenario.Compile(spec); err != nil {
+		return err
+	}
+	fp, err := scenario.Fingerprint(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: valid (%d vehicle(s), %d traffic, %d transfer(s), %d chaos line(s), fingerprint %016x)\n",
+		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), len(spec.Chaos), fp)
+	return nil
 }
 
 // runScenario loads, compiles and executes a declarative Spec, then prints

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -85,5 +87,64 @@ func TestMissionChaosOutageAndResilience(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("log missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// -validate must accept a valid Spec file (printing its fingerprint, not
+// running it) and reject a malformed chaos script with the line number.
+func TestValidateScenarioDryRun(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{
+		"name": "dry-run",
+		"seed": 4,
+		"duration_s": 5,
+		"vehicles": [
+			{"id": "a", "platform": "arducopter", "start": {"Z": 20}, "hold": true},
+			{"id": "b", "platform": "arducopter", "start": {"X": 50, "Z": 20}, "hold": true}
+		],
+		"transfers": [{"from": "a", "to": "b", "size_mb": 0.1, "deadline_s": 10}],
+		"chaos": ["vehicle fail a 3"]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	vErr := validateScenario(good)
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if vErr != nil {
+		t.Fatalf("valid spec rejected: %v", vErr)
+	}
+	for _, want := range []string{`scenario "dry-run": valid`, "fingerprint "} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(string(out), "clock at exit") {
+		t.Error("dry run appears to have executed the scenario")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{
+		"name": "bad-chaos",
+		"seed": 4,
+		"vehicles": [{"id": "a", "platform": "arducopter", "start": {"Z": 20}, "hold": true}],
+		"chaos": ["vehicle fail a 3", "link outage a oops 9"]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateScenario(bad); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed chaos accepted or line not named: %v", err)
+	}
+
+	if err := validateScenario(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }

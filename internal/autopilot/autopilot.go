@@ -45,6 +45,14 @@ func (m Mode) String() string {
 // ArrivalRadiusM is the distance at which a waypoint counts as reached.
 const ArrivalRadiusM = 3.0
 
+// maxLegHopsPerStep bounds how many immediately-satisfied GoTo legs one
+// command evaluation may chain through. A route whose next waypoints all
+// sit within the arrival radius fires their callbacks back to back; a loop
+// route re-entering at an already-reached waypoint would chain forever, so
+// past the budget the craft simply holds for the rest of the tick and
+// resumes unwinding on the next one.
+const maxLegHopsPerStep = 64
+
 // Autopilot steers one vehicle.
 type Autopilot struct {
 	v      *uav.Vehicle
@@ -133,6 +141,15 @@ func (a *Autopilot) Settled() bool {
 	if a.v.Velocity() != (geo.Vec3{}) {
 		return false
 	}
+	// A craft outside the altitude envelope is not at a fixed point even
+	// with a zero command: Step clamps it back inside, so eliding here
+	// would freeze it at an altitude the dynamics never allow (found by
+	// differential verification — a holding quad spawned above its ceiling
+	// stayed there in the event-driven path while the lockstep reference
+	// correctly pulled it down).
+	if p := a.v.Position(); p.Z > a.v.MaxSafeAltitudeM || p.Z < 0 {
+		return false
+	}
 	switch a.mode {
 	case Idle:
 		return true
@@ -156,33 +173,47 @@ func (a *Autopilot) command() geo.Vec3 {
 }
 
 func (a *Autopilot) goToCommand() geo.Vec3 {
-	sep := a.target.Sub(a.v.Position())
-	dist := sep.Norm()
-	if dist <= ArrivalRadiusM {
-		if !a.arrived {
-			a.arrived = true
-			// Default post-arrival behaviour is station keeping; the
-			// callback may override it (e.g. issue the next leg), so set
-			// the mode before firing and re-dispatch afterwards.
-			a.mode = Hold
-			if a.onArrive != nil {
-				cb := a.onArrive
-				a.onArrive = nil
-				cb()
+	// Chain through immediately-satisfied legs iteratively, never
+	// recursively: each arrival callback may issue the next GoTo, and a
+	// loop route re-entering at the waypoint just reached would otherwise
+	// recurse until the stack overflows (found by the adversarial scenario
+	// generator: a valid spec with loop_from naming the final waypoint).
+	for hops := 0; hops < maxLegHopsPerStep; hops++ {
+		sep := a.target.Sub(a.v.Position())
+		dist := sep.Norm()
+		if dist > ArrivalRadiusM {
+			speed := a.speed
+			if a.v.CanHover {
+				// Decelerate on approach so quads do not overshoot.
+				if brake := math.Sqrt(2 * a.v.AccelMPS2 * dist); brake < speed {
+					speed = brake
+				}
 			}
+			return sep.Unit().Scale(speed)
+		}
+		if a.arrived {
+			a.mode = Hold
+			return a.holdCommand()
+		}
+		a.arrived = true
+		// Default post-arrival behaviour is station keeping; the callback
+		// may override it (e.g. issue the next leg), so set the mode
+		// before firing and re-dispatch afterwards.
+		a.mode = Hold
+		if a.onArrive != nil {
+			cb := a.onArrive
+			a.onArrive = nil
+			cb()
+		}
+		if a.mode != GoTo {
+			// The callback left Hold/Idle in place — dispatch it directly
+			// (neither can re-enter this loop).
 			return a.command()
 		}
-		a.mode = Hold
-		return a.holdCommand()
 	}
-	speed := a.speed
-	if a.v.CanHover {
-		// Decelerate on approach so quads do not overshoot.
-		if brake := math.Sqrt(2 * a.v.AccelMPS2 * dist); brake < speed {
-			speed = brake
-		}
-	}
-	return sep.Unit().Scale(speed)
+	// Hop budget exhausted: every reachable waypoint is inside the arrival
+	// radius. Hold for the rest of this tick; the chain resumes next tick.
+	return geo.Vec3{}
 }
 
 // holdCommand keeps station: hover in place for rotorcraft, orbit the

@@ -246,3 +246,55 @@ func TestSettledOnFailure(t *testing.T) {
 		t.Fatal("failed vehicle not settled")
 	}
 }
+
+// A hold quad spawned above its operational ceiling is NOT at a fixed
+// point: Step clamps it back inside the envelope. Reporting it settled let
+// the event-driven scenario core elide it frozen above the ceiling while
+// the lockstep reference pulled it down (caught by differential
+// verification).
+func TestSettledFalseOutsideAltitudeEnvelope(t *testing.T) {
+	ceiling := newQuad(t, geo.Vec3{Z: 10}).Vehicle().MaxSafeAltitudeM
+	a := newQuad(t, geo.Vec3{Z: ceiling + 10})
+	a.Hold(a.Vehicle().Position())
+	if a.Settled() {
+		t.Fatal("craft above the ceiling reported settled")
+	}
+	// Step must actually bring it inside, after which hold at the (still
+	// out-of-envelope) spawn target keeps it unsettled and station-bound.
+	a.Step(0.02)
+	if z := a.Vehicle().Position().Z; z > ceiling {
+		t.Fatalf("altitude %v still above ceiling %v after a step", z, ceiling)
+	}
+	// The legal-altitude twin settles as before.
+	b := newQuad(t, geo.Vec3{Z: ceiling - 10})
+	b.Hold(b.Vehicle().Position())
+	if !b.Settled() {
+		t.Fatal("in-envelope hold quad no longer settles")
+	}
+}
+
+// A loop route that re-enters at the waypoint just reached chains arrival
+// callbacks forever; the dispatch must iterate under a bounded hop budget
+// instead of recursing until the stack overflows (caught by the
+// adversarial scenario generator: a valid spec with loop_from naming the
+// final waypoint).
+func TestLoopOntoReachedWaypointDoesNotRecurse(t *testing.T) {
+	a := newQuad(t, geo.Vec3{Z: 10})
+	target := geo.Vec3{X: 1, Z: 10} // within ArrivalRadiusM of the start
+	var legs int
+	var next func()
+	next = func() {
+		legs++
+		a.GoTo(target, 0, next) // immediately satisfied, forever
+	}
+	a.GoTo(target, 0, next)
+	for i := 0; i < 50; i++ {
+		a.Step(0.02) // must terminate: hop budget, not stack depth
+	}
+	if legs < maxLegHopsPerStep {
+		t.Fatalf("only %d legs chained; budget %d never engaged", legs, maxLegHopsPerStep)
+	}
+	if pos := a.Vehicle().Position(); pos.Dist(geo.Vec3{Z: 10}) > ArrivalRadiusM {
+		t.Fatalf("craft wandered to %v while chaining in-radius legs", pos)
+	}
+}

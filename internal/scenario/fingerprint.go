@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+	"math"
+)
+
+// Result fingerprints hash the *outcome* of a run, not the Spec that
+// produced it (Result.Name and Result.Fingerprint are deliberately
+// excluded): two different Specs that must behave identically — a chaos
+// permutation, an elision toggle — then hash identically, which is exactly
+// the identity the differential harness compares. Floats are hashed by
+// their IEEE-754 bits, so the fingerprint is sensitive to a single ULP of
+// drift anywhere in a run.
+
+// ResultFingerprint hashes every observable outcome of a Result: all
+// traffic windows, all transfer outcomes including their progress series,
+// every vehicle's final state, and the final clock.
+func ResultFingerprint(r Result) uint64 {
+	h := newFPHash()
+	h.f64(r.DurationS)
+	h.workload(r)
+	h.i64(int64(len(r.Vehicles)))
+	for _, v := range r.Vehicles {
+		h.str(v.ID)
+		h.f64(v.Position.X)
+		h.f64(v.Position.Y)
+		h.f64(v.Position.Z)
+		h.bool(v.RouteDone)
+		h.bool(v.Failed)
+		h.f64(v.FailedAtS)
+	}
+	return h.sum()
+}
+
+// WorkloadFingerprint hashes only the workload outcomes (traffic windows
+// and transfers), ignoring final vehicle states and the final clock. It is
+// the identity preserved by metamorphic transforms that only change what
+// happens *after* all workloads finish — e.g. extending DurationS past
+// quiescence, which moves circling vehicles but must not rewrite history.
+func WorkloadFingerprint(r Result) uint64 {
+	h := newFPHash()
+	h.workload(r)
+	return h.sum()
+}
+
+type fpHash struct{ h hash.Hash64 }
+
+func newFPHash() *fpHash { return &fpHash{h: fnv.New64a()} }
+
+func (p *fpHash) sum() uint64 { return p.h.Sum64() }
+
+func (p *fpHash) f64(x float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+	p.h.Write(b[:])
+}
+
+func (p *fpHash) i64(x int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(x))
+	p.h.Write(b[:])
+}
+
+func (p *fpHash) bool(x bool) {
+	if x {
+		p.h.Write([]byte{1})
+	} else {
+		p.h.Write([]byte{0})
+	}
+}
+
+func (p *fpHash) str(s string) {
+	p.i64(int64(len(s)))
+	p.h.Write([]byte(s))
+}
+
+func (p *fpHash) workload(r Result) {
+	p.i64(int64(len(r.Traffic)))
+	for _, tr := range r.Traffic {
+		p.str(tr.From)
+		p.str(tr.To)
+		p.f64(tr.StartS)
+		p.i64(int64(len(tr.Samples)))
+		for _, s := range tr.Samples {
+			p.f64(s.TimeS)
+			p.f64(s.ThroughputMb)
+			p.f64(s.DistanceM)
+			p.f64(s.RelSpeedMPS)
+			p.f64(s.LossRate)
+			p.bool(s.Partial)
+		}
+	}
+	p.i64(int64(len(r.Transfers)))
+	for _, tr := range r.Transfers {
+		p.str(tr.From)
+		p.str(tr.To)
+		p.f64(tr.StartS)
+		p.f64(tr.CompletionS)
+		p.f64(tr.D0M)
+		p.f64(tr.DoptM)
+		p.i64(tr.DeliveredBytes)
+		p.i64(tr.RetransmittedBytes)
+		p.bool(tr.Rerouted)
+		p.i64(int64(len(tr.Series)))
+		for _, pt := range tr.Series {
+			p.f64(pt.TimeS)
+			p.f64(pt.DeliveredMB)
+			p.f64(pt.DistanceM)
+		}
+	}
+}

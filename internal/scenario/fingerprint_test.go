@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/transport"
+)
+
+// Result fingerprints must be deterministic, exclude the Spec identity,
+// and be sensitive to single-field outcome changes.
+func TestResultFingerprintProperties(t *testing.T) {
+	base := Result{
+		Name:        "a",
+		Fingerprint: 1,
+		DurationS:   10,
+		Traffic: []TrafficResult{{From: "x", To: "y", StartS: 1,
+			Samples: []Sample{{TimeS: 0, ThroughputMb: 12.5, DistanceM: 80, Partial: true}}}},
+		Transfers: []TransferResult{{From: "x", To: "y", StartS: 2, CompletionS: 3,
+			DeliveredBytes: 100, Series: []transport.SeriesPoint{{TimeS: 1, DeliveredMB: 0.1}}}},
+		Vehicles: []VehicleResult{{ID: "x", RouteDone: true}},
+	}
+	fp := ResultFingerprint(base)
+	if fp != ResultFingerprint(base) {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	// Spec identity is excluded: a renamed result hashes identically.
+	renamed := base
+	renamed.Name, renamed.Fingerprint = "b", 2
+	if ResultFingerprint(renamed) != fp {
+		t.Fatal("fingerprint depends on Spec identity")
+	}
+
+	// Every outcome field participates.
+	mutations := map[string]func(*Result){
+		"duration":       func(r *Result) { r.DurationS++ },
+		"sample":         func(r *Result) { r.Traffic[0].Samples[0].ThroughputMb++ },
+		"partial flag":   func(r *Result) { r.Traffic[0].Samples[0].Partial = false },
+		"delivered":      func(r *Result) { r.Transfers[0].DeliveredBytes++ },
+		"series point":   func(r *Result) { r.Transfers[0].Series[0].DeliveredMB++ },
+		"vehicle flag":   func(r *Result) { r.Vehicles[0].RouteDone = false },
+		"vehicle id":     func(r *Result) { r.Vehicles[0].ID = "z" },
+		"transfer order": func(r *Result) { r.Transfers[0].To = "z" },
+	}
+	for name, mutate := range mutations {
+		r := base
+		// Deep-enough copy for the slices each mutation touches.
+		r.Traffic = []TrafficResult{base.Traffic[0]}
+		r.Traffic[0].Samples = append([]Sample(nil), base.Traffic[0].Samples...)
+		r.Transfers = []TransferResult{base.Transfers[0]}
+		r.Transfers[0].Series = append([]transport.SeriesPoint(nil), base.Transfers[0].Series...)
+		r.Vehicles = append([]VehicleResult(nil), base.Vehicles...)
+		mutate(&r)
+		if ResultFingerprint(r) == fp {
+			t.Fatalf("mutation %q did not change the fingerprint", name)
+		}
+	}
+
+	// WorkloadFingerprint ignores vehicles and the final clock...
+	wfp := WorkloadFingerprint(base)
+	later := base
+	later.DurationS = 99
+	later.Vehicles = []VehicleResult{{ID: "x", RouteDone: false}}
+	if WorkloadFingerprint(later) != wfp {
+		t.Fatal("workload fingerprint leaked post-workload state")
+	}
+	// ...but still covers workload outcomes.
+	changed := base
+	changed.Transfers = []TransferResult{base.Transfers[0]}
+	changed.Transfers[0].DeliveredBytes++
+	if WorkloadFingerprint(changed) == wfp {
+		t.Fatal("workload fingerprint missed a transfer change")
+	}
+}

@@ -16,6 +16,17 @@ func FuzzDecodeSpec(f *testing.F) {
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}]}`),
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"swinglet","start":{"x":1},"route":[{"x":5}],"loop":true}]}`),
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}],"chaos":["vehicle fail a 5"]}`),
+		// Non-finite smuggling attempts, one per numeric field class: JSON
+		// cannot spell NaN, but out-of-range exponents and bare literals
+		// probe both the decode gate and Validate's shared finite() check.
+		[]byte(`{"name":"x","seed":1,"duration_s":1e999,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{"x":NaN},"hold":true}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"speed_mps":-1e999,"route":[{"x":5}]}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"route":[{"y":Infinity}]}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true},{"id":"b","platform":"arducopter","start":{},"hold":true}],"traffic":[{"from":"a","to":"b","start_s":1e999,"duration_s":1,"window_s":1}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true},{"id":"b","platform":"arducopter","start":{},"hold":true}],"transfers":[{"from":"a","to":"b","size_mb":1e999,"deadline_s":10}]}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true},{"id":"b","platform":"arducopter","start":{},"hold":true}],"transfers":[{"from":"a","to":"b","size_mb":1,"deadline_s":10,"decision":{"kind":"exact","rho_per_m":1e999}}]}`),
+		[]byte(`{"name":"x","seed":1,"link":{"rate":"mcs99"},"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}]}`),
 	}
 	if data, err := Encode(twoQuadSpec()); err == nil {
 		seeds = append(seeds, data)

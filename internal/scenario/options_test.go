@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/sim"
+)
+
+// richSpec exercises every Runtime subsystem at once: routes with loops, a
+// hold, a mid-flight kill, link chaos, traffic and a decided transfer with
+// failover.
+func richSpec() Spec {
+	return Spec{
+		Name: "options-rich",
+		Seed: 11,
+		Vehicles: []VehicleSpec{
+			{ID: "tx", Platform: PlatformQuad, Start: geo.Vec3{X: 300, Z: 20},
+				Route: []geo.Vec3{{X: 120, Z: 20}, {X: 60, Y: 40, Z: 20}}, SpeedMPS: 9},
+			{ID: "rx", Platform: PlatformQuad, Start: geo.Vec3{Z: 20}, Hold: true},
+			{ID: "alt", Platform: PlatformQuad, Start: geo.Vec3{Y: 30, Z: 20}, Hold: true},
+			{ID: "orbit", Platform: PlatformPlane, Start: geo.Vec3{X: 500, Y: 500, Z: 60},
+				Route: []geo.Vec3{{X: 700, Y: 500, Z: 60}, {X: 700, Y: 700, Z: 60}}, Loop: true},
+		},
+		Traffic: []TrafficSpec{
+			{From: "tx", To: "rx", StartS: 0.5, DurationS: 2.3, WindowS: 1},
+		},
+		Transfers: []TransferSpec{
+			{From: "tx", To: "rx", SizeMB: 0.4, DeadlineS: 60, Reliable: true,
+				StartOnArrival: true, AltTo: "alt",
+				Decision: &DecisionSpec{Kind: "exact", RhoPerM: 1e-3}},
+		},
+		Chaos: []string{
+			"vehicle fail orbit 7.31",
+			"link fade rx 6 1 2",
+		},
+		DurationS: 25,
+	}
+}
+
+// The lockstep reference path (no lazy integration, no elision) must
+// produce a bit-identical Result to the event-driven core — the
+// fundamental differential-oracle property.
+func TestLockstepMatchesEventDriven(t *testing.T) {
+	holders := twoQuadSpec()
+	holders.DurationS = 20
+	for _, spec := range []Spec{richSpec(), holders} {
+		run := func(opts Options) (Result, *Runtime) {
+			rt, err := CompileWithOptions(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, rt
+		}
+		evRes, evRT := run(Options{CheckInvariants: true})
+		lsRes, lsRT := run(Options{Lockstep: true, CheckInvariants: true})
+		if got, want := ResultFingerprint(lsRes), ResultFingerprint(evRes); got != want {
+			t.Fatalf("%s: lockstep fingerprint %016x != event-driven %016x", spec.Name, got, want)
+		}
+		for _, rt := range []*Runtime{evRT, lsRT} {
+			if v := rt.InvariantViolations(); len(v) != 0 {
+				t.Fatalf("%s: invariant violations: %v", spec.Name, v)
+			}
+		}
+		if st := lsRT.Stats(); st.SubTicksElided != 0 {
+			t.Fatalf("%s: lockstep run elided %d sub-ticks", spec.Name, st.SubTicksElided)
+		}
+		if st := evRT.Stats(); st.SubTicksElided == 0 {
+			t.Fatalf("%s: event-driven run elided nothing — lockstep comparison is vacuous", spec.Name)
+		}
+	}
+}
+
+// A crafted under-sized event queue must abort gracefully: Run returns a
+// typed ErrEventStorm, and the partial Result (vehicle states) survives.
+func TestEventStormGracefulAbort(t *testing.T) {
+	s := Spec{Name: "storm", Seed: 1, DurationS: 5}
+	for _, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		s.Vehicles = append(s.Vehicles, VehicleSpec{
+			ID: id, Platform: PlatformQuad, Start: geo.Vec3{Z: 10},
+			Route: []geo.Vec3{{X: 100, Z: 10}}, SpeedMPS: 10,
+		})
+	}
+	// Each routed craft arms one arrival-prediction event at compile time;
+	// a limit of 3 cannot hold all six.
+	rt, err := CompileWithOptions(s, Options{PendingLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err == nil {
+		t.Fatal("under-sized event queue did not surface an error")
+	}
+	if !errors.Is(err, sim.ErrEventStorm) {
+		t.Fatalf("err = %v, want errors.Is sim.ErrEventStorm", err)
+	}
+	if len(res.Vehicles) != len(s.Vehicles) {
+		t.Fatalf("partial result lost vehicle states: got %d, want %d", len(res.Vehicles), len(s.Vehicles))
+	}
+	if st := rt.Stats(); st.PeakPendingEvents > 3 {
+		t.Fatalf("peak pending %d exceeded the limit 3", st.PeakPendingEvents)
+	}
+}
+
+// The default queue bound must be invisible to legitimate scenarios and
+// recorded in Stats.
+func TestDefaultPendingLimitGenerous(t *testing.T) {
+	rt, err := Compile(richSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lim := rt.Engine().PendingLimit(); lim < eventQueueBase {
+		t.Fatalf("default pending limit %d below base %d", lim, eventQueueBase)
+	}
+	if st := rt.Stats(); st.PeakPendingEvents == 0 || st.PeakPendingEvents >= rt.Engine().PendingLimit() {
+		t.Fatalf("peak pending %d implausible against limit %d", st.PeakPendingEvents, rt.Engine().PendingLimit())
+	}
+}
+
+// Malformed chaos lines must fail at Spec validation with the offending
+// line number, not mid-run (regression for the pre-validation era where a
+// bad script was only parsed at Compile).
+func TestChaosLineErrorsAtValidateWithLineNumber(t *testing.T) {
+	s := twoQuadSpec()
+	s.Chaos = []string{
+		"vehicle fail tx 5",
+		"link outage rx nonsense 9", // line 2: malformed number
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("malformed chaos line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name the offending line", err)
+	}
+	// The same failure must also gate Decode, the file-load path.
+	data, encErr := Encode(s)
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("Decode error %v does not name the offending line", err)
+	}
+}
+
+// Every numeric field class must reject NaN and ±Inf through the one
+// shared finite() gate — a NaN smuggled into any of them would otherwise
+// poison the engine clock or the link model silently.
+func TestValidateRejectsNonFiniteFieldClasses(t *testing.T) {
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	cases := map[string]func(*Spec, float64){
+		"duration":          func(s *Spec, x float64) { s.DurationS = x },
+		"vehicle speed":     func(s *Spec, x float64) { s.Vehicles[0].SpeedMPS = x },
+		"vehicle start":     func(s *Spec, x float64) { s.Vehicles[0].Start.X = x },
+		"waypoint":          func(s *Spec, x float64) { s.Vehicles[0].Route[0].Y = x },
+		"traffic start":     func(s *Spec, x float64) { s.Traffic[0].StartS = x },
+		"traffic duration":  func(s *Spec, x float64) { s.Traffic[0].DurationS = x },
+		"traffic window":    func(s *Spec, x float64) { s.Traffic[0].WindowS = x },
+		"transfer size":     func(s *Spec, x float64) { s.Transfers[0].SizeMB = x },
+		"transfer deadline": func(s *Spec, x float64) { s.Transfers[0].DeadlineS = x },
+		"transfer start":    func(s *Spec, x float64) { s.Transfers[0].StartS = x },
+		"decision rho":      func(s *Spec, x float64) { s.Transfers[0].Decision.RhoPerM = x },
+	}
+	for name, poison := range cases {
+		for _, bad := range bads {
+			s := richSpec()
+			if s.Validate() != nil {
+				t.Fatal("base spec must be valid")
+			}
+			poison(&s, bad)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("%s = %v accepted", name, bad)
+			}
+		}
+	}
+}

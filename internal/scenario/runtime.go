@@ -83,6 +83,42 @@ func (c *Craft) Failed() bool { return c.failed }
 // FailedAtS is the exact scenario clock of the chaos kill (+Inf alive).
 func (c *Craft) FailedAtS() float64 { return c.failedAt }
 
+// Event-queue bound defaults: legitimate scenarios keep at most a handful
+// of pending events per craft (one armed kill, one arrival prediction), so
+// the default limit — a generous base plus per-craft headroom — is far
+// above any real peak while still catching runaway self-scheduling before
+// it exhausts memory.
+const (
+	eventQueueBase     = 4096
+	eventQueuePerCraft = 32
+)
+
+// maxViolations bounds the recorded invariant-violation log so a systemic
+// bug cannot itself exhaust memory while being reported.
+const maxViolations = 64
+
+// Options tunes how a Spec is compiled onto the engine. The zero value is
+// the production configuration: event-driven core with elision on and
+// invariant checks off.
+type Options struct {
+	// Lockstep selects the retained reference semantics: lazy per-craft
+	// integration and settled-craft elision are disabled and every craft
+	// is advanced on every control tick, exactly as the pre-event-driven
+	// Runtime did. A lockstep run must produce a bit-identical Result to
+	// an event-driven run of the same Spec — the differential oracle the
+	// verification harness (internal/scenariogen) checks.
+	Lockstep bool
+	// CheckInvariants arms runtime assertions — monotonic engine clock,
+	// finite non-negative battery, finite positions, sub-tick frontier
+	// consistency — recording violations for InvariantViolations instead
+	// of panicking, so a harness can report them with the offending Spec.
+	CheckInvariants bool
+	// PendingLimit overrides the engine's event-queue bound. 0 selects the
+	// default (eventQueueBase + eventQueuePerCraft per vehicle); negative
+	// removes the bound.
+	PendingLimit int
+}
+
 // Runtime executes one compiled Spec on an event-driven core. The engine
 // clock is advanced by RunUntil alone (workloads pace it by the link clock,
 // waits by accumulated control-tick boundaries); everything that used to be
@@ -114,6 +150,13 @@ type Runtime struct {
 	// err latches the first internal clock error (it indicates a Runtime
 	// bug, not a bad Spec, and is surfaced by Run).
 	err error
+	// opts is the compile-time configuration (lockstep, invariant checks,
+	// event-queue bound).
+	opts Options
+	// violations records CheckInvariants failures (capped at
+	// maxViolations); lastNow is the monotonic-clock watermark.
+	violations []string
+	lastNow    float64
 	// policyEngines caches the per-platform table-serving engines built
 	// lazily for "table" decisions.
 	policyEngines map[string]*policy.Engine
@@ -122,11 +165,23 @@ type Runtime struct {
 // Compile validates a Spec and builds its Runtime: vehicles with their
 // route programs, the link with its rate policy, and the parsed chaos
 // schedule, all sharing one fresh engine at clock zero.
-func Compile(spec Spec) (*Runtime, error) {
+func Compile(spec Spec) (*Runtime, error) { return CompileWithOptions(spec, Options{}) }
+
+// CompileWithOptions is Compile with an explicit Options — the entry point
+// for the verification harness (lockstep oracle, invariant checks) and for
+// tuning the event-queue bound.
+func CompileWithOptions(spec Spec, opts Options) (*Runtime, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	rt := &Runtime{spec: spec, engine: sim.NewEngine(), byID: make(map[string]*Craft)}
+	rt := &Runtime{spec: spec, engine: sim.NewEngine(), byID: make(map[string]*Craft), opts: opts}
+	limit := opts.PendingLimit
+	if limit == 0 {
+		limit = eventQueueBase + eventQueuePerCraft*len(spec.Vehicles)
+	}
+	if limit > 0 {
+		rt.engine.SetPendingLimit(limit)
+	}
 	for _, vs := range spec.Vehicles {
 		c, err := compileVehicle(vs)
 		if err != nil {
@@ -203,6 +258,12 @@ func (rt *Runtime) killCraft(c *Craft) {
 // else observes the craft, while costing O(legs) events instead of
 // O(ticks) polls.
 func (rt *Runtime) scheduleArrivalCheck(c *Craft) {
+	if rt.opts.Lockstep {
+		// The lockstep reference integrates every craft on every control
+		// tick, so leg transitions are discovered by the tick loop itself;
+		// prediction events would be pure overhead.
+		return
+	}
 	if c.failed || c.ap.Mode() != autopilot.GoTo {
 		return
 	}
@@ -323,18 +384,66 @@ func (rt *Runtime) advanceCraftTo(c *Craft, t float64) {
 		return
 	}
 	for c.ticks < k {
-		if c.ap.Settled() {
+		if !rt.opts.Lockstep && c.ap.Settled() {
 			n := k - c.ticks
 			c.elided += n
 			rt.elidedTicks += n
 			c.ticks = k
-			return
+			break
 		}
 		c.catchUp()
 		c.ap.Step(ControlTickS)
 		c.ticks++
 		rt.steppedTicks++
 	}
+	if rt.opts.CheckInvariants {
+		rt.checkCraft(c)
+	}
+}
+
+// checkCraft asserts the per-craft invariants after an integration step:
+// the craft never runs ahead of the shared frontier, its position is
+// finite, and its battery fraction is a finite value in [0, 1]. Battery is
+// read without catchUp so the check does not perturb elision accounting
+// (the replayed drain is itself covered once a real access triggers it).
+func (rt *Runtime) checkCraft(c *Craft) {
+	if c.ticks > rt.frontierTicks {
+		rt.violate("craft %s at tick %d ahead of frontier %d", c.spec.ID, c.ticks, rt.frontierTicks)
+	}
+	v := c.ap.Vehicle()
+	if !finiteVec(v.Position()) {
+		rt.violate("craft %s position %v not finite", c.spec.ID, v.Position())
+	}
+	if b := v.BatteryFraction(); math.IsNaN(b) || b < 0 || b > 1 {
+		rt.violate("craft %s battery fraction %v outside [0,1]", c.spec.ID, b)
+	}
+	if rt.opts.Lockstep && c.elided != 0 {
+		rt.violate("craft %s elided %d sub-ticks in lockstep mode", c.spec.ID, c.elided)
+	}
+}
+
+// violate records one invariant violation (capped so a systemic failure
+// cannot flood memory while being reported).
+func (rt *Runtime) violate(format string, args ...any) {
+	if len(rt.violations) >= maxViolations {
+		return
+	}
+	rt.violations = append(rt.violations,
+		fmt.Sprintf("t=%.3f: ", rt.engine.Now())+fmt.Sprintf(format, args...))
+}
+
+// InvariantViolations returns the assertions that failed so far under
+// Options.CheckInvariants (nil when the mode is off or nothing failed).
+func (rt *Runtime) InvariantViolations() []string { return rt.violations }
+
+// checkClock asserts the engine clock never rewinds across the runtime's
+// observation points.
+func (rt *Runtime) checkClock() {
+	now := rt.engine.Now()
+	if now < rt.lastNow {
+		rt.violate("clock rewound from %v", rt.lastNow)
+	}
+	rt.lastNow = now
 }
 
 // advanceAll integrates every craft up to the engine clock — used only at
@@ -351,6 +460,20 @@ func (rt *Runtime) advanceAll() {
 func (rt *Runtime) stepClock() {
 	if err := rt.engine.RunUntil(rt.engine.Now() + ControlTickS); err != nil && rt.err == nil {
 		rt.err = err
+	}
+	rt.afterAdvance()
+}
+
+// afterAdvance runs the per-advance bookkeeping every clock movement
+// shares: the lockstep reference integrates the whole fleet up to the new
+// clock (the legacy per-tick semantics), and invariant mode checks clock
+// monotonicity.
+func (rt *Runtime) afterAdvance() {
+	if rt.opts.CheckInvariants {
+		rt.checkClock()
+	}
+	if rt.opts.Lockstep {
+		rt.advanceAll()
 	}
 }
 
@@ -372,6 +495,7 @@ func (rt *Runtime) syncToLink() {
 		if err := rt.engine.RunUntil(now); err != nil && rt.err == nil {
 			rt.err = err
 		}
+		rt.afterAdvance()
 	}
 }
 
@@ -387,6 +511,7 @@ func (rt *Runtime) idleUntil(t float64) {
 		if err := rt.engine.RunUntil(b); err != nil && rt.err == nil {
 			rt.err = err
 		}
+		rt.afterAdvance()
 	}
 }
 
@@ -411,17 +536,21 @@ func (rt *Runtime) pairGeometry(a, b *Craft) link.Geometry {
 type RuntimeStats struct {
 	EventsProcessed uint64
 	PendingEvents   int
-	SubTicksStepped int64
-	SubTicksElided  int64
+	// PeakPendingEvents is the deepest the event queue ever got — the
+	// number to judge the ErrEventStorm bound against.
+	PeakPendingEvents int
+	SubTicksStepped   int64
+	SubTicksElided    int64
 }
 
 // Stats returns the runtime's work accounting so far.
 func (rt *Runtime) Stats() RuntimeStats {
 	return RuntimeStats{
-		EventsProcessed: rt.engine.Processed(),
-		PendingEvents:   rt.engine.Len(),
-		SubTicksStepped: rt.steppedTicks,
-		SubTicksElided:  rt.elidedTicks,
+		EventsProcessed:   rt.engine.Processed(),
+		PendingEvents:     rt.engine.Len(),
+		PeakPendingEvents: rt.engine.PeakPending(),
+		SubTicksStepped:   rt.steppedTicks,
+		SubTicksElided:    rt.elidedTicks,
 	}
 }
 

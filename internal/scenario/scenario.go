@@ -163,7 +163,7 @@ func (s Spec) Validate() error {
 	if len(s.Vehicles) == 0 {
 		return fmt.Errorf("scenario: no vehicles")
 	}
-	if math.IsNaN(s.DurationS) || math.IsInf(s.DurationS, 0) || s.DurationS < 0 {
+	if !finite(s.DurationS) || s.DurationS < 0 {
 		return fmt.Errorf("scenario: duration %v must be finite and ≥ 0", s.DurationS)
 	}
 	ids := map[string]bool{}
@@ -179,7 +179,7 @@ func (s Spec) Validate() error {
 		if !finiteVec(v.Start) {
 			return fmt.Errorf("scenario: vehicle %s: non-finite start", v.ID)
 		}
-		if math.IsNaN(v.SpeedMPS) || math.IsInf(v.SpeedMPS, 0) || v.SpeedMPS < 0 {
+		if !finite(v.SpeedMPS) || v.SpeedMPS < 0 {
 			return fmt.Errorf("scenario: vehicle %s: speed %v must be finite and ≥ 0", v.ID, v.SpeedMPS)
 		}
 		if v.Hold && len(v.Route) > 0 {
@@ -210,13 +210,13 @@ func (s Spec) Validate() error {
 		if t.From == t.To {
 			return fmt.Errorf("scenario: traffic %d: from == to (%q)", i, t.From)
 		}
-		if math.IsNaN(t.StartS) || math.IsInf(t.StartS, 0) || t.StartS < 0 {
+		if !finite(t.StartS) || t.StartS < 0 {
 			return fmt.Errorf("scenario: traffic %d: start %v must be finite and ≥ 0", i, t.StartS)
 		}
-		if !(t.DurationS > 0) || math.IsInf(t.DurationS, 0) {
+		if !finite(t.DurationS) || t.DurationS <= 0 {
 			return fmt.Errorf("scenario: traffic %d: duration %v must be positive and finite", i, t.DurationS)
 		}
-		if !(t.WindowS > 0) || math.IsInf(t.WindowS, 0) {
+		if !finite(t.WindowS) || t.WindowS <= 0 {
 			return fmt.Errorf("scenario: traffic %d: window %v must be positive and finite", i, t.WindowS)
 		}
 	}
@@ -230,20 +230,20 @@ func (s Spec) Validate() error {
 		if t.AltTo != "" && (!ids[t.AltTo] || t.AltTo == t.From) {
 			return fmt.Errorf("scenario: transfer %d: bad alt_to %q", i, t.AltTo)
 		}
-		if !(t.SizeMB > 0) || math.IsInf(t.SizeMB, 0) {
+		if !finite(t.SizeMB) || t.SizeMB <= 0 {
 			return fmt.Errorf("scenario: transfer %d: size %v MB must be positive and finite", i, t.SizeMB)
 		}
-		if !(t.DeadlineS > 0) || math.IsInf(t.DeadlineS, 0) {
+		if !finite(t.DeadlineS) || t.DeadlineS <= 0 {
 			return fmt.Errorf("scenario: transfer %d: deadline %v must be positive and finite", i, t.DeadlineS)
 		}
-		if math.IsNaN(t.StartS) || math.IsInf(t.StartS, 0) || t.StartS < 0 {
+		if !finite(t.StartS) || t.StartS < 0 {
 			return fmt.Errorf("scenario: transfer %d: start %v must be finite and ≥ 0", i, t.StartS)
 		}
 		if d := t.Decision; d != nil {
 			if !decisionKinds[d.Kind] {
 				return fmt.Errorf("scenario: transfer %d: unknown decision kind %q", i, d.Kind)
 			}
-			if math.IsNaN(d.RhoPerM) || math.IsInf(d.RhoPerM, 0) || d.RhoPerM < 0 {
+			if !finite(d.RhoPerM) || d.RhoPerM < 0 {
 				return fmt.Errorf("scenario: transfer %d: rho %v must be finite and ≥ 0", i, d.RhoPerM)
 			}
 		}
@@ -261,7 +261,8 @@ func (s Spec) ChaosSchedule() (*chaos.Schedule, error) {
 	}
 	sched, err := chaos.ParseString(strings.Join(s.Chaos, "\n"))
 	if err != nil {
-		return nil, fmt.Errorf("scenario: chaos: %w", err)
+		// Parse errors already carry a "chaos: line N:" prefix.
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return sched, nil
 }
@@ -283,11 +284,12 @@ func ParseRate(rate string) (mcs int, err error) {
 	}
 }
 
+// finite reports whether x is a usable real number. Every numeric Spec
+// field passes through this one gate in Validate, so a NaN or ±Inf —
+// whether smuggled through JSON decoding or constructed programmatically —
+// is rejected at load time rather than poisoning the engine clock mid-run.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 func finiteVec(v geo.Vec3) bool {
-	for _, x := range []float64{v.X, v.Y, v.Z} {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return false
-		}
-	}
-	return true
+	return finite(v.X) && finite(v.Y) && finite(v.Z)
 }

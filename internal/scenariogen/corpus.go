@@ -1,0 +1,191 @@
+package scenariogen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// CorpusSeeds is the generated slice of the committed corpus: Specs for
+// seeds [0, CorpusSeeds) live under testdata/corpus with their stored
+// result fingerprints. It matches genSeeds minus the handful of seeds the
+// property tests sweep beyond the corpus, and must only grow — CI replays
+// every committed entry.
+const CorpusSeeds = 55
+
+// CorpusEntry is one manifest line: a named Spec file with its identity
+// and expected outcome pinned.
+type CorpusEntry struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	// Seed is the generator seed for generated entries; handcrafted
+	// regression entries set Generated false and Seed 0.
+	Seed      int64 `json:"seed"`
+	Generated bool  `json:"generated"`
+	// SpecFingerprint pins the input (%016x of scenario.Fingerprint);
+	// ResultFingerprint pins the outcome (%016x of ResultFingerprint).
+	SpecFingerprint   string `json:"spec_fingerprint"`
+	ResultFingerprint string `json:"result_fingerprint"`
+}
+
+// CorpusSpecs returns every Spec the committed corpus holds: the generated
+// sweep plus the handcrafted regression scenarios for bugs the harness
+// found (each one a Spec that crashed or diverged before its fix).
+func CorpusSpecs() []scenario.Spec {
+	specs := make([]scenario.Spec, 0, CorpusSeeds+3)
+	for seed := int64(0); seed < CorpusSeeds; seed++ {
+		specs = append(specs, Generate(seed))
+	}
+	specs = append(specs, regressionSpecs()...)
+	return specs
+}
+
+// regressionSpecs are the handcrafted corpus entries. Each reproduces a
+// bug the differential harness caught; their names are stable and their
+// fingerprints pinned like any generated entry.
+func regressionSpecs() []scenario.Spec {
+	// A holding quad spawned above the Arducopter ceiling: before the
+	// Settled fix the event-driven core elided it frozen at 120 m while
+	// the lockstep reference clamped it to 100 m, diverging every
+	// downstream link geometry.
+	ceiling := scenario.Spec{
+		Name: "reg-ceiling-holder",
+		Seed: 1,
+		Vehicles: []scenario.VehicleSpec{
+			{ID: "high", Platform: scenario.PlatformQuad,
+				Start: geo.Vec3{X: 100, Y: 100, Z: 120}, Hold: true},
+			{ID: "rx", Platform: scenario.PlatformQuad,
+				Start: geo.Vec3{Z: 30}, Hold: true},
+		},
+		Transfers: []scenario.TransferSpec{
+			{From: "high", To: "rx", SizeMB: 0.3, DeadlineS: 30},
+		},
+		DurationS: 12,
+	}
+
+	// A loop route re-entering at its final waypoint, with consecutive
+	// waypoints inside the arrival radius: before the hop-budget fix the
+	// arrival callbacks recursed until the stack overflowed.
+	loop := scenario.Spec{
+		Name: "reg-loop-reentry",
+		Seed: 2,
+		Vehicles: []scenario.VehicleSpec{
+			{ID: "spin", Platform: scenario.PlatformQuad, Start: geo.Vec3{Z: 10},
+				Route:    []geo.Vec3{{X: 1, Z: 10}, {X: 2, Z: 10}},
+				Loop:     true,
+				LoopFrom: 1},
+			{ID: "peer", Platform: scenario.PlatformQuad,
+				Start: geo.Vec3{X: 60, Z: 10}, Hold: true},
+		},
+		Traffic: []scenario.TrafficSpec{
+			{From: "spin", To: "peer", DurationS: 2, WindowS: 1},
+		},
+		DurationS: 6,
+	}
+
+	// A scripted kill on an exact accumulated tick boundary, mid-way
+	// through a settled holder's elided stretch: the kill must force the
+	// bit-exact battery replay at an instant no tick poll would visit.
+	at := 0.0
+	for i := 0; i < 311; i++ {
+		at += scenario.ControlTickS
+	}
+	tickKill := scenario.Spec{
+		Name: "reg-tick-boundary-kill",
+		Seed: 3,
+		Vehicles: []scenario.VehicleSpec{
+			{ID: "victim", Platform: scenario.PlatformQuad,
+				Start: geo.Vec3{X: 40, Z: 20}, Hold: true},
+			{ID: "witness", Platform: scenario.PlatformQuad,
+				Start: geo.Vec3{Z: 20}, Hold: true},
+		},
+		Transfers: []scenario.TransferSpec{
+			{From: "witness", To: "victim", SizeMB: 0.5, DeadlineS: 20, StartS: 2},
+		},
+		Chaos:     []string{fmt.Sprintf("vehicle fail victim %g", at)},
+		DurationS: 15,
+	}
+	return []scenario.Spec{ceiling, loop, tickKill}
+}
+
+// corpusEntry computes the pinned manifest line for one Spec by running it
+// with invariant checking on.
+func corpusEntry(s scenario.Spec, generated bool) (CorpusEntry, error) {
+	specFP, err := scenario.Fingerprint(s)
+	if err != nil {
+		return CorpusEntry{}, err
+	}
+	rt, err := scenario.CompileWithOptions(s, scenario.Options{CheckInvariants: true})
+	if err != nil {
+		return CorpusEntry{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return CorpusEntry{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	if v := rt.InvariantViolations(); len(v) != 0 {
+		return CorpusEntry{}, fmt.Errorf("%s: invariant violations: %v", s.Name, v)
+	}
+	e := CorpusEntry{
+		Name:              s.Name,
+		File:              s.Name + ".json",
+		Generated:         generated,
+		SpecFingerprint:   fmt.Sprintf("%016x", specFP),
+		ResultFingerprint: fmt.Sprintf("%016x", scenario.ResultFingerprint(res)),
+	}
+	if generated {
+		e.Seed = s.Seed
+	}
+	return e, nil
+}
+
+// WriteCorpus regenerates the committed corpus into dir: one canonical
+// Spec file per entry plus manifest.json with the pinned fingerprints.
+// Only the corpus regeneration flow (REGEN_CORPUS=1, see EXPERIMENTS.md)
+// calls this; CI reads the files it wrote.
+func WriteCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	specs := CorpusSpecs()
+	entries := make([]CorpusEntry, 0, len(specs))
+	for i, s := range specs {
+		generated := i < CorpusSeeds
+		e, err := corpusEntry(s, generated)
+		if err != nil {
+			return err
+		}
+		data, err := scenario.Encode(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.File), data, 0o644); err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads the corpus manifest from dir.
+func ReadManifest(dir string) ([]CorpusEntry, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var entries []CorpusEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("corpus manifest: %w", err)
+	}
+	return entries, nil
+}

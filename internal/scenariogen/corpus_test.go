@@ -1,0 +1,123 @@
+package scenariogen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+const corpusDir = "testdata/corpus"
+
+// TestRegenerateCorpus rewrites testdata/corpus when REGEN_CORPUS=1 —
+// the documented regeneration flow (EXPERIMENTS.md). It is a no-op test
+// otherwise, so the corpus can only change deliberately.
+func TestRegenerateCorpus(t *testing.T) {
+	if os.Getenv("REGEN_CORPUS") != "1" {
+		t.Skip("set REGEN_CORPUS=1 to rewrite the committed corpus")
+	}
+	if err := WriteCorpus(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The committed corpus is the CI matrix: every entry must load, match its
+// pinned spec fingerprint, replay to its pinned result fingerprint with
+// zero invariant violations, and — for generated entries — still be what
+// the generator emits for its seed. Any engine change that shifts a single
+// float shows up here as a named, reproducible entry.
+func TestCorpusReplaysToPinnedFingerprints(t *testing.T) {
+	entries, err := ReadManifest(corpusDir)
+	if err != nil {
+		t.Fatalf("missing corpus manifest (regenerate with REGEN_CORPUS=1): %v", err)
+	}
+	if len(entries) < 50 {
+		t.Fatalf("corpus holds %d entries, want ≥ 50", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.Load(filepath.Join(corpusDir, e.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := scenario.Fingerprint(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex16(fp); got != e.SpecFingerprint {
+				t.Fatalf("spec fingerprint %s != pinned %s", got, e.SpecFingerprint)
+			}
+			if e.Generated {
+				genFP, err := scenario.Fingerprint(Generate(e.Seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hex16(genFP) != e.SpecFingerprint {
+					t.Fatalf("generator no longer reproduces seed %d (fingerprint %s != %s); "+
+						"if the generator changed deliberately, regenerate the corpus",
+						e.Seed, hex16(genFP), e.SpecFingerprint)
+				}
+			}
+			rt, err := scenario.CompileWithOptions(spec, scenario.Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := rt.InvariantViolations(); len(v) != 0 {
+				t.Fatalf("invariant violations: %v", v)
+			}
+			if got := hex16(scenario.ResultFingerprint(res)); got != e.ResultFingerprint {
+				t.Fatalf("result fingerprint %s != pinned %s — engine behaviour changed; "+
+					"audit the change, then regenerate the corpus", got, e.ResultFingerprint)
+			}
+		})
+	}
+}
+
+// Every corpus entry must also clear the full differential harness — the
+// lockstep oracle and the metamorphic transforms, not just fingerprint
+// replay. Short mode spot-checks the regression entries plus a prefix.
+func TestCorpusPassesDifferentialHarness(t *testing.T) {
+	entries, err := ReadManifest(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := len(entries)
+	if testing.Short() {
+		budget = 12
+	}
+	run := 0
+	for _, e := range entries {
+		if run >= budget && e.Generated {
+			continue // regression entries always run
+		}
+		run++
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.Load(filepath.Join(corpusDir, e.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func hex16(fp uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[fp&0xf]
+		fp >>= 4
+	}
+	return string(b[:])
+}

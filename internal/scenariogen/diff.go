@@ -1,0 +1,219 @@
+package scenariogen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Divergence is a verification failure: one Spec for which an oracle or a
+// metamorphic transform disagreed with the base event-driven run. It
+// carries the offending Spec so a caller (or Minimize) can reproduce and
+// shrink it.
+type Divergence struct {
+	// Spec is the input that diverged.
+	Spec scenario.Spec
+	// Check names the oracle or transform that caught it: "invariants",
+	// "lockstep", "chaos-permutation" or "duration-extension".
+	Check string
+	// Detail is the human-readable disagreement.
+	Detail string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("scenariogen: %s: spec %q diverged: %s", d.Check, d.Spec.Name, d.Detail)
+}
+
+// Verify runs one Spec through the differential harness:
+//
+//   - the event-driven Runtime with invariant checking on (the base run);
+//   - the lockstep reference oracle — no lazy integration, no arrival
+//     events, no settled-craft elision — which must produce a bit-identical
+//     Result;
+//   - chaos-line permutation: fault directives are declarative and their
+//     windows non-overlapping per class, so any order must run identically;
+//   - duration extension: workloads run to completion before the trailing
+//     fly-out, so a longer fly-out must preserve the workload outcome
+//     exactly and may only move vehicles forward (routes complete, later
+//     scripted kills fire — never un-fail or un-finish anything).
+//
+// A nil return means every oracle agreed; a non-nil return is always a
+// *Divergence (wrapped run errors included).
+func Verify(spec scenario.Spec) error {
+	base, rt, err := runSpec(spec, scenario.Options{CheckInvariants: true})
+	if err != nil {
+		return &Divergence{Spec: spec, Check: "invariants", Detail: err.Error()}
+	}
+	baseFP := scenario.ResultFingerprint(base)
+	if v := rt.InvariantViolations(); len(v) != 0 {
+		return &Divergence{Spec: spec, Check: "invariants",
+			Detail: fmt.Sprintf("%d violations, first: %s", len(v), v[0])}
+	}
+
+	// Oracle 2: the lockstep reference path.
+	lock, lockRT, err := runSpec(spec, scenario.Options{Lockstep: true, CheckInvariants: true})
+	if err != nil {
+		return &Divergence{Spec: spec, Check: "lockstep", Detail: err.Error()}
+	}
+	if v := lockRT.InvariantViolations(); len(v) != 0 {
+		return &Divergence{Spec: spec, Check: "lockstep",
+			Detail: fmt.Sprintf("%d violations on reference path, first: %s", len(v), v[0])}
+	}
+	if fp := scenario.ResultFingerprint(lock); fp != baseFP {
+		return &Divergence{Spec: spec, Check: "lockstep",
+			Detail: fmt.Sprintf("reference fingerprint %016x != event-driven %016x%s",
+				fp, baseFP, diffResults(lock, base))}
+	}
+
+	// Transform 1: chaos-line permutation.
+	if perm, changed := permuteChaos(spec); changed {
+		permRes, _, err := runSpec(perm, scenario.Options{})
+		if err != nil {
+			return &Divergence{Spec: perm, Check: "chaos-permutation", Detail: err.Error()}
+		}
+		if fp := scenario.ResultFingerprint(permRes); fp != baseFP {
+			return &Divergence{Spec: perm, Check: "chaos-permutation",
+				Detail: fmt.Sprintf("permuted-chaos fingerprint %016x != base %016x%s",
+					fp, baseFP, diffResults(permRes, base))}
+		}
+	}
+
+	// Transform 2: duration extension past the base fly-out.
+	ext := spec
+	ext.DurationS = spec.DurationS + 7.5
+	extRes, _, err := runSpec(ext, scenario.Options{})
+	if err != nil {
+		return &Divergence{Spec: ext, Check: "duration-extension", Detail: err.Error()}
+	}
+	if err := checkExtension(base, extRes); err != nil {
+		return &Divergence{Spec: ext, Check: "duration-extension", Detail: err.Error()}
+	}
+	return nil
+}
+
+func runSpec(spec scenario.Spec, opts scenario.Options) (scenario.Result, *scenario.Runtime, error) {
+	rt, err := scenario.CompileWithOptions(spec, opts)
+	if err != nil {
+		return scenario.Result{}, nil, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return scenario.Result{}, nil, err
+	}
+	return res, rt, nil
+}
+
+// permuteChaos reorders the Spec's fault directives deterministically from
+// its seed. "seed" lines keep their positions (a later seed line would
+// override an earlier one), everything else is shuffled. The second return
+// is false when the script is too short for any reordering to exist.
+func permuteChaos(spec scenario.Spec) (scenario.Spec, bool) {
+	var movable []string
+	for _, line := range spec.Chaos {
+		if !strings.HasPrefix(strings.TrimSpace(line), "seed") {
+			movable = append(movable, line)
+		}
+	}
+	if len(movable) < 2 {
+		return spec, false
+	}
+	rng := stats.NewRNG(spec.Seed).Substream(spec.Seed, "scenariogen/chaos-perm")
+	perm := rng.Perm(len(movable))
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		// Force a reordering: any transposition is as good as a random one.
+		perm[0], perm[1] = perm[1], perm[0]
+	}
+	out := spec
+	out.Chaos = make([]string, 0, len(spec.Chaos))
+	next := 0
+	for _, line := range spec.Chaos {
+		if strings.HasPrefix(strings.TrimSpace(line), "seed") {
+			out.Chaos = append(out.Chaos, line)
+			continue
+		}
+		out.Chaos = append(out.Chaos, movable[perm[next]])
+		next++
+	}
+	return out, true
+}
+
+// checkExtension verifies the duration-extension contract: identical
+// workload outcomes, monotone vehicle progress.
+func checkExtension(base, ext scenario.Result) error {
+	if got, want := scenario.WorkloadFingerprint(ext), scenario.WorkloadFingerprint(base); got != want {
+		return fmt.Errorf("workload fingerprint changed %016x -> %016x under a longer fly-out", want, got)
+	}
+	if ext.DurationS < base.DurationS {
+		return fmt.Errorf("extended run ended earlier: %v < %v", ext.DurationS, base.DurationS)
+	}
+	extByID := make(map[string]scenario.VehicleResult, len(ext.Vehicles))
+	for _, v := range ext.Vehicles {
+		extByID[v.ID] = v
+	}
+	for _, b := range base.Vehicles {
+		e, ok := extByID[b.ID]
+		if !ok {
+			return fmt.Errorf("vehicle %s missing from extended result", b.ID)
+		}
+		if b.Failed && (!e.Failed || e.FailedAtS != b.FailedAtS) {
+			return fmt.Errorf("vehicle %s: fail state not preserved (base t=%v, ext failed=%v t=%v)",
+				b.ID, b.FailedAtS, e.Failed, e.FailedAtS)
+		}
+		if b.RouteDone && !e.RouteDone {
+			return fmt.Errorf("vehicle %s: route un-finished by a longer fly-out", b.ID)
+		}
+	}
+	return nil
+}
+
+// diffResults summarizes where two Results that should match first differ —
+// the debugging breadcrumb attached to fingerprint mismatches.
+func diffResults(got, want scenario.Result) string {
+	var diffs []string
+	if got.DurationS != want.DurationS {
+		diffs = append(diffs, fmt.Sprintf("clock %v != %v", got.DurationS, want.DurationS))
+	}
+	if len(got.Vehicles) != len(want.Vehicles) {
+		diffs = append(diffs, fmt.Sprintf("vehicle count %d != %d", len(got.Vehicles), len(want.Vehicles)))
+	} else {
+		for i := range got.Vehicles {
+			g, w := got.Vehicles[i], want.Vehicles[i]
+			if g != w {
+				diffs = append(diffs, fmt.Sprintf("vehicle %s: %+v != %+v", w.ID, g, w))
+			}
+		}
+	}
+	if len(got.Transfers) != len(want.Transfers) {
+		diffs = append(diffs, fmt.Sprintf("transfer count %d != %d", len(got.Transfers), len(want.Transfers)))
+	} else {
+		for i := range got.Transfers {
+			g, w := got.Transfers[i], want.Transfers[i]
+			if g.DeliveredBytes != w.DeliveredBytes || g.CompletionS != w.CompletionS {
+				diffs = append(diffs, fmt.Sprintf("transfer %d %s->%s: delivered %d/%v != %d/%v",
+					i, w.From, w.To, g.DeliveredBytes, g.CompletionS, w.DeliveredBytes, w.CompletionS))
+			}
+		}
+	}
+	if len(got.Traffic) != len(want.Traffic) {
+		diffs = append(diffs, fmt.Sprintf("traffic count %d != %d", len(got.Traffic), len(want.Traffic)))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	sort.Strings(diffs)
+	const keep = 4
+	if len(diffs) > keep {
+		diffs = append(diffs[:keep], fmt.Sprintf("(+%d more)", len(diffs)-keep))
+	}
+	return "; first diffs: " + strings.Join(diffs, "; ")
+}

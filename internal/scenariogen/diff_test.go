@@ -1,0 +1,114 @@
+package scenariogen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// The headline property: every generated Spec must pass the full
+// differential harness — lockstep oracle, chaos permutation, duration
+// extension, invariants — with zero divergences. Short mode sweeps a
+// prefix; CI sweeps the full corpus seed range.
+func TestVerifyGeneratedSpecs(t *testing.T) {
+	seeds := int64(genSeeds)
+	if testing.Short() {
+		seeds = 16
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		if err := Verify(Generate(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// permuteChaos must reorder fault lines without touching "seed" directives
+// and must report when no reordering exists.
+func TestPermuteChaos(t *testing.T) {
+	s := scenario.Spec{
+		Seed: 3,
+		Chaos: []string{
+			"vehicle fail a 1",
+			"seed 42",
+			"link outage b 1 2",
+			"gps outage c 3 4",
+		},
+	}
+	perm, changed := permuteChaos(s)
+	if !changed {
+		t.Fatal("three movable lines but no permutation produced")
+	}
+	if perm.Chaos[1] != "seed 42" {
+		t.Fatalf("seed line moved: %v", perm.Chaos)
+	}
+	got := append([]string(nil), perm.Chaos...)
+	want := append([]string(nil), s.Chaos...)
+	same := true
+	for i := range got {
+		if got[i] != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("permutation is the identity")
+	}
+	if _, changed := permuteChaos(scenario.Spec{Chaos: []string{"vehicle fail a 1"}}); changed {
+		t.Fatal("single movable line cannot be permuted")
+	}
+}
+
+// checkExtension must reject every way an extended run can disagree.
+func TestCheckExtensionCatchesRegressions(t *testing.T) {
+	base := scenario.Result{
+		DurationS: 10,
+		Transfers: []scenario.TransferResult{{From: "a", To: "b", DeliveredBytes: 100}},
+		Vehicles: []scenario.VehicleResult{
+			{ID: "a", RouteDone: true},
+			{ID: "b", Failed: true, FailedAtS: 4},
+		},
+	}
+	ok := base
+	ok.DurationS = 17.5
+	if err := checkExtension(base, ok); err != nil {
+		t.Fatalf("clean extension rejected: %v", err)
+	}
+	cases := map[string]func(*scenario.Result){
+		"workload change": func(r *scenario.Result) {
+			r.Transfers = []scenario.TransferResult{{From: "a", To: "b", DeliveredBytes: 99}}
+		},
+		"shorter clock": func(r *scenario.Result) { r.DurationS = 9 },
+		"un-finished route": func(r *scenario.Result) {
+			r.Vehicles = []scenario.VehicleResult{{ID: "a"}, base.Vehicles[1]}
+		},
+		"un-failed vehicle": func(r *scenario.Result) {
+			r.Vehicles = []scenario.VehicleResult{base.Vehicles[0], {ID: "b"}}
+		},
+		"moved kill": func(r *scenario.Result) {
+			r.Vehicles = []scenario.VehicleResult{base.Vehicles[0], {ID: "b", Failed: true, FailedAtS: 5}}
+		},
+		"lost vehicle": func(r *scenario.Result) {
+			r.Vehicles = r.Vehicles[:1]
+		},
+	}
+	for name, tamper := range cases {
+		bad := ok
+		bad.Vehicles = append([]scenario.VehicleResult(nil), ok.Vehicles...)
+		tamper(&bad)
+		if err := checkExtension(base, bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// A Divergence names the check and the offending Spec — the error a CI log
+// shows must be enough to reproduce.
+func TestDivergenceError(t *testing.T) {
+	d := &Divergence{Spec: scenario.Spec{Name: "gen-s7-n3"}, Check: "lockstep", Detail: "fingerprint mismatch"}
+	msg := d.Error()
+	for _, want := range []string{"lockstep", "gen-s7-n3", "fingerprint mismatch"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

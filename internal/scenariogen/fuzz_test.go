@@ -1,0 +1,45 @@
+package scenariogen
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// FuzzGeneratedSpec: for ANY seed the generator must emit a valid,
+// deterministic, canonically round-trippable Spec, and small fleets must
+// compile. This is the CI smoke fuzzer (-fuzz=FuzzGeneratedSpec); the seed
+// corpus pins the boundary seeds and the corpus generation range.
+func FuzzGeneratedSpec(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 13, genSeeds - 1, 1 << 20, -1, -1 << 40, 1<<63 - 1, -1 << 63} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		if again := Generate(seed); !reflect.DeepEqual(again, s) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+		data, err := scenario.Encode(s)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := scenario.Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: own encoding rejected: %v", seed, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("seed %d: round trip changed the spec", seed)
+		}
+		// Compiling is the expensive half; bound it to small fleets so the
+		// fuzzer spends its time on variety, not on one 500-craft build.
+		if len(s.Vehicles) <= 24 {
+			if _, err := scenario.CompileWithOptions(s, scenario.Options{CheckInvariants: true}); err != nil {
+				t.Fatalf("seed %d: valid spec failed to compile: %v", seed, err)
+			}
+		}
+	})
+}

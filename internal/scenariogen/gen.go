@@ -1,0 +1,403 @@
+// Package scenariogen is the adversarial scenario generator and
+// differential verification harness for the event-driven scenario core.
+//
+// The generator emits random-but-valid scenario.Specs from a seed: fleet
+// sizes from one craft to hundreds, random route and loop topologies
+// around hub layouts, Poisson-ish traffic and transfer mixes, and chaos
+// scripts that kill and degrade vehicles at deliberately adversarial
+// instants — exactly on control-tick boundaries, in the middle of elided
+// settled stretches, and at predicted waypoint arrivals. Every Spec it
+// produces passes Spec.Validate and survives a byte-exact encode/decode
+// round trip, so the generator doubles as a fuzzer for the Spec layer and
+// as a factory for the committed corpus under testdata/corpus.
+//
+// The harness (Verify) runs a Spec through two oracles — the event-driven
+// Runtime and the retained lockstep reference path — and through
+// metamorphic transforms (chaos-line permutation, duration extension past
+// quiescence), failing with a Divergence that Minimize can shrink to a
+// small counterexample Spec.
+package scenariogen
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// Params bounds the generator's output. The zero value of any field
+// selects the default.
+type Params struct {
+	// MaxVehicles caps the fleet size (default 500). The draw is
+	// heavy-tailed: most scenarios are small, a few are large.
+	MaxVehicles int
+	// MaxRouteWaypoints caps a route chain's length (default 6).
+	MaxRouteWaypoints int
+	// MaxTraffic and MaxTransfers cap the workload mixes (defaults 2, 3).
+	// Workloads are only generated for small fleets: saturation traffic
+	// over a 400-craft fleet measures the radio, not the fleet.
+	MaxTraffic   int
+	MaxTransfers int
+	// MaxChaosLines caps the fault script (default 12).
+	MaxChaosLines int
+	// MaxDurationS caps the scenario fly-out (default 40 s; large fleets
+	// are scaled down further to keep a corpus run affordable).
+	MaxDurationS float64
+	// WorldM is the coordinate extent vehicles are placed in (default
+	// 1500 m).
+	WorldM float64
+	// TableDecisionProb is the probability a transfer decision uses the
+	// "table" engine instead of "exact" (default 0.04 — table decisions
+	// lazily build a policy table, which dominates a small scenario's
+	// cost).
+	TableDecisionProb float64
+}
+
+// DefaultParams returns the corpus-generation defaults.
+func DefaultParams() Params {
+	return Params{
+		MaxVehicles:       500,
+		MaxRouteWaypoints: 6,
+		MaxTraffic:        2,
+		MaxTransfers:      3,
+		MaxChaosLines:     12,
+		MaxDurationS:      40,
+		WorldM:            1500,
+		TableDecisionProb: 0.04,
+	}
+}
+
+// Generator produces Specs deterministically from seeds.
+type Generator struct{ p Params }
+
+// New builds a Generator, filling zero Params fields from DefaultParams.
+func New(p Params) *Generator {
+	d := DefaultParams()
+	if p.MaxVehicles <= 0 {
+		p.MaxVehicles = d.MaxVehicles
+	}
+	if p.MaxRouteWaypoints <= 0 {
+		p.MaxRouteWaypoints = d.MaxRouteWaypoints
+	}
+	if p.MaxTraffic <= 0 {
+		p.MaxTraffic = d.MaxTraffic
+	}
+	if p.MaxTransfers <= 0 {
+		p.MaxTransfers = d.MaxTransfers
+	}
+	if p.MaxChaosLines <= 0 {
+		p.MaxChaosLines = d.MaxChaosLines
+	}
+	if p.MaxDurationS <= 0 {
+		p.MaxDurationS = d.MaxDurationS
+	}
+	if p.WorldM <= 0 {
+		p.WorldM = d.WorldM
+	}
+	if p.TableDecisionProb <= 0 {
+		p.TableDecisionProb = d.TableDecisionProb
+	}
+	return &Generator{p: p}
+}
+
+// Generate is shorthand for New(DefaultParams()).Spec(seed).
+func Generate(seed int64) scenario.Spec { return New(Params{}).Spec(seed) }
+
+// Spec generates one random-but-valid scenario deterministically from the
+// seed: same seed, same Params, byte-identical Spec.
+func (g *Generator) Spec(seed int64) scenario.Spec {
+	rng := stats.NewRNG(seed).Substream(seed, "scenariogen/spec")
+	n := g.fleetSize(rng)
+
+	s := scenario.Spec{
+		Name: fmt.Sprintf("gen-s%d-n%d", seed, n),
+		Seed: seed,
+	}
+
+	// Hub layout: vehicles cluster around 1–4 hubs with per-craft jitter;
+	// a minority of crafts are scattered uniformly instead.
+	hubs := g.hubLayout(rng)
+	speeds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vs, speed := g.vehicle(rng, i, hubs)
+		speeds[i] = speed
+		s.Vehicles = append(s.Vehicles, vs)
+	}
+
+	// Duration: large fleets get short fly-outs so a corpus entry stays
+	// affordable even on the lockstep reference path.
+	maxDur := g.p.MaxDurationS
+	if n > 100 {
+		maxDur = math.Min(maxDur, 15)
+	}
+	s.DurationS = round2(rng.Uniform(4, maxDur))
+
+	// Link variation: fixed MCS sometimes, auto-rate otherwise.
+	if rng.Bernoulli(0.25) {
+		s.Link.Rate = fmt.Sprintf("mcs%d", rng.Intn(8))
+	}
+
+	g.traffic(rng, &s)
+	g.transfers(rng, &s)
+	g.chaos(rng, &s, speeds)
+	return s
+}
+
+// fleetSize draws a heavy-tailed fleet size in [1, MaxVehicles]: mostly
+// small fleets (where workloads reach every subsystem), a thick band of
+// medium ones, and a rare tail of hundreds of crafts. Each band clamps to
+// MaxVehicles so tightened Params never leave an empty draw range.
+func (g *Generator) fleetSize(rng *stats.RNG) int {
+	max := g.p.MaxVehicles
+	switch x := rng.Float64(); {
+	case x < 0.60 || max <= 8: // small
+		return 1 + rng.Intn(minInt(8, max))
+	case x < 0.85 || max <= 40: // medium
+		return 9 + rng.Intn(minInt(32, max-8))
+	case x < 0.97 || max <= 160: // large
+		return 41 + rng.Intn(minInt(120, max-40))
+	default: // very large
+		return 161 + rng.Intn(max-160)
+	}
+}
+
+func (g *Generator) hubLayout(rng *stats.RNG) []geo.Vec3 {
+	hubs := make([]geo.Vec3, 1+rng.Intn(4))
+	for i := range hubs {
+		hubs[i] = geo.Vec3{
+			X: round2(rng.Uniform(0, g.p.WorldM)),
+			Y: round2(rng.Uniform(0, g.p.WorldM)),
+			Z: round2(rng.Uniform(15, 120)),
+		}
+	}
+	return hubs
+}
+
+// vehicle generates one VehicleSpec and returns it with the craft's
+// effective speed estimate (for adversarial arrival-instant chaos).
+func (g *Generator) vehicle(rng *stats.RNG, i int, hubs []geo.Vec3) (scenario.VehicleSpec, float64) {
+	vs := scenario.VehicleSpec{ID: fmt.Sprintf("v%03d", i)}
+	if rng.Bernoulli(0.75) {
+		vs.Platform = scenario.PlatformQuad
+	} else {
+		vs.Platform = scenario.PlatformPlane
+	}
+	hub := hubs[rng.Intn(len(hubs))]
+	if rng.Bernoulli(0.2) { // scattered, not hubbed
+		hub = geo.Vec3{X: rng.Uniform(0, g.p.WorldM), Y: rng.Uniform(0, g.p.WorldM), Z: rng.Uniform(15, 120)}
+	}
+	vs.Start = geo.Vec3{
+		X: round2(hub.X + rng.Normal(0, 60)),
+		Y: round2(hub.Y + rng.Normal(0, 60)),
+		Z: round2(math.Max(5, hub.Z+rng.Normal(0, 10))),
+	}
+
+	speed := 10.0
+	switch x := rng.Float64(); {
+	case x < 0.40: // holder (settled once arrived — the elision target)
+		vs.Hold = true
+	case x < 0.55: // idle: no route, no hold
+	default: // route flyer
+		legs := 2 + rng.Intn(g.p.MaxRouteWaypoints-1)
+		at := vs.Start
+		for j := 0; j < legs; j++ {
+			at = geo.Vec3{
+				X: round2(at.X + rng.Uniform(-400, 400)),
+				Y: round2(at.Y + rng.Uniform(-400, 400)),
+				Z: round2(math.Max(5, at.Z+rng.Uniform(-15, 15))),
+			}
+			vs.Route = append(vs.Route, at)
+		}
+		if rng.Bernoulli(0.5) {
+			vs.SpeedMPS = round2(rng.Uniform(4, 18))
+			speed = vs.SpeedMPS
+		}
+		if rng.Bernoulli(0.3) {
+			vs.Loop = true
+			vs.LoopFrom = rng.Intn(len(vs.Route))
+		}
+	}
+	return vs, speed
+}
+
+// traffic adds saturation workloads with Poisson-ish start times — only
+// for small fleets, where measuring the radio is the point.
+func (g *Generator) traffic(rng *stats.RNG, s *scenario.Spec) {
+	if len(s.Vehicles) < 2 || len(s.Vehicles) > 12 || !rng.Bernoulli(0.5) {
+		return
+	}
+	at := 0.0
+	count := rng.Intn(g.p.MaxTraffic) + 1
+	for i := 0; i < count; i++ {
+		at += rng.Exponential(1.0 / 3.0)
+		if at > s.DurationS*0.8 {
+			break
+		}
+		from, to := g.pair(rng, len(s.Vehicles))
+		s.Traffic = append(s.Traffic, scenario.TrafficSpec{
+			From:      s.Vehicles[from].ID,
+			To:        s.Vehicles[to].ID,
+			StartS:    round2(at),
+			DurationS: round2(rng.Uniform(1.5, 6)),
+			WindowS:   round2(rng.Uniform(0.5, 2)),
+		})
+	}
+}
+
+// transfers adds batch deliveries — decisions, failover receivers and
+// arrival-gated starts included — for small-to-medium fleets.
+func (g *Generator) transfers(rng *stats.RNG, s *scenario.Spec) {
+	if len(s.Vehicles) < 2 || len(s.Vehicles) > 25 || !rng.Bernoulli(0.6) {
+		return
+	}
+	at := 0.0
+	count := rng.Intn(g.p.MaxTransfers) + 1
+	for i := 0; i < count; i++ {
+		at += rng.Exponential(1.0 / 5.0)
+		if at > s.DurationS {
+			break
+		}
+		from, to := g.pair(rng, len(s.Vehicles))
+		ts := scenario.TransferSpec{
+			From:      s.Vehicles[from].ID,
+			To:        s.Vehicles[to].ID,
+			SizeMB:    round2(rng.Uniform(0.1, 1.2)),
+			DeadlineS: round2(rng.Uniform(15, 60)),
+			StartS:    round2(at),
+			Reliable:  rng.Bernoulli(0.5),
+		}
+		// Arrival-gated start only when the sender's route completes.
+		if len(s.Vehicles[from].Route) > 0 && !s.Vehicles[from].Loop && rng.Bernoulli(0.3) {
+			ts.StartOnArrival = true
+		}
+		if len(s.Vehicles) >= 3 && rng.Bernoulli(0.25) {
+			alt := rng.Intn(len(s.Vehicles))
+			if alt != from {
+				ts.AltTo = s.Vehicles[alt].ID
+			}
+		}
+		if rng.Bernoulli(0.45) {
+			d := &scenario.DecisionSpec{Kind: "exact"}
+			if rng.Bernoulli(g.p.TableDecisionProb) {
+				d.Kind = "table"
+			}
+			if rng.Bernoulli(0.5) {
+				d.RhoPerM = round6(rng.Uniform(1e-4, 3e-3))
+			}
+			ts.Decision = d
+		}
+		s.Transfers = append(s.Transfers, ts)
+	}
+}
+
+// chaos writes the fault script. Kill instants are chosen adversarially
+// against the event-driven core: exactly on accumulated control-tick
+// boundaries, mid-way through a settled craft's elided stretch, and at a
+// route flyer's predicted first-waypoint arrival. Windowed faults are
+// allocated from a single non-overlapping cursor per fault class, so the
+// script always passes chaos.Schedule validation.
+func (g *Generator) chaos(rng *stats.RNG, s *scenario.Spec, speeds []float64) {
+	if !rng.Bernoulli(0.7) {
+		return
+	}
+	var lines []string
+	if rng.Bernoulli(0.3) {
+		lines = append(lines, fmt.Sprintf("seed %d", rng.Intn(1_000_000)+1))
+	}
+
+	// Scripted deaths: a few per fleet, at adversarial instants.
+	kills := rng.Intn(minInt(len(s.Vehicles), 4) + 1)
+	killed := map[int]bool{}
+	for k := 0; k < kills && len(lines) < g.p.MaxChaosLines; k++ {
+		vi := rng.Intn(len(s.Vehicles))
+		if killed[vi] {
+			continue
+		}
+		killed[vi] = true
+		v := s.Vehicles[vi]
+		var at float64
+		switch x := rng.Float64(); {
+		case x < 0.35:
+			// Exactly on an accumulated tick boundary: the frontier grid
+			// accumulates ControlTickS additions, so build the instant the
+			// same way instead of multiplying. %g keeps the shortest exact
+			// decimal, so the parsed kill time lands bit-for-bit on the
+			// frontier the Runtime will visit.
+			ticks := rng.Intn(int(s.DurationS/scenario.ControlTickS) + 1)
+			for t := 0; t < ticks; t++ {
+				at += scenario.ControlTickS
+			}
+		case x < 0.65 && len(v.Route) > 0:
+			// At the predicted first-waypoint arrival (± half a second):
+			// races the arrival-check event and the leg hook.
+			eta := v.Start.Dist(v.Route[0]) / speeds[vi]
+			at = round3(math.Max(0, eta+rng.Uniform(-0.5, 0.5)))
+		default:
+			// Deep inside the fly-out, where holders sit settled and
+			// elided: the kill must force an exact mid-stretch replay.
+			at = round3(s.DurationS * rng.Uniform(0.5, 0.95))
+		}
+		lines = append(lines, fmt.Sprintf("vehicle fail %s %g", v.ID, at))
+	}
+
+	// Windowed faults: per class, a cursor hands out disjoint windows, so
+	// any mix of targets (wildcard included) validates.
+	windowed := func(format func(id string, start, end float64) string) {
+		cursor := 0.0
+		count := rng.Intn(3)
+		for i := 0; i < count && len(lines) < g.p.MaxChaosLines; i++ {
+			start := round3(cursor + rng.Uniform(0.1, 3))
+			end := round3(start + rng.Uniform(0.5, 5))
+			cursor = end
+			if start >= s.DurationS {
+				break
+			}
+			id := s.Vehicles[rng.Intn(len(s.Vehicles))].ID
+			if rng.Bernoulli(0.15) {
+				id = "*"
+			}
+			lines = append(lines, format(id, start, end))
+		}
+	}
+	windowed(func(id string, a, b float64) string {
+		return fmt.Sprintf("link outage %s %g %g", id, a, b)
+	})
+	windowed(func(id string, a, b float64) string {
+		return fmt.Sprintf("link fade %s %g %g %g", id, round2(rng.Uniform(3, 25)), a, b)
+	})
+	windowed(func(id string, a, b float64) string {
+		return fmt.Sprintf("gps outage %s %g %g", id, a, b)
+	})
+	if rng.Bernoulli(0.25) && len(lines) < g.p.MaxChaosLines {
+		start := round3(rng.Uniform(0, s.DurationS/2))
+		lines = append(lines, fmt.Sprintf("telemetry loss %g %g %g",
+			round2(rng.Uniform(0.05, 0.9)), start, round3(start+rng.Uniform(1, 8))))
+	}
+	s.Chaos = lines
+}
+
+// pair draws two distinct vehicle indices.
+func (g *Generator) pair(rng *stats.RNG, n int) (int, int) {
+	from := rng.Intn(n)
+	to := rng.Intn(n - 1)
+	if to >= from {
+		to++
+	}
+	return from, to
+}
+
+// round2/round3/round6 quantize generated values so the emitted Specs and
+// chaos lines stay human-readable; the quantized floats round-trip exactly
+// through JSON and the chaos text format.
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

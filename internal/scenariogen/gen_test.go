@@ -1,0 +1,127 @@
+package scenariogen
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// genSeeds is the seed range the property tests sweep; it deliberately
+// matches the committed corpus generation range so every corpus entry is
+// also covered by the cheap validity properties here.
+const genSeeds = 60
+
+// Every generated Spec must be valid, deterministic, and survive the
+// canonical encode/decode round trip — the generator is useless as a
+// corpus factory otherwise.
+func TestGeneratedSpecsValidDeterministicAndDistinct(t *testing.T) {
+	fps := make(map[uint64]string, genSeeds)
+	for seed := int64(0); seed < genSeeds; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid spec: %v", seed, err)
+		}
+		if again := Generate(seed); !reflect.DeepEqual(again, s) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		data, err := scenario.Encode(s)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := scenario.Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: own encoding rejected: %v", seed, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("seed %d: encode/decode changed the spec", seed)
+		}
+		fp, err := scenario.Fingerprint(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("seed %d: duplicate fingerprint with %s", seed, prev)
+		}
+		fps[fp] = s.Name
+	}
+}
+
+// The seed sweep must actually exercise the adversarial surface: large and
+// tiny fleets, loops, holds, workloads, wildcard faults and scripted
+// kills. A generator that silently stopped emitting one of these would
+// leave the harness blind there.
+func TestGeneratedSpecsCoverAdversarialSurface(t *testing.T) {
+	var (
+		single, big, loops, holds          bool
+		traffic, transfers, chaos, decided bool
+		arrival, altTo                     bool
+	)
+	for seed := int64(0); seed < genSeeds; seed++ {
+		s := Generate(seed)
+		if len(s.Vehicles) == 1 {
+			single = true
+		}
+		if len(s.Vehicles) > 100 {
+			big = true
+		}
+		for _, v := range s.Vehicles {
+			if v.Loop {
+				loops = true
+			}
+			if v.Hold {
+				holds = true
+			}
+		}
+		if len(s.Traffic) > 0 {
+			traffic = true
+		}
+		for _, tr := range s.Transfers {
+			transfers = true
+			if tr.Decision != nil {
+				decided = true
+			}
+			if tr.StartOnArrival {
+				arrival = true
+			}
+			if tr.AltTo != "" {
+				altTo = true
+			}
+		}
+		if len(s.Chaos) > 0 {
+			chaos = true
+		}
+	}
+	for name, hit := range map[string]bool{
+		"single-craft fleet": single, "fleet > 100": big,
+		"looping route": loops, "holding craft": holds,
+		"traffic workload": traffic, "transfer workload": transfers,
+		"chaos script": chaos, "decided transfer": decided,
+		"arrival-gated transfer": arrival, "failover receiver": altTo,
+	} {
+		if !hit {
+			t.Errorf("%d seeds never produced a %s", int64(genSeeds), name)
+		}
+	}
+}
+
+// Params bounds must hold for every seed.
+func TestGeneratorRespectsParams(t *testing.T) {
+	p := Params{MaxVehicles: 12, MaxDurationS: 10, MaxChaosLines: 3}
+	g := New(p)
+	for seed := int64(0); seed < 40; seed++ {
+		s := g.Spec(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Vehicles) > p.MaxVehicles {
+			t.Fatalf("seed %d: %d vehicles > max %d", seed, len(s.Vehicles), p.MaxVehicles)
+		}
+		if s.DurationS > p.MaxDurationS {
+			t.Fatalf("seed %d: duration %v > max %v", seed, s.DurationS, p.MaxDurationS)
+		}
+		if len(s.Chaos) > p.MaxChaosLines {
+			t.Fatalf("seed %d: %d chaos lines > max %d", seed, len(s.Chaos), p.MaxChaosLines)
+		}
+	}
+}

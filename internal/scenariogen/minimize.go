@@ -1,0 +1,228 @@
+package scenariogen
+
+import (
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// Minimize greedily shrinks a failing Spec while the predicate keeps
+// failing, delta-debugging style: each round proposes structural
+// reductions (drop vehicle chunks, drop workloads, drop chaos lines,
+// shorten routes and the fly-out), accepts the first reduction that still
+// fails, and repeats until no proposal survives or the predicate budget is
+// exhausted. Every candidate is validity-gated — an invalid Spec is never
+// offered to the predicate — so the returned counterexample always passes
+// scenario.Spec.Validate.
+//
+// budget bounds predicate invocations (≤ 0 selects 200). The predicate
+// should report true while the failure reproduces, e.g.
+//
+//	small := scenariogen.Minimize(bad, func(s scenario.Spec) bool {
+//		return scenariogen.Verify(s) != nil
+//	}, 0)
+func Minimize(spec scenario.Spec, failing func(scenario.Spec) bool, budget int) scenario.Spec {
+	if budget <= 0 {
+		budget = 200
+	}
+	cur := spec
+	tries := 0
+	test := func(c scenario.Spec) bool {
+		if tries >= budget || c.Validate() != nil {
+			return false
+		}
+		tries++
+		return failing(c)
+	}
+	for tries < budget {
+		accepted := false
+		for _, cand := range shrinkCandidates(cur) {
+			if test(cand) {
+				cur = cand
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates proposes reductions of the Spec, most aggressive first.
+func shrinkCandidates(s scenario.Spec) []scenario.Spec {
+	var out []scenario.Spec
+	n := len(s.Vehicles)
+
+	// Vehicle chunks: halves first, then quarters, then singles for small
+	// fleets (500 single-removal candidates per round would blow the
+	// budget before the halving had a chance).
+	if n > 1 {
+		out = append(out,
+			dropVehicles(s, 0, n/2),
+			dropVehicles(s, n/2, n))
+		if n >= 4 {
+			q := n / 4
+			for i := 0; i < 4; i++ {
+				lo, hi := i*q, (i+1)*q
+				if i == 3 {
+					hi = n
+				}
+				out = append(out, dropVehicles(s, lo, hi))
+			}
+		}
+		if n <= 16 {
+			for i := 0; i < n; i++ {
+				out = append(out, dropVehicles(s, i, i+1))
+			}
+		}
+	}
+
+	// Whole workload classes, then single entries.
+	if len(s.Traffic) > 0 {
+		c := copySpec(s)
+		c.Traffic = nil
+		out = append(out, c)
+		for i := range s.Traffic {
+			c := copySpec(s)
+			c.Traffic = append(c.Traffic[:i], c.Traffic[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	if len(s.Transfers) > 0 {
+		c := copySpec(s)
+		c.Transfers = nil
+		out = append(out, c)
+		for i := range s.Transfers {
+			c := copySpec(s)
+			c.Transfers = append(c.Transfers[:i], c.Transfers[i+1:]...)
+			out = append(out, c)
+		}
+		// When dropping a transfer outright loses the failure, stripping
+		// just its decision and failover receiver may keep it.
+		for i, t := range s.Transfers {
+			if t.Decision != nil || t.AltTo != "" {
+				c := copySpec(s)
+				c.Transfers[i].Decision = nil
+				c.Transfers[i].AltTo = ""
+				out = append(out, c)
+			}
+		}
+	}
+
+	// Chaos: the whole script, then single lines.
+	if len(s.Chaos) > 0 {
+		c := copySpec(s)
+		c.Chaos = nil
+		out = append(out, c)
+		for i := range s.Chaos {
+			c := copySpec(s)
+			c.Chaos = append(c.Chaos[:i], c.Chaos[i+1:]...)
+			out = append(out, c)
+		}
+	}
+
+	// Simplify flight plans: routes away, loops off.
+	for i, v := range s.Vehicles {
+		if len(v.Route) > 0 {
+			c := copySpec(s)
+			c.Vehicles[i].Route = nil
+			c.Vehicles[i].Loop = false
+			c.Vehicles[i].LoopFrom = 0
+			c.Vehicles[i].SpeedMPS = 0
+			out = append(out, c)
+		}
+		if v.Loop {
+			c := copySpec(s)
+			c.Vehicles[i].Loop = false
+			c.Vehicles[i].LoopFrom = 0
+			out = append(out, c)
+		}
+	}
+
+	// Shorter fly-out.
+	if s.DurationS > 2 {
+		c := copySpec(s)
+		c.DurationS = round2(s.DurationS / 2)
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropVehicles removes vehicles with index in [lo, hi) and every workload
+// or chaos reference to them, keeping the candidate valid.
+func dropVehicles(s scenario.Spec, lo, hi int) scenario.Spec {
+	c := copySpec(s)
+	kept := make(map[string]bool)
+	c.Vehicles = c.Vehicles[:0]
+	for i, v := range s.Vehicles {
+		if i >= lo && i < hi {
+			continue
+		}
+		c.Vehicles = append(c.Vehicles, v)
+		kept[v.ID] = true
+	}
+	var traffic []scenario.TrafficSpec
+	for _, t := range c.Traffic {
+		if kept[t.From] && kept[t.To] {
+			traffic = append(traffic, t)
+		}
+	}
+	c.Traffic = traffic
+	var transfers []scenario.TransferSpec
+	for _, t := range c.Transfers {
+		if !kept[t.From] || !kept[t.To] {
+			continue
+		}
+		if t.AltTo != "" && !kept[t.AltTo] {
+			t.AltTo = ""
+		}
+		transfers = append(transfers, t)
+	}
+	c.Transfers = transfers
+	var chaos []string
+	for _, line := range c.Chaos {
+		if id, ok := chaosTarget(line); ok && id != "*" && !kept[id] {
+			continue
+		}
+		chaos = append(chaos, line)
+	}
+	c.Chaos = chaos
+	return c
+}
+
+// chaosTarget extracts the vehicle id a chaos directive names, when it
+// names one ("vehicle fail ID t", "gps outage ID ...", "link fade ID ...").
+func chaosTarget(line string) (string, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return "", false
+	}
+	switch f[0] {
+	case "vehicle", "gps", "link":
+		return f[2], true
+	}
+	return "", false
+}
+
+// copySpec deep-copies the Spec's slices so candidate mutations never
+// alias the original.
+func copySpec(s scenario.Spec) scenario.Spec {
+	c := s
+	c.Vehicles = append([]scenario.VehicleSpec(nil), s.Vehicles...)
+	for i, v := range s.Vehicles {
+		c.Vehicles[i].Route = append([]geo.Vec3(nil), v.Route...)
+	}
+	c.Traffic = append([]scenario.TrafficSpec(nil), s.Traffic...)
+	c.Transfers = append([]scenario.TransferSpec(nil), s.Transfers...)
+	for i, t := range s.Transfers {
+		if t.Decision != nil {
+			d := *t.Decision
+			c.Transfers[i].Decision = &d
+		}
+	}
+	c.Chaos = append([]string(nil), s.Chaos...)
+	return c
+}

@@ -1,0 +1,95 @@
+package scenariogen
+
+import (
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// Minimize must shrink a large failing Spec to a small valid one while the
+// predicate keeps holding. The synthetic failure — "some transfer uses a
+// decision" — stands in for a real divergence; the point is the shrinking
+// machinery, which is failure-agnostic.
+func TestMinimizeShrinksCounterexample(t *testing.T) {
+	var big scenario.Spec
+	for seed := int64(0); ; seed++ {
+		big = Generate(seed)
+		hasDecision := false
+		for _, tr := range big.Transfers {
+			if tr.Decision != nil {
+				hasDecision = true
+			}
+		}
+		if hasDecision && len(big.Vehicles) >= 4 {
+			break
+		}
+		if seed > 500 {
+			t.Fatal("no generated spec with a decided transfer in 500 seeds")
+		}
+	}
+	failing := func(s scenario.Spec) bool {
+		for _, tr := range s.Transfers {
+			if tr.Decision != nil {
+				return true
+			}
+		}
+		return false
+	}
+	small := Minimize(big, failing, 400)
+	if err := small.Validate(); err != nil {
+		t.Fatalf("minimized spec invalid: %v", err)
+	}
+	if !failing(small) {
+		t.Fatal("minimized spec no longer fails")
+	}
+	if len(small.Vehicles) > 2 {
+		t.Fatalf("kept %d vehicles; a decided transfer needs only 2", len(small.Vehicles))
+	}
+	if len(small.Transfers) != 1 {
+		t.Fatalf("kept %d transfers, want 1", len(small.Transfers))
+	}
+	if len(small.Chaos) != 0 || len(small.Traffic) != 0 {
+		t.Fatalf("kept unrelated workloads: chaos=%d traffic=%d", len(small.Chaos), len(small.Traffic))
+	}
+}
+
+// The predicate budget is a hard bound, and the original Spec must come
+// back untouched when nothing can shrink.
+func TestMinimizeRespectsBudget(t *testing.T) {
+	big := Generate(1)
+	calls := 0
+	got := Minimize(big, func(scenario.Spec) bool {
+		calls++
+		return true
+	}, 5)
+	if calls > 5 {
+		t.Fatalf("predicate called %d times, budget 5", calls)
+	}
+	if got.Validate() != nil {
+		t.Fatal("result invalid")
+	}
+
+	// A predicate that rejects every reduction keeps the input.
+	calls = 0
+	same := Minimize(big, func(s scenario.Spec) bool { calls++; return false }, 50)
+	if len(same.Vehicles) != len(big.Vehicles) || same.DurationS != big.DurationS {
+		t.Fatal("unshrinkable spec was modified")
+	}
+}
+
+// dropVehicles must scrub every dangling reference so candidates validate.
+func TestDropVehiclesScrubsReferences(t *testing.T) {
+	s := Generate(0)
+	for seed := int64(0); len(s.Transfers) == 0 || len(s.Chaos) == 0; seed++ {
+		s = Generate(seed)
+		if seed > 500 {
+			t.Fatal("no seed with transfers and chaos")
+		}
+	}
+	for lo := 0; lo < len(s.Vehicles); lo++ {
+		c := dropVehicles(s, lo, lo+1)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("dropping vehicle %d left an invalid spec: %v", lo, err)
+		}
+	}
+}

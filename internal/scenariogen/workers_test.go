@@ -1,0 +1,52 @@
+package scenariogen
+
+import (
+	"context"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/runner"
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// Worker-count invariance: compiling and running generated Specs on a
+// 1-, 4- and 8-worker pool must produce identical result fingerprints with
+// zero invariant violations. Any hidden shared mutable state between
+// Runtimes (package-level caches, RNG leakage) would show up here — and
+// under -race, as a report.
+func TestWorkerCountInvariance(t *testing.T) {
+	const specs = 12
+	run := func(workers int) []uint64 {
+		t.Helper()
+		fps, err := runner.Map(context.Background(), specs,
+			runner.Options{Workers: workers, Label: "scenariogen-workers"},
+			func(trial int) (uint64, error) {
+				spec := Generate(int64(trial))
+				rt, err := scenario.CompileWithOptions(spec, scenario.Options{CheckInvariants: true})
+				if err != nil {
+					return 0, err
+				}
+				res, err := rt.Run()
+				if err != nil {
+					return 0, err
+				}
+				if v := rt.InvariantViolations(); len(v) != 0 {
+					t.Errorf("workers=%d trial %d: violations: %v", workers, trial, v)
+				}
+				return scenario.ResultFingerprint(res), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fps
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: spec %d fingerprint %016x != serial %016x",
+					workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

@@ -19,6 +19,13 @@ import (
 // explicitly before reaching its time horizon.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// ErrEventStorm is returned (wrapped) by Schedule and After when the
+// pending-event queue has hit the engine's configured limit. A bounded
+// queue turns runaway self-scheduling — an event that schedules more
+// events than ever fire — into a typed, catchable error instead of
+// unbounded memory growth. Callers detect it with errors.Is.
+var ErrEventStorm = errors.New("sim: event storm")
+
 // Event is a scheduled callback.
 type Event struct {
 	at       float64
@@ -65,11 +72,13 @@ func (q *eventQueue) Pop() any {
 
 // Engine is the discrete-event scheduler.
 type Engine struct {
-	now       float64
-	seq       uint64
-	queue     eventQueue
-	stopped   bool
-	processed uint64
+	now          float64
+	seq          uint64
+	queue        eventQueue
+	stopped      bool
+	processed    uint64
+	pendingLimit int
+	peakPending  int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -86,6 +95,20 @@ func (e *Engine) Len() int { return len(e.queue) }
 // lifetime.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// SetPendingLimit bounds the pending-event queue: a Schedule that would
+// grow the queue past n fails with ErrEventStorm. n ≤ 0 removes the bound
+// (the default). The limit caps the queue, not the run: any number of
+// events may fire over the engine's lifetime as long as no more than n are
+// ever outstanding at once.
+func (e *Engine) SetPendingLimit(n int) { e.pendingLimit = n }
+
+// PendingLimit returns the configured queue bound (0 = unbounded).
+func (e *Engine) PendingLimit() int { return e.pendingLimit }
+
+// PeakPending returns the deepest the pending-event queue has ever been —
+// the figure to size SetPendingLimit against.
+func (e *Engine) PeakPending() int { return e.peakPending }
+
 // Schedule runs fn at absolute time at. Scheduling in the past (before the
 // current clock) is an error: it would silently reorder causality.
 func (e *Engine) Schedule(at float64, fn func()) (*Event, error) {
@@ -95,9 +118,16 @@ func (e *Engine) Schedule(at float64, fn func()) (*Event, error) {
 	if at < e.now {
 		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
 	}
+	if e.pendingLimit > 0 && len(e.queue) >= e.pendingLimit {
+		return nil, fmt.Errorf("sim: %d pending events at limit scheduling t=%v: %w",
+			len(e.queue), at, ErrEventStorm)
+	}
 	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.peakPending {
+		e.peakPending = len(e.queue)
+	}
 	return ev, nil
 }
 

@@ -353,3 +353,70 @@ func mustSchedule(t *testing.T, e *Engine, at float64, fn func()) *Event {
 	}
 	return ev
 }
+
+// A runaway self-scheduler — each firing schedules two more — must hit the
+// pending-event bound as a typed ErrEventStorm instead of growing the heap
+// without limit, and the engine must stay usable afterwards.
+func TestPendingLimitStopsEventStorm(t *testing.T) {
+	e := NewEngine()
+	const limit = 64
+	e.SetPendingLimit(limit)
+	var stormErr error
+	var fired int
+	var boom func()
+	boom = func() {
+		if stormErr != nil {
+			return // a real caller latches the error and stops scheduling
+		}
+		fired++
+		for i := 0; i < 2; i++ {
+			if _, err := e.After(0.01, boom); err != nil {
+				stormErr = err
+				return
+			}
+		}
+	}
+	mustSchedule(t, e, 0, boom)
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if stormErr == nil {
+		t.Fatal("exponential self-scheduling never tripped the pending limit")
+	}
+	if !errors.Is(stormErr, ErrEventStorm) {
+		t.Fatalf("storm error = %v, want errors.Is ErrEventStorm", stormErr)
+	}
+	if e.PeakPending() > limit {
+		t.Fatalf("peak pending %d exceeded the limit %d", e.PeakPending(), limit)
+	}
+	if fired == 0 {
+		t.Fatal("no event fired before the storm tripped")
+	}
+	// The engine is not poisoned: once the queue drains below the bound,
+	// scheduling works again.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	mustSchedule(t, e, e.Now()+1, func() { done = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("post-storm event never fired")
+	}
+}
+
+// The default engine is unbounded: SetPendingLimit(0) must never reject.
+func TestPendingLimitZeroIsUnbounded(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10_000; i++ {
+		mustSchedule(t, e, float64(i), func() {})
+	}
+	if e.PeakPending() != 10_000 {
+		t.Fatalf("peak pending = %d, want 10000", e.PeakPending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

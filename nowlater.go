@@ -49,6 +49,8 @@ import (
 	"github.com/nowlater/nowlater/internal/policy"
 	"github.com/nowlater/nowlater/internal/rate"
 	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/scenariogen"
+	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/transport"
 )
@@ -392,6 +394,38 @@ type ScenarioResult = scenario.Result
 
 // CompileScenario validates a spec and builds its runtime.
 func CompileScenario(spec ScenarioSpec) (*ScenarioRuntime, error) { return scenario.Compile(spec) }
+
+// ScenarioOptions selects scenario execution modes: the lockstep reference
+// oracle (no lazy integration, no elision), runtime invariant checking,
+// and an explicit event-queue bound.
+type ScenarioOptions = scenario.Options
+
+// ErrEventStorm is the typed failure a Runtime surfaces when its bounded
+// event queue overflows — a runaway self-scheduling loop, aborted
+// gracefully with partial results preserved.
+var ErrEventStorm = sim.ErrEventStorm
+
+// CompileScenarioWithOptions validates a spec and builds its runtime in
+// the requested execution mode.
+func CompileScenarioWithOptions(spec ScenarioSpec, opts ScenarioOptions) (*ScenarioRuntime, error) {
+	return scenario.CompileWithOptions(spec, opts)
+}
+
+// ScenarioResultFingerprint hashes a run's outcome (FNV-1a over the exact
+// float bits), excluding the Spec identity — the differential-verification
+// comparator: two runs agree iff their fingerprints match.
+func ScenarioResultFingerprint(r ScenarioResult) uint64 { return scenario.ResultFingerprint(r) }
+
+// GenerateScenario emits a random-but-valid ScenarioSpec deterministically
+// from a seed — the adversarial generator behind the committed corpus
+// (internal/scenariogen/testdata/corpus).
+func GenerateScenario(seed int64) ScenarioSpec { return scenariogen.Generate(seed) }
+
+// VerifyScenario runs one Spec through the differential verification
+// harness — event-driven vs lockstep oracle, chaos-permutation and
+// duration-extension metamorphic transforms, runtime invariants — and
+// returns nil when every oracle agrees.
+func VerifyScenario(spec ScenarioSpec) error { return scenariogen.Verify(spec) }
 
 // LoadScenarioSpec reads and validates a JSON scenario file
 // (cmd/uavsim -scenario).

@@ -2,6 +2,8 @@ package nowlater_test
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"path/filepath"
 	"testing"
@@ -181,6 +183,53 @@ func TestFacadeScenario(t *testing.T) {
 	}
 	if res.DurationS <= 0 {
 		t.Fatalf("clock did not advance: %+v", res)
+	}
+}
+
+// TestFacadeVerification drives the verification surface end to end: a
+// generated spec verified differentially, the lockstep oracle matching the
+// event-driven run fingerprint-for-fingerprint, and the event-storm guard
+// surfacing its typed error.
+func TestFacadeVerification(t *testing.T) {
+	spec := nowlater.GenerateScenario(3)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+	if err := nowlater.VerifyScenario(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(opts nowlater.ScenarioOptions) uint64 {
+		rt, err := nowlater.CompileScenarioWithOptions(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nowlater.ScenarioResultFingerprint(res)
+	}
+	ev := run(nowlater.ScenarioOptions{CheckInvariants: true})
+	ls := run(nowlater.ScenarioOptions{Lockstep: true})
+	if ev != ls {
+		t.Fatalf("lockstep fingerprint %016x != event-driven %016x", ls, ev)
+	}
+
+	// A starved event queue aborts with the typed storm error.
+	many := nowlater.ScenarioSpec{Name: "facade/storm", Seed: 1, DurationS: 4}
+	for i := 0; i < 6; i++ {
+		many.Vehicles = append(many.Vehicles, nowlater.ScenarioVehicleSpec{
+			ID: fmt.Sprintf("s%d", i), Platform: "arducopter",
+			Start: nowlater.Vec3{Z: 10}, Route: []nowlater.Vec3{{X: 90, Z: 10}}, SpeedMPS: 9,
+		})
+	}
+	rt, err := nowlater.CompileScenarioWithOptions(many, nowlater.ScenarioOptions{PendingLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); !errors.Is(err, nowlater.ErrEventStorm) {
+		t.Fatalf("err = %v, want ErrEventStorm", err)
 	}
 }
 

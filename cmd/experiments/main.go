@@ -77,6 +77,10 @@ type benchReport struct {
 	// sub-ticks stepped vs the legacy lockstep cost, and wall-clock — the
 	// evidence that run cost scales with events, not time × fleet.
 	FleetScale []experiments.FleetScalePoint `json:"fleetscale,omitempty"`
+	// TrajOpt is the trajopt step's per-(rate, planner) record: served
+	// ratio, delay and energy-per-delivered-byte of the three planner arms
+	// on paired request streams.
+	TrajOpt []experiments.TrajOptPoint `json:"trajopt,omitempty"`
 }
 
 func main() {
@@ -168,6 +172,7 @@ func run(args []string) int {
 		"svcchaos":   run.svcChaos,
 		"policy":     run.policyCheck,
 		"fleetscale": run.fleetScale,
+		"trajopt":    run.trajOpt,
 	}
 	var steps []struct {
 		name string
@@ -271,6 +276,9 @@ func run(args []string) int {
 	if fr := run.fleetScaleRes; fr != nil {
 		report.FleetScale = fr.Points
 	}
+	if tr := run.trajOptRes; tr != nil {
+		report.TrajOpt = tr.Points
+	}
 	if sr := run.svcChaosRes; sr != nil && len(sr.Points) > 0 {
 		last := sr.Points[len(sr.Points)-1]
 		report.SvcNaiveOKRatio = last.NaiveOKRatio
@@ -338,4 +346,5 @@ type runnerCmd struct {
 	policyRes     *experiments.PolicyCheckResult
 	svcChaosRes   *experiments.SvcChaosResult
 	fleetScaleRes *experiments.FleetScaleResult
+	trajOptRes    *experiments.TrajOptResult
 }

@@ -14,6 +14,7 @@
 //	uavsim -resilient           # resumable transfers with retry/backoff
 //	uavsim -scenario spec.json  # run a declarative scenario file instead
 //	uavsim -validate spec.json  # validate + compile a Spec without running
+//	uavsim -scenario spec.json -planner joint   # override the requests planner
 //
 // With -scenario the mission comes entirely from the JSON Spec (see
 // internal/scenario): vehicles, routes, link, workloads, chaos script and
@@ -57,6 +58,7 @@ func main() {
 	resilient := fs.Bool("resilient", false, "resumable transfer with per-attempt timeout and jittered backoff")
 	scenarioPath := fs.String("scenario", "", "declarative scenario Spec file (JSON; see internal/scenario)")
 	validatePath := fs.String("validate", "", "validate and compile a scenario Spec file without running it")
+	planner := fs.String("planner", "", "override the Spec's requests planner: fixed, greedy or joint (requires -scenario with a requests section)")
 	verbose := fs.Bool("v", false, "log telemetry traffic")
 	_ = fs.Parse(os.Args[1:])
 
@@ -69,11 +71,15 @@ func main() {
 	}
 
 	if *scenarioPath != "" {
-		if err := runScenario(*scenarioPath); err != nil {
+		if err := runScenario(*scenarioPath, *planner); err != nil {
 			fmt.Fprintln(os.Stderr, "uavsim:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *planner != "" {
+		fmt.Fprintln(os.Stderr, "uavsim: -planner requires -scenario")
+		os.Exit(1)
 	}
 
 	var sched *chaos.Schedule
@@ -106,17 +112,34 @@ func validateScenario(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %q: valid (%d vehicle(s), %d traffic, %d transfer(s), %d chaos line(s), fingerprint %016x)\n",
-		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), len(spec.Chaos), fp)
+	requests := 0
+	if rs := spec.Requests; rs != nil {
+		requests = len(rs.Requests)
+		if rs.Poisson != nil {
+			requests += rs.Poisson.Count
+		}
+	}
+	fmt.Printf("scenario %q: valid (%d vehicle(s), %d traffic, %d transfer(s), %d request(s), %d chaos line(s), fingerprint %016x)\n",
+		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), requests, len(spec.Chaos), fp)
 	return nil
 }
 
 // runScenario loads, compiles and executes a declarative Spec, then prints
-// every workload's outcome and the final vehicle states.
-func runScenario(path string) error {
+// every workload's outcome and the final vehicle states. A non-empty
+// planner overrides the Spec's requests planner before compilation.
+func runScenario(path, planner string) error {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		return err
+	}
+	if planner != "" {
+		if spec.Requests == nil {
+			return fmt.Errorf("-planner %s: scenario %q has no requests section", planner, spec.Name)
+		}
+		spec.Requests.Planner = planner
+		if err := spec.Validate(); err != nil {
+			return err
+		}
 	}
 	rt, err := scenario.Compile(spec)
 	if err != nil {
@@ -124,6 +147,13 @@ func runScenario(path string) error {
 	}
 	fmt.Printf("scenario %q: %d vehicle(s), %d traffic, %d transfer(s), %d chaos line(s)\n",
 		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), len(spec.Chaos))
+	if rs := spec.Requests; rs != nil {
+		plannerName := rs.Planner
+		if plannerName == "" {
+			plannerName = "fixed"
+		}
+		fmt.Printf("requests: planner %s, collector %s\n", plannerName, rs.Collector)
+	}
 	res, err := rt.Run()
 	if err != nil {
 		return err
@@ -154,12 +184,28 @@ func runScenario(path string) error {
 		}
 		fmt.Println()
 	}
+	for _, rq := range res.Requests {
+		if rq.Served {
+			fmt.Printf("request %s: served by %s (%.1f MB, arrival t=%.1f s, pickup t=%.1f s, done t=%.1f s, tx at %.0f m)\n",
+				rq.ID, rq.Vehicle, rq.SizeMB, rq.ArrivalS, rq.PickupS, rq.CompletionS, rq.TxDistM)
+			continue
+		}
+		who := "unassigned"
+		if rq.Vehicle != "" {
+			who = "assigned to " + rq.Vehicle
+		}
+		fmt.Printf("request %s: EXPIRED at t=%.1f s (%.1f MB, %s)\n", rq.ID, rq.DeadlineS, rq.SizeMB, who)
+	}
 	for _, v := range res.Vehicles {
 		state := "ok"
 		if v.Failed {
 			state = "FAILED"
 		}
-		fmt.Printf("vehicle %s: %s at %s, route done=%v\n", v.ID, state, v.Position, v.RouteDone)
+		fmt.Printf("vehicle %s: %s at %s, route done=%v", v.ID, state, v.Position, v.RouteDone)
+		if len(res.Requests) > 0 {
+			fmt.Printf(", served %d, expired %d, energy %.0f battery-s", v.Served, v.Expired, v.EnergyUsedS)
+		}
+		fmt.Println()
 	}
 	st := rt.Stats()
 	fmt.Printf("event core: %d events processed, %d sub-ticks stepped, %d elided\n",

@@ -148,3 +148,48 @@ func TestValidateScenarioDryRun(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// -scenario with -planner overrides the requests planner, prints per-request
+// outcomes, and rejects specs that have no requests section.
+func TestRunScenarioPlannerOverride(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "scenario", "joint_pickup.json")
+	capture := func(planner string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := runScenario(example, planner)
+		w.Close()
+		os.Stdout = old
+		out, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatalf("runScenario(%q, %q): %v", example, planner, runErr)
+		}
+		return string(out)
+	}
+
+	joint := capture("")
+	for _, want := range []string{"requests: planner joint", "request survey-alpha:", "served "} {
+		if !strings.Contains(joint, want) {
+			t.Errorf("joint output missing %q:\n%s", want, joint)
+		}
+	}
+	fixed := capture("fixed")
+	if !strings.Contains(fixed, "requests: planner fixed") {
+		t.Errorf("override not applied:\n%s", fixed)
+	}
+	if fixed == joint {
+		t.Error("fixed override produced the identical run as joint")
+	}
+
+	if err := runScenario(example, "bogus"); err == nil || !strings.Contains(err.Error(), "unknown planner") {
+		t.Fatalf("bogus planner accepted: %v", err)
+	}
+	noReq := filepath.Join("..", "..", "examples", "scenario", "three_uav_failover.json")
+	if err := runScenario(noReq, "joint"); err == nil || !strings.Contains(err.Error(), "no requests section") {
+		t.Fatalf("planner override without a requests section accepted: %v", err)
+	}
+}

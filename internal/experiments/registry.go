@@ -27,6 +27,7 @@ func Registry() []StepInfo {
 		{"svcchaos", "Service chaos: naive vs resilient client against a fault-injected nowlaterd"},
 		{"policy", "Policy tables: table-served dopt vs exact optimization"},
 		{"fleetscale", "Fleet scale: event-driven core cost and hub capacity, 100 to 10,000 vehicles"},
+		{"trajopt", "Joint trajectory optimization: fixed vs greedy vs joint planners over Poisson pickup requests"},
 	}
 }
 

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// The trajopt experiment is the paper's question generalized from one leg
+// to a fleet: requests for data pickup arrive as a Poisson process over an
+// operating area, and the planner decides which vehicle flies where and how
+// close it returns toward the collector before transmitting. Three arms run
+// on *paired* request streams (identical Poisson seed per trial, so every
+// arm sees byte-identical arrivals):
+//
+//   - fixed:  FIFO assignment to the first idle vehicle, per-leg
+//     now-or-later transmit distance — the single-link baseline applied
+//     fleet-wide;
+//   - greedy: nearest-request assignment, same per-leg transmit rule;
+//   - joint:  the receding-horizon joint trajectory optimizer
+//     (internal/trajopt) over vehicles × requests × transmit distances.
+
+// TrajOptParams shapes the request-service sweep.
+type TrajOptParams struct {
+	// Rates are the Poisson arrival rates (requests/s) swept.
+	Rates []float64
+	// Count is the number of requests drawn per trial.
+	Count int
+	// Servers is the serving-fleet size; vehicles start evenly spaced on a
+	// circle around the collector.
+	Servers int
+	// AreaM is the request area's edge; AltM the request altitude.
+	AreaM float64
+	AltM  float64
+	// SpeedMPS is the servers' commanded speed.
+	SpeedMPS float64
+	// MinSizeMB/MaxSizeMB band the request volume; MinLeadS/MaxLeadS the
+	// deadline lead.
+	MinSizeMB, MaxSizeMB float64
+	MinLeadS, MaxLeadS   float64
+	// HorizonS and ReplanTicks configure the joint planner's receding
+	// horizon (0 = unbounded / default cadence).
+	HorizonS    float64
+	ReplanTicks int
+}
+
+// DefaultTrajOptParams is the publication-scale sweep.
+func DefaultTrajOptParams() TrajOptParams {
+	return TrajOptParams{
+		Rates:     []float64{0.05, 0.1, 0.2},
+		Count:     12,
+		Servers:   3,
+		AreaM:     800,
+		AltM:      30,
+		SpeedMPS:  10,
+		MinSizeMB: 0.5, MaxSizeMB: 2,
+		MinLeadS: 60, MaxLeadS: 150,
+	}
+}
+
+// QuickTrajOptParams shrinks the sweep for -quick and CI.
+func QuickTrajOptParams() TrajOptParams {
+	p := DefaultTrajOptParams()
+	p.Rates = []float64{0.08, 0.2}
+	p.Count = 8
+	return p
+}
+
+// trajOptPlanners is the arm order of every sweep and result row.
+var trajOptPlanners = []string{scenario.PlannerFixed, scenario.PlannerGreedy, scenario.PlannerJoint}
+
+// TrajOptPoint is one (rate, planner) cell aggregated over all trials.
+type TrajOptPoint struct {
+	RatePerS float64 `json:"rate_per_s"`
+	Planner  string  `json:"planner"`
+	Requests int     `json:"requests"`
+	Served   int     `json:"served"`
+	// ServedRatio is served-before-deadline / requests.
+	ServedRatio float64 `json:"served_ratio"`
+	DeliveredMB float64 `json:"delivered_mb"`
+	// MeanDelayS and P99DelayS summarize completion − arrival over the
+	// served requests, pooled across trials (0 when nothing was served).
+	MeanDelayS float64 `json:"mean_delay_s"`
+	P99DelayS  float64 `json:"p99_delay_s"`
+	// EnergyS is the serving fleet's battery-seconds drained;
+	// EnergySPerMB divides by the delivered volume — the paper's energy
+	// cost per delivered byte (+Inf when nothing was delivered).
+	EnergyS      float64 `json:"energy_s"`
+	EnergySPerMB float64 `json:"energy_s_per_mb"`
+}
+
+// TrajOptSummary is one planner's outcome pooled over every rate and trial.
+type TrajOptSummary struct {
+	Planner      string  `json:"planner"`
+	Requests     int     `json:"requests"`
+	Served       int     `json:"served"`
+	ServedRatio  float64 `json:"served_ratio"`
+	DeliveredMB  float64 `json:"delivered_mb"`
+	MeanDelayS   float64 `json:"mean_delay_s"`
+	P99DelayS    float64 `json:"p99_delay_s"`
+	EnergyS      float64 `json:"energy_s"`
+	EnergySPerMB float64 `json:"energy_s_per_mb"`
+}
+
+// TrajOptResult is the full sweep: per-(rate, planner) points in rate-major
+// order plus one pooled summary per planner.
+type TrajOptResult struct {
+	Params  TrajOptParams
+	Points  []TrajOptPoint
+	Summary []TrajOptSummary
+}
+
+// trajOptTrial is one trial's per-arm outcome (exported fields: it rides
+// the checkpoint journal via gob). Index order is trajOptPlanners.
+type trajOptTrial struct {
+	Requests    [3]int
+	Served      [3]int
+	DeliveredMB [3]float64
+	EnergyS     [3]float64
+	DelaysS     [3][]float64
+}
+
+// TrajOpt runs the request-service sweep at publication scale.
+func TrajOpt(cfg Config) (TrajOptResult, error) {
+	return TrajOptWith(cfg, DefaultTrajOptParams())
+}
+
+// TrajOptWith sweeps arrival rates through the three planner arms on paired
+// request streams. Each trial compiles three Specs that differ only in the
+// planner line — same fleet, same Poisson seed — so arm differences are
+// pure planning, not workload noise.
+func TrajOptWith(cfg Config, p TrajOptParams) (TrajOptResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrajOptResult{}, err
+	}
+	if len(p.Rates) == 0 || p.Count < 1 || p.Servers < 1 || p.AreaM <= 0 || p.AltM < 1 ||
+		p.SpeedMPS <= 0 || p.MinSizeMB <= 0 || p.MaxSizeMB < p.MinSizeMB ||
+		p.MinLeadS <= 0 || p.MaxLeadS < p.MinLeadS {
+		return TrajOptResult{}, fmt.Errorf("experiments: implausible trajopt params %+v", p)
+	}
+	res := TrajOptResult{Params: p}
+	var pooled [3]trajOptAgg
+	for ri, rate := range p.Rates {
+		if !(rate > 0) {
+			return res, fmt.Errorf("experiments: trajopt rate %v must be positive", rate)
+		}
+		ri := ri
+		trials, err := mapTrials(cfg, fmt.Sprintf("trajopt/rate%g", rate), func(trial int) (trajOptTrial, error) {
+			return trajOptTrialRun(cfg, p, ri, trial)
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: trajopt rate %g: %w", rate, err)
+		}
+		for ai, planner := range trajOptPlanners {
+			var agg trajOptAgg
+			for _, tr := range trials {
+				agg.add(tr, ai)
+				pooled[ai].add(tr, ai)
+			}
+			res.Points = append(res.Points, agg.point(rate, planner))
+		}
+	}
+	for ai, planner := range trajOptPlanners {
+		pt := pooled[ai].point(0, planner)
+		res.Summary = append(res.Summary, TrajOptSummary{
+			Planner: planner, Requests: pt.Requests, Served: pt.Served,
+			ServedRatio: pt.ServedRatio, DeliveredMB: pt.DeliveredMB,
+			MeanDelayS: pt.MeanDelayS, P99DelayS: pt.P99DelayS,
+			EnergyS: pt.EnergyS, EnergySPerMB: pt.EnergySPerMB,
+		})
+	}
+	return res, nil
+}
+
+// trajOptAgg accumulates one arm's outcomes across trials.
+type trajOptAgg struct {
+	requests, served int
+	deliveredMB      float64
+	energyS          float64
+	delays           []float64
+}
+
+func (a *trajOptAgg) add(tr trajOptTrial, ai int) {
+	a.requests += tr.Requests[ai]
+	a.served += tr.Served[ai]
+	a.deliveredMB += tr.DeliveredMB[ai]
+	a.energyS += tr.EnergyS[ai]
+	a.delays = append(a.delays, tr.DelaysS[ai]...)
+}
+
+func (a *trajOptAgg) point(rate float64, planner string) TrajOptPoint {
+	pt := TrajOptPoint{
+		RatePerS: rate, Planner: planner,
+		Requests: a.requests, Served: a.served,
+		DeliveredMB: a.deliveredMB, EnergyS: a.energyS,
+		EnergySPerMB: math.Inf(1),
+	}
+	if a.requests > 0 {
+		pt.ServedRatio = float64(a.served) / float64(a.requests)
+	}
+	if a.deliveredMB > 0 {
+		pt.EnergySPerMB = a.energyS / a.deliveredMB
+	}
+	if len(a.delays) > 0 {
+		pt.MeanDelayS = stats.Mean(a.delays)
+		if q, err := stats.Quantile(a.delays, 0.99); err == nil {
+			pt.P99DelayS = q
+		}
+	}
+	return pt
+}
+
+// trajOptTrialRun runs one paired trial: three identical Specs, one per
+// planner arm, on the same Poisson request stream.
+func trajOptTrialRun(cfg Config, p TrajOptParams, rateIdx, trial int) (trajOptTrial, error) {
+	var out trajOptTrial
+	// One nonzero Poisson seed per (root seed, rate, trial): every arm of
+	// the pair replays the identical arrival stream.
+	pseed := cfg.Seed*1_000_003 + int64(rateIdx)*9176 + int64(trial)*7919 + 1
+	for ai, planner := range trajOptPlanners {
+		spec := trajOptSpec(p, rateIdx, trial, pseed, planner)
+		rt, err := scenario.Compile(spec)
+		if err != nil {
+			return out, err
+		}
+		res, err := rt.Run()
+		if err != nil {
+			return out, err
+		}
+		out.Requests[ai] = len(res.Requests)
+		for _, r := range res.Requests {
+			if r.Served {
+				out.Served[ai]++
+				out.DeliveredMB[ai] += r.SizeMB
+				out.DelaysS[ai] = append(out.DelaysS[ai], r.CompletionS-r.ArrivalS)
+			}
+		}
+		for _, v := range res.Vehicles {
+			if v.ID != "col" {
+				out.EnergyS[ai] += v.EnergyUsedS
+			}
+		}
+	}
+	return out, nil
+}
+
+// trajOptSpec builds one arm's Spec: a holding collector at the area
+// center, Servers quads evenly spaced on a circle around it, and the
+// trial's Poisson request stream.
+func trajOptSpec(p TrajOptParams, rateIdx, trial int, pseed int64, planner string) scenario.Spec {
+	center := geo.Vec3{X: p.AreaM / 2, Y: p.AreaM / 2, Z: p.AltM}
+	spec := scenario.Spec{
+		Name: fmt.Sprintf("trajopt/rate%d/trial%d/%s", rateIdx, trial, planner),
+		Seed: pseed,
+		Vehicles: []scenario.VehicleSpec{
+			{ID: "col", Platform: scenario.PlatformQuad, Start: center, Hold: true},
+		},
+		DurationS: 5,
+	}
+	radius := p.AreaM / 4
+	for i := 0; i < p.Servers; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(p.Servers)
+		spec.Vehicles = append(spec.Vehicles, scenario.VehicleSpec{
+			ID:       fmt.Sprintf("srv%02d", i),
+			Platform: scenario.PlatformQuad,
+			Start: geo.Vec3{
+				X: center.X + radius*math.Cos(ang),
+				Y: center.Y + radius*math.Sin(ang),
+				Z: p.AltM,
+			},
+			SpeedMPS: p.SpeedMPS,
+		})
+	}
+	spec.Requests = &scenario.RequestsSpec{
+		Collector:   "col",
+		Planner:     planner,
+		HorizonS:    p.HorizonS,
+		ReplanTicks: p.ReplanTicks,
+		Poisson: &scenario.PoissonSpec{
+			RatePerS:  p.Rates[rateIdx],
+			Count:     p.Count,
+			Seed:      pseed,
+			MinSizeMB: p.MinSizeMB, MaxSizeMB: p.MaxSizeMB,
+			MinLeadS: p.MinLeadS, MaxLeadS: p.MaxLeadS,
+			AreaM: p.AreaM, AltM: p.AltM,
+		},
+	}
+	return spec
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// trajOptTestParams is a shrunk sweep for cheap assertions.
+func trajOptTestParams() TrajOptParams {
+	p := QuickTrajOptParams()
+	p.Rates = []float64{0.15}
+	p.Count = 6
+	return p
+}
+
+// The sweep completes with one point per (rate, planner), sane accounting,
+// and pooled summaries consistent with the points.
+func TestTrajOptSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Trials = 3
+	res, err := TrajOptWith(cfg, trajOptTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(res.Params.Rates) * 3; len(res.Points) != want {
+		t.Fatalf("got %d points, want %d", len(res.Points), want)
+	}
+	if len(res.Summary) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(res.Summary))
+	}
+	for _, pt := range res.Points {
+		if pt.Requests == 0 {
+			t.Fatalf("%s@%g: no requests materialized", pt.Planner, pt.RatePerS)
+		}
+		if pt.Served < 0 || pt.Served > pt.Requests {
+			t.Fatalf("%s@%g: served %d of %d", pt.Planner, pt.RatePerS, pt.Served, pt.Requests)
+		}
+		if pt.ServedRatio < 0 || pt.ServedRatio > 1 {
+			t.Fatalf("%s@%g: ratio %v", pt.Planner, pt.RatePerS, pt.ServedRatio)
+		}
+		if pt.Served > 0 && (pt.DeliveredMB <= 0 || pt.MeanDelayS <= 0 || pt.P99DelayS < pt.MeanDelayS/2) {
+			t.Fatalf("%s@%g: implausible delivery accounting: %+v", pt.Planner, pt.RatePerS, pt)
+		}
+		if !(pt.EnergyS > 0) {
+			t.Fatalf("%s@%g: no energy drained", pt.Planner, pt.RatePerS)
+		}
+	}
+	// Every arm of a pair sees the identical request stream.
+	for i := 0; i < len(res.Points); i += 3 {
+		if res.Points[i].Requests != res.Points[i+1].Requests || res.Points[i].Requests != res.Points[i+2].Requests {
+			t.Fatalf("arms saw different request counts at rate %g: %+v",
+				res.Points[i].RatePerS, res.Points[i:i+3])
+		}
+	}
+}
+
+// The headline claim CI smokes: on paired request streams the joint
+// trajectory optimizer strictly improves BOTH the served-before-deadline
+// ratio AND the energy per delivered byte over the fixed-route now-or-later
+// baseline, at the quick scale the -quick run uses.
+func TestTrajOptJointBeatsFixedBaseline(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := TrajOptWith(cfg, QuickTrajOptParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TrajOptSummary{}
+	for _, s := range res.Summary {
+		byName[s.Planner] = s
+	}
+	fixed, joint := byName["fixed"], byName["joint"]
+	if !(joint.ServedRatio > fixed.ServedRatio) {
+		t.Fatalf("joint served ratio %.3f not strictly above fixed %.3f",
+			joint.ServedRatio, fixed.ServedRatio)
+	}
+	if !(joint.EnergySPerMB < fixed.EnergySPerMB) {
+		t.Fatalf("joint energy %.2f s/MB not strictly below fixed %.2f",
+			joint.EnergySPerMB, fixed.EnergySPerMB)
+	}
+}
+
+// The sweep is a pure function of (seed, params) and worker-invariant:
+// serial and parallel runs agree field for field.
+func TestTrajOptDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) TrajOptResult {
+		cfg := QuickConfig()
+		cfg.Trials = 3
+		cfg.Workers = workers
+		res, err := TrajOptWith(cfg, trajOptTestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 7} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d diverged from serial:\n%+v\n%+v", w, got, serial)
+		}
+	}
+}
+
+func TestTrajOptRejectsBadParams(t *testing.T) {
+	cfg := QuickConfig()
+	bad := []TrajOptParams{
+		{},
+		{Rates: []float64{0.1}, Count: 0, Servers: 2, AreaM: 500, AltM: 30, SpeedMPS: 10,
+			MinSizeMB: 1, MaxSizeMB: 2, MinLeadS: 60, MaxLeadS: 120},
+		{Rates: []float64{-1}, Count: 5, Servers: 2, AreaM: 500, AltM: 30, SpeedMPS: 10,
+			MinSizeMB: 1, MaxSizeMB: 2, MinLeadS: 60, MaxLeadS: 120},
+		{Rates: []float64{0.1}, Count: 5, Servers: 2, AreaM: 500, AltM: 30, SpeedMPS: 10,
+			MinSizeMB: 2, MaxSizeMB: 1, MinLeadS: 60, MaxLeadS: 120},
+	}
+	for i, p := range bad {
+		if _, err := TrajOptWith(cfg, p); err == nil {
+			t.Fatalf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// CI's trajopt-smoke gate: the quick sweep (the same one the headline-claim
+// test runs) must finish inside a generous wall-clock ceiling sized for
+// -race.
+func TestTrajOptQuickSweepUnderCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep skipped in -short")
+	}
+	cfg := QuickConfig()
+	start := time.Now()
+	if _, err := TrajOptWith(cfg, QuickTrajOptParams()); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 120*time.Second {
+		t.Fatalf("quick trajopt sweep took %v, ceiling 120s", wall)
+	}
+}

@@ -31,6 +31,13 @@ func ResultFingerprint(r Result) uint64 {
 		h.bool(v.RouteDone)
 		h.bool(v.Failed)
 		h.f64(v.FailedAtS)
+		// Request-workload accounting is hashed only when the run had
+		// requests, so every pre-requests corpus fingerprint is unchanged.
+		if len(r.Requests) > 0 {
+			h.i64(int64(v.Served))
+			h.i64(int64(v.Expired))
+			h.f64(v.EnergyUsedS)
+		}
 	}
 	return h.sum()
 }
@@ -109,6 +116,23 @@ func (p *fpHash) workload(r Result) {
 			p.f64(pt.TimeS)
 			p.f64(pt.DeliveredMB)
 			p.f64(pt.DistanceM)
+		}
+	}
+	// The requests block is appended only when present so the workload
+	// hash of every pre-requests Result (and the pinned corpus built from
+	// them) is byte-for-byte what it always was.
+	if len(r.Requests) > 0 {
+		p.i64(int64(len(r.Requests)))
+		for _, rq := range r.Requests {
+			p.str(rq.ID)
+			p.str(rq.Vehicle)
+			p.f64(rq.ArrivalS)
+			p.f64(rq.DeadlineS)
+			p.f64(rq.SizeMB)
+			p.bool(rq.Served)
+			p.f64(rq.PickupS)
+			p.f64(rq.CompletionS)
+			p.f64(rq.TxDistM)
 		}
 	}
 }

@@ -27,6 +27,17 @@ func FuzzDecodeSpec(f *testing.F) {
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true},{"id":"b","platform":"arducopter","start":{},"hold":true}],"transfers":[{"from":"a","to":"b","size_mb":1e999,"deadline_s":10}]}`),
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true},{"id":"b","platform":"arducopter","start":{},"hold":true}],"transfers":[{"from":"a","to":"b","size_mb":1,"deadline_s":10,"decision":{"kind":"exact","rho_per_m":1e999}}]}`),
 		[]byte(`{"name":"x","seed":1,"link":{"rate":"mcs99"},"vehicles":[{"id":"a","platform":"arducopter","start":{},"hold":true}]}`),
+		// Requests-section probes: a well-formed workload, then malformed
+		// request lines — non-finite origins/sizes, a deadline before the
+		// arrival, the reserved auto- id prefix, and poisson bands smuggling
+		// overflow exponents.
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","planner":"joint","requests":[{"id":"r1","origin":{"x":100,"z":30},"size_mb":1,"deadline_s":120}]}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","requests":[{"id":"r1","origin":{"x":1e999,"z":30},"size_mb":1,"deadline_s":120}]}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","requests":[{"id":"r1","origin":{"x":100,"z":30},"size_mb":NaN,"deadline_s":120}]}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","requests":[{"id":"r1","origin":{"x":100,"z":30},"size_mb":1,"arrival_s":50,"deadline_s":10}]}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","requests":[{"id":"auto-001","origin":{"x":100,"z":30},"size_mb":1,"deadline_s":120}]}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","energy_budget_s":-1e999,"poisson":{"rate_per_s":0.1,"count":3,"min_size_mb":1,"max_size_mb":2,"min_lead_s":60,"max_lead_s":120,"area_m":500,"alt_m":30}}}`),
+		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","poisson":{"rate_per_s":1e999,"count":3,"min_size_mb":1,"max_size_mb":2,"min_lead_s":60,"max_lead_s":Infinity,"area_m":500,"alt_m":30}}}`),
 	}
 	if data, err := Encode(twoQuadSpec()); err == nil {
 		seeds = append(seeds, data)

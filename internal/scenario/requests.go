@@ -1,0 +1,827 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/stats"
+	"github.com/nowlater/nowlater/internal/trajopt"
+)
+
+// The requests workload: seeded Poisson arrivals of (origin, size,
+// deadline) data-pickup demands served by a pool of vehicles delivering to
+// one collector. Unlike traffic/transfers — which exercise the packet-level
+// radio between two fixed endpoints — a request is an analytic service leg:
+// fly to the origin, fly back toward the collector to a chosen transmit
+// distance, hover and transmit at the platform's log-fit rate. What the
+// planner chooses is the paper's question generalized: not just *when* to
+// transmit along a fixed route, but which vehicle flies where and how close
+// it comes back before transmitting (the joint trajectory optimization of
+// internal/trajopt).
+
+// Planner names accepted by RequestsSpec.Planner.
+const (
+	// PlannerFixed is the fixed-route now-or-later baseline: requests are
+	// assigned FIFO to the first idle vehicle, which flies to the origin
+	// and then to the now-or-later dopt distance before transmitting.
+	PlannerFixed = "fixed"
+	// PlannerGreedy assigns each idle vehicle its nearest pending request
+	// and transmits immediately at the pickup point ("now").
+	PlannerGreedy = "greedy"
+	// PlannerJoint runs the receding-horizon joint trajectory optimizer
+	// (internal/trajopt) over pending requests and the whole fleet.
+	PlannerJoint = "joint"
+)
+
+var plannerKinds = map[string]bool{PlannerFixed: true, PlannerGreedy: true, PlannerJoint: true}
+
+// defaultReplanTicks is the joint planner's periodic replan cadence in
+// control ticks (50 ticks = 1 s) when RequestsSpec.ReplanTicks is zero.
+const defaultReplanTicks = 50
+
+// maxRequestCount bounds the materialized request list so a hostile Spec
+// cannot turn compilation into a memory bomb.
+const maxRequestCount = 512
+
+// Joint-planner subproblem caps handed to the receding-horizon controller:
+// small enough that a replan is sub-millisecond even in adversarial
+// geometry, large enough that the solver sees real assignment choices.
+const (
+	dispatchMaxRequests = 5
+	dispatchMaxVehicles = 3
+)
+
+// autoIDPrefix names Poisson-generated requests; explicit request IDs may
+// not use it, so the two namespaces can never collide.
+const autoIDPrefix = "auto-"
+
+// RequestSpec declares one explicit data-pickup request.
+type RequestSpec struct {
+	ID     string   `json:"id"`
+	Origin geo.Vec3 `json:"origin"`
+	// SizeMB is the data volume waiting at the origin.
+	SizeMB float64 `json:"size_mb"`
+	// ArrivalS is when the request becomes known to the planner.
+	ArrivalS float64 `json:"arrival_s,omitempty"`
+	// DeadlineS is the absolute scenario clock by which the last byte must
+	// reach the collector.
+	DeadlineS float64 `json:"deadline_s"`
+}
+
+// PoissonSpec generates seeded Poisson request arrivals: exponential
+// inter-arrival gaps at RatePerS, origins uniform over an AreaM square at
+// AltM, sizes and deadline leads uniform in their bands.
+type PoissonSpec struct {
+	// RatePerS is the arrival rate λ (requests per second).
+	RatePerS float64 `json:"rate_per_s"`
+	// Count is how many requests to draw.
+	Count int `json:"count"`
+	// Seed drives the arrival substream; 0 inherits Spec.Seed.
+	Seed int64 `json:"seed,omitempty"`
+	// MinSizeMB and MaxSizeMB band the per-request data volume.
+	MinSizeMB float64 `json:"min_size_mb"`
+	MaxSizeMB float64 `json:"max_size_mb"`
+	// MinLeadS and MaxLeadS band the deadline lead: deadline = arrival +
+	// lead.
+	MinLeadS float64 `json:"min_lead_s"`
+	MaxLeadS float64 `json:"max_lead_s"`
+	// AreaM is the side of the square origins are drawn from.
+	AreaM float64 `json:"area_m"`
+	// AltM is the origin altitude.
+	AltM float64 `json:"alt_m"`
+}
+
+// RequestsSpec is the request-service workload section of a Spec. It is
+// mutually exclusive with Traffic and Transfers: request scenarios own the
+// whole run.
+type RequestsSpec struct {
+	// Collector is the vehicle every request's data must reach; it must
+	// hold station.
+	Collector string `json:"collector"`
+	// Vehicles names the serving pool (empty = every non-collector
+	// vehicle). Servers may not declare routes — the planner owns their
+	// trajectories.
+	Vehicles []string `json:"vehicles,omitempty"`
+	// Planner selects the assignment strategy ("" defaults to "fixed").
+	Planner string `json:"planner,omitempty"`
+	// HorizonS is the joint planner's lookahead window (0 = unbounded).
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	// ReplanTicks is the joint planner's periodic replan cadence in
+	// control ticks (0 selects defaultReplanTicks).
+	ReplanTicks int `json:"replan_ticks,omitempty"`
+	// EnergyBudgetS, when positive, retires a vehicle from new assignments
+	// once it has spent that many battery-seconds.
+	EnergyBudgetS float64 `json:"energy_budget_s,omitempty"`
+	// Decision configures the per-leg now-or-later model: the fixed
+	// planner's transmit-distance rule and the joint planner's candidate
+	// model (nil = exact, failure-free).
+	Decision *DecisionSpec `json:"decision,omitempty"`
+	// Requests are explicit demands; Poisson draws more. At least one of
+	// the two must be present.
+	Requests []RequestSpec `json:"requests,omitempty"`
+	Poisson  *PoissonSpec  `json:"poisson,omitempty"`
+}
+
+// validateRequests checks the requests section against the vehicle table.
+func (s Spec) validateRequests() error {
+	rs := s.Requests
+	if len(s.Traffic) > 0 || len(s.Transfers) > 0 {
+		return fmt.Errorf("scenario: requests: mutually exclusive with traffic and transfers")
+	}
+	byID := map[string]VehicleSpec{}
+	for _, v := range s.Vehicles {
+		byID[v.ID] = v
+	}
+	col, ok := byID[rs.Collector]
+	if !ok {
+		return fmt.Errorf("scenario: requests: unknown collector %q", rs.Collector)
+	}
+	if !col.Hold {
+		return fmt.Errorf("scenario: requests: collector %q must hold station", rs.Collector)
+	}
+	servers := rs.Vehicles
+	if len(servers) == 0 {
+		for _, v := range s.Vehicles {
+			if v.ID != rs.Collector {
+				servers = append(servers, v.ID)
+			}
+		}
+	}
+	if len(servers) == 0 {
+		return fmt.Errorf("scenario: requests: no serving vehicles")
+	}
+	seen := map[string]bool{}
+	for _, id := range servers {
+		v, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("scenario: requests: unknown vehicle %q", id)
+		}
+		if id == rs.Collector {
+			return fmt.Errorf("scenario: requests: collector %q cannot also serve", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("scenario: requests: duplicate vehicle %q", id)
+		}
+		seen[id] = true
+		if len(v.Route) > 0 {
+			return fmt.Errorf("scenario: requests: vehicle %q has a route; the planner owns server trajectories", id)
+		}
+	}
+	if rs.Planner != "" && !plannerKinds[rs.Planner] {
+		return fmt.Errorf("scenario: requests: unknown planner %q (want fixed, greedy or joint)", rs.Planner)
+	}
+	if !finite(rs.HorizonS) || rs.HorizonS < 0 {
+		return fmt.Errorf("scenario: requests: horizon %v must be finite and ≥ 0", rs.HorizonS)
+	}
+	if rs.ReplanTicks < 0 {
+		return fmt.Errorf("scenario: requests: replan_ticks %d must be ≥ 0", rs.ReplanTicks)
+	}
+	if !finite(rs.EnergyBudgetS) || rs.EnergyBudgetS < 0 {
+		return fmt.Errorf("scenario: requests: energy budget %v must be finite and ≥ 0", rs.EnergyBudgetS)
+	}
+	if d := rs.Decision; d != nil {
+		if !decisionKinds[d.Kind] {
+			return fmt.Errorf("scenario: requests: unknown decision kind %q", d.Kind)
+		}
+		if !finite(d.RhoPerM) || d.RhoPerM < 0 {
+			return fmt.Errorf("scenario: requests: rho %v must be finite and ≥ 0", d.RhoPerM)
+		}
+	}
+	if len(rs.Requests) == 0 && rs.Poisson == nil {
+		return fmt.Errorf("scenario: requests: need explicit requests or a poisson generator")
+	}
+	ids := map[string]bool{}
+	for i, r := range rs.Requests {
+		if r.ID == "" || ids[r.ID] {
+			return fmt.Errorf("scenario: request %d: missing or duplicate id %q", i, r.ID)
+		}
+		if strings.HasPrefix(r.ID, autoIDPrefix) {
+			return fmt.Errorf("scenario: request %d: id %q uses the reserved %q prefix", i, r.ID, autoIDPrefix)
+		}
+		ids[r.ID] = true
+		if !finiteVec(r.Origin) {
+			return fmt.Errorf("scenario: request %s: non-finite origin", r.ID)
+		}
+		if !finite(r.SizeMB) || r.SizeMB <= 0 {
+			return fmt.Errorf("scenario: request %s: size %v MB must be positive and finite", r.ID, r.SizeMB)
+		}
+		if !finite(r.ArrivalS) || r.ArrivalS < 0 {
+			return fmt.Errorf("scenario: request %s: arrival %v must be finite and ≥ 0", r.ID, r.ArrivalS)
+		}
+		if !finite(r.DeadlineS) || r.DeadlineS <= r.ArrivalS {
+			return fmt.Errorf("scenario: request %s: deadline %v must be finite and after arrival %v",
+				r.ID, r.DeadlineS, r.ArrivalS)
+		}
+	}
+	n := len(rs.Requests)
+	if p := rs.Poisson; p != nil {
+		if !finite(p.RatePerS) || p.RatePerS <= 0 {
+			return fmt.Errorf("scenario: poisson: rate %v must be positive and finite", p.RatePerS)
+		}
+		if p.Count < 1 {
+			return fmt.Errorf("scenario: poisson: count %d must be ≥ 1", p.Count)
+		}
+		if !finite(p.MinSizeMB) || !finite(p.MaxSizeMB) || p.MinSizeMB <= 0 || p.MaxSizeMB < p.MinSizeMB {
+			return fmt.Errorf("scenario: poisson: size band [%v, %v] must be positive and ordered", p.MinSizeMB, p.MaxSizeMB)
+		}
+		if !finite(p.MinLeadS) || !finite(p.MaxLeadS) || p.MinLeadS <= 0 || p.MaxLeadS < p.MinLeadS {
+			return fmt.Errorf("scenario: poisson: lead band [%v, %v] must be positive and ordered", p.MinLeadS, p.MaxLeadS)
+		}
+		if !finite(p.AreaM) || p.AreaM <= 0 {
+			return fmt.Errorf("scenario: poisson: area %v must be positive and finite", p.AreaM)
+		}
+		if !finite(p.AltM) || p.AltM < 1 {
+			return fmt.Errorf("scenario: poisson: altitude %v must be finite and ≥ 1", p.AltM)
+		}
+		n += p.Count
+	}
+	if n > maxRequestCount {
+		return fmt.Errorf("scenario: requests: %d requests exceed the cap of %d", n, maxRequestCount)
+	}
+	return nil
+}
+
+// RequestResult is one request's outcome.
+type RequestResult struct {
+	ID string
+	// Vehicle is the server that delivered the data (or the one assigned
+	// at expiry; empty when the request was never assigned).
+	Vehicle   string
+	ArrivalS  float64
+	DeadlineS float64
+	SizeMB    float64
+	Served    bool
+	// PickupS is the scenario clock of arrival at the origin (+Inf if the
+	// request was never picked up).
+	PickupS float64
+	// CompletionS is the exact instant the last byte reached the collector
+	// (+Inf if the deadline expired first).
+	CompletionS float64
+	// TxDistM is the planned transmit distance (0 when never assigned).
+	TxDistM float64
+}
+
+// compiledRequest is one request's runtime state.
+type compiledRequest struct {
+	RequestResult
+	origin   geo.Vec3
+	arrived  bool
+	assigned bool
+	expired  bool
+}
+
+// materializeRequests builds the ordered request list: explicit requests
+// first, then the Poisson draw on the "scenario/requests" substream,
+// stably sorted by arrival time.
+func (s Spec) materializeRequests() []*compiledRequest {
+	rs := s.Requests
+	var out []*compiledRequest
+	for _, r := range rs.Requests {
+		out = append(out, &compiledRequest{origin: r.Origin, RequestResult: RequestResult{
+			ID: r.ID, ArrivalS: r.ArrivalS, DeadlineS: r.DeadlineS, SizeMB: r.SizeMB,
+			PickupS: math.Inf(1), CompletionS: math.Inf(1),
+		}})
+	}
+	if p := rs.Poisson; p != nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = s.Seed
+		}
+		rng := stats.NewRNG(seed).Substream(seed, "scenario/requests")
+		t := 0.0
+		for i := 0; i < p.Count; i++ {
+			t += rng.Exponential(p.RatePerS)
+			origin := geo.Vec3{
+				X: rng.Uniform(0, p.AreaM),
+				Y: rng.Uniform(0, p.AreaM),
+				Z: p.AltM,
+			}
+			size := rng.Uniform(p.MinSizeMB, p.MaxSizeMB)
+			lead := rng.Uniform(p.MinLeadS, p.MaxLeadS)
+			id := fmt.Sprintf("%s%03d", autoIDPrefix, i+1)
+			out = append(out, &compiledRequest{origin: origin, RequestResult: RequestResult{
+				ID: id, ArrivalS: t, DeadlineS: t + lead, SizeMB: size,
+				PickupS: math.Inf(1), CompletionS: math.Inf(1),
+			}})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ArrivalS < out[b].ArrivalS })
+	return out
+}
+
+// assignment states.
+const (
+	legToOrigin = iota
+	legToTx
+	legTransmit
+)
+
+// assignment is one in-flight service: which request, which flight phase,
+// and the analytic predictions the joint planner uses for busy vehicles.
+type assignment struct {
+	req   *compiledRequest
+	state int
+	txPos geo.Vec3
+	// atOrigin/atTx latch the autopilot arrival callbacks; the dispatcher
+	// consumes them at tick boundaries.
+	atOrigin, atTx bool
+	// txEndS is the exact completion instant once transmission started
+	// (+Inf while flying or when the rate model says the link is dead).
+	txEndS float64
+	// predictedDoneS is the analytic completion prediction made at
+	// assignment time — the FreeAtS the joint planner sees for this busy
+	// vehicle.
+	predictedDoneS float64
+}
+
+// serverState is one serving vehicle's dispatch bookkeeping.
+type serverState struct {
+	craft   *Craft
+	asg     *assignment
+	retired bool
+}
+
+// dispatcher runs the request-service phase: a per-tick state machine over
+// arrivals (exact-instant engine events), flight legs (autopilot arrival
+// callbacks), analytic transmissions, deadline expiries, and planner
+// assignment.
+type dispatcher struct {
+	rt        *Runtime
+	rs        *RequestsSpec
+	reqs      []*compiledRequest
+	collector *Craft
+	servers   []*serverState
+	ctrl      *trajopt.Controller
+	// replanNeeded is set by arrivals, completions, failures and expiries;
+	// nextReplanTick is the periodic cadence fallback.
+	replanNeeded   bool
+	nextReplanTick int64
+	tick           int64
+}
+
+// runRequests executes the requests workload: schedules every arrival as
+// an exact-instant engine event, then advances the clock tick by tick
+// until every request is served or expired (the phase cap is the latest
+// deadline, independent of DurationS so duration extensions cannot rewrite
+// workload history).
+func (rt *Runtime) runRequests(rs *RequestsSpec) ([]RequestResult, error) {
+	d := &dispatcher{rt: rt, rs: rs, reqs: rt.spec.materializeRequests(), collector: rt.byID[rs.Collector]}
+	serverIDs := rs.Vehicles
+	if len(serverIDs) == 0 {
+		for _, v := range rt.spec.Vehicles {
+			if v.ID != rs.Collector {
+				serverIDs = append(serverIDs, v.ID)
+			}
+		}
+	}
+	for _, id := range serverIDs {
+		d.servers = append(d.servers, &serverState{craft: rt.byID[id]})
+	}
+	if rs.Planner == PlannerJoint {
+		ctrl, err := trajopt.NewController(trajopt.ControllerConfig{
+			HorizonS:    rs.HorizonS,
+			MaxRequests: dispatchMaxRequests,
+			MaxVehicles: dispatchMaxVehicles,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: requests: %w", err)
+		}
+		d.ctrl = ctrl
+	}
+	// Compile every arrival onto an exact-instant engine event. The event
+	// only latches the arrived flag (and a replan request); the dispatcher
+	// consumes flags at the next tick boundary, so event-driven and
+	// lockstep runs observe identical state sequences.
+	maxDeadline := 0.0
+	for _, r := range d.reqs {
+		r := r
+		if _, err := rt.engine.Schedule(r.ArrivalS, func() {
+			r.arrived = true
+			d.replanNeeded = true
+		}); err != nil {
+			return nil, err
+		}
+		if r.DeadlineS > maxDeadline {
+			maxDeadline = r.DeadlineS
+		}
+	}
+	// Phase cap: the first accumulated tick boundary past the latest
+	// deadline, plus one tick of slack for the final expiry sweep.
+	phaseCap := 0.0
+	for phaseCap < maxDeadline {
+		phaseCap += ControlTickS
+	}
+	phaseCap += 2 * ControlTickS
+	rt.waitTicks(phaseCap, d.step)
+	out := make([]RequestResult, len(d.reqs))
+	for i, r := range d.reqs {
+		out[i] = r.RequestResult
+	}
+	return out, rt.err
+}
+
+// step is the dispatcher's per-tick pass; it reports true when every
+// request is resolved and no assignment remains in flight.
+func (d *dispatcher) step() bool {
+	now := d.rt.engine.Now()
+	d.tick++
+	// 1. Advance every server craft (and the collector) to the tick — idle
+	// crafts too, so a later GoTo is never issued to a craft that still owes
+	// grid ticks (settled-craft elision keeps idle advances O(1)) — then run
+	// flight and transmission transitions, in server declaration order.
+	d.rt.advanceCraftTo(d.collector, now)
+	for _, s := range d.servers {
+		d.rt.advanceCraftTo(s.craft, now)
+		if s.asg != nil {
+			d.transition(s, now)
+		}
+	}
+	// 2. Deadline expiry, in request order.
+	for _, r := range d.reqs {
+		if r.arrived && !r.Served && !r.expired && now >= r.DeadlineS {
+			r.expired = true
+			d.replanNeeded = true
+			for _, s := range d.servers {
+				if s.asg != nil && s.asg.req == r {
+					d.release(s)
+				}
+			}
+		}
+	}
+	// 3. Planner assignment.
+	d.assign(now)
+	// Done when everything is resolved and no craft is mid-service.
+	for _, r := range d.reqs {
+		if !r.Served && !r.expired {
+			return false
+		}
+	}
+	for _, s := range d.servers {
+		if s.asg != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// transition advances one assignment's state machine.
+func (d *dispatcher) transition(s *serverState, now float64) {
+	a := s.asg
+	r := a.req
+	if s.craft.failed {
+		// The vehicle died mid-service: the data is lost with it; requeue
+		// the request for the remaining pool if the deadline still stands.
+		r.assigned = false
+		r.Vehicle = ""
+		r.PickupS = math.Inf(1)
+		r.TxDistM = 0
+		s.asg = nil
+		d.replanNeeded = true
+		return
+	}
+	switch a.state {
+	case legToOrigin:
+		if !a.atOrigin {
+			return
+		}
+		r.PickupS = now
+		a.state = legToTx
+		arrived := &a.atTx
+		s.craft.Autopilot().GoTo(a.txPos, s.craft.spec.SpeedMPS, func() { *arrived = true })
+		d.rt.scheduleArrivalCheck(s.craft)
+	case legToTx:
+		if !a.atTx {
+			return
+		}
+		a.state = legTransmit
+		pos := s.craft.Autopilot().Vehicle().Position()
+		s.craft.Autopilot().Hold(pos)
+		dist := d.rt.pairGeometry(s.craft, d.collector).DistanceM
+		rate := d.rt.decisionScenario(s.craft.spec.Platform, 1, 1, 1, d.rho()).
+			Throughput.Bps(math.Max(dist, 1))
+		a.txEndS = math.Inf(1)
+		if rate > 0 {
+			a.txEndS = now + r.SizeMB*8e6/rate
+		}
+	case legTransmit:
+		// Served iff the last byte lands before the deadline and before
+		// any collector death.
+		if d.collector.failed && a.txEndS > d.collector.failedAt {
+			r.assigned = false
+			r.Vehicle = ""
+			r.PickupS = math.Inf(1)
+			r.TxDistM = 0
+			d.release(s)
+			return
+		}
+		if now >= a.txEndS && a.txEndS <= r.DeadlineS {
+			r.Served = true
+			r.CompletionS = a.txEndS
+			d.release(s)
+		}
+	}
+}
+
+// release frees a server from its assignment, holding at its current
+// position, and requests a replan.
+func (d *dispatcher) release(s *serverState) {
+	c := s.craft
+	if !c.failed {
+		c.Autopilot().Hold(c.Autopilot().Vehicle().Position())
+	}
+	s.asg = nil
+	d.replanNeeded = true
+}
+
+// rho is the failure rate fed to the per-leg decision model.
+func (d *dispatcher) rho() float64 {
+	if d.rs.Decision != nil {
+		return d.rs.Decision.RhoPerM
+	}
+	return 0
+}
+
+// decisionSpec is the now-or-later rule for the fixed planner.
+func (d *dispatcher) decisionSpec() *DecisionSpec {
+	if d.rs.Decision != nil {
+		return d.rs.Decision
+	}
+	return &DecisionSpec{Kind: "exact"}
+}
+
+// speed is the planning/commanded speed for a server.
+func serverSpeed(c *Craft) float64 {
+	if c.spec.SpeedMPS > 0 {
+		return c.spec.SpeedMPS
+	}
+	return c.ap.Vehicle().CruiseSpeedMPS
+}
+
+// usedEnergyS is the battery-seconds a craft has drained so far, with the
+// craft integrated up to the clock first (idle crafts are advanced lazily).
+func (d *dispatcher) usedEnergyS(c *Craft) float64 {
+	d.rt.advanceCraftTo(c, d.rt.engine.Now())
+	v := c.Autopilot().Vehicle()
+	return v.BatteryMinutes*60 - v.BatteryLeftSeconds()
+}
+
+// checkRetired retires a server once it has spent its energy budget.
+func (d *dispatcher) checkRetired(s *serverState) bool {
+	if s.retired {
+		return true
+	}
+	if b := d.rs.EnergyBudgetS; b > 0 && d.usedEnergyS(s.craft) >= b {
+		s.retired = true
+	}
+	return s.retired
+}
+
+// legCost is the analytic (time, energy) of serving r from the craft's
+// current position at transmit distance dEff.
+func (d *dispatcher) legCost(s *serverState, r *compiledRequest, dEff float64, txPos geo.Vec3) (doneS, energyS float64) {
+	now := d.rt.engine.Now()
+	speed := serverSpeed(s.craft)
+	pos := s.craft.Autopilot().Vehicle().Position()
+	t1 := pos.Dist(r.origin) / speed
+	t2 := r.origin.Dist(txPos) / speed
+	rate := d.rt.decisionScenario(s.craft.spec.Platform, 1, 1, 1, d.rho()).
+		Throughput.Bps(math.Max(dEff, 1))
+	if !(rate > 0) {
+		return math.Inf(1), math.Inf(1)
+	}
+	tx := r.SizeMB * 8e6 / rate
+	p := s.craft.Autopilot().Vehicle()
+	return now + t1 + t2 + tx, (t1+t2)*p.PowerFraction(speed) + tx*p.PowerFraction(0)
+}
+
+// canAfford reports whether the server's remaining energy budget covers the
+// analytic cost of the leg (always true without a budget).
+func (d *dispatcher) canAfford(s *serverState, energyS float64) bool {
+	b := d.rs.EnergyBudgetS
+	if b <= 0 {
+		return true
+	}
+	return energyS <= b-d.usedEnergyS(s.craft)
+}
+
+// nowOrLaterDist is the per-leg transmit distance the fixed and greedy
+// planners use: the paper's now-or-later dopt for the request's geometry,
+// clamped to the pickup distance.
+func (d *dispatcher) nowOrLaterDist(s *serverState, r *compiledRequest) (float64, bool) {
+	d0 := r.origin.Dist(d.collectorPos())
+	dopt, err := d.rt.decide(s.craft.spec.Platform, math.Max(d0, 1), serverSpeed(s.craft), r.SizeMB, d.decisionSpec())
+	if err != nil {
+		if d.rt.err == nil {
+			d.rt.err = err
+		}
+		return 0, false
+	}
+	return math.Min(dopt, d0), true
+}
+
+// assign runs the planner arm over pending requests and idle servers.
+func (d *dispatcher) assign(now float64) {
+	if d.collector.failed {
+		return
+	}
+	var pending []*compiledRequest
+	for _, r := range d.reqs {
+		if r.arrived && !r.Served && !r.expired && !r.assigned {
+			pending = append(pending, r)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	var idle []*serverState
+	for _, s := range d.servers {
+		if s.asg == nil && !s.craft.failed && !d.checkRetired(s) {
+			idle = append(idle, s)
+		}
+	}
+	if len(idle) == 0 {
+		return
+	}
+	switch d.rs.Planner {
+	case PlannerGreedy:
+		d.assignGreedy(pending, idle)
+	case PlannerJoint:
+		d.assignJoint(now, pending)
+	default: // "" and PlannerFixed
+		d.assignFixed(pending, idle)
+	}
+}
+
+// assignFixed is the FIFO now-or-later baseline: the oldest pending
+// request goes to the first idle vehicle whose budget affords it, which
+// flies the fixed origin-then-dopt route.
+func (d *dispatcher) assignFixed(pending []*compiledRequest, idle []*serverState) {
+	for _, r := range pending {
+		for i, s := range idle {
+			dEff, ok := d.nowOrLaterDist(s, r)
+			if !ok {
+				return
+			}
+			d.rt.advanceCraftTo(s.craft, d.rt.engine.Now())
+			_, energy := d.legCost(s, r, dEff, d.txPoint(r, dEff))
+			if !d.canAfford(s, energy) {
+				continue
+			}
+			idle = append(idle[:i], idle[i+1:]...)
+			d.start(s, r, dEff)
+			break
+		}
+		if len(idle) == 0 {
+			return
+		}
+	}
+}
+
+// assignGreedy gives each idle vehicle its nearest pending request (ties
+// to the earlier arrival), transmitting at the now-or-later distance; the
+// assignment order is greedy, not the route or the transmit rule.
+func (d *dispatcher) assignGreedy(pending []*compiledRequest, idle []*serverState) {
+	for _, s := range idle {
+		if len(pending) == 0 {
+			return
+		}
+		d.rt.advanceCraftTo(s.craft, d.rt.engine.Now())
+		best := -1
+		bestDist := math.Inf(1)
+		pos := s.craft.Autopilot().Vehicle().Position()
+		for i, r := range pending {
+			if dist := pos.Dist(r.origin); dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		r := pending[best]
+		dEff, ok := d.nowOrLaterDist(s, r)
+		if !ok {
+			return
+		}
+		if _, energy := d.legCost(s, r, dEff, d.txPoint(r, dEff)); !d.canAfford(s, energy) {
+			continue
+		}
+		pending = append(pending[:best], pending[best+1:]...)
+		d.start(s, r, dEff)
+	}
+}
+
+// txPoint is the transmit position dEff metres from the collector on the
+// origin→collector line.
+func (d *dispatcher) txPoint(r *compiledRequest, dEff float64) geo.Vec3 {
+	col := d.collectorPos()
+	d0 := r.origin.Dist(col)
+	if d0 <= 0 {
+		return r.origin
+	}
+	return col.Add(r.origin.Sub(col).Scale(math.Min(dEff, d0) / d0))
+}
+
+// assignJoint runs the receding-horizon joint optimizer: the whole fleet
+// (busy vehicles at their predicted free states) and the pending requests
+// go into one trajopt Instance; only idle vehicles' first actions commit.
+// Replans are event-driven (arrival, completion, failure, expiry) with a
+// periodic cadence fallback.
+func (d *dispatcher) assignJoint(now float64, pending []*compiledRequest) {
+	cadence := int64(d.rs.ReplanTicks)
+	if cadence == 0 {
+		cadence = defaultReplanTicks
+	}
+	if !d.replanNeeded && d.tick < d.nextReplanTick {
+		return
+	}
+	d.replanNeeded = false
+	d.nextReplanTick = d.tick + cadence
+
+	inst := &trajopt.Instance{Collector: d.collectorPos()}
+	var srv []*serverState
+	for _, s := range d.servers {
+		if s.craft.failed || d.checkRetired(s) {
+			continue
+		}
+		v := trajopt.Vehicle{
+			SpeedMPS: serverSpeed(s.craft),
+			EnergyS:  math.Inf(1),
+			Model:    d.rt.decisionScenario(s.craft.spec.Platform, 1, 1, 1, d.rho()),
+		}
+		p := s.craft.Autopilot().Vehicle()
+		v.PowerMoveFrac = p.PowerFraction(v.SpeedMPS)
+		v.PowerHoverFrac = p.PowerFraction(0)
+		if b := d.rs.EnergyBudgetS; b > 0 {
+			v.EnergyS = math.Max(b-d.usedEnergyS(s.craft), 0)
+		}
+		if s.asg != nil {
+			v.Pos = s.asg.txPos
+			v.FreeAtS = s.asg.predictedDoneS
+		} else {
+			v.Pos = p.Position()
+			v.FreeAtS = now
+		}
+		inst.Vehicles = append(inst.Vehicles, v)
+		srv = append(srv, s)
+	}
+	if len(inst.Vehicles) == 0 {
+		return
+	}
+	for _, r := range pending {
+		inst.Requests = append(inst.Requests, trajopt.Request{
+			Origin: r.origin, SizeMB: r.SizeMB, ArrivalS: r.ArrivalS, DeadlineS: r.DeadlineS,
+		})
+	}
+	plan, err := d.ctrl.Plan(now, inst)
+	if err != nil {
+		if d.rt.err == nil {
+			d.rt.err = fmt.Errorf("scenario: joint planner: %w", err)
+		}
+		return
+	}
+	for _, a := range plan {
+		s := srv[a.Vehicle]
+		if s.asg != nil {
+			continue // busy vehicles' planned legs are provisional
+		}
+		d.start(s, pending[a.Request], a.TxDistM)
+	}
+}
+
+// collectorPos is the collector's current (held) position.
+func (d *dispatcher) collectorPos() geo.Vec3 {
+	return d.collector.Autopilot().Vehicle().Position()
+}
+
+// start commits one assignment: the craft flies to the origin, then to the
+// transmit point txDist metres from the collector on the origin→collector
+// line, and transmits from a hover.
+func (d *dispatcher) start(s *serverState, r *compiledRequest, txDist float64) {
+	col := d.collectorPos()
+	d0 := r.origin.Dist(col)
+	dEff := math.Min(txDist, d0)
+	txPos := r.origin
+	if d0 > 0 {
+		txPos = col.Add(r.origin.Sub(col).Scale(dEff / d0))
+	}
+	a := &assignment{req: r, txPos: txPos}
+	now := d.rt.engine.Now()
+	d.rt.advanceCraftTo(s.craft, now) // never command a craft that owes ticks
+	speed := serverSpeed(s.craft)
+	pos := s.craft.Autopilot().Vehicle().Position()
+	t1 := pos.Dist(r.origin) / speed
+	t2 := r.origin.Dist(txPos) / speed
+	rate := d.rt.decisionScenario(s.craft.spec.Platform, 1, 1, 1, d.rho()).
+		Throughput.Bps(math.Max(dEff, 1))
+	a.predictedDoneS = math.Inf(1)
+	if rate > 0 {
+		a.predictedDoneS = now + t1 + t2 + r.SizeMB*8e6/rate
+	}
+	r.assigned = true
+	r.Vehicle = s.craft.spec.ID
+	r.TxDistM = dEff
+	s.asg = a
+	arrived := &a.atOrigin
+	s.craft.Autopilot().GoTo(r.origin, s.craft.spec.SpeedMPS, func() { *arrived = true })
+	d.rt.scheduleArrivalCheck(s.craft)
+}

@@ -1,0 +1,349 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// pickupSpec builds a small request-service scenario: one holding
+// collector, two quad servers, four explicit requests.
+func pickupSpec(planner string) Spec {
+	return Spec{
+		Name: "pickup-" + planner,
+		Seed: 7,
+		Vehicles: []VehicleSpec{
+			{ID: "base", Platform: PlatformQuad, Start: geo.Vec3{X: 0, Y: 0, Z: 50}, Hold: true},
+			{ID: "uav-1", Platform: PlatformQuad, Start: geo.Vec3{X: 50, Y: 0, Z: 50}, SpeedMPS: 10},
+			{ID: "uav-2", Platform: PlatformQuad, Start: geo.Vec3{X: 0, Y: 50, Z: 50}, SpeedMPS: 10},
+		},
+		Requests: &RequestsSpec{
+			Collector: "base",
+			Planner:   planner,
+			Requests: []RequestSpec{
+				{ID: "r1", Origin: geo.Vec3{X: 400, Y: 100, Z: 50}, SizeMB: 4, ArrivalS: 0, DeadlineS: 300},
+				{ID: "r2", Origin: geo.Vec3{X: 150, Y: 350, Z: 50}, SizeMB: 2, ArrivalS: 10, DeadlineS: 280},
+				{ID: "r3", Origin: geo.Vec3{X: 500, Y: 400, Z: 50}, SizeMB: 6, ArrivalS: 25, DeadlineS: 400},
+				{ID: "r4", Origin: geo.Vec3{X: 80, Y: 120, Z: 50}, SizeMB: 1, ArrivalS: 40, DeadlineS: 200},
+			},
+		},
+	}
+}
+
+func runSpec(t *testing.T, s Spec, opts Options) Result {
+	t.Helper()
+	rt, err := CompileWithOptions(s, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v := rt.InvariantViolations(); len(v) > 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	return res
+}
+
+func TestRequestsServeEndToEnd(t *testing.T) {
+	for _, planner := range []string{PlannerFixed, PlannerGreedy, PlannerJoint} {
+		res := runSpec(t, pickupSpec(planner), Options{CheckInvariants: true})
+		if len(res.Requests) != 4 {
+			t.Fatalf("%s: got %d request results, want 4", planner, len(res.Requests))
+		}
+		servedTotal := 0
+		for _, r := range res.Requests {
+			if r.Served {
+				servedTotal++
+				if !(r.CompletionS > r.ArrivalS) || r.CompletionS > r.DeadlineS {
+					t.Errorf("%s: request %s served with implausible completion %v (arrival %v deadline %v)",
+						planner, r.ID, r.CompletionS, r.ArrivalS, r.DeadlineS)
+				}
+				if r.Vehicle == "" {
+					t.Errorf("%s: served request %s has no vehicle", planner, r.ID)
+				}
+			}
+		}
+		if servedTotal == 0 {
+			t.Fatalf("%s: no requests served in a comfortably feasible scenario", planner)
+		}
+		var vehServed int
+		var energy float64
+		for _, v := range res.Vehicles {
+			vehServed += v.Served
+			if v.ID != "base" && v.EnergyUsedS <= 0 {
+				t.Errorf("%s: server %s shows no energy use", planner, v.ID)
+			}
+			energy += v.EnergyUsedS
+		}
+		if vehServed != servedTotal {
+			t.Errorf("%s: vehicle served counts %d != request served total %d", planner, vehServed, servedTotal)
+		}
+		if !(energy > 0) {
+			t.Errorf("%s: no fleet energy accounted", planner)
+		}
+	}
+}
+
+func TestRequestsPoissonMaterializeDeterministic(t *testing.T) {
+	s := pickupSpec(PlannerFixed)
+	s.Requests.Requests = nil
+	s.Requests.Poisson = &PoissonSpec{
+		RatePerS: 0.05, Count: 6,
+		MinSizeMB: 1, MaxSizeMB: 6,
+		MinLeadS: 60, MaxLeadS: 240,
+		AreaM: 600, AltM: 50,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.materializeRequests(), s.materializeRequests()
+	if len(a) != 6 {
+		t.Fatalf("materialized %d requests, want 6", len(a))
+	}
+	for i := range a {
+		if a[i].RequestResult != b[i].RequestResult || a[i].origin != b[i].origin {
+			t.Fatalf("draw %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].ArrivalS < a[i-1].ArrivalS {
+			t.Fatalf("arrivals out of order: %v after %v", a[i].ArrivalS, a[i-1].ArrivalS)
+		}
+		if !(a[i].DeadlineS > a[i].ArrivalS) {
+			t.Fatalf("draw %d: deadline %v not after arrival %v", i, a[i].DeadlineS, a[i].ArrivalS)
+		}
+	}
+	// A different seed must draw a different workload.
+	s2 := s
+	s2.Seed = 8
+	c := s2.materializeRequests()
+	same := true
+	for i := range a {
+		if a[i].RequestResult != c[i].RequestResult {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed change did not perturb the Poisson draw")
+	}
+}
+
+func TestRequestsLockstepEquality(t *testing.T) {
+	for _, planner := range []string{PlannerFixed, PlannerGreedy, PlannerJoint} {
+		s := pickupSpec(planner)
+		s.Requests.Poisson = &PoissonSpec{
+			RatePerS: 0.1, Count: 3,
+			MinSizeMB: 1, MaxSizeMB: 4,
+			MinLeadS: 90, MaxLeadS: 300,
+			AreaM: 500, AltM: 50,
+		}
+		event := runSpec(t, s, Options{CheckInvariants: true})
+		lock := runSpec(t, s, Options{Lockstep: true, CheckInvariants: true})
+		if ResultFingerprint(event) != ResultFingerprint(lock) {
+			t.Fatalf("%s: event-driven and lockstep runs diverge: %016x vs %016x",
+				planner, ResultFingerprint(event), ResultFingerprint(lock))
+		}
+	}
+}
+
+func TestRequestsDeterministic(t *testing.T) {
+	a := runSpec(t, pickupSpec(PlannerJoint), Options{})
+	b := runSpec(t, pickupSpec(PlannerJoint), Options{})
+	if ResultFingerprint(a) != ResultFingerprint(b) {
+		t.Fatalf("joint-planner run not deterministic: %016x vs %016x",
+			ResultFingerprint(a), ResultFingerprint(b))
+	}
+}
+
+func TestRequestsEnergyBudgetRetires(t *testing.T) {
+	s := pickupSpec(PlannerFixed)
+	// A budget too small to fly even one pickup: nothing gets served.
+	s.Requests.EnergyBudgetS = 1
+	res := runSpec(t, s, Options{})
+	for _, r := range res.Requests {
+		if r.Served {
+			t.Fatalf("request %s served despite a 1-battery-second fleet budget", r.ID)
+		}
+	}
+}
+
+func TestRequestsChaosKillRequeues(t *testing.T) {
+	s := pickupSpec(PlannerFixed)
+	s.Chaos = []string{"vehicle fail uav-1 5"}
+	res := runSpec(t, s, Options{CheckInvariants: true})
+	for _, v := range res.Vehicles {
+		if v.ID == "uav-1" {
+			if !v.Failed {
+				t.Fatal("uav-1 should be chaos-killed")
+			}
+			if v.Served != 0 {
+				t.Fatalf("dead vehicle credited with %d served requests", v.Served)
+			}
+		}
+	}
+	// The surviving server should still deliver something.
+	served := 0
+	for _, r := range res.Requests {
+		if r.Served {
+			served++
+			if r.Vehicle == "uav-1" {
+				t.Fatalf("request %s credited to the dead vehicle", r.ID)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no requests served after single-vehicle kill with a second server available")
+	}
+}
+
+func TestRequestsFingerprintCoversOutcomes(t *testing.T) {
+	res := runSpec(t, pickupSpec(PlannerFixed), Options{})
+	base := ResultFingerprint(res)
+	mut := res
+	mut.Requests = append([]RequestResult(nil), res.Requests...)
+	mut.Requests[0].Served = !mut.Requests[0].Served
+	if ResultFingerprint(mut) == base {
+		t.Fatal("flipping a served bit did not change the result fingerprint")
+	}
+	mut2 := res
+	mut2.Vehicles = append([]VehicleResult(nil), res.Vehicles...)
+	mut2.Vehicles[1].EnergyUsedS++
+	if ResultFingerprint(mut2) == base {
+		t.Fatal("perturbing vehicle energy did not change the result fingerprint")
+	}
+	if WorkloadFingerprint(mut) == WorkloadFingerprint(res) {
+		t.Fatal("workload fingerprint ignores request outcomes")
+	}
+}
+
+func TestRequestsRoundTrip(t *testing.T) {
+	s := pickupSpec(PlannerJoint)
+	s.Requests.HorizonS = 120
+	s.Requests.ReplanTicks = 25
+	s.Requests.EnergyBudgetS = 900
+	s.Requests.Decision = &DecisionSpec{Kind: "exact", RhoPerM: 1.1e-4}
+	s.Requests.Poisson = &PoissonSpec{
+		RatePerS: 0.05, Count: 4, Seed: 11,
+		MinSizeMB: 1, MaxSizeMB: 8,
+		MinLeadS: 60, MaxLeadS: 240,
+		AreaM: 700, AltM: 60,
+	}
+	enc, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := Encode(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", enc, enc2)
+	}
+	fp1, err := Fingerprint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("spec fingerprint changed across round trip")
+	}
+}
+
+func TestRequestsValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"with traffic", func(s *Spec) {
+			s.Traffic = []TrafficSpec{{From: "uav-1", To: "base", DurationS: 5, WindowS: 1}}
+		}, "mutually exclusive"},
+		{"with transfers", func(s *Spec) {
+			s.Transfers = []TransferSpec{{From: "uav-1", To: "base", SizeMB: 1, DeadlineS: 10}}
+		}, "mutually exclusive"},
+		{"unknown collector", func(s *Spec) { s.Requests.Collector = "ghost" }, "unknown collector"},
+		{"non-holding collector", func(s *Spec) { s.Vehicles[0].Hold = false }, "must hold"},
+		{"collector serving", func(s *Spec) { s.Requests.Vehicles = []string{"base"} }, "cannot also serve"},
+		{"unknown server", func(s *Spec) { s.Requests.Vehicles = []string{"ghost"} }, "unknown vehicle"},
+		{"duplicate server", func(s *Spec) { s.Requests.Vehicles = []string{"uav-1", "uav-1"} }, "duplicate"},
+		{"routed server", func(s *Spec) {
+			s.Vehicles[1].Route = []geo.Vec3{{X: 1, Y: 1, Z: 50}}
+		}, "has a route"},
+		{"bad planner", func(s *Spec) { s.Requests.Planner = "oracle" }, "unknown planner"},
+		{"negative horizon", func(s *Spec) { s.Requests.HorizonS = -1 }, "horizon"},
+		{"nan horizon", func(s *Spec) { s.Requests.HorizonS = math.NaN() }, "horizon"},
+		{"negative replan", func(s *Spec) { s.Requests.ReplanTicks = -1 }, "replan_ticks"},
+		{"inf budget", func(s *Spec) { s.Requests.EnergyBudgetS = math.Inf(1) }, "energy budget"},
+		{"bad decision", func(s *Spec) { s.Requests.Decision = &DecisionSpec{Kind: "magic"} }, "decision kind"},
+		{"no workload", func(s *Spec) { s.Requests.Requests = nil }, "need explicit requests"},
+		{"dup request id", func(s *Spec) { s.Requests.Requests[1].ID = "r1" }, "duplicate id"},
+		{"reserved id", func(s *Spec) { s.Requests.Requests[0].ID = "auto-001" }, "reserved"},
+		{"nan origin", func(s *Spec) { s.Requests.Requests[0].Origin.X = math.NaN() }, "non-finite origin"},
+		{"zero size", func(s *Spec) { s.Requests.Requests[0].SizeMB = 0 }, "size"},
+		{"inf size", func(s *Spec) { s.Requests.Requests[0].SizeMB = math.Inf(1) }, "size"},
+		{"negative arrival", func(s *Spec) { s.Requests.Requests[0].ArrivalS = -1 }, "arrival"},
+		{"deadline before arrival", func(s *Spec) {
+			s.Requests.Requests[0].ArrivalS = 50
+			s.Requests.Requests[0].DeadlineS = 50
+		}, "deadline"},
+		{"poisson zero rate", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{Count: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 1}
+		}, "rate"},
+		{"poisson nan rate", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: math.NaN(), Count: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 1}
+		}, "rate"},
+		{"poisson zero count", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 1}
+		}, "count"},
+		{"poisson bad size band", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, Count: 1, MinSizeMB: 4, MaxSizeMB: 2, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 1}
+		}, "size band"},
+		{"poisson inf lead", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, Count: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: math.Inf(1), AreaM: 1, AltM: 1}
+		}, "lead band"},
+		{"poisson zero area", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, Count: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AltM: 1}
+		}, "area"},
+		{"poisson low altitude", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, Count: 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 0.5}
+		}, "altitude"},
+		{"request flood", func(s *Spec) {
+			s.Requests.Poisson = &PoissonSpec{RatePerS: 1, Count: maxRequestCount + 1, MinSizeMB: 1, MaxSizeMB: 1, MinLeadS: 1, MaxLeadS: 1, AreaM: 1, AltM: 1}
+		}, "cap"},
+	}
+	for _, c := range cases {
+		s := pickupSpec(PlannerFixed)
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRequestsDurationExtensionSafe pins the metamorphic property the
+// differential harness relies on: extending DurationS past the request
+// phase must not change any workload outcome (the phase cap comes from
+// deadlines, not DurationS).
+func TestRequestsDurationExtensionSafe(t *testing.T) {
+	s := pickupSpec(PlannerJoint)
+	base := runSpec(t, s, Options{})
+	s.DurationS = base.DurationS + 7.5
+	ext := runSpec(t, s, Options{})
+	if WorkloadFingerprint(base) != WorkloadFingerprint(ext) {
+		t.Fatal("duration extension rewrote request workload history")
+	}
+}

@@ -52,6 +52,12 @@ type VehicleResult struct {
 	// FailedAtS is the exact scenario clock of the chaos kill (+Inf when
 	// the vehicle survived).
 	FailedAtS float64
+	// Served and Expired count request outcomes attributed to this vehicle
+	// and EnergyUsedS is its battery-seconds drained — populated only when
+	// the Spec declares a requests workload.
+	Served      int
+	Expired     int
+	EnergyUsedS float64
 }
 
 // Result is the outcome of one Spec execution.
@@ -61,6 +67,7 @@ type Result struct {
 	Fingerprint uint64
 	Traffic     []TrafficResult
 	Transfers   []TransferResult
+	Requests    []RequestResult
 	Vehicles    []VehicleResult
 	// DurationS is the final scenario clock.
 	DurationS float64
@@ -90,19 +97,42 @@ func (rt *Runtime) Run() (Result, error) {
 		}
 		res.Transfers = append(res.Transfers, tr)
 	}
+	if rt.spec.Requests != nil {
+		rr, err := rt.runRequests(rt.spec.Requests)
+		if err != nil {
+			return res, err
+		}
+		res.Requests = rr
+	}
 	if rt.spec.DurationS > rt.engine.Now() {
 		rt.idleUntil(rt.spec.DurationS)
 	}
 	res.DurationS = rt.engine.Now()
 	rt.advanceAll()
+	served := map[string]int{}
+	expired := map[string]int{}
+	for _, r := range res.Requests {
+		if r.Served {
+			served[r.Vehicle]++
+		} else if r.Vehicle != "" {
+			expired[r.Vehicle]++
+		}
+	}
 	for _, c := range rt.crafts {
-		res.Vehicles = append(res.Vehicles, VehicleResult{
+		vr := VehicleResult{
 			ID:        c.spec.ID,
 			Position:  c.ap.Vehicle().Position(),
 			RouteDone: c.routeDone,
 			Failed:    c.failed,
 			FailedAtS: c.failedAt,
-		})
+		}
+		if rt.spec.Requests != nil {
+			v := c.Autopilot().Vehicle() // catchUp: battery reads need elided drain replayed
+			vr.Served = served[c.spec.ID]
+			vr.Expired = expired[c.spec.ID]
+			vr.EnergyUsedS = v.BatteryMinutes*60 - v.BatteryLeftSeconds()
+		}
+		res.Vehicles = append(res.Vehicles, vr)
 	}
 	return res, rt.err
 }

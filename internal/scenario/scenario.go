@@ -150,6 +150,10 @@ type Spec struct {
 	Link      LinkSpec       `json:"link,omitempty"`
 	Traffic   []TrafficSpec  `json:"traffic,omitempty"`
 	Transfers []TransferSpec `json:"transfers,omitempty"`
+	// Requests is the data-pickup request-service workload (Poisson or
+	// explicit arrivals dispatched to a serving fleet). Mutually exclusive
+	// with Traffic and Transfers.
+	Requests *RequestsSpec `json:"requests,omitempty"`
 	// Chaos is a scripted fault schedule in the chaos text format, one
 	// directive per line (e.g. "vehicle fail relay-1 99").
 	Chaos []string `json:"chaos,omitempty"`
@@ -246,6 +250,11 @@ func (s Spec) Validate() error {
 			if !finite(d.RhoPerM) || d.RhoPerM < 0 {
 				return fmt.Errorf("scenario: transfer %d: rho %v must be finite and ≥ 0", i, d.RhoPerM)
 			}
+		}
+	}
+	if s.Requests != nil {
+		if err := s.validateRequests(); err != nil {
+			return err
 		}
 	}
 	if _, err := s.ChaosSchedule(); err != nil {

@@ -51,7 +51,11 @@ func TestCorpusReplaysToPinnedFingerprints(t *testing.T) {
 				t.Fatalf("spec fingerprint %s != pinned %s", got, e.SpecFingerprint)
 			}
 			if e.Generated {
-				genFP, err := scenario.Fingerprint(Generate(e.Seed))
+				gen := Generate
+				if e.Kind == KindRequests {
+					gen = GenerateRequests
+				}
+				genFP, err := scenario.Fingerprint(gen(e.Seed))
 				if err != nil {
 					t.Fatal(err)
 				}

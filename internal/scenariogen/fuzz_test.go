@@ -43,3 +43,36 @@ func FuzzGeneratedSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGeneratedRequestSpec: the same contract for the request-workload
+// generator — any seed yields a valid, deterministic, round-trippable Spec
+// whose requests section compiles (compilation materializes the Poisson
+// stream, so this also fuzzes the arrival generator).
+func FuzzGeneratedRequestSpec(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, RequestCorpusSeeds - 1, reqSeeds - 1, 1 << 20, -1, -1 << 40, 1<<63 - 1, -1 << 63} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		s := GenerateRequests(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		if again := GenerateRequests(seed); !reflect.DeepEqual(again, s) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+		data, err := scenario.Encode(s)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := scenario.Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: own encoding rejected: %v", seed, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("seed %d: round trip changed the spec", seed)
+		}
+		if _, err := scenario.CompileWithOptions(s, scenario.Options{CheckInvariants: true}); err != nil {
+			t.Fatalf("seed %d: valid spec failed to compile: %v", seed, err)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package scenariogen
+
+import (
+	"fmt"
+
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// GenerateRequests emits a request-workload Spec deterministically from the
+// seed: one holding collector, a small serving fleet, and a seeded Poisson
+// arrival process of (origin, size, deadline) pickup demands, with the
+// planner drawn across all three arms (fixed, greedy, joint). The draws run
+// on a fresh substream ("scenariogen/requests"), so adding this generator
+// never perturbs what Generate emits for the same seed — the pinned route
+// corpus is untouched.
+//
+// Like Generate, every Spec it produces passes Spec.Validate, survives the
+// canonical encode/decode round trip, and clears the full differential
+// harness (Verify), so the request corpus entries replay on both the
+// event-driven and lockstep paths.
+func GenerateRequests(seed int64) scenario.Spec {
+	rng := stats.NewRNG(seed).Substream(seed, "scenariogen/requests")
+
+	// The planner arm cycles with the seed (not an rng draw) so any three
+	// consecutive seeds — the corpus prefix in particular — cover all three
+	// arms.
+	planner := []string{
+		scenario.PlannerFixed, scenario.PlannerGreedy, scenario.PlannerJoint,
+	}[((seed%3)+3)%3]
+
+	s := scenario.Spec{
+		Name: fmt.Sprintf("genreq-s%d-%s", seed, planner),
+		Seed: seed,
+	}
+
+	// The collector holds station near the middle of the request area; the
+	// servers start scattered around it.
+	col := geo.Vec3{
+		X: round2(rng.Uniform(200, 600)),
+		Y: round2(rng.Uniform(200, 600)),
+		Z: round2(rng.Uniform(20, 60)),
+	}
+	s.Vehicles = append(s.Vehicles, scenario.VehicleSpec{
+		ID: "col", Platform: scenario.PlatformQuad, Start: col, Hold: true,
+	})
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		vs := scenario.VehicleSpec{
+			ID:       fmt.Sprintf("srv%02d", i),
+			Platform: scenario.PlatformQuad,
+			Start: geo.Vec3{
+				X: round2(col.X + rng.Normal(0, 120)),
+				Y: round2(col.Y + rng.Normal(0, 120)),
+				Z: round2(clampF(col.Z+rng.Normal(0, 8), 5, 100)),
+			},
+		}
+		if rng.Bernoulli(0.5) {
+			vs.SpeedMPS = round2(rng.Uniform(6, 14))
+		}
+		s.Vehicles = append(s.Vehicles, vs)
+	}
+
+	rs := &scenario.RequestsSpec{Collector: "col", Planner: planner}
+	if planner == scenario.PlannerJoint {
+		if rng.Bernoulli(0.6) {
+			rs.HorizonS = round2(rng.Uniform(60, 240))
+		}
+		if rng.Bernoulli(0.5) {
+			rs.ReplanTicks = 25 + rng.Intn(75)
+		}
+	}
+	if rng.Bernoulli(0.25) {
+		rs.EnergyBudgetS = round2(rng.Uniform(400, 1200))
+	}
+	if rng.Bernoulli(0.3) {
+		d := &scenario.DecisionSpec{Kind: "exact"}
+		if rng.Bernoulli(0.5) {
+			d.RhoPerM = round6(rng.Uniform(1e-4, 2e-3))
+		}
+		rs.Decision = d
+	}
+
+	// Banded Poisson rates — sparse, steady and bursty arrival regimes —
+	// crossed with tight and loose deadline mixes.
+	var rate float64
+	switch rng.Intn(3) {
+	case 0: // sparse
+		rate = round6(rng.Uniform(1.0/45, 1.0/25))
+	case 1: // steady
+		rate = round6(rng.Uniform(1.0/20, 1.0/10))
+	default: // bursty
+		rate = round6(rng.Uniform(1.0/8, 1.0/4))
+	}
+	minLead := round2(rng.Uniform(60, 120))
+	if rng.Bernoulli(0.4) { // tight-deadline mix
+		minLead = round2(rng.Uniform(30, 60))
+	}
+	p := &scenario.PoissonSpec{
+		RatePerS:  rate,
+		Count:     3 + rng.Intn(5),
+		MinSizeMB: round2(rng.Uniform(0.4, 1.0)),
+		MinLeadS:  minLead,
+		MaxLeadS:  round2(minLead + rng.Uniform(60, 240)),
+		AreaM:     round2(rng.Uniform(300, 800)),
+		AltM:      round2(rng.Uniform(20, 45)),
+	}
+	p.MaxSizeMB = round2(p.MinSizeMB + rng.Uniform(0.5, 3))
+	if rng.Bernoulli(0.3) {
+		p.Seed = int64(rng.Intn(1_000_000) + 1)
+	}
+	rs.Poisson = p
+
+	// A minority of scenarios add explicit early requests alongside the
+	// Poisson stream, so both request sources mix in one run.
+	if rng.Bernoulli(0.35) {
+		count := 1 + rng.Intn(2)
+		for i := 0; i < count; i++ {
+			arrival := round2(rng.Uniform(0, 20))
+			rs.Requests = append(rs.Requests, scenario.RequestSpec{
+				ID: fmt.Sprintf("r%d", i+1),
+				Origin: geo.Vec3{
+					X: round2(rng.Uniform(0, p.AreaM)),
+					Y: round2(rng.Uniform(0, p.AreaM)),
+					Z: p.AltM,
+				},
+				SizeMB:    round2(rng.Uniform(0.5, 3)),
+				ArrivalS:  arrival,
+				DeadlineS: round2(arrival + rng.Uniform(100, 300)),
+			})
+		}
+	}
+	s.Requests = rs
+
+	// Chaos: occasionally kill a server mid-service (the dispatcher must
+	// requeue its request), rarely the collector (everything pending must
+	// expire, never hang).
+	if rng.Bernoulli(0.3) {
+		var lines []string
+		if rng.Bernoulli(0.3) {
+			lines = append(lines, fmt.Sprintf("seed %d", rng.Intn(1_000_000)+1))
+		}
+		victim := s.Vehicles[1+rng.Intn(n)].ID
+		if rng.Bernoulli(0.15) {
+			victim = "col"
+		}
+		lines = append(lines, fmt.Sprintf("vehicle fail %s %g", victim, round3(rng.Uniform(5, 60))))
+		s.Chaos = lines
+	}
+
+	s.DurationS = round2(rng.Uniform(5, 25))
+	return s
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,116 @@
+package scenariogen
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// reqSeeds is the seed range the request-generator property tests sweep;
+// like genSeeds it covers the committed request-corpus range and beyond.
+const reqSeeds = 36
+
+// Every generated request Spec must be valid, deterministic, and survive
+// the canonical encode/decode round trip.
+func TestGeneratedRequestSpecsValidDeterministicAndDistinct(t *testing.T) {
+	fps := make(map[uint64]string, reqSeeds)
+	for seed := int64(0); seed < reqSeeds; seed++ {
+		s := GenerateRequests(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid spec: %v", seed, err)
+		}
+		if again := GenerateRequests(seed); !reflect.DeepEqual(again, s) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		data, err := scenario.Encode(s)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := scenario.Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: own encoding rejected: %v", seed, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("seed %d: encode/decode changed the spec", seed)
+		}
+		fp, err := scenario.Fingerprint(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("seed %d: duplicate fingerprint with %s", seed, prev)
+		}
+		fps[fp] = s.Name
+	}
+}
+
+// The sweep must hit the request-workload surface: all three planner arms,
+// explicit+Poisson mixes, energy budgets, decision overrides, horizons and
+// chaos kills. A generator that stopped emitting one of these would leave
+// the differential harness blind there.
+func TestGeneratedRequestSpecsCoverSurface(t *testing.T) {
+	planners := map[string]bool{}
+	var explicit, budget, decision, horizon, chaos, pseed bool
+	for seed := int64(0); seed < reqSeeds; seed++ {
+		s := GenerateRequests(seed)
+		rs := s.Requests
+		if rs == nil || rs.Poisson == nil {
+			t.Fatalf("seed %d: no requests/poisson section", seed)
+		}
+		planners[rs.Planner] = true
+		if len(rs.Requests) > 0 {
+			explicit = true
+		}
+		if rs.EnergyBudgetS > 0 {
+			budget = true
+		}
+		if rs.Decision != nil {
+			decision = true
+		}
+		if rs.HorizonS > 0 {
+			horizon = true
+		}
+		if len(s.Chaos) > 0 {
+			chaos = true
+		}
+		if rs.Poisson.Seed != 0 {
+			pseed = true
+		}
+	}
+	for _, p := range []string{scenario.PlannerFixed, scenario.PlannerGreedy, scenario.PlannerJoint} {
+		if !planners[p] {
+			t.Errorf("%d seeds never drew the %q planner", int64(reqSeeds), p)
+		}
+	}
+	for name, hit := range map[string]bool{
+		"explicit requests": explicit, "energy budget": budget,
+		"decision override": decision, "joint horizon": horizon,
+		"chaos script": chaos, "poisson seed override": pseed,
+	} {
+		if !hit {
+			t.Errorf("%d seeds never produced a %s", int64(reqSeeds), name)
+		}
+	}
+}
+
+// Every request-corpus seed (and a few beyond) must clear the full
+// differential harness: the lockstep oracle agrees bit-for-bit on request
+// outcomes and the metamorphic transforms hold. Short mode runs the corpus
+// range only.
+func TestGeneratedRequestSpecsPassDifferentialHarness(t *testing.T) {
+	n := int64(RequestCorpusSeeds + 4)
+	if testing.Short() {
+		n = RequestCorpusSeeds
+	}
+	for seed := int64(0); seed < n; seed++ {
+		seed := seed
+		s := GenerateRequests(seed)
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Verify(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package trajopt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Exact-solver instance caps. The DP state space is (served-set ×
+// per-vehicle continuous states); memoization collapses reconverging
+// schedules but the branching is still exponential in requests, so the
+// solver refuses instances past these sizes and the receding-horizon
+// controller sub-selects down to them.
+const (
+	MaxSolveVehicles = 4
+	MaxSolveRequests = 8
+)
+
+// Solve finds the exact lexicographically-best Plan for a small Instance
+// by memoized depth-first search over (served-set, vehicle states).
+//
+// Recurrence: the acting vehicle is always the one with the smallest
+// FreeAtS (ties to the lowest index) — any interleaved schedule can be
+// reordered into this canonical form without changing per-vehicle
+// sequences, so exploring only canonical orders is exhaustive. The acting
+// vehicle either retires (serves nothing further) or serves one of the
+// unserved requests at one of its candidate transmit distances:
+//
+//	V(mask, states) = best over {retire(acting)} ∪
+//	    {contribution(a) + V(mask|r, states′) : r ∉ mask, d ∈ Candidates}
+//
+// The returned Objective is always recomputed by Simulate over the chosen
+// Plan, so the solver's internal accumulation order can never leak ULP
+// differences into the reported value.
+func Solve(inst *Instance) (Plan, Objective, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, Objective{}, err
+	}
+	if len(inst.Vehicles) > MaxSolveVehicles {
+		return nil, Objective{}, fmt.Errorf("trajopt: solve: %d vehicles exceed the exact-solver cap of %d",
+			len(inst.Vehicles), MaxSolveVehicles)
+	}
+	if len(inst.Requests) > MaxSolveRequests {
+		return nil, Objective{}, fmt.Errorf("trajopt: solve: %d requests exceed the exact-solver cap of %d",
+			len(inst.Requests), MaxSolveRequests)
+	}
+	s := &solver{inst: inst, memo: make(map[string]memoEntry)}
+	states := make([]Vehicle, len(inst.Vehicles))
+	copy(states, inst.Vehicles)
+	_, plan := s.search(0, states)
+	obj, err := Simulate(inst, plan)
+	if err != nil {
+		return nil, Objective{}, fmt.Errorf("trajopt: solve: internal plan failed replay: %w", err)
+	}
+	return plan, obj, nil
+}
+
+type memoEntry struct {
+	obj  Objective
+	plan Plan
+}
+
+type solver struct {
+	inst *Instance
+	memo map[string]memoEntry
+}
+
+// stateKey packs the served mask plus each vehicle's (FreeAtS, Pos,
+// EnergyS) IEEE-754 bits; schedules that reconverge to the same continuous
+// state share one memo slot.
+func stateKey(mask uint64, states []Vehicle) string {
+	buf := make([]byte, 0, 8+len(states)*40)
+	var b [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+	binary.LittleEndian.PutUint64(b[:], mask)
+	buf = append(buf, b[:]...)
+	for _, v := range states {
+		put(v.FreeAtS)
+		put(v.Pos.X)
+		put(v.Pos.Y)
+		put(v.Pos.Z)
+		put(v.EnergyS)
+	}
+	return string(buf)
+}
+
+// acting picks the canonical next vehicle: smallest FreeAtS among
+// non-retired vehicles, ties to the lowest index. Returns -1 when every
+// vehicle has retired.
+func acting(states []Vehicle) int {
+	best := -1
+	for i, v := range states {
+		if math.IsInf(v.FreeAtS, 1) {
+			continue
+		}
+		if best < 0 || v.FreeAtS < states[best].FreeAtS {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *solver) search(mask uint64, states []Vehicle) (Objective, Plan) {
+	vi := acting(states)
+	if vi < 0 || mask == (uint64(1)<<uint(len(s.inst.Requests)))-1 {
+		return Objective{}, nil
+	}
+	key := stateKey(mask, states)
+	if e, ok := s.memo[key]; ok {
+		return e.obj, e.plan
+	}
+
+	// Branch 1: retire the acting vehicle.
+	saved := states[vi]
+	states[vi].FreeAtS = math.Inf(1)
+	best, bestPlan := s.search(mask, states)
+	states[vi] = saved
+
+	// Branch 2: acting vehicle serves one unserved request at one
+	// candidate transmit distance.
+	for ri := range s.inst.Requests {
+		if mask&(1<<uint(ri)) != 0 {
+			continue
+		}
+		for _, d := range s.inst.Candidates(vi, ri) {
+			leg, ok := s.inst.serviceLeg(states[vi], s.inst.Requests[ri], d)
+			if !ok {
+				continue
+			}
+			states[vi].Pos = leg.TxPos
+			states[vi].FreeAtS = leg.DoneS
+			states[vi].EnergyS = saved.EnergyS - leg.EnergyS
+			subObj, subPlan := s.search(mask|1<<uint(ri), states)
+			states[vi] = saved
+			total := contribution(leg, s.inst.Requests[ri]).add(subObj)
+			if total.Better(best) {
+				leg.Vehicle, leg.Request = vi, ri
+				plan := make(Plan, 0, 1+len(subPlan))
+				plan = append(plan, leg)
+				plan = append(plan, subPlan...)
+				best, bestPlan = total, plan
+			}
+		}
+	}
+	s.memo[key] = memoEntry{obj: best, plan: bestPlan}
+	return best, bestPlan
+}
+
+// ControllerConfig tunes the receding-horizon wrapper around Solve.
+type ControllerConfig struct {
+	// HorizonS is the lookahead: a replan at clock t only considers
+	// actions completing by t+HorizonS (≤ 0 selects an unbounded
+	// horizon, which on small instances makes the controller reproduce
+	// the exact solver).
+	HorizonS float64
+	// MaxRequests and MaxVehicles cap the subproblem handed to Solve
+	// (defaults 6 and 3; hard-limited by the solver caps).
+	MaxRequests int
+	MaxVehicles int
+}
+
+// Controller is the receding-horizon planner: each replan snapshots the
+// idle vehicles and pending requests, sub-selects to a solvable core
+// (most-urgent requests, nearest vehicles), runs the exact solver over
+// the horizon window, and commits only each vehicle's first action. The
+// caller replans whenever a vehicle frees, a request arrives, a vehicle
+// fails, or a fixed tick interval elapses.
+type Controller struct {
+	cfg ControllerConfig
+}
+
+// NewController validates the config and applies defaults.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.MaxRequests == 0 {
+		cfg.MaxRequests = 6
+	}
+	if cfg.MaxVehicles == 0 {
+		cfg.MaxVehicles = 3
+	}
+	if cfg.MaxRequests < 1 || cfg.MaxRequests > MaxSolveRequests {
+		return nil, fmt.Errorf("trajopt: controller: max requests %d outside [1,%d]", cfg.MaxRequests, MaxSolveRequests)
+	}
+	if cfg.MaxVehicles < 1 || cfg.MaxVehicles > MaxSolveVehicles {
+		return nil, fmt.Errorf("trajopt: controller: max vehicles %d outside [1,%d]", cfg.MaxVehicles, MaxSolveVehicles)
+	}
+	if math.IsNaN(cfg.HorizonS) {
+		return nil, fmt.Errorf("trajopt: controller: horizon is NaN")
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Plan replans at clock now. inst carries the full current world — every
+// idle vehicle (busy ones excluded by the caller or via FreeAtS > now)
+// and every pending request. The returned actions index into inst's
+// slices and contain at most one action per vehicle: the committed first
+// leg of the horizon plan.
+func (c *Controller) Plan(now float64, inst *Instance) (Plan, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	// Requests: only those already arrived; most urgent first when over
+	// the cap.
+	reqIdx := make([]int, 0, len(inst.Requests))
+	for ri, r := range inst.Requests {
+		if r.ArrivalS <= now {
+			reqIdx = append(reqIdx, ri)
+		}
+	}
+	if len(reqIdx) == 0 {
+		return nil, nil
+	}
+	if len(reqIdx) > c.cfg.MaxRequests {
+		sort.SliceStable(reqIdx, func(a, b int) bool {
+			ra, rb := inst.Requests[reqIdx[a]], inst.Requests[reqIdx[b]]
+			if ra.DeadlineS != rb.DeadlineS {
+				return ra.DeadlineS < rb.DeadlineS
+			}
+			return reqIdx[a] < reqIdx[b]
+		})
+		reqIdx = reqIdx[:c.cfg.MaxRequests]
+		sort.Ints(reqIdx)
+	}
+	// Vehicles: every non-retired craft joins the subproblem — a busy
+	// vehicle enters with its committed transmit point and completion
+	// time, so the solver can plan its *next* leg instead of greedily
+	// spending an idle vehicle on a request the busy one would serve
+	// better. Only idle vehicles' first actions are committed below.
+	idle := false
+	vehIdx := make([]int, 0, len(inst.Vehicles))
+	for vi, v := range inst.Vehicles {
+		if math.IsInf(v.FreeAtS, 1) {
+			continue
+		}
+		vehIdx = append(vehIdx, vi)
+		if v.FreeAtS <= now {
+			idle = true
+		}
+	}
+	if len(vehIdx) == 0 || !idle {
+		return nil, nil
+	}
+	if len(vehIdx) > c.cfg.MaxVehicles {
+		urgent := reqIdx[0]
+		for _, ri := range reqIdx[1:] {
+			if inst.Requests[ri].DeadlineS < inst.Requests[urgent].DeadlineS {
+				urgent = ri
+			}
+		}
+		anchor := inst.Requests[urgent].Origin
+		sort.SliceStable(vehIdx, func(a, b int) bool {
+			da := inst.Vehicles[vehIdx[a]].Pos.Dist(anchor)
+			db := inst.Vehicles[vehIdx[b]].Pos.Dist(anchor)
+			if da != db {
+				return da < db
+			}
+			return vehIdx[a] < vehIdx[b]
+		})
+		vehIdx = vehIdx[:c.cfg.MaxVehicles]
+		sort.Ints(vehIdx)
+	}
+
+	sub := &Instance{
+		Collector: inst.Collector,
+		MinDistM:  inst.MinDistM,
+		Vehicles:  make([]Vehicle, len(vehIdx)),
+		Requests:  make([]Request, len(reqIdx)),
+	}
+	if c.cfg.HorizonS > 0 {
+		sub.WindowEndS = now + c.cfg.HorizonS
+	}
+	for i, vi := range vehIdx {
+		sub.Vehicles[i] = inst.Vehicles[vi]
+	}
+	for i, ri := range reqIdx {
+		sub.Requests[i] = inst.Requests[ri]
+	}
+	plan, _, err := Solve(sub)
+	if err != nil {
+		return nil, err
+	}
+	// Commit only the first action of each vehicle that is idle *now*,
+	// mapped back to inst indices; busy vehicles' planned legs are
+	// provisional and will be re-derived at their completion replan.
+	committed := make(map[int]bool, len(vehIdx))
+	out := make(Plan, 0, len(vehIdx))
+	for _, a := range plan {
+		vi := vehIdx[a.Vehicle]
+		if committed[vi] || inst.Vehicles[vi].FreeAtS > now {
+			continue
+		}
+		committed[vi] = true
+		a.Vehicle = vi
+		a.Request = reqIdx[a.Request]
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+// Package trajopt is the joint trajectory-optimization planner: instead of
+// taking the flight route as given and only deciding *when* to transmit
+// (the paper's now-or-later rule), it chooses which vehicle flies to which
+// data-pickup request and at what distance from the collector it stops to
+// transmit — the joint communication-and-trajectory design of the related
+// work (Wu/Liu/Zhang; Bliss & Michelusi) over randomly arriving requests.
+//
+// The package is deliberately pure: an Instance is plain data (vehicle
+// states, pending requests, the collector position), a Plan is a list of
+// (vehicle, request, transmit-distance) actions, and Simulate replays a
+// Plan analytically — straight-line constant-speed legs, the platform's
+// log-fit throughput law for the hover-and-transmit phase, energy in
+// battery-seconds. Two planners share that model:
+//
+//   - Solve: a deterministic dynamic-programming search over the
+//     (served-set, per-vehicle position/free-time/energy) state space,
+//     exact on small instances (MaxSolveRequests, MaxSolveVehicles);
+//   - Controller: a receding-horizon wrapper that caps the subproblem to
+//     the most urgent requests and nearest idle vehicles, so fleet-sized
+//     scenarios replan in bounded time and react to arrivals the initial
+//     plan could not foresee.
+//
+// Everything is bit-deterministic: candidate transmit distances come from
+// the core golden-section optimizer, ties break by index, and objectives
+// are accumulated in one canonical order (vehicles ascending, each
+// vehicle's actions in plan order), so a full-horizon Controller run
+// reproduces Solve's objective bit-for-bit on small instances — the
+// property the test suite pins.
+package trajopt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// Vehicle is one planner-visible craft: where it is (or will be) when it
+// next becomes free, how fast it flies, what moving and hovering cost, and
+// how much energy budget remains.
+type Vehicle struct {
+	// Pos is the position at FreeAtS (the craft's current position for an
+	// idle vehicle, its committed transmit point for a busy one).
+	Pos geo.Vec3
+	// SpeedMPS is the straight-line planning speed (> 0).
+	SpeedMPS float64
+	// PowerMoveFrac and PowerHoverFrac are the platform's power draw while
+	// flying and while hovering to transmit, in battery-seconds per second
+	// (uav.Platform.PowerFraction at the leg speed and at zero).
+	PowerMoveFrac  float64
+	PowerHoverFrac float64
+	// EnergyS is the remaining energy budget in battery-seconds
+	// (math.Inf(1) for an unconstrained vehicle).
+	EnergyS float64
+	// FreeAtS is the scenario clock at which the vehicle can accept its
+	// next action (math.Inf(1) marks a retired vehicle).
+	FreeAtS float64
+	// Model is the platform's now-or-later decision baseline; D0M,
+	// SpeedMPS and MdataBytes are overwritten per request when the planner
+	// asks the core optimizer for a candidate transmit distance.
+	Model core.Scenario
+}
+
+// Request is one data-pickup demand: fly to Origin, collect SizeMB, and
+// deliver it to the collector before DeadlineS.
+type Request struct {
+	Origin    geo.Vec3
+	SizeMB    float64
+	ArrivalS  float64
+	DeadlineS float64 // absolute scenario clock
+}
+
+// Instance is one planning problem: the collector every request must reach,
+// the vehicles available to serve, and the requests pending.
+type Instance struct {
+	// Collector is the (stationary) receiver position.
+	Collector geo.Vec3
+	// MinDistM is the transmit-separation floor (0 selects
+	// core.MinSeparationM).
+	MinDistM float64
+	// WindowEndS bounds the planning window: actions completing after it
+	// are not considered (0 selects an unbounded window). The receding-
+	// horizon controller sets this to now + horizon.
+	WindowEndS float64
+	Vehicles   []Vehicle
+	Requests   []Request
+
+	// cand caches the per-(vehicle, request) transmit-distance candidates;
+	// lazily filled, deterministic.
+	cand [][][]float64
+}
+
+// Action is one planned service: vehicle flies to the request's origin,
+// then to the point TxDistM metres from the collector on the origin→
+// collector line, and transmits the batch from there.
+type Action struct {
+	Vehicle int
+	Request int
+	TxDistM float64
+	StartS  float64 // service start (max of vehicle free time, arrival)
+	PickupS float64 // arrival at the request origin
+	DoneS   float64 // last byte delivered
+	EnergyS float64 // battery-seconds spent on the action
+	TxPos   geo.Vec3
+	DelayS  float64 // DoneS − ArrivalS
+}
+
+// Plan is an ordered action list (Solve emits canonical construction
+// order; Simulate only depends on each vehicle's subsequence order).
+type Plan []Action
+
+// Objective ranks plans lexicographically: served megabytes (maximized),
+// then total served delay (minimized), then energy spent (minimized).
+// Comparisons are exact float comparisons — no tolerance — so a plan
+// ordering is a pure function of the instance.
+type Objective struct {
+	ServedMB float64
+	DelaySum float64
+	EnergyS  float64
+}
+
+// Better reports whether o beats p under the lexicographic order.
+func (o Objective) Better(p Objective) bool {
+	if o.ServedMB != p.ServedMB {
+		return o.ServedMB > p.ServedMB
+	}
+	if o.DelaySum != p.DelaySum {
+		return o.DelaySum < p.DelaySum
+	}
+	return o.EnergyS < p.EnergyS
+}
+
+func (o Objective) add(c Objective) Objective {
+	return Objective{
+		ServedMB: o.ServedMB + c.ServedMB,
+		DelaySum: o.DelaySum + c.DelaySum,
+		EnergyS:  o.EnergyS + c.EnergyS,
+	}
+}
+
+// Validate reports the first implausible Instance field.
+func (inst *Instance) Validate() error {
+	if len(inst.Vehicles) == 0 {
+		return fmt.Errorf("trajopt: no vehicles")
+	}
+	for i, v := range inst.Vehicles {
+		switch {
+		case !(v.SpeedMPS > 0):
+			return fmt.Errorf("trajopt: vehicle %d: speed %v must be positive", i, v.SpeedMPS)
+		case math.IsNaN(v.FreeAtS) || v.FreeAtS < 0:
+			return fmt.Errorf("trajopt: vehicle %d: free-at %v must be ≥ 0", i, v.FreeAtS)
+		case math.IsNaN(v.EnergyS) || v.EnergyS < 0:
+			return fmt.Errorf("trajopt: vehicle %d: energy %v must be ≥ 0", i, v.EnergyS)
+		case v.PowerMoveFrac < 0 || v.PowerHoverFrac < 0:
+			return fmt.Errorf("trajopt: vehicle %d: negative power fraction", i)
+		case v.Model.Throughput == nil:
+			return fmt.Errorf("trajopt: vehicle %d: nil throughput model", i)
+		}
+	}
+	for i, r := range inst.Requests {
+		switch {
+		case !(r.SizeMB > 0):
+			return fmt.Errorf("trajopt: request %d: size %v MB must be positive", i, r.SizeMB)
+		case math.IsNaN(r.ArrivalS) || r.ArrivalS < 0:
+			return fmt.Errorf("trajopt: request %d: arrival %v must be ≥ 0", i, r.ArrivalS)
+		case !(r.DeadlineS > r.ArrivalS):
+			return fmt.Errorf("trajopt: request %d: deadline %v must be after arrival %v",
+				i, r.DeadlineS, r.ArrivalS)
+		}
+	}
+	if inst.MinDistM < 0 || math.IsNaN(inst.MinDistM) {
+		return fmt.Errorf("trajopt: min distance %v must be ≥ 0", inst.MinDistM)
+	}
+	return nil
+}
+
+func (inst *Instance) minD() float64 {
+	if inst.MinDistM > 0 {
+		return inst.MinDistM
+	}
+	return core.MinSeparationM
+}
+
+func (inst *Instance) windowEnd() float64 {
+	if inst.WindowEndS > 0 {
+		return inst.WindowEndS
+	}
+	return math.Inf(1)
+}
+
+// Candidates returns the transmit-distance candidates for vehicle vi
+// serving request ri: the core optimizer's dopt for the leg (the "later"
+// point), the pickup distance d0 itself (the "now" point), and their
+// midpoint — deduplicated, so the joint planner chooses among qualitatively
+// different transmit strategies rather than sweeping a continuum.
+func (inst *Instance) Candidates(vi, ri int) []float64 {
+	if inst.cand == nil {
+		inst.cand = make([][][]float64, len(inst.Vehicles))
+	}
+	if inst.cand[vi] == nil {
+		inst.cand[vi] = make([][]float64, len(inst.Requests))
+	}
+	if c := inst.cand[vi][ri]; c != nil {
+		return c
+	}
+	v, r := inst.Vehicles[vi], inst.Requests[ri]
+	d0 := r.Origin.Dist(inst.Collector)
+	var out []float64
+	if d0 <= inst.minD() {
+		// Already inside the separation floor: transmit from the origin.
+		out = []float64{d0}
+	} else {
+		sc := v.Model
+		sc.D0M = d0
+		sc.SpeedMPS = v.SpeedMPS
+		sc.MdataBytes = r.SizeMB * 1e6
+		if sc.MinDistanceM <= 0 {
+			sc.MinDistanceM = inst.minD()
+		}
+		if opt, err := sc.Optimize(); err == nil && opt.DoptM < d0 {
+			out = append(out, opt.DoptM)
+			if mid := (opt.DoptM + d0) / 2; mid > opt.DoptM && mid < d0 {
+				out = append(out, mid)
+			}
+		}
+		out = append(out, d0)
+	}
+	inst.cand[vi][ri] = out
+	return out
+}
+
+// serviceLeg prices one action analytically: fly Pos→Origin, fly
+// Origin→transmit point, hover and transmit at the log-fit rate for the
+// transmit distance. Reports ok=false when the action misses the request
+// deadline, overruns the planning window, or overdraws the energy budget.
+func (inst *Instance) serviceLeg(v Vehicle, r Request, d float64) (Action, bool) {
+	d0 := r.Origin.Dist(inst.Collector)
+	dEff := math.Min(d, d0)
+	txPos := r.Origin
+	if d0 > 0 {
+		dir := r.Origin.Sub(inst.Collector).Scale(1 / d0)
+		txPos = inst.Collector.Add(dir.Scale(dEff))
+	}
+	start := math.Max(v.FreeAtS, r.ArrivalS)
+	t1 := v.Pos.Dist(r.Origin) / v.SpeedMPS
+	t2 := r.Origin.Dist(txPos) / v.SpeedMPS
+	// The rate law diverges as d→0; floor the model distance at one metre
+	// so a request sitting on the collector still prices finitely.
+	rate := v.Model.Throughput.Bps(math.Max(dEff, 1))
+	if !(rate > 0) {
+		return Action{}, false
+	}
+	tx := r.SizeMB * 8e6 / rate
+	done := start + t1 + t2 + tx
+	if done > r.DeadlineS || done > inst.windowEnd() {
+		return Action{}, false
+	}
+	energy := (t1+t2)*v.PowerMoveFrac + tx*v.PowerHoverFrac
+	if energy > v.EnergyS {
+		return Action{}, false
+	}
+	return Action{
+		TxDistM: dEff,
+		StartS:  start,
+		PickupS: start + t1,
+		DoneS:   done,
+		EnergyS: energy,
+		TxPos:   txPos,
+		DelayS:  done - r.ArrivalS,
+	}, true
+}
+
+// contribution is the objective delta of one priced action.
+func contribution(a Action, r Request) Objective {
+	return Objective{ServedMB: r.SizeMB, DelaySum: a.DelayS, EnergyS: a.EnergyS}
+}
+
+// Simulate replays a Plan and returns its Objective. The accumulation
+// order is canonical — vehicles ascending, each vehicle's actions in plan
+// order — so two plans with identical per-vehicle action sequences always
+// produce bit-identical objectives regardless of how their actions were
+// interleaved. A plan that revisits a request, names an unknown index, or
+// prices infeasibly is an error.
+func Simulate(inst *Instance, plan Plan) (Objective, error) {
+	if len(inst.Requests) > 63 {
+		return Objective{}, fmt.Errorf("trajopt: simulate: %d requests exceed the 63-request mask", len(inst.Requests))
+	}
+	var served uint64
+	var obj Objective
+	for vi := range inst.Vehicles {
+		v := inst.Vehicles[vi]
+		for _, a := range plan {
+			if a.Vehicle != vi {
+				continue
+			}
+			if a.Request < 0 || a.Request >= len(inst.Requests) {
+				return Objective{}, fmt.Errorf("trajopt: simulate: action names request %d of %d", a.Request, len(inst.Requests))
+			}
+			if served&(1<<uint(a.Request)) != 0 {
+				return Objective{}, fmt.Errorf("trajopt: simulate: request %d served twice", a.Request)
+			}
+			r := inst.Requests[a.Request]
+			leg, ok := inst.serviceLeg(v, r, a.TxDistM)
+			if !ok {
+				return Objective{}, fmt.Errorf("trajopt: simulate: action (v%d, r%d, d=%.1f) infeasible", a.Vehicle, a.Request, a.TxDistM)
+			}
+			served |= 1 << uint(a.Request)
+			v.Pos = leg.TxPos
+			v.FreeAtS = leg.DoneS
+			v.EnergyS -= leg.EnergyS
+			obj = obj.add(contribution(leg, r))
+		}
+	}
+	for _, a := range plan {
+		if a.Vehicle < 0 || a.Vehicle >= len(inst.Vehicles) {
+			return Objective{}, fmt.Errorf("trajopt: simulate: action names vehicle %d of %d", a.Vehicle, len(inst.Vehicles))
+		}
+	}
+	return obj, nil
+}

@@ -1,0 +1,382 @@
+package trajopt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/core"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+func testVehicle(pos geo.Vec3, speed float64) Vehicle {
+	return Vehicle{
+		Pos:            pos,
+		SpeedMPS:       speed,
+		PowerMoveFrac:  1.0,
+		PowerHoverFrac: 0.55,
+		EnergyS:        math.Inf(1),
+		Model:          core.QuadrocopterBaseline(),
+	}
+}
+
+func TestSolveServesSingleRequest(t *testing.T) {
+	inst := &Instance{
+		Collector: geo.Vec3{X: 0, Y: 0, Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{X: 100, Y: 0, Z: 50}, 10)},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 500, Y: 0, Z: 50}, SizeMB: 5, ArrivalS: 0, DeadlineS: 600},
+		},
+	}
+	plan, obj, err := Solve(inst)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v, want one action", plan)
+	}
+	if obj.ServedMB != 5 {
+		t.Fatalf("ServedMB = %v, want 5", obj.ServedMB)
+	}
+	if plan[0].TxDistM >= 500 {
+		t.Fatalf("joint plan should fly toward the collector before transmitting; got tx dist %v", plan[0].TxDistM)
+	}
+	if !(obj.DelaySum > 0) || !(obj.EnergyS > 0) {
+		t.Fatalf("objective %+v should have positive delay and energy", obj)
+	}
+}
+
+func TestSolveSkipsInfeasibleDeadline(t *testing.T) {
+	inst := &Instance{
+		Collector: geo.Vec3{X: 0, Y: 0, Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{X: 0, Y: 0, Z: 50}, 10)},
+		Requests: []Request{
+			// 5000 m away at 10 m/s: pickup alone takes 500 s > deadline.
+			{Origin: geo.Vec3{X: 5000, Y: 0, Z: 50}, SizeMB: 1, ArrivalS: 0, DeadlineS: 100},
+		},
+	}
+	plan, obj, err := Solve(inst)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(plan) != 0 || obj.ServedMB != 0 {
+		t.Fatalf("expected empty plan for infeasible request, got %v / %+v", plan, obj)
+	}
+}
+
+func TestSolveRespectsEnergyBudget(t *testing.T) {
+	starved := testVehicle(geo.Vec3{X: 100, Y: 0, Z: 50}, 10)
+	starved.EnergyS = 1 // one battery-second: can't fly anywhere useful
+	inst := &Instance{
+		Collector: geo.Vec3{X: 0, Y: 0, Z: 50},
+		Vehicles:  []Vehicle{starved},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 500, Y: 0, Z: 50}, SizeMB: 5, ArrivalS: 0, DeadlineS: 600},
+		},
+	}
+	plan, obj, err := Solve(inst)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(plan) != 0 || obj.ServedMB != 0 {
+		t.Fatalf("energy-starved vehicle should serve nothing, got %v / %+v", plan, obj)
+	}
+}
+
+func TestSolveCapsEnforced(t *testing.T) {
+	inst := &Instance{
+		Collector: geo.Vec3{Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{Z: 50}, 10)},
+	}
+	for i := 0; i <= MaxSolveRequests; i++ {
+		inst.Requests = append(inst.Requests, Request{
+			Origin: geo.Vec3{X: float64(100 + i), Z: 50}, SizeMB: 1, DeadlineS: 1000,
+		})
+	}
+	if _, _, err := Solve(inst); err == nil {
+		t.Fatal("Solve accepted an over-cap request count")
+	}
+	inst.Requests = inst.Requests[:1]
+	for i := 0; i <= MaxSolveVehicles; i++ {
+		inst.Vehicles = append(inst.Vehicles, testVehicle(geo.Vec3{Z: 50}, 10))
+	}
+	if _, _, err := Solve(inst); err == nil {
+		t.Fatal("Solve accepted an over-cap vehicle count")
+	}
+}
+
+func TestCandidatesIncludeNowAndLater(t *testing.T) {
+	inst := &Instance{
+		Collector: geo.Vec3{X: 0, Y: 0, Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{X: 0, Y: 0, Z: 50}, 10)},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 800, Y: 0, Z: 50}, SizeMB: 10, ArrivalS: 0, DeadlineS: 1000},
+		},
+	}
+	cand := inst.Candidates(0, 0)
+	if len(cand) < 2 {
+		t.Fatalf("candidates = %v, want at least dopt and d0", cand)
+	}
+	last := cand[len(cand)-1]
+	if math.Abs(last-800) > 1e-9 {
+		t.Fatalf("last candidate %v should be the pickup distance d0=800", last)
+	}
+	for i := 1; i < len(cand); i++ {
+		if !(cand[i] > cand[i-1]) {
+			t.Fatalf("candidates %v not strictly increasing", cand)
+		}
+	}
+	// Inside the separation floor: only the origin distance remains.
+	inst2 := &Instance{
+		Collector: geo.Vec3{Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{Z: 50}, 10)},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 10, Z: 50}, SizeMB: 1, ArrivalS: 0, DeadlineS: 1000},
+		},
+	}
+	if cand := inst2.Candidates(0, 0); len(cand) != 1 {
+		t.Fatalf("inside-floor candidates = %v, want exactly the origin distance", cand)
+	}
+}
+
+func TestSimulateRejectsDoubleService(t *testing.T) {
+	inst := &Instance{
+		Collector: geo.Vec3{Z: 50},
+		Vehicles:  []Vehicle{testVehicle(geo.Vec3{X: 100, Z: 50}, 10)},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 300, Z: 50}, SizeMB: 2, ArrivalS: 0, DeadlineS: 1000},
+		},
+	}
+	plan, _, err := Solve(inst)
+	if err != nil || len(plan) != 1 {
+		t.Fatalf("Solve: plan=%v err=%v", plan, err)
+	}
+	if _, err := Simulate(inst, append(plan, plan[0])); err == nil {
+		t.Fatal("Simulate accepted a request served twice")
+	}
+}
+
+func TestObjectiveOrdering(t *testing.T) {
+	base := Objective{ServedMB: 10, DelaySum: 100, EnergyS: 50}
+	cases := []struct {
+		name   string
+		other  Objective
+		better bool
+	}{
+		{"more served wins", Objective{ServedMB: 11, DelaySum: 900, EnergyS: 900}, true},
+		{"less served loses", Objective{ServedMB: 9, DelaySum: 0, EnergyS: 0}, false},
+		{"same served, less delay wins", Objective{ServedMB: 10, DelaySum: 99, EnergyS: 900}, true},
+		{"same served+delay, less energy wins", Objective{ServedMB: 10, DelaySum: 100, EnergyS: 49}, true},
+		{"identical is not better", base, false},
+	}
+	for _, c := range cases {
+		if got := c.other.Better(base); got != c.better {
+			t.Errorf("%s: Better = %v, want %v", c.name, got, c.better)
+		}
+	}
+}
+
+func TestControllerCommitsAtMostOneActionPerVehicle(t *testing.T) {
+	ctrl, err := NewController(ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{
+		Collector: geo.Vec3{Z: 50},
+		Vehicles: []Vehicle{
+			testVehicle(geo.Vec3{X: 100, Z: 50}, 10),
+			testVehicle(geo.Vec3{X: 200, Z: 50}, 10),
+		},
+		Requests: []Request{
+			{Origin: geo.Vec3{X: 400, Z: 50}, SizeMB: 2, ArrivalS: 0, DeadlineS: 2000},
+			{Origin: geo.Vec3{X: 500, Y: 100, Z: 50}, SizeMB: 2, ArrivalS: 0, DeadlineS: 2000},
+			{Origin: geo.Vec3{X: 300, Y: 200, Z: 50}, SizeMB: 2, ArrivalS: 0, DeadlineS: 2000},
+		},
+	}
+	plan, err := ctrl.Plan(0, inst)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, a := range plan {
+		if seen[a.Vehicle] {
+			t.Fatalf("vehicle %d committed twice in %v", a.Vehicle, plan)
+		}
+		seen[a.Vehicle] = true
+	}
+	if len(plan) == 0 {
+		t.Fatal("controller committed nothing on a feasible instance")
+	}
+	// Future requests are invisible at now=0.
+	inst.Requests[0].ArrivalS = 5
+	plan2, err := ctrl.Plan(0, inst)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	for _, a := range plan2 {
+		if a.Request == 0 {
+			t.Fatal("controller planned a request that has not arrived yet")
+		}
+	}
+}
+
+// runRecedingHorizon drives a Controller with an unbounded horizon over a
+// static instance (all requests arrived at t=0): replan, commit each idle
+// vehicle's first action, jump the clock to the next completion, repeat.
+// Returns the executed plan replayed through Simulate.
+func runRecedingHorizon(t *testing.T, inst *Instance) Objective {
+	t.Helper()
+	ctrl, err := NewController(ControllerConfig{
+		MaxRequests: MaxSolveRequests,
+		MaxVehicles: MaxSolveVehicles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]Vehicle, len(inst.Vehicles))
+	copy(states, inst.Vehicles)
+	committed := make([]bool, len(inst.Requests))
+	var executed Plan
+	now := 0.0
+	for iter := 0; iter < 4*len(inst.Requests)+4; iter++ {
+		// Pending = not yet committed; keep an index map back to inst.
+		var pendIdx []int
+		for ri := range inst.Requests {
+			if !committed[ri] {
+				pendIdx = append(pendIdx, ri)
+			}
+		}
+		snap := &Instance{
+			Collector: inst.Collector,
+			MinDistM:  inst.MinDistM,
+			Vehicles:  append([]Vehicle(nil), states...),
+			Requests:  make([]Request, len(pendIdx)),
+		}
+		for i, ri := range pendIdx {
+			snap.Requests[i] = inst.Requests[ri]
+		}
+		var plan Plan
+		if len(pendIdx) > 0 {
+			plan, err = ctrl.Plan(now, snap)
+			if err != nil {
+				t.Fatalf("replan at %v: %v", now, err)
+			}
+		}
+		for _, a := range plan {
+			ri := pendIdx[a.Request]
+			committed[ri] = true
+			states[a.Vehicle].Pos = a.TxPos
+			states[a.Vehicle].FreeAtS = a.DoneS
+			states[a.Vehicle].EnergyS -= a.EnergyS
+			a.Request = ri
+			executed = append(executed, a)
+		}
+		// Advance to the next completion; if every vehicle is idle and
+		// the controller committed nothing, the run is over.
+		next := math.Inf(1)
+		for _, v := range states {
+			if v.FreeAtS > now && v.FreeAtS < next {
+				next = v.FreeAtS
+			}
+		}
+		if math.IsInf(next, 1) {
+			if len(plan) == 0 {
+				break
+			}
+			continue
+		}
+		now = next
+	}
+	obj, err := Simulate(inst, executed)
+	if err != nil {
+		t.Fatalf("executed plan failed replay: %v", err)
+	}
+	return obj
+}
+
+// TestRecedingHorizonMatchesDPOnSmallInstances is the small-instance
+// exactness property: on ≤3-vehicle, ≤6-request instances with every
+// request known at t=0, the receding-horizon controller with an unbounded
+// horizon must reproduce the DP solver's objective bit-for-bit. Bellman
+// consistency gives the equality; the exact float comparison pins that the
+// implementation's canonical tie-breaking and canonical objective
+// accumulation actually deliver it.
+func TestRecedingHorizonMatchesDPOnSmallInstances(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rng := stats.NewRNG(seed).Substream(seed, "trajopt/exactness")
+		nv := 1 + rng.Intn(3)
+		nr := 1 + rng.Intn(6)
+		inst := &Instance{
+			Collector: geo.Vec3{X: 400, Y: 400, Z: 50},
+		}
+		for i := 0; i < nv; i++ {
+			v := testVehicle(geo.Vec3{
+				X: math.Round(rng.Uniform(0, 800)),
+				Y: math.Round(rng.Uniform(0, 800)),
+				Z: 50,
+			}, math.Round(rng.Uniform(8, 16)))
+			if rng.Bernoulli(0.25) {
+				v.EnergyS = math.Round(rng.Uniform(100, 400))
+			}
+			inst.Vehicles = append(inst.Vehicles, v)
+		}
+		for i := 0; i < nr; i++ {
+			inst.Requests = append(inst.Requests, Request{
+				Origin: geo.Vec3{
+					X: math.Round(rng.Uniform(0, 800)),
+					Y: math.Round(rng.Uniform(0, 800)),
+					Z: 50,
+				},
+				SizeMB:    math.Round(rng.Uniform(1, 8)),
+				ArrivalS:  0,
+				DeadlineS: math.Round(rng.Uniform(120, 500)),
+			})
+		}
+		_, dpObj, err := Solve(inst)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		rhObj := runRecedingHorizon(t, inst)
+		if rhObj != dpObj {
+			t.Errorf("seed %d (%dv/%dr): receding horizon %+v != DP %+v",
+				seed, nv, nr, rhObj, dpObj)
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	build := func() *Instance {
+		return &Instance{
+			Collector: geo.Vec3{X: 400, Y: 400, Z: 50},
+			Vehicles: []Vehicle{
+				testVehicle(geo.Vec3{X: 100, Y: 100, Z: 50}, 10),
+				testVehicle(geo.Vec3{X: 700, Y: 200, Z: 50}, 12),
+			},
+			Requests: []Request{
+				{Origin: geo.Vec3{X: 600, Y: 600, Z: 50}, SizeMB: 4, ArrivalS: 0, DeadlineS: 300},
+				{Origin: geo.Vec3{X: 200, Y: 700, Z: 50}, SizeMB: 2, ArrivalS: 0, DeadlineS: 250},
+				{Origin: geo.Vec3{X: 50, Y: 400, Z: 50}, SizeMB: 6, ArrivalS: 0, DeadlineS: 400},
+			},
+		}
+	}
+	planA, objA, err := Solve(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, objB, err := Solve(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objA != objB || len(planA) != len(planB) {
+		t.Fatalf("Solve not deterministic: %+v/%v vs %+v/%v", objA, planA, objB, planB)
+	}
+	for i := range planA {
+		if planA[i] != planB[i] {
+			t.Fatalf("plan action %d differs: %+v vs %+v", i, planA[i], planB[i])
+		}
+	}
+}

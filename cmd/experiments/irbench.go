@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+	"github.com/nowlater/nowlater/internal/scenariogen"
+)
+
+// scenarioIRBench is the bench-only record of the corpus-matrix replay —
+// every committed scenario run through both execution paths (event-driven
+// and the lockstep oracle), exactly the sweep CI and the differential
+// harness run — compiled two ways: the pre-IR shape (each runtime compiled
+// from the Spec with its own private policy TableCache, so a table-decided
+// scenario rebuilds its platform table once per path) versus the batched
+// path (ResolveAll once, both runtimes linked from the shared Program
+// against one cache spanning the whole sweep). Fingerprints are asserted
+// identical between paths and arms before anything is recorded, so the
+// numbers always describe bit-identical replays.
+type scenarioIRBench struct {
+	// Specs is the corpus size; RuntimesPerSpec the paths each entry runs
+	// (event-driven + lockstep).
+	Specs           int `json:"specs"`
+	RuntimesPerSpec int `json:"runtimes_per_spec"`
+	// PrivateBuilds / PrivateWallS: per-runtime compiles and caches — table
+	// builds summed over every runtime, and the compile+run wall-clock of
+	// the sweep.
+	PrivateBuilds int     `json:"private_builds"`
+	PrivateWallS  float64 `json:"private_wall_s"`
+	// SharedBuilds / SharedHits / SharedWallS: the batched path — one
+	// ResolveAll, every runtime linked against one shared cache. Builds
+	// collapse to one per distinct platform key; every further table
+	// decision is a hit.
+	SharedBuilds int     `json:"shared_builds"`
+	SharedHits   int     `json:"shared_hits"`
+	SharedWallS  float64 `json:"shared_wall_s"`
+	// BuildReduction is 1 − shared/private builds (0 when the corpus holds
+	// no table decisions at all).
+	BuildReduction float64 `json:"build_reduction"`
+	// TableBuildWallS is the wall-clock the shared arm spent inside table
+	// construction — the unit cost the reduction multiplies.
+	TableBuildWallS float64 `json:"table_build_wall_s"`
+	// TableKeys are the distinct platform tables the shared cache ended up
+	// holding.
+	TableKeys []string `json:"table_keys,omitempty"`
+}
+
+// irBenchModes are the execution paths every corpus entry replays through —
+// the same matrix the corpus CI job and the differential harness run.
+var irBenchModes = []scenario.Options{
+	{},
+	{Lockstep: true},
+}
+
+// benchScenarioIR replays the pinned scenario corpus through both
+// execution paths per caching arm and records the policy-table build
+// counts and wall-clock delta as the "scenario_ir" record of
+// BENCH_experiments.json.
+func benchScenarioIR(report *benchReport) error {
+	specs := scenariogen.CorpusSpecs()
+	rec := scenarioIRBench{Specs: len(specs), RuntimesPerSpec: len(irBenchModes)}
+
+	// Arm 1: the pre-IR shape — each path re-compiles the Spec and gets its
+	// own cache, so a table-decided scenario builds its table per path.
+	fps := make([]uint64, len(specs))
+	start := time.Now()
+	for i, s := range specs {
+		for mi, mode := range irBenchModes {
+			rt, err := scenario.CompileWithOptions(s, mode)
+			if err != nil {
+				return fmt.Errorf("scenario-ir: compile %q: %w", s.Name, err)
+			}
+			res, err := rt.Run()
+			if err != nil {
+				return fmt.Errorf("scenario-ir: run %q: %w", s.Name, err)
+			}
+			fp := scenario.ResultFingerprint(res)
+			if mi == 0 {
+				fps[i] = fp
+			} else if fp != fps[i] {
+				return fmt.Errorf("scenario-ir: %q lockstep fingerprint %016x != event-driven %016x",
+					s.Name, fp, fps[i])
+			}
+			rec.PrivateBuilds += rt.Tables().Stats().Builds
+		}
+	}
+	rec.PrivateWallS = time.Since(start).Seconds()
+
+	// Arm 2: batch-resolve the corpus once, link every path from the shared
+	// Program against one cache. Must be bit-identical — a table is a pure
+	// function of its platform, so cache warmth cannot leak into results.
+	start = time.Now()
+	progs, err := scenario.ResolveAll(specs)
+	if err != nil {
+		return fmt.Errorf("scenario-ir: %w", err)
+	}
+	tables := scenario.NewTableCache()
+	for i, p := range progs {
+		for _, mode := range irBenchModes {
+			opts := mode
+			opts.Tables = tables
+			rt, err := scenario.LinkWithOptions(p, opts)
+			if err != nil {
+				return fmt.Errorf("scenario-ir: link %q: %w", specs[i].Name, err)
+			}
+			res, err := rt.Run()
+			if err != nil {
+				return fmt.Errorf("scenario-ir: run %q (shared cache): %w", specs[i].Name, err)
+			}
+			if fp := scenario.ResultFingerprint(res); fp != fps[i] {
+				return fmt.Errorf("scenario-ir: %q drifted under the shared cache: %016x != %016x",
+					specs[i].Name, fp, fps[i])
+			}
+		}
+	}
+	rec.SharedWallS = time.Since(start).Seconds()
+	st := tables.Stats()
+	rec.SharedBuilds = st.Builds
+	rec.SharedHits = st.Hits
+	rec.TableBuildWallS = st.BuildWallS
+	rec.TableKeys = tables.Keys()
+	if rec.PrivateBuilds > 0 {
+		rec.BuildReduction = 1 - float64(rec.SharedBuilds)/float64(rec.PrivateBuilds)
+	}
+	report.ScenarioIR = &rec
+	fmt.Printf("--- scenario-ir: %d specs × %d paths, table builds %d -> %d (%.0f%% fewer), wall %.2f s -> %.2f s\n",
+		rec.Specs, rec.RuntimesPerSpec, rec.PrivateBuilds, rec.SharedBuilds, 100*rec.BuildReduction,
+		rec.PrivateWallS, rec.SharedWallS)
+	return nil
+}

@@ -81,6 +81,10 @@ type benchReport struct {
 	// ratio, delay and energy-per-delivered-byte of the three planner arms
 	// on paired request streams.
 	TrajOpt []experiments.TrajOptPoint `json:"trajopt,omitempty"`
+	// ScenarioIR compares a corpus replay with per-Runtime policy caches
+	// against the batched ResolveAll + shared-TableCache path: table build
+	// counts and wall-clock, with result fingerprints asserted identical.
+	ScenarioIR *scenarioIRBench `json:"scenario_ir,omitempty"`
 }
 
 func main() {
@@ -285,6 +289,10 @@ func run(args []string) int {
 		report.SvcResilientOKRatio = last.ResilientOKRatio
 	}
 	if *bench {
+		if err := benchScenarioIR(&report); err != nil {
+			fmt.Fprintln(os.Stderr, "scenario-ir bench:", err)
+			failed = true
+		}
 		if err := writeBench("BENCH_experiments.json", report); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			failed = true

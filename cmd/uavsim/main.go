@@ -58,9 +58,18 @@ func main() {
 	resilient := fs.Bool("resilient", false, "resumable transfer with per-attempt timeout and jittered backoff")
 	scenarioPath := fs.String("scenario", "", "declarative scenario Spec file (JSON; see internal/scenario)")
 	validatePath := fs.String("validate", "", "validate and compile a scenario Spec file without running it")
+	dumpIRPath := fs.String("dump-ir", "", "resolve a scenario Spec file and print its intermediate form (handles, chaos events, requests, table keys)")
 	planner := fs.String("planner", "", "override the Spec's requests planner: fixed, greedy or joint (requires -scenario with a requests section)")
 	verbose := fs.Bool("v", false, "log telemetry traffic")
 	_ = fs.Parse(os.Args[1:])
+
+	if *dumpIRPath != "" {
+		if err := dumpIR(*dumpIRPath); err != nil {
+			fmt.Fprintln(os.Stderr, "uavsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *validatePath != "" {
 		if err := validateScenario(*validatePath); err != nil {
@@ -98,29 +107,42 @@ func main() {
 }
 
 // validateScenario is the -validate dry run: load (which validates the
-// Spec, chaos script included), compile against the event-driven core, and
-// print the canonical fingerprint — no simulation.
+// Spec, chaos script included), resolve to the Program, link against the
+// event-driven core, and print the canonical fingerprint plus the
+// resolution stats — no simulation.
 func validateScenario(path string) error {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
-	if _, err := scenario.Compile(spec); err != nil {
-		return err
-	}
-	fp, err := scenario.Fingerprint(spec)
+	prog, err := scenario.Resolve(spec)
 	if err != nil {
 		return err
 	}
-	requests := 0
-	if rs := spec.Requests; rs != nil {
-		requests = len(rs.Requests)
-		if rs.Poisson != nil {
-			requests += rs.Poisson.Count
-		}
+	if _, err := scenario.Link(prog); err != nil {
+		return err
 	}
+	st := prog.Stats()
 	fmt.Printf("scenario %q: valid (%d vehicle(s), %d traffic, %d transfer(s), %d request(s), %d chaos line(s), fingerprint %016x)\n",
-		spec.Name, len(spec.Vehicles), len(spec.Traffic), len(spec.Transfers), requests, len(spec.Chaos), fp)
+		spec.Name, st.Vehicles, st.Traffic, st.Transfers, st.Requests, st.ChaosLines, prog.Fingerprint())
+	fmt.Printf("ir: %d handle(s), %d chaos kill event(s), %d materialized request(s), table keys %v\n",
+		st.Vehicles, st.ChaosKills, st.Requests, st.TableKeys)
+	return nil
+}
+
+// dumpIR is the -dump-ir debugging path: resolve the Spec and print the
+// typed Program — integer handles, time-sorted chaos kills, materialized
+// requests and the policy-table keys a run could demand.
+func dumpIR(path string) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	prog, err := scenario.Resolve(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Describe())
 	return nil
 }
 

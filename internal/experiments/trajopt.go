@@ -214,15 +214,26 @@ func (a *trajOptAgg) point(rate float64, planner string) TrajOptPoint {
 }
 
 // trajOptTrialRun runs one paired trial: three identical Specs, one per
-// planner arm, on the same Poisson request stream.
+// planner arm, on the same Poisson request stream. The arms are batch-
+// resolved up front and linked against one shared policy TableCache, so a
+// trial materializes its workload three times but builds any policy table
+// at most once.
 func trajOptTrialRun(cfg Config, p TrajOptParams, rateIdx, trial int) (trajOptTrial, error) {
 	var out trajOptTrial
 	// One nonzero Poisson seed per (root seed, rate, trial): every arm of
 	// the pair replays the identical arrival stream.
 	pseed := cfg.Seed*1_000_003 + int64(rateIdx)*9176 + int64(trial)*7919 + 1
+	specs := make([]scenario.Spec, len(trajOptPlanners))
 	for ai, planner := range trajOptPlanners {
-		spec := trajOptSpec(p, rateIdx, trial, pseed, planner)
-		rt, err := scenario.Compile(spec)
+		specs[ai] = trajOptSpec(p, rateIdx, trial, pseed, planner)
+	}
+	progs, err := scenario.ResolveAll(specs)
+	if err != nil {
+		return out, err
+	}
+	tables := scenario.NewTableCache()
+	for ai := range trajOptPlanners {
+		rt, err := scenario.LinkWithOptions(progs[ai], scenario.Options{Tables: tables})
 		if err != nil {
 			return out, err
 		}

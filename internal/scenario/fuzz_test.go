@@ -5,11 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzDecodeSpec: Decode must never panic on arbitrary bytes, and any spec
-// it accepts must survive a byte-exact Encode/Decode round trip — the
-// fixpoint property that makes Fingerprint a usable identity.
-func FuzzDecodeSpec(f *testing.F) {
-	seeds := [][]byte{
+// fuzzSpecSeeds is the shared seed corpus for the spec fuzzers: decode
+// probes, validation edge cases, and non-finite smuggling attempts.
+func fuzzSpecSeeds() [][]byte {
+	return [][]byte{
 		[]byte(""),
 		[]byte("{}"),
 		[]byte(`{"name":"x"}`),
@@ -39,6 +38,13 @@ func FuzzDecodeSpec(f *testing.F) {
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","energy_budget_s":-1e999,"poisson":{"rate_per_s":0.1,"count":3,"min_size_mb":1,"max_size_mb":2,"min_lead_s":60,"max_lead_s":120,"area_m":500,"alt_m":30}}}`),
 		[]byte(`{"name":"x","seed":1,"vehicles":[{"id":"c","platform":"arducopter","start":{},"hold":true},{"id":"s","platform":"arducopter","start":{"x":50}}],"requests":{"collector":"c","poisson":{"rate_per_s":1e999,"count":3,"min_size_mb":1,"max_size_mb":2,"min_lead_s":60,"max_lead_s":Infinity,"area_m":500,"alt_m":30}}}`),
 	}
+}
+
+// FuzzDecodeSpec: Decode must never panic on arbitrary bytes, and any spec
+// it accepts must survive a byte-exact Encode/Decode round trip — the
+// fixpoint property that makes Fingerprint a usable identity.
+func FuzzDecodeSpec(f *testing.F) {
+	seeds := fuzzSpecSeeds()
 	if data, err := Encode(twoQuadSpec()); err == nil {
 		seeds = append(seeds, data)
 	}
@@ -67,6 +73,80 @@ func FuzzDecodeSpec(f *testing.F) {
 		}
 		if string(enc) != string(enc2) {
 			t.Fatal("encoding not a fixpoint")
+		}
+	})
+}
+
+// FuzzResolveSpec: Resolve must never panic on any decodable input, must
+// accept exactly what Validate accepts, and everything it resolves must be
+// deterministic with checked cross-references (every handle indexes the
+// vehicle table, kills time-sorted, requests arrival-sorted).
+func FuzzResolveSpec(f *testing.F) {
+	seeds := fuzzSpecSeeds()
+	if data, err := Encode(irSpec()); err == nil {
+		seeds = append(seeds, data)
+	}
+	if data, err := Encode(requestsIRSpec()); err == nil {
+		seeds = append(seeds, data)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		p, err := Resolve(s)
+		if (err == nil) != (s.Validate() == nil) {
+			t.Fatalf("Resolve and Validate disagree: resolve err %v", err)
+		}
+		if err != nil {
+			return
+		}
+		q, err := Resolve(s)
+		if err != nil {
+			t.Fatalf("second Resolve of an accepted spec failed: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("Resolve not deterministic")
+		}
+		n := len(p.Vehicles)
+		checkHandle := func(h int) {
+			if h < 0 || h >= n {
+				t.Fatalf("handle %d outside vehicle table of %d", h, n)
+			}
+		}
+		for i, k := range p.Kills {
+			checkHandle(k.Vehicle)
+			if k.AtS < 0 {
+				t.Fatalf("kill %d at negative time %v", i, k.AtS)
+			}
+			if i > 0 && k.AtS < p.Kills[i-1].AtS {
+				t.Fatal("kills not time-sorted")
+			}
+		}
+		for _, tr := range p.Traffic {
+			checkHandle(tr.From)
+			checkHandle(tr.To)
+		}
+		for _, tr := range p.Transfers {
+			checkHandle(tr.From)
+			checkHandle(tr.To)
+			if tr.AltTo != NoVehicle {
+				checkHandle(tr.AltTo)
+			}
+		}
+		if rp := p.Requests; rp != nil {
+			checkHandle(rp.Collector)
+			for _, h := range rp.Servers {
+				checkHandle(h)
+			}
+			for i := 1; i < len(rp.Requests); i++ {
+				if rp.Requests[i].ArrivalS < rp.Requests[i-1].ArrivalS {
+					t.Fatal("requests not arrival-sorted")
+				}
+			}
 		}
 	})
 }

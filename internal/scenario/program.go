@@ -1,0 +1,473 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/nowlater/nowlater/internal/chaos"
+	"github.com/nowlater/nowlater/internal/geo"
+	"github.com/nowlater/nowlater/internal/link"
+	"github.com/nowlater/nowlater/internal/stats"
+)
+
+// The scenario compiler is a two-pass pipeline:
+//
+//	Spec --Resolve--> Program --Link--> Runtime
+//
+// A Spec is the raw JSON-shaped declaration: string vehicle references,
+// unparsed chaos text lines, an unmaterialized Poisson request generator.
+// Resolve validates it once and lowers it into a Program — the typed,
+// fully cross-referenced intermediate form: every vehicle reference is an
+// integer handle checked against the vehicle table, the chaos script is
+// parsed into a typed schedule with its scripted kills extracted as a
+// time-sorted event list, Poisson arrivals are drawn into a concrete
+// request list, and decision plumbing is resolved into explicit modes.
+// Link instantiates a Program onto a fresh engine: crafts, radio, armed
+// chaos events. A Program is immutable after Resolve, so one Program can
+// be linked many times (paired-arm experiments, differential oracles,
+// corpus replays) without re-validating, re-parsing or re-drawing
+// anything — and runtimes linked from one Program produce bit-identical
+// Results to runtimes compiled directly from the Spec.
+//
+// Compile(spec) is exactly Resolve(spec) followed by Link; CompileBatch
+// resolves a whole slice of Specs and links them against one shared
+// TableCache, so sweeps build each per-platform policy table once instead
+// of once per trial.
+
+// NoVehicle is the nil vehicle handle (e.g. an absent AltTo fallback).
+const NoVehicle = -1
+
+// DecisionMode is the resolved now-or-later decision engine selection.
+type DecisionMode uint8
+
+const (
+	// DecisionNone means no decision runs (transmit where you are).
+	DecisionNone DecisionMode = iota
+	// DecisionExact runs the golden-section optimizer on the closed-form
+	// model ("exact").
+	DecisionExact
+	// DecisionTable serves dopt from a precomputed policy table via the
+	// runtime's TableCache ("table").
+	DecisionTable
+)
+
+// String returns the Spec-level name of the mode.
+func (m DecisionMode) String() string {
+	switch m {
+	case DecisionNone:
+		return "none"
+	case DecisionExact:
+		return "exact"
+	case DecisionTable:
+		return "table"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ProgramDecision is a resolved DecisionSpec: an explicit mode instead of
+// a string kind behind a nillable pointer.
+type ProgramDecision struct {
+	Mode    DecisionMode
+	RhoPerM float64
+}
+
+// ProgramVehicle is one resolved vehicle: its handle is its index in
+// Program.Vehicles, Runtime.crafts and every cross-reference.
+type ProgramVehicle struct {
+	Handle int
+	Spec   VehicleSpec
+}
+
+// ProgramKill is one scripted vehicle death, resolved to a handle and
+// clamped to the scenario clock's origin.
+type ProgramKill struct {
+	Vehicle int
+	AtS     float64
+}
+
+// ProgramTraffic is a saturation workload with resolved endpoints.
+type ProgramTraffic struct {
+	From, To  int
+	StartS    float64
+	DurationS float64
+	WindowS   float64
+}
+
+// ProgramTransfer is a batch delivery with resolved endpoints, fallback
+// and decision mode.
+type ProgramTransfer struct {
+	From, To int
+	// AltTo is the fallback receiver handle (NoVehicle when absent).
+	AltTo          int
+	SizeMB         float64
+	DeadlineS      float64
+	StartS         float64
+	StartOnArrival bool
+	Reliable       bool
+	Decision       ProgramDecision
+}
+
+// ProgramRequest is one materialized data-pickup request — explicit
+// requests and Poisson draws land in the same form, sorted by arrival.
+type ProgramRequest struct {
+	ID        string
+	Origin    geo.Vec3
+	SizeMB    float64
+	ArrivalS  float64
+	DeadlineS float64
+}
+
+// ProgramRequests is the resolved request-service workload: handles for
+// the collector and the serving pool, an explicit planner and decision
+// mode, and the fully materialized arrival list.
+type ProgramRequests struct {
+	Collector int
+	// Servers is the resolved serving pool in declaration order (the
+	// Spec's empty-list default — every non-collector vehicle — applied).
+	Servers []int
+	// Planner is resolved ("" lowered to PlannerFixed).
+	Planner  string
+	HorizonS float64
+	// ReplanTicks is resolved (0 lowered to defaultReplanTicks).
+	ReplanTicks   int
+	EnergyBudgetS float64
+	// Decision is resolved (nil lowered to the exact, failure-free model).
+	Decision ProgramDecision
+	// Requests is the materialized arrival list: explicit requests first,
+	// then the Poisson draw, stably sorted by arrival time.
+	Requests []ProgramRequest
+}
+
+// Program is the validated intermediate form between Spec and Runtime.
+// See the package comment above for the pipeline contract; the one-line
+// version: everything Validate and Compile used to discover lazily —
+// cross-references, chaos parses, Poisson draws, decision kinds — is
+// resolved here exactly once, and Link only instantiates.
+type Program struct {
+	// Spec is the source declaration (retained for Result naming and for
+	// APIs that still speak string IDs).
+	Spec Spec
+	// Vehicles holds the resolved vehicle table; handles index it.
+	Vehicles []ProgramVehicle
+	// LinkConfig is the fully defaulted radio configuration and RateMCS
+	// the parsed rate policy (-1 = auto-rate Minstrel).
+	LinkConfig link.Config
+	RateMCS    int
+	// Chaos is the parsed fault schedule (nil when the Spec has none);
+	// Kills is its scripted vehicle deaths as a typed, time-sorted event
+	// list (ties broken by handle).
+	Chaos *chaos.Schedule
+	Kills []ProgramKill
+	// Traffic, Transfers and Requests are the resolved workloads.
+	Traffic   []ProgramTraffic
+	Transfers []ProgramTransfer
+	Requests  *ProgramRequests
+	// TableKeys are the sorted platform keys whose policy tables "table"
+	// decisions in this Program can demand — what a TableCache would build.
+	TableKeys []string
+
+	handles     map[string]int
+	fingerprint uint64
+}
+
+// Resolve validates a Spec and lowers it into its Program. Every error a
+// Compile used to surface at compile time is surfaced here; a resolved
+// Program cannot fail to Link except on engine-level resource errors.
+func Resolve(spec Spec) (*Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{Spec: spec, RateMCS: -1}
+	p.handles = make(map[string]int, len(spec.Vehicles))
+	for i, vs := range spec.Vehicles {
+		p.handles[vs.ID] = i
+		p.Vehicles = append(p.Vehicles, ProgramVehicle{Handle: i, Spec: vs})
+	}
+
+	lcfg := link.DefaultConfig()
+	lcfg.Seed = spec.Link.Seed
+	if lcfg.Seed == 0 {
+		lcfg.Seed = spec.Seed
+	}
+	lcfg.Label = spec.Link.Label
+	if lcfg.Label == "" {
+		lcfg.Label = "scenario/" + spec.Name
+	}
+	p.LinkConfig = lcfg
+	mcs, err := ParseRate(spec.Link.Rate)
+	if err != nil {
+		return nil, err
+	}
+	p.RateMCS = mcs
+
+	if p.Chaos, err = spec.ChaosSchedule(); err != nil {
+		return nil, err
+	}
+	if p.Chaos != nil {
+		for h, vs := range spec.Vehicles {
+			if t, ok := p.Chaos.VehicleFailTime(vs.ID); ok {
+				p.Kills = append(p.Kills, ProgramKill{Vehicle: h, AtS: math.Max(t, 0)})
+			}
+		}
+		sort.Slice(p.Kills, func(i, j int) bool {
+			a, b := p.Kills[i], p.Kills[j]
+			if a.AtS != b.AtS {
+				return a.AtS < b.AtS
+			}
+			return a.Vehicle < b.Vehicle
+		})
+	}
+
+	for _, t := range spec.Traffic {
+		p.Traffic = append(p.Traffic, ProgramTraffic{
+			From: p.handles[t.From], To: p.handles[t.To],
+			StartS: t.StartS, DurationS: t.DurationS, WindowS: t.WindowS,
+		})
+	}
+	for _, t := range spec.Transfers {
+		alt := NoVehicle
+		if t.AltTo != "" {
+			alt = p.handles[t.AltTo]
+		}
+		p.Transfers = append(p.Transfers, ProgramTransfer{
+			From: p.handles[t.From], To: p.handles[t.To], AltTo: alt,
+			SizeMB: t.SizeMB, DeadlineS: t.DeadlineS, StartS: t.StartS,
+			StartOnArrival: t.StartOnArrival, Reliable: t.Reliable,
+			Decision: resolveDecision(t.Decision, DecisionNone),
+		})
+	}
+	if spec.Requests != nil {
+		p.Requests = resolveRequests(spec, p.handles)
+	}
+	p.TableKeys = p.tableKeys()
+
+	if p.fingerprint, err = Fingerprint(spec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ResolveAll resolves every Spec of a batch, failing on the first invalid
+// one with its index attached.
+func ResolveAll(specs []Spec) ([]*Program, error) {
+	progs := make([]*Program, len(specs))
+	for i, s := range specs {
+		p, err := Resolve(s)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: batch spec %d (%q): %w", i, s.Name, err)
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// resolveDecision lowers a DecisionSpec pointer into an explicit mode;
+// def is the mode a nil spec means in this position (none for transfers,
+// exact for the requests workload).
+func resolveDecision(d *DecisionSpec, def DecisionMode) ProgramDecision {
+	if d == nil {
+		return ProgramDecision{Mode: def}
+	}
+	mode := DecisionExact
+	if d.Kind == "table" {
+		mode = DecisionTable
+	}
+	return ProgramDecision{Mode: mode, RhoPerM: d.RhoPerM}
+}
+
+// resolveRequests lowers the requests section: handles, defaults, and the
+// materialized arrival list (explicit requests first, then the Poisson
+// draw on the "scenario/requests" substream, stably sorted by arrival).
+func resolveRequests(spec Spec, handles map[string]int) *ProgramRequests {
+	rs := spec.Requests
+	rp := &ProgramRequests{
+		Collector:     handles[rs.Collector],
+		Planner:       rs.Planner,
+		HorizonS:      rs.HorizonS,
+		ReplanTicks:   rs.ReplanTicks,
+		EnergyBudgetS: rs.EnergyBudgetS,
+		Decision:      resolveDecision(rs.Decision, DecisionExact),
+	}
+	if rp.Planner == "" {
+		rp.Planner = PlannerFixed
+	}
+	if rp.ReplanTicks == 0 {
+		rp.ReplanTicks = defaultReplanTicks
+	}
+	serverIDs := rs.Vehicles
+	if len(serverIDs) == 0 {
+		for _, v := range spec.Vehicles {
+			if v.ID != rs.Collector {
+				serverIDs = append(serverIDs, v.ID)
+			}
+		}
+	}
+	for _, id := range serverIDs {
+		rp.Servers = append(rp.Servers, handles[id])
+	}
+	for _, r := range rs.Requests {
+		rp.Requests = append(rp.Requests, ProgramRequest{
+			ID: r.ID, Origin: r.Origin, SizeMB: r.SizeMB,
+			ArrivalS: r.ArrivalS, DeadlineS: r.DeadlineS,
+		})
+	}
+	if p := rs.Poisson; p != nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = spec.Seed
+		}
+		rng := stats.NewRNG(seed).Substream(seed, "scenario/requests")
+		t := 0.0
+		for i := 0; i < p.Count; i++ {
+			t += rng.Exponential(p.RatePerS)
+			origin := geo.Vec3{
+				X: rng.Uniform(0, p.AreaM),
+				Y: rng.Uniform(0, p.AreaM),
+				Z: p.AltM,
+			}
+			size := rng.Uniform(p.MinSizeMB, p.MaxSizeMB)
+			lead := rng.Uniform(p.MinLeadS, p.MaxLeadS)
+			rp.Requests = append(rp.Requests, ProgramRequest{
+				ID: fmt.Sprintf("%s%03d", autoIDPrefix, i+1), Origin: origin,
+				SizeMB: size, ArrivalS: t, DeadlineS: t + lead,
+			})
+		}
+	}
+	sort.SliceStable(rp.Requests, func(a, b int) bool {
+		return rp.Requests[a].ArrivalS < rp.Requests[b].ArrivalS
+	})
+	return rp
+}
+
+// tableKeys collects the sorted platform keys "table" decisions in this
+// Program can query: the sender platform of each table-decided transfer,
+// and every server platform when the requests workload decides by table.
+func (p *Program) tableKeys() []string {
+	set := map[string]bool{}
+	for _, t := range p.Transfers {
+		if t.Decision.Mode == DecisionTable {
+			set[p.Vehicles[t.From].Spec.Platform] = true
+		}
+	}
+	if rp := p.Requests; rp != nil && rp.Decision.Mode == DecisionTable {
+		for _, h := range rp.Servers {
+			set[p.Vehicles[h].Spec.Platform] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handle resolves a vehicle ID to its integer handle.
+func (p *Program) Handle(id string) (int, bool) {
+	h, ok := p.handles[id]
+	return h, ok
+}
+
+// Fingerprint is the Spec fingerprint, computed once at Resolve.
+func (p *Program) Fingerprint() uint64 { return p.fingerprint }
+
+// ProgramStats summarizes a resolved Program — the counts behind
+// `uavsim -dump-ir` and the extended `-validate` line.
+type ProgramStats struct {
+	Vehicles   int
+	ChaosLines int
+	ChaosKills int
+	Traffic    int
+	Transfers  int
+	Requests   int
+	TableKeys  []string
+}
+
+// Stats returns the Program's resolution summary.
+func (p *Program) Stats() ProgramStats {
+	st := ProgramStats{
+		Vehicles:   len(p.Vehicles),
+		ChaosLines: len(p.Spec.Chaos),
+		ChaosKills: len(p.Kills),
+		Traffic:    len(p.Traffic),
+		Transfers:  len(p.Transfers),
+		TableKeys:  p.TableKeys,
+	}
+	if p.Requests != nil {
+		st.Requests = len(p.Requests.Requests)
+	}
+	return st
+}
+
+// Describe renders the resolved Program for humans — handles, typed chaos
+// events, materialized requests, table keys. The format is for debugging,
+// not parsing.
+func (p *Program) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q (seed %d, fingerprint %016x)\n", p.Spec.Name, p.Spec.Seed, p.fingerprint)
+	fmt.Fprintf(&b, "  vehicles: %d\n", len(p.Vehicles))
+	for _, v := range p.Vehicles {
+		shape := "hold"
+		switch {
+		case len(v.Spec.Route) > 0 && v.Spec.Loop:
+			shape = fmt.Sprintf("loop×%d from %d", len(v.Spec.Route), v.Spec.LoopFrom)
+		case len(v.Spec.Route) > 0:
+			shape = fmt.Sprintf("route×%d", len(v.Spec.Route))
+		case !v.Spec.Hold:
+			shape = "idle"
+		}
+		fmt.Fprintf(&b, "    [%d] %s %s %s\n", v.Handle, v.Spec.ID, v.Spec.Platform, shape)
+	}
+	fmt.Fprintf(&b, "  link: seed %d label %q rate mcs %d\n", p.LinkConfig.Seed, p.LinkConfig.Label, p.RateMCS)
+	fmt.Fprintf(&b, "  chaos: %d line(s), %d kill event(s)\n", len(p.Spec.Chaos), len(p.Kills))
+	for _, k := range p.Kills {
+		fmt.Fprintf(&b, "    kill [%d] %s at t=%g\n", k.Vehicle, p.Vehicles[k.Vehicle].Spec.ID, k.AtS)
+	}
+	fmt.Fprintf(&b, "  traffic: %d, transfers: %d\n", len(p.Traffic), len(p.Transfers))
+	for _, t := range p.Transfers {
+		alt := ""
+		if t.AltTo != NoVehicle {
+			alt = fmt.Sprintf(" alt [%d]", t.AltTo)
+		}
+		fmt.Fprintf(&b, "    transfer [%d]->[%d]%s %.3g MB decision %s\n",
+			t.From, t.To, alt, t.SizeMB, t.Decision.Mode)
+	}
+	if rp := p.Requests; rp != nil {
+		fmt.Fprintf(&b, "  requests: %d materialized, collector [%d], %d server(s), planner %s, decision %s\n",
+			len(rp.Requests), rp.Collector, len(rp.Servers), rp.Planner, rp.Decision.Mode)
+	} else {
+		fmt.Fprintf(&b, "  requests: none\n")
+	}
+	fmt.Fprintf(&b, "  table keys: %v\n", p.TableKeys)
+	return b.String()
+}
+
+// CompileBatch resolves every Spec and links each Runtime against one
+// shared TableCache (opts.Tables when set, a fresh one otherwise), so a
+// sweep of N table-deciding scenarios builds each per-platform policy
+// table once instead of N times. Runtimes are independent: each gets its
+// own engine at clock zero.
+func CompileBatch(specs []Spec, opts Options) ([]*Runtime, error) {
+	progs, err := ResolveAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Tables == nil {
+		opts.Tables = NewTableCache()
+	}
+	rts := make([]*Runtime, len(progs))
+	for i, p := range progs {
+		rt, err := LinkWithOptions(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: batch spec %d (%q): %w", i, p.Spec.Name, err)
+		}
+		rts[i] = rt
+	}
+	return rts, nil
+}

@@ -1,0 +1,371 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/geo"
+)
+
+// irSpec is a scenario exercising every Resolve lowering at once: routes,
+// a loop, chaos kills out of declaration order, a decided transfer with a
+// fallback, and a traffic workload is impossible alongside requests — so
+// the requests path gets its own spec below.
+func irSpec() Spec {
+	return Spec{
+		Name: "ir-test",
+		Seed: 7,
+		Vehicles: []VehicleSpec{
+			{ID: "ferry", Platform: PlatformQuad, Start: geo.Vec3{X: 300, Z: 12},
+				Route: []geo.Vec3{{X: 120, Z: 12}, {X: 40, Z: 12}}, SpeedMPS: 9},
+			{ID: "relay", Platform: PlatformQuad, Start: geo.Vec3{Z: 12}, Hold: true},
+			{ID: "backup", Platform: PlatformQuad, Start: geo.Vec3{Y: 40, Z: 12}, Hold: true},
+		},
+		Transfers: []TransferSpec{{
+			From: "ferry", To: "relay", AltTo: "backup",
+			SizeMB: 2, DeadlineS: 30, StartOnArrival: true, Reliable: true,
+			Decision: &DecisionSpec{Kind: "exact", RhoPerM: 1e-3},
+		}},
+		Chaos: []string{
+			"vehicle fail backup 25",
+			"vehicle fail relay 8",
+		},
+		DurationS: 10,
+	}
+}
+
+func requestsIRSpec() Spec {
+	return Spec{
+		Name: "ir-requests",
+		Seed: 11,
+		Vehicles: []VehicleSpec{
+			{ID: "base", Platform: PlatformQuad, Start: geo.Vec3{Z: 30}, Hold: true},
+			{ID: "uav-1", Platform: PlatformQuad, Start: geo.Vec3{X: 40, Z: 30}},
+			{ID: "uav-2", Platform: PlatformQuad, Start: geo.Vec3{X: -40, Z: 30}},
+		},
+		Requests: &RequestsSpec{
+			Collector: "base",
+			Poisson: &PoissonSpec{
+				RatePerS: 0.05, Count: 4,
+				MinSizeMB: 1, MaxSizeMB: 3,
+				MinLeadS: 120, MaxLeadS: 300,
+				AreaM: 400, AltM: 30,
+			},
+		},
+	}
+}
+
+func TestResolveLowersHandlesAndChaos(t *testing.T) {
+	p, err := Resolve(irSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"ferry", "relay", "backup"} {
+		h, ok := p.Handle(id)
+		if !ok || h != i {
+			t.Fatalf("handle %q = %d,%v; want %d,true", id, h, ok, i)
+		}
+	}
+	if _, ok := p.Handle("ghost"); ok {
+		t.Fatal("unknown id resolved to a handle")
+	}
+	// Kills must be time-sorted regardless of chaos-line order.
+	want := []ProgramKill{{Vehicle: 1, AtS: 8}, {Vehicle: 2, AtS: 25}}
+	if !reflect.DeepEqual(p.Kills, want) {
+		t.Fatalf("kills %+v, want %+v", p.Kills, want)
+	}
+	tr := p.Transfers[0]
+	if tr.From != 0 || tr.To != 1 || tr.AltTo != 2 {
+		t.Fatalf("transfer handles %d->%d alt %d, want 0->1 alt 2", tr.From, tr.To, tr.AltTo)
+	}
+	if tr.Decision.Mode != DecisionExact || tr.Decision.RhoPerM != 1e-3 {
+		t.Fatalf("decision %+v not resolved to exact/1e-3", tr.Decision)
+	}
+	if len(p.TableKeys) != 0 {
+		t.Fatalf("exact-only spec claims table keys %v", p.TableKeys)
+	}
+	// Link config defaulting is hoisted into Resolve.
+	if p.LinkConfig.Seed != 7 || p.LinkConfig.Label != "scenario/ir-test" {
+		t.Fatalf("link config seed %d label %q not defaulted", p.LinkConfig.Seed, p.LinkConfig.Label)
+	}
+	if p.RateMCS != -1 {
+		t.Fatalf("rate mcs %d, want -1 (auto)", p.RateMCS)
+	}
+}
+
+func TestResolveTransferWithoutFallback(t *testing.T) {
+	s := irSpec()
+	s.Transfers[0].AltTo = ""
+	s.Transfers[0].Decision = nil
+	p, err := Resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Transfers[0]
+	if tr.AltTo != NoVehicle {
+		t.Fatalf("absent alt_to resolved to %d, want NoVehicle", tr.AltTo)
+	}
+	if tr.Decision.Mode != DecisionNone {
+		t.Fatalf("absent decision resolved to %v, want none", tr.Decision.Mode)
+	}
+}
+
+func TestResolveRequestsDefaults(t *testing.T) {
+	p, err := Resolve(requestsIRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := p.Requests
+	if rp == nil {
+		t.Fatal("requests section not resolved")
+	}
+	if rp.Collector != 0 || !reflect.DeepEqual(rp.Servers, []int{1, 2}) {
+		t.Fatalf("collector %d servers %v, want 0 and [1 2]", rp.Collector, rp.Servers)
+	}
+	if rp.Planner != PlannerFixed {
+		t.Fatalf("planner %q, want fixed default", rp.Planner)
+	}
+	if rp.ReplanTicks != defaultReplanTicks {
+		t.Fatalf("replan ticks %d, want default %d", rp.ReplanTicks, defaultReplanTicks)
+	}
+	if rp.Decision.Mode != DecisionExact {
+		t.Fatalf("nil requests decision resolved to %v, want exact", rp.Decision.Mode)
+	}
+	if len(rp.Requests) != 4 {
+		t.Fatalf("materialized %d requests, want 4", len(rp.Requests))
+	}
+	for i := 1; i < len(rp.Requests); i++ {
+		if rp.Requests[i].ArrivalS < rp.Requests[i-1].ArrivalS {
+			t.Fatal("materialized requests not sorted by arrival")
+		}
+	}
+}
+
+// Resolve must be a pure function of the Spec: byte-identical Programs on
+// every call.
+func TestResolveDeterministic(t *testing.T) {
+	for _, s := range []Spec{irSpec(), requestsIRSpec()} {
+		a, err := Resolve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Resolve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: Resolve not deterministic", s.Name)
+		}
+		if a.Fingerprint() != b.Fingerprint() || a.Fingerprint() == 0 {
+			t.Fatalf("%s: fingerprints %016x vs %016x", s.Name, a.Fingerprint(), b.Fingerprint())
+		}
+	}
+}
+
+// Compile(spec) must be exactly Link(Resolve(spec)), and a Program must be
+// re-linkable: every path produces bit-identical Results.
+func TestCompileEquivalentToResolvePlusLink(t *testing.T) {
+	for _, s := range []Spec{irSpec(), requestsIRSpec()} {
+		rtc, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resC, err := rtc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Resolve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ { // re-link the same Program twice
+			rtl, err := Link(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resL, err := rtl.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ResultFingerprint(resC) != ResultFingerprint(resL) {
+				t.Fatalf("%s: link pass %d fingerprint %016x != compile %016x",
+					s.Name, pass, ResultFingerprint(resL), ResultFingerprint(resC))
+			}
+			if !reflect.DeepEqual(resC, resL) {
+				t.Fatalf("%s: link pass %d result differs from compile", s.Name, pass)
+			}
+		}
+	}
+}
+
+func TestResolveAllNamesOffendingSpec(t *testing.T) {
+	bad := irSpec()
+	bad.Vehicles[1].ID = "ferry" // duplicate
+	_, err := ResolveAll([]Spec{irSpec(), bad})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if !strings.Contains(err.Error(), "batch spec 1") {
+		t.Fatalf("batch error %q does not name the offending index", err)
+	}
+}
+
+func TestTableCacheSharesBuilds(t *testing.T) {
+	tc := NewTableCache()
+	a, err := tc.Engine(PlatformQuad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tc.Engine(PlatformQuad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same platform key built two engines")
+	}
+	st := tc.Stats()
+	if st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 build and 1 hit", st)
+	}
+	if !(st.BuildWallS > 0) {
+		t.Fatalf("build wall %v not recorded", st.BuildWallS)
+	}
+	if keys := tc.Keys(); !reflect.DeepEqual(keys, []string{PlatformQuad}) {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+// A shared TableCache must not change results: table answers are a pure
+// function of the platform config, warm or cold.
+func TestSharedTableCachePreservesResults(t *testing.T) {
+	s := irSpec()
+	s.Transfers[0].StartOnArrival = false
+	s.Transfers[0].Decision = &DecisionSpec{Kind: "table"}
+	p, err := Resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.TableKeys, []string{PlatformQuad}) {
+		t.Fatalf("table keys %v, want [%s]", p.TableKeys, PlatformQuad)
+	}
+
+	rtPrivate, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := rtPrivate.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rtPrivate.Tables().Stats(); st.Builds != 1 {
+		t.Fatalf("private cache built %d tables, want 1", st.Builds)
+	}
+
+	shared := NewTableCache()
+	rts, err := CompileBatch([]Spec{s, s}, Options{Tables: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range rts {
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ResultFingerprint(res) != ResultFingerprint(private) {
+			t.Fatalf("batch run %d fingerprint differs under a shared cache", i)
+		}
+	}
+	if st := shared.Stats(); st.Builds != 1 || st.Hits < 1 {
+		t.Fatalf("shared cache stats %+v, want exactly 1 build across the batch", st)
+	}
+}
+
+// Satellite regression: Validate names the offending index and ID for
+// duplicate and unknown vehicle references.
+func TestValidateNamesOffendingReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   []string
+	}{
+		{"duplicate vehicle id", func(s *Spec) { s.Vehicles[2].ID = "relay" },
+			[]string{"vehicle 2", "duplicate id \"relay\"", "vehicle 1"}},
+		{"missing vehicle id", func(s *Spec) { s.Vehicles[0].ID = "" },
+			[]string{"vehicle 0", "missing id"}},
+		{"transfer unknown from", func(s *Spec) { s.Transfers[0].From = "ghost" },
+			[]string{"transfer 0", "unknown from vehicle \"ghost\""}},
+		{"transfer unknown to", func(s *Spec) { s.Transfers[0].To = "ghost" },
+			[]string{"transfer 0", "unknown to vehicle \"ghost\""}},
+		{"transfer unknown alt_to", func(s *Spec) { s.Transfers[0].AltTo = "ghost" },
+			[]string{"transfer 0", "unknown alt_to vehicle \"ghost\""}},
+		{"transfer alt_to sender", func(s *Spec) { s.Transfers[0].AltTo = "ferry" },
+			[]string{"transfer 0", "alt_to \"ferry\" is the sender"}},
+		{"traffic unknown from", func(s *Spec) {
+			s.Transfers, s.Chaos = nil, nil
+			s.Traffic = []TrafficSpec{{From: "ghost", To: "relay", DurationS: 1, WindowS: 1}}
+		}, []string{"traffic 0", "unknown from vehicle \"ghost\""}},
+		{"traffic unknown to", func(s *Spec) {
+			s.Transfers, s.Chaos = nil, nil
+			s.Traffic = []TrafficSpec{{From: "ferry", To: "ghost", DurationS: 1, WindowS: 1}}
+		}, []string{"traffic 0", "unknown to vehicle \"ghost\""}},
+	}
+	for _, tc := range cases {
+		s := irSpec()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, frag)
+			}
+		}
+	}
+}
+
+func TestProgramStatsAndDescribe(t *testing.T) {
+	p, err := Resolve(irSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Vehicles != 3 || st.ChaosLines != 2 || st.ChaosKills != 2 || st.Transfers != 1 || st.Requests != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	desc := p.Describe()
+	for _, frag := range []string{
+		"program \"ir-test\"", "[0] ferry", "[1] relay", "kill [1] relay at t=8",
+		"transfer [0]->[1] alt [2]", "decision exact",
+	} {
+		if !strings.Contains(desc, frag) {
+			t.Fatalf("describe output missing %q:\n%s", frag, desc)
+		}
+	}
+
+	rp, err := Resolve(requestsIRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rp.Stats(); st.Requests != 4 {
+		t.Fatalf("requests stats %+v", st)
+	}
+	if desc := rp.Describe(); !strings.Contains(desc, "4 materialized") {
+		t.Fatalf("describe output missing request count:\n%s", desc)
+	}
+}
+
+func TestResolveClampsNegativeKillTimes(t *testing.T) {
+	s := irSpec()
+	s.Chaos = []string{"vehicle fail relay 0"}
+	p, err := Resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 1 || p.Kills[0].AtS != 0 || math.Signbit(p.Kills[0].AtS) {
+		t.Fatalf("kills %+v, want one kill clamped to +0", p.Kills)
+	}
+}

@@ -3,11 +3,9 @@ package scenario
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"github.com/nowlater/nowlater/internal/geo"
-	"github.com/nowlater/nowlater/internal/stats"
 	"github.com/nowlater/nowlater/internal/trajopt"
 )
 
@@ -273,42 +271,17 @@ type compiledRequest struct {
 	expired  bool
 }
 
-// materializeRequests builds the ordered request list: explicit requests
-// first, then the Poisson draw on the "scenario/requests" substream,
-// stably sorted by arrival time.
-func (s Spec) materializeRequests() []*compiledRequest {
-	rs := s.Requests
-	var out []*compiledRequest
-	for _, r := range rs.Requests {
+// compiledRequests builds the per-run mutable request states from the
+// Program's materialized arrival list (already Poisson-drawn and sorted by
+// Resolve), so re-linking the same Program never re-draws arrivals.
+func compiledRequests(rp *ProgramRequests) []*compiledRequest {
+	out := make([]*compiledRequest, 0, len(rp.Requests))
+	for _, r := range rp.Requests {
 		out = append(out, &compiledRequest{origin: r.Origin, RequestResult: RequestResult{
 			ID: r.ID, ArrivalS: r.ArrivalS, DeadlineS: r.DeadlineS, SizeMB: r.SizeMB,
 			PickupS: math.Inf(1), CompletionS: math.Inf(1),
 		}})
 	}
-	if p := rs.Poisson; p != nil {
-		seed := p.Seed
-		if seed == 0 {
-			seed = s.Seed
-		}
-		rng := stats.NewRNG(seed).Substream(seed, "scenario/requests")
-		t := 0.0
-		for i := 0; i < p.Count; i++ {
-			t += rng.Exponential(p.RatePerS)
-			origin := geo.Vec3{
-				X: rng.Uniform(0, p.AreaM),
-				Y: rng.Uniform(0, p.AreaM),
-				Z: p.AltM,
-			}
-			size := rng.Uniform(p.MinSizeMB, p.MaxSizeMB)
-			lead := rng.Uniform(p.MinLeadS, p.MaxLeadS)
-			id := fmt.Sprintf("%s%03d", autoIDPrefix, i+1)
-			out = append(out, &compiledRequest{origin: origin, RequestResult: RequestResult{
-				ID: id, ArrivalS: t, DeadlineS: t + lead, SizeMB: size,
-				PickupS: math.Inf(1), CompletionS: math.Inf(1),
-			}})
-		}
-	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].ArrivalS < out[b].ArrivalS })
 	return out
 }
 
@@ -350,7 +323,7 @@ type serverState struct {
 // assignment.
 type dispatcher struct {
 	rt        *Runtime
-	rs        *RequestsSpec
+	rp        *ProgramRequests
 	reqs      []*compiledRequest
 	collector *Craft
 	servers   []*serverState
@@ -367,22 +340,14 @@ type dispatcher struct {
 // until every request is served or expired (the phase cap is the latest
 // deadline, independent of DurationS so duration extensions cannot rewrite
 // workload history).
-func (rt *Runtime) runRequests(rs *RequestsSpec) ([]RequestResult, error) {
-	d := &dispatcher{rt: rt, rs: rs, reqs: rt.spec.materializeRequests(), collector: rt.byID[rs.Collector]}
-	serverIDs := rs.Vehicles
-	if len(serverIDs) == 0 {
-		for _, v := range rt.spec.Vehicles {
-			if v.ID != rs.Collector {
-				serverIDs = append(serverIDs, v.ID)
-			}
-		}
+func (rt *Runtime) runRequests(rp *ProgramRequests) ([]RequestResult, error) {
+	d := &dispatcher{rt: rt, rp: rp, reqs: compiledRequests(rp), collector: rt.crafts[rp.Collector]}
+	for _, h := range rp.Servers {
+		d.servers = append(d.servers, &serverState{craft: rt.crafts[h]})
 	}
-	for _, id := range serverIDs {
-		d.servers = append(d.servers, &serverState{craft: rt.byID[id]})
-	}
-	if rs.Planner == PlannerJoint {
+	if rp.Planner == PlannerJoint {
 		ctrl, err := trajopt.NewController(trajopt.ControllerConfig{
-			HorizonS:    rs.HorizonS,
+			HorizonS:    rp.HorizonS,
 			MaxRequests: dispatchMaxRequests,
 			MaxVehicles: dispatchMaxVehicles,
 		})
@@ -537,20 +502,12 @@ func (d *dispatcher) release(s *serverState) {
 }
 
 // rho is the failure rate fed to the per-leg decision model.
-func (d *dispatcher) rho() float64 {
-	if d.rs.Decision != nil {
-		return d.rs.Decision.RhoPerM
-	}
-	return 0
-}
+func (d *dispatcher) rho() float64 { return d.rp.Decision.RhoPerM }
 
-// decisionSpec is the now-or-later rule for the fixed planner.
-func (d *dispatcher) decisionSpec() *DecisionSpec {
-	if d.rs.Decision != nil {
-		return d.rs.Decision
-	}
-	return &DecisionSpec{Kind: "exact"}
-}
+// decision is the now-or-later rule for the fixed planner — already
+// resolved by Resolve (nil in the Spec lowered to the exact, failure-free
+// model).
+func (d *dispatcher) decision() ProgramDecision { return d.rp.Decision }
 
 // speed is the planning/commanded speed for a server.
 func serverSpeed(c *Craft) float64 {
@@ -573,7 +530,7 @@ func (d *dispatcher) checkRetired(s *serverState) bool {
 	if s.retired {
 		return true
 	}
-	if b := d.rs.EnergyBudgetS; b > 0 && d.usedEnergyS(s.craft) >= b {
+	if b := d.rp.EnergyBudgetS; b > 0 && d.usedEnergyS(s.craft) >= b {
 		s.retired = true
 	}
 	return s.retired
@@ -600,7 +557,7 @@ func (d *dispatcher) legCost(s *serverState, r *compiledRequest, dEff float64, t
 // canAfford reports whether the server's remaining energy budget covers the
 // analytic cost of the leg (always true without a budget).
 func (d *dispatcher) canAfford(s *serverState, energyS float64) bool {
-	b := d.rs.EnergyBudgetS
+	b := d.rp.EnergyBudgetS
 	if b <= 0 {
 		return true
 	}
@@ -612,7 +569,7 @@ func (d *dispatcher) canAfford(s *serverState, energyS float64) bool {
 // clamped to the pickup distance.
 func (d *dispatcher) nowOrLaterDist(s *serverState, r *compiledRequest) (float64, bool) {
 	d0 := r.origin.Dist(d.collectorPos())
-	dopt, err := d.rt.decide(s.craft.spec.Platform, math.Max(d0, 1), serverSpeed(s.craft), r.SizeMB, d.decisionSpec())
+	dopt, err := d.rt.decide(s.craft.spec.Platform, math.Max(d0, 1), serverSpeed(s.craft), r.SizeMB, d.decision())
 	if err != nil {
 		if d.rt.err == nil {
 			d.rt.err = err
@@ -645,7 +602,7 @@ func (d *dispatcher) assign(now float64) {
 	if len(idle) == 0 {
 		return
 	}
-	switch d.rs.Planner {
+	switch d.rp.Planner {
 	case PlannerGreedy:
 		d.assignGreedy(pending, idle)
 	case PlannerJoint:
@@ -727,7 +684,7 @@ func (d *dispatcher) txPoint(r *compiledRequest, dEff float64) geo.Vec3 {
 // Replans are event-driven (arrival, completion, failure, expiry) with a
 // periodic cadence fallback.
 func (d *dispatcher) assignJoint(now float64, pending []*compiledRequest) {
-	cadence := int64(d.rs.ReplanTicks)
+	cadence := int64(d.rp.ReplanTicks)
 	if cadence == 0 {
 		cadence = defaultReplanTicks
 	}
@@ -751,7 +708,7 @@ func (d *dispatcher) assignJoint(now float64, pending []*compiledRequest) {
 		p := s.craft.Autopilot().Vehicle()
 		v.PowerMoveFrac = p.PowerFraction(v.SpeedMPS)
 		v.PowerHoverFrac = p.PowerFraction(0)
-		if b := d.rs.EnergyBudgetS; b > 0 {
+		if b := d.rp.EnergyBudgetS; b > 0 {
 			v.EnergyS = math.Max(b-d.usedEnergyS(s.craft), 0)
 		}
 		if s.asg != nil {

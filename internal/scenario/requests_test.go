@@ -100,12 +100,20 @@ func TestRequestsPoissonMaterializeDeterministic(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	a, b := s.materializeRequests(), s.materializeRequests()
+	pa, err := Resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pa.Requests.Requests, pb.Requests.Requests
 	if len(a) != 6 {
 		t.Fatalf("materialized %d requests, want 6", len(a))
 	}
 	for i := range a {
-		if a[i].RequestResult != b[i].RequestResult || a[i].origin != b[i].origin {
+		if a[i] != b[i] {
 			t.Fatalf("draw %d not deterministic: %+v vs %+v", i, a[i], b[i])
 		}
 		if i > 0 && a[i].ArrivalS < a[i-1].ArrivalS {
@@ -118,10 +126,14 @@ func TestRequestsPoissonMaterializeDeterministic(t *testing.T) {
 	// A different seed must draw a different workload.
 	s2 := s
 	s2.Seed = 8
-	c := s2.materializeRequests()
+	p2, err := Resolve(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p2.Requests.Requests
 	same := true
 	for i := range a {
-		if a[i].RequestResult != c[i].RequestResult {
+		if a[i] != c[i] {
 			same = false
 		}
 	}

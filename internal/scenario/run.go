@@ -1,7 +1,6 @@
 package scenario
 
 import (
-	"context"
 	"fmt"
 	"math"
 
@@ -73,32 +72,28 @@ type Result struct {
 	DurationS float64
 }
 
-// Run executes the Spec: workloads in declaration order (traffic first,
-// then transfers) on the single engine clock, then flies out any remaining
-// DurationS. Each workload advances the shared clock, so a later workload
-// starts where the previous one ended.
+// Run executes the Program: workloads in declaration order (traffic
+// first, then transfers) on the single engine clock, then flies out any
+// remaining DurationS. Each workload advances the shared clock, so a later
+// workload starts where the previous one ended.
 func (rt *Runtime) Run() (Result, error) {
-	fp, err := Fingerprint(rt.spec)
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{Name: rt.spec.Name, Fingerprint: fp}
-	for _, ts := range rt.spec.Traffic {
-		tr, err := rt.runTraffic(ts)
+	res := Result{Name: rt.spec.Name, Fingerprint: rt.prog.Fingerprint()}
+	for _, pt := range rt.prog.Traffic {
+		tr, err := rt.runTraffic(pt)
 		if err != nil {
 			return res, err
 		}
 		res.Traffic = append(res.Traffic, tr)
 	}
-	for _, ts := range rt.spec.Transfers {
-		tr, err := rt.runTransfer(ts)
+	for _, pt := range rt.prog.Transfers {
+		tr, err := rt.runTransfer(pt)
 		if err != nil {
 			return res, err
 		}
 		res.Transfers = append(res.Transfers, tr)
 	}
-	if rt.spec.Requests != nil {
-		rr, err := rt.runRequests(rt.spec.Requests)
+	if rt.prog.Requests != nil {
+		rr, err := rt.runRequests(rt.prog.Requests)
 		if err != nil {
 			return res, err
 		}
@@ -138,41 +133,41 @@ func (rt *Runtime) Run() (Result, error) {
 }
 
 // runTraffic executes one saturation workload.
-func (rt *Runtime) runTraffic(ts TrafficSpec) (TrafficResult, error) {
-	from, to := rt.byID[ts.From], rt.byID[ts.To]
-	if ts.StartS > rt.engine.Now() {
-		rt.idleUntil(ts.StartS)
+func (rt *Runtime) runTraffic(pt ProgramTraffic) (TrafficResult, error) {
+	from, to := rt.crafts[pt.From], rt.crafts[pt.To]
+	if pt.StartS > rt.engine.Now() {
+		rt.idleUntil(pt.StartS)
 	}
 	rt.link.SetNow(rt.engine.Now())
-	rt.installFault(ts.From, ts.To)
-	out := TrafficResult{From: ts.From, To: ts.To, StartS: rt.engine.Now()}
-	out.Samples = rt.measureWindowed(from, to, ts.DurationS, ts.WindowS)
+	rt.installFault(from.spec.ID, to.spec.ID)
+	out := TrafficResult{From: from.spec.ID, To: to.spec.ID, StartS: rt.engine.Now()}
+	out.Samples = rt.measureWindowed(from, to, pt.DurationS, pt.WindowS)
 	return out, rt.err
 }
 
 // runTransfer executes one batch delivery: optional start wait, optional
 // arrival wait, optional now-or-later decision with its shipping leg, the
 // transfer itself, and the AltTo failover for an incomplete batch.
-func (rt *Runtime) runTransfer(ts TransferSpec) (TransferResult, error) {
-	from, to := rt.byID[ts.From], rt.byID[ts.To]
-	out := TransferResult{From: ts.From, To: ts.To, CompletionS: math.Inf(1)}
-	if ts.StartS > rt.engine.Now() {
-		rt.idleUntil(ts.StartS)
+func (rt *Runtime) runTransfer(pt ProgramTransfer) (TransferResult, error) {
+	from, to := rt.crafts[pt.From], rt.crafts[pt.To]
+	out := TransferResult{From: from.spec.ID, To: to.spec.ID, CompletionS: math.Inf(1)}
+	if pt.StartS > rt.engine.Now() {
+		rt.idleUntil(pt.StartS)
 	}
-	if ts.StartOnArrival {
-		rt.waitTicks(rt.engine.Now()+ts.DeadlineS, func() bool {
+	if pt.StartOnArrival {
+		rt.waitTicks(rt.engine.Now()+pt.DeadlineS, func() bool {
 			rt.advanceCraftTo(from, rt.engine.Now())
 			return from.routeDone
 		})
 	}
-	if ts.Decision != nil {
-		if err := rt.runDecision(from, to, ts, &out); err != nil {
+	if pt.Decision.Mode != DecisionNone {
+		if err := rt.runDecision(from, to, pt, &out); err != nil {
 			return out, err
 		}
 	}
 
 	out.StartS = rt.engine.Now()
-	batch, err := rt.runBatch(from, to, int(ts.SizeMB*1e6), ts.DeadlineS, ts.Reliable)
+	batch, err := rt.runBatch(from, to, int(pt.SizeMB*1e6), pt.DeadlineS, pt.Reliable)
 	if err != nil {
 		return out, err
 	}
@@ -183,23 +178,23 @@ func (rt *Runtime) runTransfer(ts TransferSpec) (TransferResult, error) {
 
 	// Failover: if the batch did not complete and a live fallback receiver
 	// is declared, re-send the remainder to it.
-	if math.IsInf(out.CompletionS, 1) && ts.AltTo != "" {
-		alt := rt.byID[ts.AltTo]
-		if alt != nil && !alt.failed && !from.failed {
-			remaining := int(ts.SizeMB*1e6) - int(out.DeliveredBytes)
+	if math.IsInf(out.CompletionS, 1) && pt.AltTo != NoVehicle {
+		alt := rt.crafts[pt.AltTo]
+		if !alt.failed && !from.failed {
+			remaining := int(pt.SizeMB*1e6) - int(out.DeliveredBytes)
 			if remaining > 0 {
 				retryStart := rt.engine.Now()
-				retry, err := rt.runBatch(from, alt, remaining, ts.DeadlineS, ts.Reliable)
+				retry, err := rt.runBatch(from, alt, remaining, pt.DeadlineS, pt.Reliable)
 				if err != nil {
 					return out, err
 				}
 				out.Rerouted = true
-				out.To = ts.AltTo
+				out.To = alt.spec.ID
 				out.DeliveredBytes += retry.DeliveredBytes
 				out.RetransmittedBytes += retry.RetransmittedBytes
-				for _, pt := range retry.Series {
-					pt.TimeS += retryStart - out.StartS
-					out.Series = append(out.Series, pt)
+				for _, sp := range retry.Series {
+					sp.TimeS += retryStart - out.StartS
+					out.Series = append(out.Series, sp)
 				}
 				if !math.IsInf(retry.CompletionS, 1) {
 					out.CompletionS = rt.engine.Now() - out.StartS
@@ -212,7 +207,7 @@ func (rt *Runtime) runTransfer(ts TransferSpec) (TransferResult, error) {
 
 // runDecision computes dopt for the transfer's geometry and, when the
 // model says "later", ships the sender to the rendezvous distance first.
-func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferResult) error {
+func (rt *Runtime) runDecision(from, to *Craft, pt ProgramTransfer, out *TransferResult) error {
 	g := rt.pairGeometry(from, to)
 	d0 := g.DistanceM
 	out.D0M = d0
@@ -220,7 +215,7 @@ func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferRe
 	if speed <= 0 {
 		speed = from.ap.Vehicle().CruiseSpeedMPS
 	}
-	dopt, err := rt.decide(from.spec.Platform, d0, speed, ts.SizeMB, ts.Decision)
+	dopt, err := rt.decide(from.spec.Platform, d0, speed, pt.SizeMB, pt.Decision)
 	if err != nil {
 		return err
 	}
@@ -235,7 +230,7 @@ func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferRe
 	arrived := false
 	from.Autopilot().GoTo(wp, from.spec.SpeedMPS, func() { arrived = true })
 	rt.scheduleArrivalCheck(from)
-	rt.waitTicks(rt.engine.Now()+ts.DeadlineS, func() bool {
+	rt.waitTicks(rt.engine.Now()+pt.DeadlineS, func() bool {
 		rt.advanceCraftTo(from, rt.engine.Now())
 		return arrived || from.failed
 	})
@@ -243,29 +238,29 @@ func (rt *Runtime) runDecision(from, to *Craft, ts TransferSpec, out *TransferRe
 }
 
 // decide answers one now-or-later query for the given platform.
-func (rt *Runtime) decide(platform string, d0, speed, sizeMB float64, d *DecisionSpec) (float64, error) {
-	switch d.Kind {
-	case "exact":
-		sc := rt.decisionScenario(platform, d0, speed, sizeMB, d.RhoPerM)
+func (rt *Runtime) decide(platform string, d0, speed, sizeMB float64, pd ProgramDecision) (float64, error) {
+	switch pd.Mode {
+	case DecisionExact:
+		sc := rt.decisionScenario(platform, d0, speed, sizeMB, pd.RhoPerM)
 		opt, err := sc.Optimize()
 		if err != nil {
 			return 0, fmt.Errorf("scenario: decision: %w", err)
 		}
 		return opt.DoptM, nil
-	case "table":
-		eng, err := rt.policyEngine(platform)
+	case DecisionTable:
+		eng, err := rt.tables.Engine(platform)
 		if err != nil {
 			return 0, err
 		}
 		dec, err := eng.Decide(policy.Query{
-			D0M: d0, SpeedMPS: speed, MdataMB: sizeMB, Rho: d.RhoPerM,
+			D0M: d0, SpeedMPS: speed, MdataMB: sizeMB, Rho: pd.RhoPerM,
 		})
 		if err != nil {
 			return 0, fmt.Errorf("scenario: decision: %w", err)
 		}
 		return dec.Optimum.DoptM, nil
 	default:
-		return 0, fmt.Errorf("scenario: unknown decision kind %q", d.Kind)
+		return 0, fmt.Errorf("scenario: decide called without a decision mode")
 	}
 }
 
@@ -284,33 +279,4 @@ func (rt *Runtime) decisionScenario(platform string, d0, speed, sizeMB, rho floa
 		}
 	}
 	return sc
-}
-
-// policyEngine lazily builds (and caches per Runtime) the table-serving
-// engine for a platform, on the quick grid — the deployment decision path
-// a scenario file can exercise without a pre-built table artifact.
-func (rt *Runtime) policyEngine(platform string) (*policy.Engine, error) {
-	if rt.policyEngines == nil {
-		rt.policyEngines = make(map[string]*policy.Engine)
-	}
-	if eng, ok := rt.policyEngines[platform]; ok {
-		return eng, nil
-	}
-	cfg := policy.QuadrocopterConfig()
-	if platform == PlatformPlane {
-		cfg = policy.AirplaneConfig()
-	}
-	cfg.Grid = policy.QuickGrid()
-	table, err := policy.Build(context.Background(), cfg, policy.BuildOptions{
-		Label: "scenario/policy/" + platform,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scenario: policy table: %w", err)
-	}
-	eng, err := policy.NewEngine(table, 0)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: policy engine: %w", err)
-	}
-	rt.policyEngines[platform] = eng
-	return eng, nil
 }

@@ -8,7 +8,6 @@ import (
 	"github.com/nowlater/nowlater/internal/chaos"
 	"github.com/nowlater/nowlater/internal/link"
 	"github.com/nowlater/nowlater/internal/phy"
-	"github.com/nowlater/nowlater/internal/policy"
 	"github.com/nowlater/nowlater/internal/rate"
 	"github.com/nowlater/nowlater/internal/sim"
 	"github.com/nowlater/nowlater/internal/stats"
@@ -117,6 +116,11 @@ type Options struct {
 	// default (eventQueueBase + eventQueuePerCraft per vehicle); negative
 	// removes the bound.
 	PendingLimit int
+	// Tables is the shared policy-table cache "table" decisions are served
+	// from. nil gives the Runtime a private cache — exactly the pre-split
+	// per-Runtime behaviour. Sweeps and batch replays pass one cache (or
+	// use CompileBatch) so each per-platform table is built once.
+	Tables *TableCache
 }
 
 // Runtime executes one compiled Spec on an event-driven core. The engine
@@ -130,6 +134,7 @@ type Options struct {
 // entirely, so advance cost scales with events processed rather than
 // simulated time × fleet size.
 type Runtime struct {
+	prog   *Program
 	spec   Spec
 	engine *sim.Engine
 	link   *link.Link
@@ -157,56 +162,64 @@ type Runtime struct {
 	// maxViolations); lastNow is the monotonic-clock watermark.
 	violations []string
 	lastNow    float64
-	// policyEngines caches the per-platform table-serving engines built
-	// lazily for "table" decisions.
-	policyEngines map[string]*policy.Engine
+	// tables serves the per-platform table-serving engines behind "table"
+	// decisions — shared across runtimes when Options.Tables is set,
+	// private otherwise.
+	tables *TableCache
 }
 
-// Compile validates a Spec and builds its Runtime: vehicles with their
-// route programs, the link with its rate policy, and the parsed chaos
-// schedule, all sharing one fresh engine at clock zero.
+// Compile validates a Spec and builds its Runtime. It is exactly
+// Resolve(spec) followed by Link: the Spec is lowered to its Program and
+// the Program instantiated on a fresh engine at clock zero.
 func Compile(spec Spec) (*Runtime, error) { return CompileWithOptions(spec, Options{}) }
 
 // CompileWithOptions is Compile with an explicit Options — the entry point
 // for the verification harness (lockstep oracle, invariant checks) and for
 // tuning the event-queue bound.
 func CompileWithOptions(spec Spec, opts Options) (*Runtime, error) {
-	if err := spec.Validate(); err != nil {
+	p, err := Resolve(spec)
+	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{spec: spec, engine: sim.NewEngine(), byID: make(map[string]*Craft), opts: opts}
+	return LinkWithOptions(p, opts)
+}
+
+// Link instantiates a resolved Program onto a fresh engine at clock zero:
+// crafts with their route programs, the link with its rate policy, armed
+// chaos kill events. A Program is immutable, so Link can be called many
+// times to get independent runtimes.
+func Link(p *Program) (*Runtime, error) { return LinkWithOptions(p, Options{}) }
+
+// LinkWithOptions is Link with an explicit Options.
+func LinkWithOptions(p *Program, opts Options) (*Runtime, error) {
+	rt := &Runtime{
+		prog: p, spec: p.Spec, engine: sim.NewEngine(),
+		byID: make(map[string]*Craft), opts: opts, tables: opts.Tables,
+	}
+	if rt.tables == nil {
+		rt.tables = NewTableCache()
+	}
 	limit := opts.PendingLimit
 	if limit == 0 {
-		limit = eventQueueBase + eventQueuePerCraft*len(spec.Vehicles)
+		limit = eventQueueBase + eventQueuePerCraft*len(p.Vehicles)
 	}
 	if limit > 0 {
 		rt.engine.SetPendingLimit(limit)
 	}
-	for _, vs := range spec.Vehicles {
-		c, err := compileVehicle(vs)
+	for _, pv := range p.Vehicles {
+		c, err := compileVehicle(pv.Spec)
 		if err != nil {
 			return nil, err
 		}
 		rt.crafts = append(rt.crafts, c)
-		rt.byID[vs.ID] = c
+		rt.byID[pv.Spec.ID] = c
 	}
-	lcfg := link.DefaultConfig()
-	lcfg.Seed = spec.Link.Seed
-	if lcfg.Seed == 0 {
-		lcfg.Seed = spec.Seed
-	}
-	lcfg.Label = spec.Link.Label
-	if lcfg.Label == "" {
-		lcfg.Label = "scenario/" + spec.Name
-	}
-	l, err := link.New(lcfg, RatePolicy(lcfg, spec.Link.Rate))
+	l, err := link.New(p.LinkConfig, ratePolicyMCS(p.LinkConfig, p.RateMCS))
 	if err != nil {
 		return nil, err
 	}
 	rt.link = l
-	if rt.sched, err = spec.ChaosSchedule(); err != nil {
-		return nil, err
-	}
+	rt.sched = p.Chaos
 	if err := rt.armChaosKills(); err != nil {
 		return nil, err
 	}
@@ -216,20 +229,21 @@ func CompileWithOptions(spec Spec, opts Options) (*Runtime, error) {
 	return rt, nil
 }
 
+// Program exposes the resolved intermediate form this Runtime was linked
+// from.
+func (rt *Runtime) Program() *Program { return rt.prog }
+
+// Tables exposes the policy-table cache serving this Runtime's "table"
+// decisions (shared when Options.Tables was set, private otherwise).
+func (rt *Runtime) Tables() *TableCache { return rt.tables }
+
 // armChaosKills schedules every scripted vehicle death as an engine event
-// at its exact scripted instant — kills no longer wait for the next tick
-// boundary to be discovered.
+// at its exact instant, straight off the Program's typed, time-sorted kill
+// list — kills neither wait for a tick boundary nor re-parse chaos text.
 func (rt *Runtime) armChaosKills() error {
-	if rt.sched == nil {
-		return nil
-	}
-	for _, c := range rt.crafts {
-		t, ok := rt.sched.VehicleFailTime(c.spec.ID)
-		if !ok {
-			continue
-		}
-		c := c
-		if _, err := rt.engine.Schedule(math.Max(t, 0), func() { rt.killCraft(c) }); err != nil {
+	for _, k := range rt.prog.Kills {
+		c := rt.crafts[k.Vehicle]
+		if _, err := rt.engine.Schedule(k.AtS, func() { rt.killCraft(c) }); err != nil {
 			return err
 		}
 	}
@@ -283,10 +297,19 @@ func (rt *Runtime) scheduleArrivalCheck(c *Craft) {
 // RatePolicy builds the rate-control policy a LinkSpec.Rate names for a
 // link configuration: a Minstrel instance seeded from the link's substream
 // for auto-rate, or a fixed MCS. The rate string must have passed
-// ParseRate (Compile validates it); an invalid one falls back to auto.
+// ParseRate (Resolve validates it); an invalid one falls back to auto.
 func RatePolicy(cfg link.Config, rateStr string) rate.Policy {
 	mcs, err := ParseRate(rateStr)
-	if err == nil && mcs >= 0 {
+	if err != nil {
+		mcs = -1
+	}
+	return ratePolicyMCS(cfg, mcs)
+}
+
+// ratePolicyMCS is RatePolicy on a pre-parsed MCS index (-1 = auto-rate) —
+// the Link path, which never re-parses the rate string.
+func ratePolicyMCS(cfg link.Config, mcs int) rate.Policy {
+	if mcs >= 0 {
 		return rate.NewFixed(phy.MCS(mcs))
 	}
 	return MinstrelPolicy(cfg)

@@ -171,10 +171,15 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: duration %v must be finite and ≥ 0", s.DurationS)
 	}
 	ids := map[string]bool{}
+	declared := map[string]int{}
 	for i, v := range s.Vehicles {
-		if v.ID == "" || ids[v.ID] {
-			return fmt.Errorf("scenario: vehicle %d: missing or duplicate id %q", i, v.ID)
+		if v.ID == "" {
+			return fmt.Errorf("scenario: vehicle %d: missing id", i)
 		}
+		if first, dup := declared[v.ID]; dup {
+			return fmt.Errorf("scenario: vehicle %d: duplicate id %q (first declared by vehicle %d)", i, v.ID, first)
+		}
+		declared[v.ID] = i
 		ids[v.ID] = true
 		if v.Platform != PlatformQuad && v.Platform != PlatformPlane {
 			return fmt.Errorf("scenario: vehicle %s: unknown platform %q (want %q or %q)",
@@ -208,8 +213,11 @@ func (s Spec) Validate() error {
 		return err
 	}
 	for i, t := range s.Traffic {
-		if !ids[t.From] || !ids[t.To] {
-			return fmt.Errorf("scenario: traffic %d: unknown vehicle %q or %q", i, t.From, t.To)
+		if !ids[t.From] {
+			return fmt.Errorf("scenario: traffic %d: unknown from vehicle %q", i, t.From)
+		}
+		if !ids[t.To] {
+			return fmt.Errorf("scenario: traffic %d: unknown to vehicle %q", i, t.To)
 		}
 		if t.From == t.To {
 			return fmt.Errorf("scenario: traffic %d: from == to (%q)", i, t.From)
@@ -225,14 +233,22 @@ func (s Spec) Validate() error {
 		}
 	}
 	for i, t := range s.Transfers {
-		if !ids[t.From] || !ids[t.To] {
-			return fmt.Errorf("scenario: transfer %d: unknown vehicle %q or %q", i, t.From, t.To)
+		if !ids[t.From] {
+			return fmt.Errorf("scenario: transfer %d: unknown from vehicle %q", i, t.From)
+		}
+		if !ids[t.To] {
+			return fmt.Errorf("scenario: transfer %d: unknown to vehicle %q", i, t.To)
 		}
 		if t.From == t.To {
 			return fmt.Errorf("scenario: transfer %d: from == to (%q)", i, t.From)
 		}
-		if t.AltTo != "" && (!ids[t.AltTo] || t.AltTo == t.From) {
-			return fmt.Errorf("scenario: transfer %d: bad alt_to %q", i, t.AltTo)
+		if t.AltTo != "" {
+			if !ids[t.AltTo] {
+				return fmt.Errorf("scenario: transfer %d: unknown alt_to vehicle %q", i, t.AltTo)
+			}
+			if t.AltTo == t.From {
+				return fmt.Errorf("scenario: transfer %d: alt_to %q is the sender", i, t.AltTo)
+			}
 		}
 		if !finite(t.SizeMB) || t.SizeMB <= 0 {
 			return fmt.Errorf("scenario: transfer %d: size %v MB must be positive and finite", i, t.SizeMB)

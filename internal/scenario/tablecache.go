@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/nowlater/nowlater/internal/policy"
+)
+
+// TableCache is the shared, keyed store of table-serving policy engines
+// behind "table" decisions. Building a quick-grid policy table dominates
+// the cost of a small scenario, and before the compiler split every
+// Runtime built its own: a paired-arm sweep or a corpus replay rebuilt the
+// identical per-platform table once per trial. A TableCache is safe to
+// share across runtimes and goroutines (engines are built once per key
+// under a lock and served read-mostly thereafter), and sharing it cannot
+// change results: a table is a pure function of its platform config, and
+// Engine.Decide returns bit-identical optima whether answered from a cold
+// table or a warm one.
+//
+// Pass a cache via Options.Tables (or use CompileBatch, which shares one
+// across a whole batch); a Runtime linked without one gets a private cache,
+// which is exactly the pre-split behaviour.
+type TableCache struct {
+	mu        sync.Mutex
+	engines   map[string]*policy.Engine
+	builds    int
+	hits      int
+	buildWall time.Duration
+}
+
+// NewTableCache returns an empty cache ready to share across runtimes.
+func NewTableCache() *TableCache {
+	return &TableCache{engines: make(map[string]*policy.Engine)}
+}
+
+// Engine returns the table-serving engine for a platform key, building it
+// on first use. The build is the quick-grid deployment table — identical
+// config, grid and label to what every Runtime previously built privately,
+// so a shared engine answers exactly what a private one would have.
+func (tc *TableCache) Engine(platform string) (*policy.Engine, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if eng, ok := tc.engines[platform]; ok {
+		tc.hits++
+		return eng, nil
+	}
+	start := time.Now()
+	cfg := policy.QuadrocopterConfig()
+	if platform == PlatformPlane {
+		cfg = policy.AirplaneConfig()
+	}
+	cfg.Grid = policy.QuickGrid()
+	table, err := policy.Build(context.Background(), cfg, policy.BuildOptions{
+		Label: "scenario/policy/" + platform,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: policy table: %w", err)
+	}
+	eng, err := policy.NewEngine(table, 0)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: policy engine: %w", err)
+	}
+	tc.engines[platform] = eng
+	tc.builds++
+	tc.buildWall += time.Since(start)
+	return eng, nil
+}
+
+// TableCacheStats is a point-in-time snapshot of a cache's work: how many
+// tables were actually built vs served from the cache, and the wall-clock
+// the builds cost.
+type TableCacheStats struct {
+	// Builds counts distinct table constructions (one per key).
+	Builds int
+	// Hits counts Engine calls answered without a build.
+	Hits int
+	// BuildWallS is the total wall-clock spent building tables.
+	BuildWallS float64
+}
+
+// Stats returns the cache's build/hit accounting so far.
+func (tc *TableCache) Stats() TableCacheStats {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return TableCacheStats{Builds: tc.builds, Hits: tc.hits, BuildWallS: tc.buildWall.Seconds()}
+}
+
+// Keys returns the sorted platform keys built so far.
+func (tc *TableCache) Keys() []string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	keys := make([]string, 0, len(tc.engines))
+	for k := range tc.engines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

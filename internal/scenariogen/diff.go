@@ -40,10 +40,20 @@ func (d *Divergence) Error() string {
 //     exactly and may only move vehicles forward (routes complete, later
 //     scripted kills fire — never un-fail or un-finish anything).
 //
+// The base and lockstep arms are linked from one shared scenario.Program
+// (resolve once, link twice), and every arm — transformed specs included —
+// shares one policy TableCache, so the harness also witnesses the compiler
+// contract: a re-linked Program and a shared table cache change nothing.
+//
 // A nil return means every oracle agreed; a non-nil return is always a
 // *Divergence (wrapped run errors included).
 func Verify(spec scenario.Spec) error {
-	base, rt, err := runSpec(spec, scenario.Options{CheckInvariants: true})
+	tables := scenario.NewTableCache()
+	prog, err := scenario.Resolve(spec)
+	if err != nil {
+		return &Divergence{Spec: spec, Check: "invariants", Detail: err.Error()}
+	}
+	base, rt, err := runProgram(prog, scenario.Options{CheckInvariants: true, Tables: tables})
 	if err != nil {
 		return &Divergence{Spec: spec, Check: "invariants", Detail: err.Error()}
 	}
@@ -53,8 +63,9 @@ func Verify(spec scenario.Spec) error {
 			Detail: fmt.Sprintf("%d violations, first: %s", len(v), v[0])}
 	}
 
-	// Oracle 2: the lockstep reference path.
-	lock, lockRT, err := runSpec(spec, scenario.Options{Lockstep: true, CheckInvariants: true})
+	// Oracle 2: the lockstep reference path, re-linked from the same
+	// Program.
+	lock, lockRT, err := runProgram(prog, scenario.Options{Lockstep: true, CheckInvariants: true, Tables: tables})
 	if err != nil {
 		return &Divergence{Spec: spec, Check: "lockstep", Detail: err.Error()}
 	}
@@ -70,7 +81,7 @@ func Verify(spec scenario.Spec) error {
 
 	// Transform 1: chaos-line permutation.
 	if perm, changed := permuteChaos(spec); changed {
-		permRes, _, err := runSpec(perm, scenario.Options{})
+		permRes, _, err := runSpec(perm, scenario.Options{Tables: tables})
 		if err != nil {
 			return &Divergence{Spec: perm, Check: "chaos-permutation", Detail: err.Error()}
 		}
@@ -84,7 +95,7 @@ func Verify(spec scenario.Spec) error {
 	// Transform 2: duration extension past the base fly-out.
 	ext := spec
 	ext.DurationS = spec.DurationS + 7.5
-	extRes, _, err := runSpec(ext, scenario.Options{})
+	extRes, _, err := runSpec(ext, scenario.Options{Tables: tables})
 	if err != nil {
 		return &Divergence{Spec: ext, Check: "duration-extension", Detail: err.Error()}
 	}
@@ -96,6 +107,19 @@ func Verify(spec scenario.Spec) error {
 
 func runSpec(spec scenario.Spec, opts scenario.Options) (scenario.Result, *scenario.Runtime, error) {
 	rt, err := scenario.CompileWithOptions(spec, opts)
+	if err != nil {
+		return scenario.Result{}, nil, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return scenario.Result{}, nil, err
+	}
+	return res, rt, nil
+}
+
+// runProgram links and runs an already-resolved Program.
+func runProgram(p *scenario.Program, opts scenario.Options) (scenario.Result, *scenario.Runtime, error) {
+	rt, err := scenario.LinkWithOptions(p, opts)
 	if err != nil {
 		return scenario.Result{}, nil, err
 	}

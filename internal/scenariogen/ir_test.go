@@ -1,0 +1,102 @@
+package scenariogen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/nowlater/nowlater/internal/scenario"
+)
+
+// The IR path is the compiler contract on the pinned corpus: replaying
+// every entry through explicit Resolve + Link — all 62 runtimes sharing
+// one policy TableCache — must reproduce the pinned result fingerprints
+// byte-for-byte. Any Resolve lowering that shifts a single float (chaos
+// kill ordering, Poisson materialization, decision defaulting) shows up
+// here as a named entry.
+func TestCorpusIRPathMatchesPinnedFingerprints(t *testing.T) {
+	entries, err := ReadManifest(corpusDir)
+	if err != nil {
+		t.Fatalf("missing corpus manifest (regenerate with REGEN_CORPUS=1): %v", err)
+	}
+	tables := scenario.NewTableCache()
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.Load(filepath.Join(corpusDir, e.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := scenario.Resolve(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex16(prog.Fingerprint()); got != e.SpecFingerprint {
+				t.Fatalf("program fingerprint %s != pinned %s", got, e.SpecFingerprint)
+			}
+			rt, err := scenario.LinkWithOptions(prog, scenario.Options{
+				CheckInvariants: true, Tables: tables,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := rt.InvariantViolations(); len(v) != 0 {
+				t.Fatalf("invariant violations on the IR path: %v", v)
+			}
+			if got := hex16(scenario.ResultFingerprint(res)); got != e.ResultFingerprint {
+				t.Fatalf("IR-path result fingerprint %s != pinned %s — Resolve/Link "+
+					"drifted from the compile semantics", got, e.ResultFingerprint)
+			}
+		})
+	}
+}
+
+// Compile(spec) ≡ Link(Resolve(spec)) on 50 fresh generator seeds beyond
+// the corpus range — specs the pins have never seen, flight and requests
+// workloads alternating. Short mode trims the sweep.
+func TestFreshSeedsCompileEquivalentToIRPath(t *testing.T) {
+	const freshBase, freshCount = 500, 50
+	count := freshCount
+	if testing.Short() {
+		count = 10
+	}
+	tables := scenario.NewTableCache()
+	for i := 0; i < count; i++ {
+		seed := int64(freshBase + i)
+		gen := Generate
+		if i%2 == 1 {
+			gen = GenerateRequests
+		}
+		spec := gen(seed)
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			rtc, err := scenario.Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resC, err := rtc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := scenario.Resolve(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rti, err := scenario.LinkWithOptions(prog, scenario.Options{Tables: tables})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resI, err := rti.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := scenario.ResultFingerprint(resC), scenario.ResultFingerprint(resI); a != b {
+				t.Fatalf("seed %d: compile fingerprint %016x != IR path %016x", seed, a, b)
+			}
+		})
+	}
+}

@@ -416,6 +416,41 @@ func CompileScenarioWithOptions(spec ScenarioSpec, opts ScenarioOptions) (*Scena
 // comparator: two runs agree iff their fingerprints match.
 func ScenarioResultFingerprint(r ScenarioResult) uint64 { return scenario.ResultFingerprint(r) }
 
+// ScenarioProgram is the compiler's typed intermediate form: a validated,
+// fully-resolved scenario — integer vehicle handles, time-sorted chaos
+// kills, materialized request arrivals — that CompileScenario internally
+// produces before linking a runtime. Resolve once, link (and run) as many
+// runtimes as needed.
+type ScenarioProgram = scenario.Program
+
+// ScenarioTableCache shares lazily-built policy decision tables across
+// scenario runtimes, keyed by platform. Safe for concurrent use; sharing a
+// cache never changes results (a table is a pure function of its platform).
+type ScenarioTableCache = scenario.TableCache
+
+// NewScenarioTableCache builds an empty shared policy-table cache.
+func NewScenarioTableCache() *ScenarioTableCache { return scenario.NewTableCache() }
+
+// ResolveScenario validates and lowers a spec to its intermediate Program.
+func ResolveScenario(spec ScenarioSpec) (*ScenarioProgram, error) { return scenario.Resolve(spec) }
+
+// LinkScenario builds a runtime from a resolved Program; Compile(spec) is
+// exactly Link(Resolve(spec)).
+func LinkScenario(p *ScenarioProgram) (*ScenarioRuntime, error) { return scenario.Link(p) }
+
+// LinkScenarioWithOptions links a resolved Program in the requested
+// execution mode (lockstep oracle, invariant checking, shared TableCache).
+func LinkScenarioWithOptions(p *ScenarioProgram, opts ScenarioOptions) (*ScenarioRuntime, error) {
+	return scenario.LinkWithOptions(p, opts)
+}
+
+// CompileScenarioBatch resolves and links a sweep's specs together, all
+// runtimes sharing one policy TableCache (opts.Tables, allocated when nil) —
+// the batched path experiment sweeps and corpus CI replay through.
+func CompileScenarioBatch(specs []ScenarioSpec, opts ScenarioOptions) ([]*ScenarioRuntime, error) {
+	return scenario.CompileBatch(specs, opts)
+}
+
 // GenerateScenario emits a random-but-valid ScenarioSpec deterministically
 // from a seed — the adversarial generator behind the committed corpus
 // (internal/scenariogen/testdata/corpus).
